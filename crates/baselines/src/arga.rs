@@ -1,0 +1,321 @@
+//! ARGA / ARVGA (Pan et al., IJCAI 2018): adversarially regularized graph
+//! autoencoder. A GAE/VGAE encoder–decoder is trained jointly with a
+//! discriminator MLP that tries to tell embedding rows apart from standard
+//! Gaussian samples; the encoder is additionally rewarded for fooling the
+//! discriminator, which regularizes the embedding distribution.
+//!
+//! Training alternates, as in the original:
+//! 1. **Discriminator step** — maximize
+//!    `log D(ε) + log(1 − D(Z))` with `Z` detached,
+//! 2. **Encoder step** — minimize reconstruction (+ KL for ARVGA) plus the
+//!    generator term `−log D(Z)` with the discriminator frozen.
+
+use std::rc::Rc;
+
+use coane_graph::split::sample_non_edges;
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::init::normal;
+use coane_nn::layers::{Activation, Mlp};
+use coane_nn::{Adam, Matrix, Params, SparseMatrix, Tape, Var};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::common::Embedder;
+use crate::gae::{attrs_as_sparse, norm_adj_as_sparse};
+
+/// ARGA/ARVGA hyperparameters (paper setting: encoder 256–128,
+/// discriminator 128–512(–1); we default to a 64-unit hidden layer scaled by
+/// `disc_hidden`).
+#[derive(Clone, Copy, Debug)]
+pub struct Arga {
+    /// Variational encoder (ARVGA) or deterministic (ARGA).
+    pub variational: bool,
+    /// Hidden width of the first GCN layer.
+    pub hidden: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Hidden width of the discriminator MLP.
+    pub disc_hidden: usize,
+    /// Training epochs (one discriminator + one encoder step each).
+    pub epochs: usize,
+    /// Adam learning rate (both players).
+    pub lr: f32,
+    /// Weight of the adversarial term in the encoder loss.
+    pub adv_weight: f32,
+    /// KL weight (ARVGA only).
+    pub kl_weight: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Arga {
+    fn default() -> Self {
+        Self {
+            variational: false,
+            hidden: 256,
+            dim: 128,
+            disc_hidden: 512,
+            epochs: 120,
+            lr: 0.01,
+            adv_weight: 0.2,
+            kl_weight: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+struct Encoder {
+    w0: usize,
+    w1: usize,
+    w_logvar: Option<usize>,
+}
+
+impl Arga {
+    fn encode(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        enc: &Encoder,
+        x: &Rc<SparseMatrix>,
+        a: &Rc<SparseMatrix>,
+    ) -> (Var, Option<Var>) {
+        let xw = tape.spmm(Rc::clone(x), vars[enc.w0]);
+        let h1 = tape.spmm(Rc::clone(a), xw);
+        let h1 = tape.relu(h1);
+        let hw = tape.matmul(h1, vars[enc.w1]);
+        let mu = tape.spmm(Rc::clone(a), hw);
+        let logvar = enc.w_logvar.map(|wl| {
+            let lw = tape.matmul(h1, vars[wl]);
+            tape.spmm(Rc::clone(a), lw)
+        });
+        (mu, logvar)
+    }
+}
+
+impl Embedder for Arga {
+    fn name(&self) -> &'static str {
+        if self.variational {
+            "ARVGA"
+        } else {
+            "ARGA"
+        }
+    }
+
+    fn embed(&self, graph: &AttributedGraph) -> Matrix {
+        let n = graph.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA46A);
+        let x = Rc::new(attrs_as_sparse(graph));
+        let a = Rc::new(norm_adj_as_sparse(graph));
+        let d = graph.attr_dim();
+
+        // Encoder parameters.
+        let mut enc_params = Params::new();
+        let enc = Encoder {
+            w0: enc_params
+                .add("w0", coane_nn::init::xavier_uniform(d, self.hidden, &mut rng))
+                .index(),
+            w1: enc_params
+                .add("w1", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng))
+                .index(),
+            w_logvar: self.variational.then(|| {
+                enc_params
+                    .add(
+                        "w_logvar",
+                        coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng),
+                    )
+                    .index()
+            }),
+        };
+        // Discriminator parameters.
+        let mut disc_params = Params::new();
+        let disc = Mlp::new(
+            &mut disc_params,
+            "disc",
+            &[self.dim, self.disc_hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+
+        let pos_edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(u, v, _)| (u, v)).collect();
+        if pos_edges.is_empty() {
+            return Matrix::zeros(n, self.dim);
+        }
+        let mut enc_adam = Adam::new(self.lr);
+        let mut disc_adam = Adam::new(self.lr);
+        let ones = Rc::new(Matrix::full(n, 1, 1.0));
+        let zeros = Rc::new(Matrix::full(n, 1, 0.0));
+
+        for _ in 0..self.epochs {
+            // ---- 1. current embeddings (detached) for the discriminator ----
+            let z_detached = {
+                let mut tape = Tape::new();
+                let vars = enc_params.attach(&mut tape);
+                let (mu, logvar) = self.encode(&mut tape, &vars, &enc, &x, &a);
+                let z = self.sample_z(&mut tape, mu, logvar, n, &mut rng);
+                tape.value(z).clone()
+            };
+
+            // ---- 2. discriminator step ----
+            {
+                let mut tape = Tape::new();
+                let vars = disc_params.attach(&mut tape);
+                let real = tape.constant(normal(n, self.dim, 1.0, &mut rng));
+                let fake = tape.constant(z_detached.clone());
+                let d_real = disc.forward(&mut tape, &vars, real);
+                let d_fake = disc.forward(&mut tape, &vars, fake);
+                let l_real = tape.bce_with_logits(d_real, Rc::clone(&ones));
+                let l_fake = tape.bce_with_logits(d_fake, Rc::clone(&zeros));
+                let m_real = tape.mean(l_real);
+                let m_fake = tape.mean(l_fake);
+                let loss = tape.add(m_real, m_fake);
+                tape.backward(loss);
+                let grads = disc_params.collect_grads(&tape, &vars);
+                disc_adam.step(&mut disc_params, &grads);
+            }
+
+            // ---- 3. encoder step: reconstruction (+ KL) + fool the frozen D ----
+            {
+                let negs = sample_non_edges(graph, pos_edges.len(), &mut rng);
+                let mut tape = Tape::new();
+                let enc_vars = enc_params.attach(&mut tape);
+                // Discriminator weights enter as constants → no grads for D.
+                let disc_vars: Vec<Var> = disc_params
+                    .iter()
+                    .map(|(_, _, m)| tape.constant(m.clone()))
+                    .collect();
+                let (mu, logvar) = self.encode(&mut tape, &enc_vars, &enc, &x, &a);
+                let z = self.sample_z(&mut tape, mu, logvar, n, &mut rng);
+
+                // reconstruction via sampled edges
+                let mut us = Vec::with_capacity(pos_edges.len() * 2);
+                let mut vs = Vec::with_capacity(us.capacity());
+                let mut targets = Vec::with_capacity(us.capacity());
+                for &(uu, vv) in &pos_edges {
+                    us.push(uu);
+                    vs.push(vv);
+                    targets.push(1.0f32);
+                }
+                for &(uu, vv) in &negs {
+                    us.push(uu);
+                    vs.push(vv);
+                    targets.push(0.0f32);
+                }
+                let zu = tape.gather_rows(z, Rc::new(us));
+                let zv = tape.gather_rows(z, Rc::new(vs));
+                let logits = tape.rows_dot(zu, zv);
+                let t = Rc::new(Matrix::from_vec(targets.len(), 1, targets));
+                let bce = tape.bce_with_logits(logits, t);
+                let mut loss = tape.mean(bce);
+
+                if let Some(lv) = logvar {
+                    let mu2 = tape.sqr(mu);
+                    let evar = tape.exp(lv);
+                    let one_plus = tape.add_const(lv, 1.0);
+                    let t1 = tape.sub(one_plus, mu2);
+                    let t2 = tape.sub(t1, evar);
+                    let ksum = tape.sum(t2);
+                    let kl =
+                        tape.scale(ksum, -0.5 * self.kl_weight / (n as f32 * self.dim as f32));
+                    loss = tape.add(loss, kl);
+                }
+
+                // generator term: make D call z "real"
+                let d_fake = disc.forward(&mut tape, &disc_vars, z);
+                let l_gen = tape.bce_with_logits(d_fake, Rc::clone(&ones));
+                let m_gen = tape.mean(l_gen);
+                let adv = tape.scale(m_gen, self.adv_weight);
+                let total = tape.add(loss, adv);
+                tape.backward(total);
+                let grads = enc_params.collect_grads(&tape, &enc_vars);
+                enc_adam.step(&mut enc_params, &grads);
+            }
+        }
+
+        // Deterministic μ as the final embedding.
+        let mut tape = Tape::new();
+        let vars = enc_params.attach(&mut tape);
+        let (mu, _) = self.encode(&mut tape, &vars, &enc, &x, &a);
+        tape.value(mu).clone()
+    }
+}
+
+impl Arga {
+    fn sample_z(
+        &self,
+        tape: &mut Tape,
+        mu: Var,
+        logvar: Option<Var>,
+        n: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Var {
+        match logvar {
+            None => mu,
+            Some(lv) => {
+                let half = tape.scale(lv, 0.5);
+                let std = tape.exp(half);
+                let eps = tape.constant(normal(n, self.dim, 1.0, rng));
+                let noise = tape.mul(std, eps);
+                tape.add(mu, noise)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_datasets::generator::planted_partition;
+    use coane_eval::nmi_clustering;
+
+    fn quick(variational: bool) -> Arga {
+        Arga {
+            variational,
+            hidden: 32,
+            dim: 16,
+            disc_hidden: 32,
+            epochs: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn arga_embeds_with_signal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = planted_partition(100, 2, 0.25, 0.01, 40, &mut rng);
+        let emb = quick(false).embed(&g);
+        assert_eq!(emb.shape(), (100, 16));
+        emb.assert_finite("arga");
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        let score = nmi_clustering(emb.as_slice(), 16, g.labels().unwrap(), &mut rng2);
+        assert!(score > 0.2, "nmi {score}");
+    }
+
+    #[test]
+    fn arvga_runs_and_is_finite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = planted_partition(80, 2, 0.25, 0.02, 30, &mut rng);
+        let emb = quick(true).embed(&g);
+        emb.assert_finite("arvga");
+        assert_eq!(emb.shape(), (80, 16));
+    }
+
+    #[test]
+    fn adversarial_term_regularizes_scale() {
+        // With a strong adversarial weight the embedding distribution should
+        // stay near the standard Gaussian's scale rather than blowing up.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = planted_partition(80, 2, 0.25, 0.02, 30, &mut rng);
+        let strong = Arga { adv_weight: 2.0, ..quick(false) }.embed(&g);
+        let rms =
+            (strong.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>()
+                / strong.len() as f64)
+                .sqrt();
+        assert!(rms < 10.0, "embedding scale exploded: rms {rms}");
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(quick(false).name(), "ARGA");
+        assert_eq!(quick(true).name(), "ARVGA");
+    }
+}

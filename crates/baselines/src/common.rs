@@ -1,0 +1,131 @@
+//! Shared baseline machinery: the [`Embedder`] trait, walk-window pair
+//! extraction, and the word2vec unigram noise table.
+
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::Matrix;
+use coane_walks::{AliasTable, Walk};
+
+/// A node-embedding method: trains on an attributed graph and yields an
+/// `(n × dim)` embedding matrix. Implemented by every baseline and used by
+/// the benchmark harness to iterate methods uniformly.
+pub trait Embedder {
+    /// Human-readable method name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+    /// Trains and returns the embedding matrix.
+    fn embed(&self, graph: &AttributedGraph) -> Matrix;
+}
+
+/// Skip-gram training pairs `(center, context)` from walk windows of radius
+/// `window` (both directions, excluding self-pairs).
+pub fn walk_pairs(walks: &[Walk], window: usize) -> Vec<(NodeId, NodeId)> {
+    let mut pairs = Vec::new();
+    for walk in walks {
+        for (i, &center) in walk.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(walk.len());
+            for &ctx in &walk[lo..hi] {
+                if ctx != center {
+                    pairs.push((center, ctx));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Word2vec-style unigram noise table: probabilities proportional to
+/// `count(v)^{3/4}`, with a small floor so every node is sampleable.
+pub fn unigram_table(walks: &[Walk], n: usize) -> AliasTable {
+    let mut counts = vec![0.0f64; n];
+    for walk in walks {
+        for &v in walk {
+            counts[v as usize] += 1.0;
+        }
+    }
+    let weights: Vec<f64> = counts.iter().map(|&c| c.max(0.1).powf(0.75)).collect();
+    AliasTable::new(&weights)
+}
+
+/// Noise table proportional to degree^{3/4} (for edge-based methods like
+/// LINE that never materialize walks).
+pub fn degree_table(graph: &AttributedGraph) -> AliasTable {
+    let weights: Vec<f64> = (0..graph.num_nodes() as NodeId)
+        .map(|v| (graph.degree(v) as f64).max(0.1).powf(0.75))
+        .collect();
+    AliasTable::new(&weights)
+}
+
+/// L2-normalizes every row in place (zero rows are left untouched).
+/// Embedding methods trained with dot-product objectives often benefit from
+/// normalized outputs in downstream cosine-based evaluation.
+pub fn l2_normalize_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in row {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_graph::{GraphBuilder, NodeAttributes};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pairs_within_window() {
+        let walks = vec![vec![0, 1, 2, 3]];
+        let pairs = walk_pairs(&walks, 1);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        assert!(pairs.contains(&(1, 2)));
+        assert!(!pairs.contains(&(0, 2)), "outside window");
+        assert!(!pairs.contains(&(1, 1)), "self pair");
+    }
+
+    #[test]
+    fn pairs_symmetric_counts() {
+        let walks = vec![vec![5, 6, 5, 6]];
+        let pairs = walk_pairs(&walks, 2);
+        let fwd = pairs.iter().filter(|&&p| p == (5, 6)).count();
+        let bwd = pairs.iter().filter(|&&p| p == (6, 5)).count();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn unigram_table_prefers_frequent() {
+        let walks = vec![vec![0; 50], vec![1; 2]];
+        let table = unigram_table(&walks, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut hits = [0usize; 3];
+        for _ in 0..10_000 {
+            hits[table.sample(&mut rng) as usize] += 1;
+        }
+        assert!(hits[0] > hits[1]);
+        assert!(hits[1] > hits[2]); // floor keeps node 2 alive but rare
+        assert!(hits[2] > 0);
+    }
+
+    #[test]
+    fn degree_table_covers_all_nodes() {
+        let mut b = GraphBuilder::new(4, 4);
+        b.add_edges(&[(0, 1), (0, 2), (0, 3)]);
+        let g = b.with_attrs(NodeAttributes::identity(4)).build();
+        let table = degree_table(&g);
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut m = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.0, 0.0]]);
+        l2_normalize_rows(&mut m);
+        assert!((m.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((m.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+}

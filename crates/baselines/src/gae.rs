@@ -1,0 +1,291 @@
+//! GAE and VGAE (Kipf & Welling, 2016): a two-layer GCN encoder with an
+//! inner-product decoder. The decoder's dense `σ(ZZᵀ)` reconstruction is
+//! trained by edge sampling (all positive edges + an equal number of sampled
+//! non-edges per epoch), the standard scalable formulation. VGAE adds
+//! Gaussian reparameterization and the KL regularizer.
+
+use std::rc::Rc;
+
+use coane_graph::ops::normalized_adjacency;
+use coane_graph::split::sample_non_edges;
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::init::normal;
+use coane_nn::layers::{Activation, Mlp};
+use coane_nn::{Adam, Matrix, Params, SparseMatrix, Tape, Var};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::common::Embedder;
+
+/// Plain or variational graph auto-encoder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaeKind {
+    /// Deterministic GAE.
+    Plain,
+    /// Variational GAE (μ/log σ² heads + KL).
+    Variational,
+}
+
+/// GAE/VGAE hyperparameters (paper setting: 2 layers, 256–128).
+#[derive(Clone, Copy, Debug)]
+pub struct Gae {
+    /// Plain or variational.
+    pub kind: GaeKind,
+    /// Hidden width of the first GCN layer.
+    pub hidden: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// KL weight (VGAE only).
+    pub kl_weight: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Gae {
+    fn default() -> Self {
+        Self {
+            kind: GaeKind::Plain,
+            hidden: 256,
+            dim: 128,
+            epochs: 120,
+            lr: 0.01,
+            kl_weight: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Converts graph attributes to the autograd sparse type.
+pub fn attrs_as_sparse(graph: &AttributedGraph) -> SparseMatrix {
+    let n = graph.num_nodes();
+    let mut triplets = Vec::with_capacity(graph.attrs().nnz());
+    for v in 0..n as NodeId {
+        let (idx, val) = graph.attrs().row(v);
+        for (&a, &x) in idx.iter().zip(val) {
+            triplets.push((v as usize, a as usize, x));
+        }
+    }
+    SparseMatrix::from_triplets(n, graph.attr_dim(), triplets)
+}
+
+/// Converts the graph's normalized adjacency to the autograd sparse type.
+pub fn norm_adj_as_sparse(graph: &AttributedGraph) -> SparseMatrix {
+    let a = normalized_adjacency(graph);
+    SparseMatrix::from_csr(a.n, a.n, a.indptr, a.indices, a.values)
+}
+
+impl Gae {
+    fn encode_mu(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        w0: usize,
+        w1: usize,
+        x: &Rc<SparseMatrix>,
+        a: &Rc<SparseMatrix>,
+    ) -> Var {
+        let xw = tape.spmm(Rc::clone(x), vars[w0]);
+        let h1 = tape.spmm(Rc::clone(a), xw);
+        let h1 = tape.relu(h1);
+        let hw = tape.matmul(h1, vars[w1]);
+        tape.spmm(Rc::clone(a), hw)
+    }
+}
+
+impl Embedder for Gae {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            GaeKind::Plain => "GAE",
+            GaeKind::Variational => "VGAE",
+        }
+    }
+
+    fn embed(&self, graph: &AttributedGraph) -> Matrix {
+        let n = graph.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x6AE);
+        let x = Rc::new(attrs_as_sparse(graph));
+        let a = Rc::new(norm_adj_as_sparse(graph));
+        let d = graph.attr_dim();
+
+        let mut params = Params::new();
+        let w0 = params
+            .add("w0", coane_nn::init::xavier_uniform(d, self.hidden, &mut rng))
+            .index();
+        let w1 = params
+            .add("w1", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng))
+            .index();
+        let w_logvar = (self.kind == GaeKind::Variational).then(|| {
+            params
+                .add("w_logvar", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng))
+                .index()
+        });
+
+        let pos_edges: Vec<(NodeId, NodeId)> = graph.edges().map(|(u, v, _)| (u, v)).collect();
+        if pos_edges.is_empty() {
+            return Matrix::zeros(n, self.dim);
+        }
+        let mut adam = Adam::new(self.lr);
+        for _ in 0..self.epochs {
+            let negs = sample_non_edges(graph, pos_edges.len(), &mut rng);
+            let mut tape = Tape::new();
+            let vars = params.attach(&mut tape);
+            let mu = self.encode_mu(&mut tape, &vars, w0, w1, &x, &a);
+            let z = match (self.kind, w_logvar) {
+                (GaeKind::Variational, Some(wl)) => {
+                    // logvar head shares the first layer.
+                    let xw = tape.spmm(Rc::clone(&x), vars[w0]);
+                    let h1 = tape.spmm(Rc::clone(&a), xw);
+                    let h1 = tape.relu(h1);
+                    let hw = tape.matmul(h1, vars[wl]);
+                    let logvar = tape.spmm(Rc::clone(&a), hw);
+                    // z = μ + ε ⊙ exp(½ logvar)
+                    let half_logvar = tape.scale(logvar, 0.5);
+                    let std = tape.exp(half_logvar);
+                    let eps = tape.constant(normal(n, self.dim, 1.0, &mut rng));
+                    let noise = tape.mul(std, eps);
+                    let z = tape.add(mu, noise);
+                    // KL = −½ Σ(1 + logvar − μ² − e^{logvar}) / n
+                    let mu2 = tape.sqr(mu);
+                    let evar = tape.exp(logvar);
+                    let one_plus = tape.add_const(logvar, 1.0);
+                    let t1 = tape.sub(one_plus, mu2);
+                    let t2 = tape.sub(t1, evar);
+                    let ksum = tape.sum(t2);
+                    let kl = tape.scale(
+                        ksum,
+                        -0.5 * self.kl_weight / (n as f32 * self.dim as f32),
+                    );
+                    Some((z, kl))
+                }
+                _ => None,
+            };
+            let (z_final, kl) = match z {
+                Some((zv, kl)) => (zv, Some(kl)),
+                None => (mu, None),
+            };
+            // Edge reconstruction loss.
+            let mut us: Vec<u32> = Vec::with_capacity(pos_edges.len() * 2);
+            let mut vs: Vec<u32> = Vec::with_capacity(us.capacity());
+            let mut targets = Vec::with_capacity(us.capacity());
+            for &(uu, vv) in &pos_edges {
+                us.push(uu);
+                vs.push(vv);
+                targets.push(1.0f32);
+            }
+            for &(uu, vv) in &negs {
+                us.push(uu);
+                vs.push(vv);
+                targets.push(0.0f32);
+            }
+            let zu = tape.gather_rows(z_final, Rc::new(us));
+            let zv = tape.gather_rows(z_final, Rc::new(vs));
+            let logits = tape.rows_dot(zu, zv);
+            let t = Rc::new(Matrix::from_vec(targets.len(), 1, targets));
+            let bce = tape.bce_with_logits(logits, t);
+            let recon = tape.mean(bce);
+            let loss = match kl {
+                Some(k) => tape.add(recon, k),
+                None => recon,
+            };
+            tape.backward(loss);
+            let grads = params.collect_grads(&tape, &vars);
+            adam.step(&mut params, &grads);
+        }
+        // Final embedding: deterministic μ.
+        let mut tape = Tape::new();
+        let vars = params.attach(&mut tape);
+        let mu = self.encode_mu(&mut tape, &vars, w0, w1, &x, &a);
+        tape.value(mu).clone()
+    }
+}
+
+/// An MLP attribute autoencoder used as a shared building block by the
+/// DANE-lite and ANRL-lite baselines (kept here to avoid a separate crate).
+pub struct AttrAutoencoder {
+    /// Encoder network.
+    pub encoder: Mlp,
+    /// Decoder network.
+    pub decoder: Mlp,
+}
+
+impl AttrAutoencoder {
+    /// Builds encoder `in_dim → hidden → out_dim` and mirrored decoder on
+    /// `params`.
+    pub fn new<R: rand::Rng>(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let encoder = Mlp::new(
+            params,
+            &format!("{name}.enc"),
+            &[in_dim, hidden, out_dim],
+            Activation::Relu,
+            rng,
+        );
+        let decoder = Mlp::new(
+            params,
+            &format!("{name}.dec"),
+            &[out_dim, hidden, in_dim],
+            Activation::Relu,
+            rng,
+        );
+        Self { encoder, decoder }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_datasets::generator::planted_partition;
+    use coane_eval::nmi_clustering;
+
+    fn small() -> AttributedGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        planted_partition(100, 2, 0.25, 0.01, 40, &mut rng)
+    }
+
+    fn quick(kind: GaeKind) -> Gae {
+        Gae { kind, hidden: 32, dim: 16, epochs: 60, ..Default::default() }
+    }
+
+    #[test]
+    fn gae_embeds_with_community_signal() {
+        let g = small();
+        let emb = quick(GaeKind::Plain).embed(&g);
+        assert_eq!(emb.shape(), (100, 16));
+        emb.assert_finite("gae");
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let score = nmi_clustering(emb.as_slice(), 16, g.labels().unwrap(), &mut rng);
+        assert!(score > 0.2, "nmi {score}");
+    }
+
+    #[test]
+    fn vgae_runs_and_is_finite() {
+        let g = small();
+        let emb = quick(GaeKind::Variational).embed(&g);
+        emb.assert_finite("vgae");
+        assert_eq!(emb.shape(), (100, 16));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(quick(GaeKind::Plain).name(), "GAE");
+        assert_eq!(quick(GaeKind::Variational).name(), "VGAE");
+    }
+
+    #[test]
+    fn attrs_sparse_roundtrip() {
+        let g = small();
+        let x = attrs_as_sparse(&g);
+        assert_eq!(x.shape(), (100, 40));
+        assert_eq!(x.nnz(), g.attrs().nnz());
+    }
+}

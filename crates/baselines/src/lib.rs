@@ -1,0 +1,47 @@
+//! # coane-baselines
+//!
+//! From-scratch implementations of the competing embedding methods in the
+//! CoANE paper's evaluation (§4.1):
+//!
+//! | Paper baseline | Module | Family |
+//! |----------------|--------|--------|
+//! | DeepWalk-style skip-gram | [`skipgram`] | plain random-walk NE |
+//! | node2vec (p, q biased walks) | [`skipgram`] | plain random-walk NE |
+//! | LINE (1st + 2nd order) | [`self::line`](crate::line) | shallow proximity NE |
+//! | GAE | [`gae`] | graph-autoencoder ANE |
+//! | VGAE | [`gae`] | graph-autoencoder ANE |
+//! | GraphSAGE (mean, unsupervised) | [`sage`] | subgraph aggregation ANE |
+//! | ASNE | [`asne`] | joint structure–attribute ANE |
+//! | DANE (lite) | [`dane`] | dual-autoencoder ANE |
+//! | ANRL (lite) | [`anrl`] | autoencoder + skip-gram ANE |
+//! | ARGA / ARVGA (adversarially regularized) | [`arga`] | adversarial graph-autoencoder ANE |
+//! | STNE (lite: GRU self-translation) | [`stne`] | sequence-model ANE |
+//!
+//! Every baseline family in the paper's comparison is covered; DANE, ANRL
+//! and STNE are "lite" variants (see their module docs and `DESIGN.md` §3).
+//!
+//! All methods expose a config struct and an `embed(&AttributedGraph) ->
+//! Matrix` entry point, and implement the [`Embedder`] trait used by the
+//! benchmark harness.
+
+pub mod anrl;
+pub mod arga;
+pub mod asne;
+pub mod common;
+pub mod dane;
+pub mod gae;
+pub mod line;
+pub mod sage;
+pub mod skipgram;
+pub mod stne;
+
+pub use anrl::Anrl;
+pub use arga::Arga;
+pub use asne::Asne;
+pub use common::Embedder;
+pub use dane::Dane;
+pub use gae::{Gae, GaeKind};
+pub use line::Line;
+pub use sage::GraphSage;
+pub use skipgram::{DeepWalk, Node2Vec};
+pub use stne::Stne;

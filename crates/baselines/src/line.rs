@@ -1,0 +1,182 @@
+//! LINE (Tang et al., 2015): large-scale information network embedding with
+//! first- and second-order proximity, trained by edge sampling with negative
+//! sampling. The final embedding concatenates the first- and second-order
+//! halves, as in the original paper's combined setting.
+
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::init::uniform;
+use coane_nn::tape::stable_sigmoid;
+use coane_nn::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::common::{degree_table, Embedder};
+
+/// LINE hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Line {
+    /// Total embedding dimensionality (half per proximity order).
+    pub dim: usize,
+    /// Edge-sample updates per order, as a multiple of `|E|`.
+    pub samples_per_edge: usize,
+    /// Negative samples per positive edge.
+    pub negatives: usize,
+    /// Initial learning rate (linear decay).
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Self { dim: 128, samples_per_edge: 40, negatives: 5, lr: 0.025, seed: 42 }
+    }
+}
+
+impl Line {
+    #[allow(clippy::needless_range_loop)] // indexed form is clearer in this kernel
+    fn train_order(
+        &self,
+        graph: &AttributedGraph,
+        second_order: bool,
+        half: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Matrix {
+        let n = graph.num_nodes();
+        let bound = 0.5 / half as f32;
+        let mut vertex = uniform(n, half, -bound, bound, rng);
+        // Second order uses separate context vectors; first order shares.
+        let mut context = if second_order {
+            Matrix::zeros(n, half)
+        } else {
+            vertex.clone()
+        };
+        let edges: Vec<(NodeId, NodeId, f32)> = graph.edges().collect();
+        if edges.is_empty() {
+            return vertex;
+        }
+        let weights: Vec<f64> = edges.iter().map(|&(_, _, w)| w as f64).collect();
+        let edge_table = coane_walks::AliasTable::new(&weights);
+        let noise = degree_table(graph);
+        let total = edges.len() * self.samples_per_edge;
+        let mut grad_u = vec![0.0f32; half];
+        for step in 0..total {
+            let lr = (self.lr * (1.0 - step as f32 / total as f32)).max(1e-4);
+            let (mut u, mut v, _) = edges[edge_table.sample(rng) as usize];
+            // Undirected: orient randomly so both endpoints learn.
+            if rng.gen_bool(0.5) {
+                std::mem::swap(&mut u, &mut v);
+            }
+            grad_u.iter_mut().for_each(|g| *g = 0.0);
+            for s in 0..=self.negatives {
+                let (target, label) =
+                    if s == 0 { (v, 1.0f32) } else { (noise.sample(rng), 0.0f32) };
+                if target == u {
+                    continue;
+                }
+                let dot: f32 = vertex
+                    .row(u as usize)
+                    .iter()
+                    .zip(context.row(target as usize))
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let err = stable_sigmoid(dot) - label;
+                for k in 0..half {
+                    grad_u[k] += err * context.get(target as usize, k);
+                }
+                for k in 0..half {
+                    let g = err * vertex.get(u as usize, k);
+                    let val = context.get(target as usize, k) - lr * g;
+                    context.set(target as usize, k, val);
+                }
+                if !second_order {
+                    // shared parameters: mirror the context update into vertex
+                    vertex.row_mut(target as usize).copy_from_slice(context.row(target as usize));
+                }
+            }
+            for (k, &g) in grad_u.iter().enumerate() {
+                let val = vertex.get(u as usize, k) - lr * g;
+                vertex.set(u as usize, k, val);
+            }
+            if !second_order {
+                context.row_mut(u as usize).copy_from_slice(vertex.row(u as usize));
+            }
+        }
+        vertex
+    }
+}
+
+impl Embedder for Line {
+    fn name(&self) -> &'static str {
+        "LINE"
+    }
+
+    fn embed(&self, graph: &AttributedGraph) -> Matrix {
+        assert!(self.dim.is_multiple_of(2), "LINE dim must be even");
+        let half = self.dim / 2;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x11E);
+        let first = self.train_order(graph, false, half, &mut rng);
+        let second = self.train_order(graph, true, half, &mut rng);
+        let n = graph.num_nodes();
+        let mut out = Matrix::zeros(n, self.dim);
+        for r in 0..n {
+            out.row_mut(r)[..half].copy_from_slice(first.row(r));
+            out.row_mut(r)[half..].copy_from_slice(second.row(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_datasets::generator::planted_partition;
+
+    #[test]
+    fn line_separates_communities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = planted_partition(120, 2, 0.2, 0.005, 32, &mut rng);
+        let line = Line { dim: 16, samples_per_edge: 30, ..Default::default() };
+        let emb = line.embed(&g);
+        assert_eq!(emb.shape(), (120, 16));
+        emb.assert_finite("line");
+        let labels = g.labels().unwrap();
+        let cos = |a: &[f32], b: &[f32]| -> f64 {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            (dot / (na * nb + 1e-12)) as f64
+        };
+        let (mut same, mut ns, mut diff, mut nd) = (0.0, 0usize, 0.0, 0usize);
+        for i in 0..120 {
+            for j in (i + 1)..120 {
+                let c = cos(emb.row(i), emb.row(j));
+                if labels[i] == labels[j] {
+                    same += c;
+                    ns += 1;
+                } else {
+                    diff += c;
+                    nd += 1;
+                }
+            }
+        }
+        assert!(same / ns as f64 > diff / nd as f64, "no community separation");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = planted_partition(60, 2, 0.2, 0.02, 16, &mut rng);
+        let line = Line { dim: 8, samples_per_edge: 10, ..Default::default() };
+        assert_eq!(line.embed(&g), line.embed(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = planted_partition(20, 2, 0.3, 0.05, 8, &mut rng);
+        Line { dim: 7, ..Default::default() }.embed(&g);
+    }
+}

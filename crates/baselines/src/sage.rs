@@ -1,0 +1,179 @@
+//! GraphSAGE with mean aggregation (Hamilton et al., 2017), trained
+//! unsupervised: two mean-aggregation layers over node features, with the
+//! walk-based positive-pair / negative-sampling objective from the paper
+//! (`−log σ(z_u·z_v) − Q·E[log σ(−z_u·z_neg)]`).
+
+use std::rc::Rc;
+
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::{Adam, Matrix, Params, SparseMatrix, Tape, Var};
+use coane_walks::{WalkConfig, Walker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::common::{unigram_table, walk_pairs, Embedder};
+use crate::gae::attrs_as_sparse;
+
+/// GraphSAGE-mean hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphSage {
+    /// Hidden width of the first layer.
+    pub hidden: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Training epochs (full-batch encoder, sampled pairs).
+    pub epochs: usize,
+    /// Positive pairs sampled per epoch.
+    pub pairs_per_epoch: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphSage {
+    fn default() -> Self {
+        Self {
+            hidden: 256,
+            dim: 128,
+            epochs: 60,
+            pairs_per_epoch: 2048,
+            negatives: 5,
+            lr: 0.01,
+            seed: 42,
+        }
+    }
+}
+
+/// Row-stochastic mean aggregator `P = D̃^{-1}(A + I)`.
+fn mean_aggregator(graph: &AttributedGraph) -> SparseMatrix {
+    let n = graph.num_nodes();
+    let mut triplets = Vec::with_capacity(graph.num_edges() * 2 + n);
+    for v in 0..n as NodeId {
+        let deg = graph.degree(v) as f32 + 1.0;
+        triplets.push((v as usize, v as usize, 1.0 / deg));
+        for &u in graph.neighbors_of(v) {
+            triplets.push((v as usize, u as usize, 1.0 / deg));
+        }
+    }
+    SparseMatrix::from_triplets(n, n, triplets)
+}
+
+impl GraphSage {
+    fn encode(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        x: &Rc<SparseMatrix>,
+        p: &Rc<SparseMatrix>,
+    ) -> Var {
+        // Layer 1: ReLU(P · X · W0); layer 2: P · H1 · W1.
+        let xw = tape.spmm(Rc::clone(x), vars[0]);
+        let h1 = tape.spmm(Rc::clone(p), xw);
+        let h1 = tape.relu(h1);
+        let hw = tape.matmul(h1, vars[1]);
+        tape.spmm(Rc::clone(p), hw)
+    }
+}
+
+impl Embedder for GraphSage {
+    fn name(&self) -> &'static str {
+        "GraphSAGE"
+    }
+
+    fn embed(&self, graph: &AttributedGraph) -> Matrix {
+        let n = graph.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5A6E);
+        let x = Rc::new(attrs_as_sparse(graph));
+        let p = Rc::new(mean_aggregator(graph));
+        let mut params = Params::new();
+        params.add(
+            "w0",
+            coane_nn::init::xavier_uniform(graph.attr_dim(), self.hidden, &mut rng),
+        );
+        params.add("w1", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng));
+
+        // Positive pairs from short uniform walks (GraphSAGE's unsupervised
+        // objective uses walk co-occurrence).
+        let walker = Walker::new(
+            graph,
+            WalkConfig { walks_per_node: 2, walk_length: 10, p: 1.0, q: 1.0, seed: self.seed },
+        );
+        let walks = walker.generate_all(4);
+        let pairs = walk_pairs(&walks, 2);
+        if pairs.is_empty() {
+            return Matrix::zeros(n, self.dim);
+        }
+        let noise = unigram_table(&walks, n);
+
+        let mut adam = Adam::new(self.lr);
+        use rand::Rng;
+        for _ in 0..self.epochs {
+            let mut tape = Tape::new();
+            let vars = params.attach(&mut tape);
+            let z = self.encode(&mut tape, &vars, &x, &p);
+            let m = self.pairs_per_epoch.min(pairs.len());
+            let mut us = Vec::with_capacity(m * (1 + self.negatives));
+            let mut vs = Vec::with_capacity(us.capacity());
+            let mut targets = Vec::with_capacity(us.capacity());
+            for _ in 0..m {
+                let &(u, v) = &pairs[rng.gen_range(0..pairs.len())];
+                us.push(u);
+                vs.push(v);
+                targets.push(1.0f32);
+                for _ in 0..self.negatives {
+                    us.push(u);
+                    vs.push(noise.sample(&mut rng));
+                    targets.push(0.0f32);
+                }
+            }
+            let zu = tape.gather_rows(z, Rc::new(us));
+            let zv = tape.gather_rows(z, Rc::new(vs));
+            let logits = tape.rows_dot(zu, zv);
+            let t = Rc::new(Matrix::from_vec(targets.len(), 1, targets));
+            let bce = tape.bce_with_logits(logits, t);
+            let loss = tape.mean(bce);
+            tape.backward(loss);
+            let grads = params.collect_grads(&tape, &vars);
+            adam.step(&mut params, &grads);
+        }
+        let mut tape = Tape::new();
+        let vars = params.attach(&mut tape);
+        let z = self.encode(&mut tape, &vars, &x, &p);
+        tape.value(z).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_datasets::generator::planted_partition;
+    use coane_eval::nmi_clustering;
+
+    #[test]
+    fn sage_embeds_with_signal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = planted_partition(100, 2, 0.25, 0.01, 40, &mut rng);
+        let sage = GraphSage { hidden: 32, dim: 16, epochs: 40, ..Default::default() };
+        let emb = sage.embed(&g);
+        assert_eq!(emb.shape(), (100, 16));
+        emb.assert_finite("sage");
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        let score = nmi_clustering(emb.as_slice(), 16, g.labels().unwrap(), &mut rng2);
+        assert!(score > 0.2, "nmi {score}");
+    }
+
+    #[test]
+    fn aggregator_rows_sum_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = planted_partition(30, 2, 0.3, 0.05, 10, &mut rng);
+        let p = mean_aggregator(&g);
+        for i in 0..30 {
+            let (_, vals) = p.row(i);
+            let s: f32 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+}

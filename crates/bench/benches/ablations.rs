@@ -1,0 +1,66 @@
+//! Ablation cost benchmarks: how much wall-clock each design choice of
+//! CoANE buys or costs per training epoch. Complements the quality ablations
+//! of `fig6_ablation` (which measure AUC) with the timing side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coane_core::{Ablation, Coane, CoaneConfig, EncoderKind};
+use coane_datasets::Preset;
+use coane_walks::NegativeMode;
+
+fn config_case(name: &str) -> CoaneConfig {
+    let base = CoaneConfig { epochs: 1, embed_dim: 64, ..Default::default() };
+    match name {
+        "full" => base,
+        "no-attr-preservation" => CoaneConfig { ablation: Ablation::wap(), ..base },
+        "no-positive" => CoaneConfig { ablation: Ablation::wp(), ..base },
+        "no-negative" => CoaneConfig { ablation: Ablation::wn(), ..base },
+        "fc-encoder" => CoaneConfig { encoder: EncoderKind::FullyConnected, ..base },
+        "pre-sampling" => CoaneConfig {
+            negative_mode: NegativeMode::PreSampling { pool_factor: 3 },
+            ..base
+        },
+        other => panic!("unknown case {other}"),
+    }
+}
+
+fn bench_objective_ablations(c: &mut Criterion) {
+    let (graph, _) = Preset::WebKbCornell.generate_scaled(1.0, 1);
+    let mut group = c.benchmark_group("coane_epoch_cost");
+    group.sample_size(10);
+    for case in [
+        "full",
+        "no-attr-preservation",
+        "no-positive",
+        "no-negative",
+        "fc-encoder",
+        "pre-sampling",
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(case), &case, |b, &case| {
+            b.iter(|| black_box(Coane::new(config_case(case)).fit(&graph)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_size_cost(c: &mut Criterion) {
+    let (graph, _) = Preset::WebKbCornell.generate_scaled(1.0, 1);
+    let mut group = c.benchmark_group("coane_context_size_cost");
+    group.sample_size(10);
+    for cs in [3usize, 7, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(cs), &cs, |b, &cs| {
+            let cfg = CoaneConfig {
+                context_size: cs,
+                epochs: 1,
+                embed_dim: 64,
+                ..Default::default()
+            };
+            b.iter(|| black_box(Coane::new(cfg.clone()).fit(&graph)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_objective_ablations, bench_context_size_cost);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks for the evaluation toolkit: logistic regression, AUC,
+//! k-means, and NMI at embedding-sized inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coane_eval::{kmeans, nmi, roc_auc, LogisticRegression};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_logreg(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let n = 1000usize;
+    let dim = 128usize;
+    let x: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let y: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let mut group = c.benchmark_group("logreg");
+    group.sample_size(10);
+    group.bench_function("fit_1000x128", |b| {
+        b.iter(|| black_box(LogisticRegression::fit(&x, dim, &y, 1e-3)));
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let n = 20_000usize;
+    let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let a: Vec<u32> = (0..n).map(|_| rng.gen_range(0..7)).collect();
+    let b2: Vec<u32> = (0..n).map(|_| rng.gen_range(0..7)).collect();
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("roc_auc_20k", |b| {
+        b.iter(|| black_box(roc_auc(&scores, &labels)));
+    });
+    group.bench_function("nmi_20k", |b| {
+        b.iter(|| black_box(nmi(&a, &b2)));
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let n = 2000usize;
+    let dim = 128usize;
+    let pts: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("2000x128_k7", |b| {
+        b.iter(|| {
+            let mut r = ChaCha8Rng::seed_from_u64(3);
+            black_box(kmeans(&pts, dim, 7, 30, &mut r))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logreg, bench_metrics, bench_kmeans);
+criterion_main!(benches);

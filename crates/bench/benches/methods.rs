@@ -1,0 +1,25 @@
+//! End-to-end embedding throughput per method on a small WebKB-sized
+//! replica — the relative costs behind the paper's runtime discussion
+//! (Fig. 4d: CoANE converges quickly; GCN-style encoders cost more per unit
+//! of quality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coane_bench::Method;
+use coane_datasets::Preset;
+
+fn bench_methods(c: &mut Criterion) {
+    let (graph, _) = Preset::WebKbCornell.generate_scaled(1.0, 1);
+    let mut group = c.benchmark_group("embed_webkb");
+    group.sample_size(10);
+    for method in [Method::Coane, Method::DeepWalk, Method::Line, Method::Gae, Method::Vgae] {
+        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
+            b.iter(|| black_box(m.embed(&graph, 32, 2, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks for the CoANE model: the sparse context convolution
+//! (forward and forward+backward) and a full training epoch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coane_core::batch::ContextBatch;
+use coane_core::{Coane, CoaneConfig, CoaneModel, EncoderKind};
+use coane_datasets::Preset;
+use coane_nn::Tape;
+use coane_walks::{ContextSet, ContextsConfig, WalkConfig, Walker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn setup() -> (coane_graph::AttributedGraph, ContextSet) {
+    let (graph, _) = Preset::Cora.generate_scaled(0.1, 1);
+    let walker = Walker::new(&graph, WalkConfig::default());
+    let walks = walker.generate_all(4);
+    let contexts = ContextSet::build(&walks, graph.num_nodes(), &ContextsConfig::default());
+    (graph, contexts)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (graph, contexts) = setup();
+    let cfg = CoaneConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = CoaneModel::new(&cfg, graph.attr_dim(), &mut rng);
+    let nodes: Vec<u32> = (0..256.min(graph.num_nodes() as u32)).collect();
+    let batch = ContextBatch::build(&graph, &contexts, &nodes, EncoderKind::Convolution);
+
+    let mut group = c.benchmark_group("coane_encode");
+    group.sample_size(10);
+    group.bench_function("batch_build", |b| {
+        b.iter(|| {
+            black_box(ContextBatch::build(&graph, &contexts, &nodes, EncoderKind::Convolution))
+        });
+    });
+    group.bench_function("conv_forward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let vars = model.params.attach(&mut tape);
+            black_box(model.encode(&mut tape, &vars, &batch));
+        });
+    });
+    group.bench_function("conv_forward_backward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let vars = model.params.attach(&mut tape);
+            let z = model.encode(&mut tape, &vars, &batch);
+            let s = tape.sqr(z);
+            let loss = tape.sum(s);
+            tape.backward(loss);
+            black_box(tape.grad(vars[0]).is_some());
+        });
+    });
+    group.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let (graph, _) = Preset::WebKbCornell.generate_scaled(1.0, 1);
+    let mut group = c.benchmark_group("coane_training");
+    group.sample_size(10);
+    group.bench_function("one_epoch_webkb", |b| {
+        b.iter(|| {
+            let cfg = CoaneConfig { epochs: 1, ..Default::default() };
+            black_box(Coane::new(cfg).fit(&graph));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_epoch);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmarks for the sampling substrate: alias tables and the two
+//! contextual negative-sampling strategies of §3.3.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coane_datasets::Preset;
+use coane_walks::{
+    AliasTable, ContextSet, ContextsConfig, ContextualNegativeSampler, WalkConfig, Walker,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_alias(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=10_000).map(|i| (i % 97 + 1) as f64).collect();
+    let mut group = c.benchmark_group("alias_table");
+    group.bench_function("build_10k", |b| {
+        b.iter(|| black_box(AliasTable::new(&weights)));
+    });
+    let table = AliasTable::new(&weights);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    group.bench_function("sample", |b| {
+        b.iter(|| black_box(table.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let (graph, _) = Preset::Cora.generate_scaled(0.1, 1);
+    let walker = Walker::new(&graph, WalkConfig::default());
+    let walks = walker.generate_all(4);
+    let contexts = ContextSet::build(&walks, graph.num_nodes(), &ContextsConfig::default());
+    let sampler = ContextualNegativeSampler::new(&contexts);
+    let batch: Vec<u32> = (0..256u32).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("contextual_negatives");
+    group.bench_function("pre_sampling_k20", |b| {
+        let pool = sampler.draw_pool(2000, &mut rng);
+        b.iter(|| black_box(sampler.negatives_from_pool(5, 20, &pool, &mut rng)));
+    });
+    group.bench_function("batch_sampling_k20", |b| {
+        b.iter(|| black_box(sampler.negatives_from_batch(5, 20, &batch, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alias, bench_negative_sampling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks for the random-walk / context substrate: walk
+//! generation, context extraction, and co-occurrence construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coane_datasets::Preset;
+use coane_walks::{CoMatrices, ContextSet, ContextsConfig, PositivePairs, WalkConfig, Walker};
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_generation");
+    group.sample_size(10);
+    for scale in [0.05f64, 0.15] {
+        let (graph, _) = Preset::Cora.generate_scaled(scale, 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cora_n{}", graph.num_nodes())),
+            &graph,
+            |b, g| {
+                let walker = Walker::new(g, WalkConfig::default());
+                b.iter(|| black_box(walker.generate_all(4)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_contexts(c: &mut Criterion) {
+    let (graph, _) = Preset::Cora.generate_scaled(0.1, 1);
+    let walker = Walker::new(&graph, WalkConfig::default());
+    let walks = walker.generate_all(4);
+    let mut group = c.benchmark_group("context_extraction");
+    group.sample_size(10);
+    for window in [3usize, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let cfg = ContextsConfig { context_size: w, ..Default::default() };
+            b.iter(|| black_box(ContextSet::build(&walks, graph.num_nodes(), &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cooccurrence(c: &mut Criterion) {
+    let (graph, _) = Preset::Cora.generate_scaled(0.1, 1);
+    let walker = Walker::new(&graph, WalkConfig::default());
+    let walks = walker.generate_all(4);
+    let contexts = ContextSet::build(&walks, graph.num_nodes(), &ContextsConfig::default());
+    let mut group = c.benchmark_group("cooccurrence");
+    group.sample_size(10);
+    group.bench_function("build_d_matrices", |b| {
+        b.iter(|| black_box(CoMatrices::build(&contexts, &graph)));
+    });
+    let co = CoMatrices::build(&contexts, &graph);
+    group.bench_function("top_kp_selection", |b| {
+        b.iter(|| black_box(PositivePairs::select(&co, contexts.max_count().max(1))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks, bench_contexts, bench_cooccurrence);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! A tiny dependency-free CLI argument parser shared by all experiment
+//! binaries (`--key value` flags plus `--flag` booleans).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator of tokens (testable form).
+    pub fn from_tokens(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let toks: Vec<String> = tokens.into_iter().collect();
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < toks.len() && !toks[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), toks[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// String value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed value of `--key`, or `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Comma-separated list value of `--key`.
+    pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
+        self.get(key)
+            .map(|v| v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_tokens(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let a = parse("--scale 0.5 --full --datasets cora,webkb-texas");
+        assert_eq!(a.get("scale"), Some("0.5"));
+        assert_eq!(a.get_or("scale", 1.0f64), 0.5);
+        assert!(a.has_flag("full"));
+        assert!(!a.has_flag("fast"));
+        assert_eq!(
+            a.get_list("datasets").unwrap(),
+            vec!["cora".to_string(), "webkb-texas".to_string()]
+        );
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.get_or("epochs", 7usize), 7);
+        assert!(a.get_list("methods").is_none());
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse("--epochs 3 --verbose");
+        assert_eq!(a.get_or("epochs", 0usize), 3);
+        assert!(a.has_flag("verbose"));
+    }
+}

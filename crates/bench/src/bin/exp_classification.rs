@@ -1,0 +1,99 @@
+//! Tables 2–3: Macro/Micro-F1 node-label classification at training ratios
+//! 5% / 20% / 50% across the five dataset families.
+//!
+//! ```text
+//! cargo run --release -p coane-bench --bin exp_classification -- \
+//!     [--scale 0.2] [--epochs 8] [--dim 128] [--seed 42] \
+//!     [--datasets cora,citeseer,pubmed,webkb,flickr] [--methods coane,gae,...]
+//! ```
+//!
+//! WebKB is reported as the average over its four subnetworks, as in the
+//! paper. Paper values are printed next to each measured cell.
+
+use coane_bench::paper::classification_reference;
+use coane_bench::runner::{classification_run, ClassificationResult, RunConfig};
+use coane_bench::table::Table;
+use coane_bench::{all_methods, Args, Method};
+use coane_datasets::Preset;
+
+const RATIOS: [f64; 3] = [0.05, 0.2, 0.5];
+
+fn main() {
+    let args = Args::parse();
+    let rc = RunConfig {
+        scale: args.get_or("scale", 0.2),
+        dim: args.get_or("dim", 128),
+        epochs: args.get_or("epochs", 8),
+        seed: args.get_or("seed", 42),
+    };
+    let methods = all_methods(args.get_list("methods"));
+    let families = args.get_list("datasets").unwrap_or_else(|| {
+        vec!["cora".into(), "citeseer".into(), "pubmed".into(), "webkb".into(), "flickr".into()]
+    });
+
+    println!("== Tables 2–3: node label classification ==");
+    println!("scale={} dim={} epochs={} seed={}\n", rc.scale, rc.dim, rc.epochs, rc.seed);
+
+    for family in &families {
+        let presets: Vec<Preset> = if family == "webkb" {
+            Preset::WEBKB.to_vec()
+        } else {
+            vec![Preset::parse(family).unwrap_or_else(|| panic!("unknown dataset {family}"))]
+        };
+        // Average results over the family's networks (matters for WebKB).
+        let mut acc: Vec<Vec<ClassificationResult>> = Vec::new();
+        for &p in &presets {
+            acc.push(classification_run(p, &methods, &RATIOS, &rc));
+        }
+        let mut table = Table::new(&[
+            "Method",
+            "Macro@5%",
+            "Macro@20%",
+            "Macro@50%",
+            "Micro@5%",
+            "Micro@20%",
+            "Micro@50%",
+        ]);
+        for (mi, &method) in methods.iter().enumerate() {
+            let cell = |ri: usize, micro: bool| -> f64 {
+                let mut s = 0.0;
+                for run in &acc {
+                    let r = &run[mi * RATIOS.len() + ri];
+                    s += if micro { r.micro_f1 } else { r.macro_f1 };
+                }
+                s / acc.len() as f64
+            };
+            let reference = classification_reference(family, method.name());
+            let mut cells = vec![method.name().to_string()];
+            for (k, micro) in [(0usize, false), (1, false), (2, false), (0, true), (1, true), (2, true)]
+                .into_iter()
+                .enumerate()
+            {
+                let v = cell(micro.0, micro.1);
+                let r = reference.map(|row| row[k]);
+                cells.push(coane_bench::table::with_reference(v, r));
+            }
+            table.row(cells);
+        }
+        println!("--- {family} ---");
+        table.print();
+        check_shape(family, &methods, &acc);
+        println!();
+    }
+    println!("(DANE / ANRL / STNE are lite variants — see DESIGN.md §3)");
+}
+
+/// Prints whether the headline shape holds: CoANE's micro-F1 at 50% is the
+/// best (or within 2 points of the best) among the run methods.
+fn check_shape(family: &str, methods: &[Method], acc: &[Vec<ClassificationResult>]) {
+    let Some(coane_idx) = methods.iter().position(|&m| m == Method::Coane) else {
+        return;
+    };
+    let score = |mi: usize| -> f64 {
+        acc.iter().map(|run| run[mi * RATIOS.len() + 2].micro_f1).sum::<f64>() / acc.len() as f64
+    };
+    let coane = score(coane_idx);
+    let best = (0..methods.len()).map(score).fold(f64::NEG_INFINITY, f64::max);
+    let verdict = if coane >= best - 0.02 { "HOLDS" } else { "DEVIATES" };
+    println!("[shape] {family}: CoANE micro@50% = {coane:.3}, best = {best:.3} → {verdict}");
+}

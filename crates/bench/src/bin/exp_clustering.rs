@@ -1,0 +1,88 @@
+//! Table 4 (right) and Table 5: node-clustering NMI. K-means with K = the
+//! number of ground-truth labels, scored by NMI.
+//!
+//! ```text
+//! cargo run --release -p coane-bench --bin exp_clustering -- \
+//!     [--scale 0.2] [--epochs 8] [--dim 128] [--seed 42] \
+//!     [--datasets cora,...,webkb,flickr | webkb-each] [--methods ...]
+//! ```
+//!
+//! `--datasets webkb-each` reproduces Table 5 (the four WebKB subnetworks
+//! reported separately).
+
+use coane_bench::paper::{clustering_reference, webkb_clustering_reference};
+use coane_bench::runner::{clustering_run, RunConfig};
+use coane_bench::table::{with_reference, Table};
+use coane_bench::{all_methods, Args, Method};
+use coane_datasets::Preset;
+
+fn main() {
+    let args = Args::parse();
+    let rc = RunConfig {
+        scale: args.get_or("scale", 0.2),
+        dim: args.get_or("dim", 128),
+        epochs: args.get_or("epochs", 8),
+        seed: args.get_or("seed", 42),
+    };
+    let methods = all_methods(args.get_list("methods"));
+    let families = args.get_list("datasets").unwrap_or_else(|| {
+        vec!["cora".into(), "citeseer".into(), "pubmed".into(), "webkb".into(), "flickr".into()]
+    });
+    let table5_mode = families.iter().any(|f| f == "webkb-each");
+    let families: Vec<String> = if table5_mode {
+        Preset::WEBKB.iter().map(|p| p.name().to_string()).collect()
+    } else {
+        families
+    };
+
+    println!(
+        "== {}: node clustering NMI ==",
+        if table5_mode { "Table 5 (WebKB subnetworks)" } else { "Table 4 (right)" }
+    );
+    println!("scale={} dim={} epochs={} seed={}\n", rc.scale, rc.dim, rc.epochs, rc.seed);
+
+    let mut header = vec!["Method".to_string()];
+    header.extend(families.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    for family in &families {
+        let presets: Vec<Preset> = if family == "webkb" {
+            Preset::WEBKB.to_vec()
+        } else {
+            vec![Preset::parse(family).unwrap_or_else(|| panic!("unknown dataset {family}"))]
+        };
+        let mut sums = vec![0.0f64; methods.len()];
+        for &p in &presets {
+            for (mi, (_, score)) in clustering_run(p, &methods, &rc).into_iter().enumerate() {
+                sums[mi] += score;
+            }
+        }
+        for (mi, s) in sums.into_iter().enumerate() {
+            results[mi].push(s / presets.len() as f64);
+        }
+    }
+    for (mi, &method) in methods.iter().enumerate() {
+        let mut cells = vec![method.name().to_string()];
+        for (fi, family) in families.iter().enumerate() {
+            let reference = if table5_mode {
+                webkb_clustering_reference(family, method.name())
+            } else {
+                clustering_reference(family, method.name())
+            };
+            cells.push(with_reference(results[mi][fi], reference));
+        }
+        table.row(cells);
+    }
+    table.print();
+
+    if let Some(ci) = methods.iter().position(|&m| m == Method::Coane) {
+        for (fi, family) in families.iter().enumerate() {
+            let coane = results[ci][fi];
+            let best = results.iter().map(|r| r[fi]).fold(f64::NEG_INFINITY, f64::max);
+            let verdict = if coane >= best - 0.02 { "HOLDS" } else { "DEVIATES" };
+            println!("[shape] {family}: CoANE NMI {coane:.3}, best {best:.3} → {verdict}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 3: t-SNE visualization of Cora embeddings for CoANE vs VGAE vs
+//! ARVGA vs ANRL (the methods shown in the paper's figure).
+//! Emits one CSV per method (`fig3_<method>.csv` with `x,y,label` columns)
+//! plus a console summary of cluster compactness (mean intra-class vs
+//! inter-class 2-D distance — higher ratio = better-separated classes).
+//!
+//! ```text
+//! cargo run --release -p coane-bench --bin fig3_tsne -- \
+//!     [--scale 0.15] [--epochs 8] [--dim 128] [--seed 42] [--out .]
+//! ```
+
+use std::io::Write;
+
+use coane_bench::runner::RunConfig;
+use coane_bench::{Args, Method};
+use coane_datasets::Preset;
+use coane_eval::{tsne, TsneConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = Args::parse();
+    let rc = RunConfig {
+        scale: args.get_or("scale", 0.15),
+        dim: args.get_or("dim", 128),
+        epochs: args.get_or("epochs", 8),
+        seed: args.get_or("seed", 42),
+    };
+    let out_dir = args.get("out").unwrap_or(".").to_string();
+    let (graph, _) = Preset::Cora.generate_scaled(rc.scale, rc.seed);
+    let labels = graph.labels().unwrap().to_vec();
+    println!("== Fig. 3: t-SNE visualization (Cora, {} nodes) ==", graph.num_nodes());
+
+    for method in [Method::Coane, Method::Vgae, Method::Arvga, Method::Anrl] {
+        let emb = method.embed(&graph, rc.dim, rc.epochs, rc.seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0x75);
+        let coords = tsne(
+            emb.as_slice(),
+            emb.cols(),
+            &TsneConfig { iters: 300, ..Default::default() },
+            &mut rng,
+        );
+        let path = format!("{out_dir}/fig3_{}.csv", method.name().to_lowercase());
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        writeln!(f, "x,y,label").unwrap();
+        for (v, &l) in labels.iter().enumerate() {
+            writeln!(f, "{},{},{}", coords[v * 2], coords[v * 2 + 1], l).unwrap();
+        }
+        // Compactness: mean inter-class / mean intra-class distance.
+        let dist = |a: usize, b: usize| -> f64 {
+            let dx = (coords[a * 2] - coords[b * 2]) as f64;
+            let dy = (coords[a * 2 + 1] - coords[b * 2 + 1]) as f64;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let n = labels.len();
+        let (mut intra, mut ni, mut inter, mut ne) = (0.0f64, 0usize, 0.0f64, 0usize);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if labels[a] == labels[b] {
+                    intra += dist(a, b);
+                    ni += 1;
+                } else {
+                    inter += dist(a, b);
+                    ne += 1;
+                }
+            }
+        }
+        let ratio = (inter / ne as f64) / (intra / ni as f64);
+        println!(
+            "{:>8}: separation ratio {ratio:.3} (inter/intra 2-D distance) → {path}",
+            method.name()
+        );
+    }
+    println!("(paper: CoANE shows the most compact, well-separated clusters)");
+}

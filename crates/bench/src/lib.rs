@@ -1,0 +1,35 @@
+//! # coane-bench
+//!
+//! The experiment harness regenerating every table and figure of the CoANE
+//! paper's evaluation section, plus Criterion microbenchmarks.
+//!
+//! Binaries (all accept `--scale <f>` to shrink the synthetic datasets,
+//! `--epochs <n>`, `--seed <n>`, and most accept `--datasets a,b,c` and
+//! `--methods a,b,c`):
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `exp_classification` | Tables 2–3: Macro/Micro-F1 node classification |
+//! | `exp_linkpred` | Table 4 (left): link-prediction AUC |
+//! | `exp_clustering` | Table 4 (right) + Table 5: clustering NMI |
+//! | `fig3_tsne` | Fig. 3: t-SNE visualization coordinates |
+//! | `fig4_sensitivity` | Fig. 4a–c: context length / #walks / dimension |
+//! | `fig4_runtime` | Fig. 4d: AUC vs training time per epoch |
+//! | `fig5_neighbors` | Fig. 5: walk-context vs fixed-hop coverage |
+//! | `fig6_ablation` | Fig. 6a/6c/6d: layer, objective, and γ ablations |
+//! | `fig6_filters` | Fig. 6b: learned filter-weight heat map |
+//!
+//! Measured numbers are printed next to the paper's published values; the
+//! *shape* (method ordering, trends) is the reproduction target — absolute
+//! values differ because the datasets are synthetic replicas (DESIGN.md §3).
+
+pub mod args;
+pub mod methods;
+pub mod paper;
+pub mod runner;
+pub mod table;
+pub mod tuning;
+
+pub use args::Args;
+pub use methods::{all_methods, Method};
+pub use runner::{classification_run, clustering_run, linkpred_run};

@@ -1,0 +1,202 @@
+//! Uniform access to every embedding method for the experiment binaries.
+
+use coane_baselines::{
+    skipgram::SkipGramConfig, Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind,
+    GraphSage, Line, Node2Vec, Stne,
+};
+use coane_core::{Coane, CoaneConfig};
+use coane_graph::AttributedGraph;
+use coane_nn::Matrix;
+
+/// Every embedding method the harness can run. Mirrors the paper's method
+/// column, all thirteen methods implemented (DANE/ANRL/STNE as lite
+/// variants; see DESIGN.md §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// CoANE (ours).
+    Coane,
+    /// DeepWalk (structure-only skip-gram).
+    DeepWalk,
+    /// node2vec with p = q = 1 (paper setting).
+    Node2Vec,
+    /// LINE (1st + 2nd order).
+    Line,
+    /// GAE.
+    Gae,
+    /// VGAE.
+    Vgae,
+    /// GraphSAGE-mean, unsupervised.
+    GraphSage,
+    /// ASNE.
+    Asne,
+    /// DANE-lite.
+    Dane,
+    /// ANRL-lite.
+    Anrl,
+    /// ARGA (adversarially regularized GAE).
+    Arga,
+    /// ARVGA (adversarially regularized VGAE).
+    Arvga,
+    /// STNE-lite (GRU self-translation).
+    Stne,
+}
+
+impl Method {
+    /// All methods in the paper's table order (plain NE first, CoANE last).
+    pub const ALL: [Method; 13] = [
+        Method::Node2Vec,
+        Method::DeepWalk,
+        Method::Line,
+        Method::Gae,
+        Method::Vgae,
+        Method::GraphSage,
+        Method::Dane,
+        Method::Asne,
+        Method::Stne,
+        Method::Arga,
+        Method::Arvga,
+        Method::Anrl,
+        Method::Coane,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Coane => "CoANE",
+            Method::DeepWalk => "DeepWalk",
+            Method::Node2Vec => "node2vec",
+            Method::Line => "LINE",
+            Method::Gae => "GAE",
+            Method::Vgae => "VGAE",
+            Method::GraphSage => "GraphSAGE",
+            Method::Asne => "ASNE",
+            Method::Dane => "DANE",
+            Method::Anrl => "ANRL",
+            Method::Arga => "ARGA",
+            Method::Arvga => "ARVGA",
+            Method::Stne => "STNE",
+        }
+    }
+
+    /// Parses a (case-insensitive) method name.
+    pub fn parse(s: &str) -> Option<Method> {
+        let lower = s.to_lowercase();
+        Method::ALL.into_iter().find(|m| m.name().to_lowercase() == lower)
+    }
+
+    /// Trains the method with `dim`-dimensional output. `epochs` scales each
+    /// method's own default training length proportionally (CoANE's default
+    /// is taken as the unit).
+    pub fn embed(self, graph: &AttributedGraph, dim: usize, epochs: usize, seed: u64) -> Matrix {
+        let sg = SkipGramConfig {
+            dim,
+            walks_per_node: 10,
+            walk_length: 80,
+            epochs: (epochs / 4).max(1),
+            seed,
+            ..Default::default()
+        };
+        match self {
+            Method::Coane => Coane::new(CoaneConfig {
+                embed_dim: dim,
+                epochs,
+                seed,
+                ..Default::default()
+            })
+            .fit(graph),
+            Method::DeepWalk => DeepWalk { config: sg }.embed(graph),
+            Method::Node2Vec => Node2Vec { config: sg, p: 1.0, q: 1.0 }.embed(graph),
+            Method::Line => Line {
+                dim,
+                samples_per_edge: (epochs * 5).max(10),
+                seed,
+                ..Default::default()
+            }
+            .embed(graph),
+            Method::Gae => Gae {
+                kind: GaeKind::Plain,
+                dim,
+                hidden: 256,
+                epochs: epochs * 10,
+                seed,
+                ..Default::default()
+            }
+            .embed(graph),
+            Method::Vgae => Gae {
+                kind: GaeKind::Variational,
+                dim,
+                hidden: 256,
+                epochs: epochs * 10,
+                seed,
+                ..Default::default()
+            }
+            .embed(graph),
+            Method::GraphSage => GraphSage {
+                dim,
+                hidden: 256,
+                epochs: epochs * 6,
+                seed,
+                ..Default::default()
+            }
+            .embed(graph),
+            Method::Asne => Asne { dim, epochs, seed, ..Default::default() }.embed(graph),
+            Method::Dane => Dane {
+                dim,
+                epochs: (epochs * 2).max(2),
+                seed,
+                ..Default::default()
+            }
+            .embed(graph),
+            Method::Anrl => Anrl { dim, epochs, seed, ..Default::default() }.embed(graph),
+            Method::Arga | Method::Arvga => Arga {
+                variational: self == Method::Arvga,
+                dim,
+                hidden: 256,
+                epochs: epochs * 10,
+                seed,
+                ..Default::default()
+            }
+            .embed(graph),
+            Method::Stne => Stne { dim, epochs: (epochs / 2).max(1), seed, ..Default::default() }
+                .embed(graph),
+        }
+    }
+}
+
+/// Resolves a `--methods a,b,c` list (or `None` for all methods).
+pub fn all_methods(selection: Option<Vec<String>>) -> Vec<Method> {
+    match selection {
+        None => Method::ALL.to_vec(),
+        Some(names) => names
+            .iter()
+            .map(|s| Method::parse(s).unwrap_or_else(|| panic!("unknown method: {s}")))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for m in Method::ALL {
+            assert_eq!(Method::parse(m.name()), Some(m));
+            assert_eq!(Method::parse(&m.name().to_uppercase()), Some(m));
+        }
+        assert_eq!(Method::parse("STNE"), Some(Method::Stne));
+    }
+
+    #[test]
+    fn selection_resolution() {
+        assert_eq!(all_methods(None).len(), 13);
+        let picked = all_methods(Some(vec!["coane".into(), "gae".into()]));
+        assert_eq!(picked, vec![Method::Coane, Method::Gae]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown method")]
+    fn unknown_method_panics() {
+        all_methods(Some(vec!["nope".into()]));
+    }
+}

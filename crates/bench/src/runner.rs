@@ -1,0 +1,157 @@
+//! Shared experiment logic for the three evaluation tasks.
+
+use coane_datasets::Preset;
+use coane_eval::{classify_nodes, link_prediction_auc, nmi_clustering};
+use coane_graph::split::node_label_split;
+use coane_graph::{EdgeSplit, SplitConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::methods::Method;
+
+/// WebKB's subnetworks are tiny (≈200 nodes); scaling them down produces
+/// noise, so the harness always generates them at full size regardless of
+/// `--scale`.
+pub fn effective_scale(preset: Preset, scale: f64) -> f64 {
+    if Preset::WEBKB.contains(&preset) {
+        1.0
+    } else {
+        scale
+    }
+}
+
+/// Common run parameters for the experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Dataset scale in `(0, 1]` (1 = Table 1 size).
+    pub scale: f64,
+    /// Embedding dimensionality (paper: 128).
+    pub dim: usize,
+    /// CoANE-equivalent training epochs (baselines scale their own units).
+    pub epochs: usize,
+    /// Seed for datasets, splits, and methods.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self { scale: 0.2, dim: 128, epochs: 8, seed: 42 }
+    }
+}
+
+/// One classification measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassificationResult {
+    /// Method measured.
+    pub method: Method,
+    /// Training ratio.
+    pub ratio: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Micro-averaged F1.
+    pub micro_f1: f64,
+}
+
+/// Runs node classification (Tables 2–3 protocol) for every method × ratio.
+pub fn classification_run(
+    preset: Preset,
+    methods: &[Method],
+    ratios: &[f64],
+    rc: &RunConfig,
+) -> Vec<ClassificationResult> {
+    let (graph, _) = preset.generate_scaled(effective_scale(preset, rc.scale), rc.seed);
+    let labels = graph.labels().expect("labeled dataset").to_vec();
+    let mut out = Vec::new();
+    for &method in methods {
+        let emb = method.embed(&graph, rc.dim, rc.epochs, rc.seed);
+        for &ratio in ratios {
+            let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ (ratio * 1000.0) as u64);
+            let (train, test) = node_label_split(graph.num_nodes(), ratio, &mut rng);
+            let scores =
+                classify_nodes(emb.as_slice(), emb.cols(), &labels, &train, &test, 1e-3);
+            out.push(ClassificationResult {
+                method,
+                ratio,
+                macro_f1: scores.macro_f1,
+                micro_f1: scores.micro_f1,
+            });
+        }
+    }
+    out
+}
+
+/// Runs link prediction (Table 4 left protocol: 70/10/20 split, Hadamard +
+/// logistic regression, AUC).
+pub fn linkpred_run(preset: Preset, methods: &[Method], rc: &RunConfig) -> Vec<(Method, f64)> {
+    let (graph, _) = preset.generate_scaled(effective_scale(preset, rc.scale), rc.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0x11);
+    let split = EdgeSplit::new(&graph, SplitConfig::paper(), &mut rng);
+    methods
+        .iter()
+        .map(|&method| {
+            let emb = method.embed(&split.train_graph, rc.dim, rc.epochs, rc.seed);
+            let auc = link_prediction_auc(
+                emb.as_slice(),
+                emb.cols(),
+                &split.train_pos,
+                &split.train_neg,
+                &split.test_pos,
+                &split.test_neg,
+            );
+            (method, auc)
+        })
+        .collect()
+}
+
+/// Runs node clustering (Table 4 right / Table 5 protocol: k-means with
+/// K = #labels, NMI).
+pub fn clustering_run(preset: Preset, methods: &[Method], rc: &RunConfig) -> Vec<(Method, f64)> {
+    let (graph, _) = preset.generate_scaled(effective_scale(preset, rc.scale), rc.seed);
+    let labels = graph.labels().expect("labeled dataset");
+    methods
+        .iter()
+        .map(|&method| {
+            let emb = method.embed(&graph, rc.dim, rc.epochs, rc.seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ 0x22);
+            let score = nmi_clustering(emb.as_slice(), emb.cols(), labels, &mut rng);
+            (method, score)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_rc() -> RunConfig {
+        RunConfig { scale: 0.05, dim: 16, epochs: 2, seed: 7 }
+    }
+
+    #[test]
+    fn classification_produces_all_cells() {
+        let res = classification_run(
+            Preset::Cora,
+            &[Method::Coane, Method::DeepWalk],
+            &[0.2, 0.5],
+            &tiny_rc(),
+        );
+        assert_eq!(res.len(), 4);
+        for r in &res {
+            assert!((0.0..=1.0).contains(&r.macro_f1));
+            assert!((0.0..=1.0).contains(&r.micro_f1));
+        }
+    }
+
+    #[test]
+    fn linkpred_beats_chance_for_coane() {
+        let res = linkpred_run(Preset::Cora, &[Method::Coane], &tiny_rc());
+        assert_eq!(res.len(), 1);
+        assert!(res[0].1 > 0.5, "auc {}", res[0].1);
+    }
+
+    #[test]
+    fn clustering_in_range() {
+        let res = clustering_run(Preset::WebKbCornell, &[Method::Coane], &tiny_rc());
+        assert!((0.0..=1.0).contains(&res[0].1));
+    }
+}

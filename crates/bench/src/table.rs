@@ -1,0 +1,112 @@
+//! Plain-text table rendering with paper-reference columns.
+
+/// A simple fixed-width table printer: header row plus data rows, each cell
+/// a string. Columns are padded to the widest cell.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given header cells.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[c], width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a measured value with its paper reference: `0.812 (paper 0.947)`
+/// or just the value when no reference exists.
+pub fn with_reference(measured: f64, reference: Option<f64>) -> String {
+    match reference {
+        Some(r) => format!("{measured:.3} (paper {r:.3})"),
+        None => format!("{measured:.3}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Method", "AUC"]);
+        t.row(vec!["CoANE".into(), "0.947".into()]);
+        t.row(vec!["x".into(), "0.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("CoANE"));
+        // aligned: "AUC" column starts at the same offset in all rows
+        let col = lines[0].find("AUC").unwrap();
+        assert_eq!(&lines[2][col..col + 5], "0.947");
+    }
+
+    #[test]
+    fn rows_padded_to_header() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn reference_formatting() {
+        assert_eq!(with_reference(0.5, Some(0.9)), "0.500 (paper 0.900)");
+        assert_eq!(with_reference(0.5, None), "0.500");
+    }
+}

@@ -1,0 +1,205 @@
+//! Batch assembly: turning a set of nodes and their contexts into the sparse
+//! attribute-context operand of the convolution.
+//!
+//! Each context of a batch node becomes one sparse row. For the
+//! convolutional encoder the row lives in `R^{c·d}` — the flattened
+//! attribute-context matrix `vec(R_vi)`, where slot position `p` occupies
+//! columns `p·d..(p+1)·d` (PAD slots contribute nothing, i.e. zero padding).
+//! For the fully-connected control the positions are collapsed onto `R^d`.
+//! The convolution `Θᵀ vec(R_vi)` then becomes a sparse–dense matmul, which
+//! keeps memory proportional to the number of non-zero attributes rather
+//! than `c·d` per context.
+
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::{Matrix, SparseMatrix};
+use coane_walks::{ContextSet, Walk, PAD};
+
+use crate::config::EncoderKind;
+
+/// A training/inference batch: the sparse context operand plus pooling
+/// offsets and dense attribute targets.
+#[derive(Clone, Debug)]
+pub struct ContextBatch {
+    /// Batch nodes in order.
+    pub nodes: Vec<NodeId>,
+    /// Sparse context rows: `(total contexts in batch) × (c·d)` for the
+    /// convolutional encoder, `× d` for the fully-connected one.
+    pub rb: SparseMatrix,
+    /// Segment offsets per batch node (`len = nodes.len() + 1`): node `k`'s
+    /// contexts occupy rows `offsets[k]..offsets[k+1]` of `rb`.
+    pub offsets: Vec<usize>,
+    /// Dense attribute targets `(nodes.len() × d)` for the reconstruction
+    /// loss.
+    pub x_target: Matrix,
+}
+
+impl ContextBatch {
+    /// Assembles the batch for `nodes`.
+    pub fn build(
+        graph: &AttributedGraph,
+        contexts: &ContextSet,
+        nodes: &[NodeId],
+        encoder: EncoderKind,
+    ) -> Self {
+        let d = graph.attr_dim();
+        let c = contexts.context_size();
+        let cols = match encoder {
+            EncoderKind::Convolution => c * d,
+            EncoderKind::FullyConnected => d,
+        };
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        offsets.push(0usize);
+        let total_ctx: usize = nodes.iter().map(|&v| contexts.count(v)).sum();
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(total_ctx * c * 8);
+        let mut row = 0usize;
+        for &v in nodes {
+            for window in contexts.contexts_of(v) {
+                for (p, &u) in window.iter().enumerate() {
+                    if u == PAD {
+                        continue; // zero padding
+                    }
+                    let base = match encoder {
+                        EncoderKind::Convolution => p * d,
+                        EncoderKind::FullyConnected => 0,
+                    };
+                    let (idx, val) = graph.attrs().row(u);
+                    for (&a, &x) in idx.iter().zip(val) {
+                        triplets.push((row, base + a as usize, x));
+                    }
+                }
+                row += 1;
+            }
+            offsets.push(row);
+        }
+        let rb = SparseMatrix::from_triplets(total_ctx, cols, triplets);
+        let x_target =
+            Matrix::from_vec(nodes.len(), d, graph.attrs().gather_dense(nodes));
+        Self { nodes: nodes.to_vec(), rb, offsets, x_target }
+    }
+
+    /// Total contexts in the batch.
+    pub fn num_contexts(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+}
+
+/// Pseudo-walks for the [`crate::config::ContextSource::FirstHop`] control:
+/// one two-node "walk" `[v, u]` per directed edge, so the only structural
+/// information available to the model is the immediate neighbourhood
+/// (Fig. 5b / Fig. 6a's "first-hop neighbors" case).
+pub fn first_hop_walks(graph: &AttributedGraph) -> Vec<Walk> {
+    let mut walks = Vec::with_capacity(graph.num_edges() * 2);
+    for v in 0..graph.num_nodes() as NodeId {
+        if graph.degree(v) == 0 {
+            walks.push(vec![v]);
+            continue;
+        }
+        for &u in graph.neighbors_of(v) {
+            walks.push(vec![v, u]);
+        }
+    }
+    walks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_graph::{GraphBuilder, NodeAttributes};
+    use coane_walks::ContextsConfig;
+
+    fn fixture() -> (AttributedGraph, ContextSet) {
+        // path 0-1-2, attrs: node i has attribute i with value i+1
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edges(&[(0, 1), (1, 2)]);
+        let g = b
+            .with_attrs(NodeAttributes::from_sparse_rows(
+                3,
+                &[vec![(0, 1.0)], vec![(1, 2.0)], vec![(2, 3.0)]],
+            ))
+            .build();
+        let walks = vec![vec![0, 1, 2]];
+        let cs = ContextSet::build(
+            &walks,
+            3,
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
+        );
+        (g, cs)
+    }
+
+    #[test]
+    fn conv_rows_encode_positions() {
+        let (g, cs) = fixture();
+        // Context of node 1 is [0, 1, 2]; with c=3, d=3 the row has
+        // attr 0 (val 1) at column 0·3+0, attr 1 (val 2) at 1·3+1,
+        // attr 2 (val 3) at 2·3+2.
+        let batch = ContextBatch::build(&g, &cs, &[1], EncoderKind::Convolution);
+        assert_eq!(batch.rb.shape(), (1, 9));
+        let dense = batch.rb.to_dense();
+        assert_eq!(dense.row(0), &[1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn fc_rows_collapse_positions() {
+        let (g, cs) = fixture();
+        let batch = ContextBatch::build(&g, &cs, &[1], EncoderKind::FullyConnected);
+        assert_eq!(batch.rb.shape(), (1, 3));
+        assert_eq!(batch.rb.to_dense().row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pad_slots_are_zero() {
+        let (g, cs) = fixture();
+        // Context of node 0 is [PAD, 0, 1]: position 0 contributes nothing.
+        let batch = ContextBatch::build(&g, &cs, &[0], EncoderKind::Convolution);
+        let dense = batch.rb.to_dense();
+        assert_eq!(&dense.row(0)[0..3], &[0.0, 0.0, 0.0]);
+        assert_eq!(dense.row(0)[3], 1.0); // node 0's attr at midst position
+        assert_eq!(dense.row(0)[7], 2.0); // node 1's attr at position 2
+    }
+
+    #[test]
+    fn offsets_and_targets() {
+        let (g, cs) = fixture();
+        let batch = ContextBatch::build(&g, &cs, &[2, 0], EncoderKind::Convolution);
+        assert_eq!(batch.offsets, vec![0, 1, 2]);
+        assert_eq!(batch.num_contexts(), 2);
+        assert_eq!(batch.x_target.shape(), (2, 3));
+        assert_eq!(batch.x_target.row(0), &[0.0, 0.0, 3.0]);
+        assert_eq!(batch.x_target.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn node_without_contexts_gets_empty_segment() {
+        let (g, _) = fixture();
+        let cs = ContextSet::build(
+            &[vec![0, 1]], // node 2 absent
+            3,
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
+        );
+        let batch = ContextBatch::build(&g, &cs, &[2, 1], EncoderKind::Convolution);
+        assert_eq!(batch.offsets, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn first_hop_walks_cover_edges() {
+        let (g, _) = fixture();
+        let walks = first_hop_walks(&g);
+        assert_eq!(walks.len(), 4); // 2 undirected edges × 2 directions
+        for w in &walks {
+            assert_eq!(w.len(), 2);
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn first_hop_isolated_singleton() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 1, 1.0);
+        let mut b3 = GraphBuilder::new(3, 3);
+        b3.add_edge(0, 1, 1.0);
+        let g = b3.with_attrs(NodeAttributes::identity(3)).build();
+        drop(b);
+        let walks = first_hop_walks(&g);
+        assert!(walks.contains(&vec![2]));
+    }
+}

@@ -1,0 +1,277 @@
+//! The CoANE parameter container and encoder/decoder forward passes.
+//!
+//! Because the paper's 1-D convolution uses receptive field = stride = `c`,
+//! each context yields exactly one feature vector
+//! `r*_{vi,·} = Θᵀ vec(R_vi)`, so the whole filter bank is one weight matrix
+//! `Θ ∈ R^{(c·d)×d'}` applied to the sparse flattened context rows, followed
+//! by 1-D average pooling (a segment mean over each node's contexts). This
+//! is mathematically identical to Eq. "r*_vij = Σ R_vi ⊙ Θ_j" of §3.2.
+
+use std::rc::Rc;
+
+use coane_nn::init::xavier_uniform;
+use coane_nn::layers::{Activation, Mlp};
+use coane_nn::{Matrix, ParamId, Params, Tape, Var};
+use rand::Rng;
+
+use crate::batch::ContextBatch;
+use crate::config::{CoaneConfig, EncoderKind};
+
+/// CoANE's trainable parameters: the filter bank `Θ` and (unless ablated)
+/// the attribute-decoder MLP.
+pub struct CoaneModel {
+    /// All trainable matrices.
+    pub params: Params,
+    theta: ParamId,
+    decoder: Option<Mlp>,
+    encoder: EncoderKind,
+    context_size: usize,
+    attr_dim: usize,
+    embed_dim: usize,
+}
+
+impl CoaneModel {
+    /// Initializes the model for graphs with `attr_dim` attributes.
+    pub fn new<R: Rng>(config: &CoaneConfig, attr_dim: usize, rng: &mut R) -> Self {
+        config.validate();
+        let mut params = Params::new();
+        let in_cols = match config.encoder {
+            EncoderKind::Convolution => config.context_size * attr_dim,
+            EncoderKind::FullyConnected => attr_dim,
+        };
+        let theta = params.add("theta", xavier_uniform(in_cols, config.embed_dim, rng));
+        let decoder = config.ablation.attribute_preservation.then(|| {
+            Mlp::new(
+                &mut params,
+                "decoder",
+                &[
+                    config.embed_dim,
+                    config.decoder_hidden.0,
+                    config.decoder_hidden.1,
+                    attr_dim,
+                ],
+                Activation::Relu,
+                rng,
+            )
+        });
+        Self {
+            params,
+            theta,
+            decoder,
+            encoder: config.encoder,
+            context_size: config.context_size,
+            attr_dim,
+            embed_dim: config.embed_dim,
+        }
+    }
+
+    /// Embedding dimensionality `d'`.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Whether the attribute decoder is present.
+    pub fn has_decoder(&self) -> bool {
+        self.decoder.is_some()
+    }
+
+    /// Encodes a batch: sparse convolution over every context followed by
+    /// average pooling per node. Output shape `(batch, d')`.
+    pub fn encode(&self, tape: &mut Tape, vars: &[Var], batch: &ContextBatch) -> Var {
+        let theta = vars[self.theta.index()];
+        let conv = tape.spmm(Rc::new(batch.rb.clone()), theta);
+        tape.segment_mean(conv, Rc::new(batch.offsets.clone()))
+    }
+
+    /// Decodes embeddings back to attribute space (`None` under the WAP
+    /// ablation). Output shape `(batch, d)`.
+    pub fn decode(&self, tape: &mut Tape, vars: &[Var], z: Var) -> Option<Var> {
+        self.decoder.as_ref().map(|mlp| mlp.forward(tape, vars, z))
+    }
+
+    /// The raw filter-bank matrix `Θ` (`(c·d) × d'`).
+    pub fn theta_matrix(&self) -> &Matrix {
+        self.params.get(self.theta)
+    }
+
+    /// The learned filter bank, reshaped per filter: element `(j, p, a)` is
+    /// filter `j`'s weight for attribute `a` at context position `p` — the
+    /// tensor visualized in Fig. 6b. For the fully-connected encoder the
+    /// position axis has length 1.
+    pub fn filters(&self) -> FilterView<'_> {
+        FilterView {
+            theta: self.params.get(self.theta),
+            positions: match self.encoder {
+                EncoderKind::Convolution => self.context_size,
+                EncoderKind::FullyConnected => 1,
+            },
+            attr_dim: self.attr_dim,
+        }
+    }
+}
+
+/// Read-only view of the filter bank with `(filter, position, attribute)`
+/// indexing.
+pub struct FilterView<'a> {
+    theta: &'a Matrix,
+    positions: usize,
+    attr_dim: usize,
+}
+
+impl FilterView<'_> {
+    /// Number of filters (`d'`).
+    pub fn num_filters(&self) -> usize {
+        self.theta.cols()
+    }
+
+    /// Number of context positions covered.
+    pub fn num_positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Attribute dimensionality.
+    pub fn attr_dim(&self) -> usize {
+        self.attr_dim
+    }
+
+    /// Weight of `filter` for `attribute` at context `position`.
+    pub fn weight(&self, filter: usize, position: usize, attribute: usize) -> f32 {
+        assert!(position < self.positions && attribute < self.attr_dim);
+        self.theta.get(position * self.attr_dim + attribute, filter)
+    }
+
+    /// Mean filter weight per `(position, attribute)` cell, averaged over all
+    /// filters — the aggregate heat-map of Fig. 6b.
+    pub fn mean_abs_by_position(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.positions, self.attr_dim);
+        let nf = self.num_filters() as f32;
+        for p in 0..self.positions {
+            for a in 0..self.attr_dim {
+                let mut s = 0.0f32;
+                for f in 0..self.num_filters() {
+                    s += self.weight(f, p, a).abs();
+                }
+                out.set(p, a, s / nf);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::ContextBatch;
+    use coane_graph::{GraphBuilder, NodeAttributes};
+    use coane_walks::{ContextSet, ContextsConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixture() -> (coane_graph::AttributedGraph, ContextSet) {
+        let mut b = GraphBuilder::new(4, 6);
+        b.add_edges(&[(0, 1), (1, 2), (2, 3)]);
+        let g = b
+            .with_attrs(NodeAttributes::from_sparse_rows(
+                6,
+                &[vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)], vec![(3, 1.0)]],
+            ))
+            .build();
+        let walks = vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0]];
+        let cs = ContextSet::build(
+            &walks,
+            4,
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
+        );
+        (g, cs)
+    }
+
+    fn small_config() -> CoaneConfig {
+        CoaneConfig {
+            embed_dim: 8,
+            context_size: 3,
+            decoder_hidden: (8, 8),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let (g, cs) = fixture();
+        let cfg = small_config();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = CoaneModel::new(&cfg, g.attr_dim(), &mut rng);
+        let batch = ContextBatch::build(&g, &cs, &[0, 1, 2], EncoderKind::Convolution);
+        let mut t = Tape::new();
+        let vars = model.params.attach(&mut t);
+        let z = model.encode(&mut t, &vars, &batch);
+        assert_eq!(t.value(z).shape(), (3, 8));
+        let xhat = model.decode(&mut t, &vars, z).unwrap();
+        assert_eq!(t.value(xhat).shape(), (3, 6));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn encode_matches_manual_convolution() {
+        // One context, identity-ish attrs: z must equal the mean over
+        // contexts of Θᵀ vec(R), here a single row of Θ sums.
+        let (g, cs) = fixture();
+        let cfg = small_config();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = CoaneModel::new(&cfg, g.attr_dim(), &mut rng);
+        let batch = ContextBatch::build(&g, &cs, &[1], EncoderKind::Convolution);
+        let mut t = Tape::new();
+        let vars = model.params.attach(&mut t);
+        let z = model.encode(&mut t, &vars, &batch);
+        // manual: for each context row, sum theta rows at the active columns.
+        let theta = model.theta_matrix();
+        let dense = batch.rb.to_dense();
+        let mut manual = [0.0f32; 8];
+        let n_ctx = batch.num_contexts() as f32;
+        for ctx in 0..batch.num_contexts() {
+            for col in 0..dense.cols() {
+                let w = dense.get(ctx, col);
+                if w != 0.0 {
+                    for j in 0..8 {
+                        manual[j] += w * theta.get(col, j) / n_ctx;
+                    }
+                }
+            }
+        }
+        for (j, &m) in manual.iter().enumerate() {
+            assert!((t.value(z).get(0, j) - m).abs() < 1e-5, "filter {j}");
+        }
+    }
+
+    #[test]
+    fn wap_drops_decoder() {
+        let cfg = CoaneConfig {
+            ablation: crate::config::Ablation::wap(),
+            ..small_config()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let model = CoaneModel::new(&cfg, 6, &mut rng);
+        assert!(!model.has_decoder());
+        let mut t = Tape::new();
+        let vars = model.params.attach(&mut t);
+        let z = t.constant(Matrix::zeros(2, 8));
+        assert!(model.decode(&mut t, &vars, z).is_none());
+    }
+
+    #[test]
+    fn filter_view_indexing() {
+        let cfg = small_config();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = CoaneModel::new(&cfg, 6, &mut rng);
+        let f = model.filters();
+        assert_eq!(f.num_filters(), 8);
+        assert_eq!(f.num_positions(), 3);
+        assert_eq!(f.attr_dim(), 6);
+        // weight(j, p, a) must address theta[(p*d + a), j]
+        let theta = model.theta_matrix();
+        assert_eq!(f.weight(2, 1, 4), theta.get(6 + 4, 2));
+        let heat = f.mean_abs_by_position();
+        assert_eq!(heat.shape(), (3, 6));
+        assert!(heat.as_slice().iter().all(|&x| x >= 0.0));
+    }
+}
+

@@ -1,0 +1,185 @@
+//! Model persistence: save a trained CoANE model (filter bank + decoder)
+//! to JSON and reload it later — e.g. to embed new nodes inductively in a
+//! separate process (see [`crate::inductive::embed_nodes`]).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+use std::path::Path;
+
+use coane_nn::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Ablation, CoaneConfig, EncoderKind};
+use crate::model::CoaneModel;
+
+/// The on-disk form: enough architecture description to rebuild the model
+/// plus every named parameter matrix.
+#[derive(Serialize, Deserialize)]
+struct SavedModel {
+    format_version: u32,
+    attr_dim: usize,
+    embed_dim: usize,
+    context_size: usize,
+    convolutional: bool,
+    decoder_hidden: (usize, usize),
+    has_decoder: bool,
+    walks_per_node: usize,
+    walk_length: usize,
+    params: Vec<(String, Matrix)>,
+}
+
+/// Saves a trained model. `config` must be the configuration it was trained
+/// with; `attr_dim` the training graph's attribute dimensionality.
+pub fn save_model(
+    path: &Path,
+    model: &CoaneModel,
+    config: &CoaneConfig,
+    attr_dim: usize,
+) -> io::Result<()> {
+    let saved = SavedModel {
+        format_version: 1,
+        attr_dim,
+        embed_dim: config.embed_dim,
+        context_size: config.context_size,
+        convolutional: config.encoder == EncoderKind::Convolution,
+        decoder_hidden: config.decoder_hidden,
+        has_decoder: model.has_decoder(),
+        walks_per_node: config.walks_per_node,
+        walk_length: config.walk_length,
+        params: model
+            .params
+            .iter()
+            .map(|(_, name, value)| (name.to_string(), value.clone()))
+            .collect(),
+    };
+    let f = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(f, &saved).map_err(io::Error::other)
+}
+
+/// Loads a model saved by [`save_model`]. Returns the model together with a
+/// [`CoaneConfig`] carrying the architecture fields needed by
+/// [`crate::inductive::embed_nodes`] (other fields take defaults).
+pub fn load_model(path: &Path) -> io::Result<(CoaneModel, CoaneConfig)> {
+    let f = BufReader::new(File::open(path)?);
+    let saved: SavedModel = serde_json::from_reader(f).map_err(io::Error::other)?;
+    if saved.format_version != 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported model format version {}", saved.format_version),
+        ));
+    }
+    let config = CoaneConfig {
+        embed_dim: saved.embed_dim,
+        context_size: saved.context_size,
+        encoder: if saved.convolutional {
+            EncoderKind::Convolution
+        } else {
+            EncoderKind::FullyConnected
+        },
+        decoder_hidden: saved.decoder_hidden,
+        walks_per_node: saved.walks_per_node,
+        walk_length: saved.walk_length,
+        ablation: Ablation {
+            attribute_preservation: saved.has_decoder,
+            ..Ablation::full()
+        },
+        ..Default::default()
+    };
+    // Rebuild the architecture (values are immediately overwritten, so the
+    // RNG seed is irrelevant), then restore parameter values by name.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model = CoaneModel::new(&config, saved.attr_dim, &mut rng);
+    let expected: Vec<String> =
+        model.params.iter().map(|(_, name, _)| name.to_string()).collect();
+    let got: Vec<&String> = saved.params.iter().map(|(n, _)| n).collect();
+    if expected.len() != got.len() || expected.iter().zip(&got).any(|(a, b)| a != *b) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parameter mismatch: expected {expected:?}, file has {got:?}"),
+        ));
+    }
+    for (i, (_, value)) in saved.params.into_iter().enumerate() {
+        let id = model
+            .params
+            .iter()
+            .nth(i)
+            .map(|(id, _, current)| {
+                assert_eq!(
+                    current.shape(),
+                    value.shape(),
+                    "parameter {i} shape changed between save and load"
+                );
+                id
+            })
+            .expect("index in range");
+        *model.params.get_mut(id) = value;
+    }
+    Ok((model, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inductive::embed_nodes;
+    use crate::trainer::Coane;
+    use coane_datasets::generator::planted_partition;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coane_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_inference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = planted_partition(80, 2, 0.25, 0.02, 30, &mut rng);
+        let cfg = CoaneConfig {
+            embed_dim: 16,
+            context_size: 3,
+            walk_length: 15,
+            epochs: 3,
+            batch_size: 32,
+            decoder_hidden: (16, 16),
+            ..Default::default()
+        };
+        let (_, model, _) = Coane::new(cfg.clone()).fit_with_model(&g);
+        let path = tmp("model.json");
+        save_model(&path, &model, &cfg, g.attr_dim()).unwrap();
+        let (loaded, loaded_cfg) = load_model(&path).unwrap();
+
+        // Same inference outputs for the same nodes.
+        let nodes: Vec<u32> = (0..10).collect();
+        let before = embed_nodes(&model, &cfg, &g, &nodes);
+        let after = embed_nodes(&loaded, &loaded_cfg, &g, &nodes);
+        assert_eq!(before, after, "loaded model produces different embeddings");
+    }
+
+    #[test]
+    fn wap_model_roundtrips_without_decoder() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = planted_partition(50, 2, 0.3, 0.03, 16, &mut rng);
+        let cfg = CoaneConfig {
+            embed_dim: 8,
+            context_size: 3,
+            walk_length: 10,
+            epochs: 1,
+            ablation: Ablation::wap(),
+            ..Default::default()
+        };
+        let (_, model, _) = Coane::new(cfg.clone()).fit_with_model(&g);
+        let path = tmp("wap.json");
+        save_model(&path, &model, &cfg, g.attr_dim()).unwrap();
+        let (loaded, _) = load_model(&path).unwrap();
+        assert!(!loaded.has_decoder());
+    }
+
+    #[test]
+    fn corrupted_file_rejected() {
+        let path = tmp("bad.json");
+        std::fs::write(&path, "{\"format_version\": 99}").unwrap();
+        assert!(load_model(&path).is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! Algorithm 1: CoANE training with batch updating and per-epoch renewal.
+
+use coane_graph::{AttributedGraph, NodeAttributes, NodeId};
+use coane_nn::init::xavier_uniform;
+use coane_nn::{Adam, Matrix, Tape};
+use coane_walks::{
+    CoMatrices, ContextSet, ContextsConfig, ContextualNegativeSampler, PositivePairs, WalkConfig,
+    Walker,
+};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::batch::{first_hop_walks, ContextBatch};
+use crate::config::{CoaneConfig, ContextSource, NegativeLossKind};
+use crate::loss::{attribute_loss, negative_loss, positive_loss, total_loss, LossContext};
+use crate::model::CoaneModel;
+
+/// Per-epoch training statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TrainStats {
+    /// Total objective value per epoch (summed over batches).
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_seconds: Vec<f64>,
+    /// `k_p` used by the positive likelihood.
+    pub k_p: usize,
+    /// Total contexts extracted.
+    pub num_contexts: usize,
+}
+
+/// The CoANE embedder. Construct with a [`CoaneConfig`], call
+/// [`Coane::fit`] (or [`Coane::fit_detailed`] for stats and per-epoch
+/// callbacks) to obtain the `(n × d')` embedding matrix.
+pub struct Coane {
+    config: CoaneConfig,
+}
+
+/// Pre-processing-phase state: contexts, co-occurrence matrices, positive
+/// pairs and the contextual negative sampler.
+struct Prepared {
+    contexts: ContextSet,
+    co: CoMatrices,
+    pairs: PositivePairs,
+    sampler: ContextualNegativeSampler,
+}
+
+impl Coane {
+    /// New trainer with `config` (validated).
+    pub fn new(config: CoaneConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoaneConfig {
+        &self.config
+    }
+
+    /// Trains and returns the final embedding matrix (`n × d'`).
+    pub fn fit(&self, graph: &AttributedGraph) -> Matrix {
+        self.fit_detailed(graph, |_, _| {}).0
+    }
+
+    /// Trains and additionally returns the fitted model (for filter-weight
+    /// inspection, Fig. 6b).
+    pub fn fit_with_model(&self, graph: &AttributedGraph) -> (Matrix, CoaneModel, TrainStats) {
+        self.run(graph, |_, _| {})
+    }
+
+    /// Trains, returning embeddings and statistics. `on_epoch(e, z)` is
+    /// invoked after every epoch with the *renewed* full embedding matrix —
+    /// the hook behind the convergence curves of Fig. 4d / Fig. 6.
+    pub fn fit_detailed(
+        &self,
+        graph: &AttributedGraph,
+        on_epoch: impl FnMut(usize, &Matrix),
+    ) -> (Matrix, TrainStats) {
+        let (z, _, stats) = self.run(graph, on_epoch);
+        (z, stats)
+    }
+
+    fn run(
+        &self,
+        graph: &AttributedGraph,
+        mut on_epoch: impl FnMut(usize, &Matrix),
+    ) -> (Matrix, CoaneModel, TrainStats) {
+        let cfg = &self.config;
+        // WF ablation: strip attributes down to identity rows.
+        let owned_graph;
+        let graph: &AttributedGraph = if cfg.ablation.use_attributes {
+            graph
+        } else {
+            owned_graph =
+                graph.clone().with_attrs(NodeAttributes::identity(graph.num_nodes()));
+            &owned_graph
+        };
+
+        let n = graph.num_nodes();
+        let prep = self.prepare(graph);
+        let mut stats = TrainStats {
+            k_p: prep.pairs.k_p,
+            num_contexts: prep.contexts.num_contexts(),
+            ..Default::default()
+        };
+
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0xC0A0E));
+        let mut model = CoaneModel::new(cfg, graph.attr_dim(), &mut rng);
+        let mut adam = Adam::new(cfg.learning_rate);
+        // Initialize the embedding cache with Xavier, as the paper
+        // initializes "both model parameters and embedding vectors".
+        let mut z_cache = xavier_uniform(n, cfg.embed_dim, &mut rng);
+
+        let mut local_of: Vec<Option<u32>> = vec![None; n];
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        for epoch in 0..cfg.epochs {
+            let started = std::time::Instant::now();
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            for batch_nodes in order.chunks(cfg.batch_size) {
+                epoch_loss += self.train_batch(
+                    graph,
+                    &prep,
+                    &mut model,
+                    &mut adam,
+                    &mut z_cache,
+                    &mut local_of,
+                    batch_nodes,
+                    &mut rng,
+                );
+            }
+            stats.epoch_losses.push(epoch_loss);
+            stats.epoch_seconds.push(started.elapsed().as_secs_f64());
+            // Renew all embeddings with the current filters (Algorithm 1's
+            // final "Renew z_v" step, run each epoch so callbacks and the
+            // next epoch's cache see consistent embeddings).
+            self.renew(graph, &prep.contexts, &model, &mut z_cache);
+            on_epoch(epoch, &z_cache);
+        }
+        if cfg.epochs == 0 {
+            self.renew(graph, &prep.contexts, &model, &mut z_cache);
+        }
+        (z_cache, model, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_batch(
+        &self,
+        graph: &AttributedGraph,
+        prep: &Prepared,
+        model: &mut CoaneModel,
+        adam: &mut Adam,
+        z_cache: &mut Matrix,
+        local_of: &mut [Option<u32>],
+        batch_nodes: &[NodeId],
+        rng: &mut ChaCha8Rng,
+    ) -> f32 {
+        let cfg = &self.config;
+        for (k, &v) in batch_nodes.iter().enumerate() {
+            local_of[v as usize] = Some(k as u32);
+        }
+        let batch = ContextBatch::build(graph, &prep.contexts, batch_nodes, cfg.encoder);
+
+        // Draw negatives (outside the tape).
+        let negatives: Vec<Vec<NodeId>> = match cfg.ablation.negative {
+            NegativeLossKind::None => vec![Vec::new(); batch_nodes.len()],
+            NegativeLossKind::Contextual => batch_nodes
+                .iter()
+                .map(|&v| {
+                    prep.sampler.negatives(
+                        v,
+                        cfg.num_negatives,
+                        cfg.negative_mode,
+                        batch_nodes,
+                        rng,
+                    )
+                })
+                .collect(),
+            NegativeLossKind::Uniform => batch_nodes
+                .iter()
+                .map(|&v| {
+                    (0..cfg.num_negatives)
+                        .map(|_| {
+                            use rand::Rng;
+                            let mut u = rng.gen_range(0..graph.num_nodes()) as NodeId;
+                            while u == v {
+                                u = rng.gen_range(0..graph.num_nodes()) as NodeId;
+                            }
+                            u
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+
+        let mut tape = Tape::new();
+        let vars = model.params.attach(&mut tape);
+        let z = model.encode(&mut tape, &vars, &batch);
+        let decoded = if cfg.ablation.attribute_preservation {
+            model.decode(&mut tape, &vars, z)
+        } else {
+            None
+        };
+        let ctx = LossContext { batch_nodes, local: local_of, z_cache };
+        let l_pos = positive_loss(&mut tape, z, &ctx, cfg.ablation.positive, &prep.pairs, &prep.co);
+        let l_neg = negative_loss(
+            &mut tape,
+            z,
+            &ctx,
+            cfg.ablation.negative,
+            &negatives,
+            cfg.neg_strength,
+        );
+        let l_att = attribute_loss(&mut tape, decoded, &batch.x_target, cfg.gamma);
+        let loss_value = if let Some(loss) = total_loss(&mut tape, [l_pos, l_neg, l_att]) {
+            tape.backward(loss);
+            let grads = model.params.collect_grads(&tape, &vars);
+            adam.step(&mut model.params, &grads);
+            tape.value(loss).item()
+        } else {
+            0.0
+        };
+
+        // Embedding-updating step: write the fresh batch embeddings into the
+        // cache so later batches see them.
+        let z_val = tape.value(z);
+        for (k, &v) in batch_nodes.iter().enumerate() {
+            z_cache.row_mut(v as usize).copy_from_slice(z_val.row(k));
+            local_of[v as usize] = None;
+        }
+        loss_value
+    }
+
+    /// Recomputes every node's embedding with the current filters.
+    fn renew(
+        &self,
+        graph: &AttributedGraph,
+        contexts: &ContextSet,
+        model: &CoaneModel,
+        z_cache: &mut Matrix,
+    ) {
+        let n = graph.num_nodes();
+        let all: Vec<NodeId> = (0..n as NodeId).collect();
+        for chunk in all.chunks(self.config.batch_size.max(64)) {
+            let batch = ContextBatch::build(graph, contexts, chunk, self.config.encoder);
+            let mut tape = Tape::new();
+            let vars = model.params.attach(&mut tape);
+            let z = model.encode(&mut tape, &vars, &batch);
+            let z_val = tape.value(z);
+            for (k, &v) in chunk.iter().enumerate() {
+                z_cache.row_mut(v as usize).copy_from_slice(z_val.row(k));
+            }
+        }
+    }
+
+    fn prepare(&self, graph: &AttributedGraph) -> Prepared {
+        let cfg = &self.config;
+        let walks = match cfg.context_source {
+            ContextSource::RandomWalk => {
+                let walker = Walker::new(
+                    graph,
+                    WalkConfig {
+                        walks_per_node: cfg.walks_per_node,
+                        walk_length: cfg.walk_length,
+                        p: 1.0,
+                        q: 1.0,
+                        seed: cfg.seed,
+                    },
+                );
+                walker.generate_all(cfg.threads)
+            }
+            ContextSource::FirstHop => first_hop_walks(graph),
+        };
+        let contexts = ContextSet::build(
+            &walks,
+            graph.num_nodes(),
+            &ContextsConfig {
+                context_size: cfg.context_size,
+                subsample_t: match cfg.context_source {
+                    ContextSource::RandomWalk => cfg.subsample_t,
+                    // first-hop pseudo-walks already yield one context per
+                    // directed edge; subsampling would just lose edges.
+                    ContextSource::FirstHop => f64::INFINITY,
+                },
+                seed: cfg.seed ^ 0x51_7e,
+            },
+        );
+        let co = CoMatrices::build(&contexts, graph);
+        let k_p = contexts.max_count().max(1);
+        let pairs = PositivePairs::select(&co, k_p);
+        let sampler = ContextualNegativeSampler::new(&contexts);
+        Prepared { contexts, co, pairs, sampler }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use coane_datasets::{social_circle_graph, SocialCircleConfig};
+
+    fn small_graph() -> AttributedGraph {
+        let cfg = SocialCircleConfig {
+            num_nodes: 120,
+            num_communities: 3,
+            circles_per_community: 2,
+            attr_dim: 60,
+            num_edges: 360,
+            mixing: 0.1,
+            ..Default::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        social_circle_graph(&cfg, &mut rng).0
+    }
+
+    fn fast_config() -> CoaneConfig {
+        CoaneConfig {
+            embed_dim: 16,
+            context_size: 3,
+            walk_length: 20,
+            epochs: 3,
+            batch_size: 40,
+            decoder_hidden: (32, 32),
+            num_negatives: 5,
+            subsample_t: 1e-3,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_produces_finite_embeddings() {
+        let g = small_graph();
+        let z = Coane::new(fast_config()).fit(&g);
+        assert_eq!(z.shape(), (120, 16));
+        z.assert_finite("embedding");
+        // Not collapsed: row norms vary and are non-zero.
+        let norms: Vec<f32> = (0..z.rows())
+            .map(|r| z.row(r).iter().map(|x| x * x).sum::<f32>().sqrt())
+            .collect();
+        assert!(norms.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let g = small_graph();
+        let cfg = CoaneConfig { epochs: 6, ..fast_config() };
+        let (_, stats) = Coane::new(cfg).fit_detailed(&g, |_, _| {});
+        assert_eq!(stats.epoch_losses.len(), 6);
+        let first = stats.epoch_losses[0];
+        let last = *stats.epoch_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn embeddings_reflect_communities() {
+        // Mean intra-community cosine similarity should exceed
+        // inter-community similarity after training.
+        let g = small_graph();
+        let labels = g.labels().unwrap().to_vec();
+        let cfg = CoaneConfig { epochs: 8, ..fast_config() };
+        let z = Coane::new(cfg).fit(&g);
+        let cos = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb + 1e-12)
+        };
+        let (mut same, mut ns) = (0.0f64, 0usize);
+        let (mut diff, mut nd) = (0.0f64, 0usize);
+        for i in 0..z.rows() {
+            for j in (i + 1)..z.rows() {
+                let c = cos(z.row(i), z.row(j)) as f64;
+                if labels[i] == labels[j] {
+                    same += c;
+                    ns += 1;
+                } else {
+                    diff += c;
+                    nd += 1;
+                }
+            }
+        }
+        let (ms, md) = (same / ns as f64, diff / nd as f64);
+        assert!(ms > md, "intra {ms} <= inter {md}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = small_graph();
+        let z1 = Coane::new(fast_config()).fit(&g);
+        let z2 = Coane::new(fast_config()).fit(&g);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn all_ablations_run() {
+        let g = small_graph();
+        for ablation in [
+            Ablation::full(),
+            Ablation::wp(),
+            Ablation::sg(),
+            Ablation::wn(),
+            Ablation::ns(),
+            Ablation::sgns(),
+            Ablation::wf(),
+            Ablation::wap(),
+        ] {
+            let cfg = CoaneConfig { ablation, epochs: 1, ..fast_config() };
+            let z = Coane::new(cfg).fit(&g);
+            z.assert_finite("ablation embedding");
+        }
+    }
+
+    #[test]
+    fn fc_encoder_and_first_hop_contexts_run() {
+        let g = small_graph();
+        let cfg = CoaneConfig {
+            encoder: crate::config::EncoderKind::FullyConnected,
+            epochs: 1,
+            ..fast_config()
+        };
+        Coane::new(cfg).fit(&g);
+        let cfg = CoaneConfig {
+            context_source: ContextSource::FirstHop,
+            epochs: 1,
+            ..fast_config()
+        };
+        Coane::new(cfg).fit(&g);
+    }
+
+    #[test]
+    fn presampling_mode_runs() {
+        let g = small_graph();
+        let cfg = CoaneConfig {
+            negative_mode: coane_walks::NegativeMode::PreSampling { pool_factor: 3 },
+            epochs: 1,
+            ..fast_config()
+        };
+        Coane::new(cfg).fit(&g);
+    }
+
+    #[test]
+    fn epoch_callback_sees_renewed_embeddings() {
+        let g = small_graph();
+        let cfg = CoaneConfig { epochs: 2, ..fast_config() };
+        let mut calls = 0usize;
+        Coane::new(cfg).fit_detailed(&g, |e, z| {
+            assert_eq!(e, calls);
+            assert_eq!(z.shape(), (120, 16));
+            calls += 1;
+        });
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn zero_epochs_still_renews() {
+        let g = small_graph();
+        let cfg = CoaneConfig { epochs: 0, ..fast_config() };
+        let z = Coane::new(cfg).fit(&g);
+        z.assert_finite("untrained embedding");
+    }
+}

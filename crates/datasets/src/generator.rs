@@ -1,0 +1,522 @@
+//! The attributed social-circle network generator.
+//!
+//! Generative process (communities ⊃ circles ⊃ nodes):
+//!
+//! 1. Nodes are assigned to `num_communities` communities of roughly equal
+//!    size; the community id is the node's ground-truth label.
+//! 2. Each community is subdivided into `circles_per_community` *social
+//!    circles* of random (log-uniform-ish) sizes — the "CS dept / family /
+//!    labmates" structure the paper motivates.
+//! 3. Edges are drawn until the target count is met: with probability
+//!    `1 − mixing` an edge is placed inside a randomly chosen circle, with
+//!    probability `mixing · intra_community_share` between two circles of the
+//!    same community, and otherwise between communities (noise).
+//! 4. Every community has a sparse *attribute prototype* (a set of
+//!    characteristic attribute indices) and each circle an additional
+//!    circle-specific prototype. A node activates each of its community
+//!    prototype attributes with probability `proto_rate`, each circle
+//!    prototype attribute with probability `circle_rate`, and background
+//!    attributes at rate `noise_rate` — producing the sparse, homophilous
+//!    binary bag-of-words matrices typical of Cora/Citeseer/WebKB.
+//! 5. Nodes left isolated are connected to a random member of their circle
+//!    (the paper's datasets are preprocessed to their largest components;
+//!    random-walk methods need positive degree).
+
+use coane_graph::{AttributedGraph, GraphBuilder, NodeAttributes, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of [`social_circle_graph`].
+#[derive(Clone, Debug)]
+pub struct SocialCircleConfig {
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Number of communities (= ground-truth label classes).
+    pub num_communities: usize,
+    /// Social circles per community.
+    pub circles_per_community: usize,
+    /// Attribute dimensionality `d`.
+    pub attr_dim: usize,
+    /// Target number of undirected edges.
+    pub num_edges: usize,
+    /// Fraction of edges placed *outside* a single circle.
+    pub mixing: f64,
+    /// Of the mixed edges, the share that stays within the community.
+    pub intra_community_share: f64,
+    /// Number of characteristic attributes per community prototype.
+    pub proto_attrs: usize,
+    /// Number of extra characteristic attributes per circle.
+    pub circle_attrs: usize,
+    /// Activation probability of a community-prototype attribute.
+    pub proto_rate: f64,
+    /// Activation probability of a circle-prototype attribute.
+    pub circle_rate: f64,
+    /// Expected number of random background attributes per node.
+    pub noise_attrs: f64,
+    /// Fraction of each community prototype drawn from a shared pool
+    /// (overlapping prototypes make labels non-trivial to read off the raw
+    /// attributes, as in the real bag-of-words datasets).
+    pub proto_overlap: f64,
+    /// Fraction of nodes whose ground-truth label is resampled uniformly —
+    /// mimicking the label noise of real datasets, where neither structure
+    /// nor attributes predict the class perfectly (Cora's best published
+    /// micro-F1 sits near 0.82, not 1.0).
+    pub label_noise: f64,
+}
+
+impl Default for SocialCircleConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 500,
+            num_communities: 5,
+            circles_per_community: 3,
+            attr_dim: 200,
+            num_edges: 1200,
+            mixing: 0.25,
+            intra_community_share: 0.6,
+            proto_attrs: 12,
+            circle_attrs: 6,
+            proto_rate: 0.55,
+            circle_rate: 0.6,
+            noise_attrs: 2.0,
+            proto_overlap: 0.3,
+            label_noise: 0.0,
+        }
+    }
+}
+
+impl SocialCircleConfig {
+    fn validate(&self) {
+        assert!(self.num_nodes >= 4, "need at least 4 nodes");
+        assert!(self.num_communities >= 1 && self.num_communities <= self.num_nodes);
+        assert!(self.circles_per_community >= 1);
+        assert!(self.attr_dim >= self.num_communities * (self.proto_attrs + 1));
+        assert!((0.0..=1.0).contains(&self.mixing));
+        assert!((0.0..=1.0).contains(&self.intra_community_share));
+        assert!((0.0..=1.0).contains(&self.proto_rate));
+        assert!((0.0..=1.0).contains(&self.circle_rate));
+        assert!((0.0..=1.0).contains(&self.proto_overlap));
+        assert!((0.0..=1.0).contains(&self.label_noise));
+    }
+}
+
+/// Node-level metadata the generator produced (useful for tests and the
+/// Fig. 5 neighbour analysis).
+#[derive(Clone, Debug)]
+pub struct CircleAssignment {
+    /// Community (= label) per node.
+    pub community: Vec<u32>,
+    /// Global circle id per node.
+    pub circle: Vec<u32>,
+    /// Members per global circle id.
+    pub circle_members: Vec<Vec<NodeId>>,
+}
+
+/// Generates an attributed social-circle network. See the module docs for
+/// the generative process. Deterministic given `rng`'s state.
+pub fn social_circle_graph<R: Rng>(
+    cfg: &SocialCircleConfig,
+    rng: &mut R,
+) -> (AttributedGraph, CircleAssignment) {
+    cfg.validate();
+    let n = cfg.num_nodes;
+    let k = cfg.num_communities;
+
+    // 1. communities: shuffle nodes, chop into k roughly equal slices.
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+    let mut community = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        community[v as usize] = (i * k / n) as u32;
+    }
+
+    // 2. circles within each community.
+    let mut circle = vec![0u32; n];
+    let mut circle_members: Vec<Vec<NodeId>> = Vec::new();
+    for c in 0..k as u32 {
+        let mut members: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| community[v as usize] == c).collect();
+        members.shuffle(rng);
+        let n_circ = cfg.circles_per_community.min(members.len().max(1));
+        // Random cut points give circles of uneven sizes ("family" is smaller
+        // than "CS dept"), which is part of the paper's motivation.
+        let mut cuts: Vec<usize> = (0..n_circ - 1)
+            .map(|_| if members.len() > 1 { rng.gen_range(1..members.len()) } else { 0 })
+            .collect();
+        cuts.push(0);
+        cuts.push(members.len());
+        cuts.sort_unstable();
+        for w in cuts.windows(2) {
+            let gid = circle_members.len() as u32;
+            let slice = &members[w[0]..w[1]];
+            if slice.is_empty() {
+                continue;
+            }
+            for &v in slice {
+                circle[v as usize] = gid;
+            }
+            circle_members.push(slice.to_vec());
+        }
+    }
+
+    // 3. edges.
+    let mut builder = GraphBuilder::new(n, cfg.attr_dim);
+    let mut seen = std::collections::HashSet::<(NodeId, NodeId)>::new();
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = cfg.num_edges * 60 + 10_000;
+    // Weight circle choice by |circle|² / Σ: picking two random members of a
+    // random node's circle is equivalent to size²-weighted circle sampling.
+    while placed < cfg.num_edges && attempts < max_attempts {
+        attempts += 1;
+        let r: f64 = rng.gen();
+        let (u, v) = if r > cfg.mixing {
+            // intra-circle: anchor on a random node so bigger circles get
+            // proportionally more internal edges.
+            let u = rng.gen_range(0..n) as NodeId;
+            let members = &circle_members[circle[u as usize] as usize];
+            if members.len() < 2 {
+                continue;
+            }
+            let v = members[rng.gen_range(0..members.len())];
+            (u, v)
+        } else if rng.gen_bool(cfg.intra_community_share) {
+            // intra-community, cross-circle
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if community[u as usize] != community[v as usize] {
+                continue;
+            }
+            (u, v)
+        } else {
+            // cross-community noise
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if k > 1 && community[u as usize] == community[v as usize] {
+                continue;
+            }
+            (u, v)
+        };
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            builder.add_edge(u, v, 1.0);
+            placed += 1;
+        }
+    }
+
+    // 5. rescue isolated nodes (do this before attrs so validation holds).
+    let mut degree = vec![0usize; n];
+    for &(u, v) in &seen {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    for v in 0..n as NodeId {
+        if degree[v as usize] > 0 {
+            continue;
+        }
+        let members = &circle_members[circle[v as usize] as usize];
+        let candidates: Vec<NodeId> = members.iter().copied().filter(|&u| u != v).collect();
+        let u = if candidates.is_empty() {
+            // singleton circle: attach to any other node
+            let mut u = rng.gen_range(0..n) as NodeId;
+            while u == v {
+                u = rng.gen_range(0..n) as NodeId;
+            }
+            u
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            builder.add_edge(u, v, 1.0);
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+    }
+
+    // 4. attributes.
+    let num_circles = circle_members.len();
+    let mut community_protos = sample_prototypes(k, cfg.proto_attrs, cfg.attr_dim, rng);
+    // Overlap: replace a fraction of each prototype with indices from a
+    // shared pool so communities are attribute-correlated, not separable by
+    // a single indicator.
+    if cfg.proto_overlap > 0.0 && cfg.proto_attrs > 0 {
+        let shared: Vec<u32> =
+            (0..cfg.proto_attrs).map(|_| rng.gen_range(0..cfg.attr_dim as u32)).collect();
+        let replace = ((cfg.proto_attrs as f64) * cfg.proto_overlap).round() as usize;
+        for proto in &mut community_protos {
+            for slot in 0..replace.min(proto.len()) {
+                proto[slot] = shared[slot % shared.len()];
+            }
+        }
+    }
+    let circle_protos = sample_prototypes(num_circles, cfg.circle_attrs, cfg.attr_dim, rng);
+    let mut rows: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut row = std::collections::BTreeSet::<u32>::new();
+        for &a in &community_protos[community[v] as usize] {
+            if rng.gen_bool(cfg.proto_rate) {
+                row.insert(a);
+            }
+        }
+        for &a in &circle_protos[circle[v] as usize] {
+            if rng.gen_bool(cfg.circle_rate) {
+                row.insert(a);
+            }
+        }
+        // Poisson-ish background noise: expected `noise_attrs` activations.
+        let noise_count = poisson_knuth(cfg.noise_attrs, rng);
+        for _ in 0..noise_count {
+            row.insert(rng.gen_range(0..cfg.attr_dim as u32));
+        }
+        // Guarantee at least one active attribute so no all-zero rows exist.
+        if row.is_empty() {
+            row.insert(community_protos[community[v] as usize][0]);
+        }
+        rows.push(row.into_iter().map(|a| (a, 1.0)).collect());
+    }
+
+    // Ground-truth labels = community, with a noisy fraction resampled.
+    let mut labels = community.clone();
+    if cfg.label_noise > 0.0 && k > 1 {
+        for l in labels.iter_mut() {
+            if rng.gen_bool(cfg.label_noise) {
+                *l = rng.gen_range(0..k as u32);
+            }
+        }
+    }
+    let g = builder
+        .with_attrs(NodeAttributes::from_sparse_rows(cfg.attr_dim, &rows))
+        .with_labels(labels)
+        .build();
+    (g, CircleAssignment { community, circle, circle_members })
+}
+
+/// Disjoint-ish random prototype index sets, one per group. Groups get
+/// non-overlapping blocks when the dimensionality allows, falling back to
+/// random sampling otherwise.
+fn sample_prototypes<R: Rng>(
+    groups: usize,
+    per_group: usize,
+    dim: usize,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    let mut all: Vec<u32> = (0..dim as u32).collect();
+    all.shuffle(rng);
+    let mut out = Vec::with_capacity(groups);
+    if groups * per_group <= dim {
+        for gi in 0..groups {
+            out.push(all[gi * per_group..(gi + 1) * per_group].to_vec());
+        }
+    } else {
+        for _ in 0..groups {
+            let mut set = Vec::with_capacity(per_group);
+            for _ in 0..per_group {
+                set.push(rng.gen_range(0..dim as u32));
+            }
+            set.sort_unstable();
+            set.dedup();
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// Knuth's Poisson sampler (fine for small λ).
+fn poisson_knuth<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // guard against pathological λ
+        }
+    }
+}
+
+/// A simple planted-partition graph without circle substructure — a lighter
+/// fixture for unit tests across the workspace.
+pub fn planted_partition<R: Rng>(
+    n: usize,
+    k: usize,
+    p_in: f64,
+    p_out: f64,
+    attr_dim: usize,
+    rng: &mut R,
+) -> AttributedGraph {
+    let cfg = SocialCircleConfig {
+        num_nodes: n,
+        num_communities: k,
+        circles_per_community: 1,
+        attr_dim,
+        // expected edge count of the two-rate SBM
+        num_edges: expected_sbm_edges(n, k, p_in, p_out),
+        mixing: mixing_from_rates(n, k, p_in, p_out),
+        intra_community_share: 0.0,
+        proto_attrs: (attr_dim / (2 * k)).clamp(1, 20),
+        circle_attrs: 0,
+        proto_rate: 0.6,
+        circle_rate: 0.0,
+        noise_attrs: 1.0,
+        proto_overlap: 0.0,
+        label_noise: 0.0,
+    };
+    social_circle_graph(&cfg, rng).0
+}
+
+fn expected_sbm_edges(n: usize, k: usize, p_in: f64, p_out: f64) -> usize {
+    let nf = n as f64;
+    let per_comm = nf / k as f64;
+    let intra = k as f64 * per_comm * (per_comm - 1.0) / 2.0 * p_in;
+    let inter = (nf * (nf - 1.0) / 2.0 - k as f64 * per_comm * (per_comm - 1.0) / 2.0) * p_out;
+    (intra + inter).round().max(1.0) as usize
+}
+
+fn mixing_from_rates(n: usize, k: usize, p_in: f64, p_out: f64) -> f64 {
+    let total = expected_sbm_edges(n, k, p_in, p_out) as f64;
+    let intra = expected_sbm_edges(n, k, p_in, 0.0) as f64;
+    ((total - intra) / total).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = SocialCircleConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (g, asg) = social_circle_graph(&cfg, &mut rng);
+        assert_eq!(g.num_nodes(), cfg.num_nodes);
+        assert_eq!(g.attr_dim(), cfg.attr_dim);
+        assert_eq!(g.num_labels(), cfg.num_communities);
+        // edge count within a few percent of the target (isolated-node rescue
+        // can add a handful).
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - cfg.num_edges as f64).abs() / (cfg.num_edges as f64) < 0.05,
+            "edges {m} vs target {}",
+            cfg.num_edges
+        );
+        assert_eq!(asg.community.len(), cfg.num_nodes);
+        assert_eq!(asg.circle.len(), cfg.num_nodes);
+    }
+
+    #[test]
+    fn no_isolated_nodes() {
+        let cfg = SocialCircleConfig { num_nodes: 300, num_edges: 320, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (g, _) = social_circle_graph(&cfg, &mut rng);
+        for v in 0..g.num_nodes() as NodeId {
+            assert!(g.degree(v) > 0, "node {v} isolated");
+        }
+    }
+
+    #[test]
+    fn homophily_edges_mostly_intra_community() {
+        let cfg = SocialCircleConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (g, asg) = social_circle_graph(&cfg, &mut rng);
+        let intra = g
+            .edges()
+            .filter(|&(u, v, _)| asg.community[u as usize] == asg.community[v as usize])
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(frac > 0.75, "intra-community fraction {frac}");
+    }
+
+    #[test]
+    fn attributes_are_homophilous() {
+        let cfg = SocialCircleConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (g, asg) = social_circle_graph(&cfg, &mut rng);
+        // mean cosine similarity within communities should exceed across.
+        let mut same = (0.0f64, 0usize);
+        let mut diff = (0.0f64, 0usize);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..4000 {
+            let u = rng2.gen_range(0..g.num_nodes()) as NodeId;
+            let v = rng2.gen_range(0..g.num_nodes()) as NodeId;
+            if u == v {
+                continue;
+            }
+            let c = g.attrs().cosine(u, v) as f64;
+            if asg.community[u as usize] == asg.community[v as usize] {
+                same.0 += c;
+                same.1 += 1;
+            } else {
+                diff.0 += c;
+                diff.1 += 1;
+            }
+        }
+        let (ms, md) = (same.0 / same.1 as f64, diff.0 / diff.1 as f64);
+        assert!(ms > md + 0.05, "intra {ms} vs inter {md}");
+    }
+
+    #[test]
+    fn circles_nest_inside_communities() {
+        let cfg = SocialCircleConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (_, asg) = social_circle_graph(&cfg, &mut rng);
+        for (members, gid) in asg.circle_members.iter().zip(0u32..) {
+            let comm = asg.community[members[0] as usize];
+            for &v in members {
+                assert_eq!(asg.circle[v as usize], gid);
+                assert_eq!(asg.community[v as usize], comm, "circle straddles communities");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SocialCircleConfig::default();
+        let (g1, _) = social_circle_graph(&cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        let (g2, _) = social_circle_graph(&cfg, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        assert_eq!(g1.attrs(), g2.attrs());
+    }
+
+    #[test]
+    fn planted_partition_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = planted_partition(200, 4, 0.2, 0.01, 64, &mut rng);
+        assert_eq!(g.num_nodes(), 200);
+        assert_eq!(g.num_labels(), 4);
+        assert!(g.num_edges() > 300);
+    }
+
+    #[test]
+    fn poisson_mean_reasonable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mean: f64 =
+            (0..20000).map(|_| poisson_knuth(3.0, &mut rng) as f64).sum::<f64>() / 20000.0;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn no_empty_attribute_rows() {
+        let cfg = SocialCircleConfig { noise_attrs: 0.0, proto_rate: 0.01, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let (g, _) = social_circle_graph(&cfg, &mut rng);
+        for v in 0..g.num_nodes() as NodeId {
+            let (idx, _) = g.attrs().row(v);
+            assert!(!idx.is_empty(), "node {v} has empty attributes");
+        }
+    }
+}

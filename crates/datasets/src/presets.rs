@@ -1,0 +1,198 @@
+//! Per-dataset presets calibrated to Table 1 of the paper.
+//!
+//! | Dataset          | #nodes | #attrs | #edges | density | #labels |
+//! |------------------|--------|--------|--------|---------|---------|
+//! | Cora             |   2708 |   1433 |   5278 | 0.0014  | 7       |
+//! | Citeseer         |   3312 |   3703 |   4660 | 0.0008  | 6       |
+//! | Pubmed           |  19717 |    500 |  44327 | 0.0002  | 3       |
+//! | WebKB-Cornell    |    195 |   1703 |    286 | 0.0151  | 5       |
+//! | WebKB-Texas      |    187 |   1703 |    298 | 0.0171  | 5       |
+//! | WebKB-Washington |    230 |   1703 |    417 | 0.0158  | 5       |
+//! | WebKB-Wisconsin  |    265 |   1703 |    479 | 0.0137  | 5       |
+//! | Flickr           |   7575 |  12047 | 239738 | 0.0084  | 9       |
+//!
+//! `generate` produces the full-size network; `generate_scaled` shrinks the
+//! node count (keeping average degree and label count) for fast experiments
+//! and CI. Every harness binary accepts a `--scale` flag wired to the latter.
+
+use coane_graph::AttributedGraph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::generator::{social_circle_graph, CircleAssignment, SocialCircleConfig};
+
+/// The five dataset families of the paper (WebKB split into its four
+/// subnetworks, as in Table 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// Cora citation network.
+    Cora,
+    /// Citeseer citation network.
+    Citeseer,
+    /// Pubmed citation network.
+    Pubmed,
+    /// WebKB – Cornell.
+    WebKbCornell,
+    /// WebKB – Texas.
+    WebKbTexas,
+    /// WebKB – Washington.
+    WebKbWashington,
+    /// WebKB – Wisconsin.
+    WebKbWisconsin,
+    /// Flickr social network.
+    Flickr,
+}
+
+impl Preset {
+    /// All presets in Table 1 order.
+    pub const ALL: [Preset; 8] = [
+        Preset::Cora,
+        Preset::Citeseer,
+        Preset::Pubmed,
+        Preset::WebKbCornell,
+        Preset::WebKbTexas,
+        Preset::WebKbWashington,
+        Preset::WebKbWisconsin,
+        Preset::Flickr,
+    ];
+
+    /// The four WebKB subnetworks (Table 5).
+    pub const WEBKB: [Preset; 4] = [
+        Preset::WebKbCornell,
+        Preset::WebKbTexas,
+        Preset::WebKbWashington,
+        Preset::WebKbWisconsin,
+    ];
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Cora => "cora",
+            Preset::Citeseer => "citeseer",
+            Preset::Pubmed => "pubmed",
+            Preset::WebKbCornell => "webkb-cornell",
+            Preset::WebKbTexas => "webkb-texas",
+            Preset::WebKbWashington => "webkb-washington",
+            Preset::WebKbWisconsin => "webkb-wisconsin",
+            Preset::Flickr => "flickr",
+        }
+    }
+
+    /// Parses a name produced by [`Preset::name`].
+    pub fn parse(s: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// Table 1 statistics `(#nodes, #attrs, #edges, #labels)`.
+    pub fn table1_stats(self) -> (usize, usize, usize, usize) {
+        match self {
+            Preset::Cora => (2708, 1433, 5278, 7),
+            Preset::Citeseer => (3312, 3703, 4660, 6),
+            Preset::Pubmed => (19717, 500, 44327, 3),
+            Preset::WebKbCornell => (195, 1703, 286, 5),
+            Preset::WebKbTexas => (187, 1703, 298, 5),
+            Preset::WebKbWashington => (230, 1703, 417, 5),
+            Preset::WebKbWisconsin => (265, 1703, 479, 5),
+            Preset::Flickr => (7575, 12047, 239738, 9),
+        }
+    }
+
+    /// Generator configuration at `scale ∈ (0, 1]` of the full node count.
+    /// Average degree, attribute dimensionality and label count are kept.
+    pub fn config(self, scale: f64) -> SocialCircleConfig {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let (n, d, m, k) = self.table1_stats();
+        let n_scaled = ((n as f64 * scale).round() as usize).max(k * 8);
+        let m_scaled =
+            ((m as f64 * n_scaled as f64 / n as f64).round() as usize).max(n_scaled);
+        // Flickr is a dense social network with larger, fuzzier groups;
+        // citation networks are sparse with crisper topical circles.
+        let (mixing, circles) = match self {
+            Preset::Flickr => (0.35, 5),
+            Preset::Pubmed => (0.22, 3),
+            _ => (0.2, 3),
+        };
+        SocialCircleConfig {
+            num_nodes: n_scaled,
+            num_communities: k,
+            circles_per_community: circles,
+            attr_dim: d,
+            num_edges: m_scaled,
+            mixing,
+            intra_community_share: 0.6,
+            proto_attrs: (d / (k * 2)).clamp(4, 40),
+            circle_attrs: (d / (k * circles * 2)).clamp(2, 20),
+            proto_rate: 0.25,
+            circle_rate: 0.35,
+            noise_attrs: 10.0,
+            proto_overlap: 0.55,
+            label_noise: 0.15,
+        }
+    }
+
+    /// Generates the full-size network (matching Table 1 statistics).
+    pub fn generate(self, seed: u64) -> (AttributedGraph, CircleAssignment) {
+        self.generate_scaled(1.0, seed)
+    }
+
+    /// Generates a scaled-down replica for fast experiments.
+    pub fn generate_scaled(self, scale: f64, seed: u64) -> (AttributedGraph, CircleAssignment) {
+        let cfg = self.config(scale);
+        // Mix the preset into the seed so different presets with the same
+        // seed don't share randomness.
+        let mixed = seed ^ (self as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = ChaCha8Rng::seed_from_u64(mixed);
+        social_circle_graph(&cfg, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::parse(p.name()), Some(p));
+        }
+        assert_eq!(Preset::parse("nope"), None);
+    }
+
+    #[test]
+    fn scaled_cora_matches_density() {
+        let (g, _) = Preset::Cora.generate_scaled(0.2, 1);
+        let (n, d, m, k) = Preset::Cora.table1_stats();
+        assert_eq!(g.attr_dim(), d);
+        assert_eq!(g.num_labels(), k);
+        let expect_n = (n as f64 * 0.2).round() as usize;
+        assert_eq!(g.num_nodes(), expect_n);
+        // average degree preserved within 10%
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        let want = 2.0 * m as f64 / n as f64;
+        assert!((avg - want).abs() / want < 0.1, "avg degree {avg} vs {want}");
+    }
+
+    #[test]
+    fn full_webkb_cornell_matches_table1() {
+        let (g, _) = Preset::WebKbCornell.generate(3);
+        let (n, d, m, k) = Preset::WebKbCornell.table1_stats();
+        assert_eq!(g.num_nodes(), n);
+        assert_eq!(g.attr_dim(), d);
+        assert_eq!(g.num_labels(), k);
+        let rel = (g.num_edges() as f64 - m as f64).abs() / m as f64;
+        assert!(rel < 0.1, "edges {} vs {m}", g.num_edges());
+    }
+
+    #[test]
+    fn different_presets_different_randomness() {
+        let (a, _) = Preset::WebKbCornell.generate_scaled(1.0, 5);
+        let (b, _) = Preset::WebKbTexas.generate_scaled(1.0, 5);
+        assert_ne!(a.num_nodes(), b.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        Preset::Cora.config(0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Node-label classification (Tables 2–3): one-vs-rest L2 logistic
+//! regression on the learned embeddings, scored by Macro- and Micro-F1.
+
+use coane_graph::NodeId;
+
+use crate::logreg::LogisticRegression;
+use crate::metrics::{macro_f1, micro_f1};
+
+/// Macro/Micro-F1 pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassificationScores {
+    /// Macro-averaged F1 over classes.
+    pub macro_f1: f64,
+    /// Micro-averaged F1 (= accuracy for single-label problems).
+    pub micro_f1: f64,
+}
+
+/// Trains one-vs-rest logistic regression on the `train` nodes' embedding
+/// rows and scores predictions on `test`.
+///
+/// `embedding` is row-major `(n × dim)`; `labels[v]` is node `v`'s class.
+pub fn classify_nodes(
+    embedding: &[f32],
+    dim: usize,
+    labels: &[u32],
+    train: &[NodeId],
+    test: &[NodeId],
+    l2: f64,
+) -> ClassificationScores {
+    assert!(!train.is_empty() && !test.is_empty(), "empty split");
+    assert_eq!(embedding.len(), labels.len() * dim, "embedding shape");
+    let num_classes = labels.iter().copied().max().unwrap() as usize + 1;
+    let row_f64 = |v: NodeId| -> Vec<f64> {
+        embedding[v as usize * dim..(v as usize + 1) * dim]
+            .iter()
+            .map(|&x| x as f64)
+            .collect()
+    };
+    // Train one binary model per class (one-vs-rest).
+    let train_features: Vec<f64> = train.iter().flat_map(|&v| row_f64(v)).collect();
+    let models: Vec<Option<LogisticRegression>> = (0..num_classes)
+        .map(|c| {
+            let y: Vec<bool> = train.iter().map(|&v| labels[v as usize] == c as u32).collect();
+            // A class absent from the training set cannot be fit.
+            if y.iter().all(|&b| !b) {
+                None
+            } else {
+                Some(LogisticRegression::fit(&train_features, dim, &y, l2))
+            }
+        })
+        .collect();
+    // Predict by maximal decision value.
+    let mut y_true = Vec::with_capacity(test.len());
+    let mut y_pred = Vec::with_capacity(test.len());
+    for &v in test {
+        let row = row_f64(v);
+        let mut best = (f64::NEG_INFINITY, 0u32);
+        for (c, model) in models.iter().enumerate() {
+            if let Some(m) = model {
+                let s = m.decision(&row);
+                if s > best.0 {
+                    best = (s, c as u32);
+                }
+            }
+        }
+        y_true.push(labels[v as usize]);
+        y_pred.push(best.1);
+    }
+    ClassificationScores {
+        macro_f1: macro_f1(&y_true, &y_pred, num_classes),
+        micro_f1: micro_f1(&y_true, &y_pred, num_classes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Embeddings where class c clusters around the c-th basis vector.
+    fn clustered_embedding(
+        n: usize,
+        classes: usize,
+        dim: usize,
+        noise: f32,
+        seed: u64,
+    ) -> (Vec<f32>, Vec<u32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut emb = vec![0.0f32; n * dim];
+        let mut labels = vec![0u32; n];
+        for v in 0..n {
+            let c = v % classes;
+            labels[v] = c as u32;
+            for j in 0..dim {
+                emb[v * dim + j] =
+                    if j == c { 1.0 } else { 0.0 } + rng.gen_range(-noise..noise);
+            }
+        }
+        (emb, labels)
+    }
+
+    #[test]
+    fn near_perfect_on_separable_embeddings() {
+        let (emb, labels) = clustered_embedding(120, 3, 8, 0.1, 0);
+        let train: Vec<NodeId> = (0..60).collect();
+        let test: Vec<NodeId> = (60..120).collect();
+        let scores = classify_nodes(&emb, 8, &labels, &train, &test, 1e-3);
+        assert!(scores.macro_f1 > 0.95, "macro {}", scores.macro_f1);
+        assert!(scores.micro_f1 > 0.95, "micro {}", scores.micro_f1);
+    }
+
+    #[test]
+    fn noisy_embeddings_score_lower() {
+        let (emb, labels) = clustered_embedding(120, 3, 8, 2.5, 1);
+        let train: Vec<NodeId> = (0..60).collect();
+        let test: Vec<NodeId> = (60..120).collect();
+        let noisy = classify_nodes(&emb, 8, &labels, &train, &test, 1e-3);
+        let (emb2, labels2) = clustered_embedding(120, 3, 8, 0.05, 1);
+        let clean = classify_nodes(&emb2, 8, &labels2, &train, &test, 1e-3);
+        assert!(clean.macro_f1 > noisy.macro_f1);
+    }
+
+    #[test]
+    fn class_missing_from_train_is_never_predicted() {
+        let (emb, mut labels) = clustered_embedding(90, 3, 6, 0.1, 2);
+        // All class-2 nodes moved to the test set.
+        let train: Vec<NodeId> =
+            (0..90).filter(|&v| labels[v as usize] != 2).take(40).collect();
+        let test: Vec<NodeId> = (0..90).filter(|v| !train.contains(v)).collect();
+        labels[0] = 0; // keep shapes
+        let scores = classify_nodes(&emb, 6, &labels, &train, &test, 1e-3);
+        assert!(scores.micro_f1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty split")]
+    fn empty_test_rejected() {
+        classify_nodes(&[0.0; 8], 4, &[0, 1], &[0], &[], 1e-3);
+    }
+}

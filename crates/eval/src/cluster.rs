@@ -1,0 +1,193 @@
+//! Node clustering (Table 4 right, Table 5): k-means with k-means++
+//! initialization on the embeddings, K = number of ground-truth labels,
+//! scored by NMI against the labels.
+
+use rand::Rng;
+
+use crate::metrics::nmi;
+
+/// K-means clustering of row-major `(n × dim)` points.
+///
+/// Uses k-means++ seeding and Lloyd iterations until assignment convergence
+/// or `max_iters`. Returns the cluster id per point.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+#[allow(clippy::needless_range_loop)] // indexed form is clearer in this kernel
+pub fn kmeans<R: Rng>(
+    points: &[f32],
+    dim: usize,
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(dim > 0);
+    let n = points.len() / dim;
+    assert_eq!(points.len(), n * dim, "points shape");
+    assert!(k > 0 && k <= n, "k must be in 1..=n");
+    let row = |i: usize| &points[i * dim..(i + 1) * dim];
+    let dist2 = |a: &[f32], b: &[f32]| -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+    };
+
+    // k-means++ seeding
+    let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centers.push(row(rng.gen_range(0..n)).to_vec());
+    let mut d2 = vec![0.0f64; n];
+    while centers.len() < k {
+        let mut total = 0.0f64;
+        for i in 0..n {
+            d2[i] = centers.iter().map(|c| dist2(row(i), c)).fold(f64::INFINITY, f64::min);
+            total += d2[i];
+        }
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut x = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if x < d {
+                    chosen = i;
+                    break;
+                }
+                x -= d;
+            }
+            chosen
+        };
+        centers.push(row(next).to_vec());
+    }
+
+    let mut assign = vec![0u32; n];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = (f64::INFINITY, 0u32);
+            for (c, center) in centers.iter().enumerate() {
+                let d = dist2(row(i), center);
+                if d < best.0 {
+                    best = (d, c as u32);
+                }
+            }
+            if assign[i] != best.1 {
+                assign[i] = best.1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // recompute centers; empty clusters re-seeded from the farthest point
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(row(i)) {
+                *s += x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        dist2(row(a), &centers[assign[a] as usize])
+                            .partial_cmp(&dist2(row(b), &centers[assign[b] as usize]))
+                            .unwrap()
+                    })
+                    .unwrap();
+                centers[c] = row(far).to_vec();
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centers[c][j] = (s / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+    assign
+}
+
+/// Clusters the embedding into `K = max(labels)+1` groups and returns the
+/// NMI against `labels` — the paper's node-clustering protocol.
+pub fn nmi_clustering<R: Rng>(
+    embedding: &[f32],
+    dim: usize,
+    labels: &[u32],
+    rng: &mut R,
+) -> f64 {
+    let k = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+    let assign = kmeans(embedding, dim, k, 100, rng);
+    nmi(labels, &assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn blobs(n_per: usize, centers: &[(f32, f32)], noise: f32, seed: u64) -> (Vec<f32>, Vec<u32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                pts.push(cx + rng.gen_range(-noise..noise));
+                pts.push(cy + rng.gen_range(-noise..noise));
+                labels.push(c as u32);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (pts, labels) = blobs(40, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 0.5, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let score = nmi_clustering(&pts, 2, &labels, &mut rng);
+        assert!(score > 0.95, "nmi {score}");
+    }
+
+    #[test]
+    fn overlapping_blobs_score_lower() {
+        let (pts, labels) = blobs(40, &[(0.0, 0.0), (1.0, 0.0)], 2.0, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let score = nmi_clustering(&pts, 2, &labels, &mut rng);
+        assert!(score < 0.5, "nmi {score}");
+    }
+
+    #[test]
+    fn kmeans_assignments_cover_range() {
+        let (pts, _) = blobs(20, &[(0.0, 0.0), (5.0, 5.0)], 0.3, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let assign = kmeans(&pts, 2, 2, 50, &mut rng);
+        assert_eq!(assign.len(), 40);
+        assert!(assign.contains(&0));
+        assert!(assign.contains(&1));
+    }
+
+    #[test]
+    fn k_equal_n_each_point_own_cluster() {
+        let pts = vec![0.0f32, 0.0, 5.0, 5.0, 10.0, 10.0];
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let assign = kmeans(&pts, 2, 3, 50, &mut rng);
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn k_zero_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        kmeans(&[0.0, 0.0], 2, 0, 10, &mut rng);
+    }
+
+    #[test]
+    fn identical_points_stable() {
+        let pts = vec![1.0f32; 20];
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let assign = kmeans(&pts, 2, 2, 10, &mut rng);
+        assert_eq!(assign.len(), 10);
+    }
+}

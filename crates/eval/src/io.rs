@@ -1,0 +1,138 @@
+//! Embedding persistence: CSV (interoperable with pandas/numpy) and a JSON
+//! envelope carrying the shape. Downstream tasks often run in a different
+//! process from training; these helpers make the `(n × d')` matrix portable.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a row-major embedding as CSV: one node per line, `dim` columns,
+/// no header.
+pub fn save_embedding_csv(path: &Path, embedding: &[f32], dim: usize) -> io::Result<()> {
+    assert!(dim > 0 && embedding.len().is_multiple_of(dim), "embedding shape");
+    let mut f = BufWriter::new(File::create(path)?);
+    for row in embedding.chunks_exact(dim) {
+        let mut first = true;
+        for v in row {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+            first = false;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV written by [`save_embedding_csv`]. Returns `(values, dim)`.
+pub fn load_embedding_csv(path: &Path) -> io::Result<(Vec<f32>, usize)> {
+    let f = BufReader::new(File::open(path)?);
+    let mut values = Vec::new();
+    let mut dim = 0usize;
+    for (lineno, line) in f.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = line.split(',').map(|t| t.trim().parse()).collect();
+        let row = row.map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        if dim == 0 {
+            dim = row.len();
+        } else if row.len() != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {dim} columns, got {}", lineno + 1, row.len()),
+            ));
+        }
+        values.extend(row);
+    }
+    if dim == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty embedding file"));
+    }
+    Ok((values, dim))
+}
+
+/// Writes the embedding with shape metadata as JSON:
+/// `{"rows": n, "dim": d, "data": [...]}`.
+pub fn save_embedding_json(path: &Path, embedding: &[f32], dim: usize) -> io::Result<()> {
+    assert!(dim > 0 && embedding.len().is_multiple_of(dim), "embedding shape");
+    #[derive(serde::Serialize)]
+    struct Envelope<'a> {
+        rows: usize,
+        dim: usize,
+        data: &'a [f32],
+    }
+    let env = Envelope { rows: embedding.len() / dim, dim, data: embedding };
+    let f = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(f, &env).map_err(io::Error::other)
+}
+
+/// Reads a JSON envelope written by [`save_embedding_json`].
+pub fn load_embedding_json(path: &Path) -> io::Result<(Vec<f32>, usize)> {
+    #[derive(serde::Deserialize)]
+    struct Envelope {
+        rows: usize,
+        dim: usize,
+        data: Vec<f32>,
+    }
+    let f = BufReader::new(File::open(path)?);
+    let env: Envelope = serde_json::from_reader(f).map_err(io::Error::other)?;
+    if env.data.len() != env.rows * env.dim {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "shape metadata mismatch"));
+    }
+    Ok((env.data, env.dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coane_eval_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let emb = vec![1.0f32, -2.5, 0.0, 3.25, 1e-4, 7.0];
+        let path = tmp("e.csv");
+        save_embedding_csv(&path, &emb, 3).unwrap();
+        let (loaded, dim) = load_embedding_csv(&path).unwrap();
+        assert_eq!(dim, 3);
+        assert_eq!(loaded, emb);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let emb = vec![0.5f32; 8];
+        let path = tmp("e.json");
+        save_embedding_json(&path, &emb, 4).unwrap();
+        let (loaded, dim) = load_embedding_json(&path).unwrap();
+        assert_eq!(dim, 4);
+        assert_eq!(loaded, emb);
+    }
+
+    #[test]
+    fn csv_ragged_rejected() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "1,2,3\n4,5\n").unwrap();
+        assert!(load_embedding_csv(&path).is_err());
+    }
+
+    #[test]
+    fn csv_empty_rejected() {
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "\n\n").unwrap();
+        assert!(load_embedding_csv(&path).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding shape")]
+    fn save_rejects_bad_shape() {
+        save_embedding_csv(&tmp("bad.csv"), &[1.0, 2.0, 3.0], 2).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # coane-eval
+//!
+//! The evaluation toolkit behind §4 of the CoANE paper:
+//!
+//! - [`logreg`] — L2-regularized binary logistic regression (the paper's
+//!   downstream classifier for both tasks),
+//! - [`classify`] — one-vs-rest node-label classification with Macro/Micro-F1
+//!   (Tables 2–3),
+//! - [`linkpred`] — link prediction from Hadamard-product edge features with
+//!   ROC-AUC (Table 4 left),
+//! - [`cluster`] — k-means(++) node clustering scored by normalized mutual
+//!   information (Table 4 right, Table 5),
+//! - [`metrics`] — F1 / AUC / NMI implementations,
+//! - [`tsne`] — exact-gradient t-SNE for the Fig. 3 embedding visualization.
+
+pub mod classify;
+pub mod cluster;
+pub mod io;
+pub mod linkpred;
+pub mod logreg;
+pub mod metrics;
+pub mod tsne;
+
+pub use classify::{classify_nodes, ClassificationScores};
+pub use cluster::{kmeans, nmi_clustering};
+pub use io::{load_embedding_csv, save_embedding_csv};
+pub use linkpred::{hadamard_features, link_prediction_auc};
+pub use logreg::LogisticRegression;
+pub use linkpred::precision_at_k;
+pub use metrics::{adjusted_rand_index, macro_f1, micro_f1, nmi, roc_auc};
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,174 @@
+//! Link prediction (Table 4 left): Hadamard-product edge features fed to a
+//! logistic-regression classifier, scored by ROC-AUC — the node2vec protocol
+//! the paper follows.
+
+use coane_graph::NodeId;
+
+use crate::logreg::LogisticRegression;
+use crate::metrics::roc_auc;
+
+/// The Hadamard edge feature `z_u ⊙ z_v` of node pair `(u, v)`.
+pub fn hadamard_features(embedding: &[f32], dim: usize, u: NodeId, v: NodeId) -> Vec<f64> {
+    let a = &embedding[u as usize * dim..(u as usize + 1) * dim];
+    let b = &embedding[v as usize * dim..(v as usize + 1) * dim];
+    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).collect()
+}
+
+fn pair_matrix(
+    embedding: &[f32],
+    dim: usize,
+    pos: &[(NodeId, NodeId)],
+    neg: &[(NodeId, NodeId)],
+) -> (Vec<f64>, Vec<bool>) {
+    let mut feats = Vec::with_capacity((pos.len() + neg.len()) * dim);
+    let mut labels = Vec::with_capacity(pos.len() + neg.len());
+    for &(u, v) in pos {
+        feats.extend(hadamard_features(embedding, dim, u, v));
+        labels.push(true);
+    }
+    for &(u, v) in neg {
+        feats.extend(hadamard_features(embedding, dim, u, v));
+        labels.push(false);
+    }
+    (feats, labels)
+}
+
+/// Trains the edge classifier on `(train_pos, train_neg)` and returns the
+/// ROC-AUC on `(test_pos, test_neg)`.
+pub fn link_prediction_auc(
+    embedding: &[f32],
+    dim: usize,
+    train_pos: &[(NodeId, NodeId)],
+    train_neg: &[(NodeId, NodeId)],
+    test_pos: &[(NodeId, NodeId)],
+    test_neg: &[(NodeId, NodeId)],
+) -> f64 {
+    assert!(!train_pos.is_empty() && !train_neg.is_empty(), "empty training pairs");
+    assert!(!test_pos.is_empty() && !test_neg.is_empty(), "empty test pairs");
+    let (train_x, train_y) = pair_matrix(embedding, dim, train_pos, train_neg);
+    let model = LogisticRegression::fit(&train_x, dim, &train_y, 1e-4);
+    let mut scores = Vec::with_capacity(test_pos.len() + test_neg.len());
+    let mut labels = Vec::with_capacity(scores.capacity());
+    for (label, set) in [(true, test_pos), (false, test_neg)] {
+        for &(u, v) in set {
+            scores.push(model.decision(&hadamard_features(embedding, dim, u, v)));
+            labels.push(label);
+        }
+    }
+    roc_auc(&scores, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn hadamard_is_elementwise_product() {
+        let emb = vec![1.0f32, 2.0, 3.0, 4.0];
+        let f = hadamard_features(&emb, 2, 0, 1);
+        assert_eq!(f, vec![3.0, 8.0]);
+    }
+
+    /// Two communities: intra-community pairs are "edges". Embeddings equal
+    /// community indicators with noise, so Hadamard features separate.
+    #[test]
+    fn auc_high_when_embeddings_encode_communities() {
+        let n = 60usize;
+        let dim = 4usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut emb = vec![0.0f32; n * dim];
+        for v in 0..n {
+            let c = v % 2;
+            for j in 0..dim {
+                emb[v * dim + j] =
+                    if j % 2 == c { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2);
+            }
+        }
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if (u % 2) == (v % 2) {
+                    pos.push((u, v));
+                } else {
+                    neg.push((u, v));
+                }
+            }
+        }
+        let (tp, rp) = pos.split_at(pos.len() / 2);
+        let (tn, rn) = neg.split_at(neg.len() / 2);
+        let auc = link_prediction_auc(&emb, dim, tp, tn, rp, rn);
+        assert!(auc > 0.95, "auc {auc}");
+    }
+
+    #[test]
+    fn auc_near_half_for_random_embeddings() {
+        let n = 80usize;
+        let dim = 8usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let emb: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let pairs: Vec<(u32, u32)> = (0..200)
+            .map(|_| {
+                let u = rng.gen_range(0..n as u32);
+                let mut v = rng.gen_range(0..n as u32);
+                while v == u {
+                    v = rng.gen_range(0..n as u32);
+                }
+                (u, v)
+            })
+            .collect();
+        let (pos, neg) = pairs.split_at(100);
+        let (tp, rp) = pos.split_at(50);
+        let (tn, rn) = neg.split_at(50);
+        let auc = link_prediction_auc(&emb, dim, tp, tn, rp, rn);
+        assert!((auc - 0.5).abs() < 0.2, "auc {auc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training pairs")]
+    fn rejects_empty_training() {
+        link_prediction_auc(&[0.0; 4], 2, &[], &[(0, 1)], &[(0, 1)], &[(0, 1)]);
+    }
+}
+
+/// Precision@k: the fraction of the `k` highest-scored test pairs that are
+/// true edges — a ranking-quality companion to AUC for link prediction.
+pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    assert!(k > 0 && k <= scores.len(), "k out of range");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let hits = order[..k].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod precision_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![true, true, false, false];
+        assert_eq!(precision_at_k(&scores, &labels, 2), 1.0);
+        assert_eq!(precision_at_k(&scores, &labels, 4), 0.5);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        let labels = vec![true, true, false, false];
+        assert_eq!(precision_at_k(&scores, &labels, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn k_zero_rejected() {
+        precision_at_k(&[0.5], &[true], 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! L2-regularized binary logistic regression — the downstream classifier the
+//! paper uses for node classification (one-vs-rest) and link prediction,
+//! "following the common-used settings" of node2vec.
+//!
+//! Trained full-batch with gradient descent plus momentum; features are
+//! standardized internally for optimization stability (the fitted scaler is
+//! applied at prediction time, so the caller sees raw-feature semantics).
+
+/// A fitted binary logistic-regression model.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    /// L2 penalty strength.
+    pub l2: f64,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Fits on row-major `features` (`n × dim`) with binary `labels`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or empty input.
+    #[allow(clippy::needless_range_loop)] // indexed form is clearer in this kernel
+    pub fn fit(features: &[f64], dim: usize, labels: &[bool], l2: f64) -> Self {
+        let n = labels.len();
+        assert!(n > 0 && dim > 0, "empty training set");
+        assert_eq!(features.len(), n * dim, "features shape");
+        // standardize
+        let mut mean = vec![0.0f64; dim];
+        for row in features.chunks_exact(dim) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut std = vec![0.0f64; dim];
+        for row in features.chunks_exact(dim) {
+            for ((s, &x), &m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n as f64).sqrt().max(1e-9);
+        }
+        let x_of = |i: usize, j: usize| (features[i * dim + j] - mean[j]) / std[j];
+
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        let mut vw = vec![0.0f64; dim];
+        let mut vb = 0.0f64;
+        let lr = 0.5;
+        let momentum = 0.9;
+        let iters = 300;
+        let mut gw = vec![0.0f64; dim];
+        for _ in 0..iters {
+            gw.iter_mut().for_each(|g| *g = 0.0);
+            let mut gb = 0.0f64;
+            for i in 0..n {
+                let mut logit = b;
+                for (j, wj) in w.iter().enumerate() {
+                    logit += wj * x_of(i, j);
+                }
+                let err = sigmoid(logit) - if labels[i] { 1.0 } else { 0.0 };
+                for (j, g) in gw.iter_mut().enumerate() {
+                    *g += err * x_of(i, j);
+                }
+                gb += err;
+            }
+            let inv_n = 1.0 / n as f64;
+            for ((wj, g), v) in w.iter_mut().zip(&gw).zip(&mut vw) {
+                let grad = g * inv_n + l2 * *wj;
+                *v = momentum * *v - lr * grad;
+                *wj += *v;
+            }
+            vb = momentum * vb - lr * (gb * inv_n);
+            b += vb;
+        }
+        Self { weights: w, bias: b, mean, std, l2 }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Decision-function value (log-odds) for one raw feature row.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.dim());
+        let mut logit = self.bias;
+        for (j, &w) in self.weights.iter().enumerate() {
+            logit += w * (row[j] - self.mean[j]) / self.std[j];
+        }
+        logit
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, row: &[f64]) -> f64 {
+        sigmoid(self.decision(row))
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, row: &[f64]) -> bool {
+        self.decision(row) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn separable_data(n: usize, seed: u64) -> (Vec<f64>, Vec<bool>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let cx = if pos { 2.0 } else { -2.0 };
+            x.push(cx + rng.gen_range(-0.5..0.5));
+            x.push(rng.gen_range(-1.0..1.0));
+            y.push(pos);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let (x, y) = separable_data(200, 0);
+        let model = LogisticRegression::fit(&x, 2, &y, 1e-4);
+        let correct = y
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| model.predict(&x[i * 2..i * 2 + 2]) == l)
+            .count();
+        assert!(correct >= 198, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn probabilities_calibrated_direction() {
+        let (x, y) = separable_data(100, 1);
+        let model = LogisticRegression::fit(&x, 2, &y, 1e-4);
+        assert!(model.predict_proba(&[3.0, 0.0]) > 0.9);
+        assert!(model.predict_proba(&[-3.0, 0.0]) < 0.1);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = separable_data(100, 2);
+        let loose = LogisticRegression::fit(&x, 2, &y, 1e-6);
+        let tight = LogisticRegression::fit(&x, 2, &y, 1.0);
+        let norm = |m: &LogisticRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn handles_constant_feature() {
+        // second feature constant — std clamps, no NaN
+        let x = vec![1.0, 5.0, -1.0, 5.0, 1.5, 5.0, -1.5, 5.0];
+        let y = vec![true, false, true, false];
+        let model = LogisticRegression::fit(&x, 2, &y, 1e-3);
+        assert!(model.decision(&[1.0, 5.0]).is_finite());
+        assert!(model.predict(&[1.0, 5.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "features shape")]
+    fn shape_mismatch_panics() {
+        LogisticRegression::fit(&[1.0, 2.0, 3.0], 2, &[true, false], 0.1);
+    }
+}

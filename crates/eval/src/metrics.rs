@@ -1,0 +1,272 @@
+//! Evaluation metrics: Macro/Micro F1, ROC-AUC, and normalized mutual
+//! information.
+
+/// Per-class confusion counts for multi-class predictions.
+fn confusion(y_true: &[u32], y_pred: &[u32], num_classes: usize) -> Vec<(usize, usize, usize)> {
+    // (tp, fp, fn) per class
+    let mut counts = vec![(0usize, 0usize, 0usize); num_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        if t == p {
+            counts[t as usize].0 += 1;
+        } else {
+            counts[p as usize].1 += 1;
+            counts[t as usize].2 += 1;
+        }
+    }
+    counts
+}
+
+/// Macro-averaged F1: the unweighted mean of per-class F1 scores. Classes
+/// absent from both truth and prediction contribute 0, matching
+/// scikit-learn's default.
+pub fn macro_f1(y_true: &[u32], y_pred: &[u32], num_classes: usize) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(num_classes > 0);
+    let counts = confusion(y_true, y_pred, num_classes);
+    let mut sum = 0.0f64;
+    for &(tp, fp, fnn) in &counts {
+        let denom = 2 * tp + fp + fnn;
+        if denom > 0 {
+            sum += 2.0 * tp as f64 / denom as f64;
+        }
+    }
+    sum / num_classes as f64
+}
+
+/// Micro-averaged F1: F1 over pooled counts. For single-label multi-class
+/// problems this equals plain accuracy.
+pub fn micro_f1(y_true: &[u32], y_pred: &[u32], num_classes: usize) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    let counts = confusion(y_true, y_pred, num_classes);
+    let (tp, fp, fnn) = counts
+        .iter()
+        .fold((0usize, 0usize, 0usize), |a, &(t, f, n)| (a.0 + t, a.1 + f, a.2 + n));
+    let denom = 2 * tp + fp + fnn;
+    if denom == 0 {
+        return 0.0;
+    }
+    2.0 * tp as f64 / denom as f64
+}
+
+/// Area under the ROC curve via the rank statistic
+/// `AUC = (Σ ranks of positives − n₊(n₊+1)/2) / (n₊ n₋)`, with midrank tie
+/// handling.
+///
+/// # Panics
+/// Panics unless both classes are present.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "AUC requires both classes");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // midranks
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    let sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|&(_, &l)| l)
+        .map(|(&r, _)| r)
+        .sum();
+    (sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Normalized mutual information between two labelings, with arithmetic-mean
+/// normalization `NMI = 2·I(U;V) / (H(U) + H(V))`. Returns 1 for identical
+/// partitions (up to relabeling) and 0 for independent ones; defined as 0
+/// when either partition has zero entropy but they are not both constant.
+pub fn nmi(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    let n = a.len() as f64;
+    let ka = *a.iter().max().unwrap() as usize + 1;
+    let kb = *b.iter().max().unwrap() as usize + 1;
+    let mut joint = vec![0.0f64; ka * kb];
+    let mut pa = vec![0.0f64; ka];
+    let mut pb = vec![0.0f64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x as usize * kb + y as usize] += 1.0;
+        pa[x as usize] += 1.0;
+        pb[y as usize] += 1.0;
+    }
+    let h = |p: &[f64]| -> f64 {
+        p.iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let q = c / n;
+                -q * q.ln()
+            })
+            .sum()
+    };
+    let ha = h(&pa);
+    let hb = h(&pb);
+    let mut mi = 0.0f64;
+    for x in 0..ka {
+        for y in 0..kb {
+            let c = joint[x * kb + y];
+            if c > 0.0 {
+                let pxy = c / n;
+                mi += pxy * (pxy / (pa[x] / n * pb[y] / n)).ln();
+            }
+        }
+    }
+    if ha + hb == 0.0 {
+        // both partitions constant → identical
+        return 1.0;
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![0u32, 1, 2, 1, 0];
+        assert!((macro_f1(&y, &y, 3) - 1.0).abs() < 1e-12);
+        assert!((micro_f1(&y, &y, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy() {
+        let t = vec![0u32, 0, 1, 1, 2, 2];
+        let p = vec![0u32, 1, 1, 1, 2, 0];
+        // accuracy = 4/6
+        assert!((micro_f1(&t, &p, 3) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        // class 0: tp=2 fp=1 fn=0 → f1 = 4/5
+        // class 1: tp=0 fp=0 fn=1 → f1 = 0
+        let t = vec![0u32, 0, 1];
+        let p = vec![0u32, 0, 0];
+        let want = (2.0 * 2.0 / (2.0 * 2.0 + 1.0) + 0.0) / 2.0;
+        assert!((macro_f1(&t, &p, 2) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        let labels = vec![true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let inverted = vec![false, false, true, true];
+        assert!((roc_auc(&scores, &inverted) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_is_half() {
+        let scores = vec![0.5, 0.5, 0.5, 0.5];
+        let labels = vec![true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let scores = vec![0.1, 0.4, 0.35, 0.8, 0.65];
+        let labels = vec![false, false, true, true, false];
+        let a1 = roc_auc(&scores, &labels);
+        let transformed: Vec<f64> = scores.iter().map(|&s| (5.0 * s).exp()).collect();
+        let a2 = roc_auc(&transformed, &labels);
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_identical_and_permuted() {
+        let a = vec![0u32, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        let permuted = vec![2u32, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &permuted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_independent_is_low() {
+        // b splits each a-class evenly → I(U;V) = 0
+        let a = vec![0u32, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0u32, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn nmi_constant_partitions() {
+        let a = vec![0u32; 5];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn auc_rejects_single_class() {
+        roc_auc(&[0.1, 0.2], &[true, true]);
+    }
+}
+
+/// Adjusted Rand index between two labelings: chance-corrected pair-counting
+/// agreement in `[−0.5, 1]` (1 = identical partitions, ≈0 = independent).
+/// A standard companion to [`nmi`] for clustering evaluation.
+pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    let ka = *a.iter().max().unwrap() as usize + 1;
+    let kb = *b.iter().max().unwrap() as usize + 1;
+    let mut joint = vec![0u64; ka * kb];
+    let mut ca = vec![0u64; ka];
+    let mut cb = vec![0u64; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x as usize * kb + y as usize] += 1;
+        ca[x as usize] += 1;
+        cb[y as usize] += 1;
+    }
+    let comb2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = joint.iter().map(|&c| comb2(c)).sum();
+    let sum_a: f64 = ca.iter().map(|&c| comb2(c)).sum();
+    let sum_b: f64 = cb.iter().map(|&c| comb2(c)).sum();
+    let total = comb2(a.len() as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both partitions trivial/identical structure
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod ari_tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0u32, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        let permuted = vec![1u32, 1, 2, 2, 0, 0];
+        assert!((adjusted_rand_index(&a, &permuted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_near_zero() {
+        let a = vec![0u32, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0u32, 1, 0, 1, 0, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b).abs() < 0.2);
+    }
+
+    #[test]
+    fn partial_agreement_between_zero_and_one() {
+        let a = vec![0u32, 0, 0, 1, 1, 1];
+        let b = vec![0u32, 0, 1, 1, 1, 1];
+        let s = adjusted_rand_index(&a, &b);
+        assert!(s > 0.0 && s < 1.0, "ari {s}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Exact-gradient t-SNE (van der Maaten & Hinton, 2008) for the Fig. 3
+//! embedding visualizations. O(n²) per iteration — adequate at the paper's
+//! visualization scale (Cora, n ≈ 2.7k).
+
+use rand::Rng;
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iters: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of iters.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iters: 400, learning_rate: 100.0, exaggeration: 8.0 }
+    }
+}
+
+/// Embeds row-major `(n × dim)` points into 2-D. Returns a flat `(n × 2)`
+/// buffer.
+pub fn tsne<R: Rng>(points: &[f32], dim: usize, cfg: &TsneConfig, rng: &mut R) -> Vec<f32> {
+    assert!(dim > 0);
+    let n = points.len() / dim;
+    assert_eq!(points.len(), n * dim, "points shape");
+    assert!(n >= 4, "need at least 4 points");
+    let perplexity = cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+
+    // Pairwise squared distances in high-dim space.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            for k in 0..dim {
+                let diff = (points[i * dim + k] - points[j * dim + k]) as f64;
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // Per-point precision by binary search on perplexity.
+    let target_h = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-20f64, 1e20f64);
+        let mut beta = 1.0f64;
+        for _ in 0..64 {
+            let mut sum = 0.0f64;
+            let mut h = 0.0f64;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-beta * d2[i * n + j]).exp();
+                sum += e;
+            }
+            if sum <= 0.0 {
+                beta /= 2.0;
+                continue;
+            }
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pj = (-beta * d2[i * n + j]).exp() / sum;
+                if pj > 1e-12 {
+                    h -= pj * pj.ln();
+                }
+            }
+            if (h - target_h).abs() < 1e-5 {
+                break;
+            }
+            if h > target_h {
+                lo = beta;
+                beta = if hi >= 1e20 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0f64;
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = (-beta * d2[i * n + j]).exp();
+                sum += p[i * n + j];
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+            p[i * n + j] = v.max(1e-12);
+            p[j * n + i] = p[i * n + j];
+        }
+        p[i * n + i] = 0.0;
+    }
+
+    // Init small Gaussian.
+    let mut y: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(-1e-2..1e-2)).collect();
+    let mut vel = vec![0.0f64; n * 2];
+    let mut grad = vec![0.0f64; n * 2];
+    let mut q = vec![0.0f64; n * n];
+    let exag_end = cfg.iters / 4;
+    for iter in 0..cfg.iters {
+        let exaggeration = if iter < exag_end { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities.
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i * 2] - y[j * 2];
+                let dy = y[i * 2 + 1] - y[j * 2 + 1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let pq = exaggeration * p[i * n + j] - w / qsum;
+                let mult = 4.0 * pq * w;
+                grad[i * 2] += mult * (y[i * 2] - y[j * 2]);
+                grad[i * 2 + 1] += mult * (y[i * 2 + 1] - y[j * 2 + 1]);
+            }
+        }
+        let momentum = if iter < exag_end { 0.5 } else { 0.8 };
+        for k in 0..n * 2 {
+            vel[k] = momentum * vel[k] - cfg.learning_rate * grad[k];
+            y[k] += vel[k];
+        }
+        // Center.
+        let (mx, my) = (0..n).fold((0.0, 0.0), |a, i| (a.0 + y[i * 2], a.1 + y[i * 2 + 1]));
+        for i in 0..n {
+            y[i * 2] -= mx / n as f64;
+            y[i * 2 + 1] -= my / n as f64;
+        }
+    }
+    y.into_iter().map(|v| v as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn separates_two_gaussian_blobs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n_per = 30usize;
+        let dim = 10usize;
+        let mut pts = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                for k in 0..dim {
+                    let center = if k == c { 8.0 } else { 0.0 };
+                    pts.push(center + rng.gen_range(-0.5..0.5f32));
+                }
+            }
+        }
+        let cfg = TsneConfig { iters: 250, perplexity: 10.0, ..Default::default() };
+        let y = tsne(&pts, dim, &cfg, &mut rng);
+        // Mean intra-blob 2-D distance should be far below inter-blob.
+        let d = |a: usize, b: usize| -> f64 {
+            let dx = (y[a * 2] - y[b * 2]) as f64;
+            let dy = (y[a * 2 + 1] - y[b * 2 + 1]) as f64;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for a in 0..2 * n_per {
+            for b in (a + 1)..2 * n_per {
+                if (a < n_per) == (b < n_per) {
+                    intra = (intra.0 + d(a, b), intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d(a, b), inter.1 + 1);
+                }
+            }
+        }
+        let (mi, me) = (intra.0 / intra.1 as f64, inter.0 / inter.1 as f64);
+        assert!(me > 2.0 * mi, "inter {me} vs intra {mi}");
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pts: Vec<f32> = (0..40 * 5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let cfg = TsneConfig { iters: 60, ..Default::default() };
+        let y = tsne(&pts, 5, &cfg, &mut rng);
+        assert_eq!(y.len(), 80);
+        assert!(y.iter().all(|v| v.is_finite()));
+        let mx: f32 = (0..40).map(|i| y[i * 2]).sum::<f32>() / 40.0;
+        assert!(mx.abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_few_points_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        tsne(&[0.0; 6], 2, &TsneConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,208 @@
+//! Incremental construction of [`AttributedGraph`]s.
+
+use crate::graph::{AttributedGraph, NodeAttributes};
+use crate::NodeId;
+
+/// Builds an [`AttributedGraph`] from a stream of (possibly duplicated,
+/// possibly asymmetric) undirected edges.
+///
+/// Duplicate edges are merged by *summing* weights; self-loops are dropped.
+/// If no attributes are supplied, one-hot identity attributes are used.
+///
+/// ```
+/// use coane_graph::{GraphBuilder, NodeAttributes};
+/// let mut b = GraphBuilder::new(3, 3);
+/// b.add_edge(0, 1, 1.0);
+/// b.add_edge(1, 0, 0.5); // merged into (0,1) with weight 1.5
+/// b.add_edge(1, 2, 2.0);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight(0, 1), Some(1.5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    attr_dim: usize,
+    edges: Vec<(NodeId, NodeId, f32)>,
+    attrs: Option<NodeAttributes>,
+    labels: Option<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and attribute dim `attr_dim`
+    /// (only used when no explicit attributes are set).
+    pub fn new(n: usize, attr_dim: usize) -> Self {
+        Self { n, attr_dim, edges: Vec::new(), attrs: None, labels: None }
+    }
+
+    /// Adds an undirected edge. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or the weight is not finite and
+    /// positive.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f32) -> &mut Self {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge endpoint out of range");
+        assert!(w.is_finite() && w > 0.0, "edge weight must be finite and positive");
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b, w));
+        }
+        self
+    }
+
+    /// Adds many unweighted edges.
+    pub fn add_edges(&mut self, edges: &[(NodeId, NodeId)]) -> &mut Self {
+        for &(u, v) in edges {
+            self.add_edge(u, v, 1.0);
+        }
+        self
+    }
+
+    /// Sets the node-attribute matrix.
+    pub fn with_attrs(mut self, attrs: NodeAttributes) -> Self {
+        assert_eq!(attrs.num_rows(), self.n, "attribute rows must equal n");
+        self.attrs = Some(attrs);
+        self
+    }
+
+    /// Sets ground-truth labels.
+    pub fn with_labels(mut self, labels: Vec<u32>) -> Self {
+        assert_eq!(labels.len(), self.n, "labels length must equal n");
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Number of (pre-dedup) edges added so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a validated [`AttributedGraph`].
+    pub fn build(self) -> AttributedGraph {
+        let Self { n, attr_dim, mut edges, attrs, labels } = self;
+        // Merge duplicates by (u, v), summing weights.
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut merged: Vec<(NodeId, NodeId, f32)> = Vec::with_capacity(edges.len());
+        for (u, v, w) in edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == u && last.1 == v => last.2 += w,
+                _ => merged.push((u, v, w)),
+            }
+        }
+        // Degree counting pass, then fill.
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &merged {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        for d in &deg {
+            indptr.push(indptr.last().unwrap() + d);
+        }
+        let total = *indptr.last().unwrap();
+        let mut neighbors = vec![0 as NodeId; total];
+        let mut weights = vec![0.0f32; total];
+        let mut cursor = indptr[..n].to_vec();
+        for &(u, v, w) in &merged {
+            neighbors[cursor[u as usize]] = v;
+            weights[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            weights[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list (neighbors of u were appended in edge order).
+        for v in 0..n {
+            let (s, e) = (indptr[v], indptr[v + 1]);
+            let mut pairs: Vec<(NodeId, f32)> =
+                neighbors[s..e].iter().copied().zip(weights[s..e].iter().copied()).collect();
+            pairs.sort_unstable_by_key(|&(nb, _)| nb);
+            for (k, (nb, w)) in pairs.into_iter().enumerate() {
+                neighbors[s + k] = nb;
+                weights[s + k] = w;
+            }
+        }
+        let attrs = attrs.unwrap_or_else(|| {
+            if attr_dim == n {
+                NodeAttributes::identity(n)
+            } else {
+                NodeAttributes::from_sparse_rows(attr_dim.max(1), &vec![vec![]; n])
+            }
+        });
+        AttributedGraph::from_csr(n, indptr, neighbors, weights, attrs, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_duplicates_and_symmetrizes() {
+        let mut b = GraphBuilder::new(4, 4);
+        b.add_edge(2, 1, 1.0);
+        b.add_edge(1, 2, 3.0);
+        b.add_edge(0, 3, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(1, 2), Some(4.0));
+        assert_eq!(g.edge_weight(2, 1), Some(4.0));
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new(5, 5);
+        b.add_edge(0, 4, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(0, 3, 1.0);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.neighbors_of(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn default_attrs_identity_when_dim_matches() {
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        assert_eq!(g.attr_dim(), 3);
+        let (idx, _) = g.attrs().row(2);
+        assert_eq!(idx, &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_bad_weight() {
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let mut b = GraphBuilder::new(10, 10);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(7), 0);
+        assert!(g.neighbors_of(7).is_empty());
+    }
+}

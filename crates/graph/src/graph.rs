@@ -1,0 +1,454 @@
+//! The attributed graph `G = (V, E, X)` in CSR form.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Sparse node attributes `X ∈ R^{n×d}` stored in CSR form.
+///
+/// The paper's datasets carry sparse high-dimensional binary bag-of-words
+/// attributes (e.g. Flickr: d = 12047), so dense storage is wasteful; rows
+/// are materialized densely only where a model needs them (attribute-context
+/// matrices, attribute reconstruction targets).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeAttributes {
+    dim: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl NodeAttributes {
+    /// Builds attributes from per-node sparse rows of `(attribute index, value)`.
+    ///
+    /// # Panics
+    /// Panics if any attribute index is `>= dim`.
+    pub fn from_sparse_rows(dim: usize, rows: &[Vec<(u32, f32)>]) -> Self {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        for row in rows {
+            let mut sorted: Vec<(u32, f32)> = row.clone();
+            sorted.sort_unstable_by_key(|&(i, _)| i);
+            for &(i, v) in &sorted {
+                assert!((i as usize) < dim, "attribute index {i} out of range (dim={dim})");
+                indices.push(i);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Self { dim, indptr, indices, values }
+    }
+
+    /// Builds attributes from a dense row-major matrix, dropping zeros.
+    pub fn from_dense(dim: usize, rows: &[Vec<f32>]) -> Self {
+        let sparse: Vec<Vec<(u32, f32)>> = rows
+            .iter()
+            .map(|r| {
+                assert_eq!(r.len(), dim);
+                r.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect()
+            })
+            .collect();
+        Self::from_sparse_rows(dim, &sparse)
+    }
+
+    /// One-hot identity attributes (used by the paper's "WF" ablation where
+    /// real attributes are withheld and structure alone must suffice).
+    pub fn identity(n: usize) -> Self {
+        let rows: Vec<Vec<(u32, f32)>> = (0..n).map(|i| vec![(i as u32, 1.0)]).collect();
+        Self::from_sparse_rows(n, &rows)
+    }
+
+    /// Attribute dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows (nodes).
+    pub fn num_rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Total number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sparse row view: parallel slices of attribute indices and values.
+    pub fn row(&self, v: NodeId) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[v as usize], self.indptr[v as usize + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Writes the dense form of row `v` into `out` (which must have length `dim`).
+    /// Existing contents of `out` are overwritten with zeros first.
+    pub fn write_row_dense(&self, v: NodeId, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim);
+        out.fill(0.0);
+        let (idx, val) = self.row(v);
+        for (&i, &x) in idx.iter().zip(val) {
+            out[i as usize] = x;
+        }
+    }
+
+    /// Adds `scale * row(v)` into `out` without zeroing (dense accumulate).
+    pub fn accumulate_row(&self, v: NodeId, scale: f32, out: &mut [f32]) {
+        let (idx, val) = self.row(v);
+        for (&i, &x) in idx.iter().zip(val) {
+            out[i as usize] += scale * x;
+        }
+    }
+
+    /// Materializes rows `nodes` as a dense row-major `(nodes.len() × dim)` buffer.
+    pub fn gather_dense(&self, nodes: &[NodeId]) -> Vec<f32> {
+        let mut out = vec![0.0; nodes.len() * self.dim];
+        for (r, &v) in nodes.iter().enumerate() {
+            let (idx, val) = self.row(v);
+            let base = r * self.dim;
+            for (&i, &x) in idx.iter().zip(val) {
+                out[base + i as usize] = x;
+            }
+        }
+        out
+    }
+
+    /// Cosine similarity between the attribute vectors of `u` and `v`.
+    /// Returns 0 when either row is all-zero.
+    pub fn cosine(&self, u: NodeId, v: NodeId) -> f32 {
+        let (ia, va) = self.row(u);
+        let (ib, vb) = self.row(v);
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        // Two-pointer sparse dot product over sorted indices.
+        let mut dot = 0.0f32;
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ia.len() && q < ib.len() {
+            match ia[p].cmp(&ib[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += va[p] * vb[q];
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        dot / (na * nb)
+    }
+}
+
+/// An undirected attributed graph in CSR form with optional edge weights and
+/// ground-truth labels.
+///
+/// Invariants (checked by [`AttributedGraph::validate`] and the builder):
+/// - adjacency lists are sorted and deduplicated,
+/// - the adjacency structure is symmetric (`(u,v)` present iff `(v,u)` is),
+/// - no self-loops,
+/// - `attrs.num_rows() == n` and, when present, `labels.len() == n`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttributedGraph {
+    n: usize,
+    indptr: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    weights: Vec<f32>,
+    attrs: NodeAttributes,
+    labels: Option<Vec<u32>>,
+}
+
+impl AttributedGraph {
+    /// Assembles a graph from raw CSR parts. Prefer [`crate::GraphBuilder`].
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent (see type-level invariants).
+    pub fn from_csr(
+        n: usize,
+        indptr: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        weights: Vec<f32>,
+        attrs: NodeAttributes,
+        labels: Option<Vec<u32>>,
+    ) -> Self {
+        let g = Self { n, indptr, neighbors, weights, attrs, labels };
+        g.validate();
+        g
+    }
+
+    /// Checks all structural invariants; panics with a description on violation.
+    pub fn validate(&self) {
+        assert_eq!(self.indptr.len(), self.n + 1, "indptr length");
+        assert_eq!(self.neighbors.len(), self.weights.len(), "weights length");
+        assert_eq!(*self.indptr.last().unwrap(), self.neighbors.len(), "indptr total");
+        assert_eq!(self.attrs.num_rows(), self.n, "attribute rows");
+        if let Some(l) = &self.labels {
+            assert_eq!(l.len(), self.n, "labels length");
+        }
+        for v in 0..self.n {
+            let nb = self.neighbors_of(v as NodeId);
+            for w in nb.windows(2) {
+                assert!(w[0] < w[1], "adjacency of {v} not sorted/deduped");
+            }
+            for &u in nb {
+                assert!((u as usize) < self.n, "neighbor out of range");
+                assert_ne!(u as usize, v, "self-loop at {v}");
+                assert!(self.has_edge(u, v as NodeId), "asymmetric edge ({v},{u})");
+            }
+        }
+    }
+
+    /// Number of nodes `n = |V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Graph density `|E| / (n(n-1)/2)` as reported in Table 1 of the paper.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let possible = self.n as f64 * (self.n as f64 - 1.0) / 2.0;
+        self.num_edges() as f64 / possible
+    }
+
+    /// Sorted neighbor list of `v`.
+    pub fn neighbors_of(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.indptr[v as usize]..self.indptr[v as usize + 1]]
+    }
+
+    /// Edge weights parallel to [`Self::neighbors_of`].
+    pub fn weights_of(&self, v: NodeId) -> &[f32] {
+        &self.weights[self.indptr[v as usize]..self.indptr[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.indptr[v as usize + 1] - self.indptr[v as usize]
+    }
+
+    /// Sum of edge weights incident to `v` (`Σ_j E_vj`, the random-walk
+    /// normalizer of §3.1).
+    pub fn weighted_degree(&self, v: NodeId) -> f32 {
+        self.weights_of(v).iter().sum()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists (binary search, O(log deg)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors_of(u).binary_search(&v).is_ok()
+    }
+
+    /// Weight of edge `(u, v)`, or `None` when absent.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f32> {
+        self.neighbors_of(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.weights_of(u)[i])
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.n as NodeId).flat_map(move |u| {
+            self.neighbors_of(u)
+                .iter()
+                .zip(self.weights_of(u))
+                .filter(move |(&v, _)| u < v)
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+
+    /// Node attributes `X`.
+    pub fn attrs(&self) -> &NodeAttributes {
+        &self.attrs
+    }
+
+    /// Attribute dimensionality `d`.
+    pub fn attr_dim(&self) -> usize {
+        self.attrs.dim()
+    }
+
+    /// Ground-truth labels, when present.
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of distinct labels (0 if the graph is unlabeled).
+    pub fn num_labels(&self) -> usize {
+        self.labels
+            .as_ref()
+            .map(|l| l.iter().copied().max().map_or(0, |m| m as usize + 1))
+            .unwrap_or(0)
+    }
+
+    /// Replaces the attribute matrix (e.g. for the WF ablation which swaps in
+    /// identity attributes). The new matrix must have `n` rows.
+    pub fn with_attrs(mut self, attrs: NodeAttributes) -> Self {
+        assert_eq!(attrs.num_rows(), self.n, "attribute rows must equal n");
+        self.attrs = attrs;
+        self
+    }
+
+    /// Returns a copy of this graph with the given undirected edges removed.
+    /// Used by link-prediction splits to form the residual training graph.
+    pub fn remove_edges(&self, removed: &[(NodeId, NodeId)]) -> Self {
+        use std::collections::HashSet;
+        let dead: HashSet<(NodeId, NodeId)> = removed
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        let mut indptr = Vec::with_capacity(self.n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        let mut weights = Vec::with_capacity(self.weights.len());
+        indptr.push(0);
+        for u in 0..self.n as NodeId {
+            for (&v, &w) in self.neighbors_of(u).iter().zip(self.weights_of(u)) {
+                if !dead.contains(&(u, v)) {
+                    neighbors.push(v);
+                    weights.push(w);
+                }
+            }
+            indptr.push(neighbors.len());
+        }
+        Self {
+            n: self.n,
+            indptr,
+            neighbors,
+            weights,
+            attrs: self.attrs.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> AttributedGraph {
+        let mut b = GraphBuilder::new(n, 4);
+        for i in 0..n - 1 {
+            b.add_edge(i as NodeId, i as NodeId + 1, 1.0);
+        }
+        b.with_attrs(NodeAttributes::from_dense(
+            4,
+            &(0..n).map(|i| vec![i as f32, 1.0, 0.0, 0.0]).collect::<Vec<_>>(),
+        ))
+        .build()
+    }
+
+    #[test]
+    fn csr_roundtrip_and_degrees() {
+        let g = path_graph(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbors_of(2), &[1, 3]);
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 4));
+        assert_eq!(g.edge_weight(3, 4), Some(1.0));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = path_graph(6);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        for (u, v, _) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let g = path_graph(5);
+        let expect = 4.0 / (5.0 * 4.0 / 2.0);
+        assert!((g.density() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attr_dense_gather() {
+        let g = path_graph(3);
+        let buf = g.attrs().gather_dense(&[2, 0]);
+        assert_eq!(buf, vec![2.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn attr_row_dense_and_accumulate() {
+        let attrs = NodeAttributes::from_sparse_rows(3, &[vec![(0, 2.0), (2, 1.0)], vec![]]);
+        let mut out = vec![9.0; 3];
+        attrs.write_row_dense(0, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, 1.0]);
+        attrs.accumulate_row(0, 0.5, &mut out);
+        assert_eq!(out, vec![3.0, 0.0, 1.5]);
+        attrs.write_row_dense(1, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn cosine_similarity() {
+        let attrs = NodeAttributes::from_sparse_rows(
+            4,
+            &[
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(2, 1.0)],
+                vec![],
+            ],
+        );
+        assert!((attrs.cosine(0, 1) - 1.0).abs() < 1e-6);
+        assert_eq!(attrs.cosine(0, 2), 0.0);
+        assert_eq!(attrs.cosine(0, 3), 0.0);
+    }
+
+    #[test]
+    fn identity_attrs() {
+        let a = NodeAttributes::identity(3);
+        assert_eq!(a.dim(), 3);
+        let (idx, val) = a.row(1);
+        assert_eq!(idx, &[1]);
+        assert_eq!(val, &[1.0]);
+    }
+
+    #[test]
+    fn remove_edges_keeps_symmetry() {
+        let g = path_graph(5);
+        let g2 = g.remove_edges(&[(1, 2)]);
+        g2.validate();
+        assert_eq!(g2.num_edges(), 3);
+        assert!(!g2.has_edge(1, 2));
+        assert!(!g2.has_edge(2, 1));
+        assert!(g2.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute index")]
+    fn attr_index_out_of_range_panics() {
+        NodeAttributes::from_sparse_rows(2, &[vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn num_labels_from_max() {
+        let mut b = GraphBuilder::new(3, 1);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b
+            .with_attrs(NodeAttributes::identity(3))
+            .with_labels(vec![0, 2, 2])
+            .build();
+        assert_eq!(g.num_labels(), 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Graph serialization: JSON (via serde) and the plain-text edge-list /
+//! attribute-list formats used by the LINQS dataset distributions the paper
+//! evaluates on (`*.cites` edge lists and `*.content` attribute rows).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{AttributedGraph, NodeAttributes};
+use crate::NodeId;
+
+/// Writes the graph as pretty JSON.
+pub fn save_json(g: &AttributedGraph, path: &Path) -> io::Result<()> {
+    let f = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(f, g).map_err(io::Error::other)
+}
+
+/// Reads a graph previously written by [`save_json`].
+pub fn load_json(path: &Path) -> io::Result<AttributedGraph> {
+    let f = BufReader::new(File::open(path)?);
+    let g: AttributedGraph = serde_json::from_reader(f).map_err(io::Error::other)?;
+    g.validate();
+    Ok(g)
+}
+
+/// Writes a whitespace-separated edge list, one `u v w` triple per line.
+pub fn save_edge_list(g: &AttributedGraph, path: &Path) -> io::Result<()> {
+    let mut f = BufWriter::new(File::create(path)?);
+    for (u, v, w) in g.edges() {
+        writeln!(f, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+/// One parsed `.content` row: `(external id, sparse attrs, label name)`.
+pub type ContentRow = (String, Vec<(u32, f32)>, String);
+
+/// Parses a LINQS-style `.content` file: each line is
+/// `node_id <d binary attr values> label`. Returns one [`ContentRow`] per
+/// input line.
+pub fn parse_content_lines<B: BufRead>(reader: B) -> io::Result<Vec<ContentRow>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let mut toks = line.split_whitespace();
+        let Some(id) = toks.next() else { continue };
+        let rest: Vec<&str> = toks.collect();
+        if rest.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("content row for {id} has no label"),
+            ));
+        }
+        let label = rest[rest.len() - 1].to_string();
+        let mut attrs = Vec::new();
+        for (i, tok) in rest[..rest.len() - 1].iter().enumerate() {
+            let v: f32 = tok.parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad attr value: {e}"))
+            })?;
+            if v != 0.0 {
+                attrs.push((i as u32, v));
+            }
+        }
+        out.push((id.to_string(), attrs, label));
+    }
+    Ok(out)
+}
+
+/// Loads a LINQS-style dataset from a `.content` attribute file and a `.cites`
+/// edge-list file (whitespace separated external-id pairs). Edges that
+/// reference unknown node ids are skipped, matching the common preprocessing
+/// of these datasets.
+pub fn load_linqs(content_path: &Path, cites_path: &Path) -> io::Result<AttributedGraph> {
+    use std::collections::HashMap;
+    let rows = parse_content_lines(BufReader::new(File::open(content_path)?))?;
+    if rows.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty content file"));
+    }
+    let dim = {
+        // All rows must agree on dimensionality: track the max index + 1 from
+        // a dense format, which is the token count of the first row.
+        let first = BufReader::new(File::open(content_path)?)
+            .lines()
+            .next()
+            .transpose()?
+            .unwrap_or_default();
+        first.split_whitespace().count().saturating_sub(2)
+    };
+    let mut id_map: HashMap<String, NodeId> = HashMap::with_capacity(rows.len());
+    let mut label_map: HashMap<String, u32> = HashMap::new();
+    let mut attrs = Vec::with_capacity(rows.len());
+    let mut labels = Vec::with_capacity(rows.len());
+    for (ext, a, lab) in rows {
+        let next = id_map.len() as NodeId;
+        id_map.entry(ext).or_insert(next);
+        attrs.push(a);
+        let next_label = label_map.len() as u32;
+        labels.push(*label_map.entry(lab).or_insert(next_label));
+    }
+    let n = id_map.len();
+    let mut b = GraphBuilder::new(n, dim);
+    for line in BufReader::new(File::open(cites_path)?).lines() {
+        let line = line?;
+        let mut toks = line.split_whitespace();
+        if let (Some(a), Some(bn)) = (toks.next(), toks.next()) {
+            if let (Some(&u), Some(&v)) = (id_map.get(a), id_map.get(bn)) {
+                if u != v {
+                    b.add_edge(u, v, 1.0);
+                }
+            }
+        }
+    }
+    Ok(b
+        .with_attrs(NodeAttributes::from_sparse_rows(dim, &attrs))
+        .with_labels(labels)
+        .build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeAttributes};
+
+    fn tiny() -> AttributedGraph {
+        let mut b = GraphBuilder::new(3, 2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.with_attrs(NodeAttributes::from_dense(2, &[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]))
+        .with_labels(vec![0, 1, 1])
+        .build()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = tiny();
+        let dir = std::env::temp_dir().join("coane_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        save_json(&g, &path).unwrap();
+        let g2 = load_json(&path).unwrap();
+        assert_eq!(g2.num_nodes(), 3);
+        assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.edge_weight(1, 2), Some(2.0));
+        assert_eq!(g2.labels(), Some(&[0u32, 1, 1][..]));
+        assert_eq!(g2.attrs(), g.attrs());
+    }
+
+    #[test]
+    fn edge_list_written() {
+        let g = tiny();
+        let dir = std::env::temp_dir().join("coane_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        save_edge_list(&g, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("0 1 1"));
+        assert!(text.contains("1 2 2"));
+    }
+
+    #[test]
+    fn parses_content_rows() {
+        let data = "p1 1 0 1 genetics\np2 0 0 0 theory\n";
+        let rows = parse_content_lines(data.as_bytes()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "p1");
+        assert_eq!(rows[0].1, vec![(0, 1.0), (2, 1.0)]);
+        assert_eq!(rows[0].2, "genetics");
+        assert!(rows[1].1.is_empty());
+    }
+
+    #[test]
+    fn loads_linqs_pair() {
+        let dir = std::env::temp_dir().join("coane_graph_linqs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let content = dir.join("x.content");
+        let cites = dir.join("x.cites");
+        std::fs::write(&content, "a 1 0 L1\nb 0 1 L2\nc 1 1 L1\n").unwrap();
+        std::fs::write(&cites, "a b\nb c\nmissing a\na a\n").unwrap();
+        let g = load_linqs(&content, &cites).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2); // unknown + self-loop rows skipped
+        assert_eq!(g.attr_dim(), 2);
+        assert_eq!(g.num_labels(), 2);
+    }
+
+    #[test]
+    fn rejects_row_without_label() {
+        let data = "p1\n";
+        assert!(parse_content_lines(data.as_bytes()).is_err());
+    }
+}

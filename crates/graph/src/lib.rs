@@ -1,0 +1,31 @@
+//! # coane-graph
+//!
+//! Attributed-graph substrate for the CoANE reproduction.
+//!
+//! The central type is [`AttributedGraph`], the paper's `G = (V, E, X)`:
+//! an undirected, optionally weighted graph in compressed-sparse-row (CSR)
+//! form together with a sparse node-attribute matrix `X ∈ R^{n×d}` and
+//! (optionally) ground-truth node labels used by the evaluation tasks.
+//!
+//! Modules:
+//! - [`graph`] — the CSR graph and sparse attribute storage,
+//! - [`builder`] — incremental construction with deduplication,
+//! - [`ops`] — structural operations (degrees, components, normalized
+//!   adjacency for GCN-style encoders, common neighbours, …),
+//! - [`split`] — link-prediction edge splits (train/validation/test plus
+//!   sampled non-edges) that mirror the protocol of §4.2 of the paper,
+//! - [`io`] — JSON and plain-text serialization.
+
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod ops;
+pub mod split;
+
+pub use builder::GraphBuilder;
+pub use graph::{AttributedGraph, NodeAttributes};
+pub use ops::CsrTriple;
+pub use split::{EdgeSplit, SplitConfig};
+
+/// A node identifier. Node ids are dense indices in `0..n`.
+pub type NodeId = u32;

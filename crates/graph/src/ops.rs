@@ -1,0 +1,398 @@
+//! Structural graph operations: components, normalized adjacency matrices for
+//! GCN-style encoders, common neighbours, and degree statistics.
+
+use crate::graph::AttributedGraph;
+use crate::NodeId;
+
+/// A sparse matrix in CSR triple form `(indptr, indices, values)` with a
+/// square `n × n` shape. Produced by the adjacency-normalization helpers and
+/// consumed by `coane-nn`'s sparse-dense matmul op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrTriple {
+    /// Number of rows (== number of columns).
+    pub n: usize,
+    /// Row pointers, length `n + 1`.
+    pub indptr: Vec<usize>,
+    /// Column indices per row, sorted.
+    pub indices: Vec<u32>,
+    /// Values parallel to `indices`.
+    pub values: Vec<f32>,
+}
+
+impl CsrTriple {
+    /// Row view as `(indices, values)`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Dense `n × m -> n × m` product `out = self · x` where `x` is row-major
+    /// with `m` columns. Allocates the output.
+    pub fn matmul_dense(&self, x: &[f32], m: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.n * m, "dense operand shape");
+        let mut out = vec![0.0f32; self.n * m];
+        for i in 0..self.n {
+            let (idx, val) = self.row(i);
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (&j, &a) in idx.iter().zip(val) {
+                let xrow = &x[j as usize * m..(j as usize + 1) * m];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += a * xv;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// GCN-style symmetric normalization with self-loops:
+/// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` where `D̃` is the degree matrix of `A + I`.
+///
+/// Used by the GAE/VGAE and GraphSAGE baselines.
+pub fn normalized_adjacency(g: &AttributedGraph) -> CsrTriple {
+    let n = g.num_nodes();
+    let mut deg = vec![0.0f32; n];
+    for v in 0..n as NodeId {
+        deg[v as usize] = g.weighted_degree(v) + 1.0; // + self-loop
+    }
+    let inv_sqrt: Vec<f32> = deg.iter().map(|&d| 1.0 / d.sqrt()).collect();
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::with_capacity(g.num_edges() * 2 + n);
+    let mut values = Vec::with_capacity(g.num_edges() * 2 + n);
+    indptr.push(0);
+    for v in 0..n as NodeId {
+        let mut inserted_self = false;
+        for (&u, &w) in g.neighbors_of(v).iter().zip(g.weights_of(v)) {
+            if !inserted_self && u > v {
+                indices.push(v);
+                values.push(inv_sqrt[v as usize] * inv_sqrt[v as usize]);
+                inserted_self = true;
+            }
+            indices.push(u);
+            values.push(w * inv_sqrt[v as usize] * inv_sqrt[u as usize]);
+        }
+        if !inserted_self {
+            indices.push(v);
+            values.push(inv_sqrt[v as usize] * inv_sqrt[v as usize]);
+        }
+        indptr.push(indices.len());
+    }
+    CsrTriple { n, indptr, indices, values }
+}
+
+/// Row-stochastic transition matrix `P = D^{-1} A` (the random-walk operator of
+/// §3.1; rows of isolated nodes are all-zero).
+pub fn transition_matrix(g: &AttributedGraph) -> CsrTriple {
+    let n = g.num_nodes();
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::with_capacity(g.num_edges() * 2);
+    let mut values = Vec::with_capacity(g.num_edges() * 2);
+    indptr.push(0);
+    for v in 0..n as NodeId {
+        let wd = g.weighted_degree(v);
+        for (&u, &w) in g.neighbors_of(v).iter().zip(g.weights_of(v)) {
+            indices.push(u);
+            values.push(w / wd);
+        }
+        indptr.push(indices.len());
+    }
+    CsrTriple { n, indptr, indices, values }
+}
+
+/// Connected components by BFS. Returns `(component id per node, #components)`.
+pub fn connected_components(g: &AttributedGraph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors_of(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Number of common neighbors of `u` and `v` (two-pointer merge over the
+/// sorted adjacency lists).
+pub fn common_neighbors(g: &AttributedGraph, u: NodeId, v: NodeId) -> usize {
+    let (a, b) = (g.neighbors_of(u), g.neighbors_of(v));
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Nodes within `hops` hops of `v` (excluding `v` itself), via BFS.
+/// Used by Fig. 5's comparison of walk contexts against fixed-hop regions.
+pub fn k_hop_neighborhood(g: &AttributedGraph, v: NodeId, hops: usize) -> Vec<NodeId> {
+    let mut dist = vec![usize::MAX; g.num_nodes()];
+    dist[v as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([v]);
+    let mut out = Vec::new();
+    while let Some(x) = queue.pop_front() {
+        if dist[x as usize] == hops {
+            continue;
+        }
+        for &u in g.neighbors_of(x) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = dist[x as usize] + 1;
+                out.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Degree distribution summary: `(min, max, mean)`.
+pub fn degree_stats(g: &AttributedGraph) -> (usize, usize, f64) {
+    let n = g.num_nodes();
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    for v in 0..n as NodeId {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    (if n == 0 { 0 } else { min }, max, sum as f64 / n.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeAttributes};
+
+    fn triangle_plus_tail() -> AttributedGraph {
+        // 0-1-2 triangle, 2-3 tail, 4 isolated
+        let mut b = GraphBuilder::new(5, 5);
+        b.add_edges(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        b.with_attrs(NodeAttributes::identity(5)).build()
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_sum_property() {
+        let g = triangle_plus_tail();
+        let a = normalized_adjacency(&g);
+        // symmetric: Â_ij == Â_ji
+        for i in 0..a.n {
+            let (idx, val) = a.row(i);
+            for (&j, &v) in idx.iter().zip(val) {
+                let (jidx, jval) = a.row(j as usize);
+                let pos = jidx.binary_search(&(i as u32)).expect("symmetric entry");
+                assert!((jval[pos] - v).abs() < 1e-6);
+            }
+        }
+        // self-loop present on every row, including the isolated node
+        for i in 0..a.n {
+            let (idx, _) = a.row(i);
+            assert!(idx.contains(&(i as u32)), "row {i} missing self-loop");
+        }
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let g = triangle_plus_tail();
+        let p = transition_matrix(&g);
+        for i in 0..4 {
+            let (_, val) = p.row(i);
+            let s: f32 = val.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {i} sums to {s}");
+        }
+        let (_, val) = p.row(4);
+        assert!(val.is_empty());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn csr_matmul_dense_matches_manual() {
+        let g = triangle_plus_tail();
+        let p = transition_matrix(&g);
+        // x = one column: the all-ones vector. P · 1 = 1 on non-isolated rows.
+        let x = vec![1.0f32; 5];
+        let y = p.matmul_dense(&x, 1);
+        for i in 0..4 {
+            assert!((y[i] - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(y[4], 0.0);
+    }
+
+    #[test]
+    fn components() {
+        let g = triangle_plus_tail();
+        let (comp, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(common_neighbors(&g, 0, 1), 1); // node 2
+        assert_eq!(common_neighbors(&g, 0, 3), 1); // node 2
+        assert_eq!(common_neighbors(&g, 0, 4), 0);
+    }
+
+    #[test]
+    fn k_hop() {
+        let g = triangle_plus_tail();
+        assert_eq!(k_hop_neighborhood(&g, 0, 1), vec![1, 2]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 2), vec![1, 2, 3]);
+        assert!(k_hop_neighborhood(&g, 4, 3).is_empty());
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = triangle_plus_tail();
+        let (min, max, mean) = degree_stats(&g);
+        assert_eq!(min, 0);
+        assert_eq!(max, 3);
+        assert!((mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+}
+
+/// Random walk with restart (personalized PageRank) scores from `source`,
+/// by power iteration: `p ← (1−α) P᳔ p + α e_source` where `P` is the
+/// row-stochastic transition matrix and `α` the restart probability.
+///
+/// The paper cites RWR (§3.3.1) to justify boosting one-hop co-occurrences
+/// via `D¹`: with restart, direct neighbours receive much higher stationary
+/// probability than multi-hop ones. [`rwr_scores`] lets tests and analyses
+/// verify that property on real graphs.
+pub fn rwr_scores(g: &AttributedGraph, source: NodeId, restart: f32, iters: usize) -> Vec<f32> {
+    assert!((0.0..=1.0).contains(&restart), "restart must be a probability");
+    let n = g.num_nodes();
+    let mut p = vec![0.0f32; n];
+    p[source as usize] = 1.0;
+    let mut next = vec![0.0f32; n];
+    for _ in 0..iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for v in 0..n as NodeId {
+            let mass = p[v as usize];
+            if mass == 0.0 {
+                continue;
+            }
+            let wd = g.weighted_degree(v);
+            if wd == 0.0 {
+                // dangling node: all mass restarts
+                next[source as usize] += mass * (1.0 - restart);
+                continue;
+            }
+            for (&u, &w) in g.neighbors_of(v).iter().zip(g.weights_of(v)) {
+                next[u as usize] += mass * (1.0 - restart) * (w / wd);
+            }
+        }
+        next[source as usize] += restart;
+        // normalize drift (restart mass is added every step)
+        let total: f32 = next.iter().sum();
+        for x in next.iter_mut() {
+            *x /= total;
+        }
+        std::mem::swap(&mut p, &mut next);
+    }
+    p
+}
+
+/// Newman modularity `Q` of a node partition:
+/// `Q = Σ_c (e_c / m − (deg_c / 2m)²)` where `e_c` is the number of
+/// intra-community edges and `deg_c` the community's total degree. Useful as
+/// an unsupervised companion to NMI when judging recovered clusters.
+pub fn modularity(g: &AttributedGraph, communities: &[u32]) -> f64 {
+    assert_eq!(communities.len(), g.num_nodes(), "partition length");
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = communities.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut intra = vec![0.0f64; k];
+    let mut deg = vec![0.0f64; k];
+    for (u, v, _) in g.edges() {
+        if communities[u as usize] == communities[v as usize] {
+            intra[communities[u as usize] as usize] += 1.0;
+        }
+    }
+    for v in 0..g.num_nodes() as NodeId {
+        deg[communities[v as usize] as usize] += g.degree(v) as f64;
+    }
+    (0..k).map(|c| intra[c] / m - (deg[c] / (2.0 * m)).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod rwr_tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeAttributes};
+
+    fn two_triangles_bridge() -> AttributedGraph {
+        // triangle {0,1,2} — bridge 2-3 — triangle {3,4,5}
+        let mut b = GraphBuilder::new(6, 6);
+        b.add_edges(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        b.with_attrs(NodeAttributes::identity(6)).build()
+    }
+
+    #[test]
+    fn rwr_prefers_one_hop_neighbors() {
+        let g = two_triangles_bridge();
+        let p = rwr_scores(&g, 0, 0.3, 60);
+        // one-hop neighbours of 0 outrank the far triangle's nodes
+        assert!(p[1] > p[4], "one-hop {} vs three-hop {}", p[1], p[4]);
+        assert!(p[2] > p[5]);
+        // source itself carries the most mass
+        assert!(p[0] >= *p.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap() - 1e-6);
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "probabilities sum to {total}");
+    }
+
+    #[test]
+    fn rwr_handles_isolated_source() {
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.with_attrs(NodeAttributes::identity(3)).build();
+        let p = rwr_scores(&g, 2, 0.2, 20);
+        assert!((p[2] - 1.0).abs() < 1e-5, "isolated source keeps all mass");
+    }
+
+    #[test]
+    fn modularity_favors_true_partition() {
+        let g = two_triangles_bridge();
+        let good = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let bad = modularity(&g, &[0, 1, 0, 1, 0, 1]);
+        assert!(good > 0.2, "good partition Q = {good}");
+        assert!(good > bad, "good {good} <= bad {bad}");
+    }
+
+    #[test]
+    fn modularity_single_community_is_zero() {
+        let g = two_triangles_bridge();
+        let q = modularity(&g, &[0; 6]);
+        assert!(q.abs() < 1e-12);
+    }
+}

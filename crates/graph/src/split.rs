@@ -1,0 +1,222 @@
+//! Link-prediction edge splits.
+//!
+//! The paper (§4.2, "Link prediction") randomly chooses 70% / 10% / 20% of
+//! edges as training / validation / test sets, samples an equal number of
+//! non-existing links as negative instances (without replication across
+//! sets), and trains embeddings on the *residual* graph that contains only
+//! the training edges.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+use crate::graph::AttributedGraph;
+use crate::NodeId;
+
+/// Fractions of edges assigned to train / validation / test.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitConfig {
+    /// Fraction of edges kept for embedding training (residual graph).
+    pub train: f64,
+    /// Fraction of edges held out for hyperparameter validation.
+    pub validation: f64,
+    /// Fraction of edges held out for final testing.
+    pub test: f64,
+}
+
+impl SplitConfig {
+    /// The paper's 70/10/20 split.
+    pub fn paper() -> Self {
+        Self { train: 0.7, validation: 0.1, test: 0.2 }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (self.train + self.validation + self.test - 1.0).abs() < 1e-9,
+            "split fractions must sum to 1"
+        );
+        assert!(self.train > 0.0 && self.validation >= 0.0 && self.test > 0.0);
+    }
+}
+
+/// The outcome of an edge split: positive/negative pairs per partition and the
+/// residual graph that embedding methods may train on.
+#[derive(Clone, Debug)]
+pub struct EdgeSplit {
+    /// Residual graph containing only training edges.
+    pub train_graph: AttributedGraph,
+    /// Training-positive edges (also present in `train_graph`).
+    pub train_pos: Vec<(NodeId, NodeId)>,
+    /// Training-negative node pairs (non-edges of the *full* graph).
+    pub train_neg: Vec<(NodeId, NodeId)>,
+    /// Validation positives (removed from `train_graph`).
+    pub val_pos: Vec<(NodeId, NodeId)>,
+    /// Validation negatives.
+    pub val_neg: Vec<(NodeId, NodeId)>,
+    /// Test positives (removed from `train_graph`).
+    pub test_pos: Vec<(NodeId, NodeId)>,
+    /// Test negatives.
+    pub test_neg: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeSplit {
+    /// Splits `g` per `cfg` using `rng`. Negative pairs are sampled uniformly
+    /// from non-edges, deduplicated, and never replicated across partitions.
+    pub fn new<R: Rng>(g: &AttributedGraph, cfg: SplitConfig, rng: &mut R) -> Self {
+        cfg.validate();
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        edges.shuffle(rng);
+        let m = edges.len();
+        let n_val = (m as f64 * cfg.validation).round() as usize;
+        let n_test = (m as f64 * cfg.test).round() as usize;
+        assert!(n_val + n_test < m, "not enough edges to split");
+        let val_pos: Vec<_> = edges[0..n_val].to_vec();
+        let test_pos: Vec<_> = edges[n_val..n_val + n_test].to_vec();
+        let train_pos: Vec<_> = edges[n_val + n_test..].to_vec();
+        let removed: Vec<_> = val_pos.iter().chain(&test_pos).copied().collect();
+        let train_graph = g.remove_edges(&removed);
+
+        let total_negs = train_pos.len() + val_pos.len() + test_pos.len();
+        let negs = sample_non_edges(g, total_negs, rng);
+        let train_neg = negs[0..train_pos.len()].to_vec();
+        let val_neg = negs[train_pos.len()..train_pos.len() + val_pos.len()].to_vec();
+        let test_neg = negs[train_pos.len() + val_pos.len()..].to_vec();
+
+        Self { train_graph, train_pos, train_neg, val_pos, val_neg, test_pos, test_neg }
+    }
+}
+
+/// Samples `count` distinct non-edges `(u, v)` with `u < v` uniformly at random.
+///
+/// # Panics
+/// Panics if the graph is too dense to contain `count` distinct non-edges.
+pub fn sample_non_edges<R: Rng>(
+    g: &AttributedGraph,
+    count: usize,
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as u64;
+    let possible = n * (n - 1) / 2 - g.num_edges() as u64;
+    assert!(
+        count as u64 <= possible,
+        "requested {count} non-edges but only {possible} exist"
+    );
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(count * 2);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if g.has_edge(key.0, key.1) || !seen.insert(key) {
+            continue;
+        }
+        out.push(key);
+    }
+    out
+}
+
+/// Splits labeled node ids into `(train, test)` with `train_ratio` of each
+/// graph's nodes in the training set (stratification is *not* applied; the
+/// paper reports plain random selection).
+pub fn node_label_split<R: Rng>(
+    n: usize,
+    train_ratio: f64,
+    rng: &mut R,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    assert!((0.0..1.0).contains(&train_ratio) && train_ratio > 0.0);
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    ids.shuffle(rng);
+    let k = ((n as f64 * train_ratio).round() as usize).clamp(1, n - 1);
+    (ids[..k].to_vec(), ids[k..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeAttributes};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring(n: usize) -> AttributedGraph {
+        let mut b = GraphBuilder::new(n, n);
+        for i in 0..n {
+            b.add_edge(i as NodeId, ((i + 1) % n) as NodeId, 1.0);
+        }
+        b.with_attrs(NodeAttributes::identity(n)).build()
+    }
+
+    #[test]
+    fn split_partitions_edges() {
+        let g = ring(100);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let s = EdgeSplit::new(&g, SplitConfig::paper(), &mut rng);
+        assert_eq!(s.val_pos.len(), 10);
+        assert_eq!(s.test_pos.len(), 20);
+        assert_eq!(s.train_pos.len(), 70);
+        assert_eq!(s.train_graph.num_edges(), 70);
+        // Held-out positives really are removed from the residual graph.
+        for &(u, v) in s.test_pos.iter().chain(&s.val_pos) {
+            assert!(!s.train_graph.has_edge(u, v));
+        }
+        for &(u, v) in &s.train_pos {
+            assert!(s.train_graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn negatives_are_nonedges_and_disjoint() {
+        let g = ring(60);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = EdgeSplit::new(&g, SplitConfig::paper(), &mut rng);
+        let mut all: Vec<(NodeId, NodeId)> = Vec::new();
+        for set in [&s.train_neg, &s.val_neg, &s.test_neg] {
+            for &(u, v) in set.iter() {
+                assert!(!g.has_edge(u, v), "negative ({u},{v}) is an edge");
+                assert!(u < v);
+                all.push((u, v));
+            }
+        }
+        let uniq: HashSet<_> = all.iter().collect();
+        assert_eq!(uniq.len(), all.len(), "negatives replicated across sets");
+        assert_eq!(s.test_neg.len(), s.test_pos.len());
+    }
+
+    #[test]
+    fn label_split_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let (tr, te) = node_label_split(100, 0.2, &mut rng);
+        assert_eq!(tr.len(), 20);
+        assert_eq!(te.len(), 80);
+        let mut all: Vec<_> = tr.iter().chain(&te).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = ring(50);
+        let s1 = EdgeSplit::new(&g, SplitConfig::paper(), &mut ChaCha8Rng::seed_from_u64(9));
+        let s2 = EdgeSplit::new(&g, SplitConfig::paper(), &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(s1.test_pos, s2.test_pos);
+        assert_eq!(s1.train_neg, s2.train_neg);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edges")]
+    fn dense_graph_cannot_supply_negatives() {
+        // complete graph on 4 nodes has no non-edges
+        let mut b = GraphBuilder::new(4, 4);
+        for u in 0..4u32 {
+            for v in u + 1..4 {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        sample_non_edges(&g, 3, &mut rng);
+    }
+}

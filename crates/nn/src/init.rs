@@ -1,0 +1,77 @@
+//! Parameter initialization. The paper initializes model parameters and node
+//! embeddings with Xavier (Glorot) uniform initialization [Glorot & Bengio
+//! 2010], which we reproduce here.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier-uniform matrix: entries drawn from
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))` with
+/// `fan_in = rows`, `fan_out = cols`.
+pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Uniform matrix in `[lo, hi)`.
+pub fn uniform<R: Rng>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Standard-normal matrix scaled by `std`.
+pub fn normal<R: Rng>(rows: usize, cols: usize, std: f32, rng: &mut R) -> Matrix {
+    // Box–Muller; two values per draw.
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = xavier_uniform(64, 32, &mut rng);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate: plenty of distinct values.
+        let distinct: std::collections::HashSet<u32> =
+            m.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert!(distinct.len() > 1000);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = normal(100, 100, 2.0, &mut rng);
+        let mean = m.sum() / m.len() as f32;
+        let var =
+            m.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / m.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier_uniform(8, 8, &mut ChaCha8Rng::seed_from_u64(42));
+        let b = xavier_uniform(8, 8, &mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

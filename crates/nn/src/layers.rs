@@ -1,0 +1,204 @@
+//! Neural-network layers built on [`Params`] + [`Tape`]: a dense linear
+//! layer and the 2-hidden-layer ReLU MLP the paper uses as its attribute
+//! decoder (§3.3.3).
+
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::matrix::Matrix;
+use crate::optim::{ParamId, Params};
+use crate::tape::{Tape, Var};
+
+/// Activation functions supported by [`Mlp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit (the paper's decoder activation).
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no activation).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Linear => x,
+        }
+    }
+}
+
+/// A dense layer `y = x W + b` with Xavier-initialized `W ∈ R^{in×out}`.
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers the layer's parameters in `params`.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Weight parameter handle.
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Bias parameter handle.
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
+
+    /// Forward pass. `vars` is the output of [`Params::attach`] in the same
+    /// parameter order used at construction.
+    pub fn forward(&self, tape: &mut Tape, vars: &[Var], x: Var) -> Var {
+        let h = tape.matmul(x, vars[self.w.index()]);
+        tape.add_row(h, vars[self.b.index()])
+    }
+}
+
+/// A multi-layer perceptron. The paper's attribute decoder is
+/// `Mlp::new(params, "dec", &[d', h1, h2, d], Activation::Relu, rng)` —
+/// two hidden ReLU layers, linear output.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths (`dims.len() - 1` layers).
+    /// The activation is applied after every layer except the last.
+    pub fn new<R: Rng>(
+        params: &mut Params,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(params, &format!("{name}.{i}"), w[0], w[1], rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, tape: &mut Tape, vars: &[Var], mut x: Var) -> Var {
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(tape, vars, x);
+            if i + 1 < self.layers.len() {
+                x = self.activation.apply(tape, x);
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut params = Params::new();
+        let lin = Linear::new(&mut params, "l", 4, 3, &mut rng);
+        assert_eq!(params.get(lin.weight()).shape(), (4, 3));
+        assert_eq!(params.get(lin.bias()).shape(), (1, 3));
+        let mut t = Tape::new();
+        let vars = params.attach(&mut t);
+        let x = t.constant(Matrix::zeros(5, 4));
+        let y = lin.forward(&mut t, &vars, x);
+        assert_eq!(t.value(y).shape(), (5, 3));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // XOR is not linearly separable — passing this requires working
+        // hidden-layer gradients end to end.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let mlp = Mlp::new(&mut params, "m", &[2, 8, 1], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            let mut t = Tape::new();
+            let vars = params.attach(&mut t);
+            let xin = t.constant(x.clone());
+            let logits = mlp.forward(&mut t, &vars, xin);
+            let probs = t.sigmoid(logits);
+            let target = t.constant(y.clone());
+            let loss = t.mse(probs, target);
+            t.backward(loss);
+            last = t.value(loss).item();
+            let grads = params.collect_grads(&t, &vars);
+            opt.step(&mut params, &grads);
+        }
+        assert!(last < 0.02, "XOR loss stayed at {last}");
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_rows(&[vec![-1.0, 2.0]]));
+        let r = Activation::Relu.apply(&mut t, x);
+        assert_eq!(t.value(r).as_slice(), &[0.0, 2.0]);
+        let l = Activation::Linear.apply(&mut t, x);
+        assert_eq!(l, x);
+    }
+
+    #[test]
+    fn mlp_layer_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut params = Params::new();
+        let mlp = Mlp::new(&mut params, "m", &[8, 16, 16, 4], Activation::Relu, &mut rng);
+        assert_eq!(mlp.num_layers(), 3);
+        assert_eq!(params.len(), 6); // w + b per layer
+    }
+}

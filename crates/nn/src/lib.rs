@@ -1,0 +1,29 @@
+//! # coane-nn
+//!
+//! A minimal, deterministic CPU tensor library with reverse-mode automatic
+//! differentiation, written for the CoANE reproduction. The paper trains a
+//! 1-D convolutional encoder plus an MLP attribute decoder with Adam and
+//! Xavier initialization; this crate provides exactly that machinery (and
+//! enough extra ops — sparse-dense matmul, row gathers, segment means,
+//! pairwise row dot products — for the GCN-style and embedding-table
+//! baselines as well).
+//!
+//! Design: a [`tape::Tape`] records a computation graph of [`matrix::Matrix`]
+//! values with a *closed enum* of operations (no closures), which keeps the
+//! backward pass auditable and lets unit tests finite-difference every op.
+//! Model parameters live outside the tape in a [`optim::Params`] store; each
+//! training step builds a fresh tape, runs forward + backward, and feeds the
+//! gradients to an optimizer ([`optim::Adam`] / [`optim::Sgd`]).
+
+pub mod init;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod sparse;
+pub mod tape;
+
+pub use layers::{Linear, Mlp};
+pub use matrix::Matrix;
+pub use optim::{Adam, ParamId, Params, Sgd};
+pub use sparse::SparseMatrix;
+pub use tape::{Tape, Var};

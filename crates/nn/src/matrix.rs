@@ -1,0 +1,306 @@
+//! Dense row-major `f32` matrices with the handful of BLAS-like kernels the
+//! autograd engine needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// 1×1 matrix holding a scalar.
+    pub fn scalar(v: f32) -> Self {
+        Self::from_vec(1, 1, vec![v])
+    }
+
+    /// Builds from nested rows (test convenience).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a 1×1 matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not 1×1.
+    pub fn item(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "item() on non-scalar");
+        self.data[0]
+    }
+
+    /// Matrix product `self · rhs` with ikj loop ordering (cache friendly for
+    /// row-major operands).
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = rhs.row(p);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            for j in 0..n {
+                let brow = rhs.row(j);
+                let mut s = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out.data[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// In-place `self += scale * rhs`.
+    pub fn axpy(&mut self, scale: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element (0 for empty matrices).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Asserts every element is finite (useful guard in training loops).
+    pub fn assert_finite(&self, what: &str) {
+        for (i, &x) in self.data.iter().enumerate() {
+            assert!(x.is_finite(), "{what}: non-finite value {x} at index {i}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let c1 = a.matmul_tn(&b);
+        let c2 = a.transpose().matmul(&b);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 0.5]]);
+        let c1 = a.matmul_nt(&b);
+        let c2 = a.matmul(&b.transpose());
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::zeros(1, 3);
+        let b = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Matrix::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn item_panics_on_matrix() {
+        Matrix::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn map_and_reductions() {
+        let a = Matrix::from_rows(&[vec![-3.0, 4.0]]);
+        assert_eq!(a.map(f32::abs).as_slice(), &[3.0, 4.0]);
+        assert_eq!(a.sum(), 1.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+}

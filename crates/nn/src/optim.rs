@@ -1,0 +1,260 @@
+//! Parameter storage and optimizers.
+//!
+//! Parameters live *outside* the tape in a [`Params`] store; each training
+//! step registers them on a fresh [`crate::Tape`], reads back the gradients
+//! and applies an optimizer step. [`Adam`] follows Kingma & Ba (2015) with
+//! the paper's default learning rate 1e-3.
+
+use crate::matrix::Matrix;
+use crate::tape::{Tape, Var};
+
+/// Handle to a parameter in a [`Params`] store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// The parameter's insertion index. [`Params::attach`] registers tape
+    /// leaves in insertion order, so this index addresses the corresponding
+    /// `Var` in the attached slice.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A named collection of trainable matrices.
+#[derive(Default)]
+pub struct Params {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+}
+
+impl Params {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Registers every parameter on `tape` as a grad-tracked leaf, returning
+    /// the tape vars in parameter order.
+    pub fn attach(&self, tape: &mut Tape) -> Vec<Var> {
+        self.values.iter().map(|v| tape.leaf(v.clone(), true)).collect()
+    }
+
+    /// Collects the gradient of each parameter from `tape` after a backward
+    /// pass (`None` entries become zero matrices).
+    pub fn collect_grads(&self, tape: &Tape, vars: &[Var]) -> Vec<Matrix> {
+        assert_eq!(vars.len(), self.values.len());
+        vars.iter()
+            .zip(&self.values)
+            .map(|(&v, p)| {
+                tape.grad(v)
+                    .cloned()
+                    .unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
+            })
+            .collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+}
+
+/// Plain stochastic gradient descent.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies `p -= lr * g` to every parameter.
+    pub fn step(&mut self, params: &mut Params, grads: &[Matrix]) {
+        assert_eq!(grads.len(), params.len());
+        for (i, g) in grads.iter().enumerate() {
+            params.values[i].axpy(-self.lr, g);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015).
+pub struct Adam {
+    /// Learning rate (paper default 1e-3).
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// One update step. Lazily initializes moment buffers to match `params`.
+    pub fn step(&mut self, params: &mut Params, grads: &[Matrix]) {
+        assert_eq!(grads.len(), params.len());
+        if self.m.len() != params.len() {
+            self.m = params.values.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, g) in grads.iter().enumerate() {
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            assert_eq!(m.shape(), g.shape(), "gradient shape changed between steps");
+            let p = &mut params.values[i];
+            for k in 0..g.len() {
+                let gk = g.as_slice()[k];
+                let mk = self.beta1 * m.as_slice()[k] + (1.0 - self.beta1) * gk;
+                let vk = self.beta2 * v.as_slice()[k] + (1.0 - self.beta2) * gk * gk;
+                m.as_mut_slice()[k] = mk;
+                v.as_mut_slice()[k] = vk;
+                let mhat = mk / b1t;
+                let vhat = vk / b2t;
+                p.as_mut_slice()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizing f(x) = (x - 3)² should drive x → 3.
+    fn quadratic_descent(make: impl Fn() -> Box<dyn FnMut(&mut Params, &[Matrix])>) -> f32 {
+        let mut params = Params::new();
+        let x = params.add("x", Matrix::scalar(0.0));
+        let mut stepper = make();
+        for _ in 0..800 {
+            let mut t = Tape::new();
+            let vars = params.attach(&mut t);
+            let target = t.constant(Matrix::scalar(3.0));
+            let d = t.sub(vars[0], target);
+            let loss = t.sqr(d);
+            let loss = t.sum(loss);
+            t.backward(loss);
+            let grads = params.collect_grads(&t, &vars);
+            stepper(&mut params, &grads);
+        }
+        params.get(x).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = quadratic_descent(|| {
+            let mut opt = Sgd::new(0.1);
+            Box::new(move |p, g| opt.step(p, g))
+        });
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = quadratic_descent(|| {
+            let mut opt = Adam::new(0.05);
+            Box::new(move |p, g| opt.step(p, g))
+        });
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step with gradient g, Adam moves by exactly lr * sign(g)
+        // (bias-corrected), regardless of |g|.
+        let mut params = Params::new();
+        params.add("x", Matrix::scalar(1.0));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut params, &[Matrix::scalar(1e-3)]);
+        let moved = 1.0 - params.values[0].item();
+        assert!((moved - 0.01).abs() < 1e-4, "moved {moved}");
+    }
+
+    #[test]
+    fn params_store_roundtrip() {
+        let mut p = Params::new();
+        let a = p.add("a", Matrix::zeros(2, 3));
+        let b = p.add("b", Matrix::scalar(1.0));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.name(a), "a");
+        assert_eq!(p.num_scalars(), 7);
+        p.get_mut(b).as_mut_slice()[0] = 5.0;
+        assert_eq!(p.get(b).item(), 5.0);
+        let names: Vec<&str> = p.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn collect_grads_zero_for_unused() {
+        let params = {
+            let mut p = Params::new();
+            p.add("used", Matrix::scalar(2.0));
+            p.add("unused", Matrix::zeros(2, 2));
+            p
+        };
+        let mut t = Tape::new();
+        let vars = params.attach(&mut t);
+        let loss = t.sqr(vars[0]);
+        let loss = t.sum(loss);
+        t.backward(loss);
+        let grads = params.collect_grads(&t, &vars);
+        assert_eq!(grads[0].item(), 4.0);
+        assert_eq!(grads[1], Matrix::zeros(2, 2));
+    }
+}

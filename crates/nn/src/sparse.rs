@@ -1,0 +1,173 @@
+//! Sparse CSR matrices used as *constant* operands in the autograd graph
+//! (e.g. the normalized adjacency `Â` of GCN-style encoders).
+
+use crate::matrix::Matrix;
+
+/// A sparse matrix in CSR format with `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds from CSR parts.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parts or out-of-range column indices.
+    pub fn from_csr(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indices.len(), values.len(), "values length");
+        assert_eq!(*indptr.last().unwrap_or(&0), indices.len(), "indptr total");
+        assert!(indices.iter().all(|&j| (j as usize) < cols), "column index out of range");
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds from a list of `(row, col, value)` triplets (duplicates summed).
+    pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(usize, usize, f32)>) -> Self {
+        t.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(t.len());
+        for (r, c, v) in t {
+            assert!(r < rows && c < cols, "triplet out of range");
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0usize; rows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r + 1] += 1;
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        let indices = merged.iter().map(|&(_, c, _)| c as u32).collect();
+        let values = merged.iter().map(|&(_, _, v)| v).collect();
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row view `(indices, values)`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Dense product `self · x`.
+    pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&j, &a) in idx.iter().zip(val) {
+                let xrow = x.row(j as usize);
+                for (o, &b) in orow.iter_mut().zip(xrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product with the transpose: `selfᵀ · x` (used in the SpMM
+    /// backward pass).
+    pub fn transpose_matmul_dense(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.rows, x.rows(), "spmm_t shape mismatch");
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.cols, n);
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            let xrow = x.row(i);
+            for (&j, &a) in idx.iter().zip(val) {
+                let orow = out.row_mut(j as usize);
+                for (o, &b) in orow.iter_mut().zip(xrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densifies (test helper; O(rows·cols) memory).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (idx, val) = self.row(i);
+            for (&j, &v) in idx.iter().zip(val) {
+                out.set(i, j as usize, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> SparseMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [0, 3, 0]]
+        SparseMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0)])
+    }
+
+    #[test]
+    fn triplets_to_csr() {
+        let m = example();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0f32, 2.0][..]));
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+        assert_eq!(m.row(2), (&[1u32][..], &[3.0f32][..]));
+    }
+
+    #[test]
+    fn duplicate_triplets_summed() {
+        let m = SparseMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.row(0), (&[1u32][..], &[3.5f32][..]));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = example();
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 0.0], vec![0.5, -1.0]]);
+        let y = m.matmul_dense(&x);
+        let y2 = m.to_dense().matmul(&x);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn spmm_transpose_matches_dense() {
+        let m = example();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let y = m.transpose_matmul_dense(&x);
+        let y2 = m.to_dense().transpose().matmul(&x);
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn rejects_bad_column() {
+        SparseMatrix::from_csr(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+}

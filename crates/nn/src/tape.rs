@@ -1,0 +1,806 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tape`] records an eagerly-evaluated computation graph. Operations are
+//! a closed enum — every backward rule is written out explicitly and covered
+//! by finite-difference tests — rather than closures, which keeps the engine
+//! small and auditable.
+//!
+//! Typical usage (one training step):
+//!
+//! ```
+//! use coane_nn::{Matrix, Tape};
+//! let mut t = Tape::new();
+//! let w = t.leaf(Matrix::from_rows(&[vec![0.5, -0.5]]), true);
+//! let x = t.leaf(Matrix::from_rows(&[vec![1.0], vec![2.0]]), false);
+//! let y = t.matmul(w, x);      // 1x1
+//! let loss = t.sqr(y);
+//! let loss = t.sum(loss);
+//! t.backward(loss);
+//! let g = t.grad(w).unwrap();  // d(loss)/dw
+//! assert_eq!(g.shape(), (1, 2));
+//! ```
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+
+/// Handle to a node in a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    Leaf { requires_grad: bool },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    // The constant is recorded for debuggability only: d(x+c)/dx = 1.
+    AddConst(Var, #[allow(dead_code)] f32),
+    Sigmoid(Var),
+    LogSigmoid(Var),
+    Relu(Var),
+    Tanh(Var),
+    Exp(Var),
+    Ln(Var),
+    Sqr(Var),
+    Sum(Var),
+    Mean(Var),
+    RowsDot(Var, Var),
+    GatherRows(Var, Rc<Vec<u32>>),
+    SegmentMean(Var, Rc<Vec<usize>>),
+    SpMM(Rc<SparseMatrix>, Var),
+    ConcatCols(Var, Var),
+    SliceCols(Var, Range<usize>),
+    BceWithLogits(Var, Rc<Matrix>),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+}
+
+/// An autograd tape: build the graph with the op methods, call
+/// [`Tape::backward`] on a scalar node, then read gradients of leaves with
+/// [`Tape::grad`].
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value, grad: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient accumulated at a node after [`Tape::backward`]; `None` if the
+    /// node received no gradient.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Inserts a leaf holding `value`. Gradients are only tracked through it
+    /// when `requires_grad` is true (constants should pass `false`; the
+    /// backward pass still flows *through* constants' consumers either way).
+    pub fn leaf(&mut self, value: Matrix, requires_grad: bool) -> Var {
+        self.push(Op::Leaf { requires_grad }, value)
+    }
+
+    /// Constant leaf (no gradient tracking).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.leaf(value, false)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Elementwise sum of same-shape operands.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "add shape mismatch");
+        let mut v = x.clone();
+        v.axpy(1.0, y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Row-broadcast add: `(m,n) + (1,n)` (bias addition).
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let (x, b) = (self.value(a), self.value(bias));
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(x.cols(), b.cols(), "bias width mismatch");
+        let mut v = x.clone();
+        for r in 0..v.rows() {
+            for (o, &bb) in v.row_mut(r).iter_mut().zip(b.row(0)) {
+                *o += bb;
+            }
+        }
+        self.push(Op::AddRow(a, bias), v)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "sub shape mismatch");
+        let mut v = x.clone();
+        v.axpy(-1.0, y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "mul shape mismatch");
+        let data = x.as_slice().iter().zip(y.as_slice()).map(|(&p, &q)| p * q).collect();
+        let v = Matrix::from_vec(x.rows(), x.cols(), data);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| c * x);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// Elementwise `x + c`.
+    pub fn add_const(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        self.push(Op::AddConst(a, c), v)
+    }
+
+    /// Logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Numerically stable `log σ(x) = -softplus(-x)`.
+    pub fn log_sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| -softplus(-x));
+        self.push(Op::LogSigmoid(a), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(Op::Exp(a), v)
+    }
+
+    /// Elementwise natural log. Inputs are clamped to `1e-12` from below to
+    /// avoid `-inf`; prefer [`Tape::log_sigmoid`] for likelihoods.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(1e-12).ln());
+        self.push(Op::Ln(a), v)
+    }
+
+    /// Elementwise square.
+    pub fn sqr(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(Op::Sqr(a), v)
+    }
+
+    /// Sum of all elements → 1×1.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Matrix::scalar(self.value(a).sum());
+        self.push(Op::Sum(a), v)
+    }
+
+    /// Mean of all elements → 1×1. The mean of an empty matrix is 0.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let x = self.value(a);
+        let n = x.len();
+        let v = Matrix::scalar(if n == 0 { 0.0 } else { x.sum() / n as f32 });
+        self.push(Op::Mean(a), v)
+    }
+
+    /// Pairwise row dot products: `(m,n) × (m,n) → (m,1)`,
+    /// `out_i = Σ_j a_ij b_ij`. This is the workhorse of every edge / pair
+    /// likelihood (`σ(L_i · R_j)`, `(z_i · z_j)²`, …).
+    pub fn rows_dot(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.shape(), y.shape(), "rows_dot shape mismatch");
+        let mut v = Matrix::zeros(x.rows(), 1);
+        for i in 0..x.rows() {
+            let s: f32 = x.row(i).iter().zip(y.row(i)).map(|(&p, &q)| p * q).sum();
+            v.set(i, 0, s);
+        }
+        self.push(Op::RowsDot(a, b), v)
+    }
+
+    /// Row gather (embedding lookup): output row `k` is input row
+    /// `indices[k]`. The backward pass scatter-adds, so repeated indices
+    /// accumulate gradient — exactly the embedding-table semantics.
+    pub fn gather_rows(&mut self, a: Var, indices: Rc<Vec<u32>>) -> Var {
+        let x = self.value(a);
+        let mut v = Matrix::zeros(indices.len(), x.cols());
+        for (k, &i) in indices.iter().enumerate() {
+            v.row_mut(k).copy_from_slice(x.row(i as usize));
+        }
+        self.push(Op::GatherRows(a, indices), v)
+    }
+
+    /// Segment mean over consecutive row ranges. `offsets` has length
+    /// `S + 1`; output row `s` is the mean of input rows
+    /// `offsets[s]..offsets[s+1]` (zero for empty segments). This implements
+    /// the paper's 1-D average pooling over each node's variable-size
+    /// context set.
+    pub fn segment_mean(&mut self, a: Var, offsets: Rc<Vec<usize>>) -> Var {
+        let x = self.value(a);
+        assert!(offsets.len() >= 2, "need at least one segment");
+        assert_eq!(*offsets.last().unwrap(), x.rows(), "offsets must cover all rows");
+        let segs = offsets.len() - 1;
+        let mut v = Matrix::zeros(segs, x.cols());
+        for s in 0..segs {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            assert!(lo <= hi, "offsets must be nondecreasing");
+            if lo == hi {
+                continue;
+            }
+            let inv = 1.0 / (hi - lo) as f32;
+            for r in lo..hi {
+                let row = x.row(r);
+                for (o, &xx) in v.row_mut(s).iter_mut().zip(row) {
+                    *o += xx * inv;
+                }
+            }
+        }
+        self.push(Op::SegmentMean(a, offsets), v)
+    }
+
+    /// Sparse-constant × dense-variable product (`Â · H` in GCN layers).
+    pub fn spmm(&mut self, a: Rc<SparseMatrix>, b: Var) -> Var {
+        let v = a.matmul_dense(self.value(b));
+        self.push(Op::SpMM(a, b), v)
+    }
+
+    /// Horizontal concatenation of same-height operands.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (x, y) = (self.value(a), self.value(b));
+        assert_eq!(x.rows(), y.rows(), "concat_cols height mismatch");
+        let mut v = Matrix::zeros(x.rows(), x.cols() + y.cols());
+        for r in 0..x.rows() {
+            v.row_mut(r)[..x.cols()].copy_from_slice(x.row(r));
+            v.row_mut(r)[x.cols()..].copy_from_slice(y.row(r));
+        }
+        self.push(Op::ConcatCols(a, b), v)
+    }
+
+    /// Column slice `a[:, range]` (used to split `Z = [L | R]`).
+    pub fn slice_cols(&mut self, a: Var, range: Range<usize>) -> Var {
+        let x = self.value(a);
+        assert!(range.end <= x.cols(), "slice out of range");
+        let mut v = Matrix::zeros(x.rows(), range.len());
+        for r in 0..x.rows() {
+            v.row_mut(r).copy_from_slice(&x.row(r)[range.clone()]);
+        }
+        self.push(Op::SliceCols(a, range), v)
+    }
+
+    /// Elementwise, numerically stable binary cross-entropy with logits:
+    /// `max(x,0) − x·t + ln(1 + e^{−|x|})`. Targets are constants.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Rc<Matrix>) -> Var {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), targets.shape(), "bce shape mismatch");
+        let data = x
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&l, &t)| l.max(0.0) - l * t + softplus(-l.abs()))
+            .collect();
+        let v = Matrix::from_vec(x.rows(), x.cols(), data);
+        self.push(Op::BceWithLogits(logits, targets), v)
+    }
+
+    // ---- composite helpers -------------------------------------------------
+
+    /// Mean squared error between a variable and a constant target → 1×1.
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let s = self.sqr(d);
+        self.mean(s)
+    }
+
+    /// Runs the backward pass from a scalar (1×1) node.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not 1×1.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward from non-scalar");
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
+            self.propagate(i, &g);
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn accumulate(&mut self, target: Var, delta: Matrix) {
+        if let Op::Leaf { requires_grad: false } = self.nodes[target.0].op {
+            return; // constants don't need storage for their gradient
+        }
+        let node = &mut self.nodes[target.0];
+        debug_assert_eq!(node.value.shape(), delta.shape(), "gradient shape mismatch");
+        match &mut node.grad {
+            Some(g) => g.axpy(1.0, &delta),
+            None => node.grad = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Matrix) {
+        // Borrow dance: clone lightweight op metadata before mutating.
+        match &self.nodes[i].op {
+            Op::Leaf { .. } => {}
+            &Op::MatMul(a, b) => {
+                let ga = g.matmul_nt(self.value(b));
+                let gb = self.value(a).matmul_tn(g);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            &Op::Add(a, b) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.clone());
+            }
+            &Op::AddRow(a, bias) => {
+                let mut gb = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &gg) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += gg;
+                    }
+                }
+                self.accumulate(a, g.clone());
+                self.accumulate(bias, gb);
+            }
+            &Op::Sub(a, b) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.map(|x| -x));
+            }
+            &Op::Mul(a, b) => {
+                let ga = elementwise(g, self.value(b), |p, q| p * q);
+                let gb = elementwise(g, self.value(a), |p, q| p * q);
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            &Op::Scale(a, c) => self.accumulate(a, g.map(|x| c * x)),
+            &Op::AddConst(a, _) => self.accumulate(a, g.clone()),
+            &Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let ga = elementwise(g, y, |gg, yy| gg * yy * (1.0 - yy));
+                self.accumulate(a, ga);
+            }
+            &Op::LogSigmoid(a) => {
+                // d/dx log σ(x) = σ(−x)
+                let ga = elementwise(g, self.value(a), |gg, x| gg * stable_sigmoid(-x));
+                self.accumulate(a, ga);
+            }
+            &Op::Relu(a) => {
+                let ga = elementwise(g, self.value(a), |gg, x| if x > 0.0 { gg } else { 0.0 });
+                self.accumulate(a, ga);
+            }
+            &Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let ga = elementwise(g, y, |gg, yy| gg * (1.0 - yy * yy));
+                self.accumulate(a, ga);
+            }
+            &Op::Exp(a) => {
+                let y = &self.nodes[i].value;
+                let ga = elementwise(g, y, |gg, yy| gg * yy);
+                self.accumulate(a, ga);
+            }
+            &Op::Ln(a) => {
+                let ga = elementwise(g, self.value(a), |gg, x| gg / x.max(1e-12));
+                self.accumulate(a, ga);
+            }
+            &Op::Sqr(a) => {
+                let ga = elementwise(g, self.value(a), |gg, x| gg * 2.0 * x);
+                self.accumulate(a, ga);
+            }
+            &Op::Sum(a) => {
+                let x = self.value(a);
+                let ga = Matrix::full(x.rows(), x.cols(), g.item());
+                self.accumulate(a, ga);
+            }
+            &Op::Mean(a) => {
+                let x = self.value(a);
+                let n = x.len().max(1);
+                let ga = Matrix::full(x.rows(), x.cols(), g.item() / n as f32);
+                self.accumulate(a, ga);
+            }
+            &Op::RowsDot(a, b) => {
+                let (x, y) = (self.value(a), self.value(b));
+                let mut ga = Matrix::zeros(x.rows(), x.cols());
+                let mut gb = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..x.rows() {
+                    let gr = g.get(r, 0);
+                    for ((oa, ob), (&xv, &yv)) in ga
+                        .row_mut(r)
+                        .iter_mut()
+                        .zip(gb.row_mut(r).iter_mut())
+                        .zip(x.row(r).iter().zip(y.row(r)))
+                    {
+                        *oa = gr * yv;
+                        *ob = gr * xv;
+                    }
+                }
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::GatherRows(a, indices) => {
+                let (a, indices) = (*a, Rc::clone(indices));
+                let x = self.value(a);
+                let mut ga = Matrix::zeros(x.rows(), x.cols());
+                for (k, &idx) in indices.iter().enumerate() {
+                    let grow = g.row(k);
+                    for (o, &gg) in ga.row_mut(idx as usize).iter_mut().zip(grow) {
+                        *o += gg;
+                    }
+                }
+                self.accumulate(a, ga);
+            }
+            Op::SegmentMean(a, offsets) => {
+                let (a, offsets) = (*a, Rc::clone(offsets));
+                let x = self.value(a);
+                let mut ga = Matrix::zeros(x.rows(), x.cols());
+                for s in 0..offsets.len() - 1 {
+                    let (lo, hi) = (offsets[s], offsets[s + 1]);
+                    if lo == hi {
+                        continue;
+                    }
+                    let inv = 1.0 / (hi - lo) as f32;
+                    let grow = g.row(s);
+                    for r in lo..hi {
+                        for (o, &gg) in ga.row_mut(r).iter_mut().zip(grow) {
+                            *o += gg * inv;
+                        }
+                    }
+                }
+                self.accumulate(a, ga);
+            }
+            Op::SpMM(mat, b) => {
+                let (mat, b) = (Rc::clone(mat), *b);
+                let gb = mat.transpose_matmul_dense(g);
+                self.accumulate(b, gb);
+            }
+            Op::ConcatCols(a, b) => {
+                let (a, b) = (*a, *b);
+                let wa = self.value(a).cols();
+                let mut ga = Matrix::zeros(g.rows(), wa);
+                let mut gb = Matrix::zeros(g.rows(), g.cols() - wa);
+                for r in 0..g.rows() {
+                    ga.row_mut(r).copy_from_slice(&g.row(r)[..wa]);
+                    gb.row_mut(r).copy_from_slice(&g.row(r)[wa..]);
+                }
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Op::SliceCols(a, range) => {
+                let (a, range) = (*a, range.clone());
+                let x = self.value(a);
+                let mut ga = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..g.rows() {
+                    ga.row_mut(r)[range.clone()].copy_from_slice(g.row(r));
+                }
+                self.accumulate(a, ga);
+            }
+            Op::BceWithLogits(logits, targets) => {
+                let (logits, targets) = (*logits, Rc::clone(targets));
+                let x = self.value(logits);
+                let mut ga = Matrix::zeros(x.rows(), x.cols());
+                for (k, o) in ga.as_mut_slice().iter_mut().enumerate() {
+                    let (gg, l, t) = (g.as_slice()[k], x.as_slice()[k], targets.as_slice()[k]);
+                    *o = gg * (stable_sigmoid(l) - t);
+                }
+                self.accumulate(logits, ga);
+            }
+        }
+    }
+}
+
+fn elementwise(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    debug_assert_eq!(a.shape(), b.shape());
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&p, &q)| f(p, q)).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Overflow-safe sigmoid.
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Overflow-safe softplus `ln(1 + e^x)`.
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of d(scalar)/d(inputs[0]) for a graph
+    /// builder `f`. All matrices in `inputs` become grad-tracked leaves.
+    fn grad_check(inputs: &[Matrix], f: impl Fn(&mut Tape, &[Var]) -> Var) {
+        let eps = 1e-2f32;
+        let tol = 2e-2f32;
+        // analytic
+        let mut t = Tape::new();
+        let vars: Vec<Var> = inputs.iter().map(|m| t.leaf(m.clone(), true)).collect();
+        let out = f(&mut t, &vars);
+        t.backward(out);
+        for (vi, input) in inputs.iter().enumerate() {
+            let analytic = t
+                .grad(vars[vi])
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+            for k in 0..input.len() {
+                let mut plus = inputs.to_vec();
+                plus[vi].as_mut_slice()[k] += eps;
+                let mut minus = inputs.to_vec();
+                minus[vi].as_mut_slice()[k] -= eps;
+                let eval = |ms: &[Matrix]| {
+                    let mut t = Tape::new();
+                    let vs: Vec<Var> = ms.iter().map(|m| t.leaf(m.clone(), true)).collect();
+                    let o = f(&mut t, &vs);
+                    t.value(o).item()
+                };
+                let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+                let a = analytic.as_slice()[k];
+                assert!(
+                    (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "input {vi} elem {k}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn m(rows: &[Vec<f32>]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn grad_matmul() {
+        grad_check(
+            &[m(&[vec![0.3, -0.7], vec![1.1, 0.2]]), m(&[vec![0.5, 0.1], vec![-0.4, 0.9]])],
+            |t, v| {
+                let y = t.matmul(v[0], v[1]);
+                t.sum(y)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_add_sub_mul_scale() {
+        grad_check(
+            &[m(&[vec![0.3, -0.7]]), m(&[vec![0.5, 0.1]])],
+            |t, v| {
+                let a = t.add(v[0], v[1]);
+                let b = t.sub(a, v[1]);
+                let c = t.mul(b, v[0]);
+                let d = t.scale(c, 1.7);
+                let e = t.add_const(d, 0.3);
+                t.sum(e)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_add_row_bias() {
+        grad_check(
+            &[m(&[vec![0.3, -0.7], vec![0.2, 0.4]]), m(&[vec![0.5, 0.1]])],
+            |t, v| {
+                let y = t.add_row(v[0], v[1]);
+                let y = t.sqr(y);
+                t.sum(y)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        grad_check(&[m(&[vec![0.3, -0.7, 1.2]])], |t, v| {
+            let a = t.sigmoid(v[0]);
+            let b = t.tanh(a);
+            let c = t.exp(b);
+            t.sum(c)
+        });
+        grad_check(&[m(&[vec![0.4, -1.3]])], |t, v| {
+            let a = t.log_sigmoid(v[0]);
+            t.sum(a)
+        });
+        grad_check(&[m(&[vec![0.4, -1.3, 0.6]])], |t, v| {
+            let a = t.relu(v[0]);
+            let b = t.sqr(a);
+            t.sum(b)
+        });
+        grad_check(&[m(&[vec![0.4, 1.3]])], |t, v| {
+            let a = t.ln(v[0]);
+            t.sum(a)
+        });
+    }
+
+    #[test]
+    fn grad_mean() {
+        grad_check(&[m(&[vec![0.3, -0.7], vec![1.0, 2.0]])], |t, v| {
+            let a = t.sqr(v[0]);
+            t.mean(a)
+        });
+    }
+
+    #[test]
+    fn grad_rows_dot() {
+        grad_check(
+            &[m(&[vec![0.3, -0.7], vec![1.0, 0.5]]), m(&[vec![0.2, 0.4], vec![-0.3, 0.8]])],
+            |t, v| {
+                let d = t.rows_dot(v[0], v[1]);
+                let d = t.sqr(d);
+                t.sum(d)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_gather_rows_accumulates_repeats() {
+        grad_check(&[m(&[vec![0.3, -0.7], vec![1.0, 0.5], vec![0.1, 0.2]])], |t, v| {
+            let idx = Rc::new(vec![1u32, 1, 0]);
+            let g = t.gather_rows(v[0], idx);
+            let g = t.sqr(g);
+            t.sum(g)
+        });
+    }
+
+    #[test]
+    fn grad_segment_mean() {
+        grad_check(
+            &[m(&[vec![0.3, -0.7], vec![1.0, 0.5], vec![0.1, 0.2], vec![0.9, -0.4]])],
+            |t, v| {
+                // segments: rows 0..1, 1..1 (empty), 1..4
+                let offs = Rc::new(vec![0usize, 1, 1, 4]);
+                let s = t.segment_mean(v[0], offs);
+                let s = t.sqr(s);
+                t.sum(s)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_spmm() {
+        let sp = Rc::new(SparseMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 0.5), (0, 2, 1.5), (2, 1, -0.7)],
+        ));
+        grad_check(&[m(&[vec![0.3, -0.7], vec![1.0, 0.5], vec![0.1, 0.2]])], move |t, v| {
+            let y = t.spmm(Rc::clone(&sp), v[0]);
+            let y = t.sqr(y);
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        grad_check(
+            &[m(&[vec![0.3, -0.7], vec![1.0, 0.5]]), m(&[vec![0.2], vec![-0.3]])],
+            |t, v| {
+                let c = t.concat_cols(v[0], v[1]);
+                let s = t.slice_cols(c, 1..3);
+                let s = t.sqr(s);
+                t.sum(s)
+            },
+        );
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        let targets = Rc::new(m(&[vec![1.0, 0.0, 1.0]]));
+        grad_check(&[m(&[vec![0.4, -1.3, 2.0]])], move |t, v| {
+            let l = t.bce_with_logits(v[0], Rc::clone(&targets));
+            t.mean(l)
+        });
+    }
+
+    #[test]
+    fn bce_value_matches_definition() {
+        let mut t = Tape::new();
+        let x = t.leaf(m(&[vec![0.7, -0.2]]), true);
+        let targets = Rc::new(m(&[vec![1.0, 0.0]]));
+        let l = t.bce_with_logits(x, targets);
+        let want0 = -(stable_sigmoid(0.7f32)).ln();
+        let want1 = -(1.0 - stable_sigmoid(-0.2f32)).ln();
+        assert!((t.value(l).get(0, 0) - want0).abs() < 1e-5);
+        assert!((t.value(l).get(0, 1) - want1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_mse_composite() {
+        grad_check(&[m(&[vec![0.3, -0.7], vec![1.0, 0.5]])], |t, v| {
+            let target = t.constant(m(&[vec![0.0, 0.0], vec![1.0, 1.0]]));
+            t.mse(v[0], target)
+        });
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // loss = sum(x*x + x) — x used twice; grad = 2x + 1.
+        let mut t = Tape::new();
+        let x = t.leaf(m(&[vec![3.0]]), true);
+        let a = t.mul(x, x);
+        let b = t.add(a, x);
+        let loss = t.sum(b);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().item(), 7.0);
+    }
+
+    #[test]
+    fn sigmoid_extreme_inputs_are_finite() {
+        let mut t = Tape::new();
+        let x = t.leaf(m(&[vec![-500.0, 500.0]]), true);
+        let s = t.sigmoid(x);
+        let ls = t.log_sigmoid(x);
+        assert!(t.value(s).as_slice().iter().all(|v| v.is_finite()));
+        assert!(t.value(ls).as_slice().iter().all(|v| v.is_finite()));
+        assert!((t.value(s).get(0, 0) - 0.0).abs() < 1e-6);
+        assert!((t.value(s).get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 2), true);
+        t.backward(x);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based gradient checks: for random shapes and random values,
+//! analytic gradients of composed graphs must match central finite
+//! differences. These run the ops in combinations the unit tests don't.
+
+use std::rc::Rc;
+
+use coane_nn::{Matrix, SparseMatrix, Tape, Var};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded values (finite differences need
+/// moderate magnitudes).
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Central-difference check of d(out)/d(inputs[k]) for every k.
+fn grad_check(inputs: &[Matrix], f: impl Fn(&mut Tape, &[Var]) -> Var) -> Result<(), String> {
+    let eps = 1e-2f32;
+    let tol = 5e-2f32;
+    let mut t = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|m| t.leaf(m.clone(), true)).collect();
+    let out = f(&mut t, &vars);
+    t.backward(out);
+    let eval = |ms: &[Matrix]| {
+        let mut t = Tape::new();
+        let vs: Vec<Var> = ms.iter().map(|m| t.leaf(m.clone(), true)).collect();
+        let o = f(&mut t, &vs);
+        t.value(o).item()
+    };
+    for (vi, input) in inputs.iter().enumerate() {
+        let analytic = t
+            .grad(vars[vi])
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+        for k in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[vi].as_mut_slice()[k] += eps;
+            let mut minus = inputs.to_vec();
+            minus[vi].as_mut_slice()[k] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic.as_slice()[k];
+            if (a - numeric).abs() > tol * (1.0 + numeric.abs()) {
+                return Err(format!("input {vi} elem {k}: analytic {a} vs numeric {numeric}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chained_matmul_activation(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        grad_check(&[a, b], |t, v| {
+            let h = t.matmul(v[0], v[1]);
+            let h = t.tanh(h);
+            let s = t.sqr(h);
+            t.mean(s)
+        }).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn gather_segment_pipeline(x in arb_matrix(5, 3)) {
+        grad_check(&[x], |t, v| {
+            let idx = Rc::new(vec![0u32, 2, 2, 4, 1, 3]);
+            let g = t.gather_rows(v[0], idx);
+            let offs = Rc::new(vec![0usize, 2, 2, 6]);
+            let m = t.segment_mean(g, offs);
+            let m = t.sigmoid(m);
+            t.sum(m)
+        }).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn rows_dot_logsigmoid(a in arb_matrix(4, 3), b in arb_matrix(4, 3)) {
+        grad_check(&[a, b], |t, v| {
+            let d = t.rows_dot(v[0], v[1]);
+            let l = t.log_sigmoid(d);
+            let s = t.sum(l);
+            t.scale(s, -1.0)
+        }).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn concat_slice_roundtrip_grad(a in arb_matrix(3, 2), b in arb_matrix(3, 3)) {
+        grad_check(&[a, b], |t, v| {
+            let c = t.concat_cols(v[0], v[1]);
+            let left = t.slice_cols(c, 0..2);
+            let right = t.slice_cols(c, 2..5);
+            let l2 = t.sqr(left);
+            let r2 = t.sqr(right);
+            let ls = t.sum(l2);
+            let rs = t.sum(r2);
+            t.add(ls, rs)
+        }).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn spmm_deep_chain(x in arb_matrix(4, 3)) {
+        let sp = SparseMatrix::from_triplets(
+            4, 4,
+            vec![(0, 1, 0.7), (1, 0, -0.4), (2, 2, 1.1), (3, 1, 0.3), (3, 3, -0.9)],
+        );
+        let sp = Rc::new(sp);
+        grad_check(&[x], move |t, v| {
+            let h = t.spmm(Rc::clone(&sp), v[0]);
+            let h = t.relu(h);
+            let h2 = t.spmm(Rc::clone(&sp), h);
+            let s = t.sqr(h2);
+            t.mean(s)
+        }).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn value_identities_hold(a in arb_matrix(3, 3)) {
+        // sum(A + A) == 2 sum(A); mean == sum / len
+        let mut t = Tape::new();
+        let x = t.leaf(a.clone(), false);
+        let two = t.add(x, x);
+        let s2 = t.sum(two);
+        let s1 = t.sum(x);
+        prop_assert!((t.value(s2).item() - 2.0 * t.value(s1).item()).abs() < 1e-4);
+        let m = t.mean(x);
+        prop_assert!(
+            (t.value(m).item() - t.value(s1).item() / a.len() as f32).abs() < 1e-5
+        );
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_symmetry(a in arb_matrix(2, 5)) {
+        let mut t = Tape::new();
+        let x = t.leaf(a.clone(), false);
+        let s = t.sigmoid(x);
+        for &v in t.value(s).as_slice() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // σ(x) + σ(−x) == 1
+        let nx = t.scale(x, -1.0);
+        let sn = t.sigmoid(nx);
+        for (p, q) in t.value(s).as_slice().iter().zip(t.value(sn).as_slice()) {
+            prop_assert!((p + q - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_nonnegative(logits in arb_matrix(2, 4)) {
+        let mut t = Tape::new();
+        let x = t.leaf(logits, false);
+        let targets = Rc::new(Matrix::from_vec(2, 4, vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0]));
+        let l = t.bce_with_logits(x, targets);
+        for &v in t.value(l).as_slice() {
+            prop_assert!(v >= 0.0, "bce value {v} negative");
+        }
+    }
+}

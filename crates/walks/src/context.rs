@@ -1,0 +1,259 @@
+//! Context extraction (§3.1).
+//!
+//! A fixed odd window of size `c` slides over each walk; the node at the
+//! window's midst is the context's *center*. Positions outside the walk are
+//! padded with [`PAD`] (the paper pads "like the image padding for CNN";
+//! downstream the pad slots contribute all-zero attribute rows). Word2vec
+//! subsampling discards contexts of over-frequent centers with probability
+//! `1 − √(t / f(v))`, except at walk position 0 so that every start node
+//! keeps at least one context.
+
+use coane_graph::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::walker::{node_frequencies, Walk};
+
+/// Sentinel for an empty (padded) context slot.
+pub const PAD: NodeId = NodeId::MAX;
+
+/// Context-extraction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ContextsConfig {
+    /// Window size `c` (odd, ≥ 1). The paper tunes `c ∈ {3,5,7,9,11}`.
+    pub context_size: usize,
+    /// Subsampling threshold `t` (the paper uses 1e-5); `f(v)` is measured as
+    /// a relative frequency over all walk positions. Set to `f64::INFINITY`
+    /// to disable subsampling.
+    pub subsample_t: f64,
+    /// Seed of the subsampling RNG.
+    pub seed: u64,
+}
+
+impl Default for ContextsConfig {
+    fn default() -> Self {
+        Self { context_size: 5, subsample_t: 1e-5, seed: 7 }
+    }
+}
+
+/// All extracted contexts, grouped by center node.
+///
+/// The contexts of node `v` are the consecutive `c`-slot rows
+/// `offsets[v]..offsets[v+1]` of the internal slot buffer — the flattened
+/// form of the paper's stacked attribute-context matrix `R_v`.
+#[derive(Clone, Debug)]
+pub struct ContextSet {
+    c: usize,
+    n: usize,
+    /// Context-range offsets per node, length `n + 1` (units: contexts).
+    offsets: Vec<usize>,
+    /// Flattened windows, `num_contexts() * c` slots, PAD-padded.
+    slots: Vec<NodeId>,
+}
+
+impl ContextSet {
+    /// Extracts contexts from `walks` over an `n`-node graph.
+    ///
+    /// # Panics
+    /// Panics if `context_size` is even or zero.
+    pub fn build(walks: &[Walk], n: usize, cfg: &ContextsConfig) -> Self {
+        assert!(cfg.context_size >= 1 && cfg.context_size % 2 == 1, "context size must be odd");
+        let c = cfg.context_size;
+        let half = c / 2;
+        let freq = node_frequencies(walks, n);
+        let total: u64 = freq.iter().sum();
+        // Discard probability per node: max(0, 1 − √(t / f(v))).
+        let p_discard: Vec<f64> = freq
+            .iter()
+            .map(|&f| {
+                if f == 0 || total == 0 {
+                    return 0.0;
+                }
+                let rel = f as f64 / total as f64;
+                (1.0 - (cfg.subsample_t / rel).sqrt()).max(0.0)
+            })
+            .collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        // First pass: count surviving contexts per center. We must record the
+        // survival decisions to replay them; store (walk idx, pos) instead.
+        let mut kept: Vec<(u32, u32)> = Vec::new();
+        let mut counts = vec![0usize; n];
+        for (wi, walk) in walks.iter().enumerate() {
+            for (pos, &center) in walk.iter().enumerate() {
+                let keep = pos == 0 || !rng.gen_bool(p_discard[center as usize]);
+                if keep {
+                    kept.push((wi as u32, pos as u32));
+                    counts[center as usize] += 1;
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for &cnt in &counts {
+            offsets.push(offsets.last().unwrap() + cnt);
+        }
+        let total_ctx = *offsets.last().unwrap();
+        let mut slots = vec![PAD; total_ctx * c];
+        let mut cursor = offsets[..n].to_vec();
+        for &(wi, pos) in &kept {
+            let walk = &walks[wi as usize];
+            let pos = pos as usize;
+            let center = walk[pos];
+            let row = cursor[center as usize];
+            cursor[center as usize] += 1;
+            let dst = &mut slots[row * c..(row + 1) * c];
+            for (k, slot) in dst.iter_mut().enumerate() {
+                let rel = pos as isize + k as isize - half as isize;
+                if rel >= 0 && (rel as usize) < walk.len() {
+                    *slot = walk[rel as usize];
+                }
+            }
+        }
+        Self { c, n, offsets, slots }
+    }
+
+    /// Window size `c`.
+    pub fn context_size(&self) -> usize {
+        self.c
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of contexts across all nodes.
+    pub fn num_contexts(&self) -> usize {
+        self.offsets[self.n]
+    }
+
+    /// `|context(v)|` — the number of contexts centered at `v`.
+    pub fn count(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// All per-node context counts.
+    pub fn counts(&self) -> Vec<usize> {
+        (0..self.n).map(|v| self.count(v as NodeId)).collect()
+    }
+
+    /// `k_p = max_v |context(v)|` (§3.3.1's latent neighborhood size).
+    pub fn max_count(&self) -> usize {
+        (0..self.n).map(|v| self.count(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Iterator over the `c`-slot windows of node `v`.
+    pub fn contexts_of(&self, v: NodeId) -> impl Iterator<Item = &[NodeId]> {
+        let (s, e) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        self.slots[s * self.c..e * self.c].chunks_exact(self.c)
+    }
+
+    /// Flat slot buffer of node `v`'s contexts (`count(v) * c` entries).
+    pub fn slots_of(&self, v: NodeId) -> &[NodeId] {
+        let (s, e) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        &self.slots[s * self.c..e * self.c]
+    }
+
+    /// Distinct non-PAD nodes appearing in `v`'s contexts (sorted), i.e. the
+    /// membership test set for the contextual negative sampler.
+    pub fn members_of(&self, v: NodeId) -> Vec<NodeId> {
+        let mut m: Vec<NodeId> =
+            self.slots_of(v).iter().copied().filter(|&x| x != PAD).collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_subsample(c: usize) -> ContextsConfig {
+        ContextsConfig { context_size: c, subsample_t: f64::INFINITY, seed: 0 }
+    }
+
+    #[test]
+    fn windows_padded_at_boundaries() {
+        let walks = vec![vec![10, 11, 12]];
+        let cs = ContextSet::build(&walks, 13, &no_subsample(3));
+        assert_eq!(cs.num_contexts(), 3);
+        let w10: Vec<&[NodeId]> = cs.contexts_of(10).collect();
+        assert_eq!(w10, vec![&[PAD, 10, 11][..]]);
+        let w11: Vec<&[NodeId]> = cs.contexts_of(11).collect();
+        assert_eq!(w11, vec![&[10, 11, 12][..]]);
+        let w12: Vec<&[NodeId]> = cs.contexts_of(12).collect();
+        assert_eq!(w12, vec![&[11, 12, PAD][..]]);
+    }
+
+    #[test]
+    fn center_occupies_midst() {
+        let walks = vec![vec![0, 1, 2, 3, 4]];
+        let cs = ContextSet::build(&walks, 5, &no_subsample(5));
+        for v in 0..5u32 {
+            for w in cs.contexts_of(v) {
+                assert_eq!(w[2], v, "center not at midst of {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_group_by_center() {
+        // node 1 appears twice → two contexts
+        let walks = vec![vec![0, 1, 1]];
+        let cs = ContextSet::build(&walks, 2, &no_subsample(3));
+        assert_eq!(cs.count(0), 1);
+        assert_eq!(cs.count(1), 2);
+        assert_eq!(cs.max_count(), 2);
+        assert_eq!(cs.counts(), vec![1, 2]);
+    }
+
+    #[test]
+    fn aggressive_subsampling_keeps_walk_starts() {
+        // t = 0 → p_discard = 1 for every node; only position-0 contexts
+        // survive, one per walk.
+        let walks = vec![vec![0, 1, 2, 0, 1], vec![1, 0, 2]];
+        let cfg = ContextsConfig { context_size: 3, subsample_t: 0.0, seed: 1 };
+        let cs = ContextSet::build(&walks, 3, &cfg);
+        assert_eq!(cs.num_contexts(), 2);
+        assert_eq!(cs.count(0), 1);
+        assert_eq!(cs.count(1), 1);
+        assert_eq!(cs.count(2), 0);
+    }
+
+    #[test]
+    fn members_deduplicated_sorted() {
+        let walks = vec![vec![3, 1, 3, 2]];
+        let cs = ContextSet::build(&walks, 4, &no_subsample(5));
+        let m = cs.members_of(1);
+        assert_eq!(m, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn context_size_one_is_just_centers() {
+        let walks = vec![vec![0, 1, 2]];
+        let cs = ContextSet::build(&walks, 3, &no_subsample(1));
+        for v in 0..3u32 {
+            let w: Vec<&[NodeId]> = cs.contexts_of(v).collect();
+            assert_eq!(w, vec![&[v][..]]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_context_rejected() {
+        ContextSet::build(&[vec![0]], 1, &no_subsample(4));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let walks = vec![vec![0, 1, 2, 1, 0, 2, 1]; 4];
+        let cfg = ContextsConfig { context_size: 3, subsample_t: 0.05, seed: 9 };
+        let a = ContextSet::build(&walks, 3, &cfg);
+        let b = ContextSet::build(&walks, 3, &cfg);
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.offsets, b.offsets);
+    }
+}

@@ -1,0 +1,26 @@
+//! # coane-walks
+//!
+//! Random-walk and context machinery for CoANE (§3.1 of the paper):
+//!
+//! - [`walker`] — weighted random walks (`p(v_j) = E_ij / Σ_j E_ij`) and the
+//!   node2vec biased second-order walk used by baselines,
+//! - [`context`] — sliding context windows with boundary padding and
+//!   word2vec-style subsampling; groups contexts by their midst node,
+//! - [`cooccurrence`] — the co-occurrence matrices **D** and **D¹**, the
+//!   combined `D̃ = Dᴺ + D¹`, and the top-`k_p` positive-pair selection of
+//!   §3.3.1,
+//! - [`sampler`] — alias-method sampling, the contextual noise distribution
+//!   `P_V(v) ∝ |context(v)|`, and the pre-/batch-sampling contextual
+//!   negative samplers of §3.3.2,
+//! - [`analysis`] — neighbourhood-coverage statistics backing Fig. 5.
+
+pub mod analysis;
+pub mod context;
+pub mod cooccurrence;
+pub mod sampler;
+pub mod walker;
+
+pub use context::{ContextSet, ContextsConfig, PAD};
+pub use cooccurrence::{CoMatrices, PositivePairs};
+pub use sampler::{AliasTable, ContextualNegativeSampler, NegativeMode};
+pub use walker::{Walk, WalkConfig, Walker};

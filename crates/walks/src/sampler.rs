@@ -1,0 +1,307 @@
+//! Sampling utilities: the alias method and the contextual negative sampler
+//! of §3.3.2.
+//!
+//! The contextual noise distribution is
+//! `P_V(v) = |context(v)| / Σ_u |context(u)|`; negatives for a target `v_i`
+//! are drawn from `V*(v_i) = {v ∉ context(v_i)}`. Two strategies mirror the
+//! paper: **pre-sampling** draws a large offline pool from `P_V` once and, at
+//! use time, takes the first `k` pool entries outside the target's context;
+//! **batch-sampling** draws negatives only from the current training batch
+//! (weighted by context counts), avoiding global probability computation.
+
+use coane_graph::NodeId;
+use rand::Rng;
+
+use crate::context::ContextSet;
+
+/// Walker–Vose alias table for O(1) sampling from a discrete distribution.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds from non-negative weights (not all zero).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative value, or sums to 0.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty distribution");
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all-zero distribution");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = prob[l as usize] + prob[s as usize] - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Remaining entries have probability 1 (up to float error).
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen_bool(self.prob[i].clamp(0.0, 1.0)) {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Which negative-sampling strategy to use (§3.3.2; the paper pre-samples on
+/// the denser WebKB/Flickr graphs and batch-samples on the sparser citation
+/// graphs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NegativeMode {
+    /// Offline pool drawn from the contextual distribution.
+    PreSampling {
+        /// Pool size as a multiple of `k` (the paper draws "more than k").
+        pool_factor: usize,
+    },
+    /// Negatives drawn from the current minibatch.
+    BatchSampling,
+}
+
+/// Contextual negative sampler.
+pub struct ContextualNegativeSampler {
+    counts: Vec<f64>,
+    table: AliasTable,
+    /// Sorted distinct context members per node (for the `∉ context(v)` test).
+    members: Vec<Vec<NodeId>>,
+}
+
+impl ContextualNegativeSampler {
+    /// Builds the sampler from extracted contexts. Nodes with zero contexts
+    /// get a tiny floor weight so the distribution stays valid.
+    pub fn new(contexts: &ContextSet) -> Self {
+        let counts: Vec<f64> =
+            contexts.counts().iter().map(|&c| (c as f64).max(1e-9)).collect();
+        let table = AliasTable::new(&counts);
+        let members = (0..contexts.num_nodes())
+            .map(|v| contexts.members_of(v as NodeId))
+            .collect();
+        Self { counts, table, members }
+    }
+
+    /// The contextual probability `P_V(v)`.
+    pub fn probability(&self, v: NodeId) -> f64 {
+        self.counts[v as usize] / self.counts.iter().sum::<f64>()
+    }
+
+    /// Whether `u` occurs in the contexts of `target`.
+    pub fn in_context(&self, target: NodeId, u: NodeId) -> bool {
+        self.members[target as usize].binary_search(&u).is_ok()
+    }
+
+    /// Draws an offline pool of `size` nodes from `P_V` (pre-sampling phase).
+    pub fn draw_pool<R: Rng>(&self, size: usize, rng: &mut R) -> Vec<NodeId> {
+        (0..size).map(|_| self.table.sample(rng)).collect()
+    }
+
+    /// Pre-sampling: first `k` pool entries outside `context(target)` and
+    /// different from `target`. Falls back to fresh draws when the pool is
+    /// exhausted, so exactly `k` negatives are always returned (assuming the
+    /// graph has ≥ `k + 1` candidate nodes outside the context).
+    pub fn negatives_from_pool<R: Rng>(
+        &self,
+        target: NodeId,
+        k: usize,
+        pool: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(k);
+        for &u in pool {
+            if out.len() == k {
+                return out;
+            }
+            if u != target && !self.in_context(target, u) {
+                out.push(u);
+            }
+        }
+        let mut guard = 0usize;
+        while out.len() < k && guard < 10_000 * k.max(1) {
+            let u = self.table.sample(rng);
+            if u != target && !self.in_context(target, u) {
+                out.push(u);
+            }
+            guard += 1;
+        }
+        out
+    }
+
+    /// Batch-sampling: draws `k` negatives from `batch`, weighted by context
+    /// counts, skipping the target and its context members. Returns fewer
+    /// than `k` when the batch offers no admissible candidates.
+    pub fn negatives_from_batch<R: Rng>(
+        &self,
+        target: NodeId,
+        k: usize,
+        batch: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let candidates: Vec<NodeId> = batch
+            .iter()
+            .copied()
+            .filter(|&u| u != target && !self.in_context(target, u))
+            .collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = candidates.iter().map(|&u| self.counts[u as usize]).collect();
+        let table = AliasTable::new(&weights);
+        (0..k).map(|_| candidates[table.sample(rng) as usize]).collect()
+    }
+
+    /// Draws `k` negatives for `target` per `mode`, managing the pool
+    /// internally (the offline pool is redrawn each call at
+    /// `pool_factor * k`; callers wanting to amortize the pool should use
+    /// [`Self::draw_pool`] + [`Self::negatives_from_pool`] directly).
+    pub fn negatives<R: Rng>(
+        &self,
+        target: NodeId,
+        k: usize,
+        mode: NegativeMode,
+        batch: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        match mode {
+            NegativeMode::PreSampling { pool_factor } => {
+                let pool = self.draw_pool(pool_factor.max(2) * k, rng);
+                self.negatives_from_pool(target, k, &pool, rng)
+            }
+            NegativeMode::BatchSampling => self.negatives_from_batch(target, k, batch, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextSet, ContextsConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn alias_table_matches_distribution() {
+        let weights = [1.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut counts = [0usize; 3];
+        let draws = 60_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / draws as f64;
+            let want = weights[i] / 10.0;
+            assert!((got - want).abs() < 0.01, "outcome {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn alias_rejects_zero_mass() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    fn contexts_fixture() -> ContextSet {
+        // node 0: 3 contexts; node 1: 2; node 2: 1; node 3: appears only as
+        // neighbor. Contexts of 0 contain {1}; of 1 contain {0, 2}.
+        let walks = vec![vec![0, 1, 0, 1, 0], vec![1, 2, 3]];
+        ContextSet::build(
+            &walks,
+            4,
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
+        )
+    }
+
+    #[test]
+    fn contextual_probability_proportional_to_counts() {
+        let cs = contexts_fixture();
+        let s = ContextualNegativeSampler::new(&cs);
+        assert!(s.probability(0) > s.probability(2));
+        let total: f64 = (0..4).map(|v| s.probability(v)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_negatives_avoid_context() {
+        let cs = contexts_fixture();
+        let s = ContextualNegativeSampler::new(&cs);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pool = s.draw_pool(200, &mut rng);
+        let negs = s.negatives_from_pool(0, 5, &pool, &mut rng);
+        assert_eq!(negs.len(), 5);
+        for &u in &negs {
+            assert_ne!(u, 0);
+            assert!(!s.in_context(0, u), "negative {u} is in context(0)");
+        }
+    }
+
+    #[test]
+    fn batch_negatives_come_from_batch() {
+        let cs = contexts_fixture();
+        let s = ContextualNegativeSampler::new(&cs);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // context(0) = {0,1}; batch = {1, 2, 3}; admissible = {2, 3}
+        let negs = s.negatives_from_batch(0, 10, &[1, 2, 3], &mut rng);
+        assert_eq!(negs.len(), 10);
+        for &u in &negs {
+            assert!(u == 2 || u == 3, "negative {u} not admissible");
+        }
+    }
+
+    #[test]
+    fn batch_negatives_empty_when_all_in_context() {
+        let cs = contexts_fixture();
+        let s = ContextualNegativeSampler::new(&cs);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let negs = s.negatives_from_batch(0, 4, &[0, 1], &mut rng);
+        assert!(negs.is_empty());
+    }
+
+    #[test]
+    fn unified_entrypoint_modes() {
+        let cs = contexts_fixture();
+        let s = ContextualNegativeSampler::new(&cs);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pre = s.negatives(1, 3, NegativeMode::PreSampling { pool_factor: 4 }, &[], &mut rng);
+        assert_eq!(pre.len(), 3);
+        let batch = s.negatives(1, 3, NegativeMode::BatchSampling, &[0, 3], &mut rng);
+        for &u in &batch {
+            assert_eq!(u, 3, "only node 3 is outside context(1) within the batch");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Statistical correctness of the walk engine: long-run visit frequencies
+//! must match random-walk theory.
+
+use coane_datasets::generator::planted_partition;
+use coane_graph::{GraphBuilder, NodeAttributes, NodeId};
+use coane_walks::{walker::node_frequencies, WalkConfig, Walker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// On a connected unweighted graph, the stationary distribution of a simple
+/// random walk is proportional to node degree. Long walks from every start
+/// node should approximate it.
+#[test]
+fn visit_frequencies_approach_degree_distribution() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let g = planted_partition(80, 2, 0.3, 0.1, 16, &mut rng);
+    let walker = Walker::new(
+        &g,
+        WalkConfig { walks_per_node: 8, walk_length: 200, p: 1.0, q: 1.0, seed: 3 },
+    );
+    let walks = walker.generate_all(4);
+    let freq = node_frequencies(&walks, g.num_nodes());
+    let total: u64 = freq.iter().sum();
+    let total_degree: usize = (0..g.num_nodes() as NodeId).map(|v| g.degree(v)).sum();
+    // L1 distance between empirical visit distribution and degree distribution
+    let mut l1 = 0.0f64;
+    for (v, &f) in freq.iter().enumerate() {
+        let emp = f as f64 / total as f64;
+        let exp = g.degree(v as NodeId) as f64 / total_degree as f64;
+        l1 += (emp - exp).abs();
+    }
+    assert!(l1 < 0.2, "L1 distance to stationary distribution: {l1}");
+}
+
+/// A weighted edge should be traversed proportionally to its weight.
+#[test]
+fn weighted_edges_visited_proportionally() {
+    // star: hub 0 with weights 1, 2, 4 to leaves 1, 2, 3
+    let mut b = GraphBuilder::new(4, 4);
+    b.add_edge(0, 1, 1.0);
+    b.add_edge(0, 2, 2.0);
+    b.add_edge(0, 3, 4.0);
+    let g = b.with_attrs(NodeAttributes::identity(4)).build();
+    let walker = Walker::new(
+        &g,
+        WalkConfig { walks_per_node: 1, walk_length: 40_000, p: 1.0, q: 1.0, seed: 5 },
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let walk = walker.walk_from(0, &mut rng);
+    let mut hub_exits = [0usize; 4];
+    for w in walk.windows(2) {
+        if w[0] == 0 {
+            hub_exits[w[1] as usize] += 1;
+        }
+    }
+    let total: usize = hub_exits.iter().sum();
+    let f1 = hub_exits[1] as f64 / total as f64;
+    let f2 = hub_exits[2] as f64 / total as f64;
+    let f3 = hub_exits[3] as f64 / total as f64;
+    assert!((f1 - 1.0 / 7.0).abs() < 0.02, "weight-1 leaf freq {f1}");
+    assert!((f2 - 2.0 / 7.0).abs() < 0.02, "weight-2 leaf freq {f2}");
+    assert!((f3 - 4.0 / 7.0).abs() < 0.02, "weight-4 leaf freq {f3}");
+}
+
+/// Subsampling must preferentially discard contexts of frequent nodes: after
+/// subsampling, the visit distribution is flatter than before.
+#[test]
+fn subsampling_flattens_frequency_distribution() {
+    use coane_walks::{ContextSet, ContextsConfig};
+    // hub-heavy graph: node 0 connected to everyone, sparse elsewhere
+    let n = 40usize;
+    let mut b = GraphBuilder::new(n, n);
+    for v in 1..n as NodeId {
+        b.add_edge(0, v, 1.0);
+    }
+    for v in 1..(n as NodeId - 1) {
+        b.add_edge(v, v + 1, 1.0);
+    }
+    let g = b.with_attrs(NodeAttributes::identity(n)).build();
+    let walker = Walker::new(
+        &g,
+        WalkConfig { walks_per_node: 3, walk_length: 60, p: 1.0, q: 1.0, seed: 11 },
+    );
+    let walks = walker.generate_all(2);
+
+    let count_share = |cs: &ContextSet| -> f64 {
+        let total: usize = cs.counts().iter().sum();
+        cs.count(0) as f64 / total as f64
+    };
+    let raw = ContextSet::build(
+        &walks,
+        n,
+        &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 1 },
+    );
+    let subsampled = ContextSet::build(
+        &walks,
+        n,
+        &ContextsConfig { context_size: 3, subsample_t: 1e-3, seed: 1 },
+    );
+    let raw_share = count_share(&raw);
+    let sub_share = count_share(&subsampled);
+    assert!(
+        sub_share < raw_share,
+        "hub context share did not shrink: raw {raw_share} vs subsampled {sub_share}"
+    );
+    // every node still has at least one context (walk starts are kept)
+    for v in 0..n as NodeId {
+        assert!(subsampled.count(v) >= 1, "node {v} lost all contexts");
+    }
+}
+
+/// The contextual noise distribution must track context counts exactly.
+#[test]
+fn contextual_distribution_matches_counts() {
+    use coane_walks::{ContextSet, ContextsConfig, ContextualNegativeSampler};
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = planted_partition(50, 2, 0.3, 0.05, 16, &mut rng);
+    let walker = Walker::new(&g, WalkConfig { walk_length: 30, ..Default::default() });
+    let walks = walker.generate_all(2);
+    let cs = ContextSet::build(
+        &walks,
+        g.num_nodes(),
+        &ContextsConfig { context_size: 5, subsample_t: f64::INFINITY, seed: 2 },
+    );
+    let sampler = ContextualNegativeSampler::new(&cs);
+    let counts = cs.counts();
+    let total: usize = counts.iter().sum();
+    for v in (0..g.num_nodes() as NodeId).step_by(7) {
+        let want = counts[v as usize] as f64 / total as f64;
+        let got = sampler.probability(v);
+        assert!((got - want).abs() < 1e-9, "node {v}: {got} vs {want}");
+    }
+}

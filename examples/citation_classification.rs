@@ -1,0 +1,59 @@
+//! Node-label classification on a citation network (the Tables 2–3 task):
+//! train CoANE and two representative baselines, then compare Macro/Micro-F1
+//! of a one-vs-rest logistic-regression classifier at a 20% training ratio.
+//!
+//! Run with: `cargo run --release --example citation_classification`
+
+use coane::graph::split::node_label_split;
+use coane::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let (graph, _) = Preset::Citeseer.generate_scaled(0.1, 11);
+    println!(
+        "citation network: {} papers, {} citations, {} classes",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_labels()
+    );
+    let labels = graph.labels().unwrap().to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let (train, test) = node_label_split(graph.num_nodes(), 0.2, &mut rng);
+
+    let report = |name: &str, emb: &Matrix| {
+        let scores =
+            classify_nodes(emb.as_slice(), emb.cols(), &labels, &train, &test, 1e-3);
+        println!("{name:>10}: macro-F1 {:.3}  micro-F1 {:.3}", scores.macro_f1, scores.micro_f1);
+        scores.micro_f1
+    };
+
+    // CoANE
+    let coane_emb = Coane::new(CoaneConfig {
+        embed_dim: 64,
+        epochs: 8,
+        ..Default::default()
+    })
+    .fit(&graph);
+    let coane_score = report("CoANE", &coane_emb);
+
+    // DeepWalk (structure only — no attributes)
+    let dw = DeepWalk {
+        config: coane::baselines::skipgram::SkipGramConfig {
+            dim: 64,
+            walks_per_node: 5,
+            walk_length: 40,
+            ..Default::default()
+        },
+    };
+    let dw_emb = dw.embed(&graph);
+    report("DeepWalk", &dw_emb);
+
+    // GAE (graph autoencoder with attributes)
+    let gae = Gae { kind: GaeKind::Plain, hidden: 64, dim: 64, epochs: 80, ..Default::default() };
+    let gae_emb = gae.embed(&graph);
+    report("GAE", &gae_emb);
+
+    assert!(coane_score > 0.3, "CoANE should clearly beat chance");
+    println!("(paper reference, Citeseer @20%: CoANE micro-F1 0.680, Table 2)");
+}

@@ -1,0 +1,72 @@
+//! Inductive embedding: CoANE's encoder is a function of contexts and
+//! attributes, not a lookup table — so a trained model can embed nodes that
+//! did not exist at training time. This example trains on a network, adds a
+//! brand-new member to one community, and embeds it without retraining.
+//!
+//! Run with: `cargo run --release --example inductive`
+
+use coane::core::embed_nodes;
+use coane::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    (dot / (na * nb + 1e-12)) as f64
+}
+
+fn main() {
+    // Train on a 3-community network.
+    let cfg = SocialCircleConfig {
+        num_nodes: 300,
+        num_communities: 3,
+        attr_dim: 150,
+        num_edges: 1000,
+        mixing: 0.1,
+        ..Default::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (graph, assignment) = social_circle_graph(&cfg, &mut rng);
+    let coane_cfg = CoaneConfig { embed_dim: 32, epochs: 8, ..Default::default() };
+    let (trained, model, _) = Coane::new(coane_cfg.clone()).fit_with_model(&graph);
+    println!("trained on {} nodes", graph.num_nodes());
+
+    // A new member joins community 1: copy a member's attributes, add ties.
+    let n = graph.num_nodes();
+    let members: Vec<u32> =
+        (0..n as u32).filter(|&v| assignment.community[v as usize] == 1).collect();
+    let mut b = GraphBuilder::new(n + 1, graph.attr_dim());
+    for (u, v, w) in graph.edges() {
+        b.add_edge(u, v, w);
+    }
+    for &u in members.iter().take(5) {
+        b.add_edge(n as u32, u, 1.0);
+    }
+    let mut rows: Vec<Vec<(u32, f32)>> = (0..n as u32)
+        .map(|v| {
+            let (idx, val) = graph.attrs().row(v);
+            idx.iter().copied().zip(val.iter().copied()).collect()
+        })
+        .collect();
+    let (didx, dval) = graph.attrs().row(members[0]);
+    rows.push(didx.iter().copied().zip(dval.iter().copied()).collect());
+    let extended = b
+        .with_attrs(NodeAttributes::from_sparse_rows(graph.attr_dim(), &rows))
+        .build();
+
+    // Embed the newcomer with the *frozen* model.
+    let z_new = embed_nodes(&model, &coane_cfg, &extended, &[n as u32]);
+    println!("embedded new node {} inductively (no retraining)", n);
+
+    // Where did it land? Mean cosine to each community.
+    for c in 0..3u32 {
+        let comm: Vec<usize> =
+            (0..n).filter(|&v| assignment.community[v] == c).collect();
+        let mean: f64 = comm.iter().map(|&v| cosine(z_new.row(0), trained.row(v))).sum::<f64>()
+            / comm.len() as f64;
+        let marker = if c == 1 { "  ← joined this one" } else { "" };
+        println!("mean cosine to community {c}: {mean:+.3}{marker}");
+    }
+}

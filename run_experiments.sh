@@ -1,0 +1,31 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper's evaluation, writing
+# console records under results/. Sized for a small multi-core box; raise
+# --scale toward 1.0 (Table 1 sizes) on bigger machines. WebKB always runs
+# full-size regardless of --scale (the subnetworks are tiny).
+set -x
+cd "$(dirname "$0")"
+R=results
+mkdir -p $R
+cargo build --release -q -p coane-bench --bins
+B=target/release
+
+# Tables 2–3: node classification
+$B/exp_classification --scale 0.15 --epochs 8 > $R/exp_classification.txt 2>&1
+# Table 4 left: link prediction (flickr reduced further: dense + 12k attrs)
+$B/exp_linkpred --scale 0.1 --epochs 6 --datasets cora,citeseer,pubmed,webkb > $R/exp_linkpred.txt 2>&1
+$B/exp_linkpred --scale 0.05 --epochs 6 --datasets flickr > $R/exp_linkpred_flickr.txt 2>&1
+# Table 4 right + Table 5: clustering
+$B/exp_clustering --scale 0.1 --epochs 6 --datasets cora,citeseer,pubmed,webkb > $R/exp_clustering.txt 2>&1
+$B/exp_clustering --scale 0.05 --epochs 6 --datasets flickr > $R/exp_clustering_flickr.txt 2>&1
+$B/exp_clustering --datasets webkb-each --scale 1.0 --epochs 8 > $R/exp_clustering_webkb.txt 2>&1
+# Figures
+$B/fig3_tsne --scale 0.1 --epochs 6 --out $R > $R/fig3_tsne.txt 2>&1
+$B/fig4_sensitivity --scale 1.0 --epochs 6 > $R/fig4_sensitivity.txt 2>&1
+$B/fig4_runtime --scale 0.05 --epochs 5 > $R/fig4_runtime.txt 2>&1
+$B/fig5_neighbors --scale 0.12 > $R/fig5_neighbors.txt 2>&1
+$B/fig6_ablation --scale 0.12 --epochs 6 > $R/fig6_ablation.txt 2>&1
+$B/fig6_filters --scale 0.12 --epochs 6 --out $R > $R/fig6_filters.txt 2>&1
+# Table 1 replica verification
+$B/dataset_stats --skip-large > $R/dataset_stats.txt 2>&1
+echo ALL_DONE

@@ -1,0 +1,254 @@
+//! `coane-cli` — end-to-end command-line workflow:
+//!
+//! ```text
+//! # 1. get a graph (synthetic preset, or bring your own LINQS files)
+//! coane-cli generate --preset cora --scale 0.2 --seed 42 --out graph.json
+//! coane-cli convert  --content cora.content --cites cora.cites --out graph.json
+//!
+//! # 2. embed it
+//! coane-cli embed --graph graph.json --method coane --dim 128 --epochs 10 \
+//!                 --out embedding.csv
+//!
+//! # 3. evaluate
+//! coane-cli evaluate --graph graph.json --embedding embedding.csv --task cluster
+//! coane-cli evaluate --graph graph.json --embedding embedding.csv --task classify --ratio 0.2
+//!
+//! # 4. (CoANE only) persist the trained model, embed new nodes later
+//! coane-cli embed --graph graph.json --method coane --out embedding.csv \
+//!                 --save-model model.json
+//! coane-cli infer --model model.json --graph extended.json --nodes 300,301 \
+//!                 --out new_embeddings.csv
+//! ```
+//!
+//! (Link prediction needs the split to happen *before* embedding; use the
+//! `exp_linkpred` harness binary or the library API for that protocol.)
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use coane::prelude::*;
+use coane::{baselines::skipgram::SkipGramConfig, eval, graph::io as gio};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Cli {
+    values: HashMap<String, String>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Self {
+        let mut values = HashMap::new();
+        let mut i = 0usize;
+        while i < args.len() {
+            if let Some(k) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() {
+                    values.insert(k.to_string(), args[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Self { values }
+    }
+
+    fn get(&self, k: &str) -> Option<&str> {
+        self.values.get(k).map(String::as_str)
+    }
+
+    fn req(&self, k: &str) -> Result<&str, String> {
+        self.get(k).ok_or_else(|| format!("missing required flag --{k}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, k: &str, default: T) -> T {
+        self.get(k).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("usage: coane-cli <generate|convert|embed|infer|evaluate> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let cli = Cli::parse(&args[1..]);
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&cli),
+        "convert" => cmd_convert(&cli),
+        "embed" => cmd_embed(&cli),
+        "infer" => cmd_infer(&cli),
+        "evaluate" => cmd_evaluate(&cli),
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(cli: &Cli) -> Result<(), String> {
+    let preset = Preset::parse(cli.req("preset")?)
+        .ok_or_else(|| "unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr)".to_string())?;
+    let scale: f64 = cli.num("scale", 1.0);
+    let seed: u64 = cli.num("seed", 42);
+    let out = cli.req("out")?;
+    let (graph, _) = preset.generate_scaled(scale, seed);
+    gio::save_json(&graph, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.attr_dim(),
+        graph.num_labels()
+    );
+    Ok(())
+}
+
+fn cmd_convert(cli: &Cli) -> Result<(), String> {
+    let content = cli.req("content")?;
+    let cites = cli.req("cites")?;
+    let out = cli.req("out")?;
+    let graph =
+        gio::load_linqs(Path::new(content), Path::new(cites)).map_err(|e| e.to_string())?;
+    gio::save_json(&graph, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.attr_dim(),
+        graph.num_labels()
+    );
+    Ok(())
+}
+
+fn cmd_embed(cli: &Cli) -> Result<(), String> {
+    let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
+    let method = cli.get("method").unwrap_or("coane").to_lowercase();
+    let dim: usize = cli.num("dim", 128);
+    let epochs: usize = cli.num("epochs", 10);
+    let seed: u64 = cli.num("seed", 42);
+    let out = cli.req("out")?;
+    let started = std::time::Instant::now();
+    let embedding = match method.as_str() {
+        "coane" => {
+            let cfg = CoaneConfig { embed_dim: dim, epochs, seed, ..Default::default() };
+            let (z, model, _) = Coane::new(cfg.clone()).fit_with_model(&graph);
+            if let Some(model_path) = cli.get("save-model") {
+                coane::core::save_model(Path::new(model_path), &model, &cfg, graph.attr_dim())
+                    .map_err(|e| e.to_string())?;
+                println!("saved model to {model_path}");
+            }
+            z
+        }
+        "deepwalk" => DeepWalk {
+            config: SkipGramConfig { dim, seed, ..Default::default() },
+        }
+        .embed(&graph),
+        "node2vec" => Node2Vec {
+            config: SkipGramConfig { dim, seed, ..Default::default() },
+            p: cli.num("p", 1.0f32),
+            q: cli.num("q", 1.0f32),
+        }
+        .embed(&graph),
+        "line" => Line { dim, seed, ..Default::default() }.embed(&graph),
+        "gae" => Gae { kind: GaeKind::Plain, dim, epochs: epochs * 10, seed, ..Default::default() }
+            .embed(&graph),
+        "vgae" => Gae {
+            kind: GaeKind::Variational,
+            dim,
+            epochs: epochs * 10,
+            seed,
+            ..Default::default()
+        }
+        .embed(&graph),
+        "graphsage" => GraphSage { dim, epochs: epochs * 6, seed, ..Default::default() }
+            .embed(&graph),
+        "asne" => Asne { dim, epochs, seed, ..Default::default() }.embed(&graph),
+        "dane" => Dane { dim, epochs, seed, ..Default::default() }.embed(&graph),
+        "anrl" => Anrl { dim, epochs, seed, ..Default::default() }.embed(&graph),
+        "stne" => Stne { dim, epochs, seed, ..Default::default() }.embed(&graph),
+        "arga" => Arga { epochs: epochs * 10, dim, seed, ..Default::default() }.embed(&graph),
+        "arvga" => Arga {
+            variational: true,
+            epochs: epochs * 10,
+            dim,
+            seed,
+            ..Default::default()
+        }
+        .embed(&graph),
+        other => return Err(format!("unknown method: {other}")),
+    };
+    eval::io::save_embedding_csv(Path::new(out), embedding.as_slice(), embedding.cols())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {}×{} embedding ({} via {method}, {:.1}s)",
+        embedding.rows(),
+        embedding.cols(),
+        graph.num_nodes(),
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_infer(cli: &Cli) -> Result<(), String> {
+    let (model, cfg) = coane::core::load_model(Path::new(cli.req("model")?))
+        .map_err(|e| e.to_string())?;
+    let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
+    let nodes: Vec<u32> = match cli.get("nodes") {
+        Some(list) => list
+            .split(',')
+            .map(|t| t.trim().parse::<u32>().map_err(|e| format!("bad node id: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => (0..graph.num_nodes() as u32).collect(),
+    };
+    if let Some(&bad) = nodes.iter().find(|&&v| v as usize >= graph.num_nodes()) {
+        return Err(format!("node {bad} out of range (graph has {})", graph.num_nodes()));
+    }
+    let out = cli.req("out")?;
+    let z = coane::core::embed_nodes(&model, &cfg, &graph, &nodes);
+    eval::io::save_embedding_csv(Path::new(out), z.as_slice(), z.cols())
+        .map_err(|e| e.to_string())?;
+    println!("wrote {out}: {} inductively embedded nodes × {}", z.rows(), z.cols());
+    Ok(())
+}
+
+fn cmd_evaluate(cli: &Cli) -> Result<(), String> {
+    let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
+    let (embedding, dim) =
+        eval::io::load_embedding_csv(Path::new(cli.req("embedding")?)).map_err(|e| e.to_string())?;
+    if embedding.len() != graph.num_nodes() * dim {
+        return Err(format!(
+            "embedding rows ({}) don't match graph nodes ({})",
+            embedding.len() / dim,
+            graph.num_nodes()
+        ));
+    }
+    let labels = graph.labels().ok_or("graph has no labels")?;
+    let seed: u64 = cli.num("seed", 42);
+    match cli.req("task")? {
+        "cluster" => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let score = nmi_clustering(&embedding, dim, labels, &mut rng);
+            println!("clustering NMI = {score:.4}");
+        }
+        "classify" => {
+            let ratio: f64 = cli.num("ratio", 0.2);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let (train, test) =
+                coane::graph::split::node_label_split(graph.num_nodes(), ratio, &mut rng);
+            let scores = classify_nodes(&embedding, dim, labels, &train, &test, 1e-3);
+            println!(
+                "classification @ {:.0}%: macro-F1 = {:.4}, micro-F1 = {:.4}",
+                ratio * 100.0,
+                scores.macro_f1,
+                scores.micro_f1
+            );
+        }
+        other => return Err(format!("unknown task: {other} (use cluster|classify)")),
+    }
+    Ok(())
+}

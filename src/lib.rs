@@ -1,0 +1,60 @@
+//! # coane
+//!
+//! A complete Rust reproduction of **CoANE: Modeling Context Co-occurrence
+//! for Attributed Network Embedding** (I-Chung Hsieh & Cheng-Te Li, ICDE
+//! 2022), including every substrate the paper depends on: an attributed
+//! graph library, a random-walk/context engine, a CPU autograd tensor
+//! library, eleven baseline embedding methods, an evaluation toolkit, and a
+//! benchmark harness regenerating every table and figure of the paper's
+//! evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use coane::prelude::*;
+//!
+//! // A scaled-down Cora-like attributed network (synthetic; see DESIGN.md).
+//! let (graph, _) = Preset::Cora.generate_scaled(0.05, 42);
+//!
+//! // Train CoANE.
+//! let config = CoaneConfig { epochs: 3, embed_dim: 32, ..Default::default() };
+//! let embedding = Coane::new(config).fit(&graph);
+//! assert_eq!(embedding.rows(), graph.num_nodes());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`coane_graph`] | `G = (V, E, X)` in CSR form, splits, I/O |
+//! | [`coane_datasets`] | synthetic social-circle networks calibrated to the paper's Table 1 |
+//! | [`coane_nn`] | matrices, reverse-mode autograd, layers, Adam |
+//! | [`coane_walks`] | random walks, contexts, co-occurrence matrices, contextual negative sampling |
+//! | [`coane_core`] | the CoANE model, objective, and trainer |
+//! | [`coane_baselines`] | DeepWalk, node2vec, LINE, GAE, VGAE, GraphSAGE, ASNE, DANE, ANRL, ARGA, ARVGA, STNE |
+//! | [`coane_eval`] | classification / clustering / link prediction / t-SNE |
+
+pub use coane_baselines as baselines;
+pub use coane_core as core;
+pub use coane_datasets as datasets;
+pub use coane_eval as eval;
+pub use coane_graph as graph;
+pub use coane_nn as nn;
+pub use coane_walks as walks;
+
+/// Convenience re-exports for typical usage.
+pub mod prelude {
+    pub use coane_baselines::{
+        Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind, GraphSage, Line, Node2Vec,
+        Stne,
+    };
+    pub use coane_core::{Ablation, Coane, CoaneConfig, ContextSource, EncoderKind};
+    pub use coane_datasets::{social_circle_graph, Preset, SocialCircleConfig};
+    pub use coane_eval::{
+        classify_nodes, link_prediction_auc, nmi_clustering, tsne, TsneConfig,
+    };
+    pub use coane_graph::{
+        AttributedGraph, EdgeSplit, GraphBuilder, NodeAttributes, SplitConfig,
+    };
+    pub use coane_nn::Matrix;
+}

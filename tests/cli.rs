@@ -1,0 +1,107 @@
+//! End-to-end test of the `coane-cli` binary: generate → embed (+ save
+//! model) → evaluate → infer, all through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_coane-cli"))
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("coane_cli_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = tmpdir();
+    let graph = dir.join("g.json");
+    let emb = dir.join("e.csv");
+    let model = dir.join("m.json");
+    let inferred = dir.join("new.csv");
+
+    // generate
+    let out = cli()
+        .args(["generate", "--preset", "webkb-texas", "--scale", "1.0", "--seed", "3"])
+        .args(["--out", graph.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(graph.exists());
+
+    // embed + save model
+    let out = cli()
+        .args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"])
+        .args(["--dim", "16", "--epochs", "2", "--out", emb.to_str().unwrap()])
+        .args(["--save-model", model.to_str().unwrap()])
+        .output()
+        .expect("run embed");
+    assert!(out.status.success(), "embed failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(emb.exists() && model.exists());
+
+    // evaluate (clustering)
+    let out = cli()
+        .args(["evaluate", "--graph", graph.to_str().unwrap()])
+        .args(["--embedding", emb.to_str().unwrap(), "--task", "cluster"])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NMI"), "unexpected output: {stdout}");
+
+    // infer with the saved model
+    let out = cli()
+        .args(["infer", "--model", model.to_str().unwrap()])
+        .args(["--graph", graph.to_str().unwrap(), "--nodes", "0,5,10"])
+        .args(["--out", inferred.to_str().unwrap()])
+        .output()
+        .expect("run infer");
+    assert!(out.status.success(), "infer failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&inferred).unwrap();
+    assert_eq!(text.lines().count(), 3, "expected 3 inferred rows");
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = cli().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_flag_reports_error() {
+    let out = cli().args(["generate", "--preset", "cora"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn bad_node_id_rejected_by_infer() {
+    let dir = tmpdir();
+    let graph = dir.join("g2.json");
+    let model = dir.join("m2.json");
+    let emb = dir.join("e2.csv");
+    assert!(cli()
+        .args(["generate", "--preset", "webkb-cornell", "--scale", "1.0", "--seed", "9"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"])
+        .args(["--dim", "8", "--epochs", "1", "--out", emb.to_str().unwrap()])
+        .args(["--save-model", model.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["infer", "--model", model.to_str().unwrap()])
+        .args(["--graph", graph.to_str().unwrap(), "--nodes", "999999"])
+        .args(["--out", dir.join("x.csv").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full CoANE pipeline (generate →
+//! walk → train → evaluate) must beat chance clearly on planted-structure
+//! graphs, and the headline qualitative claims of the paper must hold in
+//! miniature.
+
+use coane::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn test_graph(seed: u64) -> AttributedGraph {
+    let cfg = SocialCircleConfig {
+        num_nodes: 250,
+        num_communities: 4,
+        circles_per_community: 2,
+        attr_dim: 120,
+        num_edges: 900,
+        mixing: 0.12,
+        ..Default::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    social_circle_graph(&cfg, &mut rng).0
+}
+
+fn quick_config() -> CoaneConfig {
+    CoaneConfig {
+        embed_dim: 32,
+        epochs: 6,
+        context_size: 5,
+        walk_length: 30,
+        batch_size: 64,
+        decoder_hidden: (64, 64),
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn link_prediction_beats_chance_clearly() {
+    let graph = test_graph(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let split = EdgeSplit::new(&graph, SplitConfig::paper(), &mut rng);
+    let emb = Coane::new(quick_config()).fit(&split.train_graph);
+    let auc = link_prediction_auc(
+        emb.as_slice(),
+        emb.cols(),
+        &split.train_pos,
+        &split.train_neg,
+        &split.test_pos,
+        &split.test_neg,
+    );
+    assert!(auc > 0.75, "CoANE link-prediction AUC only {auc}");
+}
+
+#[test]
+fn clustering_recovers_planted_communities() {
+    let graph = test_graph(3);
+    let emb = Coane::new(quick_config()).fit(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let score = nmi_clustering(emb.as_slice(), emb.cols(), graph.labels().unwrap(), &mut rng);
+    assert!(score > 0.3, "CoANE clustering NMI only {score}");
+}
+
+#[test]
+fn classification_beats_chance_clearly() {
+    let graph = test_graph(5);
+    let emb = Coane::new(quick_config()).fit(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let (train, test) =
+        coane::graph::split::node_label_split(graph.num_nodes(), 0.2, &mut rng);
+    let scores = classify_nodes(
+        emb.as_slice(),
+        emb.cols(),
+        graph.labels().unwrap(),
+        &train,
+        &test,
+        1e-3,
+    );
+    // 4 balanced classes → chance micro-F1 ≈ 0.25.
+    assert!(scores.micro_f1 > 0.5, "micro-F1 only {}", scores.micro_f1);
+    assert!(scores.macro_f1 > 0.4, "macro-F1 only {}", scores.macro_f1);
+}
+
+#[test]
+fn attributes_help_when_informative() {
+    // The WF ablation (no attributes) should not beat the full model on an
+    // attribute-informative graph — the paper's headline WF comparison.
+    let graph = test_graph(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let split = EdgeSplit::new(&graph, SplitConfig::paper(), &mut rng);
+    let auc_of = |ablation: Ablation| {
+        let cfg = CoaneConfig { ablation, ..quick_config() };
+        let emb = Coane::new(cfg).fit(&split.train_graph);
+        link_prediction_auc(
+            emb.as_slice(),
+            emb.cols(),
+            &split.train_pos,
+            &split.train_neg,
+            &split.test_pos,
+            &split.test_neg,
+        )
+    };
+    let full = auc_of(Ablation::full());
+    let wf = auc_of(Ablation::wf());
+    assert!(
+        full > wf - 0.03,
+        "attributes should not hurt materially: full {full} vs WF {wf}"
+    );
+}
+
+#[test]
+fn pipeline_deterministic_end_to_end() {
+    let graph = test_graph(9);
+    let e1 = Coane::new(quick_config()).fit(&graph);
+    let e2 = Coane::new(quick_config()).fit(&graph);
+    assert_eq!(e1, e2, "end-to-end run not reproducible under fixed seed");
+}
+
+#[test]
+fn baselines_and_coane_share_eval_protocol() {
+    // The harness protocol must run unchanged for every Embedder.
+    let graph = test_graph(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let split = EdgeSplit::new(&graph, SplitConfig::paper(), &mut rng);
+    let dw = DeepWalk {
+        config: coane::baselines::skipgram::SkipGramConfig {
+            dim: 32,
+            walks_per_node: 4,
+            walk_length: 20,
+            epochs: 1,
+            ..Default::default()
+        },
+    };
+    let emb = dw.embed(&split.train_graph);
+    let auc = link_prediction_auc(
+        emb.as_slice(),
+        emb.cols(),
+        &split.train_pos,
+        &split.train_neg,
+        &split.test_pos,
+        &split.test_neg,
+    );
+    assert!(auc > 0.6, "DeepWalk AUC only {auc}");
+}

@@ -1,0 +1,174 @@
+//! Cross-crate property-based tests (proptest): structural invariants that
+//! must hold for arbitrary inputs.
+
+use coane::prelude::*;
+use coane::walks::{ContextSet, ContextsConfig, PAD};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a random connected-ish edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = AttributedGraph> {
+    (5usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n, n);
+        // spanning chain keeps every node reachable
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1.0);
+        }
+        use rand::Rng;
+        for _ in 0..n {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v, rng.gen_range(0.5..2.0));
+            }
+        }
+        b.with_attrs(NodeAttributes::identity(n)).build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn walks_only_traverse_edges(g in arb_graph(), seed in any::<u64>()) {
+        let walker = coane::walks::Walker::new(
+            &g,
+            coane::walks::WalkConfig { walk_length: 12, seed, ..Default::default() },
+        );
+        for walk in walker.generate_all(1) {
+            for w in walk.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn contexts_center_correct_and_counts_match(g in arb_graph(), seed in any::<u64>()) {
+        let walker = coane::walks::Walker::new(
+            &g,
+            coane::walks::WalkConfig { walk_length: 10, seed, ..Default::default() },
+        );
+        let walks = walker.generate_all(1);
+        let cs = ContextSet::build(
+            &walks,
+            g.num_nodes(),
+            &ContextsConfig { context_size: 5, subsample_t: f64::INFINITY, seed },
+        );
+        // total contexts == total walk positions (no subsampling)
+        let positions: usize = walks.iter().map(Vec::len).sum();
+        prop_assert_eq!(cs.num_contexts(), positions);
+        for v in 0..g.num_nodes() as u32 {
+            for w in cs.contexts_of(v) {
+                prop_assert_eq!(w[2], v);
+                for &u in w {
+                    prop_assert!(u == PAD || (u as usize) < g.num_nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_matrix_row_sums_bounded_by_slots(g in arb_graph(), seed in any::<u64>()) {
+        let walker = coane::walks::Walker::new(
+            &g,
+            coane::walks::WalkConfig { walk_length: 10, seed, ..Default::default() },
+        );
+        let walks = walker.generate_all(1);
+        let cs = ContextSet::build(
+            &walks,
+            g.num_nodes(),
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed },
+        );
+        let co = coane::walks::CoMatrices::build(&cs, &g);
+        for v in 0..g.num_nodes() as u32 {
+            // each context contributes at most c−1 = 2 co-occurrences
+            let bound = (cs.count(v) * 2) as f32;
+            prop_assert!(co.d.row_sum(v) <= bound + 1e-3);
+        }
+    }
+
+    #[test]
+    fn edge_split_partitions_are_exact(g in arb_graph(), seed in any::<u64>()) {
+        let m = g.num_edges();
+        prop_assume!(m >= 10);
+        // the split samples one non-edge per edge — the graph must be sparse
+        // enough to supply them
+        let n = g.num_nodes() as u64;
+        prop_assume!(n * (n - 1) / 2 - m as u64 >= m as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = EdgeSplit::new(&g, SplitConfig::paper(), &mut rng);
+        prop_assert_eq!(
+            s.train_pos.len() + s.val_pos.len() + s.test_pos.len(),
+            m
+        );
+        prop_assert_eq!(s.train_graph.num_edges(), s.train_pos.len());
+        for &(u, v) in &s.test_neg {
+            prop_assert!(!g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn nmi_label_permutation_invariant(labels in proptest::collection::vec(0u32..5, 10..60)) {
+        let permuted: Vec<u32> = labels.iter().map(|&l| (l + 3) % 5).collect();
+        let direct = coane::eval::nmi(&labels, &labels);
+        let perm = coane::eval::nmi(&labels, &permuted);
+        prop_assert!((direct - perm).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&perm));
+    }
+
+    #[test]
+    fn auc_monotone_transform_invariant(
+        scores in proptest::collection::vec(-10.0f64..10.0, 10..100),
+        flips in proptest::collection::vec(any::<bool>(), 10..100),
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels = &flips[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let a1 = coane::eval::roc_auc(scores, labels);
+        let transformed: Vec<f64> = scores.iter().map(|&s| s.exp()).collect();
+        let a2 = coane::eval::roc_auc(&transformed, labels);
+        prop_assert!((a1 - a2).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+
+    #[test]
+    fn builder_graph_always_valid(edges in proptest::collection::vec((0u32..20, 0u32..20), 0..80)) {
+        let mut b = GraphBuilder::new(20, 20);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let g = b.with_attrs(NodeAttributes::identity(20)).build();
+        g.validate(); // panics on violation
+        // adjacency symmetric by construction
+        for u in 0..20u32 {
+            for &v in g.neighbors_of(u) {
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_matmul_associative_shapes(
+        a in 1usize..6, b in 1usize..6, c in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use coane::nn::Matrix;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m1 = coane::nn::init::uniform(a, b, -1.0, 1.0, &mut rng);
+        let m2 = coane::nn::init::uniform(b, c, -1.0, 1.0, &mut rng);
+        let prod = m1.matmul(&m2);
+        prop_assert_eq!(prod.shape(), (a, c));
+        // (M1 M2)ᵀ == M2ᵀ M1ᵀ
+        let lhs = prod.transpose();
+        let rhs = m2.transpose().matmul(&m1.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let _ = Matrix::zeros(1, 1);
+    }
+}
