@@ -70,20 +70,10 @@ impl Embedder for Anrl {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA42);
 
         let mut params = Params::new();
-        let encoder = Mlp::new(
-            &mut params,
-            "enc",
-            &[d, self.hidden, self.dim],
-            Activation::Relu,
-            &mut rng,
-        );
-        let decoder = Mlp::new(
-            &mut params,
-            "dec",
-            &[self.dim, self.hidden, d],
-            Activation::Relu,
-            &mut rng,
-        );
+        let encoder =
+            Mlp::new(&mut params, "enc", &[d, self.hidden, self.dim], Activation::Relu, &mut rng);
+        let decoder =
+            Mlp::new(&mut params, "dec", &[self.dim, self.hidden, d], Activation::Relu, &mut rng);
         let out_emb = params.add("out_emb", coane_nn::init::xavier_uniform(n, self.dim, &mut rng));
 
         // Context pairs grouped by center.
@@ -97,7 +87,7 @@ impl Embedder for Anrl {
                 seed: self.seed,
             },
         );
-        let walks = walker.generate_all(4);
+        let walks = walker.generate_all(crate::common::worker_threads());
         let mut by_center: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for (u, v) in walk_pairs(&walks, self.window) {
             by_center[u as usize].push(v);
@@ -110,8 +100,7 @@ impl Embedder for Anrl {
         for _ in 0..self.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.batch_size) {
-                let x_dense =
-                    Matrix::from_vec(chunk.len(), d, graph.attrs().gather_dense(chunk));
+                let x_dense = Matrix::from_vec(chunk.len(), d, graph.attrs().gather_dense(chunk));
                 // One positive context per center per step + negatives.
                 let mut srcs: Vec<u32> = Vec::new();
                 let mut dsts: Vec<u32> = Vec::new();

@@ -179,10 +179,8 @@ impl Embedder for Arga {
                 let mut tape = Tape::new();
                 let enc_vars = enc_params.attach(&mut tape);
                 // Discriminator weights enter as constants → no grads for D.
-                let disc_vars: Vec<Var> = disc_params
-                    .iter()
-                    .map(|(_, _, m)| tape.constant(m.clone()))
-                    .collect();
+                let disc_vars: Vec<Var> =
+                    disc_params.iter().map(|(_, _, m)| tape.constant(m.clone())).collect();
                 let (mu, logvar) = self.encode(&mut tape, &enc_vars, &enc, &x, &a);
                 let z = self.sample_z(&mut tape, mu, logvar, n, &mut rng);
 
@@ -214,8 +212,7 @@ impl Embedder for Arga {
                     let t1 = tape.sub(one_plus, mu2);
                     let t2 = tape.sub(t1, evar);
                     let ksum = tape.sum(t2);
-                    let kl =
-                        tape.scale(ksum, -0.5 * self.kl_weight / (n as f32 * self.dim as f32));
+                    let kl = tape.scale(ksum, -0.5 * self.kl_weight / (n as f32 * self.dim as f32));
                     loss = tape.add(loss, kl);
                 }
 
@@ -268,14 +265,7 @@ mod tests {
     use coane_eval::nmi_clustering;
 
     fn quick(variational: bool) -> Arga {
-        Arga {
-            variational,
-            hidden: 32,
-            dim: 16,
-            disc_hidden: 32,
-            epochs: 50,
-            ..Default::default()
-        }
+        Arga { variational, hidden: 32, dim: 16, disc_hidden: 32, epochs: 50, ..Default::default() }
     }
 
     #[test]
@@ -306,10 +296,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let g = planted_partition(80, 2, 0.25, 0.02, 30, &mut rng);
         let strong = Arga { adv_weight: 2.0, ..quick(false) }.embed(&g);
-        let rms =
-            (strong.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>()
-                / strong.len() as f64)
-                .sqrt();
+        let rms = (strong.as_slice().iter().map(|&v| (v as f64).powi(2)).sum::<f64>()
+            / strong.len() as f64)
+            .sqrt();
         assert!(rms < 10.0, "embedding scale exploded: rms {rms}");
     }
 

@@ -74,8 +74,7 @@ impl Embedder for Asne {
             Activation::Relu,
             &mut rng,
         );
-        let out_emb =
-            params.add("out_emb", coane_nn::init::xavier_uniform(n, self.dim, &mut rng));
+        let out_emb = params.add("out_emb", coane_nn::init::xavier_uniform(n, self.dim, &mut rng));
 
         // Directed edge list (both orientations) as training pairs.
         let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(graph.num_edges() * 2);
@@ -152,13 +151,7 @@ mod tests {
     fn asne_embeds_with_signal() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let g = planted_partition(100, 2, 0.25, 0.01, 40, &mut rng);
-        let asne = Asne {
-            id_dim: 16,
-            attr_dim: 16,
-            dim: 16,
-            epochs: 8,
-            ..Default::default()
-        };
+        let asne = Asne { id_dim: 16, attr_dim: 16, dim: 16, epochs: 8, ..Default::default() };
         let emb = asne.embed(&g);
         assert_eq!(emb.shape(), (100, 16));
         emb.assert_finite("asne");
@@ -173,8 +166,7 @@ mod tests {
     fn deterministic() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = planted_partition(50, 2, 0.3, 0.03, 16, &mut rng);
-        let asne =
-            Asne { id_dim: 8, attr_dim: 8, dim: 8, epochs: 2, ..Default::default() };
+        let asne = Asne { id_dim: 8, attr_dim: 8, dim: 8, epochs: 2, ..Default::default() };
         assert_eq!(asne.embed(&g), asne.embed(&g));
     }
 }

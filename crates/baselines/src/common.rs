@@ -15,6 +15,15 @@ pub trait Embedder {
     fn embed(&self, graph: &AttributedGraph) -> Matrix;
 }
 
+/// Worker threads for baseline walk generation and training: the
+/// process-wide [`coane_nn::pool`] setting, so the single
+/// `CoaneConfig::threads` knob (or a direct `pool::set_threads` call)
+/// governs the baselines too. Every baseline is bit-deterministic for any
+/// value.
+pub fn worker_threads() -> usize {
+    coane_nn::pool::threads()
+}
+
 /// Skip-gram training pairs `(center, context)` from walk windows of radius
 /// `window` (both directions, excluding self-pairs).
 pub fn walk_pairs(walks: &[Walk], window: usize) -> Vec<(NodeId, NodeId)> {

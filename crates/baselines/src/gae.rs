@@ -112,9 +112,7 @@ impl Embedder for Gae {
         let d = graph.attr_dim();
 
         let mut params = Params::new();
-        let w0 = params
-            .add("w0", coane_nn::init::xavier_uniform(d, self.hidden, &mut rng))
-            .index();
+        let w0 = params.add("w0", coane_nn::init::xavier_uniform(d, self.hidden, &mut rng)).index();
         let w1 = params
             .add("w1", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng))
             .index();
@@ -155,10 +153,7 @@ impl Embedder for Gae {
                     let t1 = tape.sub(one_plus, mu2);
                     let t2 = tape.sub(t1, evar);
                     let ksum = tape.sum(t2);
-                    let kl = tape.scale(
-                        ksum,
-                        -0.5 * self.kl_weight / (n as f32 * self.dim as f32),
-                    );
+                    let kl = tape.scale(ksum, -0.5 * self.kl_weight / (n as f32 * self.dim as f32));
                     Some((z, kl))
                 }
                 _ => None,

@@ -47,11 +47,7 @@ impl Line {
         let bound = 0.5 / half as f32;
         let mut vertex = uniform(n, half, -bound, bound, rng);
         // Second order uses separate context vectors; first order shares.
-        let mut context = if second_order {
-            Matrix::zeros(n, half)
-        } else {
-            vertex.clone()
-        };
+        let mut context = if second_order { Matrix::zeros(n, half) } else { vertex.clone() };
         let edges: Vec<(NodeId, NodeId, f32)> = graph.edges().collect();
         if edges.is_empty() {
             return vertex;

@@ -89,10 +89,7 @@ impl Embedder for GraphSage {
         let x = Rc::new(attrs_as_sparse(graph));
         let p = Rc::new(mean_aggregator(graph));
         let mut params = Params::new();
-        params.add(
-            "w0",
-            coane_nn::init::xavier_uniform(graph.attr_dim(), self.hidden, &mut rng),
-        );
+        params.add("w0", coane_nn::init::xavier_uniform(graph.attr_dim(), self.hidden, &mut rng));
         params.add("w1", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng));
 
         // Positive pairs from short uniform walks (GraphSAGE's unsupervised
@@ -101,7 +98,7 @@ impl Embedder for GraphSage {
             graph,
             WalkConfig { walks_per_node: 2, walk_length: 10, p: 1.0, q: 1.0, seed: self.seed },
         );
-        let walks = walker.generate_all(4);
+        let walks = walker.generate_all(crate::common::worker_threads());
         let pairs = walk_pairs(&walks, 2);
         if pairs.is_empty() {
             return Matrix::zeros(n, self.dim);

@@ -53,11 +53,7 @@ impl Default for SkipGramConfig {
 /// Trains SGNS embeddings from pre-generated walks. Returns the input
 /// ("center") embedding matrix, the standard word2vec output.
 #[allow(clippy::needless_range_loop)] // indexed form is clearer in this kernel
-pub fn train_skipgram(
-    walks: &[Vec<NodeId>],
-    n: usize,
-    cfg: &SkipGramConfig,
-) -> Matrix {
+pub fn train_skipgram(walks: &[Vec<NodeId>], n: usize, cfg: &SkipGramConfig) -> Matrix {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5697);
     let bound = 0.5 / cfg.dim as f32;
     let mut emb_in = uniform(n, cfg.dim, -bound, bound, &mut rng);
@@ -79,22 +75,15 @@ pub fn train_skipgram(
             // positive + negatives share the same update form:
             // err = σ(dot) − label.
             for sample in 0..=cfg.negatives {
-                let (target, label) = if sample == 0 {
-                    (context, 1.0f32)
-                } else {
-                    (noise.sample(&mut rng), 0.0f32)
-                };
+                let (target, label) =
+                    if sample == 0 { (context, 1.0f32) } else { (noise.sample(&mut rng), 0.0f32) };
                 if target == center {
                     continue;
                 }
                 let ci = center as usize;
                 let ti = target as usize;
-                let dot: f32 = emb_in
-                    .row(ci)
-                    .iter()
-                    .zip(emb_out.row(ti))
-                    .map(|(&a, &b)| a * b)
-                    .sum();
+                let dot: f32 =
+                    emb_in.row(ci).iter().zip(emb_out.row(ti)).map(|(&a, &b)| a * b).sum();
                 let err = stable_sigmoid(dot) - label;
                 for k in 0..cfg.dim {
                     grad_center[k] += err * emb_out.get(ti, k);
@@ -138,7 +127,7 @@ impl Embedder for DeepWalk {
                 seed: self.config.seed,
             },
         );
-        let walks = walker.generate_all(4);
+        let walks = walker.generate_all(crate::common::worker_threads());
         train_skipgram(&walks, graph.num_nodes(), &self.config)
     }
 }
@@ -178,7 +167,7 @@ impl Embedder for Node2Vec {
                 seed: self.config.seed,
             },
         );
-        let walks = walker.generate_all(4);
+        let walks = walker.generate_all(crate::common::worker_threads());
         train_skipgram(&walks, graph.num_nodes(), &self.config)
     }
 }
@@ -262,7 +251,10 @@ mod tests {
             b.with_attrs(coane_graph::NodeAttributes::identity(5)).build()
         };
         let cfg = SkipGramConfig { window: 0, ..fast_cfg() };
-        let walker = Walker::new(&g, WalkConfig { walks_per_node: 1, walk_length: 2, p: 1.0, q: 1.0, seed: 0 });
+        let walker = Walker::new(
+            &g,
+            WalkConfig { walks_per_node: 1, walk_length: 2, p: 1.0, q: 1.0, seed: 0 },
+        );
         let walks = walker.generate_all(1);
         let emb = train_skipgram(&walks, 5, &cfg);
         emb.assert_finite("empty-pair skipgram");

@@ -77,12 +77,7 @@ struct GruParams {
 }
 
 impl Stne {
-    fn build_params<R: rand::Rng>(
-        &self,
-        n: usize,
-        d: usize,
-        rng: &mut R,
-    ) -> (Params, GruParams) {
+    fn build_params<R: rand::Rng>(&self, n: usize, d: usize, rng: &mut R) -> (Params, GruParams) {
         let (p, h) = (self.input_proj, self.dim);
         let mut params = Params::new();
         let w_in = params.add("w_in", xavier_uniform(d, p, rng)).index();
@@ -170,7 +165,7 @@ impl Embedder for Stne {
         );
         // Keep only full-length walks so a batch forms a rectangular tensor.
         let mut walks: Vec<Walk> = walker
-            .generate_all(4)
+            .generate_all(crate::common::worker_threads())
             .into_iter()
             .filter(|w| w.len() == self.walk_length)
             .collect();
@@ -242,9 +237,7 @@ impl Embedder for Stne {
                 h = self.gru_step(&mut tape, &vars, &gp, x, h);
                 let h_val = tape.value(h);
                 for (k, &v) in step_nodes.iter().enumerate() {
-                    for (o, &x) in
-                        sums.row_mut(v as usize).iter_mut().zip(h_val.row(k))
-                    {
+                    for (o, &x) in sums.row_mut(v as usize).iter_mut().zip(h_val.row(k)) {
                         *o += x;
                     }
                     counts[v as usize] += 1;

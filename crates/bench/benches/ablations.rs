@@ -17,10 +17,9 @@ fn config_case(name: &str) -> CoaneConfig {
         "no-positive" => CoaneConfig { ablation: Ablation::wp(), ..base },
         "no-negative" => CoaneConfig { ablation: Ablation::wn(), ..base },
         "fc-encoder" => CoaneConfig { encoder: EncoderKind::FullyConnected, ..base },
-        "pre-sampling" => CoaneConfig {
-            negative_mode: NegativeMode::PreSampling { pool_factor: 3 },
-            ..base
-        },
+        "pre-sampling" => {
+            CoaneConfig { negative_mode: NegativeMode::PreSampling { pool_factor: 3 }, ..base }
+        }
         other => panic!("unknown case {other}"),
     }
 }
@@ -29,14 +28,9 @@ fn bench_objective_ablations(c: &mut Criterion) {
     let (graph, _) = Preset::WebKbCornell.generate_scaled(1.0, 1);
     let mut group = c.benchmark_group("coane_epoch_cost");
     group.sample_size(10);
-    for case in [
-        "full",
-        "no-attr-preservation",
-        "no-positive",
-        "no-negative",
-        "fc-encoder",
-        "pre-sampling",
-    ] {
+    for case in
+        ["full", "no-attr-preservation", "no-positive", "no-negative", "fc-encoder", "pre-sampling"]
+    {
         group.bench_with_input(BenchmarkId::from_parameter(case), &case, |b, &case| {
             b.iter(|| black_box(Coane::new(config_case(case)).fit(&graph)));
         });
@@ -50,12 +44,8 @@ fn bench_context_size_cost(c: &mut Criterion) {
     group.sample_size(10);
     for cs in [3usize, 7, 11] {
         group.bench_with_input(BenchmarkId::from_parameter(cs), &cs, |b, &cs| {
-            let cfg = CoaneConfig {
-                context_size: cs,
-                epochs: 1,
-                embed_dim: 64,
-                ..Default::default()
-            };
+            let cfg =
+                CoaneConfig { context_size: cs, epochs: 1, embed_dim: 64, ..Default::default() };
             b.iter(|| black_box(Coane::new(cfg.clone()).fit(&graph)));
         });
     }

@@ -1,0 +1,142 @@
+//! Matmul-family kernel microbench: the seed's naive kernels vs the blocked
+//! kernels (1 thread) vs blocked + parallel (4 threads), at Cora scale —
+//! n = 2708 nodes, d = 1433 attributes, d' = 128 embedding dims, the shapes
+//! the encoder/decoder matmuls actually see during training.
+//!
+//! Besides printing a table, writes `BENCH_kernels.json` at the repository
+//! root so the speedups are recorded alongside the code.
+
+use coane_nn::{pool, Matrix};
+use criterion::{black_box, format_ns, run_bench, Sample};
+use serde::Serialize;
+use std::io::Write as _;
+
+/// Cora scale: (nodes, attribute dim, embedding dim).
+const M: usize = 2708;
+const K: usize = 1433;
+const N: usize = 128;
+
+const SAMPLE_SIZE: usize = 10;
+const PARALLEL_THREADS: usize = 4;
+
+/// Times are minima over the sample set: the container runs on a shared
+/// single-core VM where scheduler interference inflates medians run-to-run,
+/// and the minimum is the standard robust estimator of steady-state cost.
+#[derive(Serialize)]
+struct KernelRow {
+    naive_ns: f64,
+    blocked_ns: f64,
+    blocked_parallel_ns: f64,
+    speedup_blocked: f64,
+    speedup_parallel: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    m: usize,
+    k: usize,
+    n: usize,
+    sample_size: usize,
+    parallel_threads: usize,
+    matmul: KernelRow,
+    matmul_tn: KernelRow,
+    matmul_nt: KernelRow,
+    /// Geometric mean of the three `speedup_parallel` values.
+    family_speedup: f64,
+}
+
+/// Deterministic dense fill — training matmuls run on dense activations and
+/// gradients (the sparse attribute matrix goes through `SparseMatrix`), so
+/// the bench data deliberately has no zeros for the naive kernels to skip.
+fn filled(rows: usize, cols: usize, salt: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut s = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for x in m.as_mut_slice() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *x = ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+    }
+    m
+}
+
+fn bench_variants(
+    name: &str,
+    naive: &mut dyn FnMut() -> Matrix,
+    blocked: &mut dyn FnMut() -> Matrix,
+) -> KernelRow {
+    let time = |f: &mut dyn FnMut() -> Matrix| -> Sample {
+        run_bench(SAMPLE_SIZE, |b| b.iter(|| black_box(f())))
+    };
+    let naive_s = time(naive);
+    pool::set_threads(1);
+    let blocked_s = time(blocked);
+    pool::set_threads(PARALLEL_THREADS);
+    let parallel_s = time(blocked);
+    let row = KernelRow {
+        naive_ns: naive_s.min_ns,
+        blocked_ns: blocked_s.min_ns,
+        blocked_parallel_ns: parallel_s.min_ns,
+        speedup_blocked: naive_s.min_ns / blocked_s.min_ns,
+        speedup_parallel: naive_s.min_ns / parallel_s.min_ns,
+    };
+    println!(
+        "{name:<10} naive {:>12}   blocked {:>12} ({:.2}x)   blocked+{}t {:>12} ({:.2}x)",
+        format_ns(row.naive_ns),
+        format_ns(row.blocked_ns),
+        row.speedup_blocked,
+        PARALLEL_THREADS,
+        format_ns(row.blocked_parallel_ns),
+        row.speedup_parallel,
+    );
+    row
+}
+
+fn main() {
+    println!("kernel bench at Cora scale: m={M} k={K} n={N}, {SAMPLE_SIZE} samples");
+
+    // Encoder-shaped operands: x (M×K) attributes, w (K×N) filters,
+    // g (M×N) output gradients.
+    let x = filled(M, K, 1);
+    let w = filled(K, N, 2);
+    let g = filled(M, N, 3);
+
+    // Correctness guard before timing anything.
+    assert_eq!(x.matmul(&w), x.matmul_naive(&w), "matmul diverged from reference");
+    assert_eq!(x.matmul_tn(&g), x.matmul_tn_naive(&g), "matmul_tn diverged from reference");
+    {
+        // matmul_nt(g, w) = g · wᵀ — the matmul backward pass shape
+        // (dA = dC · Bᵀ), operands sharing the embedding-dim column count.
+        let fast = g.matmul_nt(&w);
+        let slow = g.matmul_nt_naive(&w);
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "matmul_nt outside tolerance");
+        }
+    }
+
+    let matmul = bench_variants("matmul", &mut || x.matmul_naive(&w), &mut || x.matmul(&w));
+    let matmul_tn =
+        bench_variants("matmul_tn", &mut || x.matmul_tn_naive(&g), &mut || x.matmul_tn(&g));
+    let matmul_nt =
+        bench_variants("matmul_nt", &mut || g.matmul_nt_naive(&w), &mut || g.matmul_nt(&w));
+
+    let family_speedup =
+        (matmul.speedup_parallel * matmul_tn.speedup_parallel * matmul_nt.speedup_parallel)
+            .powf(1.0 / 3.0);
+    println!("family geometric-mean speedup (blocked+{PARALLEL_THREADS}t vs naive): {family_speedup:.2}x");
+
+    let report = Report {
+        m: M,
+        k: K,
+        n: N,
+        sample_size: SAMPLE_SIZE,
+        parallel_threads: PARALLEL_THREADS,
+        matmul,
+        matmul_tn,
+        matmul_nt,
+        family_speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let mut file = std::fs::File::create(path).expect("create BENCH_kernels.json");
+    writeln!(file, "{json}").expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

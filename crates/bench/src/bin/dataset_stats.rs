@@ -41,10 +41,8 @@ fn main() {
         let (_, comps) = connected_components(&g);
         let labels = g.labels().unwrap();
         let homophily = {
-            let same = g
-                .edges()
-                .filter(|&(u, v, _)| labels[u as usize] == labels[v as usize])
-                .count();
+            let same =
+                g.edges().filter(|&(u, v, _)| labels[u as usize] == labels[v as usize]).count();
             same as f64 / g.num_edges() as f64
         };
         let paper_density = 2.0 * m_p as f64 / (n_p as f64 * (n_p as f64 - 1.0));
@@ -62,5 +60,7 @@ fn main() {
         ]);
     }
     table.print();
-    println!("\n(replica target: nodes/attrs/labels exact; edges within a few %, so density follows)");
+    println!(
+        "\n(replica target: nodes/attrs/labels exact; edges within a few %, so density follows)"
+    );
 }

@@ -65,9 +65,10 @@ fn main() {
             };
             let reference = classification_reference(family, method.name());
             let mut cells = vec![method.name().to_string()];
-            for (k, micro) in [(0usize, false), (1, false), (2, false), (0, true), (1, true), (2, true)]
-                .into_iter()
-                .enumerate()
+            for (k, micro) in
+                [(0usize, false), (1, false), (2, false), (0, true), (1, true), (2, true)]
+                    .into_iter()
+                    .enumerate()
             {
                 let v = cell(micro.0, micro.1);
                 let r = reference.map(|row| row[k]);

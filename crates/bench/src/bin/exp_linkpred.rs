@@ -55,10 +55,7 @@ fn main() {
     for (mi, &method) in methods.iter().enumerate() {
         let mut cells = vec![method.name().to_string()];
         for (fi, family) in families.iter().enumerate() {
-            cells.push(with_reference(
-                results[mi][fi],
-                linkpred_reference(family, method.name()),
-            ));
+            cells.push(with_reference(results[mi][fi], linkpred_reference(family, method.name())));
         }
         table.row(cells);
     }

@@ -35,11 +35,8 @@ fn main() {
     );
 
     let auc = |emb: &coane_nn::Matrix, val: bool| -> f64 {
-        let (pos, neg) = if val {
-            (&split.val_pos, &split.val_neg)
-        } else {
-            (&split.test_pos, &split.test_neg)
-        };
+        let (pos, neg) =
+            if val { (&split.val_pos, &split.val_neg) } else { (&split.test_pos, &split.test_neg) };
         link_prediction_auc(
             emb.as_slice(),
             emb.cols(),
@@ -76,7 +73,8 @@ fn main() {
     let unit = 40usize; // GCN epochs per CoANE-equivalent epoch
     for e in 1..=epochs {
         let start = Instant::now();
-        let model = Gae { kind: GaeKind::Variational, epochs: e * unit, seed, ..Default::default() };
+        let model =
+            Gae { kind: GaeKind::Variational, epochs: e * unit, seed, ..Default::default() };
         let emb = model.embed(&split.train_graph);
         let secs = start.elapsed().as_secs_f64();
         table.row(vec![

@@ -143,10 +143,7 @@ fn main() {
         args.get_or("epochs", 8),
         args.get_or("seed", 42),
     );
-    println!(
-        "== Fig. 4 sensitivity (WebKB-Cornell replica, {} nodes) ==\n",
-        ctx.graph.num_nodes()
-    );
+    println!("== Fig. 4 sensitivity (WebKB-Cornell replica, {} nodes) ==\n", ctx.graph.num_nodes());
     match which.as_str() {
         "context-length" => context_length(&ctx),
         "num-walks" => num_walks(&ctx),

@@ -41,10 +41,7 @@ fn aucs(ctx: &Ctx, cfg: CoaneConfig) -> (f64, f64) {
             neg,
         )
     };
-    (
-        run(&ctx.split.train_pos, &ctx.split.train_neg),
-        run(&ctx.split.test_pos, &ctx.split.test_neg),
-    )
+    (run(&ctx.split.train_pos, &ctx.split.train_neg), run(&ctx.split.test_pos, &ctx.split.test_neg))
 }
 
 fn layer(ctx: &Ctx) {

@@ -18,7 +18,8 @@ use coane_datasets::Preset;
 
 fn main() {
     let args = Args::parse();
-    let (graph, _) = Preset::Cora.generate_scaled(args.get_or("scale", 0.15), args.get_or("seed", 42));
+    let (graph, _) =
+        Preset::Cora.generate_scaled(args.get_or("scale", 0.15), args.get_or("seed", 42));
     let out_dir = args.get("out").unwrap_or(".").to_string();
     let cfg = CoaneConfig {
         epochs: args.get_or("epochs", 8),
@@ -72,7 +73,9 @@ fn main() {
     };
     let top10 = neighbor_mass(&order[..10.min(order.len())]);
     let bottom10 = neighbor_mass(&order[order.len().saturating_sub(10)..]);
-    println!("mean neighbour-position |weight|: top-10 midst attrs {top10:.5}, bottom-10 {bottom10:.5}");
+    println!(
+        "mean neighbour-position |weight|: top-10 midst attrs {top10:.5}, bottom-10 {bottom10:.5}"
+    );
     println!(
         "positional co-attention {}",
         if top10 > bottom10 { "HOLDS (matches the paper's Fig. 6b reading)" } else { "DEVIATES" }

@@ -22,8 +22,8 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let args = Args::parse();
-    let preset = Preset::parse(args.get("dataset").unwrap_or("webkb-cornell"))
-        .expect("unknown dataset");
+    let preset =
+        Preset::parse(args.get("dataset").unwrap_or("webkb-cornell")).expect("unknown dataset");
     let scale = effective_scale(preset, args.get_or("scale", 1.0));
     let seed: u64 = args.get_or("seed", 42);
     let (graph, _) = preset.generate_scaled(scale, seed);

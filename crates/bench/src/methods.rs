@@ -1,8 +1,8 @@
 //! Uniform access to every embedding method for the experiment binaries.
 
 use coane_baselines::{
-    skipgram::SkipGramConfig, Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind,
-    GraphSage, Line, Node2Vec, Stne,
+    skipgram::SkipGramConfig, Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind, GraphSage,
+    Line, Node2Vec, Stne,
 };
 use coane_core::{Coane, CoaneConfig};
 use coane_graph::AttributedGraph;
@@ -97,22 +97,16 @@ impl Method {
             ..Default::default()
         };
         match self {
-            Method::Coane => Coane::new(CoaneConfig {
-                embed_dim: dim,
-                epochs,
-                seed,
-                ..Default::default()
-            })
-            .fit(graph),
+            Method::Coane => {
+                Coane::new(CoaneConfig { embed_dim: dim, epochs, seed, ..Default::default() })
+                    .fit(graph)
+            }
             Method::DeepWalk => DeepWalk { config: sg }.embed(graph),
             Method::Node2Vec => Node2Vec { config: sg, p: 1.0, q: 1.0 }.embed(graph),
-            Method::Line => Line {
-                dim,
-                samples_per_edge: (epochs * 5).max(10),
-                seed,
-                ..Default::default()
+            Method::Line => {
+                Line { dim, samples_per_edge: (epochs * 5).max(10), seed, ..Default::default() }
+                    .embed(graph)
             }
-            .embed(graph),
             Method::Gae => Gae {
                 kind: GaeKind::Plain,
                 dim,
@@ -131,22 +125,14 @@ impl Method {
                 ..Default::default()
             }
             .embed(graph),
-            Method::GraphSage => GraphSage {
-                dim,
-                hidden: 256,
-                epochs: epochs * 6,
-                seed,
-                ..Default::default()
+            Method::GraphSage => {
+                GraphSage { dim, hidden: 256, epochs: epochs * 6, seed, ..Default::default() }
+                    .embed(graph)
             }
-            .embed(graph),
             Method::Asne => Asne { dim, epochs, seed, ..Default::default() }.embed(graph),
-            Method::Dane => Dane {
-                dim,
-                epochs: (epochs * 2).max(2),
-                seed,
-                ..Default::default()
+            Method::Dane => {
+                Dane { dim, epochs: (epochs * 2).max(2), seed, ..Default::default() }.embed(graph)
             }
-            .embed(graph),
             Method::Anrl => Anrl { dim, epochs, seed, ..Default::default() }.embed(graph),
             Method::Arga | Method::Arvga => Arga {
                 variational: self == Method::Arvga,
@@ -157,8 +143,9 @@ impl Method {
                 ..Default::default()
             }
             .embed(graph),
-            Method::Stne => Stne { dim, epochs: (epochs / 2).max(1), seed, ..Default::default() }
-                .embed(graph),
+            Method::Stne => {
+                Stne { dim, epochs: (epochs / 2).max(1), seed, ..Default::default() }.embed(graph)
+            }
         }
     }
 }

@@ -216,8 +216,8 @@ mod tests {
             for m in
                 ["node2vec", "LINE", "GAE", "VGAE", "GraphSAGE", "DANE", "ASNE", "ANRL", "CoANE"]
             {
-                let row = classification_reference(d, m)
-                    .unwrap_or_else(|| panic!("missing ({d}, {m})"));
+                let row =
+                    classification_reference(d, m).unwrap_or_else(|| panic!("missing ({d}, {m})"));
                 assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
             }
         }

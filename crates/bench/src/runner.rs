@@ -67,8 +67,7 @@ pub fn classification_run(
         for &ratio in ratios {
             let mut rng = ChaCha8Rng::seed_from_u64(rc.seed ^ (ratio * 1000.0) as u64);
             let (train, test) = node_label_split(graph.num_nodes(), ratio, &mut rng);
-            let scores =
-                classify_nodes(emb.as_slice(), emb.cols(), &labels, &train, &test, 1e-3);
+            let scores = classify_nodes(emb.as_slice(), emb.cols(), &labels, &train, &test, 1e-3);
             out.push(ClassificationResult {
                 method,
                 ratio,

@@ -54,11 +54,18 @@ impl TuningGrid {
     }
 
     fn points(&self, base: &CoaneConfig) -> Vec<(f32, usize, f32)> {
-        let a_axis: Vec<f32> =
-            if self.neg_strengths.is_empty() { vec![base.neg_strength] } else { self.neg_strengths.clone() };
-        let c_axis: Vec<usize> =
-            if self.context_sizes.is_empty() { vec![base.context_size] } else { self.context_sizes.clone() };
-        let g_axis: Vec<f32> = if self.gammas.is_empty() { vec![base.gamma] } else { self.gammas.clone() };
+        let a_axis: Vec<f32> = if self.neg_strengths.is_empty() {
+            vec![base.neg_strength]
+        } else {
+            self.neg_strengths.clone()
+        };
+        let c_axis: Vec<usize> = if self.context_sizes.is_empty() {
+            vec![base.context_size]
+        } else {
+            self.context_sizes.clone()
+        };
+        let g_axis: Vec<f32> =
+            if self.gammas.is_empty() { vec![base.gamma] } else { self.gammas.clone() };
         let mut out = Vec::with_capacity(a_axis.len() * c_axis.len() * g_axis.len());
         for &a in &a_axis {
             for &c in &c_axis {
@@ -74,21 +81,12 @@ impl TuningGrid {
 /// Grid-searches `grid` around `base`, scoring each point by validation AUC
 /// on `split`, exactly as §4.1 prescribes. Returns all results sorted best
 /// first; `.first()` is the selected configuration.
-pub fn tune(
-    base: &CoaneConfig,
-    grid: &TuningGrid,
-    split: &EdgeSplit,
-) -> Vec<TuningResult> {
+pub fn tune(base: &CoaneConfig, grid: &TuningGrid, split: &EdgeSplit) -> Vec<TuningResult> {
     let mut results: Vec<TuningResult> = grid
         .points(base)
         .into_iter()
         .map(|(a, c, g)| {
-            let cfg = CoaneConfig {
-                neg_strength: a,
-                context_size: c,
-                gamma: g,
-                ..base.clone()
-            };
+            let cfg = CoaneConfig { neg_strength: a, context_size: c, gamma: g, ..base.clone() };
             let emb = Coane::new(cfg).fit(&split.train_graph);
             let val_auc = link_prediction_auc(
                 emb.as_slice(),
@@ -152,11 +150,7 @@ mod tests {
     #[test]
     fn empty_axes_fall_back_to_base() {
         let base = quick_base();
-        let grid = TuningGrid {
-            neg_strengths: vec![],
-            context_sizes: vec![7],
-            gammas: vec![],
-        };
+        let grid = TuningGrid { neg_strengths: vec![], context_sizes: vec![7], gammas: vec![] };
         let points = grid.points(&base);
         assert_eq!(points, vec![(base.neg_strength, 7, base.gamma)]);
     }

@@ -72,8 +72,7 @@ impl ContextBatch {
             offsets.push(row);
         }
         let rb = SparseMatrix::from_triplets(total_ctx, cols, triplets);
-        let x_target =
-            Matrix::from_vec(nodes.len(), d, graph.attrs().gather_dense(nodes));
+        let x_target = Matrix::from_vec(nodes.len(), d, graph.attrs().gather_dense(nodes));
         Self { nodes: nodes.to_vec(), rb, offsets, x_target }
     }
 

@@ -159,7 +159,10 @@ pub struct CoaneConfig {
     pub context_source: ContextSource,
     /// Objective ablation switches (Fig. 6c).
     pub ablation: Ablation,
-    /// Worker threads for walk generation.
+    /// Worker threads for all parallel compute: walk generation,
+    /// preprocessing and the training kernels (set process-wide via
+    /// `coane_nn::pool::set_threads` when `fit` starts). Embeddings are
+    /// bit-identical for any value; this only controls throughput.
     pub threads: usize,
     /// RNG seed (walks, init, batching, sampling).
     pub seed: u64,
@@ -193,7 +196,10 @@ impl Default for CoaneConfig {
 impl CoaneConfig {
     /// Validates invariants (even `d'`, odd `c`, positive sizes).
     pub fn validate(&self) {
-        assert!(self.embed_dim >= 2 && self.embed_dim.is_multiple_of(2), "embed_dim must be even ≥ 2");
+        assert!(
+            self.embed_dim >= 2 && self.embed_dim.is_multiple_of(2),
+            "embed_dim must be even ≥ 2"
+        );
         assert!(self.context_size % 2 == 1, "context_size must be odd");
         assert!(self.walks_per_node >= 1);
         assert!(self.walk_length >= 1);

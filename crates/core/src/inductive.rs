@@ -102,24 +102,23 @@ mod tests {
             embed_dim: 16,
             context_size: 3,
             walk_length: 20,
-            epochs: 5,
+            epochs: 10,
             batch_size: 40,
             decoder_hidden: (32, 32),
             ..Default::default()
         };
         let (z_train, model, _) = Coane::new(coane_cfg.clone()).fit_with_model(&graph);
 
-        // Extend the graph: new node n attached to 4 community-0 nodes,
+        // Extend the graph: new node n attached to 8 community-0 nodes,
         // copying a community-0 member's attributes.
         let n = graph.num_nodes();
-        let comm0: Vec<u32> =
-            (0..n as u32).filter(|&v| asg.community[v as usize] == 0).collect();
+        let comm0: Vec<u32> = (0..n as u32).filter(|&v| asg.community[v as usize] == 0).collect();
         let donor = comm0[0];
         let mut b = GraphBuilder::new(n + 1, graph.attr_dim());
         for (u, v, w) in graph.edges() {
             b.add_edge(u, v, w);
         }
-        for &u in comm0.iter().take(4) {
+        for &u in comm0.iter().take(8) {
             b.add_edge(n as u32, u, 1.0);
         }
         let mut rows: Vec<Vec<(u32, f32)>> = (0..n as u32)
@@ -130,9 +129,8 @@ mod tests {
             .collect();
         let (didx, dval) = graph.attrs().row(donor);
         rows.push(didx.iter().copied().zip(dval.iter().copied()).collect());
-        let extended = b
-            .with_attrs(NodeAttributes::from_sparse_rows(graph.attr_dim(), &rows))
-            .build();
+        let extended =
+            b.with_attrs(NodeAttributes::from_sparse_rows(graph.attr_dim(), &rows)).build();
 
         let z_new = embed_nodes(&model, &coane_cfg, &extended, &[n as u32]);
         assert_eq!(z_new.shape(), (1, 16));
@@ -140,9 +138,7 @@ mod tests {
 
         // Compare mean cosine to each community's trained embeddings.
         let mean_cos = |comm: u32| -> f64 {
-            let members: Vec<usize> = (0..n)
-                .filter(|&v| asg.community[v] == comm)
-                .collect();
+            let members: Vec<usize> = (0..n).filter(|&v| asg.community[v] == comm).collect();
             members.iter().map(|&v| cosine(z_new.row(0), z_train.row(v))).sum::<f64>()
                 / members.len() as f64
         };

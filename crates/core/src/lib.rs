@@ -42,8 +42,9 @@ pub mod model;
 pub mod persist;
 pub mod trainer;
 
-pub use config::{Ablation, CoaneConfig, ContextSource, EncoderKind, NegativeLossKind,
-                 PositiveLossKind};
+pub use config::{
+    Ablation, CoaneConfig, ContextSource, EncoderKind, NegativeLossKind, PositiveLossKind,
+};
 pub use inductive::embed_nodes;
 pub use model::CoaneModel;
 pub use persist::{load_model, save_model};

@@ -59,8 +59,7 @@ fn split_counterparts(counterparts: &[Side]) -> SplitGather {
 fn gather_cached(z_cache: &Matrix, rows: &[NodeId], col_range: std::ops::Range<usize>) -> Matrix {
     let mut out = Matrix::zeros(rows.len(), col_range.len());
     for (r, &v) in rows.iter().enumerate() {
-        out.row_mut(r)
-            .copy_from_slice(&z_cache.row(v as usize)[col_range.clone()]);
+        out.row_mut(r).copy_from_slice(&z_cache.row(v as usize)[col_range.clone()]);
     }
     out
 }
@@ -223,7 +222,7 @@ pub fn negative_loss(
     let mut terms: Vec<Var> = Vec::new();
     let push_term = |tape: &mut Tape, zi_sel: Var, zj: Var| {
         let dot = tape.rows_dot(zi_sel, zj);
-        
+
         match kind {
             NegativeLossKind::Contextual => {
                 let sq = tape.sqr(dot);
@@ -323,15 +322,8 @@ mod tests {
         let mut t = Tape::new();
         // fresh embedding of node 0 == cache row for easy manual math
         let z = t.leaf(Matrix::from_rows(&[vec![0.1, 0.2, 0.3, 0.4]]), true);
-        let loss = positive_loss(
-            &mut t,
-            z,
-            &ctx,
-            PositiveLossKind::GraphLikelihood,
-            &pairs,
-            &co,
-        )
-        .unwrap();
+        let loss =
+            positive_loss(&mut t, z, &ctx, PositiveLossKind::GraphLikelihood, &pairs, &co).unwrap();
         // manual: Σ_j w · −log σ(L_0 · R_j) over node 0's top-k pairs
         let mut want = 0.0f32;
         for &(_, j, w) in pairs.pairs_of(0) {
@@ -359,8 +351,7 @@ mod tests {
         let ctx = simple_ctx(&batch, &local, &cache);
         let mut t = Tape::new();
         let z = t.leaf(Matrix::from_rows(&[vec![0.3, -0.2, 0.5, 0.1]]), true);
-        let loss =
-            positive_loss(&mut t, z, &ctx, PositiveLossKind::SkipGram, &pairs, &co).unwrap();
+        let loss = positive_loss(&mut t, z, &ctx, PositiveLossKind::SkipGram, &pairs, &co).unwrap();
         t.backward(loss);
         let g = t.grad(z).unwrap();
         // all four embedding coordinates receive gradient (no [L|R] split)…
@@ -385,11 +376,7 @@ mod tests {
 
     #[test]
     fn contextual_negative_is_scaled_square() {
-        let cache = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![3.0, 1.0],
-        ]);
+        let cache = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 1.0]]);
         let batch = [0u32];
         let local = [Some(0), None, None];
         let ctx = simple_ctx(&batch, &local, &cache);
@@ -427,9 +414,7 @@ mod tests {
         let mut t = Tape::new();
         let z = t.leaf(Matrix::zeros(1, 2), true);
         let negs = vec![vec![]];
-        assert!(
-            negative_loss(&mut t, z, &ctx, NegativeLossKind::Contextual, &negs, 1.0).is_none()
-        );
+        assert!(negative_loss(&mut t, z, &ctx, NegativeLossKind::Contextual, &negs, 1.0).is_none());
         assert!(negative_loss(&mut t, z, &ctx, NegativeLossKind::None, &negs, 1.0).is_none());
     }
 

@@ -44,12 +44,7 @@ impl CoaneModel {
             Mlp::new(
                 &mut params,
                 "decoder",
-                &[
-                    config.embed_dim,
-                    config.decoder_hidden.0,
-                    config.decoder_hidden.1,
-                    attr_dim,
-                ],
+                &[config.embed_dim, config.decoder_hidden.0, config.decoder_hidden.1, attr_dim],
                 Activation::Relu,
                 rng,
             )
@@ -186,12 +181,7 @@ mod tests {
     }
 
     fn small_config() -> CoaneConfig {
-        CoaneConfig {
-            embed_dim: 8,
-            context_size: 3,
-            decoder_hidden: (8, 8),
-            ..Default::default()
-        }
+        CoaneConfig { embed_dim: 8, context_size: 3, decoder_hidden: (8, 8), ..Default::default() }
     }
 
     #[test]
@@ -244,10 +234,7 @@ mod tests {
 
     #[test]
     fn wap_drops_decoder() {
-        let cfg = CoaneConfig {
-            ablation: crate::config::Ablation::wap(),
-            ..small_config()
-        };
+        let cfg = CoaneConfig { ablation: crate::config::Ablation::wap(), ..small_config() };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let model = CoaneModel::new(&cfg, 6, &mut rng);
         assert!(!model.has_decoder());
@@ -274,4 +261,3 @@ mod tests {
         assert!(heat.as_slice().iter().all(|&x| x >= 0.0));
     }
 }
-

@@ -81,18 +81,14 @@ pub fn load_model(path: &Path) -> io::Result<(CoaneModel, CoaneConfig)> {
         decoder_hidden: saved.decoder_hidden,
         walks_per_node: saved.walks_per_node,
         walk_length: saved.walk_length,
-        ablation: Ablation {
-            attribute_preservation: saved.has_decoder,
-            ..Ablation::full()
-        },
+        ablation: Ablation { attribute_preservation: saved.has_decoder, ..Ablation::full() },
         ..Default::default()
     };
     // Rebuild the architecture (values are immediately overwritten, so the
     // RNG seed is irrelevant), then restore parameter values by name.
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut model = CoaneModel::new(&config, saved.attr_dim, &mut rng);
-    let expected: Vec<String> =
-        model.params.iter().map(|(_, name, _)| name.to_string()).collect();
+    let expected: Vec<String> = model.params.iter().map(|(_, name, _)| name.to_string()).collect();
     let got: Vec<&String> = saved.params.iter().map(|(n, _)| n).collect();
     if expected.len() != got.len() || expected.iter().zip(&got).any(|(a, b)| a != *b) {
         return Err(io::Error::new(

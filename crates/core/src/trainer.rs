@@ -86,13 +86,16 @@ impl Coane {
         mut on_epoch: impl FnMut(usize, &Matrix),
     ) -> (Matrix, CoaneModel, TrainStats) {
         let cfg = &self.config;
+        // One knob for every parallel stage: walk generation, preprocessing
+        // and the training kernels all read the pool's thread count. Results
+        // are bit-identical for any setting (see `coane_nn::pool`).
+        coane_nn::pool::set_threads(cfg.threads);
         // WF ablation: strip attributes down to identity rows.
         let owned_graph;
         let graph: &AttributedGraph = if cfg.ablation.use_attributes {
             graph
         } else {
-            owned_graph =
-                graph.clone().with_attrs(NodeAttributes::identity(graph.num_nodes()));
+            owned_graph = graph.clone().with_attrs(NodeAttributes::identity(graph.num_nodes()));
             &owned_graph
         };
 
@@ -203,14 +206,8 @@ impl Coane {
         };
         let ctx = LossContext { batch_nodes, local: local_of, z_cache };
         let l_pos = positive_loss(&mut tape, z, &ctx, cfg.ablation.positive, &prep.pairs, &prep.co);
-        let l_neg = negative_loss(
-            &mut tape,
-            z,
-            &ctx,
-            cfg.ablation.negative,
-            &negatives,
-            cfg.neg_strength,
-        );
+        let l_neg =
+            negative_loss(&mut tape, z, &ctx, cfg.ablation.negative, &negatives, cfg.neg_strength);
         let l_att = attribute_loss(&mut tape, decoded, &batch.x_target, cfg.gamma);
         let loss_value = if let Some(loss) = total_loss(&mut tape, [l_pos, l_neg, l_att]) {
             tape.backward(loss);
@@ -335,9 +332,8 @@ mod tests {
         assert_eq!(z.shape(), (120, 16));
         z.assert_finite("embedding");
         // Not collapsed: row norms vary and are non-zero.
-        let norms: Vec<f32> = (0..z.rows())
-            .map(|r| z.row(r).iter().map(|x| x * x).sum::<f32>().sqrt())
-            .collect();
+        let norms: Vec<f32> =
+            (0..z.rows()).map(|r| z.row(r).iter().map(|x| x * x).sum::<f32>().sqrt()).collect();
         assert!(norms.iter().all(|&x| x > 0.0));
     }
 
@@ -420,11 +416,8 @@ mod tests {
             ..fast_config()
         };
         Coane::new(cfg).fit(&g);
-        let cfg = CoaneConfig {
-            context_source: ContextSource::FirstHop,
-            epochs: 1,
-            ..fast_config()
-        };
+        let cfg =
+            CoaneConfig { context_source: ContextSource::FirstHop, epochs: 1, ..fast_config() };
         Coane::new(cfg).fit(&g);
     }
 

@@ -57,12 +57,8 @@ impl Preset {
     ];
 
     /// The four WebKB subnetworks (Table 5).
-    pub const WEBKB: [Preset; 4] = [
-        Preset::WebKbCornell,
-        Preset::WebKbTexas,
-        Preset::WebKbWashington,
-        Preset::WebKbWisconsin,
-    ];
+    pub const WEBKB: [Preset; 4] =
+        [Preset::WebKbCornell, Preset::WebKbTexas, Preset::WebKbWashington, Preset::WebKbWisconsin];
 
     /// Canonical lowercase name.
     pub fn name(self) -> &'static str {
@@ -103,8 +99,7 @@ impl Preset {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         let (n, d, m, k) = self.table1_stats();
         let n_scaled = ((n as f64 * scale).round() as usize).max(k * 8);
-        let m_scaled =
-            ((m as f64 * n_scaled as f64 / n as f64).round() as usize).max(n_scaled);
+        let m_scaled = ((m as f64 * n_scaled as f64 / n as f64).round() as usize).max(n_scaled);
         // Flickr is a dense social network with larger, fuzzier groups;
         // citation networks are sparse with crisper topical circles.
         let (mixing, circles) = match self {

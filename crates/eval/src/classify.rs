@@ -31,10 +31,7 @@ pub fn classify_nodes(
     assert_eq!(embedding.len(), labels.len() * dim, "embedding shape");
     let num_classes = labels.iter().copied().max().unwrap() as usize + 1;
     let row_f64 = |v: NodeId| -> Vec<f64> {
-        embedding[v as usize * dim..(v as usize + 1) * dim]
-            .iter()
-            .map(|&x| x as f64)
-            .collect()
+        embedding[v as usize * dim..(v as usize + 1) * dim].iter().map(|&x| x as f64).collect()
     };
     // Train one binary model per class (one-vs-rest).
     let train_features: Vec<f64> = train.iter().flat_map(|&v| row_f64(v)).collect();
@@ -94,8 +91,7 @@ mod tests {
             let c = v % classes;
             labels[v] = c as u32;
             for j in 0..dim {
-                emb[v * dim + j] =
-                    if j == c { 1.0 } else { 0.0 } + rng.gen_range(-noise..noise);
+                emb[v * dim + j] = if j == c { 1.0 } else { 0.0 } + rng.gen_range(-noise..noise);
             }
         }
         (emb, labels)
@@ -126,8 +122,7 @@ mod tests {
     fn class_missing_from_train_is_never_predicted() {
         let (emb, mut labels) = clustered_embedding(90, 3, 6, 0.1, 2);
         // All class-2 nodes moved to the test set.
-        let train: Vec<NodeId> =
-            (0..90).filter(|&v| labels[v as usize] != 2).take(40).collect();
+        let train: Vec<NodeId> = (0..90).filter(|&v| labels[v as usize] != 2).take(40).collect();
         let test: Vec<NodeId> = (0..90).filter(|v| !train.contains(v)).collect();
         labels[0] = 0; // keep shapes
         let scores = classify_nodes(&emb, 6, &labels, &train, &test, 1e-3);

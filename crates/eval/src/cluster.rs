@@ -108,12 +108,7 @@ pub fn kmeans<R: Rng>(
 
 /// Clusters the embedding into `K = max(labels)+1` groups and returns the
 /// NMI against `labels` — the paper's node-clustering protocol.
-pub fn nmi_clustering<R: Rng>(
-    embedding: &[f32],
-    dim: usize,
-    labels: &[u32],
-    rng: &mut R,
-) -> f64 {
+pub fn nmi_clustering<R: Rng>(embedding: &[f32], dim: usize, labels: &[u32], rng: &mut R) -> f64 {
     let k = labels.iter().copied().max().unwrap_or(0) as usize + 1;
     let assign = kmeans(embedding, dim, k, 100, rng);
     nmi(labels, &assign)

@@ -24,8 +24,8 @@ pub mod tsne;
 pub use classify::{classify_nodes, ClassificationScores};
 pub use cluster::{kmeans, nmi_clustering};
 pub use io::{load_embedding_csv, save_embedding_csv};
+pub use linkpred::precision_at_k;
 pub use linkpred::{hadamard_features, link_prediction_auc};
 pub use logreg::LogisticRegression;
-pub use linkpred::precision_at_k;
 pub use metrics::{adjusted_rand_index, macro_f1, micro_f1, nmi, roc_auc};
 pub use tsne::{tsne, TsneConfig};

@@ -83,8 +83,7 @@ mod tests {
         for v in 0..n {
             let c = v % 2;
             for j in 0..dim {
-                emb[v * dim + j] =
-                    if j % 2 == c { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2);
+                emb[v * dim + j] = if j % 2 == c { 1.0 } else { -1.0 } + rng.gen_range(-0.2..0.2);
             }
         }
         let mut pos = Vec::new();
@@ -140,9 +139,7 @@ pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
     assert_eq!(scores.len(), labels.len());
     assert!(k > 0 && k <= scores.len(), "k out of range");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
     let hits = order[..k].iter().filter(|&&i| labels[i]).count();
     hits as f64 / k as f64
 }

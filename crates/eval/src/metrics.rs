@@ -38,9 +38,8 @@ pub fn macro_f1(y_true: &[u32], y_pred: &[u32], num_classes: usize) -> f64 {
 pub fn micro_f1(y_true: &[u32], y_pred: &[u32], num_classes: usize) -> f64 {
     assert_eq!(y_true.len(), y_pred.len());
     let counts = confusion(y_true, y_pred, num_classes);
-    let (tp, fp, fnn) = counts
-        .iter()
-        .fold((0usize, 0usize, 0usize), |a, &(t, f, n)| (a.0 + t, a.1 + f, a.2 + n));
+    let (tp, fp, fnn) =
+        counts.iter().fold((0usize, 0usize, 0usize), |a, &(t, f, n)| (a.0 + t, a.1 + f, a.2 + n));
     let denom = 2 * tp + fp + fnn;
     if denom == 0 {
         return 0.0;
@@ -75,12 +74,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         }
         i = j + 1;
     }
-    let sum_pos: f64 = ranks
-        .iter()
-        .zip(labels)
-        .filter(|&(_, &l)| l)
-        .map(|(&r, _)| r)
-        .sum();
+    let sum_pos: f64 = ranks.iter().zip(labels).filter(|&(_, &l)| l).map(|(&r, _)| r).sum();
     (sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 

@@ -251,10 +251,7 @@ impl AttributedGraph {
 
     /// Weight of edge `(u, v)`, or `None` when absent.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f32> {
-        self.neighbors_of(u)
-            .binary_search(&v)
-            .ok()
-            .map(|i| self.weights_of(u)[i])
+        self.neighbors_of(u).binary_search(&v).ok().map(|i| self.weights_of(u)[i])
     }
 
     /// Iterator over each undirected edge once, as `(u, v, w)` with `u < v`.
@@ -303,10 +300,8 @@ impl AttributedGraph {
     /// Used by link-prediction splits to form the residual training graph.
     pub fn remove_edges(&self, removed: &[(NodeId, NodeId)]) -> Self {
         use std::collections::HashSet;
-        let dead: HashSet<(NodeId, NodeId)> = removed
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
-            .collect();
+        let dead: HashSet<(NodeId, NodeId)> =
+            removed.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
         let mut indptr = Vec::with_capacity(self.n + 1);
         let mut neighbors = Vec::with_capacity(self.neighbors.len());
         let mut weights = Vec::with_capacity(self.weights.len());
@@ -402,12 +397,7 @@ mod tests {
     fn cosine_similarity() {
         let attrs = NodeAttributes::from_sparse_rows(
             4,
-            &[
-                vec![(0, 1.0), (1, 1.0)],
-                vec![(0, 1.0), (1, 1.0)],
-                vec![(2, 1.0)],
-                vec![],
-            ],
+            &[vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)], vec![(2, 1.0)], vec![]],
         );
         assert!((attrs.cosine(0, 1) - 1.0).abs() < 1e-6);
         assert_eq!(attrs.cosine(0, 2), 0.0);
@@ -445,10 +435,7 @@ mod tests {
         let mut b = GraphBuilder::new(3, 1);
         b.add_edge(0, 1, 1.0);
         b.add_edge(1, 2, 1.0);
-        let g = b
-            .with_attrs(NodeAttributes::identity(3))
-            .with_labels(vec![0, 2, 2])
-            .build();
+        let g = b.with_attrs(NodeAttributes::identity(3)).with_labels(vec![0, 2, 2]).build();
         assert_eq!(g.num_labels(), 3);
     }
 }

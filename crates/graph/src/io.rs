@@ -111,10 +111,7 @@ pub fn load_linqs(content_path: &Path, cites_path: &Path) -> io::Result<Attribut
             }
         }
     }
-    Ok(b
-        .with_attrs(NodeAttributes::from_sparse_rows(dim, &attrs))
-        .with_labels(labels)
-        .build())
+    Ok(b.with_attrs(NodeAttributes::from_sparse_rows(dim, &attrs)).with_labels(labels).build())
 }
 
 #[cfg(test)]
@@ -126,11 +123,10 @@ mod tests {
         let mut b = GraphBuilder::new(3, 2);
         b.add_edge(0, 1, 1.0);
         b.add_edge(1, 2, 2.0);
-        b.with_attrs(NodeAttributes::from_dense(2, &[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]))
+        b.with_attrs(NodeAttributes::from_dense(
+            2,
+            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+        ))
         .with_labels(vec![0, 1, 1])
         .build()
     }

@@ -97,10 +97,7 @@ pub fn sample_non_edges<R: Rng>(
 ) -> Vec<(NodeId, NodeId)> {
     let n = g.num_nodes() as u64;
     let possible = n * (n - 1) / 2 - g.num_edges() as u64;
-    assert!(
-        count as u64 <= possible,
-        "requested {count} non-edges but only {possible} exist"
-    );
+    assert!(count as u64 <= possible, "requested {count} non-edges but only {possible} exist");
     let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(count * 2);
     let mut out = Vec::with_capacity(count);
     while out.len() < count {

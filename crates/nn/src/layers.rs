@@ -158,12 +158,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut params = Params::new();
         let mlp = Mlp::new(&mut params, "m", &[2, 8, 1], Activation::Tanh, &mut rng);
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]);
         let mut opt = Adam::new(0.05);
         let mut last = f32::INFINITY;

@@ -19,6 +19,7 @@ pub mod init;
 pub mod layers;
 pub mod matrix;
 pub mod optim;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 

@@ -1,8 +1,36 @@
 //! Dense row-major `f32` matrices with the handful of BLAS-like kernels the
 //! autograd engine needs.
+//!
+//! The `matmul` family is cache-blocked, ISA-multiversioned (AVX-512/AVX2
+//! picked at runtime) and parallelized over output-row chunks via
+//! [`crate::pool`]. Chunk boundaries and per-element accumulation order are
+//! independent of the thread count *and* of the selected instruction set, so
+//! results are bit-identical for any `pool::set_threads` setting on any
+//! x86-64 machine. `matmul` and `matmul_tn` additionally preserve the exact
+//! k-ascending summation order of the reference kernels (`*_naive`), so they
+//! compare `==` element-for-element with those (the only possible deviation
+//! is the sign of an exactly-zero entry, because the references skip
+//! `a == 0.0` terms); `matmul_nt` uses a fixed multi-lane dot product
+//! (deterministic, but reassociated relative to `matmul_nt_naive`).
 
+use crate::pool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Width of the register tile in the blocked `matmul` kernel (output
+/// columns held in accumulators across the whole k loop). 32 f32 = two
+/// 512-bit (or four 256-bit) vectors per row, so each broadcast lhs load is
+/// amortized over two FMAs; 6×2 accumulator vectors still leave registers
+/// free for the rhs loads and lhs broadcasts on the AVX-512 path.
+const TILE_COLS: usize = 32;
+
+/// Height of the register tile (output rows sharing one rhs-row load).
+const TILE_ROWS: usize = 6;
+
+/// Independent accumulator lanes in the blocked dot product; keeps several
+/// FMA chains in flight, which the strictly-ordered single chain of the
+/// naive kernel cannot.
+const DOT_LANES: usize = 16;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
@@ -127,9 +155,28 @@ impl Matrix {
         self.data[0]
     }
 
-    /// Matrix product `self · rhs` with ikj loop ordering (cache friendly for
-    /// row-major operands).
+    /// Matrix product `self · rhs`: register-tiled, cache-blocked, and
+    /// parallel over output-row chunks. Equal (`==`) to [`Self::matmul_naive`]
+    /// for any thread count (k-ascending accumulation order is preserved).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let threads = pool::threads_for(2 * m * k * n);
+        let (a, b) = (&self.data, &rhs.data);
+        pool::parallel_chunks_with(&mut out.data, pool::ROW_CHUNK * n, threads, |start, chunk| {
+            mm_block(a, b, k, n, start / n, chunk);
+        });
+        out
+    }
+
+    /// Reference `self · rhs` (the seed implementation): single-thread ikj
+    /// triple loop with a zero-skip. Kept for kernel unit tests and the
+    /// `kernels` bench.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
@@ -149,8 +196,28 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ · rhs` without materializing the transpose.
+    /// `selfᵀ · rhs` without materializing the transpose: register-tiled and
+    /// parallel over output-row chunks. Equal (`==`) to
+    /// [`Self::matmul_tn_naive`] for any thread count.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let threads = pool::threads_for(2 * m * k * n);
+        let (a, b) = (&self.data, &rhs.data);
+        pool::parallel_chunks_with(&mut out.data, pool::ROW_CHUNK * n, threads, |start, chunk| {
+            tn_block(a, b, k, m, n, start / n, chunk);
+        });
+        out
+    }
+
+    /// Reference `selfᵀ · rhs` (the seed implementation): scatters every
+    /// shared-dimension row into the whole output, re-streaming the output
+    /// matrix `k` times.
+    pub fn matmul_tn_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.rows, rhs.rows, "matmul_tn shape mismatch");
         let (k, m, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
@@ -170,8 +237,30 @@ impl Matrix {
         out
     }
 
-    /// `self · rhsᵀ` without materializing the transpose.
+    /// `self · rhsᵀ` without materializing the transpose: each output element
+    /// is a multi-lane dot product (independent FMA chains the compiler can
+    /// vectorize, unlike the naive kernel's strictly-ordered single chain),
+    /// parallel over output-row chunks. Deterministic for any thread count;
+    /// reassociated relative to [`Self::matmul_nt_naive`], so compare with a
+    /// tolerance, not bitwise.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        let threads = pool::threads_for(2 * m * k * n);
+        let (a, b) = (&self.data, &rhs.data);
+        pool::parallel_chunks_with(&mut out.data, pool::ROW_CHUNK * n, threads, |start, chunk| {
+            nt_block(a, b, k, n, start / n, chunk);
+        });
+        out
+    }
+
+    /// Reference `self · rhsᵀ` (the seed implementation): one sequential
+    /// dot-product chain per output element.
+    pub fn matmul_nt_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
         let (m, n) = (self.rows, rhs.rows);
         let mut out = Matrix::zeros(m, n);
@@ -210,11 +299,7 @@ impl Matrix {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Sum of all elements.
@@ -238,6 +323,232 @@ impl Matrix {
             assert!(x.is_finite(), "{what}: non-finite value {x} at index {i}");
         }
     }
+}
+
+/// ISA multiversioning: compiles the same safe kernel body a second and third
+/// time with AVX2 / AVX-512F code generation enabled, picking the widest
+/// variant the CPU supports at runtime (the baseline build only assumes
+/// SSE2). Wider registers change throughput only — every lane still performs
+/// the same IEEE-754 mul-then-add in the same order, and Rust never contracts
+/// `a * b + c` into a fused multiply-add — so all variants are bit-identical.
+macro_rules! multiversioned {
+    ($(#[$doc:meta])* fn $name:ident / $inner:ident ($($arg:ident: $ty:ty),* $(,)?) $body:block) => {
+        $(#[$doc])*
+        fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx512f")]
+                unsafe fn avx512($($arg: $ty),*) {
+                    $inner($($arg),*)
+                }
+                #[target_feature(enable = "avx2")]
+                unsafe fn avx2($($arg: $ty),*) {
+                    $inner($($arg),*)
+                }
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    // SAFETY: feature checked at runtime on this line.
+                    return unsafe { avx512($($arg),*) };
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: feature checked at runtime on this line.
+                    return unsafe { avx2($($arg),*) };
+                }
+            }
+            $inner($($arg),*)
+        }
+
+        #[inline(always)]
+        fn $inner($($arg: $ty),*) $body
+    };
+}
+
+multiversioned! {
+/// Blocked `matmul` over one chunk of output rows: iterate register tiles of
+/// up to [`TILE_ROWS`]×[`TILE_COLS`] output elements, each accumulated across
+/// the whole shared dimension in registers and written back once. The
+/// k-ascending per-element order matches the naive kernel exactly.
+fn mm_block / mm_block_inner(a: &[f32], b: &[f32], k: usize, n: usize, row0: usize, out: &mut [f32]) {
+    let rows = out.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = TILE_COLS.min(n - j0);
+        let mut i0 = 0;
+        while i0 < rows {
+            let ih = TILE_ROWS.min(rows - i0);
+            if jw == TILE_COLS && ih == TILE_ROWS {
+                mm_tile_full(a, b, k, n, row0 + i0, j0, out, i0);
+            } else {
+                mm_tile_edge(a, b, k, n, row0 + i0, j0, jw, out, i0, ih);
+            }
+            i0 += ih;
+        }
+        j0 += jw;
+    }
+}
+}
+
+multiversioned! {
+/// Blocked `matmul_tn` over one chunk of output rows (`aᵀ·b`, with `a` of
+/// shape `k×m`): sweeps the shared dimension once while the output chunk
+/// stays cache-hot. (Register tiling is a loss here: the lhs element for
+/// output row `i` sits at `a[p*m + i]`, so a tile's k-sweep strides by `m`
+/// floats — typically past a page — and thrashes the TLB.) The k-ascending
+/// per-element order matches the naive kernel exactly.
+fn tn_block / tn_block_inner(a: &[f32], b: &[f32], k: usize, m: usize, n: usize, i0: usize, chunk: &mut [f32]) {
+    let rows = chunk.len() / n;
+    // 4-way k-unroll: each output row is read and written once per four
+    // k-steps instead of once per step, quartering the dominant chunk
+    // traffic. Within the fused update every element still receives its
+    // four terms in ascending-k order, so the sum order is unchanged.
+    let mut p = 0;
+    while p + 4 <= k {
+        let (a0, a1, a2, a3) = (
+            &a[p * m + i0..p * m + i0 + rows],
+            &a[(p + 1) * m + i0..(p + 1) * m + i0 + rows],
+            &a[(p + 2) * m + i0..(p + 2) * m + i0 + rows],
+            &a[(p + 3) * m + i0..(p + 3) * m + i0 + rows],
+        );
+        let (b0, b1, b2, b3) = (
+            &b[p * n..(p + 1) * n],
+            &b[(p + 1) * n..(p + 2) * n],
+            &b[(p + 2) * n..(p + 3) * n],
+            &b[(p + 3) * n..(p + 4) * n],
+        );
+        for ii in 0..rows {
+            let (v0, v1, v2, v3) = (a0[ii], a1[ii], a2[ii], a3[ii]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue;
+            }
+            let orow = &mut chunk[ii * n..(ii + 1) * n];
+            let bs = b0.iter().zip(b1).zip(b2).zip(b3);
+            for (o, (((&w0, &w1), &w2), &w3)) in orow.iter_mut().zip(bs) {
+                let mut s = *o;
+                s += v0 * w0;
+                s += v1 * w1;
+                s += v2 * w2;
+                s += v3 * w3;
+                *o = s;
+            }
+        }
+        p += 4;
+    }
+    for p in p..k {
+        let acols = &a[p * m + i0..p * m + i0 + rows];
+        let brow = &b[p * n..(p + 1) * n];
+        for (ii, &av) in acols.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut chunk[ii * n..(ii + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+}
+
+multiversioned! {
+/// Blocked `matmul_nt` over one chunk of output rows (`a·bᵀ`, operands of
+/// width `k`): every output element is a [`dot_lanes`] product.
+fn nt_block / nt_block_inner(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize, chunk: &mut [f32]) {
+    for (ii, orow) in chunk.chunks_mut(n).enumerate() {
+        let arow = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot_lanes(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+}
+
+/// Full-size register tile: fixed bounds so the inner loops unroll and
+/// vectorize, accumulators live in registers. No zero-skip branch: the
+/// naive kernels skip `av == 0.0` terms, but adding the skipped `±0.0·bv`
+/// products can only affect the sign of an exactly-zero result, so the
+/// outputs still compare `==` element-for-element (and the branch would
+/// otherwise break the unrolled SIMD schedule).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mm_tile_full(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    arow: usize,
+    j0: usize,
+    out: &mut [f32],
+    orow: usize,
+) {
+    let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+    for p in 0..k {
+        let brow: &[f32; TILE_COLS] =
+            b[p * n + j0..p * n + j0 + TILE_COLS].try_into().expect("tile width");
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(arow + r) * k + p];
+            for (o, &bv) in accr.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(orow + r) * n + j0..(orow + r) * n + j0 + TILE_COLS].copy_from_slice(accr);
+    }
+}
+
+/// Ragged-edge tile (fewer than TILE_ROWS rows and/or TILE_COLS columns
+/// remain); same accumulation order, dynamic bounds.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mm_tile_edge(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    arow: usize,
+    j0: usize,
+    jw: usize,
+    out: &mut [f32],
+    orow: usize,
+    ih: usize,
+) {
+    let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+    for p in 0..k {
+        let brow = &b[p * n + j0..p * n + j0 + jw];
+        for (r, accr) in acc.iter_mut().enumerate().take(ih) {
+            let av = a[(arow + r) * k + p];
+            for (o, &bv) in accr.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(ih) {
+        out[(orow + r) * n + j0..(orow + r) * n + j0 + jw].copy_from_slice(&accr[..jw]);
+    }
+}
+
+/// Dot product with [`DOT_LANES`] independent accumulator chains and a fixed
+/// reduction order: deterministic, vectorizable, and exactly equal to the
+/// sequential dot for inputs shorter than one lane block.
+#[inline(always)]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let blocks = a.len() / DOT_LANES;
+    let mut acc = [0.0f32; DOT_LANES];
+    for c in 0..blocks {
+        let ac = &a[c * DOT_LANES..(c + 1) * DOT_LANES];
+        let bc = &b[c * DOT_LANES..(c + 1) * DOT_LANES];
+        for (o, (&x, &y)) in acc.iter_mut().zip(ac.iter().zip(bc)) {
+            *o += x * y;
+        }
+    }
+    let mut s = 0.0f32;
+    for &lane in &acc {
+        s += lane;
+    }
+    for t in blocks * DOT_LANES..a.len() {
+        s += a[t] * b[t];
+    }
+    s
 }
 
 #[cfg(test)]
@@ -302,5 +613,96 @@ mod tests {
         assert_eq!(a.sum(), 1.0);
         assert_eq!(a.norm(), 5.0);
         assert_eq!(a.max_abs(), 4.0);
+    }
+
+    /// Deterministic pseudo-random fill (no RNG dependency in unit tests).
+    fn filled(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        let mut s = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for x in m.as_mut_slice() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Mix in some exact zeros so the zero-skip path is exercised.
+            *x = if s.is_multiple_of(5) {
+                0.0
+            } else {
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            };
+        }
+        m
+    }
+
+    /// Ragged shapes: tile remainders in every dimension, degenerate 1×k /
+    /// k×1 strips, and empty matrices. The blocked kernels must reproduce
+    /// the naive references exactly (identical accumulation order).
+    const RAGGED: &[(usize, usize, usize)] = &[
+        (0, 0, 0),
+        (0, 3, 2),
+        (1, 1, 1),
+        (1, 7, 1),
+        (1, 40, 33),
+        (33, 40, 1),
+        (3, 1, 5),
+        (4, 16, 16),
+        (5, 2, 19),
+        (17, 9, 33),
+        (31, 15, 47),
+        (64, 64, 64),
+        (70, 13, 50),
+    ];
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_ragged_shapes() {
+        for &(m, k, n) in RAGGED {
+            let a = filled(m, k, 1);
+            let b = filled(k, n, 2);
+            assert_eq!(a.matmul(&b), a.matmul_naive(&b), "matmul {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_tn_matches_naive_on_ragged_shapes() {
+        for &(m, k, n) in RAGGED {
+            // a is (k × m) here: matmul_tn computes aᵀ·b.
+            let a = filled(k, m, 3);
+            let b = filled(k, n, 4);
+            assert_eq!(a.matmul_tn(&b), a.matmul_tn_naive(&b), "matmul_tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive_on_ragged_shapes() {
+        for &(m, k, n) in RAGGED {
+            let a = filled(m, k, 5);
+            let b = filled(n, k, 6);
+            let fast = a.matmul_nt(&b);
+            let naive = a.matmul_nt_naive(&b);
+            if k < DOT_LANES {
+                // Short rows take the sequential tail path: bit-exact.
+                assert_eq!(fast, naive, "matmul_nt {m}x{k}x{n}");
+            } else {
+                // Multi-lane accumulation reassociates the sum; results are
+                // deterministic but only approximately equal to naive.
+                assert_eq!(fast.shape(), naive.shape());
+                for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+                    assert!(
+                        (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                        "matmul_nt {m}x{k}x{n}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_matmul_crosses_parallel_threshold() {
+        // 2·m·k·n ≥ MIN_PARALLEL_WORK so the parallel path runs; must still
+        // match naive exactly for whatever thread count is configured.
+        let (m, k, n) = (96, 80, 96);
+        assert!(2 * m * k * n >= crate::pool::MIN_PARALLEL_WORK);
+        let a = filled(m, k, 7);
+        let b = filled(k, n, 8);
+        assert_eq!(a.matmul(&b), a.matmul_naive(&b));
+        let at = filled(k, m, 9);
+        assert_eq!(at.matmul_tn(&b), at.matmul_tn_naive(&b));
     }
 }

@@ -68,10 +68,7 @@ impl Params {
 
     /// Iterates `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+        self.values.iter().enumerate().map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
     }
 
     /// Registers every parameter on `tape` as a grad-tracked leaf, returning
@@ -87,9 +84,7 @@ impl Params {
         vars.iter()
             .zip(&self.values)
             .map(|(&v, p)| {
-                tape.grad(v)
-                    .cloned()
-                    .unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
+                tape.grad(v).cloned().unwrap_or_else(|| Matrix::zeros(p.rows(), p.cols()))
             })
             .collect()
     }

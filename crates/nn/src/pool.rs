@@ -1,0 +1,195 @@
+//! Deterministic scoped-thread parallelism for the compute kernels.
+//!
+//! The design mirrors the per-walk-seed trick in `coane-walks`: work is split
+//! into **fixed-size chunks whose boundaries do not depend on the thread
+//! count**, each chunk is computed entirely by one worker in a fixed internal
+//! order, and chunks write disjoint output slices. Consequently the result is
+//! bit-identical for *any* thread count (including 1), and parallelism is a
+//! pure throughput knob — never a numerics knob.
+//!
+//! Threads are distributed round-robin over chunks (chunk `c` runs on worker
+//! `c % threads`) and joined with [`std::thread::scope`], so borrowed inputs
+//! can be shared without `Arc`. (The original plan called for crossbeam's
+//! scoped threads; `std::thread::scope` has been stable since 1.63 and avoids
+//! the dependency entirely.)
+//!
+//! The worker count is a process-wide knob ([`set_threads`]) so one
+//! `CoaneConfig::threads` setting governs walks, preprocessing, and training
+//! without threading a parameter through every call site.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide thread count; 0 means "unset, use the hardware default".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Below this many scalar operations a kernel runs sequentially: spawning
+/// scoped threads costs tens of microseconds, which only pays off for
+/// matrices with ≥ ~1M multiply-adds.
+pub const MIN_PARALLEL_WORK: usize = 1 << 20;
+
+/// Output rows per parallel chunk in the matrix kernels. Fixed (never derived
+/// from the thread count) so the chunk decomposition — and therefore the
+/// result — is identical however many workers run.
+pub const ROW_CHUNK: usize = 32;
+
+/// Sets the process-wide worker-thread count used by the parallel kernels
+/// (clamped to ≥ 1). Results are bit-identical for every setting; this only
+/// controls throughput.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current worker-thread count: the last [`set_threads`] value, or the
+/// hardware parallelism if never set.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => *default_threads(),
+        n => n,
+    }
+}
+
+fn default_threads() -> &'static usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    DEFAULT.get_or_init(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+}
+
+/// Thread count a kernel should use for a job of `work` scalar operations:
+/// 1 below [`MIN_PARALLEL_WORK`] (threading overhead dominates), otherwise
+/// the configured [`threads`].
+pub fn threads_for(work: usize) -> usize {
+    if work < MIN_PARALLEL_WORK {
+        1
+    } else {
+        threads()
+    }
+}
+
+/// Runs `f(start_index, chunk)` over fixed-size chunks of `data` using the
+/// configured [`threads`] count.
+///
+/// Chunk boundaries depend only on `chunk_size`, each chunk is processed by
+/// exactly one worker, and chunks are disjoint `&mut` slices — so the output
+/// is bit-identical for any thread count.
+pub fn parallel_chunks<T, F>(data: &mut [T], chunk_size: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    parallel_chunks_with(data, chunk_size, threads(), f);
+}
+
+/// [`parallel_chunks`] with an explicit thread count (used where a caller
+/// carries its own knob, e.g. `Walker::generate_all`).
+pub fn parallel_chunks_with<T, F>(data: &mut [T], chunk_size: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let n_chunks = data.len().div_ceil(chunk_size);
+    let threads = threads.clamp(1, n_chunks.max(1));
+    if threads == 1 {
+        for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+            f(c * chunk_size, chunk);
+        }
+        return;
+    }
+
+    // Static round-robin assignment: chunk c → worker c % threads. The
+    // schedule is deterministic, but determinism of the *result* only needs
+    // the chunk decomposition to be thread-count independent (it is).
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+        (0..threads).map(|_| Vec::with_capacity(n_chunks.div_ceil(threads))).collect();
+    for (c, chunk) in data.chunks_mut(chunk_size).enumerate() {
+        per_worker[c % threads].push((c * chunk_size, chunk));
+    }
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut assignments = per_worker.into_iter();
+        // The first worker's share runs on the current thread; only the rest
+        // spawn.
+        let own = assignments.next().expect("at least one worker");
+        for work in assignments {
+            scope.spawn(move || {
+                for (start, chunk) in work {
+                    f(start, chunk);
+                }
+            });
+        }
+        for (start, chunk) in own {
+            f(start, chunk);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_element_exactly_once() {
+        for len in [0usize, 1, 7, 64, 65, 1000] {
+            for chunk in [1usize, 3, 64, 2048] {
+                let mut data = vec![0u32; len];
+                parallel_chunks_with(&mut data, chunk, 4, |_, slab| {
+                    for x in slab {
+                        *x += 1;
+                    }
+                });
+                assert!(data.iter().all(|&x| x == 1), "len={len} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn start_indices_match_positions() {
+        let mut data: Vec<usize> = vec![0; 300];
+        parallel_chunks_with(&mut data, 7, 3, |start, slab| {
+            for (off, x) in slab.iter_mut().enumerate() {
+                *x = start + off;
+            }
+        });
+        let expect: Vec<usize> = (0..300).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn identical_for_any_thread_count() {
+        // A float reduction whose per-chunk order matters: if chunking ever
+        // depended on the thread count, the bits would differ.
+        let run = |threads: usize| {
+            let mut sums = vec![0.0f32; 512];
+            parallel_chunks_with(&mut sums, 19, threads, |start, slab| {
+                for (off, s) in slab.iter_mut().enumerate() {
+                    let i = start + off;
+                    let mut acc = 0.0f32;
+                    for t in 0..200 {
+                        acc += ((i * 31 + t) as f32).sin() * 0.01;
+                    }
+                    *s = acc;
+                }
+            });
+            sums
+        };
+        let base = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    // One test for the global knob (not several) so concurrent test threads
+    // don't race on the process-wide setting.
+    #[test]
+    fn global_knob_and_work_gate() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        assert_eq!(threads_for(10), 1, "small work runs sequentially");
+        assert_eq!(threads_for(MIN_PARALLEL_WORK), 3);
+        set_threads(0); // clamped to 1
+        assert_eq!(threads(), 1);
+        set_threads(4);
+        assert_eq!(threads(), 4);
+    }
+}

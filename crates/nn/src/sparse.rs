@@ -1,7 +1,13 @@
 //! Sparse CSR matrices used as *constant* operands in the autograd graph
 //! (e.g. the normalized adjacency `Â` of GCN-style encoders).
+//!
+//! The dense products are parallelized over output-row ranges via
+//! [`crate::pool`]; every output element accumulates its contributions in
+//! ascending input-row order regardless of the partition, so results are
+//! bit-identical for any thread count.
 
 use crate::matrix::Matrix;
+use crate::pool;
 
 /// A sparse matrix in CSR format with `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,40 +77,72 @@ impl SparseMatrix {
         (&self.indices[s..e], &self.values[s..e])
     }
 
-    /// Dense product `self · x`.
+    /// Dense product `self · x`, parallel over output-row chunks (each CSR
+    /// row writes one disjoint output row, so the partition cannot change
+    /// the result).
     pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
         assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
         let n = x.cols();
         let mut out = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let (idx, val) = self.row(i);
-            let orow = out.row_mut(i);
-            for (&j, &a) in idx.iter().zip(val) {
-                let xrow = x.row(j as usize);
-                for (o, &b) in orow.iter_mut().zip(xrow) {
-                    *o += a * b;
+        if self.rows == 0 || n == 0 {
+            return out;
+        }
+        let threads = pool::threads_for(2 * self.nnz() * n);
+        pool::parallel_chunks_with(out.as_mut_slice(), pool::ROW_CHUNK * n, threads, {
+            |start, chunk| {
+                let i0 = start / n;
+                for (ii, orow) in chunk.chunks_mut(n).enumerate() {
+                    let (idx, val) = self.row(i0 + ii);
+                    for (&j, &a) in idx.iter().zip(val) {
+                        let xrow = x.row(j as usize);
+                        for (o, &b) in orow.iter_mut().zip(xrow) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Dense product with the transpose: `selfᵀ · x` (used in the SpMM
-    /// backward pass).
+    /// backward pass). Each worker owns a contiguous range of *output* rows
+    /// and scans the whole input, accumulating only entries whose column
+    /// lands in its range — so contributions arrive in ascending input-row
+    /// order for every output element and the result is bit-identical to a
+    /// sequential scatter for any thread count.
     pub fn transpose_matmul_dense(&self, x: &Matrix) -> Matrix {
         assert_eq!(self.rows, x.rows(), "spmm_t shape mismatch");
         let n = x.cols();
         let mut out = Matrix::zeros(self.cols, n);
-        for i in 0..self.rows {
-            let (idx, val) = self.row(i);
-            let xrow = x.row(i);
-            for (&j, &a) in idx.iter().zip(val) {
-                let orow = out.row_mut(j as usize);
-                for (o, &b) in orow.iter_mut().zip(xrow) {
-                    *o += a * b;
+        if self.cols == 0 || n == 0 {
+            return out;
+        }
+        let threads = pool::threads_for(2 * self.nnz() * n);
+        // One chunk per worker (not ROW_CHUNK-sized) because every chunk
+        // re-scans the full input: more chunks would multiply the scan cost,
+        // and the partition has no effect on the bits.
+        let rows_per = self.cols.div_ceil(threads).max(1);
+        pool::parallel_chunks_with(out.as_mut_slice(), rows_per * n, threads, {
+            |start, chunk| {
+                let lo = (start / n) as u32;
+                let hi = lo + (chunk.len() / n) as u32;
+                for i in 0..self.rows {
+                    let (idx, val) = self.row(i);
+                    let xrow = x.row(i);
+                    for (&j, &a) in idx.iter().zip(val) {
+                        if j < lo || j >= hi {
+                            continue;
+                        }
+                        let o0 = (j - lo) as usize * n;
+                        let orow = &mut chunk[o0..o0 + n];
+                        for (o, &b) in orow.iter_mut().zip(xrow) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
-        }
+        });
         out
     }
 

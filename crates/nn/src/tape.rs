@@ -624,29 +624,23 @@ mod tests {
 
     #[test]
     fn grad_add_sub_mul_scale() {
-        grad_check(
-            &[m(&[vec![0.3, -0.7]]), m(&[vec![0.5, 0.1]])],
-            |t, v| {
-                let a = t.add(v[0], v[1]);
-                let b = t.sub(a, v[1]);
-                let c = t.mul(b, v[0]);
-                let d = t.scale(c, 1.7);
-                let e = t.add_const(d, 0.3);
-                t.sum(e)
-            },
-        );
+        grad_check(&[m(&[vec![0.3, -0.7]]), m(&[vec![0.5, 0.1]])], |t, v| {
+            let a = t.add(v[0], v[1]);
+            let b = t.sub(a, v[1]);
+            let c = t.mul(b, v[0]);
+            let d = t.scale(c, 1.7);
+            let e = t.add_const(d, 0.3);
+            t.sum(e)
+        });
     }
 
     #[test]
     fn grad_add_row_bias() {
-        grad_check(
-            &[m(&[vec![0.3, -0.7], vec![0.2, 0.4]]), m(&[vec![0.5, 0.1]])],
-            |t, v| {
-                let y = t.add_row(v[0], v[1]);
-                let y = t.sqr(y);
-                t.sum(y)
-            },
-        );
+        grad_check(&[m(&[vec![0.3, -0.7], vec![0.2, 0.4]]), m(&[vec![0.5, 0.1]])], |t, v| {
+            let y = t.add_row(v[0], v[1]);
+            let y = t.sqr(y);
+            t.sum(y)
+        });
     }
 
     #[test]

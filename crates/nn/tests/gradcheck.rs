@@ -29,10 +29,8 @@ fn grad_check(inputs: &[Matrix], f: impl Fn(&mut Tape, &[Var]) -> Var) -> Result
         t.value(o).item()
     };
     for (vi, input) in inputs.iter().enumerate() {
-        let analytic = t
-            .grad(vars[vi])
-            .cloned()
-            .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
+        let analytic =
+            t.grad(vars[vi]).cloned().unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols()));
         for k in 0..input.len() {
             let mut plus = inputs.to_vec();
             plus[vi].as_mut_slice()[k] += eps;

@@ -17,21 +17,14 @@ pub struct CoverageStats {
     pub attr_similarity: f64,
 }
 
-fn stats_for(
-    g: &AttributedGraph,
-    anchor: NodeId,
-    reached: &[NodeId],
-) -> CoverageStats {
+fn stats_for(g: &AttributedGraph, anchor: NodeId, reached: &[NodeId]) -> CoverageStats {
     let labels = g.labels().expect("labeled graph required for coverage analysis");
     let anchor_label = labels[anchor as usize];
     if reached.is_empty() {
         return CoverageStats { region_size: 0, label_purity: 0.0, attr_similarity: 0.0 };
     }
     let same = reached.iter().filter(|&&u| labels[u as usize] == anchor_label).count();
-    let sim: f64 = reached
-        .iter()
-        .map(|&u| g.attrs().cosine(anchor, u) as f64)
-        .sum::<f64>()
+    let sim: f64 = reached.iter().map(|&u| g.attrs().cosine(anchor, u) as f64).sum::<f64>()
         / reached.len() as f64;
     CoverageStats {
         region_size: reached.len(),
@@ -47,12 +40,8 @@ pub fn walk_context_coverage(
     contexts: &ContextSet,
     v: NodeId,
 ) -> CoverageStats {
-    let mut reached: Vec<NodeId> = contexts
-        .slots_of(v)
-        .iter()
-        .copied()
-        .filter(|&u| u != PAD && u != v)
-        .collect();
+    let mut reached: Vec<NodeId> =
+        contexts.slots_of(v).iter().copied().filter(|&u| u != PAD && u != v).collect();
     reached.sort_unstable();
     reached.dedup();
     stats_for(g, v, &reached)

@@ -159,8 +159,7 @@ impl ContextSet {
     /// Distinct non-PAD nodes appearing in `v`'s contexts (sorted), i.e. the
     /// membership test set for the contextual negative sampler.
     pub fn members_of(&self, v: NodeId) -> Vec<NodeId> {
-        let mut m: Vec<NodeId> =
-            self.slots_of(v).iter().copied().filter(|&x| x != PAD).collect();
+        let mut m: Vec<NodeId> = self.slots_of(v).iter().copied().filter(|&x| x != PAD).collect();
         m.sort_unstable();
         m.dedup();
         m

@@ -261,8 +261,8 @@ mod tests {
             let (idx, _) = co.d.row(i);
             let row_sum = co.d.row_sum(i);
             for &j in idx {
-                let want = co.d.get(i, j) / row_sum
-                    + if g.has_edge(i, j) { co.d.get(i, j) } else { 0.0 };
+                let want =
+                    co.d.get(i, j) / row_sum + if g.has_edge(i, j) { co.d.get(i, j) } else { 0.0 };
                 assert!((co.d_tilde.get(i, j) - want).abs() < 1e-6, "({i},{j})");
             }
         }

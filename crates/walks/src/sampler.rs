@@ -106,12 +106,9 @@ impl ContextualNegativeSampler {
     /// Builds the sampler from extracted contexts. Nodes with zero contexts
     /// get a tiny floor weight so the distribution stays valid.
     pub fn new(contexts: &ContextSet) -> Self {
-        let counts: Vec<f64> =
-            contexts.counts().iter().map(|&c| (c as f64).max(1e-9)).collect();
+        let counts: Vec<f64> = contexts.counts().iter().map(|&c| (c as f64).max(1e-9)).collect();
         let table = AliasTable::new(&counts);
-        let members = (0..contexts.num_nodes())
-            .map(|v| contexts.members_of(v as NodeId))
-            .collect();
+        let members = (0..contexts.num_nodes()).map(|v| contexts.members_of(v as NodeId)).collect();
         Self { counts, table, members }
     }
 
@@ -171,11 +168,8 @@ impl ContextualNegativeSampler {
         batch: &[NodeId],
         rng: &mut R,
     ) -> Vec<NodeId> {
-        let candidates: Vec<NodeId> = batch
-            .iter()
-            .copied()
-            .filter(|&u| u != target && !self.in_context(target, u))
-            .collect();
+        let candidates: Vec<NodeId> =
+            batch.iter().copied().filter(|&u| u != target && !self.in_context(target, u)).collect();
         if candidates.is_empty() {
             return Vec::new();
         }

@@ -68,25 +68,11 @@ impl<'g> Walker<'g> {
         let r = self.config.walks_per_node;
         let total = n * r;
         let mut walks: Vec<Walk> = vec![Vec::new(); total];
-        let threads = threads.max(1).min(total.max(1));
-        if threads == 1 {
-            for (k, w) in walks.iter_mut().enumerate() {
-                *w = self.walk_indexed(k, n);
+        coane_nn::pool::parallel_chunks_with(&mut walks, 64, threads, |start, slab| {
+            for (off, w) in slab.iter_mut().enumerate() {
+                *w = self.walk_indexed(start + off, n);
             }
-        } else {
-            let chunk = total.div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
-                for (t, slab) in walks.chunks_mut(chunk).enumerate() {
-                    let base = t * chunk;
-                    scope.spawn(move |_| {
-                        for (off, w) in slab.iter_mut().enumerate() {
-                            *w = self.walk_indexed(base + off, n);
-                        }
-                    });
-                }
-            })
-            .expect("walk worker panicked");
-        }
+        });
         walks
     }
 
@@ -264,10 +250,7 @@ mod tests {
         let mut b = GraphBuilder::new(3, 3);
         b.add_edges(&[(0, 1), (1, 2)]);
         let g = b.with_attrs(NodeAttributes::identity(3)).build();
-        let walker = Walker::new(
-            &g,
-            WalkConfig { p: 0.05, q: 1.0, ..Default::default() },
-        );
+        let walker = Walker::new(&g, WalkConfig { p: 0.05, q: 1.0, ..Default::default() });
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut returns = 0usize;
         for _ in 0..2000 {

@@ -22,19 +22,14 @@ fn main() {
     let (train, test) = node_label_split(graph.num_nodes(), 0.2, &mut rng);
 
     let report = |name: &str, emb: &Matrix| {
-        let scores =
-            classify_nodes(emb.as_slice(), emb.cols(), &labels, &train, &test, 1e-3);
+        let scores = classify_nodes(emb.as_slice(), emb.cols(), &labels, &train, &test, 1e-3);
         println!("{name:>10}: macro-F1 {:.3}  micro-F1 {:.3}", scores.macro_f1, scores.micro_f1);
         scores.micro_f1
     };
 
     // CoANE
-    let coane_emb = Coane::new(CoaneConfig {
-        embed_dim: 64,
-        epochs: 8,
-        ..Default::default()
-    })
-    .fit(&graph);
+    let coane_emb =
+        Coane::new(CoaneConfig { embed_dim: 64, epochs: 8, ..Default::default() }).fit(&graph);
     let coane_score = report("CoANE", &coane_emb);
 
     // DeepWalk (structure only — no attributes)

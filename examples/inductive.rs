@@ -52,9 +52,7 @@ fn main() {
         .collect();
     let (didx, dval) = graph.attrs().row(members[0]);
     rows.push(didx.iter().copied().zip(dval.iter().copied()).collect());
-    let extended = b
-        .with_attrs(NodeAttributes::from_sparse_rows(graph.attr_dim(), &rows))
-        .build();
+    let extended = b.with_attrs(NodeAttributes::from_sparse_rows(graph.attr_dim(), &rows)).build();
 
     // Embed the newcomer with the *frozen* model.
     let z_new = embed_nodes(&model, &coane_cfg, &extended, &[n as u32]);
@@ -62,8 +60,7 @@ fn main() {
 
     // Where did it land? Mean cosine to each community.
     for c in 0..3u32 {
-        let comm: Vec<usize> =
-            (0..n).filter(|&v| assignment.community[v] == c).collect();
+        let comm: Vec<usize> = (0..n).filter(|&v| assignment.community[v] == c).collect();
         let mean: f64 = comm.iter().map(|&v| cosine(z_new.row(0), trained.row(v))).sum::<f64>()
             / comm.len() as f64;
         let marker = if c == 1 { "  ← joined this one" } else { "" };

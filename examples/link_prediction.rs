@@ -52,13 +52,8 @@ fn main() {
     };
     score("node2vec", &n2v.embed(&split.train_graph));
 
-    let vgae = Gae {
-        kind: GaeKind::Variational,
-        hidden: 64,
-        dim: 64,
-        epochs: 80,
-        ..Default::default()
-    };
+    let vgae =
+        Gae { kind: GaeKind::Variational, hidden: 64, dim: 64, epochs: 80, ..Default::default() };
     score("VGAE", &vgae.embed(&split.train_graph));
 
     assert!(coane_auc > 0.5, "CoANE should beat chance");

@@ -25,12 +25,7 @@ fn main() {
     let split = EdgeSplit::new(&graph, SplitConfig::paper(), &mut rng);
 
     // 3. Train CoANE on the residual graph.
-    let config = CoaneConfig {
-        embed_dim: 64,
-        epochs: 8,
-        context_size: 5,
-        ..Default::default()
-    };
+    let config = CoaneConfig { embed_dim: 64, epochs: 8, context_size: 5, ..Default::default() };
     let embedding = Coane::new(config).fit(&split.train_graph);
     println!("embedding: {} × {}", embedding.rows(), embedding.cols());
 

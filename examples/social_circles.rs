@@ -58,12 +58,8 @@ fn main() {
     );
 
     let mut rng2 = ChaCha8Rng::seed_from_u64(9);
-    let score = nmi_clustering(
-        embedding.as_slice(),
-        embedding.cols(),
-        graph.labels().unwrap(),
-        &mut rng2,
-    );
+    let score =
+        nmi_clustering(embedding.as_slice(), embedding.cols(), graph.labels().unwrap(), &mut rng2);
     println!("community recovery NMI = {score:.3} (chance ≈ 0)");
     assert!(score > 0.1, "clustering should clearly beat chance");
 

@@ -5,9 +5,9 @@
 //! coane-cli generate --preset cora --scale 0.2 --seed 42 --out graph.json
 //! coane-cli convert  --content cora.content --cites cora.cites --out graph.json
 //!
-//! # 2. embed it
+//! # 2. embed it (--threads is a pure speed knob: output is bit-identical)
 //! coane-cli embed --graph graph.json --method coane --dim 128 --epochs 10 \
-//!                 --out embedding.csv
+//!                 --threads 4 --out embedding.csv
 //!
 //! # 3. evaluate
 //! coane-cli evaluate --graph graph.json --embedding embedding.csv --task cluster
@@ -91,8 +91,9 @@ fn main() -> ExitCode {
 }
 
 fn cmd_generate(cli: &Cli) -> Result<(), String> {
-    let preset = Preset::parse(cli.req("preset")?)
-        .ok_or_else(|| "unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr)".to_string())?;
+    let preset = Preset::parse(cli.req("preset")?).ok_or_else(|| {
+        "unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr)".to_string()
+    })?;
     let scale: f64 = cli.num("scale", 1.0);
     let seed: u64 = cli.num("seed", 42);
     let out = cli.req("out")?;
@@ -112,8 +113,7 @@ fn cmd_convert(cli: &Cli) -> Result<(), String> {
     let content = cli.req("content")?;
     let cites = cli.req("cites")?;
     let out = cli.req("out")?;
-    let graph =
-        gio::load_linqs(Path::new(content), Path::new(cites)).map_err(|e| e.to_string())?;
+    let graph = gio::load_linqs(Path::new(content), Path::new(cites)).map_err(|e| e.to_string())?;
     gio::save_json(&graph, Path::new(out)).map_err(|e| e.to_string())?;
     println!(
         "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
@@ -131,11 +131,14 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
     let dim: usize = cli.num("dim", 128);
     let epochs: usize = cli.num("epochs", 10);
     let seed: u64 = cli.num("seed", 42);
+    let threads: usize = cli.num("threads", CoaneConfig::default().threads);
+    // Pure performance knob — embeddings are bit-identical for any value.
+    coane::nn::pool::set_threads(threads);
     let out = cli.req("out")?;
     let started = std::time::Instant::now();
     let embedding = match method.as_str() {
         "coane" => {
-            let cfg = CoaneConfig { embed_dim: dim, epochs, seed, ..Default::default() };
+            let cfg = CoaneConfig { embed_dim: dim, epochs, seed, threads, ..Default::default() };
             let (z, model, _) = Coane::new(cfg.clone()).fit_with_model(&graph);
             if let Some(model_path) = cli.get("save-model") {
                 coane::core::save_model(Path::new(model_path), &model, &cfg, graph.attr_dim())
@@ -144,10 +147,9 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
             }
             z
         }
-        "deepwalk" => DeepWalk {
-            config: SkipGramConfig { dim, seed, ..Default::default() },
+        "deepwalk" => {
+            DeepWalk { config: SkipGramConfig { dim, seed, ..Default::default() } }.embed(&graph)
         }
-        .embed(&graph),
         "node2vec" => Node2Vec {
             config: SkipGramConfig { dim, seed, ..Default::default() },
             p: cli.num("p", 1.0f32),
@@ -157,29 +159,20 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
         "line" => Line { dim, seed, ..Default::default() }.embed(&graph),
         "gae" => Gae { kind: GaeKind::Plain, dim, epochs: epochs * 10, seed, ..Default::default() }
             .embed(&graph),
-        "vgae" => Gae {
-            kind: GaeKind::Variational,
-            dim,
-            epochs: epochs * 10,
-            seed,
-            ..Default::default()
+        "vgae" => {
+            Gae { kind: GaeKind::Variational, dim, epochs: epochs * 10, seed, ..Default::default() }
+                .embed(&graph)
         }
-        .embed(&graph),
-        "graphsage" => GraphSage { dim, epochs: epochs * 6, seed, ..Default::default() }
-            .embed(&graph),
+        "graphsage" => {
+            GraphSage { dim, epochs: epochs * 6, seed, ..Default::default() }.embed(&graph)
+        }
         "asne" => Asne { dim, epochs, seed, ..Default::default() }.embed(&graph),
         "dane" => Dane { dim, epochs, seed, ..Default::default() }.embed(&graph),
         "anrl" => Anrl { dim, epochs, seed, ..Default::default() }.embed(&graph),
         "stne" => Stne { dim, epochs, seed, ..Default::default() }.embed(&graph),
         "arga" => Arga { epochs: epochs * 10, dim, seed, ..Default::default() }.embed(&graph),
-        "arvga" => Arga {
-            variational: true,
-            epochs: epochs * 10,
-            dim,
-            seed,
-            ..Default::default()
-        }
-        .embed(&graph),
+        "arvga" => Arga { variational: true, epochs: epochs * 10, dim, seed, ..Default::default() }
+            .embed(&graph),
         other => return Err(format!("unknown method: {other}")),
     };
     eval::io::save_embedding_csv(Path::new(out), embedding.as_slice(), embedding.cols())
@@ -195,8 +188,8 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
 }
 
 fn cmd_infer(cli: &Cli) -> Result<(), String> {
-    let (model, cfg) = coane::core::load_model(Path::new(cli.req("model")?))
-        .map_err(|e| e.to_string())?;
+    let (model, cfg) =
+        coane::core::load_model(Path::new(cli.req("model")?)).map_err(|e| e.to_string())?;
     let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
     let nodes: Vec<u32> = match cli.get("nodes") {
         Some(list) => list
@@ -218,8 +211,8 @@ fn cmd_infer(cli: &Cli) -> Result<(), String> {
 
 fn cmd_evaluate(cli: &Cli) -> Result<(), String> {
     let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
-    let (embedding, dim) =
-        eval::io::load_embedding_csv(Path::new(cli.req("embedding")?)).map_err(|e| e.to_string())?;
+    let (embedding, dim) = eval::io::load_embedding_csv(Path::new(cli.req("embedding")?))
+        .map_err(|e| e.to_string())?;
     if embedding.len() != graph.num_nodes() * dim {
         return Err(format!(
             "embedding rows ({}) don't match graph nodes ({})",

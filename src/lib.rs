@@ -45,16 +45,11 @@ pub use coane_walks as walks;
 /// Convenience re-exports for typical usage.
 pub mod prelude {
     pub use coane_baselines::{
-        Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind, GraphSage, Line, Node2Vec,
-        Stne,
+        Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind, GraphSage, Line, Node2Vec, Stne,
     };
     pub use coane_core::{Ablation, Coane, CoaneConfig, ContextSource, EncoderKind};
     pub use coane_datasets::{social_circle_graph, Preset, SocialCircleConfig};
-    pub use coane_eval::{
-        classify_nodes, link_prediction_auc, nmi_clustering, tsne, TsneConfig,
-    };
-    pub use coane_graph::{
-        AttributedGraph, EdgeSplit, GraphBuilder, NodeAttributes, SplitConfig,
-    };
+    pub use coane_eval::{classify_nodes, link_prediction_auc, nmi_clustering, tsne, TsneConfig};
+    pub use coane_graph::{AttributedGraph, EdgeSplit, GraphBuilder, NodeAttributes, SplitConfig};
     pub use coane_nn::Matrix;
 }

@@ -1,0 +1,92 @@
+//! Thread-count invariance: every parallel stage — walk generation, the
+//! blocked matmul kernels, and the full `Coane::fit` pipeline — must produce
+//! bit-identical results whether it runs on 1 worker or several. This is the
+//! contract that makes `CoaneConfig::threads` a pure performance knob.
+
+use coane::nn::{pool, Matrix};
+use coane::prelude::*;
+use coane::walks::{WalkConfig, Walker};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn test_graph(seed: u64) -> AttributedGraph {
+    let cfg = SocialCircleConfig {
+        num_nodes: 150,
+        num_communities: 3,
+        circles_per_community: 2,
+        attr_dim: 80,
+        num_edges: 500,
+        mixing: 0.1,
+        ..Default::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    social_circle_graph(&cfg, &mut rng).0
+}
+
+#[test]
+fn fit_is_bit_identical_across_thread_counts() {
+    let graph = test_graph(7);
+    let config = |threads: usize| CoaneConfig {
+        embed_dim: 16,
+        epochs: 3,
+        context_size: 3,
+        walk_length: 20,
+        batch_size: 40,
+        decoder_hidden: (32, 32),
+        threads,
+        ..Default::default()
+    };
+    let z1 = Coane::new(config(1)).fit(&graph);
+    let z4 = Coane::new(config(4)).fit(&graph);
+    assert_eq!(z1.as_slice(), z4.as_slice(), "embeddings differ between threads=1 and threads=4");
+}
+
+#[test]
+fn walk_generation_is_bit_identical_across_thread_counts() {
+    let graph = test_graph(11);
+    let walker = Walker::new(
+        &graph,
+        WalkConfig { walks_per_node: 4, walk_length: 25, p: 0.5, q: 2.0, seed: 99 },
+    );
+    let w1 = walker.generate_all(1);
+    let w4 = walker.generate_all(4);
+    let w7 = walker.generate_all(7);
+    assert_eq!(w1, w4, "walks differ between 1 and 4 threads");
+    assert_eq!(w1, w7, "walks differ between 1 and 7 threads");
+}
+
+#[test]
+fn matmul_kernels_are_bit_identical_across_thread_counts() {
+    // Big enough that `pool::threads_for` actually engages the pool.
+    let (m, k, n) = (257, 93, 65);
+    let fill = |rows: usize, cols: usize, salt: u64| -> Matrix {
+        let mut mat = Matrix::zeros(rows, cols);
+        let mut s = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for x in mat.as_mut_slice() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Mix in exact zeros to exercise the skip paths.
+            *x = if s.is_multiple_of(7) {
+                0.0
+            } else {
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            };
+        }
+        mat
+    };
+    let a = fill(m, k, 1);
+    let b = fill(k, n, 2);
+    let at = fill(k, m, 3); // lhs for matmul_tn (shared dim on rows)
+    let c = fill(m, n, 4); // rhs sharing columns for matmul_nt
+
+    pool::set_threads(1);
+    let mm1 = a.matmul(&b);
+    let tn1 = at.matmul_tn(&b);
+    let nt1 = b.matmul_nt(&c); // (k×n)·(m×n)ᵀ
+    for threads in [2, 4, 5] {
+        pool::set_threads(threads);
+        assert_eq!(mm1, a.matmul(&b), "matmul differs at {threads} threads");
+        assert_eq!(tn1, at.matmul_tn(&b), "matmul_tn differs at {threads} threads");
+        assert_eq!(nt1, b.matmul_nt(&c), "matmul_nt differs at {threads} threads");
+    }
+    pool::set_threads(1);
+}

@@ -65,16 +65,9 @@ fn classification_beats_chance_clearly() {
     let graph = test_graph(5);
     let emb = Coane::new(quick_config()).fit(&graph);
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let (train, test) =
-        coane::graph::split::node_label_split(graph.num_nodes(), 0.2, &mut rng);
-    let scores = classify_nodes(
-        emb.as_slice(),
-        emb.cols(),
-        graph.labels().unwrap(),
-        &train,
-        &test,
-        1e-3,
-    );
+    let (train, test) = coane::graph::split::node_label_split(graph.num_nodes(), 0.2, &mut rng);
+    let scores =
+        classify_nodes(emb.as_slice(), emb.cols(), graph.labels().unwrap(), &train, &test, 1e-3);
     // 4 balanced classes → chance micro-F1 ≈ 0.25.
     assert!(scores.micro_f1 > 0.5, "micro-F1 only {}", scores.micro_f1);
     assert!(scores.macro_f1 > 0.4, "macro-F1 only {}", scores.macro_f1);
@@ -101,10 +94,7 @@ fn attributes_help_when_informative() {
     };
     let full = auc_of(Ablation::full());
     let wf = auc_of(Ablation::wf());
-    assert!(
-        full > wf - 0.03,
-        "attributes should not hurt materially: full {full} vs WF {wf}"
-    );
+    assert!(full > wf - 0.03, "attributes should not hurt materially: full {full} vs WF {wf}");
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `b.iter(..)`, `criterion_group!`/`criterion_main!`, `black_box` — with a
+//! simple wall-clock measurement loop (median of `sample_size` samples, each
+//! auto-scaled to run ≥ ~5 ms). No statistics engine, plots, or reports:
+//! results go to stdout, one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample measurement result, exposed so callers (e.g. a JSON emitter)
+/// can persist timings.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum time per iteration, in nanoseconds.
+    pub min_ns: f64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { _criterion: self, group: name.to_string(), sample_size: 30 }
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Id with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let sample = run_bench(self.sample_size, |b| f(b));
+        report(&self.group, &id.to_string(), sample);
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let sample = run_bench(self.sample_size, |b| f(b, input));
+        report(&self.group, &id.to_string(), sample);
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Measures one benchmark: calibrates an iteration count so each sample runs
+/// at least ~5 ms, then records `sample_size` samples.
+pub fn run_bench<F: FnMut(&mut Bencher)>(sample_size: usize, mut f: F) -> Sample {
+    // Calibration: grow the iteration count until a sample is long enough to
+    // time reliably, or a single iteration already is.
+    let mut iters: u64 = 1;
+    let target = Duration::from_millis(5);
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (target.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+        };
+        iters = iters.saturating_mul(grow.max(2));
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    Sample { median_ns: per_iter[per_iter.len() / 2], min_ns: per_iter[0] }
+}
+
+fn report(group: &str, id: &str, s: Sample) {
+    println!("{group}/{id}: median {} min {}", format_ns(s.median_ns), format_ns(s.min_ns));
+}
+
+/// Human-readable duration from nanoseconds.
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let s = run_bench(3, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no network access, so the real serde cannot be
+//! fetched. This crate keeps the public *names* the workspace uses
+//! (`serde::Serialize`, `serde::Deserialize`, derive macros of the same
+//! names) but models serialization concretely through a JSON-like [`Value`]
+//! tree instead of serde's visitor architecture — exactly what the
+//! workspace's only consumer (`serde_json`) needs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Derive macros matching the trait names, as in real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the intermediate form for all serialization.
+///
+/// Numbers are stored as `f64`; every integer the workspace persists (shape
+/// fields, ids, a `format_version`) fits losslessly in the 53-bit mantissa.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Serialization/deserialization error: a message plus a reverse field path.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error { message: msg.to_string() }
+    }
+
+    /// Wraps the error with the field it occurred in (used by the derive).
+    pub fn in_field(self, field: &str) -> Self {
+        Error { message: format!("field `{field}`: {}", self.message) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from the JSON value tree. Missing object fields are
+    /// presented as [`Value::Null`], so `Option<T>` treats absence as `None`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {}", kind(other)))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => *n,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {}",
+                            kind(other)
+                        )))
+                    }
+                };
+                if n.fract() != 0.0 || !n.is_finite() {
+                    return Err(Error::custom(format!("expected integer, got {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // Non-finite values have no JSON representation; emit null
+                // (matching serde_json's behaviour).
+                let x = *self as f64;
+                if x.is_finite() { Value::Number(x) } else { Value::Null }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {}",
+                        kind(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {}", kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!("expected 2-element array, got {}", kind(other)))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_is_none() {
+        let v: Option<Vec<u32>> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(v, None);
+    }
+
+    #[test]
+    fn int_range_checked() {
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(u32::from_value(&Value::Number(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Number(1.5)).is_err());
+        assert_eq!(u32::from_value(&Value::Number(7.0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (3usize, String::from("w"));
+        let v = t.to_value();
+        let back: (usize, String) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn slice_ref_serializes() {
+        let data = [1.0f32, 2.0];
+        let r: &[f32] = &data;
+        assert_eq!(r.to_value(), Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(f32::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+    }
+}

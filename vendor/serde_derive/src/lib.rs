@@ -1,0 +1,209 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` crate.
+//!
+//! `syn`/`quote` are not available offline, so this parses the derive input
+//! directly from the `proc_macro` token tree. Supported shape: structs with
+//! named fields, optionally with lifetime-only generics (e.g. `<'a>`). That
+//! covers every derive site in this workspace; anything else produces a
+//! `compile_error!` with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructDef {
+    name: String,
+    /// Lifetime parameter list, e.g. `["'a"]`. Type parameters are rejected.
+    lifetimes: Vec<String>,
+    fields: Vec<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Parses `[attrs] [pub[(..)]] struct Name [<'a, ..>] { fields }`.
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility until the `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return Err("malformed attribute".into()),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(other) => {
+                return Err(format!("serde derive supports only structs, found `{other}`"))
+            }
+            None => return Err("serde derive supports only structs".into()),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+
+    // Optional generics: accept lifetimes only.
+    let mut lifetimes = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut pending_lifetime = false;
+        while depth > 0 {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => pending_lifetime = true,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                Some(TokenTree::Ident(id)) => {
+                    if pending_lifetime {
+                        lifetimes.push(format!("'{id}"));
+                        pending_lifetime = false;
+                    } else {
+                        return Err(format!(
+                            "serde derive supports lifetime generics only, found type \
+                             parameter `{id}` on `{name}`"
+                        ));
+                    }
+                }
+                Some(other) => return Err(format!("unsupported generics token `{other}`")),
+                None => return Err("unterminated generics".into()),
+            }
+        }
+    }
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("serde derive does not support tuple struct `{name}`"))
+        }
+        _ => return Err(format!("expected braced field list for `{name}`")),
+    };
+
+    // Walk the fields: skip attrs + visibility, take the ident before `:`,
+    // then skip the type until a comma at angle-bracket depth zero.
+    let mut fields = Vec::new();
+    let mut body_iter = body.into_iter().peekable();
+    loop {
+        // field prelude
+        let field_name = loop {
+            match body_iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match body_iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = body_iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            body_iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => return Err(format!("unexpected field token `{other}`")),
+                None => break None,
+            }
+        };
+        let Some(field_name) = field_name else { break };
+        match body_iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{field_name}`")),
+        }
+        fields.push(field_name);
+        // skip type tokens; generic angle brackets are not token groups, so
+        // track their depth to find the field-separating comma
+        let mut angle = 0usize;
+        loop {
+            match body_iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle = angle.saturating_sub(1);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    Ok(StructDef { name, lifetimes, fields })
+}
+
+fn generics_of(def: &StructDef) -> String {
+    if def.lifetimes.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", def.lifetimes.join(", "))
+    }
+}
+
+/// Derives `serde::Serialize` by converting each field with
+/// `Serialize::to_value` into a `Value::Object`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    let g = generics_of(&def);
+    let mut code = format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{ \
+             fn to_value(&self) -> ::serde::Value {{ \
+                 let mut __map = ::std::collections::BTreeMap::new(); ",
+        name = def.name,
+    );
+    for f in &def.fields {
+        code.push_str(&format!(
+            "__map.insert(::std::string::String::from(\"{f}\"), \
+                          ::serde::Serialize::to_value(&self.{f})); "
+        ));
+    }
+    code.push_str("::serde::Value::Object(__map) } }");
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` by pulling each field out of a
+/// `Value::Object`; missing fields are presented as `Value::Null` so
+/// `Option<T>` fields default to `None` and everything else errors.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(d) => d,
+        Err(e) => return compile_error(&e),
+    };
+    if !def.lifetimes.is_empty() {
+        return compile_error("cannot derive Deserialize for a struct with lifetimes");
+    }
+    let mut code = format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ \
+                 let __obj = match __v {{ \
+                     ::serde::Value::Object(m) => m, \
+                     _ => return ::std::result::Result::Err(::serde::Error::custom( \
+                         \"expected object for {name}\")), \
+                 }}; \
+                 ::std::result::Result::Ok({name} {{ ",
+        name = def.name,
+    );
+    for f in &def.fields {
+        code.push_str(&format!(
+            "{f}: match ::serde::Deserialize::from_value( \
+                     __obj.get(\"{f}\").unwrap_or(&::serde::Value::Null)) {{ \
+                 ::std::result::Result::Ok(x) => x, \
+                 ::std::result::Result::Err(e) => \
+                     return ::std::result::Result::Err(e.in_field(\"{f}\")), \
+             }}, "
+        ));
+    }
+    code.push_str("}) } }");
+    code.parse().unwrap()
+}
