@@ -1,0 +1,676 @@
+//! Crash-safe training checkpoints.
+//!
+//! [`crate::Coane::fit_resumable`] periodically snapshots the full training
+//! state — model parameters, Adam moments, the epoch counter, accumulated
+//! statistics and the exact ChaCha8 RNG stream position — so an interrupted
+//! run restarted on the same checkpoint directory continues where it
+//! stopped and, thanks to the workspace's bit-identical determinism
+//! contract, finishes with *exactly* the embeddings of an uninterrupted run.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"COANECKP"
+//! 8       4     format version (u32 LE)
+//! 12      8     payload length (u64 LE)
+//! 20      4     CRC32 (IEEE) of the payload bytes (u32 LE)
+//! 24      ...   payload
+//! ```
+//!
+//! The payload is a flat little-endian encoding of [`TrainCheckpoint`]
+//! (see `encode_payload`); matrices are stored as `rows, cols, f32 data`,
+//! which round-trips every parameter bit-exactly (no decimal formatting).
+//! Writes are atomic: the bytes go to a `.tmp` sibling which is fsynced and
+//! then renamed over the final name, so a crash mid-write can never leave a
+//! half-written file under a checkpoint name. Corruption (truncation, bit
+//! flips) is detected by the length and CRC32 checks, and
+//! [`latest_valid`] silently falls back to the newest checkpoint that still
+//! verifies.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use coane_error::{CoaneError, CoaneResult};
+use coane_nn::Matrix;
+use rand_chacha::ChaCha8State;
+
+use crate::config::{CoaneConfig, ContextSource, EncoderKind, NegativeLossKind, PositiveLossKind};
+
+/// Magic bytes identifying a CoANE checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"COANECKP";
+/// On-disk checkpoint format version this build reads and writes.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+/// Sanity bound on collection lengths decoded from untrusted files.
+const MAX_DECODE_ITEMS: u64 = 1 << 24;
+
+/// Where and how often [`crate::Coane::fit_resumable`] checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory holding the checkpoint files (created if missing).
+    pub dir: PathBuf,
+    /// Snapshot every this many completed epochs (>= 1). The final epoch is
+    /// always checkpointed regardless of alignment.
+    pub every_epochs: usize,
+    /// How many of the newest checkpoints to retain (>= 1). Keeping at
+    /// least two means a corrupted latest file still leaves a valid
+    /// predecessor to fall back to.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` after every epoch, retaining the newest two.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), every_epochs: 1, keep: 2 }
+    }
+
+    pub(crate) fn validate(&self) -> CoaneResult<()> {
+        if self.every_epochs < 1 {
+            return Err(CoaneError::config("checkpoint every_epochs must be >= 1"));
+        }
+        if self.keep < 1 {
+            return Err(CoaneError::config("checkpoint keep must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// The complete resumable training state at an epoch boundary.
+#[derive(Clone, Debug)]
+pub struct TrainCheckpoint {
+    /// Fingerprint of every result-affecting [`CoaneConfig`] field; a
+    /// resume with a different configuration is rejected rather than
+    /// silently producing embeddings that match neither run.
+    pub fingerprint: u64,
+    /// Number of completed epochs (training resumes at this epoch index).
+    pub epoch: u64,
+    /// Learning rate in effect (may differ from the configured rate after
+    /// non-finite-loss recovery halved it).
+    pub lr: f32,
+    /// Adam step counter.
+    pub adam_t: u64,
+    /// Exact ChaCha8 stream position of the training RNG.
+    pub rng: ChaCha8State,
+    /// Non-finite-loss recoveries performed so far.
+    pub recoveries: u64,
+    /// Per-epoch losses accumulated so far.
+    pub epoch_losses: Vec<f32>,
+    /// Per-epoch wall-clock seconds accumulated so far.
+    pub epoch_seconds: Vec<f64>,
+    /// Named model parameters, in [`coane_nn::Params`] insertion order.
+    pub params: Vec<(String, Matrix)>,
+    /// Adam first moments, parallel to `params` (empty before step 1).
+    pub adam_m: Vec<Matrix>,
+    /// Adam second moments, parallel to `params` (empty before step 1).
+    pub adam_v: Vec<Matrix>,
+}
+
+/// Fingerprint of every configuration field that affects training results.
+/// Thread count and checkpoint/recovery knobs are deliberately excluded:
+/// the determinism contract makes them pure throughput/robustness knobs, so
+/// a run checkpointed at 1 thread may resume at 4 (and vice versa).
+pub fn config_fingerprint(cfg: &CoaneConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(cfg.embed_dim as u64);
+    h.write_u64(cfg.context_size as u64);
+    h.write_u64(cfg.walks_per_node as u64);
+    h.write_u64(cfg.walk_length as u64);
+    h.write_u64(cfg.subsample_t.to_bits());
+    h.write_u64(cfg.num_negatives as u64);
+    h.write_u64(cfg.neg_strength.to_bits() as u64);
+    h.write_u64(cfg.gamma.to_bits() as u64);
+    h.write_u64(cfg.learning_rate.to_bits() as u64);
+    h.write_u64(cfg.batch_size as u64);
+    h.write_u64(match cfg.negative_mode {
+        coane_walks::NegativeMode::BatchSampling => 0,
+        coane_walks::NegativeMode::PreSampling { pool_factor } => 1 + pool_factor as u64,
+    });
+    h.write_u64(cfg.decoder_hidden.0 as u64);
+    h.write_u64(cfg.decoder_hidden.1 as u64);
+    h.write_u64(match cfg.encoder {
+        EncoderKind::Convolution => 0,
+        EncoderKind::FullyConnected => 1,
+    });
+    h.write_u64(match cfg.context_source {
+        ContextSource::RandomWalk => 0,
+        ContextSource::FirstHop => 1,
+    });
+    h.write_u64(match cfg.ablation.positive {
+        PositiveLossKind::GraphLikelihood => 0,
+        PositiveLossKind::SkipGram => 1,
+        PositiveLossKind::None => 2,
+    });
+    h.write_u64(match cfg.ablation.negative {
+        NegativeLossKind::Contextual => 0,
+        NegativeLossKind::Uniform => 1,
+        NegativeLossKind::None => 2,
+    });
+    h.write_u64(cfg.ablation.use_attributes as u64);
+    h.write_u64(cfg.ablation.attribute_preservation as u64);
+    h.write_u64(cfg.seed);
+    h.finish()
+}
+
+/// File name of the checkpoint written after `epoch` completed epochs.
+pub fn checkpoint_file_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:08}.coane")
+}
+
+fn epoch_of_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".coane")?;
+    stem.parse().ok()
+}
+
+/// Atomically writes `ckpt` into `dir` (creating it if needed) and prunes
+/// old checkpoints down to `keep`. Returns the final file path.
+pub fn save_checkpoint(dir: &Path, ckpt: &TrainCheckpoint, keep: usize) -> CoaneResult<PathBuf> {
+    fs::create_dir_all(dir).map_err(|e| CoaneError::io(dir, e))?;
+    let final_path = dir.join(checkpoint_file_name(ckpt.epoch));
+    let tmp_path = dir.join(format!("{}.tmp", checkpoint_file_name(ckpt.epoch)));
+
+    let payload = encode_payload(ckpt);
+    let mut bytes = Vec::with_capacity(24 + payload.len());
+    bytes.extend_from_slice(CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&CHECKPOINT_FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    {
+        let mut f = fs::File::create(&tmp_path).map_err(|e| CoaneError::io(&tmp_path, e))?;
+        f.write_all(&bytes).map_err(|e| CoaneError::io(&tmp_path, e))?;
+        // Flush file contents to stable storage before the rename makes the
+        // checkpoint visible — otherwise a crash could expose a valid name
+        // pointing at unwritten blocks.
+        f.sync_all().map_err(|e| CoaneError::io(&tmp_path, e))?;
+    }
+    fs::rename(&tmp_path, &final_path).map_err(|e| CoaneError::io(&final_path, e))?;
+
+    prune(dir, keep)?;
+    Ok(final_path)
+}
+
+/// Removes all but the newest `keep` checkpoints (by epoch number).
+fn prune(dir: &Path, keep: usize) -> CoaneResult<()> {
+    let mut epochs: Vec<u64> = list_checkpoint_epochs(dir)?;
+    epochs.sort_unstable();
+    while epochs.len() > keep.max(1) {
+        let victim = dir.join(checkpoint_file_name(epochs.remove(0)));
+        fs::remove_file(&victim).map_err(|e| CoaneError::io(&victim, e))?;
+    }
+    Ok(())
+}
+
+/// Epoch numbers of every file in `dir` that *looks like* a checkpoint
+/// (named `ckpt-NNNNNNNN.coane`), unsorted and unverified. An absent
+/// directory yields an empty list.
+pub fn list_checkpoint_epochs(dir: &Path) -> CoaneResult<Vec<u64>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(CoaneError::io(dir, e)),
+    };
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CoaneError::io(dir, e))?;
+        if let Some(epoch) = entry.file_name().to_str().and_then(epoch_of_file_name) {
+            out.push(epoch);
+        }
+    }
+    Ok(out)
+}
+
+/// Loads and fully verifies one checkpoint file: magic, format version,
+/// payload length, CRC32, and structural decode.
+pub fn load_checkpoint(path: &Path) -> CoaneResult<TrainCheckpoint> {
+    let bytes = fs::read(path).map_err(|e| CoaneError::io(path, e))?;
+    if bytes.len() < 24 {
+        return Err(CoaneError::checkpoint(path, "file shorter than the 24-byte header"));
+    }
+    if &bytes[0..8] != CHECKPOINT_MAGIC {
+        return Err(CoaneError::checkpoint(path, "bad magic (not a CoANE checkpoint)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != CHECKPOINT_FORMAT_VERSION {
+        return Err(CoaneError::checkpoint(
+            path,
+            format!(
+                "unsupported format version {version} (this build reads \
+                 {CHECKPOINT_FORMAT_VERSION})"
+            ),
+        ));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let payload = &bytes[24..];
+    if payload.len() != payload_len {
+        return Err(CoaneError::checkpoint(
+            path,
+            format!(
+                "truncated: header promises {payload_len} payload bytes, file has {}",
+                payload.len()
+            ),
+        ));
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != stored_crc {
+        return Err(CoaneError::checkpoint(
+            path,
+            format!("CRC32 mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"),
+        ));
+    }
+    decode_payload(payload).map_err(|msg| CoaneError::checkpoint(path, msg))
+}
+
+/// Finds the newest checkpoint in `dir` that passes full verification,
+/// skipping corrupt or truncated files in favor of older valid ones.
+/// Returns `Ok(None)` when the directory is absent or holds no valid
+/// checkpoint at all.
+pub fn latest_valid(dir: &Path) -> CoaneResult<Option<(PathBuf, TrainCheckpoint)>> {
+    let mut epochs = list_checkpoint_epochs(dir)?;
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    for epoch in epochs {
+        let path = dir.join(checkpoint_file_name(epoch));
+        if let Ok(ckpt) = load_checkpoint(&path) {
+            return Ok(Some((path, ckpt)));
+        }
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn matrix(&mut self, m: &Matrix) {
+        self.u64(m.rows() as u64);
+        self.u64(m.cols() as u64);
+        for &x in m.as_slice() {
+            self.f32(x);
+        }
+    }
+}
+
+fn encode_payload(c: &TrainCheckpoint) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.u64(c.fingerprint);
+    e.u64(c.epoch);
+    e.f32(c.lr);
+    e.u64(c.adam_t);
+    for k in c.rng.key {
+        e.u32(k);
+    }
+    e.u64(c.rng.counter);
+    e.u32(c.rng.idx);
+    e.u64(c.recoveries);
+    e.u64(c.epoch_losses.len() as u64);
+    for &l in &c.epoch_losses {
+        e.f32(l);
+    }
+    e.u64(c.epoch_seconds.len() as u64);
+    for &s in &c.epoch_seconds {
+        e.f64(s);
+    }
+    e.u64(c.params.len() as u64);
+    for (name, m) in &c.params {
+        e.str(name);
+        e.matrix(m);
+    }
+    e.u64(c.adam_m.len() as u64);
+    for m in &c.adam_m {
+        e.matrix(m);
+    }
+    e.u64(c.adam_v.len() as u64);
+    for m in &c.adam_v {
+        e.matrix(m);
+    }
+    e.0
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn count(&mut self, what: &str) -> Result<usize, String> {
+        let n = self.u64()?;
+        if n > MAX_DECODE_ITEMS {
+            return Err(format!("implausible {what} count {n}"));
+        }
+        Ok(n as usize)
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.count("string length")?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
+    }
+    fn matrix(&mut self) -> Result<Matrix, String> {
+        let rows = self.count("matrix rows")?;
+        let cols = self.count("matrix cols")?;
+        let n = rows
+            .checked_mul(cols)
+            .filter(|&n| n as u64 <= MAX_DECODE_ITEMS)
+            .ok_or_else(|| format!("implausible matrix shape {rows}x{cols}"))?;
+        // Bounds-check before allocating so a corrupt header cannot request
+        // a giant buffer.
+        if self.buf.len() - self.pos < n * 4 {
+            return Err(format!("payload truncated inside a {rows}x{cols} matrix"));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f32()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<TrainCheckpoint, String> {
+    let mut d = Dec { buf: payload, pos: 0 };
+    let fingerprint = d.u64()?;
+    let epoch = d.u64()?;
+    let lr = d.f32()?;
+    let adam_t = d.u64()?;
+    let mut key = [0u32; 8];
+    for k in &mut key {
+        *k = d.u32()?;
+    }
+    let counter = d.u64()?;
+    let idx = d.u32()?;
+    if idx > 16 {
+        return Err(format!("invalid RNG buffer index {idx}"));
+    }
+    let recoveries = d.u64()?;
+    let n_losses = d.count("epoch loss")?;
+    let mut epoch_losses = Vec::with_capacity(n_losses);
+    for _ in 0..n_losses {
+        epoch_losses.push(d.f32()?);
+    }
+    let n_seconds = d.count("epoch seconds")?;
+    let mut epoch_seconds = Vec::with_capacity(n_seconds);
+    for _ in 0..n_seconds {
+        epoch_seconds.push(d.f64()?);
+    }
+    let n_params = d.count("parameter")?;
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        let name = d.str()?;
+        let m = d.matrix()?;
+        params.push((name, m));
+    }
+    let n_m = d.count("adam first moment")?;
+    let mut adam_m = Vec::with_capacity(n_m);
+    for _ in 0..n_m {
+        adam_m.push(d.matrix()?);
+    }
+    let n_v = d.count("adam second moment")?;
+    let mut adam_v = Vec::with_capacity(n_v);
+    for _ in 0..n_v {
+        adam_v.push(d.matrix()?);
+    }
+    if d.pos != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after the checkpoint payload",
+            payload.len() - d.pos
+        ));
+    }
+    if adam_m.len() != adam_v.len() {
+        return Err(format!(
+            "adam moment count mismatch: {} first vs {} second",
+            adam_m.len(),
+            adam_v.len()
+        ));
+    }
+    Ok(TrainCheckpoint {
+        fingerprint,
+        epoch,
+        lr,
+        adam_t,
+        rng: ChaCha8State { key, counter, idx },
+        recoveries,
+        epoch_losses,
+        epoch_seconds,
+        params,
+        adam_m,
+        adam_v,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC32 (IEEE) of `bytes` — the integrity check for checkpoint payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a, 64-bit. Tiny, dependency-free, stable across platforms — enough
+/// for a configuration fingerprint (not security sensitive).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("coane_checkpoint_test").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(epoch: u64) -> TrainCheckpoint {
+        TrainCheckpoint {
+            fingerprint: 0xDEAD_BEEF,
+            epoch,
+            lr: 1e-3,
+            adam_t: 42,
+            rng: ChaCha8State { key: [1, 2, 3, 4, 5, 6, 7, 8], counter: 99, idx: 5 },
+            recoveries: 1,
+            epoch_losses: vec![3.5, 2.25, 1.125],
+            epoch_seconds: vec![0.5, 0.25, 0.125],
+            params: vec![
+                (
+                    "theta".to_string(),
+                    Matrix::from_vec(2, 3, vec![1.0, -2.0, 3.5, 0.0, 1e-7, -0.0]),
+                ),
+                ("decoder.w".to_string(), Matrix::from_vec(1, 2, vec![f32::MIN_POSITIVE, 7.0])),
+            ],
+            adam_m: vec![Matrix::zeros(2, 3), Matrix::zeros(1, 2)],
+            adam_v: vec![Matrix::full(2, 3, 0.125), Matrix::full(1, 2, 2.0)],
+        }
+    }
+
+    fn assert_same(a: &TrainCheckpoint, b: &TrainCheckpoint) {
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.lr.to_bits(), b.lr.to_bits());
+        assert_eq!(a.adam_t, b.adam_t);
+        assert_eq!(a.rng, b.rng);
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.epoch_losses, b.epoch_losses);
+        assert_eq!(a.epoch_seconds, b.epoch_seconds);
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.adam_m, b.adam_m);
+        assert_eq!(a.adam_v, b.adam_v);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_bit_exact() {
+        let dir = tmp_dir("roundtrip");
+        let ckpt = sample(3);
+        let path = save_checkpoint(&dir, &ckpt, 2).unwrap();
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), "ckpt-00000003.coane");
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_same(&ckpt, &loaded);
+        // No stray temp file remains.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn bit_flip_detected_and_skipped() {
+        let dir = tmp_dir("bitflip");
+        save_checkpoint(&dir, &sample(1), 3).unwrap();
+        let p2 = save_checkpoint(&dir, &sample(2), 3).unwrap();
+        // Flip one payload bit in the newest checkpoint.
+        let mut bytes = fs::read(&p2).unwrap();
+        let k = bytes.len() - 10;
+        bytes[k] ^= 0x40;
+        fs::write(&p2, &bytes).unwrap();
+        let err = load_checkpoint(&p2).unwrap_err();
+        assert!(err.to_string().contains("CRC32"), "{err}");
+        // latest_valid falls back to epoch 1.
+        let (path, ckpt) = latest_valid(&dir).unwrap().unwrap();
+        assert_eq!(ckpt.epoch, 1);
+        assert!(path.to_str().unwrap().contains("00000001"));
+    }
+
+    #[test]
+    fn truncation_detected_and_skipped() {
+        let dir = tmp_dir("truncate");
+        save_checkpoint(&dir, &sample(5), 3).unwrap();
+        let p6 = save_checkpoint(&dir, &sample(6), 3).unwrap();
+        let bytes = fs::read(&p6).unwrap();
+        fs::write(&p6, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_checkpoint(&p6).unwrap_err().to_string().contains("truncated"));
+        let (_, ckpt) = latest_valid(&dir).unwrap().unwrap();
+        assert_eq!(ckpt.epoch, 5);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let dir = tmp_dir("magic");
+        let p = save_checkpoint(&dir, &sample(1), 2).unwrap();
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[0] = b'X';
+        fs::write(&p, &bytes).unwrap();
+        assert!(load_checkpoint(&p).unwrap_err().to_string().contains("magic"));
+
+        let mut bytes = fs::read(&p).unwrap();
+        bytes[0..8].copy_from_slice(CHECKPOINT_MAGIC);
+        bytes[8] = 99; // version
+        fs::write(&p, &bytes).unwrap();
+        assert!(load_checkpoint(&p).unwrap_err().to_string().contains("version"));
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = tmp_dir("prune");
+        for e in 1..=5 {
+            save_checkpoint(&dir, &sample(e), 2).unwrap();
+        }
+        let mut epochs = list_checkpoint_epochs(&dir).unwrap();
+        epochs.sort_unstable();
+        assert_eq!(epochs, vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_or_missing_dir_is_none() {
+        let dir = tmp_dir("empty");
+        assert!(latest_valid(&dir).unwrap().is_none());
+        assert!(latest_valid(&dir.join("nope")).unwrap().is_none());
+        // A directory with only garbage files is also None.
+        fs::write(dir.join("ckpt-00000001.coane"), b"garbage").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"hi").unwrap();
+        assert!(latest_valid(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_affecting_fields_only() {
+        let base = CoaneConfig::default();
+        let f = config_fingerprint(&base);
+        assert_eq!(f, config_fingerprint(&CoaneConfig { threads: 16, ..base.clone() }));
+        assert_eq!(f, config_fingerprint(&CoaneConfig { epochs: 99, ..base.clone() }));
+        assert_eq!(f, config_fingerprint(&CoaneConfig { max_lr_retries: 9, ..base.clone() }));
+        assert_ne!(f, config_fingerprint(&CoaneConfig { seed: 7, ..base.clone() }));
+        assert_ne!(f, config_fingerprint(&CoaneConfig { embed_dim: 64, ..base.clone() }));
+        assert_ne!(f, config_fingerprint(&CoaneConfig { gamma: 5.0, ..base }));
+    }
+}

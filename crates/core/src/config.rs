@@ -1,5 +1,6 @@
 //! CoANE hyperparameters and ablation switches.
 
+use coane_error::CoaneError;
 use coane_walks::NegativeMode;
 
 /// Which feature-extraction layer encodes a context (Fig. 6a).
@@ -164,6 +165,11 @@ pub struct CoaneConfig {
     /// `coane_nn::pool::set_threads` when `fit` starts). Embeddings are
     /// bit-identical for any value; this only controls throughput.
     pub threads: usize,
+    /// Bound on non-finite-loss recovery attempts: when an epoch produces a
+    /// NaN/Inf loss or parameter, the trainer rolls back to the last healthy
+    /// epoch snapshot and halves the learning rate, at most this many times
+    /// across the run before surfacing [`CoaneError::Numeric`].
+    pub max_lr_retries: usize,
     /// RNG seed (walks, init, batching, sampling).
     pub seed: u64,
 }
@@ -188,26 +194,75 @@ impl Default for CoaneConfig {
             context_source: ContextSource::RandomWalk,
             ablation: Ablation::full(),
             threads: 4,
+            max_lr_retries: 3,
             seed: 42,
         }
     }
 }
 
 impl CoaneConfig {
-    /// Validates invariants (even `d'`, odd `c`, positive sizes).
-    pub fn validate(&self) {
-        assert!(
-            self.embed_dim >= 2 && self.embed_dim.is_multiple_of(2),
-            "embed_dim must be even ≥ 2"
-        );
-        assert!(self.context_size % 2 == 1, "context_size must be odd");
-        assert!(self.walks_per_node >= 1);
-        assert!(self.walk_length >= 1);
-        assert!(self.batch_size >= 1);
-        assert!(self.num_negatives >= 1 || self.ablation.negative == NegativeLossKind::None);
-        assert!(self.neg_strength >= 0.0);
-        assert!(self.gamma >= 0.0);
-        assert!(self.learning_rate > 0.0);
+    /// Validates invariants (even `d'`, odd `c`, positive sizes). Returns a
+    /// typed [`CoaneError::Config`] describing the first violation, so
+    /// user-supplied configurations (CLI flags, config files) surface a
+    /// message and an exit code instead of a panic.
+    pub fn validate(&self) -> Result<(), CoaneError> {
+        if self.embed_dim < 2 || !self.embed_dim.is_multiple_of(2) {
+            return Err(CoaneError::config(format!(
+                "embed_dim must be even and >= 2 (the [L|R] split), got {}",
+                self.embed_dim
+            )));
+        }
+        if self.context_size % 2 != 1 {
+            return Err(CoaneError::config(format!(
+                "context_size must be odd, got {}",
+                self.context_size
+            )));
+        }
+        if self.walks_per_node < 1 {
+            return Err(CoaneError::config("walks_per_node must be >= 1"));
+        }
+        if self.walk_length < 1 {
+            return Err(CoaneError::config("walk_length must be >= 1"));
+        }
+        if self.batch_size < 1 {
+            return Err(CoaneError::config("batch_size must be >= 1"));
+        }
+        if self.num_negatives < 1 && self.ablation.negative != NegativeLossKind::None {
+            return Err(CoaneError::config(
+                "num_negatives must be >= 1 unless the negative term is ablated",
+            ));
+        }
+        if !self.neg_strength.is_finite() || self.neg_strength < 0.0 {
+            return Err(CoaneError::config(format!(
+                "neg_strength must be finite and >= 0, got {}",
+                self.neg_strength
+            )));
+        }
+        if !self.gamma.is_finite() || self.gamma < 0.0 {
+            return Err(CoaneError::config(format!(
+                "gamma must be finite and >= 0, got {}",
+                self.gamma
+            )));
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(CoaneError::config(format!(
+                "learning_rate must be finite and > 0, got {}",
+                self.learning_rate
+            )));
+        }
+        if self.subsample_t.is_nan() || self.subsample_t < 0.0 {
+            return Err(CoaneError::config(format!(
+                "subsample_t must be >= 0 (infinity disables subsampling), got {}",
+                self.subsample_t
+            )));
+        }
+        if self.max_lr_retries > 64 {
+            return Err(CoaneError::config(format!(
+                "max_lr_retries must be <= 64 (learning rate underflows beyond that), got {}",
+                self.max_lr_retries
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -218,7 +273,7 @@ mod tests {
     #[test]
     fn defaults_valid_and_paper_aligned() {
         let c = CoaneConfig::default();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.embed_dim, 128);
         assert_eq!(c.walks_per_node, 1);
         assert_eq!(c.walk_length, 80);
@@ -242,14 +297,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "even")]
-    fn odd_embed_dim_rejected() {
-        CoaneConfig { embed_dim: 127, ..Default::default() }.validate();
-    }
-
-    #[test]
-    #[should_panic(expected = "odd")]
-    fn even_context_rejected() {
-        CoaneConfig { context_size: 4, ..Default::default() }.validate();
+    fn invalid_configs_are_typed_errors_not_panics() {
+        let cases: Vec<(CoaneConfig, &str)> = vec![
+            (CoaneConfig { embed_dim: 127, ..Default::default() }, "even"),
+            (CoaneConfig { context_size: 4, ..Default::default() }, "odd"),
+            (CoaneConfig { walks_per_node: 0, ..Default::default() }, "walks_per_node"),
+            (CoaneConfig { walk_length: 0, ..Default::default() }, "walk_length"),
+            (CoaneConfig { batch_size: 0, ..Default::default() }, "batch_size"),
+            (CoaneConfig { num_negatives: 0, ..Default::default() }, "num_negatives"),
+            (CoaneConfig { neg_strength: -1.0, ..Default::default() }, "neg_strength"),
+            (CoaneConfig { gamma: f32::NAN, ..Default::default() }, "gamma"),
+            (CoaneConfig { learning_rate: 0.0, ..Default::default() }, "learning_rate"),
+            (CoaneConfig { subsample_t: f64::NAN, ..Default::default() }, "subsample_t"),
+            (CoaneConfig { max_lr_retries: 100, ..Default::default() }, "max_lr_retries"),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(needle);
+            assert!(matches!(err, CoaneError::Config { .. }), "{needle}: wrong variant");
+            assert!(err.to_string().contains(needle), "{err} missing {needle:?}");
+            assert_eq!(err.exit_code(), 2);
+        }
+        // The negative-term ablation lifts the num_negatives requirement.
+        CoaneConfig { num_negatives: 0, ablation: Ablation::wn(), ..Default::default() }
+            .validate()
+            .unwrap();
     }
 }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod batch;
+pub mod checkpoint;
 pub mod config;
 pub mod inductive;
 pub mod loss;
@@ -42,6 +43,8 @@ pub mod model;
 pub mod persist;
 pub mod trainer;
 
+pub use checkpoint::CheckpointConfig;
+pub use coane_error::{CoaneError, CoaneResult};
 pub use config::{
     Ablation, CoaneConfig, ContextSource, EncoderKind, NegativeLossKind, PositiveLossKind,
 };

@@ -30,10 +30,28 @@ pub struct CoaneModel {
     embed_dim: usize,
 }
 
+impl std::fmt::Debug for CoaneModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoaneModel")
+            .field("encoder", &self.encoder)
+            .field("context_size", &self.context_size)
+            .field("attr_dim", &self.attr_dim)
+            .field("embed_dim", &self.embed_dim)
+            .field("has_decoder", &self.decoder.is_some())
+            .field("num_scalars", &self.params.num_scalars())
+            .finish()
+    }
+}
+
 impl CoaneModel {
     /// Initializes the model for graphs with `attr_dim` attributes.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration — validate with
+    /// [`CoaneConfig::validate`] first when the config comes from external
+    /// input (the trainer's `try_*` entry points do).
     pub fn new<R: Rng>(config: &CoaneConfig, attr_dim: usize, rng: &mut R) -> Self {
-        config.validate();
+        config.validate().expect("invalid CoaneConfig");
         let mut params = Params::new();
         let in_cols = match config.encoder {
             EncoderKind::Convolution => config.context_size * attr_dim,

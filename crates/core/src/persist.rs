@@ -1,11 +1,16 @@
 //! Model persistence: save a trained CoANE model (filter bank + decoder)
 //! to JSON and reload it later — e.g. to embed new nodes inductively in a
 //! separate process (see [`crate::inductive::embed_nodes`]).
+//!
+//! Loading treats the file as untrusted: unsupported format versions,
+//! missing/renamed parameters and shape mismatches all surface a typed
+//! [`CoaneError`] instead of panicking downstream.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
+use coane_error::{CoaneError, CoaneResult};
 use coane_nn::Matrix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -13,6 +18,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{Ablation, CoaneConfig, EncoderKind};
 use crate::model::CoaneModel;
+
+/// The on-disk format version written by [`save_model`].
+pub const MODEL_FORMAT_VERSION: u32 = 1;
 
 /// The on-disk form: enough architecture description to rebuild the model
 /// plus every named parameter matrix.
@@ -37,9 +45,9 @@ pub fn save_model(
     model: &CoaneModel,
     config: &CoaneConfig,
     attr_dim: usize,
-) -> io::Result<()> {
+) -> CoaneResult<()> {
     let saved = SavedModel {
-        format_version: 1,
+        format_version: MODEL_FORMAT_VERSION,
         attr_dim,
         embed_dim: config.embed_dim,
         context_size: config.context_size,
@@ -54,21 +62,24 @@ pub fn save_model(
             .map(|(_, name, value)| (name.to_string(), value.clone()))
             .collect(),
     };
-    let f = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(f, &saved).map_err(io::Error::other)
+    let f = BufWriter::new(File::create(path).map_err(|e| CoaneError::io(path, e))?);
+    serde_json::to_writer(f, &saved)
+        .map_err(|e| CoaneError::parse(e.to_string()).with_parse_context(path, None))
 }
 
 /// Loads a model saved by [`save_model`]. Returns the model together with a
 /// [`CoaneConfig`] carrying the architecture fields needed by
 /// [`crate::inductive::embed_nodes`] (other fields take defaults).
-pub fn load_model(path: &Path) -> io::Result<(CoaneModel, CoaneConfig)> {
-    let f = BufReader::new(File::open(path)?);
-    let saved: SavedModel = serde_json::from_reader(f).map_err(io::Error::other)?;
-    if saved.format_version != 1 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported model format version {}", saved.format_version),
-        ));
+pub fn load_model(path: &Path) -> CoaneResult<(CoaneModel, CoaneConfig)> {
+    let f = BufReader::new(File::open(path).map_err(|e| CoaneError::io(path, e))?);
+    let saved: SavedModel = serde_json::from_reader(f)
+        .map_err(|e| CoaneError::parse(e.to_string()).with_parse_context(path, None))?;
+    if saved.format_version != MODEL_FORMAT_VERSION {
+        return Err(CoaneError::parse(format!(
+            "unsupported model format version {} (this build reads version {MODEL_FORMAT_VERSION})",
+            saved.format_version
+        ))
+        .with_parse_context(path, None));
     }
     let config = CoaneConfig {
         embed_dim: saved.embed_dim,
@@ -84,34 +95,48 @@ pub fn load_model(path: &Path) -> io::Result<(CoaneModel, CoaneConfig)> {
         ablation: Ablation { attribute_preservation: saved.has_decoder, ..Ablation::full() },
         ..Default::default()
     };
+    // A file with absurd architecture fields (embed_dim 0, even context…)
+    // must not reach CoaneModel::new, which panics on invalid configs.
+    config.validate().map_err(|e| {
+        CoaneError::parse(format!("invalid architecture in model file: {e}"))
+            .with_parse_context(path, None)
+    })?;
     // Rebuild the architecture (values are immediately overwritten, so the
     // RNG seed is irrelevant), then restore parameter values by name.
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let mut model = CoaneModel::new(&config, saved.attr_dim, &mut rng);
-    let expected: Vec<String> = model.params.iter().map(|(_, name, _)| name.to_string()).collect();
-    let got: Vec<&String> = saved.params.iter().map(|(n, _)| n).collect();
-    if expected.len() != got.len() || expected.iter().zip(&got).any(|(a, b)| a != *b) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("parameter mismatch: expected {expected:?}, file has {got:?}"),
-        ));
+    let expected: Vec<(String, (usize, usize))> =
+        model.params.iter().map(|(_, name, value)| (name.to_string(), value.shape())).collect();
+    if expected.len() != saved.params.len() {
+        return Err(CoaneError::parse(format!(
+            "parameter count mismatch: architecture has {} parameters, file has {}",
+            expected.len(),
+            saved.params.len()
+        ))
+        .with_parse_context(path, None));
     }
-    for (i, (_, value)) in saved.params.into_iter().enumerate() {
-        let id = model
-            .params
-            .iter()
-            .nth(i)
-            .map(|(id, _, current)| {
-                assert_eq!(
-                    current.shape(),
-                    value.shape(),
-                    "parameter {i} shape changed between save and load"
-                );
-                id
-            })
-            .expect("index in range");
-        *model.params.get_mut(id) = value;
+    let mut values = Vec::with_capacity(saved.params.len());
+    for ((exp_name, exp_shape), (got_name, value)) in expected.iter().zip(saved.params) {
+        if *exp_name != got_name {
+            return Err(CoaneError::parse(format!(
+                "parameter name mismatch: expected {exp_name:?}, file has {got_name:?}"
+            ))
+            .with_parse_context(path, None));
+        }
+        if *exp_shape != value.shape() {
+            return Err(CoaneError::parse(format!(
+                "parameter {exp_name:?} shape mismatch: architecture expects {exp_shape:?}, \
+                 file has {:?}",
+                value.shape()
+            ))
+            .with_parse_context(path, None));
+        }
+        values.push(value);
     }
+    model
+        .params
+        .import_values(values)
+        .map_err(|msg| CoaneError::parse(msg).with_parse_context(path, None))?;
     Ok((model, config))
 }
 
@@ -128,8 +153,7 @@ mod tests {
         dir.join(name)
     }
 
-    #[test]
-    fn roundtrip_preserves_inference() {
+    fn trained() -> (coane_graph::AttributedGraph, CoaneConfig, CoaneModel) {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let g = planted_partition(80, 2, 0.25, 0.02, 30, &mut rng);
         let cfg = CoaneConfig {
@@ -142,6 +166,12 @@ mod tests {
             ..Default::default()
         };
         let (_, model, _) = Coane::new(cfg.clone()).fit_with_model(&g);
+        (g, cfg, model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_inference() {
+        let (g, cfg, model) = trained();
         let path = tmp("model.json");
         save_model(&path, &model, &cfg, g.attr_dim()).unwrap();
         let (loaded, loaded_cfg) = load_model(&path).unwrap();
@@ -173,9 +203,52 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_file_rejected() {
+    fn version_mismatch_rejected_with_description() {
+        let (g, cfg, model) = trained();
+        let path = tmp("future.json");
+        save_model(&path, &model, &cfg, g.attr_dim()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen("\"format_version\":1", "\"format_version\":99", 1);
+        assert_ne!(text, bumped, "fixture drifted: version field not found");
+        std::fs::write(&path, bumped).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(matches!(err, CoaneError::Parse { .. }), "{err:?}");
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_with_description() {
+        let (g, cfg, model) = trained();
+        let path = tmp("reshaped.json");
+        save_model(&path, &model, &cfg, g.attr_dim()).unwrap();
+        // Claim a different embedding width than the stored theta matrix:
+        // the architecture rebuild then disagrees with every stored shape.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let reshaped = text.replacen("\"embed_dim\":16", "\"embed_dim\":32", 1);
+        assert_ne!(text, reshaped, "fixture drifted: embed_dim field not found");
+        std::fs::write(&path, reshaped).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_and_truncated_files_rejected() {
         let path = tmp("bad.json");
         std::fs::write(&path, "{\"format_version\": 99}").unwrap();
         assert!(load_model(&path).is_err());
+
+        // Truncated mid-stream.
+        let (g, cfg, model) = trained();
+        let full = tmp("full.json");
+        save_model(&full, &model, &cfg, g.attr_dim()).unwrap();
+        let text = std::fs::read_to_string(&full).unwrap();
+        let cut = tmp("cut.json");
+        std::fs::write(&cut, &text[..text.len() / 2]).unwrap();
+        let err = load_model(&cut).unwrap_err();
+        assert!(matches!(err, CoaneError::Parse { .. }), "{err:?}");
+
+        // Missing file is an io error.
+        let err = load_model(&tmp("does-not-exist.json")).unwrap_err();
+        assert!(matches!(err, CoaneError::Io { .. }), "{err:?}");
     }
 }

@@ -1,5 +1,9 @@
-//! Algorithm 1: CoANE training with batch updating and per-epoch renewal.
+//! Algorithm 1: CoANE training with batch updating and per-epoch renewal,
+//! wrapped in a fault-tolerance layer: non-finite-loss recovery (rollback +
+//! learning-rate halving) and atomic checkpoint/resume
+//! ([`Coane::fit_resumable`]).
 
+use coane_error::{CoaneError, CoaneResult};
 use coane_graph::{AttributedGraph, NodeAttributes, NodeId};
 use coane_nn::init::xavier_uniform;
 use coane_nn::{Adam, Matrix, Tape};
@@ -12,6 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::batch::{first_hop_walks, ContextBatch};
+use crate::checkpoint::{self, CheckpointConfig, TrainCheckpoint};
 use crate::config::{CoaneConfig, ContextSource, NegativeLossKind};
 use crate::loss::{attribute_loss, negative_loss, positive_loss, total_loss, LossContext};
 use crate::model::CoaneModel;
@@ -27,13 +32,27 @@ pub struct TrainStats {
     pub k_p: usize,
     /// Total contexts extracted.
     pub num_contexts: usize,
+    /// Non-finite-loss recoveries performed (rollback + LR halving).
+    pub recoveries: usize,
+    /// When training resumed from a checkpoint, the epoch it restarted at.
+    pub resumed_from_epoch: Option<usize>,
+    /// Checkpoints written during this run.
+    pub checkpoints_written: usize,
+    /// Learning rate at the end of training (lower than configured iff
+    /// recovery halved it).
+    pub final_lr: f32,
 }
 
 /// The CoANE embedder. Construct with a [`CoaneConfig`], call
 /// [`Coane::fit`] (or [`Coane::fit_detailed`] for stats and per-epoch
-/// callbacks) to obtain the `(n × d')` embedding matrix.
+/// callbacks) to obtain the `(n × d')` embedding matrix. For long runs that
+/// must survive interruption, [`Coane::fit_resumable`] adds crash-safe
+/// checkpointing with bit-identical resume.
+#[derive(Debug)]
 pub struct Coane {
     config: CoaneConfig,
+    /// Test-only fault injection: epochs whose loss is forced to NaN once.
+    fault_epochs: Vec<usize>,
 }
 
 /// Pre-processing-phase state: contexts, co-occurrence matrices, positive
@@ -46,10 +65,20 @@ struct Prepared {
 }
 
 impl Coane {
-    /// New trainer with `config` (validated).
+    /// New trainer with `config`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; use [`Coane::try_new`] when the
+    /// config comes from external input.
     pub fn new(config: CoaneConfig) -> Self {
-        config.validate();
-        Self { config }
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid CoaneConfig: {e}"))
+    }
+
+    /// New trainer with `config`, surfacing validation failures as a typed
+    /// [`CoaneError::Config`] instead of panicking.
+    pub fn try_new(config: CoaneConfig) -> CoaneResult<Self> {
+        config.validate()?;
+        Ok(Self { config, fault_epochs: Vec::new() })
     }
 
     /// The configuration.
@@ -57,15 +86,43 @@ impl Coane {
         &self.config
     }
 
+    /// Forces the training loss to come out NaN once per listed epoch (an
+    /// epoch listed twice faults twice, exercising repeated recovery). This
+    /// exists so the recovery path is tested against the *real* rollback
+    /// machinery rather than a simulation; it is not part of the public API.
+    #[doc(hidden)]
+    pub fn with_injected_loss_faults(mut self, epochs: &[usize]) -> Self {
+        self.fault_epochs = epochs.to_vec();
+        self
+    }
+
     /// Trains and returns the final embedding matrix (`n × d'`).
+    ///
+    /// # Panics
+    /// Panics if training fails (e.g. non-finite loss persists through all
+    /// recovery attempts); use [`Coane::try_fit`] for a typed error.
     pub fn fit(&self, graph: &AttributedGraph) -> Matrix {
-        self.fit_detailed(graph, |_, _| {}).0
+        self.try_fit(graph).unwrap_or_else(|e| panic!("training failed: {e}"))
+    }
+
+    /// Trains and returns the final embedding matrix, surfacing failures as
+    /// typed [`CoaneError`]s.
+    pub fn try_fit(&self, graph: &AttributedGraph) -> CoaneResult<Matrix> {
+        Ok(self.run(graph, None, |_, _| {})?.0)
     }
 
     /// Trains and additionally returns the fitted model (for filter-weight
     /// inspection, Fig. 6b).
     pub fn fit_with_model(&self, graph: &AttributedGraph) -> (Matrix, CoaneModel, TrainStats) {
-        self.run(graph, |_, _| {})
+        self.run(graph, None, |_, _| {}).unwrap_or_else(|e| panic!("training failed: {e}"))
+    }
+
+    /// [`Coane::fit_with_model`] with typed errors instead of panics.
+    pub fn try_fit_with_model(
+        &self,
+        graph: &AttributedGraph,
+    ) -> CoaneResult<(Matrix, CoaneModel, TrainStats)> {
+        self.run(graph, None, |_, _| {})
     }
 
     /// Trains, returning embeddings and statistics. `on_epoch(e, z)` is
@@ -76,15 +133,49 @@ impl Coane {
         graph: &AttributedGraph,
         on_epoch: impl FnMut(usize, &Matrix),
     ) -> (Matrix, TrainStats) {
-        let (z, _, stats) = self.run(graph, on_epoch);
+        let (z, _, stats) =
+            self.run(graph, None, on_epoch).unwrap_or_else(|e| panic!("training failed: {e}"));
         (z, stats)
+    }
+
+    /// Fault-tolerant training: periodically writes atomic checkpoints into
+    /// `ckpt.dir` and, when the directory already holds a valid checkpoint
+    /// from a previous (interrupted) run with the same result-affecting
+    /// configuration, resumes from it instead of starting over.
+    ///
+    /// Because checkpoints capture the exact RNG stream position alongside
+    /// parameters and optimizer moments — and the whole pipeline is
+    /// bit-deterministic for any thread count — an interrupted-and-resumed
+    /// run produces embeddings `==` to those of an uninterrupted run.
+    /// Corrupt or truncated checkpoint files are detected by CRC and
+    /// skipped in favor of the newest valid one; a checkpoint written under
+    /// a different configuration is rejected with
+    /// [`CoaneError::Checkpoint`].
+    pub fn fit_resumable(
+        &self,
+        graph: &AttributedGraph,
+        ckpt: &CheckpointConfig,
+    ) -> CoaneResult<(Matrix, TrainStats)> {
+        let (z, _, stats) = self.run(graph, Some(ckpt), |_, _| {})?;
+        Ok((z, stats))
+    }
+
+    /// [`Coane::fit_resumable`] variant that also returns the fitted model
+    /// (e.g. to persist it with [`crate::persist::save_model`] afterwards).
+    pub fn fit_resumable_with_model(
+        &self,
+        graph: &AttributedGraph,
+        ckpt: &CheckpointConfig,
+    ) -> CoaneResult<(Matrix, CoaneModel, TrainStats)> {
+        self.run(graph, Some(ckpt), |_, _| {})
     }
 
     fn run(
         &self,
         graph: &AttributedGraph,
+        checkpointing: Option<&CheckpointConfig>,
         mut on_epoch: impl FnMut(usize, &Matrix),
-    ) -> (Matrix, CoaneModel, TrainStats) {
+    ) -> CoaneResult<(Matrix, CoaneModel, TrainStats)> {
         let cfg = &self.config;
         // One knob for every parallel stage: walk generation, preprocessing
         // and the training kernels all read the pool's thread count. Results
@@ -104,6 +195,7 @@ impl Coane {
         let mut stats = TrainStats {
             k_p: prep.pairs.k_p,
             num_contexts: prep.contexts.num_contexts(),
+            final_lr: cfg.learning_rate,
             ..Default::default()
         };
 
@@ -114,10 +206,79 @@ impl Coane {
         // initializes "both model parameters and embedding vectors".
         let mut z_cache = xavier_uniform(n, cfg.embed_dim, &mut rng);
 
+        let fingerprint = checkpoint::config_fingerprint(cfg);
+        let mut start_epoch = 0usize;
+        let mut renewed = false;
+        if let Some(ck) = checkpointing {
+            ck.validate()?;
+            if let Some((path, saved)) = checkpoint::latest_valid(&ck.dir)? {
+                if saved.fingerprint != fingerprint {
+                    return Err(CoaneError::checkpoint(
+                        &path,
+                        "configuration fingerprint mismatch: this checkpoint was written under \
+                         different result-affecting settings (resuming would produce embeddings \
+                         matching neither run); use a fresh checkpoint directory",
+                    ));
+                }
+                if saved.params.len() != model.params.len() {
+                    return Err(CoaneError::checkpoint(
+                        &path,
+                        format!(
+                            "parameter count mismatch: model has {}, checkpoint has {}",
+                            model.params.len(),
+                            saved.params.len()
+                        ),
+                    ));
+                }
+                for ((_, expect, _), (got, _)) in model.params.iter().zip(&saved.params) {
+                    if expect != got {
+                        return Err(CoaneError::checkpoint(
+                            &path,
+                            format!("parameter name mismatch: expected {expect:?}, found {got:?}"),
+                        ));
+                    }
+                }
+                let values: Vec<Matrix> = saved.params.into_iter().map(|(_, m)| m).collect();
+                model
+                    .params
+                    .import_values(values)
+                    .map_err(|msg| CoaneError::checkpoint(&path, msg))?;
+                adam = Adam::import_state(saved.lr, saved.adam_t, saved.adam_m, saved.adam_v)
+                    .map_err(|msg| CoaneError::checkpoint(&path, msg))?;
+                rng = ChaCha8Rng::from_state(&saved.rng);
+                stats.epoch_losses = saved.epoch_losses;
+                stats.epoch_seconds = saved.epoch_seconds;
+                stats.recoveries = saved.recoveries as usize;
+                stats.final_lr = adam.lr;
+                start_epoch = saved.epoch as usize;
+                stats.resumed_from_epoch = Some(start_epoch);
+                // The embedding cache is not checkpointed: renewal recomputes
+                // it deterministically from the restored filters.
+                self.renew(graph, &prep.contexts, &model, &mut z_cache);
+                renewed = true;
+            }
+        }
+
         let mut local_of: Vec<Option<u32>> = vec![None; n];
         let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-        for epoch in 0..cfg.epochs {
+        let mut retries_left = cfg.max_lr_retries;
+        let mut pending_faults = self.fault_epochs.clone();
+        let mut epoch = start_epoch;
+        while epoch < cfg.epochs {
+            // Snapshot the healthy state at the epoch boundary so a
+            // non-finite epoch can be rolled back and retried at a lower LR.
+            let snap_params = model.params.export_values();
+            let snap_adam = adam.clone();
+            let snap_rng = rng.clone();
+            let snap_z = z_cache.clone();
+
             let started = std::time::Instant::now();
+            // Reset to identity before shuffling: the epoch-e permutation
+            // then depends only on the RNG state at the epoch boundary (which
+            // checkpoints capture exactly), not on every earlier shuffle.
+            for (i, slot) in order.iter_mut().enumerate() {
+                *slot = i as NodeId;
+            }
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
             for batch_nodes in order.chunks(cfg.batch_size) {
@@ -132,18 +293,76 @@ impl Coane {
                     &mut rng,
                 );
             }
+            if let Some(pos) = pending_faults.iter().position(|&e| e == epoch) {
+                pending_faults.swap_remove(pos);
+                epoch_loss = f32::NAN;
+            }
+
+            if !(epoch_loss.is_finite() && model.params.all_finite()) {
+                if retries_left == 0 {
+                    return Err(CoaneError::numeric(format!(
+                        "non-finite training loss at epoch {epoch} persisted through \
+                         {} rollback(s) with learning-rate halving (last lr {:e}); the \
+                         objective is numerically unstable for this input — check the \
+                         graph's attribute scale or lower the learning rate",
+                        cfg.max_lr_retries, adam.lr
+                    )));
+                }
+                retries_left -= 1;
+                stats.recoveries += 1;
+                model
+                    .params
+                    .import_values(snap_params)
+                    .expect("epoch snapshot matches live parameter shapes");
+                adam = snap_adam;
+                adam.lr *= 0.5;
+                stats.final_lr = adam.lr;
+                rng = snap_rng;
+                z_cache = snap_z;
+                continue; // retry the same epoch at the halved learning rate
+            }
+
             stats.epoch_losses.push(epoch_loss);
             stats.epoch_seconds.push(started.elapsed().as_secs_f64());
             // Renew all embeddings with the current filters (Algorithm 1's
             // final "Renew z_v" step, run each epoch so callbacks and the
             // next epoch's cache see consistent embeddings).
             self.renew(graph, &prep.contexts, &model, &mut z_cache);
+            renewed = true;
             on_epoch(epoch, &z_cache);
+
+            if let Some(ck) = checkpointing {
+                let done = epoch + 1;
+                if done.is_multiple_of(ck.every_epochs) || done == cfg.epochs {
+                    let (lr, adam_t, m, v) = adam.export_state();
+                    let ckpt = TrainCheckpoint {
+                        fingerprint,
+                        epoch: done as u64,
+                        lr,
+                        adam_t,
+                        rng: rng.state(),
+                        recoveries: stats.recoveries as u64,
+                        epoch_losses: stats.epoch_losses.clone(),
+                        epoch_seconds: stats.epoch_seconds.clone(),
+                        params: model
+                            .params
+                            .iter()
+                            .map(|(_, name, value)| (name.to_string(), value.clone()))
+                            .collect(),
+                        adam_m: m.to_vec(),
+                        adam_v: v.to_vec(),
+                    };
+                    checkpoint::save_checkpoint(&ck.dir, &ckpt, ck.keep)?;
+                    stats.checkpoints_written += 1;
+                }
+            }
+            epoch += 1;
         }
-        if cfg.epochs == 0 {
+        if !renewed {
             self.renew(graph, &prep.contexts, &model, &mut z_cache);
         }
-        (z_cache, model, stats)
+        stats.final_lr = adam.lr;
+        Ok((z_cache, model, stats))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -325,6 +544,12 @@ mod tests {
         }
     }
 
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("coane_trainer_ckpt").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn fit_produces_finite_embeddings() {
         let g = small_graph();
@@ -451,5 +676,97 @@ mod tests {
         let cfg = CoaneConfig { epochs: 0, ..fast_config() };
         let z = Coane::new(cfg).fit(&g);
         z.assert_finite("untrained embedding");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config_without_panicking() {
+        let err = Coane::try_new(CoaneConfig { embed_dim: 7, ..fast_config() }).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("embed_dim"), "{err}");
+    }
+
+    #[test]
+    fn injected_nan_loss_triggers_rollback_and_lr_halving() {
+        let g = small_graph();
+        let cfg = fast_config();
+        let base_lr = cfg.learning_rate;
+        let (z, stats) = {
+            let trainer = Coane::new(cfg).with_injected_loss_faults(&[1]);
+            let (z, _, stats) = trainer.run(&g, None, |_, _| {}).unwrap();
+            (z, stats)
+        };
+        z.assert_finite("post-recovery embedding");
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.epoch_losses.len(), 3, "all epochs completed after retry");
+        assert!(
+            (stats.final_lr - base_lr * 0.5).abs() < 1e-12,
+            "lr {} not halved from {base_lr}",
+            stats.final_lr
+        );
+    }
+
+    #[test]
+    fn persistent_nan_exhausts_retries_into_typed_numeric_error() {
+        let g = small_graph();
+        let cfg = CoaneConfig { max_lr_retries: 2, ..fast_config() };
+        // Epoch 1 faults three times: two recoveries, then exhaustion.
+        let trainer = Coane::new(cfg).with_injected_loss_faults(&[1, 1, 1]);
+        let err = trainer.run(&g, None, |_, _| {}).unwrap_err();
+        assert!(matches!(err, CoaneError::Numeric { .. }), "{err:?}");
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("epoch 1"), "{err}");
+    }
+
+    #[test]
+    fn fresh_fit_resumable_matches_plain_fit() {
+        let g = small_graph();
+        let dir = ckpt_dir("fresh");
+        let trainer = Coane::new(fast_config());
+        let (z_resumable, stats) = trainer.fit_resumable(&g, &CheckpointConfig::new(&dir)).unwrap();
+        let z_plain = trainer.fit(&g);
+        assert_eq!(z_resumable, z_plain, "checkpoint writes must not perturb training");
+        assert_eq!(stats.checkpoints_written, 3);
+        assert!(stats.resumed_from_epoch.is_none());
+    }
+
+    #[test]
+    fn resume_continues_bit_identically() {
+        let g = small_graph();
+        let dir = ckpt_dir("resume");
+        // Interrupted run: 2 of 5 epochs, checkpointing each.
+        let partial = Coane::new(CoaneConfig { epochs: 2, ..fast_config() });
+        partial.fit_resumable(&g, &CheckpointConfig::new(&dir)).unwrap();
+        // Resumed run picks up at epoch 2 and finishes 5.
+        let full_cfg = CoaneConfig { epochs: 5, ..fast_config() };
+        let (z_resumed, stats) =
+            Coane::new(full_cfg.clone()).fit_resumable(&g, &CheckpointConfig::new(&dir)).unwrap();
+        assert_eq!(stats.resumed_from_epoch, Some(2));
+        assert_eq!(stats.epoch_losses.len(), 5);
+        // Uninterrupted reference.
+        let z_direct = Coane::new(full_cfg).fit(&g);
+        assert_eq!(z_resumed, z_direct, "resume is not bit-identical");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_fingerprint() {
+        let g = small_graph();
+        let dir = ckpt_dir("fingerprint");
+        Coane::new(CoaneConfig { epochs: 1, ..fast_config() })
+            .fit_resumable(&g, &CheckpointConfig::new(&dir))
+            .unwrap();
+        let other = CoaneConfig { seed: 777, epochs: 2, ..fast_config() };
+        let err = Coane::new(other).fit_resumable(&g, &CheckpointConfig::new(&dir)).unwrap_err();
+        assert!(matches!(err, CoaneError::Checkpoint { .. }), "{err:?}");
+        assert_eq!(err.exit_code(), 7);
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn invalid_checkpoint_config_rejected() {
+        let g = small_graph();
+        let dir = ckpt_dir("invalid-cfg");
+        let bad = CheckpointConfig { every_epochs: 0, ..CheckpointConfig::new(&dir) };
+        let err = Coane::new(fast_config()).fit_resumable(&g, &bad).unwrap_err();
+        assert!(matches!(err, CoaneError::Config { .. }), "{err:?}");
     }
 }

@@ -1,0 +1,255 @@
+//! # coane-error
+//!
+//! The workspace-wide typed error layer. Every fallible operation that can
+//! be reached from *external input* — reading graph files, parsing LINQS
+//! datasets, loading persisted models, restoring training checkpoints,
+//! validating user-supplied configuration, or a training run whose loss
+//! leaves the finite range — reports a [`CoaneError`] instead of panicking.
+//!
+//! Each variant carries enough context (file path, line number, expected vs
+//! actual shape) to act on the failure, and maps to a stable process exit
+//! code via [`CoaneError::exit_code`] so shell pipelines around `coane-cli`
+//! can branch on the failure class:
+//!
+//! | variant | exit code | meaning |
+//! |---------|-----------|---------|
+//! | [`CoaneError::Config`]     | 2 | invalid configuration / CLI usage |
+//! | [`CoaneError::Io`]         | 3 | file system / OS level failure |
+//! | [`CoaneError::Parse`]      | 4 | malformed input file |
+//! | [`CoaneError::Graph`]      | 5 | structurally invalid graph |
+//! | [`CoaneError::Numeric`]    | 6 | non-finite loss/parameters after bounded recovery |
+//! | [`CoaneError::Checkpoint`] | 7 | unusable training checkpoint |
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Convenience alias used across the workspace.
+pub type CoaneResult<T> = Result<T, CoaneError>;
+
+/// Every failure class the CoANE stack can surface from external input.
+#[derive(Debug)]
+pub enum CoaneError {
+    /// Invalid configuration (hyperparameters, CLI flags, walk settings).
+    Config {
+        /// What invariant was violated.
+        message: String,
+    },
+    /// An operating-system level I/O failure (open, read, write, rename).
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Malformed input data (JSON graphs, `.content`/`.cites` rows, CSVs).
+    Parse {
+        /// The file involved, when known.
+        file: Option<PathBuf>,
+        /// 1-based line number of the offending row, when known.
+        line: Option<u64>,
+        /// What failed to parse.
+        message: String,
+    },
+    /// A structurally invalid graph (asymmetric edges, out-of-range ids…).
+    Graph {
+        /// Which invariant the graph violates.
+        message: String,
+    },
+    /// Training produced non-finite losses or parameters and bounded
+    /// recovery (rollback + learning-rate halving) was exhausted.
+    Numeric {
+        /// What went non-finite and after how many recovery attempts.
+        message: String,
+    },
+    /// A checkpoint file that cannot be used: bad magic, version or
+    /// checksum mismatch, truncation, or a configuration fingerprint that
+    /// differs from the resuming run.
+    Checkpoint {
+        /// The checkpoint file, when known.
+        path: Option<PathBuf>,
+        /// Why the checkpoint was rejected.
+        message: String,
+    },
+}
+
+impl CoaneError {
+    /// Invalid-configuration error.
+    pub fn config(message: impl Into<String>) -> Self {
+        Self::Config { message: message.into() }
+    }
+
+    /// I/O error tagged with the file it concerned.
+    pub fn io(path: impl AsRef<Path>, source: std::io::Error) -> Self {
+        Self::Io { path: Some(path.as_ref().to_path_buf()), source }
+    }
+
+    /// Parse error without location info.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::Parse { file: None, line: None, message: message.into() }
+    }
+
+    /// Parse error at a 1-based line of a named file.
+    pub fn parse_at(path: impl AsRef<Path>, line: u64, message: impl Into<String>) -> Self {
+        Self::Parse {
+            file: Some(path.as_ref().to_path_buf()),
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// Structurally-invalid-graph error.
+    pub fn graph(message: impl Into<String>) -> Self {
+        Self::Graph { message: message.into() }
+    }
+
+    /// Non-finite-numerics error.
+    pub fn numeric(message: impl Into<String>) -> Self {
+        Self::Numeric { message: message.into() }
+    }
+
+    /// Unusable-checkpoint error.
+    pub fn checkpoint(path: impl AsRef<Path>, message: impl Into<String>) -> Self {
+        Self::Checkpoint { path: Some(path.as_ref().to_path_buf()), message: message.into() }
+    }
+
+    /// Attaches (or replaces) file/line context on a [`CoaneError::Parse`];
+    /// other variants pass through unchanged. Lets low-level row parsers
+    /// report positions and file-level callers fill in the path.
+    pub fn with_parse_context(self, path: impl AsRef<Path>, line: Option<u64>) -> Self {
+        match self {
+            Self::Parse { line: old_line, message, .. } => Self::Parse {
+                file: Some(path.as_ref().to_path_buf()),
+                line: line.or(old_line),
+                message,
+            },
+            other => other,
+        }
+    }
+
+    /// The 1-based line number carried by a parse error, if any.
+    pub fn parse_line(&self) -> Option<u64> {
+        match self {
+            Self::Parse { line, .. } => *line,
+            _ => None,
+        }
+    }
+
+    /// Stable process exit code for `coane-cli` (see the module table).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Self::Config { .. } => 2,
+            Self::Io { .. } => 3,
+            Self::Parse { .. } => 4,
+            Self::Graph { .. } => 5,
+            Self::Numeric { .. } => 6,
+            Self::Checkpoint { .. } => 7,
+        }
+    }
+
+    /// Short lowercase tag naming the failure class (used in CLI output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Config { .. } => "config",
+            Self::Io { .. } => "io",
+            Self::Parse { .. } => "parse",
+            Self::Graph { .. } => "graph",
+            Self::Numeric { .. } => "numeric",
+            Self::Checkpoint { .. } => "checkpoint",
+        }
+    }
+}
+
+impl fmt::Display for CoaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config { message } => write!(f, "invalid configuration: {message}"),
+            Self::Io { path: Some(p), source } => {
+                write!(f, "io error on {}: {source}", p.display())
+            }
+            Self::Io { path: None, source } => write!(f, "io error: {source}"),
+            Self::Parse { file, line, message } => {
+                write!(f, "parse error")?;
+                if let Some(p) = file {
+                    write!(f, " in {}", p.display())?;
+                }
+                if let Some(l) = line {
+                    write!(f, " at line {l}")?;
+                }
+                write!(f, ": {message}")
+            }
+            Self::Graph { message } => write!(f, "invalid graph: {message}"),
+            Self::Numeric { message } => write!(f, "numeric failure: {message}"),
+            Self::Checkpoint { path: Some(p), message } => {
+                write!(f, "checkpoint error ({}): {message}", p.display())
+            }
+            Self::Checkpoint { path: None, message } => write!(f, "checkpoint error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoaneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CoaneError {
+    fn from(source: std::io::Error) -> Self {
+        Self::Io { path: None, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_stable_and_distinct() {
+        let errors = [
+            CoaneError::config("x"),
+            CoaneError::io("/f", std::io::Error::other("boom")),
+            CoaneError::parse("x"),
+            CoaneError::graph("x"),
+            CoaneError::numeric("x"),
+            CoaneError::checkpoint("/c", "x"),
+        ];
+        let codes: Vec<u8> = errors.iter().map(CoaneError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7]);
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "exit codes must be distinct");
+    }
+
+    #[test]
+    fn display_includes_location() {
+        let e = CoaneError::parse_at("data/cora.content", 17, "bad attribute value");
+        let msg = e.to_string();
+        assert!(msg.contains("cora.content"), "{msg}");
+        assert!(msg.contains("line 17"), "{msg}");
+        assert_eq!(e.parse_line(), Some(17));
+    }
+
+    #[test]
+    fn parse_context_attaches_file_and_keeps_line() {
+        let e = CoaneError::Parse { file: None, line: Some(3), message: "bad".into() }
+            .with_parse_context("x.cites", None);
+        match e {
+            CoaneError::Parse { file, line, .. } => {
+                assert_eq!(file.as_deref(), Some(Path::new("x.cites")));
+                assert_eq!(line, Some(3));
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn io_error_chains_source() {
+        let e = CoaneError::io("/tmp/x", std::io::Error::other("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e.kind(), "io");
+    }
+}

@@ -118,6 +118,43 @@ impl NodeAttributes {
         out
     }
 
+    /// Checks the CSR invariants without panicking — needed when the matrix
+    /// arrives from untrusted input (deserialized JSON), where malformed
+    /// index arrays would otherwise cause out-of-bounds panics in
+    /// [`NodeAttributes::row`].
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.indptr.is_empty() {
+            return Err("attribute indptr is empty".to_string());
+        }
+        if self.indptr[0] != 0 {
+            return Err(format!("attribute indptr must start at 0, found {}", self.indptr[0]));
+        }
+        if self.indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("attribute indptr is not monotonically non-decreasing".to_string());
+        }
+        if *self.indptr.last().unwrap() != self.indices.len() {
+            return Err(format!(
+                "attribute indptr total {} does not match nnz {}",
+                self.indptr.last().unwrap(),
+                self.indices.len()
+            ));
+        }
+        if self.indices.len() != self.values.len() {
+            return Err(format!(
+                "{} attribute indices but {} values",
+                self.indices.len(),
+                self.values.len()
+            ));
+        }
+        if let Some(&bad) = self.indices.iter().find(|&&i| i as usize >= self.dim) {
+            return Err(format!("attribute index {bad} out of range (dim = {})", self.dim));
+        }
+        if let Some(bad) = self.values.iter().find(|v| !v.is_finite()) {
+            return Err(format!("non-finite attribute value {bad}"));
+        }
+        Ok(())
+    }
+
     /// Cosine similarity between the attribute vectors of `u` and `v`.
     /// Returns 0 when either row is all-zero.
     pub fn cosine(&self, u: NodeId, v: NodeId) -> f32 {
@@ -182,26 +219,84 @@ impl AttributedGraph {
         g
     }
 
-    /// Checks all structural invariants; panics with a description on violation.
+    /// Checks all structural invariants; panics with a description on
+    /// violation. Use on programmatically-constructed graphs where a
+    /// violation is a bug; for graphs deserialized from untrusted input use
+    /// [`AttributedGraph::try_validate`].
     pub fn validate(&self) {
-        assert_eq!(self.indptr.len(), self.n + 1, "indptr length");
-        assert_eq!(self.neighbors.len(), self.weights.len(), "weights length");
-        assert_eq!(*self.indptr.last().unwrap(), self.neighbors.len(), "indptr total");
-        assert_eq!(self.attrs.num_rows(), self.n, "attribute rows");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks all structural invariants without panicking, returning a
+    /// description of the first violation. This is the entry point for
+    /// untrusted input (e.g. [`crate::io::load_json`]): a corrupt file must
+    /// surface an `Err`, never abort the process.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.indptr.len() != self.n + 1 {
+            return Err(format!(
+                "indptr length {} does not match node count {} + 1",
+                self.indptr.len(),
+                self.n
+            ));
+        }
+        if self.neighbors.len() != self.weights.len() {
+            return Err(format!(
+                "{} neighbors but {} weights",
+                self.neighbors.len(),
+                self.weights.len()
+            ));
+        }
+        if self.indptr[0] != 0 {
+            return Err(format!("indptr must start at 0, found {}", self.indptr[0]));
+        }
+        if *self.indptr.last().unwrap() != self.neighbors.len() {
+            return Err(format!(
+                "indptr total {} does not match neighbor count {}",
+                self.indptr.last().unwrap(),
+                self.neighbors.len()
+            ));
+        }
+        if self.indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("indptr is not monotonically non-decreasing".to_string());
+        }
+        if self.attrs.num_rows() != self.n {
+            return Err(format!("{} attribute rows for {} nodes", self.attrs.num_rows(), self.n));
+        }
+        self.attrs.try_validate()?;
         if let Some(l) = &self.labels {
-            assert_eq!(l.len(), self.n, "labels length");
+            if l.len() != self.n {
+                return Err(format!("{} labels for {} nodes", l.len(), self.n));
+            }
         }
         for v in 0..self.n {
             let nb = self.neighbors_of(v as NodeId);
             for w in nb.windows(2) {
-                assert!(w[0] < w[1], "adjacency of {v} not sorted/deduped");
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of node {v} not sorted/deduplicated"));
+                }
             }
             for &u in nb {
-                assert!((u as usize) < self.n, "neighbor out of range");
-                assert_ne!(u as usize, v, "self-loop at {v}");
-                assert!(self.has_edge(u, v as NodeId), "asymmetric edge ({v},{u})");
+                if (u as usize) >= self.n {
+                    return Err(format!("node {v} has out-of-range neighbor {u} (n = {})", self.n));
+                }
+                if u as usize == v {
+                    return Err(format!("self-loop at node {v}"));
+                }
+                if !self.has_edge(u, v as NodeId) {
+                    return Err(format!(
+                        "asymmetric edge: ({v},{u}) present but ({u},{v}) missing"
+                    ));
+                }
             }
         }
+        for (i, &w) in self.weights.iter().enumerate() {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(format!("edge weight #{i} is {w}; weights must be finite and > 0"));
+            }
+        }
+        Ok(())
     }
 
     /// Number of nodes `n = |V|`.

@@ -1,113 +1,265 @@
 //! Graph serialization: JSON (via serde) and the plain-text edge-list /
 //! attribute-list formats used by the LINQS dataset distributions the paper
 //! evaluates on (`*.cites` edge lists and `*.content` attribute rows).
+//!
+//! Every loader in this module treats its input as *untrusted*: malformed
+//! files surface a typed [`CoaneError`] (with the file and, for row-based
+//! formats, the 1-based line number) instead of panicking. Deserialized
+//! graphs are re-checked against the structural invariants via
+//! [`AttributedGraph::try_validate`] before they are handed to callers.
 
+use std::collections::HashMap;
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+
+use coane_error::{CoaneError, CoaneResult};
 
 use crate::builder::GraphBuilder;
 use crate::graph::{AttributedGraph, NodeAttributes};
 use crate::NodeId;
 
-/// Writes the graph as pretty JSON.
-pub fn save_json(g: &AttributedGraph, path: &Path) -> io::Result<()> {
-    let f = BufWriter::new(File::create(path)?);
-    serde_json::to_writer(f, g).map_err(io::Error::other)
+/// Node-id ceiling for formats that derive the node count from the largest
+/// id seen: a single corrupt line must not be able to request a
+/// multi-gigabyte allocation.
+pub const MAX_EDGE_LIST_NODE_ID: u32 = 50_000_000;
+
+/// Writes the graph as JSON.
+pub fn save_json(g: &AttributedGraph, path: &Path) -> CoaneResult<()> {
+    let f = BufWriter::new(File::create(path).map_err(|e| CoaneError::io(path, e))?);
+    serde_json::to_writer(f, g)
+        .map_err(|e| CoaneError::parse(e.to_string()).with_parse_context(path, None))
 }
 
-/// Reads a graph previously written by [`save_json`].
-pub fn load_json(path: &Path) -> io::Result<AttributedGraph> {
-    let f = BufReader::new(File::open(path)?);
-    let g: AttributedGraph = serde_json::from_reader(f).map_err(io::Error::other)?;
-    g.validate();
+/// Reads a graph previously written by [`save_json`]. The deserialized
+/// structure is fully re-validated: corrupt adjacency (out-of-range ids,
+/// asymmetric edges, broken CSR offsets, non-finite weights or attributes)
+/// returns [`CoaneError::Graph`] instead of panicking downstream.
+pub fn load_json(path: &Path) -> CoaneResult<AttributedGraph> {
+    let f = BufReader::new(File::open(path).map_err(|e| CoaneError::io(path, e))?);
+    let g: AttributedGraph = serde_json::from_reader(f)
+        .map_err(|e| CoaneError::parse(e.to_string()).with_parse_context(path, None))?;
+    g.try_validate().map_err(|msg| CoaneError::graph(format!("{}: {msg}", path.display())))?;
     Ok(g)
 }
 
 /// Writes a whitespace-separated edge list, one `u v w` triple per line.
-pub fn save_edge_list(g: &AttributedGraph, path: &Path) -> io::Result<()> {
-    let mut f = BufWriter::new(File::create(path)?);
+pub fn save_edge_list(g: &AttributedGraph, path: &Path) -> CoaneResult<()> {
+    let mut f = BufWriter::new(File::create(path).map_err(|e| CoaneError::io(path, e))?);
     for (u, v, w) in g.edges() {
-        writeln!(f, "{u} {v} {w}")?;
+        writeln!(f, "{u} {v} {w}").map_err(|e| CoaneError::io(path, e))?;
     }
     Ok(())
 }
 
-/// One parsed `.content` row: `(external id, sparse attrs, label name)`.
-pub type ContentRow = (String, Vec<(u32, f32)>, String);
+/// Loads a whitespace-separated edge list (`u v` or `u v w` per line; blank
+/// lines skipped; self-loops and duplicate edges merged away by the builder).
+///
+/// When `num_nodes` is given, any id `>= num_nodes` is an out-of-range
+/// [`CoaneError::Parse`] carrying the offending line. When `None`, the node
+/// count is `max id + 1`, capped at [`MAX_EDGE_LIST_NODE_ID`] so corrupt
+/// lines cannot trigger runaway allocations. The resulting graph carries
+/// identity attributes (structure-only datasets).
+pub fn load_edge_list(path: &Path, num_nodes: Option<usize>) -> CoaneResult<AttributedGraph> {
+    let reader = BufReader::new(File::open(path).map_err(|e| CoaneError::io(path, e))?);
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx as u64 + 1;
+        let line = line.map_err(|e| CoaneError::io(path, e))?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.is_empty() {
+            continue;
+        }
+        if toks.len() != 2 && toks.len() != 3 {
+            return Err(CoaneError::parse_at(
+                path,
+                lineno,
+                format!("expected `u v [w]`, found {} tokens", toks.len()),
+            ));
+        }
+        let parse_id = |tok: &str| -> CoaneResult<u32> {
+            let id: u32 = tok.parse().map_err(|e| {
+                CoaneError::parse_at(path, lineno, format!("bad node id {tok:?}: {e}"))
+            })?;
+            if id > MAX_EDGE_LIST_NODE_ID {
+                return Err(CoaneError::parse_at(
+                    path,
+                    lineno,
+                    format!("node id {id} exceeds the edge-list limit {MAX_EDGE_LIST_NODE_ID}"),
+                ));
+            }
+            if let Some(n) = num_nodes {
+                if id as usize >= n {
+                    return Err(CoaneError::parse_at(
+                        path,
+                        lineno,
+                        format!("node id {id} out of range (graph has {n} nodes)"),
+                    ));
+                }
+            }
+            Ok(id)
+        };
+        let u = parse_id(toks[0])?;
+        let v = parse_id(toks[1])?;
+        let w: f32 = match toks.get(2) {
+            Some(tok) => tok.parse().map_err(|e| {
+                CoaneError::parse_at(path, lineno, format!("bad edge weight {tok:?}: {e}"))
+            })?,
+            None => 1.0,
+        };
+        if !w.is_finite() || w <= 0.0 {
+            return Err(CoaneError::parse_at(
+                path,
+                lineno,
+                format!("edge weight {w} must be finite and > 0"),
+            ));
+        }
+        max_id = max_id.max(u).max(v);
+        if u != v {
+            edges.push((u, v, w));
+        }
+    }
+    let n = num_nodes.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let mut b = GraphBuilder::new(n, n);
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// One parsed `.content` row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContentRow {
+    /// 1-based line number in the source file (propagated into errors).
+    pub line: u64,
+    /// The external (string) node id.
+    pub id: String,
+    /// Sparse attribute vector: `(index, value)` for every non-zero token.
+    pub attrs: Vec<(u32, f32)>,
+    /// Dense attribute-token count of this row — all rows of a file must
+    /// agree on it (checked by [`load_linqs`]).
+    pub num_attrs: usize,
+    /// The class-label token (last token of the row).
+    pub label: String,
+}
 
 /// Parses a LINQS-style `.content` file: each line is
-/// `node_id <d binary attr values> label`. Returns one [`ContentRow`] per
-/// input line.
-pub fn parse_content_lines<B: BufRead>(reader: B) -> io::Result<Vec<ContentRow>> {
+/// `node_id <d attr values> label`. Blank lines are skipped. Malformed rows
+/// (no label token, unparsable or non-finite attribute values) return
+/// [`CoaneError::Parse`] carrying the 1-based line number.
+pub fn parse_content_lines<B: BufRead>(reader: B) -> CoaneResult<Vec<ContentRow>> {
     let mut out = Vec::new();
-    for line in reader.lines() {
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx as u64 + 1;
         let line = line?;
         let mut toks = line.split_whitespace();
         let Some(id) = toks.next() else { continue };
         let rest: Vec<&str> = toks.collect();
         if rest.is_empty() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("content row for {id} has no label"),
-            ));
+            return Err(CoaneError::Parse {
+                file: None,
+                line: Some(lineno),
+                message: format!("content row for {id:?} has no label token"),
+            });
         }
         let label = rest[rest.len() - 1].to_string();
+        let num_attrs = rest.len() - 1;
         let mut attrs = Vec::new();
-        for (i, tok) in rest[..rest.len() - 1].iter().enumerate() {
-            let v: f32 = tok.parse().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad attr value: {e}"))
+        for (i, tok) in rest[..num_attrs].iter().enumerate() {
+            let v: f32 = tok.parse().map_err(|e| CoaneError::Parse {
+                file: None,
+                line: Some(lineno),
+                message: format!("bad attribute value {tok:?}: {e}"),
             })?;
+            if !v.is_finite() {
+                return Err(CoaneError::Parse {
+                    file: None,
+                    line: Some(lineno),
+                    message: format!("non-finite attribute value {tok:?}"),
+                });
+            }
             if v != 0.0 {
                 attrs.push((i as u32, v));
             }
         }
-        out.push((id.to_string(), attrs, label));
+        out.push(ContentRow { line: lineno, id: id.to_string(), attrs, num_attrs, label });
     }
     Ok(out)
 }
 
-/// Loads a LINQS-style dataset from a `.content` attribute file and a `.cites`
-/// edge-list file (whitespace separated external-id pairs). Edges that
-/// reference unknown node ids are skipped, matching the common preprocessing
-/// of these datasets.
-pub fn load_linqs(content_path: &Path, cites_path: &Path) -> io::Result<AttributedGraph> {
-    use std::collections::HashMap;
-    let rows = parse_content_lines(BufReader::new(File::open(content_path)?))?;
-    if rows.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty content file"));
+/// Parses a LINQS-style `.cites` file: one `citing cited` external-id pair
+/// per line. Blank lines are skipped; any other token count is a
+/// [`CoaneError::Parse`] carrying the 1-based line number.
+pub fn parse_cites_lines<B: BufRead>(reader: B) -> CoaneResult<Vec<(u64, String, String)>> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx as u64 + 1;
+        let line = line?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.as_slice() {
+            [] => continue,
+            [a, b] => out.push((lineno, a.to_string(), b.to_string())),
+            _ => {
+                return Err(CoaneError::Parse {
+                    file: None,
+                    line: Some(lineno),
+                    message: format!("expected `citing cited`, found {} tokens", toks.len()),
+                })
+            }
+        }
     }
-    let dim = {
-        // All rows must agree on dimensionality: track the max index + 1 from
-        // a dense format, which is the token count of the first row.
-        let first = BufReader::new(File::open(content_path)?)
-            .lines()
-            .next()
-            .transpose()?
-            .unwrap_or_default();
-        first.split_whitespace().count().saturating_sub(2)
-    };
+    Ok(out)
+}
+
+/// Loads a LINQS-style dataset from a `.content` attribute file and a
+/// `.cites` edge-list file. Edges that reference unknown node ids are
+/// skipped (matching the common preprocessing of these datasets), as are
+/// self-citations. Duplicate node ids and rows whose attribute count
+/// disagrees with the first row are parse errors with line numbers.
+pub fn load_linqs(content_path: &Path, cites_path: &Path) -> CoaneResult<AttributedGraph> {
+    let rows = parse_content_lines(BufReader::new(
+        File::open(content_path).map_err(|e| CoaneError::io(content_path, e))?,
+    ))
+    .map_err(|e| e.with_parse_context(content_path, None))?;
+    if rows.is_empty() {
+        return Err(CoaneError::parse("empty content file").with_parse_context(content_path, None));
+    }
+    let dim = rows[0].num_attrs;
     let mut id_map: HashMap<String, NodeId> = HashMap::with_capacity(rows.len());
     let mut label_map: HashMap<String, u32> = HashMap::new();
     let mut attrs = Vec::with_capacity(rows.len());
     let mut labels = Vec::with_capacity(rows.len());
-    for (ext, a, lab) in rows {
+    for row in rows {
+        if row.num_attrs != dim {
+            return Err(CoaneError::parse_at(
+                content_path,
+                row.line,
+                format!("row has {} attribute values, first row has {dim}", row.num_attrs),
+            ));
+        }
         let next = id_map.len() as NodeId;
-        id_map.entry(ext).or_insert(next);
-        attrs.push(a);
+        if id_map.insert(row.id.clone(), next).is_some() {
+            return Err(CoaneError::parse_at(
+                content_path,
+                row.line,
+                format!("duplicate node id {:?}", row.id),
+            ));
+        }
+        attrs.push(row.attrs);
         let next_label = label_map.len() as u32;
-        labels.push(*label_map.entry(lab).or_insert(next_label));
+        labels.push(*label_map.entry(row.label).or_insert(next_label));
     }
     let n = id_map.len();
     let mut b = GraphBuilder::new(n, dim);
-    for line in BufReader::new(File::open(cites_path)?).lines() {
-        let line = line?;
-        let mut toks = line.split_whitespace();
-        if let (Some(a), Some(bn)) = (toks.next(), toks.next()) {
-            if let (Some(&u), Some(&v)) = (id_map.get(a), id_map.get(bn)) {
-                if u != v {
-                    b.add_edge(u, v, 1.0);
-                }
+    let pairs = parse_cites_lines(BufReader::new(
+        File::open(cites_path).map_err(|e| CoaneError::io(cites_path, e))?,
+    ))
+    .map_err(|e| e.with_parse_context(cites_path, None))?;
+    for (_, a, bn) in pairs {
+        if let (Some(&u), Some(&v)) = (id_map.get(&a), id_map.get(&bn)) {
+            if u != v {
+                b.add_edge(u, v, 1.0);
             }
         }
     }
@@ -131,12 +283,16 @@ mod tests {
         .build()
     }
 
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn json_roundtrip() {
         let g = tiny();
-        let dir = std::env::temp_dir().join("coane_graph_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("g.json");
+        let path = tmp_dir("coane_graph_io_test").join("g.json");
         save_json(&g, &path).unwrap();
         let g2 = load_json(&path).unwrap();
         assert_eq!(g2.num_nodes(), 3);
@@ -147,15 +303,60 @@ mod tests {
     }
 
     #[test]
-    fn edge_list_written() {
+    fn corrupt_json_is_error_not_panic() {
+        let dir = tmp_dir("coane_graph_io_corrupt");
+        // Syntactically invalid JSON.
+        let p1 = dir.join("syntax.json");
+        std::fs::write(&p1, "{\"n\": 3, ").unwrap();
+        assert!(matches!(load_json(&p1), Err(CoaneError::Parse { .. })));
+        // Structurally invalid: asymmetric adjacency with an out-of-range id.
+        let p2 = dir.join("structure.json");
         let g = tiny();
-        let dir = std::env::temp_dir().join("coane_graph_io_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        save_json(&g, &p2).unwrap();
+        let text = std::fs::read_to_string(&p2).unwrap();
+        // Corrupt a neighbor id far out of range (the adjacency [1,0,2,1] is
+        // the only place this array appears in the serialized form).
+        let corrupted = text.replacen("[1,0,2,1]", "[1,0,2,99]", 1);
+        assert_ne!(text, corrupted, "fixture drifted: neighbor array not found");
+        std::fs::write(&p2, &corrupted).unwrap();
+        match load_json(&p2) {
+            Err(CoaneError::Graph { .. }) | Err(CoaneError::Parse { .. }) => {}
+            other => panic!("expected graph/parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip_and_errors() {
+        let g = tiny();
+        let dir = tmp_dir("coane_graph_io_test");
         let path = dir.join("g.edges");
         save_edge_list(&g, &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("0 1 1"));
         assert!(text.contains("1 2 2"));
+        let g2 = load_edge_list(&path, Some(3)).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+        assert_eq!(g2.edge_weight(1, 2), Some(2.0));
+
+        // Out-of-range id with an explicit node count.
+        let bad = dir.join("bad.edges");
+        std::fs::write(&bad, "0 1\n0 7\n").unwrap();
+        let err = load_edge_list(&bad, Some(3)).unwrap_err();
+        assert_eq!(err.parse_line(), Some(2), "{err}");
+
+        // Unparsable id, bad token count, bad weight.
+        std::fs::write(&bad, "0 x\n").unwrap();
+        assert_eq!(load_edge_list(&bad, None).unwrap_err().parse_line(), Some(1));
+        std::fs::write(&bad, "0 1 2 3\n").unwrap();
+        assert_eq!(load_edge_list(&bad, None).unwrap_err().parse_line(), Some(1));
+        std::fs::write(&bad, "0 1 -2.0\n").unwrap();
+        assert_eq!(load_edge_list(&bad, None).unwrap_err().parse_line(), Some(1));
+        std::fs::write(&bad, "0 1 NaN\n").unwrap();
+        assert_eq!(load_edge_list(&bad, None).unwrap_err().parse_line(), Some(1));
+
+        // Giant id without an explicit node count must not allocate.
+        std::fs::write(&bad, format!("0 {}\n", u32::MAX)).unwrap();
+        assert!(load_edge_list(&bad, None).is_err());
     }
 
     #[test]
@@ -163,16 +364,35 @@ mod tests {
         let data = "p1 1 0 1 genetics\np2 0 0 0 theory\n";
         let rows = parse_content_lines(data.as_bytes()).unwrap();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].0, "p1");
-        assert_eq!(rows[0].1, vec![(0, 1.0), (2, 1.0)]);
-        assert_eq!(rows[0].2, "genetics");
-        assert!(rows[1].1.is_empty());
+        assert_eq!(rows[0].id, "p1");
+        assert_eq!(rows[0].attrs, vec![(0, 1.0), (2, 1.0)]);
+        assert_eq!(rows[0].label, "genetics");
+        assert_eq!(rows[0].line, 1);
+        assert_eq!(rows[1].line, 2);
+        assert!(rows[1].attrs.is_empty());
+    }
+
+    #[test]
+    fn content_errors_carry_line_numbers() {
+        assert_eq!(parse_content_lines("p1\n".as_bytes()).unwrap_err().parse_line(), Some(1));
+        let data = "ok 1 0 L\nbad 1 x L\n";
+        assert_eq!(parse_content_lines(data.as_bytes()).unwrap_err().parse_line(), Some(2));
+        let data = "ok 1 0 L\n\nbad 1 NaN L\n";
+        assert_eq!(parse_content_lines(data.as_bytes()).unwrap_err().parse_line(), Some(3));
+    }
+
+    #[test]
+    fn cites_errors_carry_line_numbers() {
+        let ok = parse_cites_lines("a b\n\nc d\n".as_bytes()).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[1], (3, "c".to_string(), "d".to_string()));
+        assert_eq!(parse_cites_lines("a b\nonly\n".as_bytes()).unwrap_err().parse_line(), Some(2));
+        assert_eq!(parse_cites_lines("a b c\n".as_bytes()).unwrap_err().parse_line(), Some(1));
     }
 
     #[test]
     fn loads_linqs_pair() {
-        let dir = std::env::temp_dir().join("coane_graph_linqs_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("coane_graph_linqs_test");
         let content = dir.join("x.content");
         let cites = dir.join("x.cites");
         std::fs::write(&content, "a 1 0 L1\nb 0 1 L2\nc 1 1 L1\n").unwrap();
@@ -185,8 +405,24 @@ mod tests {
     }
 
     #[test]
+    fn linqs_rejects_duplicates_and_ragged_rows() {
+        let dir = tmp_dir("coane_graph_linqs_test");
+        let cites = dir.join("ok.cites");
+        std::fs::write(&cites, "a b\n").unwrap();
+
+        let content = dir.join("dup.content");
+        std::fs::write(&content, "a 1 0 L1\nb 0 1 L2\na 1 1 L1\n").unwrap();
+        let err = load_linqs(&content, &cites).unwrap_err();
+        assert_eq!(err.parse_line(), Some(3), "{err}");
+
+        let content = dir.join("ragged.content");
+        std::fs::write(&content, "a 1 0 L1\nb 0 1 1 L2\n").unwrap();
+        let err = load_linqs(&content, &cites).unwrap_err();
+        assert_eq!(err.parse_line(), Some(2), "{err}");
+    }
+
+    #[test]
     fn rejects_row_without_label() {
-        let data = "p1\n";
-        assert!(parse_content_lines(data.as_bytes()).is_err());
+        assert!(parse_content_lines("p1\n".as_bytes()).is_err());
     }
 }

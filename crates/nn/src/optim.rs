@@ -93,6 +93,42 @@ impl Params {
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Matrix::len).sum()
     }
+
+    /// Clones every parameter value in insertion order (for snapshots and
+    /// checkpoints).
+    pub fn export_values(&self) -> Vec<Matrix> {
+        self.values.clone()
+    }
+
+    /// Overwrites every parameter value from `values` (insertion order).
+    /// Returns a description of the first count/shape mismatch instead of
+    /// panicking, so persistence layers can surface typed errors.
+    pub fn import_values(&mut self, values: Vec<Matrix>) -> Result<(), String> {
+        if values.len() != self.values.len() {
+            return Err(format!(
+                "parameter count mismatch: store has {}, import has {}",
+                self.values.len(),
+                values.len()
+            ));
+        }
+        for (i, v) in values.iter().enumerate() {
+            if v.shape() != self.values[i].shape() {
+                return Err(format!(
+                    "parameter '{}' shape mismatch: store has {:?}, import has {:?}",
+                    self.names[i],
+                    self.values[i].shape(),
+                    v.shape()
+                ));
+            }
+        }
+        self.values = values;
+        Ok(())
+    }
+
+    /// Whether every scalar in every parameter is finite.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|m| m.as_slice().iter().all(|x| x.is_finite()))
+    }
 }
 
 /// Plain stochastic gradient descent.
@@ -116,7 +152,10 @@ impl Sgd {
     }
 }
 
-/// Adam optimizer (Kingma & Ba, 2015).
+/// Adam optimizer (Kingma & Ba, 2015). `Clone` snapshots the full optimizer
+/// state (moments + step counter), which the trainer's non-finite-loss
+/// recovery uses to roll back to the last healthy epoch.
+#[derive(Clone)]
 pub struct Adam {
     /// Learning rate (paper default 1e-3).
     pub lr: f32,
@@ -164,6 +203,30 @@ impl Adam {
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Exports `(lr, step count, first moments, second moments)` for
+    /// checkpointing. Moment vectors are empty before the first step.
+    pub fn export_state(&self) -> (f32, u64, &[Matrix], &[Matrix]) {
+        (self.lr, self.t, &self.m, &self.v)
+    }
+
+    /// Rebuilds an optimizer mid-stream from exported state. `m` and `v`
+    /// must have equal lengths (both empty is the pre-first-step state).
+    pub fn import_state(lr: f32, t: u64, m: Vec<Matrix>, v: Vec<Matrix>) -> Result<Self, String> {
+        if m.len() != v.len() {
+            return Err(format!("moment buffer count mismatch: {} vs {}", m.len(), v.len()));
+        }
+        for (a, b) in m.iter().zip(&v) {
+            if a.shape() != b.shape() {
+                return Err(format!(
+                    "moment shape mismatch: m is {:?}, v is {:?}",
+                    a.shape(),
+                    b.shape()
+                ));
+            }
+        }
+        Ok(Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t, m, v })
     }
 }
 
@@ -233,6 +296,49 @@ mod tests {
         assert_eq!(p.get(b).item(), 5.0);
         let names: Vec<&str> = p.iter().map(|(_, n, _)| n).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_continues_identically() {
+        // Two optimizers, one cloned via export/import mid-run, must produce
+        // bit-identical parameter trajectories afterwards.
+        let mut p1 = Params::new();
+        p1.add("x", Matrix::from_vec(1, 2, vec![1.0, -2.0]));
+        let mut p2 = Params::new();
+        p2.add("x", Matrix::from_vec(1, 2, vec![1.0, -2.0]));
+        let mut a1 = Adam::new(0.05);
+        let g = Matrix::from_vec(1, 2, vec![0.3, -0.7]);
+        for _ in 0..5 {
+            a1.step(&mut p1, std::slice::from_ref(&g));
+        }
+        let (lr, t, m, v) = a1.export_state();
+        let mut a2 = Adam::import_state(lr, t, m.to_vec(), v.to_vec()).unwrap();
+        // Bring p2 to the same point, then continue both.
+        p2.import_values(p1.export_values()).unwrap();
+        for _ in 0..5 {
+            a1.step(&mut p1, std::slice::from_ref(&g));
+            a2.step(&mut p2, std::slice::from_ref(&g));
+        }
+        assert_eq!(p1.export_values(), p2.export_values());
+    }
+
+    #[test]
+    fn params_import_rejects_mismatches() {
+        let mut p = Params::new();
+        p.add("a", Matrix::zeros(2, 3));
+        assert!(p.import_values(vec![]).is_err());
+        assert!(p.import_values(vec![Matrix::zeros(3, 2)]).unwrap_err().contains("shape"));
+        assert!(p.import_values(vec![Matrix::zeros(2, 3)]).is_ok());
+        assert!(p.all_finite());
+        p.get_mut(ParamId(0)).as_mut_slice()[0] = f32::NAN;
+        assert!(!p.all_finite());
+    }
+
+    #[test]
+    fn adam_import_rejects_mismatched_moments() {
+        assert!(Adam::import_state(0.1, 3, vec![Matrix::zeros(1, 1)], vec![]).is_err());
+        assert!(Adam::import_state(0.1, 3, vec![Matrix::zeros(1, 1)], vec![Matrix::zeros(2, 1)])
+            .is_err());
     }
 
     #[test]

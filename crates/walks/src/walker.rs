@@ -13,8 +13,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// One random-walk node sequence. A walk from an isolated node contains just
-/// the start; a walk may be shorter than `l` only when it hits a node with
-/// no outgoing edges.
+/// the start; a walk may be shorter than `l` only when it hits a dead end —
+/// a node with no outgoing edges, or whose outgoing weights sum to zero or
+/// a non-finite value (degenerate inputs that would otherwise make the
+/// transition distribution undefined).
 pub type Walk = Vec<NodeId>;
 
 /// Walk-generation parameters.
@@ -101,37 +103,43 @@ impl<'g> Walker<'g> {
         let unbiased = self.config.p == 1.0 && self.config.q == 1.0;
         while walk.len() < l {
             let cur = *walk.last().unwrap();
-            if self.graph.degree(cur) == 0 {
-                break;
-            }
             let next = if unbiased || walk.len() < 2 {
                 self.step_weighted(cur, rng)
             } else {
                 self.step_node2vec(walk[walk.len() - 2], cur, rng)
             };
-            walk.push(next);
+            match next {
+                Some(u) => walk.push(u),
+                None => break, // dead end: isolated node or degenerate weights
+            }
         }
         walk
     }
 
-    /// First-order weighted step: `p(next = u) ∝ E_{cur,u}`.
-    fn step_weighted<R: Rng>(&self, cur: NodeId, rng: &mut R) -> NodeId {
+    /// First-order weighted step: `p(next = u) ∝ E_{cur,u}`. Returns `None`
+    /// when `cur` is a dead end — no neighbours, or a total outgoing weight
+    /// that is zero or non-finite (sampling would be undefined).
+    fn step_weighted<R: Rng>(&self, cur: NodeId, rng: &mut R) -> Option<NodeId> {
         let nbrs = self.graph.neighbors_of(cur);
         let wts = self.graph.weights_of(cur);
         let total: f32 = wts.iter().sum();
+        if nbrs.is_empty() || !total.is_finite() || total <= 0.0 {
+            return None;
+        }
         let mut x = rng.gen_range(0.0..total);
         for (&u, &w) in nbrs.iter().zip(wts) {
             if x < w {
-                return u;
+                return Some(u);
             }
             x -= w;
         }
-        *nbrs.last().unwrap()
+        nbrs.last().copied()
     }
 
     /// node2vec second-order step with unnormalized weights
     /// `w/p` (return), `w` (distance-1 from prev), `w/q` (distance-2).
-    fn step_node2vec<R: Rng>(&self, prev: NodeId, cur: NodeId, rng: &mut R) -> NodeId {
+    /// Returns `None` on a dead end, like [`Walker::step_weighted`].
+    fn step_node2vec<R: Rng>(&self, prev: NodeId, cur: NodeId, rng: &mut R) -> Option<NodeId> {
         let nbrs = self.graph.neighbors_of(cur);
         let wts = self.graph.weights_of(cur);
         let (p, q) = (self.config.p, self.config.q);
@@ -148,9 +156,12 @@ impl<'g> Walker<'g> {
             total += bias;
             cumulative.push(total);
         }
+        if nbrs.is_empty() || !total.is_finite() || total <= 0.0 {
+            return None;
+        }
         let x = rng.gen_range(0.0..total);
         let idx = cumulative.partition_point(|&c| c <= x);
-        nbrs[idx.min(nbrs.len() - 1)]
+        nbrs.get(idx.min(nbrs.len() - 1)).copied()
     }
 }
 
@@ -224,7 +235,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut to1 = 0usize;
         for _ in 0..5000 {
-            if walker.step_weighted(0, &mut rng) == 1 {
+            if walker.step_weighted(0, &mut rng) == Some(1) {
                 to1 += 1;
             }
         }
@@ -254,7 +265,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut returns = 0usize;
         for _ in 0..2000 {
-            if walker.step_node2vec(0, 1, &mut rng) == 0 {
+            if walker.step_node2vec(0, 1, &mut rng) == Some(0) {
                 returns += 1;
             }
         }
@@ -274,11 +285,70 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut explore = 0usize;
         for _ in 0..2000 {
-            if walker.step_node2vec(0, 1, &mut rng) == 3 {
+            if walker.step_node2vec(0, 1, &mut rng) == Some(3) {
                 explore += 1;
             }
         }
         assert!(explore < 40, "distant steps {explore}");
+    }
+
+    #[test]
+    fn empty_graph_yields_no_walks() {
+        let g = GraphBuilder::new(0, 0).with_attrs(NodeAttributes::identity(0)).build();
+        let walker = Walker::new(&g, WalkConfig::default());
+        assert!(walker.generate_all(1).is_empty());
+        assert!(walker.generate_all(4).is_empty());
+    }
+
+    #[test]
+    fn single_node_graph_walks_are_singletons() {
+        let g = GraphBuilder::new(1, 1).with_attrs(NodeAttributes::identity(1)).build();
+        let walker = Walker::new(&g, WalkConfig { walks_per_node: 3, ..Default::default() });
+        assert_eq!(walker.generate_all(1), vec![vec![0]; 3]);
+    }
+
+    #[test]
+    fn all_isolated_nodes_walk_without_panicking() {
+        let g = GraphBuilder::new(5, 5).with_attrs(NodeAttributes::identity(5)).build();
+        let walker = Walker::new(&g, WalkConfig::default());
+        let walks = walker.generate_all(2);
+        assert_eq!(walks.len(), 5);
+        for (i, w) in walks.iter().enumerate() {
+            assert_eq!(w, &vec![i as NodeId]);
+        }
+    }
+
+    #[test]
+    fn overflowing_weight_sum_ends_walk_instead_of_panicking() {
+        // Every edge weight is individually valid (finite, positive) yet
+        // their sum overflows to +inf — per-edge validation cannot catch
+        // this, and the old sampler handed the non-finite total straight to
+        // gen_range. The hardened step treats it as a dead end.
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 1, f32::MAX);
+        b.add_edge(0, 2, f32::MAX);
+        let g = b.with_attrs(NodeAttributes::identity(3)).build();
+        let walker = Walker::new(&g, WalkConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(walker.step_weighted(0, &mut rng), None);
+        assert_eq!(walker.walk_from(0, &mut rng), vec![0]);
+        // generate_all completes over the degenerate graph too.
+        for w in walker.generate_all(2) {
+            assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn node2vec_overflowing_bias_total_is_dead_end() {
+        // Path 0-1-2 with huge weights: from cur=1, prev=0, the in-out bias
+        // w/q with q=0.5 doubles f32::MAX into +inf.
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 1, f32::MAX);
+        b.add_edge(1, 2, f32::MAX);
+        let g = b.with_attrs(NodeAttributes::identity(3)).build();
+        let walker = Walker::new(&g, WalkConfig { p: 2.0, q: 0.5, ..Default::default() });
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(walker.step_node2vec(0, 1, &mut rng), None);
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! `coane-cli` — end-to-end command-line workflow:
 //!
 //! ```text
-//! # 1. get a graph (synthetic preset, or bring your own LINQS files)
+//! # 1. get a graph (synthetic preset, or bring your own LINQS/edge-list files)
 //! coane-cli generate --preset cora --scale 0.2 --seed 42 --out graph.json
 //! coane-cli convert  --content cora.content --cites cora.cites --out graph.json
+//! coane-cli convert  --edges graph.edges --out graph.json
 //!
 //! # 2. embed it (--threads is a pure speed knob: output is bit-identical)
 //! coane-cli embed --graph graph.json --method coane --dim 128 --epochs 10 \
 //!                 --threads 4 --out embedding.csv
+//!
+//! # 2b. long runs: checkpoint every epoch; re-running the same command after
+//! #     an interruption resumes from the newest valid checkpoint and yields
+//! #     bit-identical output to an uninterrupted run
+//! coane-cli embed --graph graph.json --method coane --out embedding.csv \
+//!                 --checkpoint-dir ckpts --checkpoint-every 1
 //!
 //! # 3. evaluate
 //! coane-cli evaluate --graph graph.json --embedding embedding.csv --task cluster
@@ -19,6 +26,10 @@
 //! coane-cli infer --model model.json --graph extended.json --nodes 300,301 \
 //!                 --out new_embeddings.csv
 //! ```
+//!
+//! Failures map to stable exit codes by error kind: 2 = invalid
+//! configuration/usage, 3 = I/O, 4 = parse, 5 = graph structure,
+//! 6 = numeric, 7 = checkpoint (see `CoaneError::exit_code`).
 //!
 //! (Link prediction needs the split to happen *before* embedding; use the
 //! `exp_linkpred` harness binary or the library API for that protocol.)
@@ -57,8 +68,8 @@ impl Cli {
         self.values.get(k).map(String::as_str)
     }
 
-    fn req(&self, k: &str) -> Result<&str, String> {
-        self.get(k).ok_or_else(|| format!("missing required flag --{k}"))
+    fn req(&self, k: &str) -> Result<&str, CoaneError> {
+        self.get(k).ok_or_else(|| CoaneError::config(format!("missing required flag --{k}")))
     }
 
     fn num<T: std::str::FromStr>(&self, k: &str, default: T) -> T {
@@ -70,7 +81,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         eprintln!("usage: coane-cli <generate|convert|embed|infer|evaluate> [flags]");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let cli = Cli::parse(&args[1..]);
     let result = match command.as_str() {
@@ -79,54 +90,61 @@ fn main() -> ExitCode {
         "embed" => cmd_embed(&cli),
         "infer" => cmd_infer(&cli),
         "evaluate" => cmd_evaluate(&cli),
-        other => Err(format!("unknown command: {other}")),
+        other => Err(CoaneError::config(format!("unknown command: {other}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn cmd_generate(cli: &Cli) -> Result<(), String> {
+fn print_graph_summary(out: &str, graph: &AttributedGraph) {
+    println!(
+        "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.attr_dim(),
+        graph.num_labels()
+    );
+}
+
+fn cmd_generate(cli: &Cli) -> Result<(), CoaneError> {
     let preset = Preset::parse(cli.req("preset")?).ok_or_else(|| {
-        "unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr)".to_string()
+        CoaneError::config("unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr)")
     })?;
     let scale: f64 = cli.num("scale", 1.0);
     let seed: u64 = cli.num("seed", 42);
     let out = cli.req("out")?;
     let (graph, _) = preset.generate_scaled(scale, seed);
-    gio::save_json(&graph, Path::new(out)).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.attr_dim(),
-        graph.num_labels()
-    );
+    gio::save_json(&graph, Path::new(out))?;
+    print_graph_summary(out, &graph);
     Ok(())
 }
 
-fn cmd_convert(cli: &Cli) -> Result<(), String> {
-    let content = cli.req("content")?;
-    let cites = cli.req("cites")?;
+fn cmd_convert(cli: &Cli) -> Result<(), CoaneError> {
     let out = cli.req("out")?;
-    let graph = gio::load_linqs(Path::new(content), Path::new(cites)).map_err(|e| e.to_string())?;
-    gio::save_json(&graph, Path::new(out)).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.attr_dim(),
-        graph.num_labels()
-    );
+    let graph = if let Some(edges) = cli.get("edges") {
+        // Whitespace-separated `u v [w]` lines; `--nodes N` pins the node
+        // count (ids >= N are then rejected instead of growing the graph).
+        let num_nodes = cli.get("nodes").map(|v| v.parse::<usize>()).transpose().map_err(|e| {
+            CoaneError::config(format!("--nodes must be a non-negative integer: {e}"))
+        })?;
+        gio::load_edge_list(Path::new(edges), num_nodes)?
+    } else {
+        let content = cli.req("content")?;
+        let cites = cli.req("cites")?;
+        gio::load_linqs(Path::new(content), Path::new(cites))?
+    };
+    gio::save_json(&graph, Path::new(out))?;
+    print_graph_summary(out, &graph);
     Ok(())
 }
 
-fn cmd_embed(cli: &Cli) -> Result<(), String> {
-    let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
+fn cmd_embed(cli: &Cli) -> Result<(), CoaneError> {
+    let graph = gio::load_json(Path::new(cli.req("graph")?))?;
     let method = cli.get("method").unwrap_or("coane").to_lowercase();
     let dim: usize = cli.num("dim", 128);
     let epochs: usize = cli.num("epochs", 10);
@@ -139,10 +157,36 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
     let embedding = match method.as_str() {
         "coane" => {
             let cfg = CoaneConfig { embed_dim: dim, epochs, seed, threads, ..Default::default() };
-            let (z, model, _) = Coane::new(cfg.clone()).fit_with_model(&graph);
+            let trainer = Coane::try_new(cfg.clone())?;
+            let (z, model) = if let Some(ck_dir) = cli.get("checkpoint-dir") {
+                let ck = CheckpointConfig {
+                    every_epochs: cli.num("checkpoint-every", 1),
+                    ..CheckpointConfig::new(ck_dir)
+                };
+                let (z, model, stats) = trainer.fit_resumable_with_model(&graph, &ck)?;
+                if let Some(e) = stats.resumed_from_epoch {
+                    println!("resumed from checkpoint at epoch {e}");
+                }
+                if stats.recoveries > 0 {
+                    println!(
+                        "recovered from non-finite loss {} time(s); final lr {:e}",
+                        stats.recoveries, stats.final_lr
+                    );
+                }
+                println!("wrote {} checkpoint(s) to {ck_dir}", stats.checkpoints_written);
+                (z, model)
+            } else {
+                let (z, model, stats) = trainer.try_fit_with_model(&graph)?;
+                if stats.recoveries > 0 {
+                    println!(
+                        "recovered from non-finite loss {} time(s); final lr {:e}",
+                        stats.recoveries, stats.final_lr
+                    );
+                }
+                (z, model)
+            };
             if let Some(model_path) = cli.get("save-model") {
-                coane::core::save_model(Path::new(model_path), &model, &cfg, graph.attr_dim())
-                    .map_err(|e| e.to_string())?;
+                coane::core::save_model(Path::new(model_path), &model, &cfg, graph.attr_dim())?;
                 println!("saved model to {model_path}");
             }
             z
@@ -173,10 +217,10 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
         "arga" => Arga { epochs: epochs * 10, dim, seed, ..Default::default() }.embed(&graph),
         "arvga" => Arga { variational: true, epochs: epochs * 10, dim, seed, ..Default::default() }
             .embed(&graph),
-        other => return Err(format!("unknown method: {other}")),
+        other => return Err(CoaneError::config(format!("unknown method: {other}"))),
     };
     eval::io::save_embedding_csv(Path::new(out), embedding.as_slice(), embedding.cols())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CoaneError::io(Path::new(out), e))?;
     println!(
         "wrote {out}: {}×{} embedding ({} via {method}, {:.1}s)",
         embedding.rows(),
@@ -187,40 +231,47 @@ fn cmd_embed(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_infer(cli: &Cli) -> Result<(), String> {
-    let (model, cfg) =
-        coane::core::load_model(Path::new(cli.req("model")?)).map_err(|e| e.to_string())?;
-    let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
+fn cmd_infer(cli: &Cli) -> Result<(), CoaneError> {
+    let (model, cfg) = coane::core::load_model(Path::new(cli.req("model")?))?;
+    let graph = gio::load_json(Path::new(cli.req("graph")?))?;
     let nodes: Vec<u32> = match cli.get("nodes") {
         Some(list) => list
             .split(',')
-            .map(|t| t.trim().parse::<u32>().map_err(|e| format!("bad node id: {e}")))
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .map_err(|e| CoaneError::config(format!("bad node id {t:?}: {e}")))
+            })
             .collect::<Result<_, _>>()?,
         None => (0..graph.num_nodes() as u32).collect(),
     };
     if let Some(&bad) = nodes.iter().find(|&&v| v as usize >= graph.num_nodes()) {
-        return Err(format!("node {bad} out of range (graph has {})", graph.num_nodes()));
+        return Err(CoaneError::graph(format!(
+            "node {bad} out of range (graph has {})",
+            graph.num_nodes()
+        )));
     }
     let out = cli.req("out")?;
     let z = coane::core::embed_nodes(&model, &cfg, &graph, &nodes);
     eval::io::save_embedding_csv(Path::new(out), z.as_slice(), z.cols())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CoaneError::io(Path::new(out), e))?;
     println!("wrote {out}: {} inductively embedded nodes × {}", z.rows(), z.cols());
     Ok(())
 }
 
-fn cmd_evaluate(cli: &Cli) -> Result<(), String> {
-    let graph = gio::load_json(Path::new(cli.req("graph")?)).map_err(|e| e.to_string())?;
-    let (embedding, dim) = eval::io::load_embedding_csv(Path::new(cli.req("embedding")?))
-        .map_err(|e| e.to_string())?;
+fn cmd_evaluate(cli: &Cli) -> Result<(), CoaneError> {
+    let graph = gio::load_json(Path::new(cli.req("graph")?))?;
+    let emb_path = cli.req("embedding")?;
+    let (embedding, dim) = eval::io::load_embedding_csv(Path::new(emb_path))
+        .map_err(|e| CoaneError::io(Path::new(emb_path), e))?;
     if embedding.len() != graph.num_nodes() * dim {
-        return Err(format!(
+        return Err(CoaneError::graph(format!(
             "embedding rows ({}) don't match graph nodes ({})",
             embedding.len() / dim,
             graph.num_nodes()
-        ));
+        )));
     }
-    let labels = graph.labels().ok_or("graph has no labels")?;
+    let labels = graph.labels().ok_or_else(|| CoaneError::graph("graph has no labels"))?;
     let seed: u64 = cli.num("seed", 42);
     match cli.req("task")? {
         "cluster" => {
@@ -241,7 +292,9 @@ fn cmd_evaluate(cli: &Cli) -> Result<(), String> {
                 scores.micro_f1
             );
         }
-        other => return Err(format!("unknown task: {other} (use cluster|classify)")),
+        other => {
+            return Err(CoaneError::config(format!("unknown task: {other} (use cluster|classify)")))
+        }
     }
     Ok(())
 }

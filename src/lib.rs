@@ -47,7 +47,10 @@ pub mod prelude {
     pub use coane_baselines::{
         Anrl, Arga, Asne, Dane, DeepWalk, Embedder, Gae, GaeKind, GraphSage, Line, Node2Vec, Stne,
     };
-    pub use coane_core::{Ablation, Coane, CoaneConfig, ContextSource, EncoderKind};
+    pub use coane_core::{
+        Ablation, CheckpointConfig, Coane, CoaneConfig, CoaneError, CoaneResult, ContextSource,
+        EncoderKind,
+    };
     pub use coane_datasets::{social_circle_graph, Preset, SocialCircleConfig};
     pub use coane_eval::{classify_nodes, link_prediction_auc, nmi_clustering, tsne, TsneConfig};
     pub use coane_graph::{AttributedGraph, EdgeSplit, GraphBuilder, NodeAttributes, SplitConfig};

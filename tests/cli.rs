@@ -78,6 +78,91 @@ fn missing_flag_reports_error() {
 }
 
 #[test]
+fn exit_codes_match_the_error_taxonomy() {
+    let dir = tmpdir();
+
+    // 2 = configuration / usage errors.
+    let out = cli().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no command should exit 2");
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown command should exit 2");
+    let out = cli().args(["generate", "--preset", "cora"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing --out should exit 2");
+
+    // 3 = I/O: input file does not exist.
+    let missing = dir.join("nope.json");
+    let out = cli()
+        .args(["embed", "--graph", missing.to_str().unwrap(), "--method", "coane"])
+        .args(["--out", dir.join("e.csv").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "missing graph file should exit 3");
+
+    // 4 = parse: file exists but is not a graph.
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, "{\"num_nodes\": oops").unwrap();
+    let out = cli()
+        .args(["embed", "--graph", corrupt.to_str().unwrap(), "--method", "coane"])
+        .args(["--out", dir.join("e.csv").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "corrupt graph JSON should exit 4");
+}
+
+#[test]
+fn checkpoint_resume_smoke_through_the_binary() {
+    let dir = tmpdir().join("ckpt_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.json");
+    let ck = dir.join("ckpts");
+    let embed = |epochs: &str, out: &PathBuf, ckpt: bool| {
+        let mut c = cli();
+        c.args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"]).args([
+            "--dim",
+            "8",
+            "--epochs",
+            epochs,
+            "--out",
+            out.to_str().unwrap(),
+        ]);
+        if ckpt {
+            c.args(["--checkpoint-dir", ck.to_str().unwrap(), "--checkpoint-every", "1"]);
+        }
+        c.output().unwrap()
+    };
+
+    assert!(cli()
+        .args(["generate", "--preset", "webkb-cornell", "--scale", "1.0", "--seed", "11"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // "Interrupted" run: 2 of 4 epochs, checkpointing each one.
+    let partial = dir.join("partial.csv");
+    let out = embed("2", &partial, true);
+    assert!(out.status.success(), "partial embed failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("checkpoint(s)"));
+
+    // Re-run asking for 4 epochs: must resume from the checkpoint...
+    let resumed = dir.join("resumed.csv");
+    let out = embed("4", &resumed, true);
+    assert!(out.status.success(), "resumed embed failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resumed from checkpoint at epoch 2"), "no resume notice: {stdout}");
+
+    // ...and produce byte-identical output to an uninterrupted 4-epoch run.
+    let direct = dir.join("direct.csv");
+    let out = embed("4", &direct, false);
+    assert!(out.status.success(), "direct embed failed: {}", String::from_utf8_lossy(&out.stderr));
+    let resumed_bytes = std::fs::read(&resumed).unwrap();
+    let direct_bytes = std::fs::read(&direct).unwrap();
+    assert!(!resumed_bytes.is_empty());
+    assert_eq!(resumed_bytes, direct_bytes, "resumed CSV differs from uninterrupted run");
+}
+
+#[test]
 fn bad_node_id_rejected_by_infer() {
     let dir = tmpdir();
     let graph = dir.join("g2.json");

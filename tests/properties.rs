@@ -172,3 +172,71 @@ proptest! {
         let _ = Matrix::zeros(1, 1);
     }
 }
+
+/// Strategy: arbitrary text built from a palette of benign and hostile
+/// characters — digits, signs, exponents, `NaN`/`inf` fragments, whitespace
+/// and separators. (The vendored proptest has no string strategies, so
+/// strings are assembled from generated bytes.)
+fn arb_parser_text() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        'a', 'b', 'z', 'N', 'n', 'f', 'i', 'e', 'E', '0', '1', '7', '9', '.', '-', '+', '_', ':',
+        ',', '"', ' ', ' ', '\t', '\n', '\n', '\r',
+    ];
+    proptest::collection::vec(any::<u8>(), 0..400)
+        .prop_map(|bytes| bytes.iter().map(|&b| PALETTE[b as usize % PALETTE.len()]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn content_parser_never_panics_and_errors_carry_line_numbers(text in arb_parser_text()) {
+        match coane::graph::io::parse_content_lines(text.as_bytes()) {
+            Ok(rows) => {
+                for row in rows {
+                    prop_assert!(row.line >= 1);
+                    prop_assert!(row.attrs.iter().all(|&(i, v)| {
+                        (i as usize) < row.num_attrs && v.is_finite() && v != 0.0
+                    }));
+                }
+            }
+            Err(e) => prop_assert!(
+                e.parse_line().is_some(),
+                "parse error without a line number: {}", e
+            ),
+        }
+    }
+
+    #[test]
+    fn cites_parser_never_panics_and_errors_carry_line_numbers(text in arb_parser_text()) {
+        match coane::graph::io::parse_cites_lines(text.as_bytes()) {
+            Ok(pairs) => {
+                for (line, citing, cited) in pairs {
+                    prop_assert!(line >= 1);
+                    prop_assert!(!citing.is_empty() && !cited.is_empty());
+                }
+            }
+            Err(e) => prop_assert!(
+                e.parse_line().is_some(),
+                "parse error without a line number: {}", e
+            ),
+        }
+    }
+
+    #[test]
+    fn parsers_survive_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        // Raw (possibly non-UTF-8) input: never panic; invalid UTF-8 is an
+        // Io error, everything else is a Parse error with a line number.
+        for result in [
+            coane::graph::io::parse_content_lines(&bytes[..]).map(|_| ()),
+            coane::graph::io::parse_cites_lines(&bytes[..]).map(|_| ()),
+        ] {
+            if let Err(e) = result {
+                prop_assert!(
+                    e.kind() == "io" || e.parse_line().is_some(),
+                    "unexpected error shape: {}", e
+                );
+            }
+        }
+    }
+}
