@@ -11,6 +11,7 @@
 //!    generator term `−log D(Z)` with the discriminator frozen.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_graph::split::sample_non_edges;
 use coane_graph::{AttributedGraph, NodeId};
@@ -76,17 +77,17 @@ impl Arga {
         tape: &mut Tape,
         vars: &[Var],
         enc: &Encoder,
-        x: &Rc<SparseMatrix>,
-        a: &Rc<SparseMatrix>,
+        x: &Arc<SparseMatrix>,
+        a: &Arc<SparseMatrix>,
     ) -> (Var, Option<Var>) {
-        let xw = tape.spmm(Rc::clone(x), vars[enc.w0]);
-        let h1 = tape.spmm(Rc::clone(a), xw);
+        let xw = tape.spmm(Arc::clone(x), vars[enc.w0]);
+        let h1 = tape.spmm(Arc::clone(a), xw);
         let h1 = tape.relu(h1);
         let hw = tape.matmul(h1, vars[enc.w1]);
-        let mu = tape.spmm(Rc::clone(a), hw);
+        let mu = tape.spmm(Arc::clone(a), hw);
         let logvar = enc.w_logvar.map(|wl| {
             let lw = tape.matmul(h1, vars[wl]);
-            tape.spmm(Rc::clone(a), lw)
+            tape.spmm(Arc::clone(a), lw)
         });
         (mu, logvar)
     }
@@ -104,8 +105,8 @@ impl Embedder for Arga {
     fn embed(&self, graph: &AttributedGraph) -> Matrix {
         let n = graph.num_nodes();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA46A);
-        let x = Rc::new(attrs_as_sparse(graph));
-        let a = Rc::new(norm_adj_as_sparse(graph));
+        let x = Arc::new(attrs_as_sparse(graph));
+        let a = Arc::new(norm_adj_as_sparse(graph));
         let d = graph.attr_dim();
 
         // Encoder parameters.

@@ -5,6 +5,7 @@
 //! negative sampling — preserving structural and attribute proximity jointly.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_graph::{AttributedGraph, NodeId};
 use coane_nn::layers::{Activation, Mlp};
@@ -61,7 +62,7 @@ impl Embedder for Asne {
         let n = graph.num_nodes();
         let d = graph.attr_dim();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA5E);
-        let x = Rc::new(attrs_as_sparse(graph));
+        let x = Arc::new(attrs_as_sparse(graph));
 
         let mut params = Params::new();
         let id_emb = params.add("id_emb", coane_nn::init::xavier_uniform(n, self.id_dim, &mut rng));
@@ -114,7 +115,7 @@ impl Embedder for Asne {
                 // Source representation: [id_emb(u) | X_u · W_attr] → MLP.
                 let src_rc = Rc::new(srcs);
                 let ids = tape.gather_rows(vars[id_emb.index()], Rc::clone(&src_rc));
-                let attr_all = tape.spmm(Rc::clone(&x), vars[w_attr.index()]);
+                let attr_all = tape.spmm(Arc::clone(&x), vars[w_attr.index()]);
                 let attrs = tape.gather_rows(attr_all, src_rc);
                 let h = tape.concat_cols(ids, attrs);
                 let zu = mlp.forward(&mut tape, &vars, h);
@@ -133,7 +134,7 @@ impl Embedder for Asne {
         let vars = params.attach(&mut tape);
         let all: Vec<u32> = (0..n as u32).collect();
         let ids = tape.gather_rows(vars[id_emb.index()], Rc::new(all.clone()));
-        let attr_all = tape.spmm(Rc::clone(&x), vars[w_attr.index()]);
+        let attr_all = tape.spmm(Arc::clone(&x), vars[w_attr.index()]);
         let attrs = tape.gather_rows(attr_all, Rc::new(all));
         let h = tape.concat_cols(ids, attrs);
         let z = mlp.forward(&mut tape, &vars, h);

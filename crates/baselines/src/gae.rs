@@ -5,6 +5,7 @@
 //! Gaussian reparameterization and the KL regularizer.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_graph::ops::normalized_adjacency;
 use coane_graph::split::sample_non_edges;
@@ -85,14 +86,14 @@ impl Gae {
         vars: &[Var],
         w0: usize,
         w1: usize,
-        x: &Rc<SparseMatrix>,
-        a: &Rc<SparseMatrix>,
+        x: &Arc<SparseMatrix>,
+        a: &Arc<SparseMatrix>,
     ) -> Var {
-        let xw = tape.spmm(Rc::clone(x), vars[w0]);
-        let h1 = tape.spmm(Rc::clone(a), xw);
+        let xw = tape.spmm(Arc::clone(x), vars[w0]);
+        let h1 = tape.spmm(Arc::clone(a), xw);
         let h1 = tape.relu(h1);
         let hw = tape.matmul(h1, vars[w1]);
-        tape.spmm(Rc::clone(a), hw)
+        tape.spmm(Arc::clone(a), hw)
     }
 }
 
@@ -107,8 +108,8 @@ impl Embedder for Gae {
     fn embed(&self, graph: &AttributedGraph) -> Matrix {
         let n = graph.num_nodes();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x6AE);
-        let x = Rc::new(attrs_as_sparse(graph));
-        let a = Rc::new(norm_adj_as_sparse(graph));
+        let x = Arc::new(attrs_as_sparse(graph));
+        let a = Arc::new(norm_adj_as_sparse(graph));
         let d = graph.attr_dim();
 
         let mut params = Params::new();
@@ -135,11 +136,11 @@ impl Embedder for Gae {
             let z = match (self.kind, w_logvar) {
                 (GaeKind::Variational, Some(wl)) => {
                     // logvar head shares the first layer.
-                    let xw = tape.spmm(Rc::clone(&x), vars[w0]);
-                    let h1 = tape.spmm(Rc::clone(&a), xw);
+                    let xw = tape.spmm(Arc::clone(&x), vars[w0]);
+                    let h1 = tape.spmm(Arc::clone(&a), xw);
                     let h1 = tape.relu(h1);
                     let hw = tape.matmul(h1, vars[wl]);
-                    let logvar = tape.spmm(Rc::clone(&a), hw);
+                    let logvar = tape.spmm(Arc::clone(&a), hw);
                     // z = μ + ε ⊙ exp(½ logvar)
                     let half_logvar = tape.scale(logvar, 0.5);
                     let std = tape.exp(half_logvar);

@@ -4,6 +4,7 @@
 //! (`−log σ(z_u·z_v) − Q·E[log σ(−z_u·z_neg)]`).
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_graph::{AttributedGraph, NodeId};
 use coane_nn::{Adam, Matrix, Params, SparseMatrix, Tape, Var};
@@ -66,15 +67,15 @@ impl GraphSage {
         &self,
         tape: &mut Tape,
         vars: &[Var],
-        x: &Rc<SparseMatrix>,
-        p: &Rc<SparseMatrix>,
+        x: &Arc<SparseMatrix>,
+        p: &Arc<SparseMatrix>,
     ) -> Var {
         // Layer 1: ReLU(P · X · W0); layer 2: P · H1 · W1.
-        let xw = tape.spmm(Rc::clone(x), vars[0]);
-        let h1 = tape.spmm(Rc::clone(p), xw);
+        let xw = tape.spmm(Arc::clone(x), vars[0]);
+        let h1 = tape.spmm(Arc::clone(p), xw);
         let h1 = tape.relu(h1);
         let hw = tape.matmul(h1, vars[1]);
-        tape.spmm(Rc::clone(p), hw)
+        tape.spmm(Arc::clone(p), hw)
     }
 }
 
@@ -86,8 +87,8 @@ impl Embedder for GraphSage {
     fn embed(&self, graph: &AttributedGraph) -> Matrix {
         let n = graph.num_nodes();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5A6E);
-        let x = Rc::new(attrs_as_sparse(graph));
-        let p = Rc::new(mean_aggregator(graph));
+        let x = Arc::new(attrs_as_sparse(graph));
+        let p = Arc::new(mean_aggregator(graph));
         let mut params = Params::new();
         params.add("w0", coane_nn::init::xavier_uniform(graph.attr_dim(), self.hidden, &mut rng));
         params.add("w1", coane_nn::init::xavier_uniform(self.hidden, self.dim, &mut rng));

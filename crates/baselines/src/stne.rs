@@ -11,6 +11,7 @@
 //! (the tape is just a DAG; unrolled steps are ordinary ops).
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_graph::{AttributedGraph, NodeId};
 use coane_nn::init::xavier_uniform;
@@ -138,7 +139,7 @@ impl Stne {
                 triplets.push((r, a as usize, x));
             }
         }
-        let sparse = Rc::new(SparseMatrix::from_triplets(step_nodes.len(), d, triplets));
+        let sparse = Arc::new(SparseMatrix::from_triplets(step_nodes.len(), d, triplets));
         t.spmm(sparse, vars[gp.w_in])
     }
 }

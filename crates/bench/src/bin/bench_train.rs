@@ -1,0 +1,359 @@
+//! End-to-end training epoch-time benchmark: the current trainer (context-row
+//! cache + batch prefetch + parallel no-grad renewal) against two references,
+//! at Cora scale with a fixed seed.
+//!
+//! 1. **Recorded pre-PR baseline** — the trainer as of commit `94abf82`
+//!    (triplet batch assembly every epoch, tape-based single-threaded
+//!    renewal, cloned gradients), measured on the reference container with
+//!    the same protocol. Those numbers are compiled in below; they cannot be
+//!    re-measured live because the old kernels no longer exist in-tree.
+//! 2. **Live legacy replica** — the pre-PR *pipeline structure* rebuilt from
+//!    public APIs on top of today's kernels. Sharing kernels isolates the
+//!    pipeline changes (cache/prefetch/no-grad renewal) from kernel
+//!    improvements, and lets the bench assert the new pipeline is
+//!    bit-identical to the old trajectory before timing anything.
+//!
+//! Protocol (matches how the baseline was captured): `epochs` epochs per
+//! thread count; epoch time = delta between successive `on_epoch` callbacks
+//! (so it includes renewal); the first delta — which also covers
+//! `prepare()` — is reported separately; the headline number is the minimum
+//! over the remaining epochs (minima are the robust estimator on the shared
+//! single-core container).
+//!
+//! Writes `BENCH_train.json` at the repository root. `--smoke` runs a tiny
+//! configuration, re-checks bit-identity, and validates the *committed* JSON
+//! against the constants compiled into this binary — CI fails if the file
+//! goes stale or malformed.
+
+use coane_core::loss::{attribute_loss, negative_loss, positive_loss, total_loss, LossContext};
+use coane_core::{Coane, CoaneConfig, CoaneModel, ContextSource};
+use coane_datasets::Preset;
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::init::xavier_uniform;
+use coane_nn::{pool, Adam, Matrix, Tape};
+use coane_walks::{
+    CoMatrices, ContextSet, ContextsConfig, ContextualNegativeSampler, PositivePairs, WalkConfig,
+    Walker,
+};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const PRESET: &str = "cora";
+const SCALE: f64 = 1.0;
+const SEED: u64 = 42;
+const EPOCHS: usize = 4;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Pre-PR trainer epoch times (ms), measured at commit `94abf82` on the
+/// reference container with the protocol above: minimum over epochs 2–4 of a
+/// 4-epoch Cora-scale run, per thread count.
+const BASELINE_COMMIT: &str = "94abf82";
+const BASELINE_MS: [(usize, f64); 3] = [(1, 831.8), (2, 820.2), (4, 878.6)];
+
+#[derive(Serialize, Deserialize)]
+struct ThreadRow {
+    threads: usize,
+    /// Current trainer: min epoch time after warmup (batches + renewal), ms.
+    epoch_ms: f64,
+    /// Current trainer: first on-epoch delta, including `prepare()`, ms.
+    first_epoch_ms: f64,
+    /// Live legacy-pipeline replica on today's kernels, ms (same protocol).
+    replica_epoch_ms: f64,
+    /// Recorded pre-PR trainer epoch time at `baseline_commit`, ms.
+    baseline_epoch_ms: f64,
+    /// `baseline_epoch_ms / epoch_ms` — end-to-end gain over the pre-PR
+    /// trainer (pipeline + kernel improvements).
+    speedup_vs_baseline: f64,
+    /// `replica_epoch_ms / epoch_ms` — pipeline-only gain (shared kernels).
+    speedup_vs_replica: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    preset: String,
+    scale: f64,
+    seed: u64,
+    epochs: usize,
+    baseline_commit: String,
+    baseline_note: String,
+    rows: Vec<ThreadRow>,
+    max_speedup_vs_baseline: f64,
+}
+
+fn config(threads: usize) -> CoaneConfig {
+    CoaneConfig { epochs: EPOCHS, threads, seed: SEED, ..Default::default() }
+}
+
+/// Runs the current trainer, returning (first delta, min later delta, z).
+fn time_current(graph: &AttributedGraph, cfg: &CoaneConfig) -> (f64, f64, Matrix) {
+    let trainer = Coane::new(cfg.clone());
+    let mut last = Instant::now();
+    let mut deltas: Vec<f64> = Vec::new();
+    let (z, _) = trainer.fit_detailed(graph, |_, _| {
+        deltas.push(last.elapsed().as_secs_f64() * 1e3);
+        last = Instant::now();
+    });
+    let min_later = deltas[1..].iter().copied().fold(f64::INFINITY, f64::min);
+    (deltas[0], min_later, z)
+}
+
+/// The pre-PR training pipeline, rebuilt on public APIs: per-batch triplet
+/// assembly, cloned gradients, and a sequential tape-based full-graph
+/// renewal — no context-row cache, no prefetch, no no-grad forward. Returns
+/// (min epoch ms after warmup, z) so callers can both time it and assert the
+/// current trainer reproduces its trajectory bit for bit.
+fn time_legacy_replica(graph: &AttributedGraph, cfg: &CoaneConfig) -> (f64, Matrix) {
+    assert!(matches!(cfg.context_source, ContextSource::RandomWalk));
+    pool::set_threads(cfg.threads);
+    let n = graph.num_nodes();
+
+    // prepare() — identical to the trainer's.
+    let walker = Walker::new(
+        graph,
+        WalkConfig {
+            walks_per_node: cfg.walks_per_node,
+            walk_length: cfg.walk_length,
+            p: 1.0,
+            q: 1.0,
+            seed: cfg.seed,
+        },
+    );
+    let walks = walker.generate_all(cfg.threads);
+    let contexts = ContextSet::build(
+        &walks,
+        n,
+        &ContextsConfig {
+            context_size: cfg.context_size,
+            subsample_t: cfg.subsample_t,
+            seed: cfg.seed ^ 0x51_7e,
+        },
+    );
+    let co = CoMatrices::build(&contexts, graph);
+    let k_p = contexts.max_count().max(1);
+    let pairs = PositivePairs::select(&co, k_p);
+    let sampler = ContextualNegativeSampler::new(&contexts);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0xC0A0E));
+    let mut model = CoaneModel::new(cfg, graph.attr_dim(), &mut rng);
+    let mut adam = Adam::new(cfg.learning_rate);
+    let mut z_cache = xavier_uniform(n, cfg.embed_dim, &mut rng);
+
+    let mut local_of: Vec<Option<u32>> = vec![None; n];
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut epoch_ms: Vec<f64> = Vec::new();
+    for _epoch in 0..cfg.epochs {
+        let started = Instant::now();
+        for (i, slot) in order.iter_mut().enumerate() {
+            *slot = i as NodeId;
+        }
+        order.shuffle(&mut rng);
+        for batch_nodes in order.chunks(cfg.batch_size) {
+            for (k, &v) in batch_nodes.iter().enumerate() {
+                local_of[v as usize] = Some(k as u32);
+            }
+            let batch =
+                coane_core::batch::ContextBatch::build(graph, &contexts, batch_nodes, cfg.encoder);
+            let negatives: Vec<Vec<NodeId>> = batch_nodes
+                .iter()
+                .map(|&v| {
+                    sampler.negatives(
+                        v,
+                        cfg.num_negatives,
+                        cfg.negative_mode,
+                        batch_nodes,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            let mut tape = Tape::new();
+            let vars = model.params.attach(&mut tape);
+            let z = model.encode(&mut tape, &vars, &batch);
+            let decoded = model.decode(&mut tape, &vars, z);
+            let ctx = LossContext { batch_nodes, local: &local_of, z_cache: &z_cache };
+            let l_pos = positive_loss(&mut tape, z, &ctx, cfg.ablation.positive, &pairs, &co);
+            let l_neg = negative_loss(
+                &mut tape,
+                z,
+                &ctx,
+                cfg.ablation.negative,
+                &negatives,
+                cfg.neg_strength,
+            );
+            let l_att = attribute_loss(&mut tape, decoded, &batch.x_target, cfg.gamma);
+            if let Some(loss) = total_loss(&mut tape, [l_pos, l_neg, l_att]) {
+                tape.backward(loss);
+                // Pre-PR gradient path: clone out of the tape.
+                let grads = model.params.collect_grads(&tape, &vars);
+                adam.step(&mut model.params, &grads);
+            }
+            let z_val = tape.value(z);
+            for (k, &v) in batch_nodes.iter().enumerate() {
+                z_cache.row_mut(v as usize).copy_from_slice(z_val.row(k));
+                local_of[v as usize] = None;
+            }
+        }
+        // Pre-PR renewal: sequential tape forward over the whole graph.
+        let all: Vec<NodeId> = (0..n as NodeId).collect();
+        for chunk in all.chunks(cfg.batch_size.max(64)) {
+            let batch =
+                coane_core::batch::ContextBatch::build(graph, &contexts, chunk, cfg.encoder);
+            let mut tape = Tape::new();
+            let vars = model.params.attach(&mut tape);
+            let z = model.encode(&mut tape, &vars, &batch);
+            let z_val = tape.value(z);
+            for (k, &v) in chunk.iter().enumerate() {
+                z_cache.row_mut(v as usize).copy_from_slice(z_val.row(k));
+            }
+        }
+        epoch_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let min_later = epoch_ms[1..].iter().copied().fold(f64::INFINITY, f64::min);
+    (min_later, z_cache)
+}
+
+fn json_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json")
+}
+
+fn run_full() {
+    let (graph, _) = Preset::Cora.generate_scaled(SCALE, SEED);
+    println!(
+        "bench_train: {} nodes, {} edges, {} attrs; epochs={EPOCHS}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.attr_dim()
+    );
+    let mut rows = Vec::new();
+    for (i, &threads) in THREADS.iter().enumerate() {
+        let cfg = config(threads);
+        let (replica_ms, z_replica) = time_legacy_replica(&graph, &cfg);
+        let (first_ms, epoch_ms, z) = time_current(&graph, &cfg);
+        assert_eq!(
+            z.as_slice(),
+            z_replica.as_slice(),
+            "current trainer diverged from the legacy-pipeline replica at {threads} threads"
+        );
+        let baseline_ms = BASELINE_MS[i].1;
+        assert_eq!(BASELINE_MS[i].0, threads);
+        let row = ThreadRow {
+            threads,
+            epoch_ms,
+            first_epoch_ms: first_ms,
+            replica_epoch_ms: replica_ms,
+            baseline_epoch_ms: baseline_ms,
+            speedup_vs_baseline: baseline_ms / epoch_ms,
+            speedup_vs_replica: replica_ms / epoch_ms,
+        };
+        println!(
+            "threads={threads}: epoch {:.1} ms (first {:.1} ms) | replica {:.1} ms ({:.2}x) | \
+             pre-PR {:.1} ms ({:.2}x)",
+            row.epoch_ms,
+            row.first_epoch_ms,
+            row.replica_epoch_ms,
+            row.speedup_vs_replica,
+            row.baseline_epoch_ms,
+            row.speedup_vs_baseline,
+        );
+        rows.push(row);
+    }
+    let max_speedup = rows.iter().map(|r| r.speedup_vs_baseline).fold(f64::NEG_INFINITY, f64::max);
+    let report = Report {
+        preset: PRESET.to_string(),
+        scale: SCALE,
+        seed: SEED,
+        epochs: EPOCHS,
+        baseline_commit: BASELINE_COMMIT.to_string(),
+        baseline_note: "pre-PR trainer measured on the reference container; min epoch time \
+                        (train + renew) over epochs 2-4 of a 4-epoch run"
+            .to_string(),
+        rows,
+        max_speedup_vs_baseline: max_speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(json_path(), format!("{json}\n")).expect("write BENCH_train.json");
+    println!("max speedup vs pre-PR trainer: {max_speedup:.2}x");
+    println!("wrote {}", json_path());
+}
+
+/// Smoke mode for CI: a fast bit-identity check plus validation of the
+/// committed `BENCH_train.json` against this binary's constants. Exits
+/// nonzero on any mismatch so a stale or hand-mangled file fails the build.
+fn run_smoke() {
+    let (graph, _) = Preset::Cora.generate_scaled(0.05, SEED);
+    let cfg = CoaneConfig { epochs: 2, threads: 2, seed: SEED, ..Default::default() };
+    let (_, z_replica) = time_legacy_replica(&graph, &cfg);
+    let (_, _, z) = time_current(&graph, &cfg);
+    assert_eq!(
+        z.as_slice(),
+        z_replica.as_slice(),
+        "smoke: current trainer diverged from the legacy-pipeline replica"
+    );
+    println!("smoke: pipeline bit-identity holds on {} nodes", graph.num_nodes());
+
+    let text = match std::fs::read_to_string(json_path()) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {}: {e}", json_path())),
+    };
+    let report: Report = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("malformed BENCH_train.json: {e}")),
+    };
+    if report.preset != PRESET
+        || report.scale != SCALE
+        || report.seed != SEED
+        || report.epochs != EPOCHS
+    {
+        fail("BENCH_train.json header does not match the bench constants (stale file?)");
+    }
+    if report.baseline_commit != BASELINE_COMMIT {
+        fail("BENCH_train.json baseline_commit does not match the compiled-in baseline");
+    }
+    let got: Vec<usize> = report.rows.iter().map(|r| r.threads).collect();
+    if got != THREADS {
+        fail(&format!("BENCH_train.json thread counts {got:?} != expected {THREADS:?}"));
+    }
+    let mut max_speedup = f64::NEG_INFINITY;
+    for (row, &(threads, baseline_ms)) in report.rows.iter().zip(&BASELINE_MS) {
+        let finite = [row.epoch_ms, row.first_epoch_ms, row.replica_epoch_ms]
+            .iter()
+            .all(|x| x.is_finite() && *x > 0.0);
+        if !finite {
+            fail(&format!("BENCH_train.json has non-positive timings at threads={threads}"));
+        }
+        if row.baseline_epoch_ms != baseline_ms {
+            fail(&format!(
+                "BENCH_train.json baseline_epoch_ms at threads={threads} does not match the \
+                 recorded {baseline_ms} ms"
+            ));
+        }
+        if (row.speedup_vs_baseline - baseline_ms / row.epoch_ms).abs() > 1e-9
+            || (row.speedup_vs_replica - row.replica_epoch_ms / row.epoch_ms).abs() > 1e-9
+        {
+            fail(&format!("BENCH_train.json speedups are inconsistent at threads={threads}"));
+        }
+        max_speedup = max_speedup.max(row.speedup_vs_baseline);
+    }
+    if (report.max_speedup_vs_baseline - max_speedup).abs() > 1e-9 {
+        fail("BENCH_train.json max_speedup_vs_baseline does not match its rows");
+    }
+    println!(
+        "smoke: BENCH_train.json valid (max speedup vs pre-PR {:.2}x)",
+        report.max_speedup_vs_baseline
+    );
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_train --smoke: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+    } else {
+        run_full();
+    }
+}

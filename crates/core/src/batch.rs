@@ -13,28 +13,37 @@
 use coane_graph::{AttributedGraph, NodeId};
 use coane_nn::{Matrix, SparseMatrix};
 use coane_walks::{ContextSet, Walk, PAD};
+use std::sync::Arc;
 
 use crate::config::EncoderKind;
 
 /// A training/inference batch: the sparse context operand plus pooling
 /// offsets and dense attribute targets.
+///
+/// The sparse operand and offsets are `Arc`-shared so (a) attaching them to
+/// a tape costs a refcount instead of a deep copy and (b) batches assembled
+/// on the prefetch pipeline's producer thread are `Send`.
 #[derive(Clone, Debug)]
 pub struct ContextBatch {
     /// Batch nodes in order.
     pub nodes: Vec<NodeId>,
     /// Sparse context rows: `(total contexts in batch) × (c·d)` for the
     /// convolutional encoder, `× d` for the fully-connected one.
-    pub rb: SparseMatrix,
+    pub rb: Arc<SparseMatrix>,
     /// Segment offsets per batch node (`len = nodes.len() + 1`): node `k`'s
     /// contexts occupy rows `offsets[k]..offsets[k+1]` of `rb`.
-    pub offsets: Vec<usize>,
+    pub offsets: Arc<Vec<usize>>,
     /// Dense attribute targets `(nodes.len() × d)` for the reconstruction
     /// loss.
     pub x_target: Matrix,
 }
 
 impl ContextBatch {
-    /// Assembles the batch for `nodes`.
+    /// Assembles the batch for `nodes` from scratch (triplet gather + sort).
+    ///
+    /// This is the *reference* builder: the hot paths go through
+    /// [`crate::cache::ContextRowCache`], which must reproduce this result
+    /// bit for bit (property-tested below).
     pub fn build(
         graph: &AttributedGraph,
         contexts: &ContextSet,
@@ -50,7 +59,15 @@ impl ContextBatch {
         let mut offsets = Vec::with_capacity(nodes.len() + 1);
         offsets.push(0usize);
         let total_ctx: usize = nodes.iter().map(|&v| contexts.count(v)).sum();
-        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(total_ctx * c * 8);
+        // Exact triplet count: one per stored attribute entry per non-PAD
+        // slot (merging can only shrink the final matrix below this).
+        let total_nnz: usize = nodes
+            .iter()
+            .flat_map(|&v| contexts.slots_of(v))
+            .filter(|&&u| u != PAD)
+            .map(|&u| graph.attrs().row(u).0.len())
+            .sum();
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(total_nnz);
         let mut row = 0usize;
         for &v in nodes {
             for window in contexts.contexts_of(v) {
@@ -71,9 +88,9 @@ impl ContextBatch {
             }
             offsets.push(row);
         }
-        let rb = SparseMatrix::from_triplets(total_ctx, cols, triplets);
+        let rb = Arc::new(SparseMatrix::from_triplets(total_ctx, cols, triplets));
         let x_target = Matrix::from_vec(nodes.len(), d, graph.attrs().gather_dense(nodes));
-        Self { nodes: nodes.to_vec(), rb, offsets, x_target }
+        Self { nodes: nodes.to_vec(), rb, offsets: Arc::new(offsets), x_target }
     }
 
     /// Total contexts in the batch.
@@ -160,7 +177,7 @@ mod tests {
     fn offsets_and_targets() {
         let (g, cs) = fixture();
         let batch = ContextBatch::build(&g, &cs, &[2, 0], EncoderKind::Convolution);
-        assert_eq!(batch.offsets, vec![0, 1, 2]);
+        assert_eq!(*batch.offsets, vec![0, 1, 2]);
         assert_eq!(batch.num_contexts(), 2);
         assert_eq!(batch.x_target.shape(), (2, 3));
         assert_eq!(batch.x_target.row(0), &[0.0, 0.0, 3.0]);
@@ -176,7 +193,7 @@ mod tests {
             &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
         );
         let batch = ContextBatch::build(&g, &cs, &[2, 1], EncoderKind::Convolution);
-        assert_eq!(batch.offsets, vec![0, 0, 1]);
+        assert_eq!(*batch.offsets, vec![0, 0, 1]);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Epoch-persistent context-row cache.
+//!
+//! Contexts are frozen once `prepare()` has run, yet the seed trainer
+//! re-derived every batch's sparse operand from triplets (gather + sort)
+//! each epoch. This module materializes *all* context rows once, in CSR
+//! form and in [`ContextSet`] row order, so assembling a batch collapses to
+//! concatenating per-node row ranges — two `memcpy`s per node via
+//! [`SparseMatrix::select_row_ranges`], with exact-nnz allocation and no
+//! sorting.
+//!
+//! The cache reproduces [`ContextBatch::build`]'s numbers *bit for bit*:
+//! duplicate columns within a row are summed in slot-encounter order, which
+//! is exactly the order `SparseMatrix::from_triplets`'s stable sort leaves
+//! duplicates in. A proptest in `batch.rs` holds the two builders equal on
+//! random graphs for both encoders.
+
+use coane_graph::{AttributedGraph, NodeId};
+use coane_nn::{Matrix, SparseMatrix};
+use coane_walks::{ContextSet, PAD};
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::batch::ContextBatch;
+use crate::config::EncoderKind;
+
+/// All context rows of a graph, materialized once per training run.
+#[derive(Clone, Debug)]
+pub struct ContextRowCache {
+    /// `num_contexts × cols` sparse rows, grouped by center node in
+    /// [`ContextSet`] order (`cols = c·d` conv, `d` fully-connected).
+    rows: SparseMatrix,
+    /// Per-node context row ranges (`len = n + 1`), mirroring the context
+    /// set's grouping so the cache can be used without re-borrowing it.
+    offsets: Vec<usize>,
+    attr_dim: usize,
+}
+
+impl ContextRowCache {
+    /// Materializes every context row for `contexts` under `encoder`.
+    pub fn build(graph: &AttributedGraph, contexts: &ContextSet, encoder: EncoderKind) -> Self {
+        let attrs = graph.attrs();
+        let d = graph.attr_dim();
+        let c = contexts.context_size();
+        let cols = match encoder {
+            EncoderKind::Convolution => c * d,
+            EncoderKind::FullyConnected => d,
+        };
+        let n = contexts.num_nodes();
+        let total_ctx = contexts.num_contexts();
+
+        // Exact upper bound on nnz: every non-PAD slot contributes its attr
+        // row once (duplicate-column merging can only shrink it; for the
+        // convolutional layout with duplicate-free attr rows it is exact).
+        let mut nnz_bound = 0usize;
+        for v in 0..n as NodeId {
+            for &u in contexts.slots_of(v) {
+                if u != PAD {
+                    nnz_bound += attrs.row(u).0.len();
+                }
+            }
+        }
+
+        let mut indptr = Vec::with_capacity(total_ctx + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::with_capacity(nnz_bound);
+        let mut values: Vec<f32> = Vec::with_capacity(nnz_bound);
+        // Scratch for the fully-connected layout, where slots overlap in
+        // column space and entries need a per-row stable sort + merge.
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+
+        for v in 0..n as NodeId {
+            for window in contexts.contexts_of(v) {
+                let row_start = indices.len();
+                match encoder {
+                    EncoderKind::Convolution => {
+                        // Slot bases ascend and attr indices ascend within a
+                        // slot, so columns arrive nondecreasing: merging
+                        // adjacent equals reproduces the stable triplet sort.
+                        for (p, &u) in window.iter().enumerate() {
+                            if u == PAD {
+                                continue;
+                            }
+                            let base = (p * d) as u32;
+                            let (idx, val) = attrs.row(u);
+                            for (&a, &x) in idx.iter().zip(val) {
+                                push_merged(&mut indices, &mut values, row_start, base + a, x);
+                            }
+                        }
+                    }
+                    EncoderKind::FullyConnected => {
+                        scratch.clear();
+                        for &u in window {
+                            if u == PAD {
+                                continue;
+                            }
+                            let (idx, val) = attrs.row(u);
+                            scratch.extend(idx.iter().zip(val).map(|(&a, &x)| (a, x)));
+                        }
+                        // Stable by column: duplicates stay in slot-encounter
+                        // order, matching `from_triplets` exactly.
+                        scratch.sort_by_key(|&(a, _)| a);
+                        for &(a, x) in &scratch {
+                            push_merged(&mut indices, &mut values, row_start, a, x);
+                        }
+                    }
+                }
+                indptr.push(indices.len());
+            }
+            offsets.push(indptr.len() - 1);
+        }
+
+        let rows = SparseMatrix::from_csr(total_ctx, cols, indptr, indices, values);
+        Self { rows, offsets, attr_dim: d }
+    }
+
+    /// Total cached context rows.
+    pub fn num_contexts(&self) -> usize {
+        self.rows.shape().0
+    }
+
+    /// Stored entries across all cached rows.
+    pub fn nnz(&self) -> usize {
+        self.rows.nnz()
+    }
+
+    /// Context row range of node `v` within the cache.
+    pub fn row_range(&self, v: NodeId) -> Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Assembles the full training batch for `nodes`: cached sparse rows
+    /// plus the dense attribute targets. Bit-identical to
+    /// [`ContextBatch::build`] on the same inputs.
+    pub fn batch(&self, graph: &AttributedGraph, nodes: &[NodeId]) -> ContextBatch {
+        let mut batch = self.infer_batch(nodes);
+        batch.x_target =
+            Matrix::from_vec(nodes.len(), self.attr_dim, graph.attrs().gather_dense(nodes));
+        batch
+    }
+
+    /// Assembles an inference-only batch: same `rb` and `offsets` as
+    /// [`ContextRowCache::batch`] but with an empty `x_target` (renewal and
+    /// inductive encoding never read the reconstruction targets).
+    pub fn infer_batch(&self, nodes: &[NodeId]) -> ContextBatch {
+        let ranges: Vec<Range<usize>> = nodes.iter().map(|&v| self.row_range(v)).collect();
+        let rb = self.rows.select_row_ranges(&ranges);
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for r in &ranges {
+            total += r.end - r.start;
+            offsets.push(total);
+        }
+        ContextBatch {
+            nodes: nodes.to_vec(),
+            rb: Arc::new(rb),
+            offsets: Arc::new(offsets),
+            x_target: Matrix::zeros(0, self.attr_dim),
+        }
+    }
+}
+
+/// Appends `(col, val)` to the row that started at `row_start`, summing into
+/// the previous entry when the column repeats — the on-the-fly equivalent of
+/// the stable triplet sort-and-merge.
+#[inline]
+fn push_merged(
+    indices: &mut Vec<u32>,
+    values: &mut Vec<f32>,
+    row_start: usize,
+    col: u32,
+    val: f32,
+) {
+    if indices.len() > row_start && *indices.last().unwrap() == col {
+        *values.last_mut().unwrap() += val;
+    } else {
+        indices.push(col);
+        values.push(val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coane_graph::{GraphBuilder, NodeAttributes};
+    use coane_walks::ContextsConfig;
+
+    fn fixture() -> (AttributedGraph, ContextSet) {
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edges(&[(0, 1), (1, 2)]);
+        let g = b
+            .with_attrs(NodeAttributes::from_sparse_rows(
+                3,
+                &[vec![(0, 1.0)], vec![(1, 2.0)], vec![(2, 3.0)]],
+            ))
+            .build();
+        let walks = vec![vec![0, 1, 2], vec![2, 1, 0]];
+        let cs = ContextSet::build(
+            &walks,
+            3,
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
+        );
+        (g, cs)
+    }
+
+    #[test]
+    fn cached_batch_matches_fresh_build() {
+        let (g, cs) = fixture();
+        for encoder in [EncoderKind::Convolution, EncoderKind::FullyConnected] {
+            let cache = ContextRowCache::build(&g, &cs, encoder);
+            for nodes in [vec![1], vec![2, 0], vec![0, 1, 2], vec![1, 1]] {
+                let fresh = ContextBatch::build(&g, &cs, &nodes, encoder);
+                let cached = cache.batch(&g, &nodes);
+                assert_eq!(*cached.rb, *fresh.rb, "{encoder:?} nodes={nodes:?}");
+                assert_eq!(cached.offsets, fresh.offsets, "{encoder:?} nodes={nodes:?}");
+                assert_eq!(cached.x_target, fresh.x_target, "{encoder:?} nodes={nodes:?}");
+                assert_eq!(cached.nodes, fresh.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn infer_batch_skips_targets_only() {
+        let (g, cs) = fixture();
+        let cache = ContextRowCache::build(&g, &cs, EncoderKind::Convolution);
+        let full = cache.batch(&g, &[2, 1]);
+        let infer = cache.infer_batch(&[2, 1]);
+        assert_eq!(infer.rb, full.rb);
+        assert_eq!(infer.offsets, full.offsets);
+        assert_eq!(infer.x_target.shape(), (0, 3));
+    }
+
+    #[test]
+    fn row_ranges_cover_all_contexts() {
+        let (g, cs) = fixture();
+        let cache = ContextRowCache::build(&g, &cs, EncoderKind::Convolution);
+        assert_eq!(cache.num_contexts(), cs.num_contexts());
+        let mut covered = 0;
+        for v in 0..3u32 {
+            let r = cache.row_range(v);
+            assert_eq!(r.len(), cs.count(v));
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, cache.num_contexts());
+    }
+
+    #[test]
+    fn fc_duplicate_columns_match_triplet_order() {
+        // Two nodes sharing attribute 0 with different magnitudes: the FC
+        // layout sums them; order must match the stable triplet merge.
+        let mut b = GraphBuilder::new(2, 2);
+        b.add_edge(0, 1, 1.0);
+        let g = b
+            .with_attrs(NodeAttributes::from_sparse_rows(
+                2,
+                &[vec![(0, 1.0e-8), (1, 0.5)], vec![(0, 1.0)]],
+            ))
+            .build();
+        let walks = vec![vec![0, 1]];
+        let cs = ContextSet::build(
+            &walks,
+            2,
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed: 0 },
+        );
+        let cache = ContextRowCache::build(&g, &cs, EncoderKind::FullyConnected);
+        for nodes in [vec![0u32], vec![1], vec![0, 1]] {
+            let fresh = ContextBatch::build(&g, &cs, &nodes, EncoderKind::FullyConnected);
+            let cached = cache.batch(&g, &nodes);
+            assert_eq!(*cached.rb, *fresh.rb, "nodes={nodes:?}");
+        }
+    }
+}

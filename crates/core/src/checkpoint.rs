@@ -107,9 +107,11 @@ pub struct TrainCheckpoint {
 }
 
 /// Fingerprint of every configuration field that affects training results.
-/// Thread count and checkpoint/recovery knobs are deliberately excluded:
-/// the determinism contract makes them pure throughput/robustness knobs, so
-/// a run checkpointed at 1 thread may resume at 4 (and vice versa).
+/// Thread count, prefetch depth, inference chunk size, and
+/// checkpoint/recovery knobs are deliberately excluded: the determinism
+/// contract makes them pure throughput/robustness knobs, so a run
+/// checkpointed at 1 thread without prefetch may resume at 4 with a deep
+/// pipeline (and vice versa).
 pub fn config_fingerprint(cfg: &CoaneConfig) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(cfg.embed_dim as u64);
@@ -669,6 +671,8 @@ mod tests {
         assert_eq!(f, config_fingerprint(&CoaneConfig { threads: 16, ..base.clone() }));
         assert_eq!(f, config_fingerprint(&CoaneConfig { epochs: 99, ..base.clone() }));
         assert_eq!(f, config_fingerprint(&CoaneConfig { max_lr_retries: 9, ..base.clone() }));
+        assert_eq!(f, config_fingerprint(&CoaneConfig { infer_batch_size: 7, ..base.clone() }));
+        assert_eq!(f, config_fingerprint(&CoaneConfig { prefetch_batches: 0, ..base.clone() }));
         assert_ne!(f, config_fingerprint(&CoaneConfig { seed: 7, ..base.clone() }));
         assert_ne!(f, config_fingerprint(&CoaneConfig { embed_dim: 64, ..base.clone() }));
         assert_ne!(f, config_fingerprint(&CoaneConfig { gamma: 5.0, ..base }));

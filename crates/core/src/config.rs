@@ -170,6 +170,19 @@ pub struct CoaneConfig {
     /// epoch snapshot and halves the learning rate, at most this many times
     /// across the run before surfacing [`CoaneError::Numeric`].
     pub max_lr_retries: usize,
+    /// Node-chunk size for no-grad inference passes (per-epoch embedding
+    /// renewal and inductive encoding). Per-node outputs are independent, so
+    /// like `threads` this is a pure throughput knob: embeddings are
+    /// bit-identical for any value and it is excluded from the checkpoint
+    /// config fingerprint.
+    pub infer_batch_size: usize,
+    /// Depth of the training-batch prefetch pipeline: how many upcoming
+    /// batches may be assembled on pool workers while the current one trains.
+    /// `0` disables prefetching (batches assemble inline). Consumption order
+    /// is the batch order either way and negatives stay on the main-thread
+    /// RNG, so this is also a pure throughput knob excluded from the
+    /// checkpoint config fingerprint.
+    pub prefetch_batches: usize,
     /// RNG seed (walks, init, batching, sampling).
     pub seed: u64,
 }
@@ -195,6 +208,8 @@ impl Default for CoaneConfig {
             ablation: Ablation::full(),
             threads: 4,
             max_lr_retries: 3,
+            infer_batch_size: 256,
+            prefetch_batches: 2,
             seed: 42,
         }
     }
@@ -256,6 +271,9 @@ impl CoaneConfig {
                 self.subsample_t
             )));
         }
+        if self.infer_batch_size < 1 {
+            return Err(CoaneError::config("infer_batch_size must be >= 1"));
+        }
         if self.max_lr_retries > 64 {
             return Err(CoaneError::config(format!(
                 "max_lr_retries must be <= 64 (learning rate underflows beyond that), got {}",
@@ -310,6 +328,7 @@ mod tests {
             (CoaneConfig { learning_rate: 0.0, ..Default::default() }, "learning_rate"),
             (CoaneConfig { subsample_t: f64::NAN, ..Default::default() }, "subsample_t"),
             (CoaneConfig { max_lr_retries: 100, ..Default::default() }, "max_lr_retries"),
+            (CoaneConfig { infer_batch_size: 0, ..Default::default() }, "infer_batch_size"),
         ];
         for (cfg, needle) in cases {
             let err = cfg.validate().expect_err(needle);

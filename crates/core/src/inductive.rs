@@ -9,12 +9,12 @@
 //! paper credits GraphSAGE with (§2.3) and extends it to CoANE.
 
 use coane_graph::{AttributedGraph, NodeId};
-use coane_nn::{Matrix, Tape};
+use coane_nn::Matrix;
 use coane_walks::{ContextSet, ContextsConfig, WalkConfig, Walker};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::batch::ContextBatch;
+use crate::cache::ContextRowCache;
 use crate::config::CoaneConfig;
 use crate::model::CoaneModel;
 
@@ -62,11 +62,21 @@ pub fn embed_nodes(
             seed: config.seed,
         },
     );
-    let batch = ContextBatch::build(graph, &contexts, nodes, config.encoder);
-    let mut tape = Tape::new();
-    let vars = model.params.attach(&mut tape);
-    let z = model.encode(&mut tape, &vars, &batch);
-    tape.value(z).clone()
+    // No-grad chunked inference off the context-row cache: each requested
+    // node's embedding depends only on its own context rows, so the
+    // `infer_batch_size` chunking and the thread count are pure throughput
+    // knobs (bit-identical output either way).
+    let cache = ContextRowCache::build(graph, &contexts, config.encoder);
+    let d = model.embed_dim();
+    let mut out = Matrix::zeros(nodes.len(), d);
+    let chunk_nodes = config.infer_batch_size.max(1);
+    coane_nn::pool::parallel_chunks(out.as_mut_slice(), chunk_nodes * d, |start, slab| {
+        let k0 = start / d;
+        let chunk = &nodes[k0..k0 + slab.len() / d];
+        let z = model.encode_nograd(&cache.infer_batch(chunk));
+        slab.copy_from_slice(z.as_slice());
+    });
+    out
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod inductive;
@@ -43,6 +44,7 @@ pub mod model;
 pub mod persist;
 pub mod trainer;
 
+pub use cache::ContextRowCache;
 pub use checkpoint::CheckpointConfig;
 pub use coane_error::{CoaneError, CoaneResult};
 pub use config::{

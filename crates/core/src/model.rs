@@ -7,7 +7,7 @@
 //! by 1-D average pooling (a segment mean over each node's contexts). This
 //! is mathematically identical to Eq. "r*_vij = Σ R_vi ⊙ Θ_j" of §3.2.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_nn::init::xavier_uniform;
 use coane_nn::layers::{Activation, Mlp};
@@ -92,8 +92,19 @@ impl CoaneModel {
     /// average pooling per node. Output shape `(batch, d')`.
     pub fn encode(&self, tape: &mut Tape, vars: &[Var], batch: &ContextBatch) -> Var {
         let theta = vars[self.theta.index()];
-        let conv = tape.spmm(Rc::new(batch.rb.clone()), theta);
-        tape.segment_mean(conv, Rc::new(batch.offsets.clone()))
+        let conv = tape.spmm(Arc::clone(&batch.rb), theta);
+        tape.segment_mean(conv, Arc::clone(&batch.offsets))
+    }
+
+    /// No-grad encoder forward: the same float operations as
+    /// [`CoaneModel::encode`]'s tape path (`matmul_dense` then the shared
+    /// [`coane_nn::tape::segment_mean_forward`]) without recording a graph
+    /// or cloning `Θ` onto a tape — so the result is bit-identical to the
+    /// tape encoder while being safe to run from pool workers. Used by
+    /// per-epoch embedding renewal and inductive inference.
+    pub fn encode_nograd(&self, batch: &ContextBatch) -> Matrix {
+        let conv = batch.rb.matmul_dense(self.params.get(self.theta));
+        coane_nn::tape::segment_mean_forward(&conv, &batch.offsets)
     }
 
     /// Decodes embeddings back to attribute space (`None` under the WAP
@@ -247,6 +258,23 @@ mod tests {
         }
         for (j, &m) in manual.iter().enumerate() {
             assert!((t.value(z).get(0, j) - m).abs() < 1e-5, "filter {j}");
+        }
+    }
+
+    #[test]
+    fn encode_nograd_matches_tape_encoder_bitwise() {
+        let (g, cs) = fixture();
+        let cfg = small_config();
+        for encoder in [EncoderKind::Convolution, EncoderKind::FullyConnected] {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let model =
+                CoaneModel::new(&CoaneConfig { encoder, ..cfg.clone() }, g.attr_dim(), &mut rng);
+            let batch = ContextBatch::build(&g, &cs, &[0, 1, 2, 3], encoder);
+            let mut t = Tape::new();
+            let vars = model.params.attach(&mut t);
+            let z = model.encode(&mut t, &vars, &batch);
+            let z_nograd = model.encode_nograd(&batch);
+            assert_eq!(t.value(z).as_slice(), z_nograd.as_slice(), "{encoder:?}");
         }
     }
 

@@ -16,6 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::batch::{first_hop_walks, ContextBatch};
+use crate::cache::ContextRowCache;
 use crate::checkpoint::{self, CheckpointConfig, TrainCheckpoint};
 use crate::config::{CoaneConfig, ContextSource, NegativeLossKind};
 use crate::loss::{attribute_loss, negative_loss, positive_loss, total_loss, LossContext};
@@ -56,12 +57,14 @@ pub struct Coane {
 }
 
 /// Pre-processing-phase state: contexts, co-occurrence matrices, positive
-/// pairs and the contextual negative sampler.
+/// pairs, the contextual negative sampler, and the epoch-persistent
+/// context-row cache every batch is sliced from.
 struct Prepared {
     contexts: ContextSet,
     co: CoMatrices,
     pairs: PositivePairs,
     sampler: ContextualNegativeSampler,
+    cache: ContextRowCache,
 }
 
 impl Coane {
@@ -254,7 +257,7 @@ impl Coane {
                 stats.resumed_from_epoch = Some(start_epoch);
                 // The embedding cache is not checkpointed: renewal recomputes
                 // it deterministically from the restored filters.
-                self.renew(graph, &prep.contexts, &model, &mut z_cache);
+                self.renew(&prep.cache, &model, &mut z_cache);
                 renewed = true;
             }
         }
@@ -281,18 +284,32 @@ impl Coane {
             }
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
-            for batch_nodes in order.chunks(cfg.batch_size) {
-                epoch_loss += self.train_batch(
-                    graph,
-                    &prep,
-                    &mut model,
-                    &mut adam,
-                    &mut z_cache,
-                    &mut local_of,
-                    batch_nodes,
-                    &mut rng,
-                );
-            }
+            // Pipelined batch assembly: batch i+1's sparse operand is sliced
+            // out of the context-row cache on a background worker while batch
+            // i trains. Only the (pure-function-of-index) assembly moves off
+            // the main thread — negative sampling and every parameter update
+            // stay on the main-thread RNG in batch order, so the training
+            // trajectory is bit-identical with prefetching on, off, or at any
+            // depth.
+            let batch_chunks: Vec<&[NodeId]> = order.chunks(cfg.batch_size).collect();
+            coane_nn::pool::prefetch(
+                batch_chunks.len(),
+                cfg.prefetch_batches,
+                |i| prep.cache.batch(graph, batch_chunks[i]),
+                |i, batch| {
+                    epoch_loss += self.train_batch(
+                        graph,
+                        &prep,
+                        &mut model,
+                        &mut adam,
+                        &mut z_cache,
+                        &mut local_of,
+                        batch_chunks[i],
+                        batch,
+                        &mut rng,
+                    );
+                },
+            );
             if let Some(pos) = pending_faults.iter().position(|&e| e == epoch) {
                 pending_faults.swap_remove(pos);
                 epoch_loss = f32::NAN;
@@ -327,7 +344,7 @@ impl Coane {
             // Renew all embeddings with the current filters (Algorithm 1's
             // final "Renew z_v" step, run each epoch so callbacks and the
             // next epoch's cache see consistent embeddings).
-            self.renew(graph, &prep.contexts, &model, &mut z_cache);
+            self.renew(&prep.cache, &model, &mut z_cache);
             renewed = true;
             on_epoch(epoch, &z_cache);
 
@@ -359,12 +376,14 @@ impl Coane {
             epoch += 1;
         }
         if !renewed {
-            self.renew(graph, &prep.contexts, &model, &mut z_cache);
+            self.renew(&prep.cache, &model, &mut z_cache);
         }
         stats.final_lr = adam.lr;
         Ok((z_cache, model, stats))
     }
 
+    /// Trains on one prebuilt batch (assembled inline or on the prefetch
+    /// pipeline — either way bit-identical to [`ContextBatch::build`]).
     #[allow(clippy::too_many_arguments)]
     fn train_batch(
         &self,
@@ -375,15 +394,15 @@ impl Coane {
         z_cache: &mut Matrix,
         local_of: &mut [Option<u32>],
         batch_nodes: &[NodeId],
+        batch: ContextBatch,
         rng: &mut ChaCha8Rng,
     ) -> f32 {
         let cfg = &self.config;
         for (k, &v) in batch_nodes.iter().enumerate() {
             local_of[v as usize] = Some(k as u32);
         }
-        let batch = ContextBatch::build(graph, &prep.contexts, batch_nodes, cfg.encoder);
 
-        // Draw negatives (outside the tape).
+        // Draw negatives (outside the tape, always on the main-thread RNG).
         let negatives: Vec<Vec<NodeId>> = match cfg.ablation.negative {
             NegativeLossKind::None => vec![Vec::new(); batch_nodes.len()],
             NegativeLossKind::Contextual => batch_nodes
@@ -430,7 +449,7 @@ impl Coane {
         let l_att = attribute_loss(&mut tape, decoded, &batch.x_target, cfg.gamma);
         let loss_value = if let Some(loss) = total_loss(&mut tape, [l_pos, l_neg, l_att]) {
             tape.backward(loss);
-            let grads = model.params.collect_grads(&tape, &vars);
+            let grads = model.params.take_grads(&mut tape, &vars);
             adam.step(&mut model.params, &grads);
             tape.value(loss).item()
         } else {
@@ -448,25 +467,20 @@ impl Coane {
     }
 
     /// Recomputes every node's embedding with the current filters.
-    fn renew(
-        &self,
-        graph: &AttributedGraph,
-        contexts: &ContextSet,
-        model: &CoaneModel,
-        z_cache: &mut Matrix,
-    ) {
-        let n = graph.num_nodes();
-        let all: Vec<NodeId> = (0..n as NodeId).collect();
-        for chunk in all.chunks(self.config.batch_size.max(64)) {
-            let batch = ContextBatch::build(graph, contexts, chunk, self.config.encoder);
-            let mut tape = Tape::new();
-            let vars = model.params.attach(&mut tape);
-            let z = model.encode(&mut tape, &vars, &batch);
-            let z_val = tape.value(z);
-            for (k, &v) in chunk.iter().enumerate() {
-                z_cache.row_mut(v as usize).copy_from_slice(z_val.row(k));
-            }
-        }
+    ///
+    /// Runs the no-grad forward over `infer_batch_size`-node chunks in
+    /// parallel: each node's embedding depends only on its own cached
+    /// context rows and `Θ`, so the chunk decomposition (and thread count)
+    /// cannot change a single bit — see `coane_nn::pool`.
+    fn renew(&self, cache: &ContextRowCache, model: &CoaneModel, z_cache: &mut Matrix) {
+        let d = model.embed_dim();
+        let chunk_nodes = self.config.infer_batch_size;
+        coane_nn::pool::parallel_chunks(z_cache.as_mut_slice(), chunk_nodes * d, |start, out| {
+            let v0 = (start / d) as NodeId;
+            let nodes: Vec<NodeId> = (v0..v0 + (out.len() / d) as NodeId).collect();
+            let z = model.encode_nograd(&cache.infer_batch(&nodes));
+            out.copy_from_slice(z.as_slice());
+        });
     }
 
     fn prepare(&self, graph: &AttributedGraph) -> Prepared {
@@ -505,7 +519,10 @@ impl Coane {
         let k_p = contexts.max_count().max(1);
         let pairs = PositivePairs::select(&co, k_p);
         let sampler = ContextualNegativeSampler::new(&contexts);
-        Prepared { contexts, co, pairs, sampler }
+        // Contexts are frozen from here on: materialize every sparse context
+        // row once so per-epoch batch assembly is a row-range concatenation.
+        let cache = ContextRowCache::build(graph, &contexts, cfg.encoder);
+        Prepared { contexts, co, pairs, sampler, cache }
     }
 }
 

@@ -40,9 +40,48 @@ pub fn set_threads(n: usize) {
     THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
+thread_local! {
+    /// Set while the current thread executes inside a pool worker (including
+    /// the calling thread running its own share, and prefetch producers).
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is executing inside a pool worker. Kernels
+/// called from worker context see [`threads`] `== 1` and run sequentially:
+/// nesting scoped spawns would oversubscribe the pool without changing any
+/// bits (chunk decompositions are thread-count independent).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|c| c.get())
+}
+
+/// RAII marker for worker context; restores the previous state on drop so
+/// the calling thread's own share doesn't leave the flag stuck.
+struct WorkerGuard(bool);
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        IN_WORKER.with(|c| {
+            let prev = c.get();
+            c.set(true);
+            WorkerGuard(prev)
+        })
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_WORKER.with(|c| c.set(prev));
+    }
+}
+
 /// The current worker-thread count: the last [`set_threads`] value, or the
-/// hardware parallelism if never set.
+/// hardware parallelism if never set. Always 1 inside pool workers (see
+/// [`in_worker`]).
 pub fn threads() -> usize {
+    if in_worker() {
+        return 1;
+    }
     match THREADS.load(Ordering::Relaxed) {
         0 => *default_threads(),
         n => n,
@@ -113,13 +152,57 @@ where
         let own = assignments.next().expect("at least one worker");
         for work in assignments {
             scope.spawn(move || {
+                let _guard = WorkerGuard::enter();
                 for (start, chunk) in work {
                     f(start, chunk);
                 }
             });
         }
+        let _guard = WorkerGuard::enter();
         for (start, chunk) in own {
             f(start, chunk);
+        }
+    });
+}
+
+/// Ordered producer/consumer pipeline: items `0..n` are built by `make` on
+/// one background thread — in index order, running at most `depth` items
+/// ahead of consumption — while `consume(i, item)` runs on the calling
+/// thread. With `depth == 0`, `n <= 1`, fewer than two configured threads,
+/// or when already inside a pool worker, everything runs inline.
+///
+/// Either way the consumer observes exactly the sequence
+/// `consume(0, make(0)), consume(1, make(1)), …` — so as long as `make` is a
+/// pure function of its index, results cannot depend on whether (or how far)
+/// the pipeline ran ahead.
+pub fn prefetch<T, F, C>(n: usize, depth: usize, make: F, mut consume: C)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    if depth == 0 || n <= 1 || threads() < 2 || in_worker() {
+        for i in 0..n {
+            consume(i, make(i));
+        }
+        return;
+    }
+    let (tx, rx) = std::sync::mpsc::sync_channel::<T>(depth);
+    std::thread::scope(|scope| {
+        let make = &make;
+        scope.spawn(move || {
+            let _guard = WorkerGuard::enter();
+            for i in 0..n {
+                // The consumer hanging up (panic unwind) is the only way a
+                // send fails; stop producing and let scope join.
+                if tx.send(make(i)).is_err() {
+                    break;
+                }
+            }
+        });
+        for i in 0..n {
+            let item = rx.recv().expect("prefetch producer exited early");
+            consume(i, item);
         }
     });
 }
@@ -179,6 +262,26 @@ mod tests {
         }
     }
 
+    #[test]
+    fn prefetch_is_ordered_and_complete_at_any_depth() {
+        // Runs under whatever global thread count other tests set; ordering
+        // and completeness must hold on both the inline and pipelined paths.
+        for depth in [0usize, 1, 2, 8] {
+            let mut seen = Vec::new();
+            prefetch(
+                17,
+                depth,
+                |i| i * i,
+                |i, item| {
+                    assert_eq!(item, i * i, "depth={depth}");
+                    seen.push(i);
+                },
+            );
+            let expect: Vec<usize> = (0..17).collect();
+            assert_eq!(seen, expect, "depth={depth}");
+        }
+    }
+
     // One test for the global knob (not several) so concurrent test threads
     // don't race on the process-wide setting.
     #[test]
@@ -191,5 +294,18 @@ mod tests {
         assert_eq!(threads(), 1);
         set_threads(4);
         assert_eq!(threads(), 4);
+
+        // Worker context forces sequential nested kernels: threads() reads 1
+        // inside both spawned workers and the caller's own share.
+        let mut data = vec![0u8; 64];
+        parallel_chunks_with(&mut data, 8, 4, |_, _| {
+            assert!(in_worker());
+            assert_eq!(threads(), 1);
+        });
+        assert!(!in_worker(), "guard must restore the caller's state");
+        assert_eq!(threads(), 4);
+
+        // Prefetch producers are worker context too.
+        prefetch(3, 2, |_| in_worker(), |_, produced_in_worker| assert!(produced_in_worker));
     }
 }

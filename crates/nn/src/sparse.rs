@@ -6,8 +6,9 @@
 //! ascending input-row order regardless of the partition, so results are
 //! bit-identical for any thread count.
 
-use crate::matrix::Matrix;
+use crate::matrix::{multiversioned, Matrix};
 use crate::pool;
+use std::ops::Range;
 
 /// A sparse matrix in CSR format with `f32` values.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,8 +40,12 @@ impl SparseMatrix {
     }
 
     /// Builds from a list of `(row, col, value)` triplets (duplicates summed).
+    ///
+    /// The sort is *stable* so duplicates of the same `(row, col)` are summed
+    /// in insertion order — a builder that merges duplicates on the fly (e.g.
+    /// `coane-core`'s context-row cache) reproduces the exact same f32 sums.
     pub fn from_triplets(rows: usize, cols: usize, mut t: Vec<(usize, usize, f32)>) -> Self {
-        t.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        t.sort_by_key(|&(r, c, _)| (r, c));
         let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(t.len());
         for (r, c, v) in t {
             assert!(r < rows && c < cols, "triplet out of range");
@@ -77,6 +82,37 @@ impl SparseMatrix {
         (&self.indices[s..e], &self.values[s..e])
     }
 
+    /// Concatenates the given row ranges, in order, into a new matrix with
+    /// the same column count. Rows are copied verbatim (two `memcpy`s per
+    /// contiguous range, exact-nnz allocation, no sorting), so the result is
+    /// bit-identical to rebuilding those rows from triplets.
+    ///
+    /// # Panics
+    /// Panics if a range is decreasing or ends past `self.rows`.
+    pub fn select_row_ranges(&self, ranges: &[Range<usize>]) -> SparseMatrix {
+        let mut total_rows = 0usize;
+        let mut total_nnz = 0usize;
+        for r in ranges {
+            assert!(r.start <= r.end && r.end <= self.rows, "row range out of bounds");
+            total_rows += r.end - r.start;
+            total_nnz += self.indptr[r.end] - self.indptr[r.start];
+        }
+        let mut indptr = Vec::with_capacity(total_rows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(total_nnz);
+        let mut values = Vec::with_capacity(total_nnz);
+        for r in ranges {
+            let (s, e) = (self.indptr[r.start], self.indptr[r.end]);
+            let base = indices.len();
+            indices.extend_from_slice(&self.indices[s..e]);
+            values.extend_from_slice(&self.values[s..e]);
+            for row in r.clone() {
+                indptr.push(base + (self.indptr[row + 1] - s));
+            }
+        }
+        Self { rows: total_rows, cols: self.cols, indptr, indices, values }
+    }
+
     /// Dense product `self · x`, parallel over output-row chunks (each CSR
     /// row writes one disjoint output row, so the partition cannot change
     /// the result).
@@ -90,16 +126,15 @@ impl SparseMatrix {
         let threads = pool::threads_for(2 * self.nnz() * n);
         pool::parallel_chunks_with(out.as_mut_slice(), pool::ROW_CHUNK * n, threads, {
             |start, chunk| {
-                let i0 = start / n;
-                for (ii, orow) in chunk.chunks_mut(n).enumerate() {
-                    let (idx, val) = self.row(i0 + ii);
-                    for (&j, &a) in idx.iter().zip(val) {
-                        let xrow = x.row(j as usize);
-                        for (o, &b) in orow.iter_mut().zip(xrow) {
-                            *o += a * b;
-                        }
-                    }
-                }
+                spmm_block(
+                    &self.indptr,
+                    &self.indices,
+                    &self.values,
+                    x.as_slice(),
+                    n,
+                    start / n,
+                    chunk,
+                );
             }
         });
         out
@@ -125,25 +160,25 @@ impl SparseMatrix {
         let rows_per = self.cols.div_ceil(threads).max(1);
         pool::parallel_chunks_with(out.as_mut_slice(), rows_per * n, threads, {
             |start, chunk| {
-                let lo = (start / n) as u32;
-                let hi = lo + (chunk.len() / n) as u32;
-                for i in 0..self.rows {
-                    let (idx, val) = self.row(i);
-                    let xrow = x.row(i);
-                    for (&j, &a) in idx.iter().zip(val) {
-                        if j < lo || j >= hi {
-                            continue;
-                        }
-                        let o0 = (j - lo) as usize * n;
-                        let orow = &mut chunk[o0..o0 + n];
-                        for (o, &b) in orow.iter_mut().zip(xrow) {
-                            *o += a * b;
-                        }
-                    }
-                }
+                spmm_t_block(
+                    &self.indptr,
+                    &self.indices,
+                    &self.values,
+                    x.as_slice(),
+                    n,
+                    self.rows,
+                    start / n,
+                    chunk,
+                );
             }
         });
         out
+    }
+
+    /// Raw CSR row pointers (length `rows + 1`). Exposes per-row nnz so
+    /// callers can size batch allocations exactly.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
     }
 
     /// Densifies (test helper; O(rows·cols) memory).
@@ -157,6 +192,67 @@ impl SparseMatrix {
         }
         out
     }
+}
+
+multiversioned! {
+/// One chunk of `A · X` output rows (`A` in CSR parts, `X` row-major of
+/// width `n`): each output row accumulates its row's nnz contributions in
+/// ascending column-slot order, exactly like the naive loop, so runtime ISA
+/// dispatch cannot change the bits (no FP contraction — mul and add stay
+/// separate instructions at every width).
+fn spmm_block / spmm_block_inner(
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+    n: usize,
+    i0: usize,
+    chunk: &mut [f32],
+) {
+    for (ii, orow) in chunk.chunks_mut(n).enumerate() {
+        let (s, e) = (indptr[i0 + ii], indptr[i0 + ii + 1]);
+        for (&j, &a) in indices[s..e].iter().zip(&values[s..e]) {
+            let xrow = &x[j as usize * n..(j as usize + 1) * n];
+            for (o, &b) in orow.iter_mut().zip(xrow) {
+                *o += a * b;
+            }
+        }
+    }
+}
+}
+
+multiversioned! {
+/// One output-row range of `Aᵀ · X`: scans every input row and scatters the
+/// entries whose column lands in `[lo_row, lo_row + chunk rows)`. Ascending
+/// input-row accumulation order per output element, independent of the
+/// partition and of the dispatched ISA.
+fn spmm_t_block / spmm_t_block_inner(
+    indptr: &[usize],
+    indices: &[u32],
+    values: &[f32],
+    x: &[f32],
+    n: usize,
+    in_rows: usize,
+    lo_row: usize,
+    chunk: &mut [f32],
+) {
+    let lo = lo_row as u32;
+    let hi = lo + (chunk.len() / n) as u32;
+    for i in 0..in_rows {
+        let (s, e) = (indptr[i], indptr[i + 1]);
+        let xrow = &x[i * n..(i + 1) * n];
+        for (&j, &a) in indices[s..e].iter().zip(&values[s..e]) {
+            if j < lo || j >= hi {
+                continue;
+            }
+            let o0 = (j - lo) as usize * n;
+            let orow = &mut chunk[o0..o0 + n];
+            for (o, &b) in orow.iter_mut().zip(xrow) {
+                *o += a * b;
+            }
+        }
+    }
+}
 }
 
 #[cfg(test)]
@@ -207,5 +303,42 @@ mod tests {
     #[should_panic(expected = "column index out of range")]
     fn rejects_bad_column() {
         SparseMatrix::from_csr(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn select_row_ranges_concatenates_verbatim() {
+        let m = example();
+        let s = m.select_row_ranges(&[0..2, 1..3, 2..2]);
+        assert_eq!(s.shape(), (4, 3));
+        // Selected rows m0,m1,m1,m2 carry 2, 0, 0, 1 entries respectively.
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.row(0), m.row(0));
+        assert_eq!(s.row(1), m.row(1));
+        assert_eq!(s.row(2), m.row(1));
+        assert_eq!(s.row(3), m.row(2));
+    }
+
+    #[test]
+    fn select_row_ranges_empty_selection() {
+        let m = example();
+        let s = m.select_row_ranges(&[]);
+        assert_eq!(s.shape(), (0, 3));
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn select_row_ranges_rejects_overrun() {
+        example().select_row_ranges(&[0..1, 1..4]);
+    }
+
+    #[test]
+    fn duplicate_triplets_summed_in_insertion_order() {
+        // f32 addition is non-associative; the stable sort pins the sum to
+        // push order, which on-the-fly merging builders replicate.
+        let vals = [1.0e-8f32, 1.0, -1.0];
+        let t: Vec<_> = vals.iter().map(|&v| (0usize, 0usize, v)).collect();
+        let m = SparseMatrix::from_triplets(1, 1, t);
+        assert_eq!(m.row(0).1, &[((1.0e-8f32 + 1.0) + -1.0)][..]);
     }
 }

@@ -22,6 +22,7 @@
 
 use std::ops::Range;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::matrix::Matrix;
 use crate::sparse::SparseMatrix;
@@ -52,8 +53,8 @@ enum Op {
     Mean(Var),
     RowsDot(Var, Var),
     GatherRows(Var, Rc<Vec<u32>>),
-    SegmentMean(Var, Rc<Vec<usize>>),
-    SpMM(Rc<SparseMatrix>, Var),
+    SegmentMean(Var, Arc<Vec<usize>>),
+    SpMM(Arc<SparseMatrix>, Var),
     ConcatCols(Var, Var),
     SliceCols(Var, Range<usize>),
     BceWithLogits(Var, Rc<Matrix>),
@@ -103,6 +104,12 @@ impl Tape {
     /// node received no gradient.
     pub fn grad(&self, v: Var) -> Option<&Matrix> {
         self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Moves the gradient out of a node (leaving `None`), avoiding the clone
+    /// that [`Tape::grad`] callers would otherwise pay per optimizer step.
+    pub fn take_grad(&mut self, v: Var) -> Option<Matrix> {
+        self.nodes[v.0].grad.take()
     }
 
     /// Inserts a leaf holding `value`. Gradients are only tracked through it
@@ -264,31 +271,17 @@ impl Tape {
     /// `offsets[s]..offsets[s+1]` (zero for empty segments). This implements
     /// the paper's 1-D average pooling over each node's variable-size
     /// context set.
-    pub fn segment_mean(&mut self, a: Var, offsets: Rc<Vec<usize>>) -> Var {
-        let x = self.value(a);
-        assert!(offsets.len() >= 2, "need at least one segment");
-        assert_eq!(*offsets.last().unwrap(), x.rows(), "offsets must cover all rows");
-        let segs = offsets.len() - 1;
-        let mut v = Matrix::zeros(segs, x.cols());
-        for s in 0..segs {
-            let (lo, hi) = (offsets[s], offsets[s + 1]);
-            assert!(lo <= hi, "offsets must be nondecreasing");
-            if lo == hi {
-                continue;
-            }
-            let inv = 1.0 / (hi - lo) as f32;
-            for r in lo..hi {
-                let row = x.row(r);
-                for (o, &xx) in v.row_mut(s).iter_mut().zip(row) {
-                    *o += xx * inv;
-                }
-            }
-        }
+    /// The operand is `Arc` (not `Rc` like the other constant attachments)
+    /// so batch operands assembled on prefetch threads can be attached
+    /// without a deep copy.
+    pub fn segment_mean(&mut self, a: Var, offsets: Arc<Vec<usize>>) -> Var {
+        let v = segment_mean_forward(self.value(a), &offsets);
         self.push(Op::SegmentMean(a, offsets), v)
     }
 
     /// Sparse-constant × dense-variable product (`Â · H` in GCN layers).
-    pub fn spmm(&mut self, a: Rc<SparseMatrix>, b: Var) -> Var {
+    /// `Arc` for the same prefetch reason as [`Tape::segment_mean`].
+    pub fn spmm(&mut self, a: Arc<SparseMatrix>, b: Var) -> Var {
         let v = a.matmul_dense(self.value(b));
         self.push(Op::SpMM(a, b), v)
     }
@@ -482,7 +475,7 @@ impl Tape {
                 self.accumulate(a, ga);
             }
             Op::SegmentMean(a, offsets) => {
-                let (a, offsets) = (*a, Rc::clone(offsets));
+                let (a, offsets) = (*a, Arc::clone(offsets));
                 let x = self.value(a);
                 let mut ga = Matrix::zeros(x.rows(), x.cols());
                 for s in 0..offsets.len() - 1 {
@@ -501,7 +494,7 @@ impl Tape {
                 self.accumulate(a, ga);
             }
             Op::SpMM(mat, b) => {
-                let (mat, b) = (Rc::clone(mat), *b);
+                let (mat, b) = (Arc::clone(mat), *b);
                 let gb = mat.transpose_matmul_dense(g);
                 self.accumulate(b, gb);
             }
@@ -538,6 +531,32 @@ impl Tape {
             }
         }
     }
+}
+
+/// Segment-mean forward pass, shared by [`Tape::segment_mean`] and no-grad
+/// inference paths so both produce bit-identical results. `offsets` has
+/// length `S + 1`; output row `s` is the mean of input rows
+/// `offsets[s]..offsets[s+1]` (zero for empty segments).
+pub fn segment_mean_forward(x: &Matrix, offsets: &[usize]) -> Matrix {
+    assert!(offsets.len() >= 2, "need at least one segment");
+    assert_eq!(*offsets.last().unwrap(), x.rows(), "offsets must cover all rows");
+    let segs = offsets.len() - 1;
+    let mut v = Matrix::zeros(segs, x.cols());
+    for s in 0..segs {
+        let (lo, hi) = (offsets[s], offsets[s + 1]);
+        assert!(lo <= hi, "offsets must be nondecreasing");
+        if lo == hi {
+            continue;
+        }
+        let inv = 1.0 / (hi - lo) as f32;
+        for r in lo..hi {
+            let row = x.row(r);
+            for (o, &xx) in v.row_mut(s).iter_mut().zip(row) {
+                *o += xx * inv;
+            }
+        }
+    }
+    v
 }
 
 fn elementwise(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
@@ -702,7 +721,7 @@ mod tests {
             &[m(&[vec![0.3, -0.7], vec![1.0, 0.5], vec![0.1, 0.2], vec![0.9, -0.4]])],
             |t, v| {
                 // segments: rows 0..1, 1..1 (empty), 1..4
-                let offs = Rc::new(vec![0usize, 1, 1, 4]);
+                let offs = Arc::new(vec![0usize, 1, 1, 4]);
                 let s = t.segment_mean(v[0], offs);
                 let s = t.sqr(s);
                 t.sum(s)
@@ -712,13 +731,13 @@ mod tests {
 
     #[test]
     fn grad_spmm() {
-        let sp = Rc::new(SparseMatrix::from_triplets(
+        let sp = Arc::new(SparseMatrix::from_triplets(
             3,
             3,
             vec![(0, 0, 0.5), (0, 2, 1.5), (2, 1, -0.7)],
         ));
         grad_check(&[m(&[vec![0.3, -0.7], vec![1.0, 0.5], vec![0.1, 0.2]])], move |t, v| {
-            let y = t.spmm(Rc::clone(&sp), v[0]);
+            let y = t.spmm(Arc::clone(&sp), v[0]);
             let y = t.sqr(y);
             t.sum(y)
         });

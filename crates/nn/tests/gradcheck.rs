@@ -3,6 +3,7 @@
 //! differences. These run the ops in combinations the unit tests don't.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use coane_nn::{Matrix, SparseMatrix, Tape, Var};
 use proptest::prelude::*;
@@ -64,7 +65,7 @@ proptest! {
         grad_check(&[x], |t, v| {
             let idx = Rc::new(vec![0u32, 2, 2, 4, 1, 3]);
             let g = t.gather_rows(v[0], idx);
-            let offs = Rc::new(vec![0usize, 2, 2, 6]);
+            let offs = Arc::new(vec![0usize, 2, 2, 6]);
             let m = t.segment_mean(g, offs);
             let m = t.sigmoid(m);
             t.sum(m)
@@ -101,11 +102,11 @@ proptest! {
             4, 4,
             vec![(0, 1, 0.7), (1, 0, -0.4), (2, 2, 1.1), (3, 1, 0.3), (3, 3, -0.9)],
         );
-        let sp = Rc::new(sp);
+        let sp = Arc::new(sp);
         grad_check(&[x], move |t, v| {
-            let h = t.spmm(Rc::clone(&sp), v[0]);
+            let h = t.spmm(Arc::clone(&sp), v[0]);
             let h = t.relu(h);
-            let h2 = t.spmm(Rc::clone(&sp), h);
+            let h2 = t.spmm(Arc::clone(&sp), h);
             let s = t.sqr(h2);
             t.mean(s)
         }).map_err(TestCaseError::fail)?;

@@ -144,6 +144,14 @@ impl ContextSet {
         (0..self.n).map(|v| self.count(v as NodeId)).max().unwrap_or(0)
     }
 
+    /// Global context-row range of node `v`: in any matrix laid out with one
+    /// row per context in center-node order (such as `coane-core`'s
+    /// epoch-persistent context-row cache), `v`'s contexts occupy exactly
+    /// these row indices.
+    pub fn row_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
     /// Iterator over the `c`-slot windows of node `v`.
     pub fn contexts_of(&self, v: NodeId) -> impl Iterator<Item = &[NodeId]> {
         let (s, e) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
@@ -207,6 +215,8 @@ mod tests {
         assert_eq!(cs.count(1), 2);
         assert_eq!(cs.max_count(), 2);
         assert_eq!(cs.counts(), vec![1, 2]);
+        assert_eq!(cs.row_range(0), 0..1);
+        assert_eq!(cs.row_range(1), 1..3);
     }
 
     #[test]

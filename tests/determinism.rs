@@ -1,7 +1,10 @@
 //! Thread-count invariance: every parallel stage — walk generation, the
 //! blocked matmul kernels, and the full `Coane::fit` pipeline — must produce
 //! bit-identical results whether it runs on 1 worker or several. This is the
-//! contract that makes `CoaneConfig::threads` a pure performance knob.
+//! contract that makes `CoaneConfig::threads` a pure performance knob, and
+//! the same contract extends to the batch-prefetch depth
+//! (`prefetch_batches`) and the no-grad inference chunk size
+//! (`infer_batch_size`).
 
 use coane::nn::{pool, Matrix};
 use coane::prelude::*;
@@ -39,6 +42,82 @@ fn fit_is_bit_identical_across_thread_counts() {
     let z1 = Coane::new(config(1)).fit(&graph);
     let z4 = Coane::new(config(4)).fit(&graph);
     assert_eq!(z1.as_slice(), z4.as_slice(), "embeddings differ between threads=1 and threads=4");
+}
+
+#[test]
+fn fit_is_bit_identical_with_prefetch_on_or_off() {
+    let graph = test_graph(7);
+    let config = |prefetch_batches: usize, threads: usize| CoaneConfig {
+        embed_dim: 16,
+        epochs: 3,
+        context_size: 3,
+        walk_length: 20,
+        batch_size: 40,
+        decoder_hidden: (32, 32),
+        threads,
+        prefetch_batches,
+        ..Default::default()
+    };
+    // Inline assembly (depth 0) is the reference; any pipeline depth and any
+    // thread count must reproduce it exactly.
+    let z_inline = Coane::new(config(0, 1)).fit(&graph);
+    for (depth, threads) in [(1, 2), (2, 2), (2, 4), (8, 3)] {
+        let z = Coane::new(config(depth, threads)).fit(&graph);
+        assert_eq!(
+            z_inline.as_slice(),
+            z.as_slice(),
+            "embeddings differ with prefetch_batches={depth}, threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn fit_is_bit_identical_across_infer_batch_sizes() {
+    let graph = test_graph(7);
+    let config = |infer_batch_size: usize| CoaneConfig {
+        embed_dim: 16,
+        epochs: 2,
+        context_size: 3,
+        walk_length: 20,
+        batch_size: 40,
+        decoder_hidden: (32, 32),
+        threads: 2,
+        infer_batch_size,
+        ..Default::default()
+    };
+    let base = Coane::new(config(256)).fit(&graph);
+    for ibs in [1, 7, 64, 10_000] {
+        let z = Coane::new(config(ibs)).fit(&graph);
+        assert_eq!(base.as_slice(), z.as_slice(), "embeddings differ at infer_batch_size={ibs}");
+    }
+}
+
+#[test]
+fn resume_with_prefetch_is_bit_identical() {
+    let graph = test_graph(5);
+    let config = |epochs: usize, prefetch_batches: usize| CoaneConfig {
+        embed_dim: 16,
+        epochs,
+        context_size: 3,
+        walk_length: 20,
+        batch_size: 40,
+        decoder_hidden: (32, 32),
+        threads: 2,
+        prefetch_batches,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join("coane_determinism_ckpt_prefetch");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Interrupted run with a deep pipeline, resumed without one: the
+    // prefetch depth is not part of the checkpoint fingerprint and must not
+    // shift a bit of the trajectory.
+    Coane::new(config(2, 4)).fit_resumable(&graph, &CheckpointConfig::new(&dir)).unwrap();
+    let (z_resumed, stats) =
+        Coane::new(config(4, 0)).fit_resumable(&graph, &CheckpointConfig::new(&dir)).unwrap();
+    assert_eq!(stats.resumed_from_epoch, Some(2));
+    let z_direct = Coane::new(config(4, 2)).fit(&graph);
+    assert_eq!(z_resumed.as_slice(), z_direct.as_slice(), "resume with prefetch not bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -173,6 +173,77 @@ proptest! {
     }
 }
 
+/// Strategy: a graph with random *sparse* attribute rows — including
+/// duplicate attribute indices within a row, which `NodeAttributes` keeps
+/// (sorted, adjacent) and batch builders must sum in a pinned order.
+fn arb_sparse_attr_graph() -> impl Strategy<Value = AttributedGraph> {
+    (4usize..24, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let d = 6usize;
+        let mut b = GraphBuilder::new(n, d);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1.0);
+        }
+        for _ in 0..n {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        let rows: Vec<Vec<(u32, f32)>> = (0..n)
+            .map(|_| {
+                (0..rng.gen_range(0..5))
+                    .map(|_| (rng.gen_range(0..d as u32), rng.gen_range(-2.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        b.with_attrs(NodeAttributes::from_sparse_rows(d, &rows)).build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The epoch-persistent context-row cache must reproduce the reference
+    /// triplet builder bit for bit — same sparse operand, same segment
+    /// offsets, same dense targets — for both encoders and arbitrary node
+    /// multisets (duplicates included).
+    #[test]
+    fn context_row_cache_matches_reference_builder(
+        g in arb_sparse_attr_graph(),
+        seed in any::<u64>(),
+    ) {
+        use coane::core::batch::ContextBatch;
+        use coane::core::ContextRowCache;
+        let walker = coane::walks::Walker::new(
+            &g,
+            coane::walks::WalkConfig { walk_length: 12, seed, ..Default::default() },
+        );
+        let walks = walker.generate_all(1);
+        let cs = ContextSet::build(
+            &walks,
+            g.num_nodes(),
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA5);
+        use rand::Rng;
+        for encoder in [EncoderKind::Convolution, EncoderKind::FullyConnected] {
+            let cache = ContextRowCache::build(&g, &cs, encoder);
+            prop_assert_eq!(cache.num_contexts(), cs.num_contexts());
+            let m = rng.gen_range(1..2 * g.num_nodes() + 1);
+            let nodes: Vec<u32> =
+                (0..m).map(|_| rng.gen_range(0..g.num_nodes() as u32)).collect();
+            let fresh = ContextBatch::build(&g, &cs, &nodes, encoder);
+            let cached = cache.batch(&g, &nodes);
+            prop_assert!(*cached.rb == *fresh.rb, "rb mismatch ({:?})", encoder);
+            prop_assert!(cached.offsets == fresh.offsets, "offsets mismatch ({:?})", encoder);
+            prop_assert!(cached.x_target == fresh.x_target, "x_target mismatch ({:?})", encoder);
+        }
+    }
+}
+
 /// Strategy: arbitrary text built from a palette of benign and hostile
 /// characters — digits, signs, exponents, `NaN`/`inf` fragments, whitespace
 /// and separators. (The vendored proptest has no string strategies, so
