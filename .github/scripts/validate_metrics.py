@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Validates a --metrics-json JSONL stream emitted by coane-cli.
+
+Usage: validate_metrics.py <metrics.jsonl> <expected_epoch_records>
+
+Every line must be a self-describing JSON object with a float `t` and an
+`event` kind. Each per-epoch record must carry all three objective-term
+losses, wall time, throughput, and cache/prefetch statistics, and the stream
+must end with scope/counter/gauge aggregates plus a summary line.
+"""
+
+import json
+import sys
+
+EPOCH_KEYS = {
+    "epoch",
+    "loss",
+    "loss_pos",
+    "loss_neg",
+    "loss_att",
+    "grad_norm",
+    "lr",
+    "seconds",
+    "nodes",
+    "nodes_per_sec",
+    "batches",
+    "cache_rows",
+    "nnz",
+    "prefetch_depth",
+    "prefetch_occupancy",
+}
+
+
+def main() -> None:
+    path, expected_epochs = sys.argv[1], int(sys.argv[2])
+    kinds, epochs = [], 0
+    with open(path) as f:
+        for line in f:
+            rec = json.loads(line)
+            assert isinstance(rec.pop("t"), (int, float)), f"missing t: {line!r}"
+            kinds.append(rec["event"])
+            if rec["event"] == "epoch":
+                epochs += 1
+                missing = EPOCH_KEYS - rec.keys()
+                assert not missing, f"epoch record missing {missing}"
+                for key in EPOCH_KEYS:
+                    assert isinstance(rec[key], (int, float)), f"{key} is not numeric"
+    assert epochs == expected_epochs, f"expected {expected_epochs} epoch records, got {epochs}"
+    for kind in ("run", "scope", "counter", "gauge", "summary"):
+        assert kind in kinds, f"missing {kind} record"
+    print(f"{path} OK: {len(kinds)} lines, {epochs} epoch records")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,15 @@ pub trait Embedder {
     fn name(&self) -> &'static str;
     /// Trains and returns the embedding matrix.
     fn embed(&self, graph: &AttributedGraph) -> Matrix;
+    /// [`Embedder::embed`] with telemetry: the run is timed under a scope
+    /// named after the method. Walk-based methods override this to also
+    /// time their internal phases (walk generation, SGNS training).
+    /// Telemetry is observation-only — the embedding is bit-identical to
+    /// [`Embedder::embed`] for any `obs` state.
+    fn embed_observed(&self, graph: &AttributedGraph, obs: &coane_obs::Obs) -> Matrix {
+        let _scope = obs.scope(self.name());
+        self.embed(graph)
+    }
 }
 
 /// Worker threads for baseline walk generation and training: the

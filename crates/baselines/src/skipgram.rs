@@ -52,14 +52,31 @@ impl Default for SkipGramConfig {
 
 /// Trains SGNS embeddings from pre-generated walks. Returns the input
 /// ("center") embedding matrix, the standard word2vec output.
-#[allow(clippy::needless_range_loop)] // indexed form is clearer in this kernel
 pub fn train_skipgram(walks: &[Vec<NodeId>], n: usize, cfg: &SkipGramConfig) -> Matrix {
+    train_skipgram_obs(walks, n, cfg, &coane_obs::Obs::disabled())
+}
+
+/// [`train_skipgram`] with telemetry: the SGD pass runs under a `train`
+/// timing scope and records pair/step counters. Telemetry is
+/// observation-only — the embedding is bit-identical for any `obs` state.
+#[allow(clippy::needless_range_loop)] // indexed form is clearer in this kernel
+pub fn train_skipgram_obs(
+    walks: &[Vec<NodeId>],
+    n: usize,
+    cfg: &SkipGramConfig,
+    obs: &coane_obs::Obs,
+) -> Matrix {
+    let _scope = obs.scope("train");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5697);
     let bound = 0.5 / cfg.dim as f32;
     let mut emb_in = uniform(n, cfg.dim, -bound, bound, &mut rng);
     let mut emb_out = Matrix::zeros(n, cfg.dim);
     let noise = unigram_table(walks, n);
     let mut pairs = walk_pairs(walks, cfg.window);
+    if obs.is_enabled() {
+        obs.add("sgns/pairs", pairs.len() as u64);
+        obs.add("sgns/steps", (pairs.len() * cfg.epochs) as u64);
+    }
     if pairs.is_empty() {
         return emb_in;
     }
@@ -117,6 +134,11 @@ impl Embedder for DeepWalk {
     }
 
     fn embed(&self, graph: &AttributedGraph) -> Matrix {
+        self.embed_observed(graph, &coane_obs::Obs::disabled())
+    }
+
+    fn embed_observed(&self, graph: &AttributedGraph, obs: &coane_obs::Obs) -> Matrix {
+        let _scope = obs.scope(self.name());
         let walker = Walker::new(
             graph,
             WalkConfig {
@@ -127,8 +149,8 @@ impl Embedder for DeepWalk {
                 seed: self.config.seed,
             },
         );
-        let walks = walker.generate_all(crate::common::worker_threads());
-        train_skipgram(&walks, graph.num_nodes(), &self.config)
+        let walks = walker.generate_all_obs(crate::common::worker_threads(), obs);
+        train_skipgram_obs(&walks, graph.num_nodes(), &self.config, obs)
     }
 }
 
@@ -157,6 +179,11 @@ impl Embedder for Node2Vec {
     }
 
     fn embed(&self, graph: &AttributedGraph) -> Matrix {
+        self.embed_observed(graph, &coane_obs::Obs::disabled())
+    }
+
+    fn embed_observed(&self, graph: &AttributedGraph, obs: &coane_obs::Obs) -> Matrix {
+        let _scope = obs.scope(self.name());
         let walker = Walker::new(
             graph,
             WalkConfig {
@@ -167,8 +194,8 @@ impl Embedder for Node2Vec {
                 seed: self.config.seed,
             },
         );
-        let walks = walker.generate_all(crate::common::worker_threads());
-        train_skipgram(&walks, graph.num_nodes(), &self.config)
+        let walks = walker.generate_all_obs(crate::common::worker_threads(), obs);
+        train_skipgram_obs(&walks, graph.num_nodes(), &self.config, obs)
     }
 }
 

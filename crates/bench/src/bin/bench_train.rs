@@ -293,6 +293,18 @@ fn run_smoke() {
     );
     println!("smoke: pipeline bit-identity holds on {} nodes", graph.num_nodes());
 
+    // Telemetry is observation-only: a fully-instrumented run must reproduce
+    // the same bits (the no-op fast path is what the timed runs above use).
+    let obs = coane_obs::Obs::enabled();
+    let z_observed = Coane::try_new(cfg.clone())
+        .expect("valid smoke config")
+        .with_observer(obs.clone())
+        .try_fit(&graph)
+        .expect("smoke fit with telemetry");
+    assert_eq!(z.as_slice(), z_observed.as_slice(), "smoke: telemetry perturbed the embedding");
+    assert!(obs.counter("train/batches") > 0, "smoke: telemetry recorded nothing");
+    println!("smoke: telemetry bit-identity holds ({} event(s) recorded)", obs.num_events());
+
     let text = match std::fs::read_to_string(json_path()) {
         Ok(t) => t,
         Err(e) => fail(&format!("cannot read {}: {e}", json_path())),

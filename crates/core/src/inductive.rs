@@ -34,6 +34,26 @@ pub fn embed_nodes(
     graph: &AttributedGraph,
     nodes: &[NodeId],
 ) -> Matrix {
+    embed_nodes_obs(model, config, graph, nodes, &coane_obs::Obs::disabled())
+}
+
+/// [`embed_nodes`] with phase telemetry: walk sampling, context extraction
+/// and the no-grad forward are timed under an `infer` scope, and the number
+/// of embedded nodes is counted. Telemetry is observation-only — the output
+/// is bit-identical for any `obs` state.
+///
+/// # Panics
+/// Panics if the graph's attribute dimensionality differs from the one the
+/// model was constructed with.
+pub fn embed_nodes_obs(
+    model: &CoaneModel,
+    config: &CoaneConfig,
+    graph: &AttributedGraph,
+    nodes: &[NodeId],
+    obs: &coane_obs::Obs,
+) -> Matrix {
+    let _scope = obs.scope("infer");
+    obs.add("infer/nodes", nodes.len() as u64);
     let walker = Walker::new(
         graph,
         WalkConfig {
@@ -53,7 +73,7 @@ pub fn embed_nodes(
         }
     }
     // No subsampling at inference: every context of the target is welcome.
-    let contexts = ContextSet::build(
+    let contexts = ContextSet::build_obs(
         &walks,
         graph.num_nodes(),
         &ContextsConfig {
@@ -61,6 +81,7 @@ pub fn embed_nodes(
             subsample_t: f64::INFINITY,
             seed: config.seed,
         },
+        obs,
     );
     // No-grad chunked inference off the context-row cache: each requested
     // node's embedding depends only on its own context rows, so the

@@ -42,15 +42,18 @@ pub mod inductive;
 pub mod loss;
 pub mod model;
 pub mod persist;
+pub mod telemetry;
 pub mod trainer;
 
 pub use cache::ContextRowCache;
 pub use checkpoint::CheckpointConfig;
 pub use coane_error::{CoaneError, CoaneResult};
+pub use coane_obs::Obs;
 pub use config::{
     Ablation, CoaneConfig, ContextSource, EncoderKind, NegativeLossKind, PositiveLossKind,
 };
-pub use inductive::embed_nodes;
+pub use inductive::{embed_nodes, embed_nodes_obs};
 pub use model::CoaneModel;
 pub use persist::{load_model, save_model};
+pub use telemetry::{CheckpointRecord, EpochRecord, RecoveryRecord, ResumeRecord};
 pub use trainer::{Coane, TrainStats};

@@ -1,0 +1,77 @@
+//! Structured telemetry records emitted by the trainer.
+//!
+//! Each type here is the payload of one [`coane_obs::Obs::event`] kind; the
+//! sink serializes it to one JSONL line with a `"t"` timestamp and
+//! `"event"` kind added (see DESIGN.md §2.7 for the full schema). All
+//! values are *observations* of the training run — recording them never
+//! feeds back into the computation, so embeddings are bit-identical with
+//! telemetry on or off.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-epoch record (`"event": "epoch"`): the three objective terms of
+/// §3.3, optimizer state, throughput, and pipeline health.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Total objective summed over batches (what [`crate::TrainStats`]
+    /// reports).
+    pub loss: f64,
+    /// Positive graph-likelihood term `L_pos`, summed over batches.
+    pub loss_pos: f64,
+    /// Contextual negative-sampling term, summed over batches.
+    pub loss_neg: f64,
+    /// Attribute-preservation term `γ·MSE`, summed over batches.
+    pub loss_att: f64,
+    /// Mean per-batch global gradient L2 norm (over all parameters).
+    pub grad_norm: f64,
+    /// Learning rate in effect this epoch (halved by NaN recovery).
+    pub lr: f64,
+    /// Wall-clock seconds for the epoch (train + renew excluded).
+    pub seconds: f64,
+    /// Nodes trained this epoch (one pass = all nodes).
+    pub nodes: u64,
+    /// Training throughput: `nodes / seconds`.
+    pub nodes_per_sec: f64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Context rows served from the context-row cache.
+    pub cache_rows: u64,
+    /// Sparse non-zeros processed through the encoder.
+    pub nnz: u64,
+    /// Configured prefetch pipeline depth.
+    pub prefetch_depth: u64,
+    /// Mean number of batches ready ahead of the consumer (0 ..= depth);
+    /// a value near the depth means the pipeline is keeping up.
+    pub prefetch_occupancy: f64,
+}
+
+/// Non-finite-loss recovery record (`"event": "recovery"`): the NaN guard
+/// rolled the epoch back and halved the learning rate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// Epoch that produced the non-finite loss (it will be retried).
+    pub epoch: u64,
+    /// Learning rate after halving.
+    pub lr: f64,
+    /// Retries remaining before training fails with a `Numeric` error.
+    pub retries_left: u64,
+}
+
+/// Checkpoint-write record (`"event": "checkpoint"`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Number of completed epochs the checkpoint captures.
+    pub epoch: u64,
+    /// Wall-clock seconds the atomic write took.
+    pub write_secs: f64,
+}
+
+/// Resume record (`"event": "resume"`): training restarted from a valid
+/// checkpoint instead of from scratch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResumeRecord {
+    /// Epoch the checkpoint restored to (training continues from here).
+    pub epoch: u64,
+}

@@ -15,12 +15,15 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use coane_obs::Obs;
+
 use crate::batch::{first_hop_walks, ContextBatch};
 use crate::cache::ContextRowCache;
 use crate::checkpoint::{self, CheckpointConfig, TrainCheckpoint};
 use crate::config::{CoaneConfig, ContextSource, NegativeLossKind};
 use crate::loss::{attribute_loss, negative_loss, positive_loss, total_loss, LossContext};
 use crate::model::CoaneModel;
+use crate::telemetry::{CheckpointRecord, EpochRecord, RecoveryRecord, ResumeRecord};
 
 /// Per-epoch training statistics.
 #[derive(Clone, Debug, Default)]
@@ -52,6 +55,10 @@ pub struct TrainStats {
 #[derive(Debug)]
 pub struct Coane {
     config: CoaneConfig,
+    /// Telemetry sink; disabled by default (every instrumentation call is a
+    /// no-op branch). Never part of the checkpoint fingerprint: telemetry
+    /// is observation-only and cannot affect results.
+    obs: Obs,
     /// Test-only fault injection: epochs whose loss is forced to NaN once.
     fault_epochs: Vec<usize>,
 }
@@ -65,6 +72,19 @@ struct Prepared {
     pairs: PositivePairs,
     sampler: ContextualNegativeSampler,
     cache: ContextRowCache,
+}
+
+/// Telemetry-only per-epoch accumulator. Filled by `train_batch` only when
+/// the observer is enabled; its values never feed back into training.
+#[derive(Default)]
+struct EpochAccum {
+    pos: f64,
+    neg: f64,
+    att: f64,
+    grad_norm: f64,
+    batches: u64,
+    cache_rows: u64,
+    nnz: u64,
 }
 
 impl Coane {
@@ -81,12 +101,24 @@ impl Coane {
     /// [`CoaneError::Config`] instead of panicking.
     pub fn try_new(config: CoaneConfig) -> CoaneResult<Self> {
         config.validate()?;
-        Ok(Self { config, fault_epochs: Vec::new() })
+        Ok(Self { config, obs: Obs::disabled(), fault_epochs: Vec::new() })
     }
 
     /// The configuration.
     pub fn config(&self) -> &CoaneConfig {
         &self.config
+    }
+
+    /// Attaches a telemetry collector. Every training phase then records
+    /// timing scopes, counters, and structured events (per-epoch
+    /// [`EpochRecord`]s, NaN-guard [`RecoveryRecord`]s, checkpoint write
+    /// latency) into `obs`. Telemetry is observation-only: it never draws
+    /// from the training RNG or reorders float operations, so the returned
+    /// embeddings are bit-identical to an unobserved run at any thread
+    /// count (enforced by `tests/determinism.rs`).
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Forces the training loss to come out NaN once per listed epoch (an
@@ -173,6 +205,19 @@ impl Coane {
         self.run(graph, Some(ckpt), |_, _| {})
     }
 
+    /// The fully general training entry point: optional checkpointing, a
+    /// per-epoch callback (invoked with the renewed embedding matrix), and
+    /// the fitted model in the result. Every other `fit_*` method is a
+    /// specialization of this.
+    pub fn try_fit_full(
+        &self,
+        graph: &AttributedGraph,
+        checkpointing: Option<&CheckpointConfig>,
+        on_epoch: impl FnMut(usize, &Matrix),
+    ) -> CoaneResult<(Matrix, CoaneModel, TrainStats)> {
+        self.run(graph, checkpointing, on_epoch)
+    }
+
     fn run(
         &self,
         graph: &AttributedGraph,
@@ -193,8 +238,12 @@ impl Coane {
             &owned_graph
         };
 
+        let _fit_scope = self.obs.scope("fit");
         let n = graph.num_nodes();
-        let prep = self.prepare(graph);
+        let prep = {
+            let _scope = self.obs.scope("prepare");
+            self.prepare(graph)
+        };
         let mut stats = TrainStats {
             k_p: prep.pairs.k_p,
             num_contexts: prep.contexts.num_contexts(),
@@ -255,9 +304,13 @@ impl Coane {
                 stats.final_lr = adam.lr;
                 start_epoch = saved.epoch as usize;
                 stats.resumed_from_epoch = Some(start_epoch);
+                self.obs.event("resume", &ResumeRecord { epoch: start_epoch as u64 });
                 // The embedding cache is not checkpointed: renewal recomputes
                 // it deterministically from the restored filters.
-                self.renew(&prep.cache, &model, &mut z_cache);
+                {
+                    let _scope = self.obs.scope("renew");
+                    self.renew(&prep.cache, &model, &mut z_cache);
+                }
                 renewed = true;
             }
         }
@@ -275,6 +328,7 @@ impl Coane {
             let snap_rng = rng.clone();
             let snap_z = z_cache.clone();
 
+            let _epoch_scope = self.obs.scope("epoch");
             let started = std::time::Instant::now();
             // Reset to identity before shuffling: the epoch-e permutation
             // then depends only on the RNG state at the epoch boundary (which
@@ -284,15 +338,17 @@ impl Coane {
             }
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0f32;
+            let mut accum = EpochAccum::default();
+            let (mut occ_sum, mut occ_samples) = (0u64, 0u64);
             // Pipelined batch assembly: batch i+1's sparse operand is sliced
             // out of the context-row cache on a background worker while batch
             // i trains. Only the (pure-function-of-index) assembly moves off
             // the main thread — negative sampling and every parameter update
             // stay on the main-thread RNG in batch order, so the training
             // trajectory is bit-identical with prefetching on, off, or at any
-            // depth.
+            // depth. The occupancy probe only reads a producer-side counter.
             let batch_chunks: Vec<&[NodeId]> = order.chunks(cfg.batch_size).collect();
-            coane_nn::pool::prefetch(
+            coane_nn::pool::prefetch_probed(
                 batch_chunks.len(),
                 cfg.prefetch_batches,
                 |i| prep.cache.batch(graph, batch_chunks[i]),
@@ -307,7 +363,12 @@ impl Coane {
                         batch_chunks[i],
                         batch,
                         &mut rng,
+                        &mut accum,
                     );
+                },
+                |ready| {
+                    occ_sum += ready as u64;
+                    occ_samples += 1;
                 },
             );
             if let Some(pos) = pending_faults.iter().position(|&e| e == epoch) {
@@ -327,6 +388,14 @@ impl Coane {
                 }
                 retries_left -= 1;
                 stats.recoveries += 1;
+                self.obs.event(
+                    "recovery",
+                    &RecoveryRecord {
+                        epoch: epoch as u64,
+                        lr: (adam.lr * 0.5) as f64,
+                        retries_left: retries_left as u64,
+                    },
+                );
                 model
                     .params
                     .import_values(snap_params)
@@ -339,12 +408,45 @@ impl Coane {
                 continue; // retry the same epoch at the halved learning rate
             }
 
+            let secs = started.elapsed().as_secs_f64();
             stats.epoch_losses.push(epoch_loss);
-            stats.epoch_seconds.push(started.elapsed().as_secs_f64());
+            stats.epoch_seconds.push(secs);
+            if self.obs.is_enabled() {
+                let record = EpochRecord {
+                    epoch: epoch as u64,
+                    loss: epoch_loss as f64,
+                    loss_pos: accum.pos,
+                    loss_neg: accum.neg,
+                    loss_att: accum.att,
+                    grad_norm: accum.grad_norm / accum.batches.max(1) as f64,
+                    lr: adam.lr as f64,
+                    seconds: secs,
+                    nodes: n as u64,
+                    nodes_per_sec: n as f64 / secs.max(f64::EPSILON),
+                    batches: accum.batches,
+                    cache_rows: accum.cache_rows,
+                    nnz: accum.nnz,
+                    prefetch_depth: cfg.prefetch_batches as u64,
+                    prefetch_occupancy: if occ_samples == 0 {
+                        0.0
+                    } else {
+                        occ_sum as f64 / occ_samples as f64
+                    },
+                };
+                self.obs.add("train/batches", record.batches);
+                self.obs.add("cache/rows_served", record.cache_rows);
+                self.obs.add("train/nnz", record.nnz);
+                self.obs.gauge("nodes_per_sec", record.nodes_per_sec);
+                self.obs.gauge("prefetch/occupancy", record.prefetch_occupancy);
+                self.obs.event("epoch", &record);
+            }
             // Renew all embeddings with the current filters (Algorithm 1's
             // final "Renew z_v" step, run each epoch so callbacks and the
             // next epoch's cache see consistent embeddings).
-            self.renew(&prep.cache, &model, &mut z_cache);
+            {
+                let _scope = self.obs.scope("renew");
+                self.renew(&prep.cache, &model, &mut z_cache);
+            }
             renewed = true;
             on_epoch(epoch, &z_cache);
 
@@ -369,13 +471,25 @@ impl Coane {
                         adam_m: m.to_vec(),
                         adam_v: v.to_vec(),
                     };
-                    checkpoint::save_checkpoint(&ck.dir, &ckpt, ck.keep)?;
+                    let write_started = std::time::Instant::now();
+                    {
+                        let _scope = self.obs.scope("checkpoint");
+                        checkpoint::save_checkpoint(&ck.dir, &ckpt, ck.keep)?;
+                    }
                     stats.checkpoints_written += 1;
+                    self.obs.event(
+                        "checkpoint",
+                        &CheckpointRecord {
+                            epoch: done as u64,
+                            write_secs: write_started.elapsed().as_secs_f64(),
+                        },
+                    );
                 }
             }
             epoch += 1;
         }
         if !renewed {
+            let _scope = self.obs.scope("renew");
             self.renew(&prep.cache, &model, &mut z_cache);
         }
         stats.final_lr = adam.lr;
@@ -396,6 +510,7 @@ impl Coane {
         batch_nodes: &[NodeId],
         batch: ContextBatch,
         rng: &mut ChaCha8Rng,
+        accum: &mut EpochAccum,
     ) -> f32 {
         let cfg = &self.config;
         for (k, &v) in batch_nodes.iter().enumerate() {
@@ -450,11 +565,29 @@ impl Coane {
         let loss_value = if let Some(loss) = total_loss(&mut tape, [l_pos, l_neg, l_att]) {
             tape.backward(loss);
             let grads = model.params.take_grads(&mut tape, &vars);
+            if self.obs.is_enabled() {
+                // Global gradient L2 norm, read before the optimizer step.
+                accum.grad_norm += grads
+                    .iter()
+                    .flat_map(|g| g.as_slice())
+                    .map(|&x| x as f64 * x as f64)
+                    .sum::<f64>()
+                    .sqrt();
+            }
             adam.step(&mut model.params, &grads);
             tape.value(loss).item()
         } else {
             0.0
         };
+        if self.obs.is_enabled() {
+            accum.batches += 1;
+            accum.cache_rows += batch.num_contexts() as u64;
+            accum.nnz += batch.rb.nnz() as u64;
+            let term = |v| tape.value(v).item() as f64;
+            accum.pos += l_pos.map(&term).unwrap_or(0.0);
+            accum.neg += l_neg.map(&term).unwrap_or(0.0);
+            accum.att += l_att.map(&term).unwrap_or(0.0);
+        }
 
         // Embedding-updating step: write the fresh batch embeddings into the
         // cache so later batches see them.
@@ -497,11 +630,14 @@ impl Coane {
                         seed: cfg.seed,
                     },
                 );
-                walker.generate_all(cfg.threads)
+                walker.generate_all_obs(cfg.threads, &self.obs)
             }
-            ContextSource::FirstHop => first_hop_walks(graph),
+            ContextSource::FirstHop => {
+                let _scope = self.obs.scope("walks");
+                first_hop_walks(graph)
+            }
         };
-        let contexts = ContextSet::build(
+        let contexts = ContextSet::build_obs(
             &walks,
             graph.num_nodes(),
             &ContextsConfig {
@@ -514,14 +650,28 @@ impl Coane {
                 },
                 seed: cfg.seed ^ 0x51_7e,
             },
+            &self.obs,
         );
-        let co = CoMatrices::build(&contexts, graph);
+        let co = CoMatrices::build_obs(&contexts, graph, &self.obs);
         let k_p = contexts.max_count().max(1);
-        let pairs = PositivePairs::select(&co, k_p);
-        let sampler = ContextualNegativeSampler::new(&contexts);
+        let pairs = {
+            let _scope = self.obs.scope("positive_pairs");
+            PositivePairs::select(&co, k_p)
+        };
+        let sampler = {
+            let _scope = self.obs.scope("sampler");
+            ContextualNegativeSampler::new(&contexts)
+        };
         // Contexts are frozen from here on: materialize every sparse context
         // row once so per-epoch batch assembly is a row-range concatenation.
-        let cache = ContextRowCache::build(graph, &contexts, cfg.encoder);
+        let cache = {
+            let _scope = self.obs.scope("cache");
+            ContextRowCache::build(graph, &contexts, cfg.encoder)
+        };
+        if self.obs.is_enabled() {
+            self.obs.add("cache/rows_built", cache.num_contexts() as u64);
+            self.obs.add("cache/nnz_built", cache.nnz() as u64);
+        }
         Prepared { contexts, co, pairs, sampler, cache }
     }
 }

@@ -78,6 +78,30 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     (sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
 }
 
+/// Average precision: mean of precision-at-rank over the positive items,
+/// ranking by score descending — the area under the precision–recall curve
+/// in its step-function form. Ties are broken by input order (stable sort),
+/// so exact tie handling is deterministic.
+///
+/// # Panics
+/// Panics if there is no positive item.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    assert!(n_pos > 0, "average precision requires at least one positive");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / n_pos as f64
+}
+
 /// Normalized mutual information between two labelings, with arithmetic-mean
 /// normalization `NMI = 2·I(U;V) / (H(U) + H(V))`. Returns 1 for identical
 /// partitions (up to relabeling) and 0 for independent ones; defined as 0

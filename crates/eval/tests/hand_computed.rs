@@ -1,0 +1,146 @@
+//! Every metric checked against values worked out by hand — the expected
+//! numbers below are written as the arithmetic of the derivation, not as
+//! opaque decimals, so the working is auditable in place.
+
+use coane_eval::{average_precision, link_prediction_auc, macro_f1, micro_f1, nmi, roc_auc};
+
+// ── F1 ─────────────────────────────────────────────────────────────────────
+
+/// truth  [0, 0, 1, 1, 2, 2]
+/// pred   [0, 2, 1, 0, 2, 2]
+///
+/// class 0: tp=1 (pos 0), fp=1 (pos 3), fn=1 (pos 1) → F1 = 2·1/(2·1+1+1) = 1/2
+/// class 1: tp=1 (pos 2), fp=0, fn=1 (pos 3)         → F1 = 2·1/(2·1+0+1) = 2/3
+/// class 2: tp=2 (pos 4,5), fp=1 (pos 1), fn=0       → F1 = 2·2/(2·2+1+0) = 4/5
+#[test]
+fn f1_three_class_hand_computed() {
+    let t = [0u32, 0, 1, 1, 2, 2];
+    let p = [0u32, 2, 1, 0, 2, 2];
+    let macro_want = (1.0 / 2.0 + 2.0 / 3.0 + 4.0 / 5.0) / 3.0;
+    assert!((macro_f1(&t, &p, 3) - macro_want).abs() < 1e-12);
+    // pooled: tp=4, fp=2, fn=2 → micro-F1 = 2·4/(2·4+2+2) = 2/3 = accuracy 4/6
+    let micro_want = 2.0 * 4.0 / (2.0 * 4.0 + 2.0 + 2.0);
+    assert!((micro_f1(&t, &p, 3) - micro_want).abs() < 1e-12);
+    assert!((micro_want - 4.0 / 6.0).abs() < 1e-15, "micro-F1 must equal accuracy");
+}
+
+/// A class that never occurs in truth or prediction contributes F1 = 0 to the
+/// macro average (scikit-learn convention): same counts as above but divided
+/// over 4 classes instead of 3.
+#[test]
+fn macro_f1_counts_absent_classes_as_zero() {
+    let t = [0u32, 0, 1, 1, 2, 2];
+    let p = [0u32, 2, 1, 0, 2, 2];
+    let want = (1.0 / 2.0 + 2.0 / 3.0 + 4.0 / 5.0 + 0.0) / 4.0;
+    assert!((macro_f1(&t, &p, 4) - want).abs() < 1e-12);
+}
+
+// ── NMI ────────────────────────────────────────────────────────────────────
+
+/// a = [0, 0, 1, 1], b = [0, 1, 1, 1]; n = 4.
+///
+/// marginals: p_a = (1/2, 1/2), p_b = (1/4, 3/4)
+/// joint: p(0,0)=1/4, p(0,1)=1/4, p(1,1)=1/2
+/// I = 1/4·ln( (1/4)/(1/2·1/4) ) + 1/4·ln( (1/4)/(1/2·3/4) ) + 1/2·ln( (1/2)/(1/2·3/4) )
+///   = 1/4·ln 2 + 1/4·ln(2/3) + 1/2·ln(4/3)
+/// H(a) = ln 2,   H(b) = −(1/4·ln(1/4) + 3/4·ln(3/4))
+/// NMI = 2I / (H(a) + H(b))
+#[test]
+fn nmi_hand_computed() {
+    let a = [0u32, 0, 1, 1];
+    let b = [0u32, 1, 1, 1];
+    let mi = 0.25 * 2.0f64.ln() + 0.25 * (2.0f64 / 3.0).ln() + 0.5 * (4.0f64 / 3.0).ln();
+    let ha = 2.0f64.ln();
+    let hb = -(0.25 * 0.25f64.ln() + 0.75 * 0.75f64.ln());
+    let want = 2.0 * mi / (ha + hb);
+    assert!((nmi(&a, &b) - want).abs() < 1e-12, "nmi {} want {want}", nmi(&a, &b));
+}
+
+// ── ROC-AUC ────────────────────────────────────────────────────────────────
+
+/// scores [0.1, 0.4, 0.35, 0.8], labels [−, −, +, +].
+///
+/// Ascending ranks: 0.1→1, 0.35→2, 0.4→3, 0.8→4. Positive ranks {2, 4},
+/// sum = 6. AUC = (6 − 2·3/2) / (2·2) = 3/4. Equivalently: of the 4
+/// (pos, neg) pairs, 3 are correctly ordered (0.35 < 0.4 is the one miss).
+#[test]
+fn auc_hand_computed() {
+    let scores = [0.1, 0.4, 0.35, 0.8];
+    let labels = [false, false, true, true];
+    assert!((roc_auc(&scores, &labels) - 3.0 / 4.0).abs() < 1e-12);
+}
+
+/// One positive tied with one negative: the tied pair contributes 1/2 via
+/// midranks. Pairs: (0.9,+ vs 0.5,−) ordered, (0.5,+ vs 0.5,−) tied.
+/// AUC = (1 + 1/2) / 2 = 3/4.
+#[test]
+fn auc_tie_hand_computed() {
+    let scores = [0.9, 0.5, 0.5];
+    let labels = [true, true, false];
+    assert!((roc_auc(&scores, &labels) - 3.0 / 4.0).abs() < 1e-12);
+}
+
+// ── Average precision ──────────────────────────────────────────────────────
+
+/// scores [0.9, 0.8, 0.7, 0.6], labels [+, −, +, −].
+///
+/// Ranked: rank 1 is a hit (precision 1/1), rank 3 is a hit (precision 2/3).
+/// AP = (1 + 2/3) / 2 = 5/6.
+#[test]
+fn average_precision_hand_computed() {
+    let scores = [0.9, 0.8, 0.7, 0.6];
+    let labels = [true, false, true, false];
+    assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+}
+
+/// Perfect ranking gives AP = 1; worst ranking of 1 positive among n items
+/// gives AP = 1/n.
+#[test]
+fn average_precision_extremes() {
+    let labels_perfect = [true, true, false, false];
+    assert!((average_precision(&[0.9, 0.8, 0.2, 0.1], &labels_perfect) - 1.0).abs() < 1e-12);
+    let labels_worst = [false, false, false, true];
+    assert!((average_precision(&[0.9, 0.8, 0.7, 0.1], &labels_worst) - 1.0 / 4.0).abs() < 1e-12);
+}
+
+/// AP is invariant to any strictly increasing transform of the scores.
+#[test]
+fn average_precision_monotone_invariant() {
+    let scores = [0.15, 0.7, 0.3, 0.55, 0.02];
+    let labels = [false, true, true, false, true];
+    let a1 = average_precision(&scores, &labels);
+    let transformed: Vec<f64> = scores.iter().map(|&s| (3.0 * s).exp() + 7.0).collect();
+    let a2 = average_precision(&transformed, &labels);
+    assert!((a1 - a2).abs() < 1e-12);
+}
+
+#[test]
+#[should_panic(expected = "at least one positive")]
+fn average_precision_rejects_all_negative() {
+    average_precision(&[0.1, 0.2], &[false, false]);
+}
+
+// ── Link prediction end-to-end ─────────────────────────────────────────────
+
+/// A planted 2-block embedding where same-block pairs have strongly positive
+/// Hadamard products: the logistic edge classifier must rank held-out
+/// same-block (positive) pairs above cross-block (negative) ones, giving
+/// AUC = 1 and AP = 1 on this separable instance.
+#[test]
+fn link_prediction_separable_case() {
+    // 8 nodes, dim 2: block A = (+1, +1)-ish, block B = (−1, +1)-ish, with
+    // small deterministic jitter so no two nodes are identical.
+    let dim = 2usize;
+    let mut embedding = Vec::with_capacity(8 * dim);
+    for i in 0..8 {
+        let sign = if i < 4 { 1.0f32 } else { -1.0f32 };
+        let jitter = 0.01 * i as f32;
+        embedding.extend_from_slice(&[sign * (1.0 + jitter), 1.0 - jitter]);
+    }
+    let train_pos: &[(u32, u32)] = &[(0, 1), (1, 2), (4, 5), (5, 6)];
+    let train_neg: &[(u32, u32)] = &[(0, 4), (1, 5), (2, 6), (3, 7)];
+    let test_pos: &[(u32, u32)] = &[(2, 3), (6, 7)];
+    let test_neg: &[(u32, u32)] = &[(0, 7), (3, 4)];
+    let auc = link_prediction_auc(&embedding, dim, train_pos, train_neg, test_pos, test_neg);
+    assert!((auc - 1.0).abs() < 1e-9, "separable link prediction should be perfect, got {auc}");
+}

@@ -175,33 +175,56 @@ where
 /// `consume(0, make(0)), consume(1, make(1)), …` — so as long as `make` is a
 /// pure function of its index, results cannot depend on whether (or how far)
 /// the pipeline ran ahead.
-pub fn prefetch<T, F, C>(n: usize, depth: usize, make: F, mut consume: C)
+pub fn prefetch<T, F, C>(n: usize, depth: usize, make: F, consume: C)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
     C: FnMut(usize, T),
 {
+    prefetch_probed(n, depth, make, consume, |_| {});
+}
+
+/// [`prefetch`] with a queue-occupancy probe for observability.
+///
+/// Before each `consume(i, …)` the probe receives the number of items the
+/// producer has finished building *beyond* the one about to be consumed
+/// (0 ..= depth). On the inline fallback path the probe always sees 0. The
+/// probe runs on the consumer thread and must not affect the computation —
+/// it exists so telemetry can report how full the pipeline actually is.
+pub fn prefetch_probed<T, F, C, P>(n: usize, depth: usize, make: F, mut consume: C, mut probe: P)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+    P: FnMut(usize),
+{
     if depth == 0 || n <= 1 || threads() < 2 || in_worker() {
         for i in 0..n {
+            probe(0);
             consume(i, make(i));
         }
         return;
     }
+    let produced = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::sync_channel::<T>(depth);
     std::thread::scope(|scope| {
         let make = &make;
+        let produced = &produced;
         scope.spawn(move || {
             let _guard = WorkerGuard::enter();
             for i in 0..n {
+                let item = make(i);
+                produced.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 // The consumer hanging up (panic unwind) is the only way a
                 // send fails; stop producing and let scope join.
-                if tx.send(make(i)).is_err() {
+                if tx.send(item).is_err() {
                     break;
                 }
             }
         });
         for i in 0..n {
             let item = rx.recv().expect("prefetch producer exited early");
+            probe(produced.load(std::sync::atomic::Ordering::Relaxed).saturating_sub(i + 1));
             consume(i, item);
         }
     });

@@ -1,0 +1,217 @@
+//! Aggregation internals: the shared collector plus the thread-local scope
+//! path stack.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+thread_local! {
+    /// Per-thread stack of open scope names. Process-wide per thread (not
+    /// per collector): if two enabled collectors time scopes on the same
+    /// thread simultaneously their paths interleave, which is acceptable
+    /// for the workspace's one-collector-per-run usage.
+    static PATH: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes `name` onto the current thread's scope stack and returns the full
+/// `/`-joined path.
+pub(crate) fn push_path(name: &'static str) -> String {
+    PATH.with(|p| {
+        let mut stack = p.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    })
+}
+
+/// Pops the innermost open scope off the current thread's stack.
+pub(crate) fn pop_path() {
+    PATH.with(|p| {
+        p.borrow_mut().pop();
+    });
+}
+
+/// Aggregated statistics for one scope path.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopeStat {
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Total wall-clock time spent inside (sums across threads).
+    pub total: Duration,
+    /// Number of distinct threads that entered the scope.
+    pub threads: usize,
+}
+
+/// Aggregated statistics for one gauge.
+#[derive(Clone, Copy, Debug)]
+pub struct GaugeStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for [`GaugeStat::mean`]).
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Most recent sample.
+    pub last: f64,
+}
+
+impl GaugeStat {
+    /// Mean of all samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+struct ScopeAccum {
+    calls: u64,
+    total: Duration,
+    threads: HashSet<ThreadId>,
+}
+
+pub(crate) struct Event {
+    pub t: f64,
+    pub kind: &'static str,
+    pub payload: Value,
+}
+
+/// Shared aggregation state behind an enabled [`crate::Obs`] handle.
+///
+/// Mutex-per-family keeps contention low: scope records, counters, gauges
+/// and events lock independently. All locks are held only for the map
+/// update itself.
+pub(crate) struct Collector {
+    start: Instant,
+    scopes: Mutex<BTreeMap<String, ScopeAccum>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, GaugeStat>>,
+    events: Mutex<Vec<Event>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").field("elapsed_secs", &self.elapsed_secs()).finish()
+    }
+}
+
+impl Collector {
+    pub(crate) fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            scopes: Mutex::new(BTreeMap::new()),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    pub(crate) fn record_scope(&self, path: String, elapsed: Duration) {
+        let tid = std::thread::current().id();
+        let mut scopes = self.scopes.lock().unwrap();
+        let acc = scopes.entry(path).or_insert_with(|| ScopeAccum {
+            calls: 0,
+            total: Duration::ZERO,
+            threads: HashSet::new(),
+        });
+        acc.calls += 1;
+        acc.total += elapsed;
+        acc.threads.insert(tid);
+    }
+
+    pub(crate) fn add(&self, counter: &'static str, n: u64) {
+        *self.counters.lock().unwrap().entry(counter).or_insert(0) += n;
+    }
+
+    pub(crate) fn gauge(&self, name: &'static str, value: f64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        let g = gauges.entry(name).or_insert(GaugeStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+        });
+        g.count += 1;
+        g.sum += value;
+        g.min = g.min.min(value);
+        g.max = g.max.max(value);
+        g.last = value;
+    }
+
+    pub(crate) fn event(&self, kind: &'static str, payload: Value) {
+        let t = self.elapsed_secs();
+        self.events.lock().unwrap().push(Event { t, kind, payload });
+    }
+
+    pub(crate) fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().unwrap().get(name).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn gauge_stat(&self, name: &str) -> Option<GaugeStat> {
+        self.gauges.lock().unwrap().get(name).copied()
+    }
+
+    pub(crate) fn scope_stat(&self, path: &str) -> Option<ScopeStat> {
+        self.scopes.lock().unwrap().get(path).map(|a| ScopeStat {
+            calls: a.calls,
+            total: a.total,
+            threads: a.threads.len(),
+        })
+    }
+
+    pub(crate) fn events_of(&self, kind: &str) -> Vec<Value> {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.payload.clone())
+            .collect()
+    }
+
+    pub(crate) fn num_events(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Snapshot of all scope paths with aggregated stats, in path order.
+    pub(crate) fn scope_snapshot(&self) -> Vec<(String, ScopeStat)> {
+        self.scopes
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(path, a)| {
+                (
+                    path.clone(),
+                    ScopeStat { calls: a.calls, total: a.total, threads: a.threads.len() },
+                )
+            })
+            .collect()
+    }
+
+    /// Snapshot of all counters, in name order.
+    pub(crate) fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters.lock().unwrap().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Snapshot of all gauges, in name order.
+    pub(crate) fn gauge_snapshot(&self) -> Vec<(&'static str, GaugeStat)> {
+        self.gauges.lock().unwrap().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Snapshot of all events in insertion order (t, kind, payload).
+    pub(crate) fn event_snapshot(&self) -> Vec<(f64, &'static str, Value)> {
+        self.events.lock().unwrap().iter().map(|e| (e.t, e.kind, e.payload.clone())).collect()
+    }
+}

@@ -1,0 +1,315 @@
+//! # coane-obs
+//!
+//! Observability for the CoANE workspace: hierarchical wall-clock timing
+//! scopes, counters and gauges, and a structured JSONL event sink with a
+//! human-readable end-of-run summary.
+//!
+//! The public handle is [`Obs`] — a cheap `Clone`-able wrapper around
+//! `Option<Arc<Collector>>`. A *disabled* handle (the default) turns every
+//! instrumentation call into a branch on `None` that does no allocation, no
+//! locking, and no clock read, so instrumented code paths cost nothing when
+//! telemetry is off. An *enabled* handle aggregates into a shared
+//! [`collector`](collector::Collector) behind mutexes.
+//!
+//! ## Contract: observation only
+//!
+//! Telemetry is strictly read-only with respect to the computation it
+//! observes. Instrumentation never draws from an RNG, never reorders float
+//! reductions, and never feeds a measured value back into the training
+//! state — embeddings are bit-identical with telemetry on or off at any
+//! thread count (enforced by `tests/determinism.rs` at the workspace root).
+//!
+//! ## Scopes
+//!
+//! [`Obs::scope`] returns an RAII guard; nested guards on the same thread
+//! build a `/`-separated path (`fit/prepare/walks`). The nesting stack is
+//! thread-local, so concurrently timed scopes on different threads cannot
+//! corrupt each other's paths; a scope opened on a freshly spawned worker
+//! thread starts a new root path. Each aggregated path records call count,
+//! total duration, and the number of distinct threads that entered it.
+//!
+//! ## Events
+//!
+//! [`Obs::event`] records a timestamped payload (any `serde::Serialize`
+//! type). [`Obs::write_jsonl`] emits one JSON object per line: first every
+//! event in insertion order, then aggregate `scope` / `counter` / `gauge`
+//! records, then a final `summary` line. Every line carries `"t"` (seconds
+//! since the collector was created, monotonic) and `"event"` (the record
+//! kind) — see DESIGN.md §2.7 for the full schema.
+
+mod collector;
+mod render;
+
+use std::io::{self, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use collector::Collector;
+pub use collector::{GaugeStat, ScopeStat};
+// Re-exported so downstream crates can build/match event payloads without a
+// direct serde dependency.
+pub use serde::Value;
+
+/// Handle to a telemetry collector; disabled by default.
+///
+/// Cloning shares the underlying collector (enabled) or stays a no-op
+/// (disabled). All methods on a disabled handle return immediately.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<Collector>>,
+}
+
+impl Obs {
+    /// A disabled handle: every instrumentation call is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A fresh enabled handle with its own collector; `t = 0` is now.
+    pub fn enabled() -> Self {
+        Self { inner: Some(Arc::new(Collector::new())) }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since the collector was created (0.0 when disabled).
+    pub fn elapsed_secs(&self) -> f64 {
+        match &self.inner {
+            Some(c) => c.elapsed_secs(),
+            None => 0.0,
+        }
+    }
+
+    /// Opens a timing scope; the returned guard records on drop. Nested
+    /// scopes on one thread extend the `/`-separated path.
+    #[must_use = "the scope is timed until the returned guard is dropped"]
+    pub fn scope(&self, name: &'static str) -> Scope {
+        match &self.inner {
+            Some(c) => {
+                Scope { rec: Some((Arc::clone(c), collector::push_path(name), Instant::now())) }
+            }
+            None => Scope { rec: None },
+        }
+    }
+
+    /// Adds `n` to the named monotonic counter.
+    pub fn add(&self, counter: &'static str, n: u64) {
+        if let Some(c) = &self.inner {
+            c.add(counter, n);
+        }
+    }
+
+    /// Records one sample of the named gauge (tracked as last/min/max/mean).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(c) = &self.inner {
+            c.gauge(name, value);
+        }
+    }
+
+    /// Records a timestamped structured event. Object-shaped payloads are
+    /// merged into the record; any other shape lands under a `"value"` key.
+    pub fn event<T: Serialize + ?Sized>(&self, kind: &'static str, payload: &T) {
+        if let Some(c) = &self.inner {
+            c.event(kind, payload.to_value());
+        }
+    }
+
+    // ---------------------------------------------------------- accessors
+
+    /// Current value of a counter (0 when absent or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |c| c.counter(name))
+    }
+
+    /// Aggregated statistics for a gauge, if it has samples.
+    pub fn gauge_stat(&self, name: &str) -> Option<GaugeStat> {
+        self.inner.as_ref().and_then(|c| c.gauge_stat(name))
+    }
+
+    /// Aggregated statistics for a scope path, if it was entered.
+    pub fn scope_stat(&self, path: &str) -> Option<ScopeStat> {
+        self.inner.as_ref().and_then(|c| c.scope_stat(path))
+    }
+
+    /// All recorded events of the given kind, as JSON value trees (payload
+    /// fields only; the `t`/`event` envelope is added at serialization).
+    pub fn events_of(&self, kind: &str) -> Vec<Value> {
+        self.inner.as_ref().map_or_else(Vec::new, |c| c.events_of(kind))
+    }
+
+    /// Total number of recorded events.
+    pub fn num_events(&self) -> usize {
+        self.inner.as_ref().map_or(0, |c| c.num_events())
+    }
+
+    // ------------------------------------------------------------- output
+
+    /// Serializes everything recorded so far as JSONL (one JSON object per
+    /// line): events in insertion order, then `scope`/`counter`/`gauge`
+    /// aggregates, then a final `summary` line. Empty when disabled.
+    pub fn to_jsonl(&self) -> String {
+        self.inner.as_ref().map_or_else(String::new, |c| render::jsonl(c))
+    }
+
+    /// Writes [`Obs::to_jsonl`] to `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Human-readable end-of-run summary: indented scope tree, counters,
+    /// and gauges. Empty when disabled.
+    pub fn summary(&self) -> String {
+        self.inner.as_ref().map_or_else(String::new, |c| render::summary(c))
+    }
+}
+
+/// RAII guard for a timing scope; records duration under its path on drop.
+#[derive(Debug)]
+pub struct Scope {
+    rec: Option<(Arc<Collector>, String, Instant)>,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if let Some((c, path, started)) = self.rec.take() {
+            collector::pop_path();
+            c.record_scope(path, started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let _s = obs.scope("outer");
+            obs.add("n", 5);
+            obs.gauge("g", 1.5);
+            obs.event("e", &42u32);
+        }
+        assert_eq!(obs.counter("n"), 0);
+        assert_eq!(obs.num_events(), 0);
+        assert!(obs.to_jsonl().is_empty());
+        assert!(obs.summary().is_empty());
+    }
+
+    #[test]
+    fn nested_scopes_build_slash_paths() {
+        let obs = Obs::enabled();
+        {
+            let _a = obs.scope("fit");
+            {
+                let _b = obs.scope("prepare");
+                let _c = obs.scope("walks");
+            }
+            let _d = obs.scope("epoch");
+        }
+        for path in ["fit", "fit/prepare", "fit/prepare/walks", "fit/epoch"] {
+            let stat = obs.scope_stat(path).unwrap_or_else(|| panic!("missing scope {path}"));
+            assert_eq!(stat.calls, 1, "{path}");
+        }
+        assert!(obs.scope_stat("prepare").is_none(), "child must not appear as a root path");
+    }
+
+    #[test]
+    fn sibling_scopes_aggregate_calls() {
+        let obs = Obs::enabled();
+        for _ in 0..3 {
+            let _s = obs.scope("epoch");
+        }
+        assert_eq!(obs.scope_stat("epoch").unwrap().calls, 3);
+    }
+
+    #[test]
+    fn scopes_on_spawned_threads_root_independently_and_count_threads() {
+        let obs = Obs::enabled();
+        {
+            let _outer = obs.scope("fit");
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let obs = obs.clone();
+                    s.spawn(move || {
+                        let _w = obs.scope("worker");
+                    });
+                }
+            });
+        }
+        // Worker scopes do not inherit the spawning thread's "fit" prefix.
+        let stat = obs.scope_stat("worker").expect("worker scope recorded");
+        assert_eq!(stat.calls, 2);
+        assert_eq!(stat.threads, 2);
+        assert_eq!(obs.scope_stat("fit").map(|s| s.threads), Some(1));
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let obs = Obs::enabled();
+        obs.add("rows", 10);
+        obs.add("rows", 32);
+        for v in [2.0, 4.0, 0.0] {
+            obs.gauge("occ", v);
+        }
+        assert_eq!(obs.counter("rows"), 42);
+        let g = obs.gauge_stat("occ").unwrap();
+        assert_eq!(g.count, 3);
+        assert_eq!(g.min, 0.0);
+        assert_eq!(g.max, 4.0);
+        assert_eq!(g.last, 0.0);
+        assert!((g.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let obs = Obs::enabled();
+        obs.event("note", &String::from("hello"));
+        obs.add("rows", 7);
+        obs.gauge("occ", 1.0);
+        {
+            let _s = obs.scope("fit");
+        }
+        let jsonl = obs.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines.len() >= 5, "event + scope + counter + gauge + summary");
+        let mut kinds = Vec::new();
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("every line is valid JSON");
+            let Value::Object(map) = v else { panic!("line is not an object: {line}") };
+            assert!(matches!(map.get("t"), Some(Value::Number(_))), "missing t: {line}");
+            let Some(Value::String(kind)) = map.get("event") else {
+                panic!("missing event kind: {line}")
+            };
+            kinds.push(kind.clone());
+        }
+        for expected in ["note", "scope", "counter", "gauge", "summary"] {
+            assert!(kinds.iter().any(|k| k == expected), "no {expected} record");
+        }
+        // Non-object payloads land under "value".
+        let note = &obs.events_of("note")[0];
+        assert_eq!(*note, Value::String("hello".into()));
+    }
+
+    #[test]
+    fn summary_mentions_scopes_counters_gauges() {
+        let obs = Obs::enabled();
+        {
+            let _a = obs.scope("fit");
+            let _b = obs.scope("prepare");
+        }
+        obs.add("train/batches", 12);
+        obs.gauge("prefetch/occupancy", 1.5);
+        let s = obs.summary();
+        for needle in ["fit", "prepare", "train/batches", "12", "prefetch/occupancy"] {
+            assert!(s.contains(needle), "summary missing {needle:?}:\n{s}");
+        }
+    }
+}

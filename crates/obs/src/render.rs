@@ -1,0 +1,128 @@
+//! Output rendering: the JSONL event stream and the human-readable summary.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::collector::Collector;
+
+fn envelope(t: f64, kind: &str, payload: Value) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("t".to_string(), Value::Number(t));
+    map.insert("event".to_string(), Value::String(kind.to_string()));
+    match payload {
+        Value::Object(fields) => {
+            for (k, v) in fields {
+                // The envelope keys win on collision; payloads should not
+                // use "t"/"event" as field names.
+                map.entry(k).or_insert(v);
+            }
+        }
+        Value::Null => {}
+        other => {
+            map.insert("value".to_string(), other);
+        }
+    }
+    Value::Object(map)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Renders the full JSONL stream: events in insertion order, then aggregate
+/// `scope`/`counter`/`gauge` records, then one final `summary` line.
+pub(crate) fn jsonl(c: &Collector) -> String {
+    let mut out = String::new();
+    let mut push = |v: &Value| {
+        out.push_str(&serde_json::to_string(v).expect("value trees always serialize"));
+        out.push('\n');
+    };
+    for (t, kind, payload) in c.event_snapshot() {
+        push(&envelope(t, kind, payload));
+    }
+    let now = c.elapsed_secs();
+    for (path, s) in c.scope_snapshot() {
+        push(&envelope(
+            now,
+            "scope",
+            obj(vec![
+                ("path", Value::String(path)),
+                ("calls", Value::Number(s.calls as f64)),
+                ("secs", Value::Number(s.total.as_secs_f64())),
+                ("threads", Value::Number(s.threads as f64)),
+            ]),
+        ));
+    }
+    for (name, v) in c.counter_snapshot() {
+        push(&envelope(
+            now,
+            "counter",
+            obj(vec![
+                ("name", Value::String(name.to_string())),
+                ("value", Value::Number(v as f64)),
+            ]),
+        ));
+    }
+    for (name, g) in c.gauge_snapshot() {
+        push(&envelope(
+            now,
+            "gauge",
+            obj(vec![
+                ("name", Value::String(name.to_string())),
+                ("count", Value::Number(g.count as f64)),
+                ("mean", Value::Number(g.mean())),
+                ("min", Value::Number(g.min)),
+                ("max", Value::Number(g.max)),
+                ("last", Value::Number(g.last)),
+            ]),
+        ));
+    }
+    push(&envelope(now, "summary", obj(vec![("wall_secs", Value::Number(now))])));
+    out
+}
+
+/// Renders the human-readable end-of-run summary.
+pub(crate) fn summary(c: &Collector) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("── observability summary ({:.2} s wall) ──\n", c.elapsed_secs()));
+    let scopes = c.scope_snapshot();
+    if !scopes.is_empty() {
+        out.push_str("scopes (total wall time × calls):\n");
+        // BTreeMap path order places children directly under their parent;
+        // indent by path depth and print the leaf segment.
+        for (path, s) in &scopes {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth + 1), leaf);
+            let threads =
+                if s.threads > 1 { format!("  [{} threads]", s.threads) } else { String::new() };
+            out.push_str(&format!(
+                "{label:<28} {:>9.3} s × {}{threads}\n",
+                s.total.as_secs_f64(),
+                s.calls
+            ));
+        }
+    }
+    let counters = c.counter_snapshot();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &counters {
+            out.push_str(&format!("  {name:<26} {v}\n"));
+        }
+    }
+    let gauges = c.gauge_snapshot();
+    if !gauges.is_empty() {
+        out.push_str("gauges (mean [min..max] × samples):\n");
+        for (name, g) in &gauges {
+            out.push_str(&format!(
+                "  {name:<26} {:.3} [{:.3}..{:.3}] × {}\n",
+                g.mean(),
+                g.min,
+                g.max,
+                g.count
+            ));
+        }
+    }
+    out
+}

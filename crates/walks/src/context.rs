@@ -58,6 +58,18 @@ impl ContextSet {
     /// # Panics
     /// Panics if `context_size` is even or zero.
     pub fn build(walks: &[Walk], n: usize, cfg: &ContextsConfig) -> Self {
+        Self::build_obs(walks, n, cfg, &coane_obs::Obs::disabled())
+    }
+
+    /// [`ContextSet::build`] with phase telemetry: extraction runs under a
+    /// `contexts` timing scope and records kept/dropped context counters.
+    /// Telemetry is observation-only — the result is bit-identical for any
+    /// `obs` state.
+    ///
+    /// # Panics
+    /// Panics if `context_size` is even or zero.
+    pub fn build_obs(walks: &[Walk], n: usize, cfg: &ContextsConfig, obs: &coane_obs::Obs) -> Self {
+        let _scope = obs.scope("contexts");
         assert!(cfg.context_size >= 1 && cfg.context_size % 2 == 1, "context size must be odd");
         let c = cfg.context_size;
         let half = c / 2;
@@ -110,6 +122,11 @@ impl ContextSet {
                     *slot = walk[rel as usize];
                 }
             }
+        }
+        if obs.is_enabled() {
+            let positions: u64 = walks.iter().map(|w| w.len() as u64).sum();
+            obs.add("contexts/kept", total_ctx as u64);
+            obs.add("contexts/subsample_dropped", positions - total_ctx as u64);
         }
         Self { c, n, offsets, slots }
     }

@@ -86,6 +86,15 @@ impl CoMatrices {
     /// entries (a node co-occurring with itself) are recorded in `D` but the
     /// likelihood machinery skips them via [`PositivePairs`].
     pub fn build(contexts: &ContextSet, graph: &AttributedGraph) -> Self {
+        Self::build_obs(contexts, graph, &coane_obs::Obs::disabled())
+    }
+
+    /// [`CoMatrices::build`] with phase telemetry: construction runs under a
+    /// `cooccurrence` timing scope and records the nnz of `D` and `D¹`.
+    /// Telemetry is observation-only — the matrices are bit-identical for
+    /// any `obs` state.
+    pub fn build_obs(contexts: &ContextSet, graph: &AttributedGraph, obs: &coane_obs::Obs) -> Self {
+        let _scope = obs.scope("cooccurrence");
         let n = contexts.num_nodes();
         assert_eq!(n, graph.num_nodes(), "contexts/graph node count mismatch");
         let mut pairs: Vec<(u32, u32)> = Vec::new();
@@ -135,6 +144,10 @@ impl CoMatrices {
             indices: d.indices.clone(),
             values: dt_values,
         };
+        if obs.is_enabled() {
+            obs.add("cooccurrence/nnz_d", d.nnz() as u64);
+            obs.add("cooccurrence/nnz_d1", d1.nnz() as u64);
+        }
         Self { d, d1, d_tilde }
     }
 }

@@ -1,11 +1,54 @@
 //! Statistical correctness of the walk engine: long-run visit frequencies
-//! must match random-walk theory.
+//! must match random-walk theory, and every sampler must pass a chi-square
+//! goodness-of-fit test against its claimed distribution.
+//!
+//! All tests draw with fixed seeds, so they are deterministic; the chi-square
+//! critical values still use a p ≈ 0.001 significance level so the committed
+//! seeds sit far from the rejection boundary.
 
 use coane_datasets::generator::planted_partition;
 use coane_graph::{GraphBuilder, NodeAttributes, NodeId};
-use coane_walks::{walker::node_frequencies, WalkConfig, Walker};
+use coane_walks::{walker::node_frequencies, AliasTable, WalkConfig, Walker};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Pearson's chi-square statistic for observed counts vs expected
+/// probabilities (which must sum to ~1). Panics if any expected cell count
+/// is below 5 — the classical validity threshold for the asymptotic test.
+fn chi_square_stat(observed: &[u64], expected_probs: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected_probs.len());
+    let total: u64 = observed.iter().sum();
+    let mut stat = 0.0f64;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        let e = p * total as f64;
+        assert!(e >= 5.0, "expected cell count {e} < 5; coarsen the bins");
+        stat += (o as f64 - e) * (o as f64 - e) / e;
+    }
+    stat
+}
+
+/// Approximate upper critical value of the chi-square distribution via the
+/// Wilson–Hilferty cube-root normal approximation:
+/// `χ²_q(k) ≈ k·(1 − 2/(9k) + z_q·√(2/(9k)))³`.
+fn chi_square_critical(df: usize, z: f64) -> f64 {
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// z-quantile for p ≈ 0.001 (one-sided), i.e. a 99.9% acceptance region.
+const Z_999: f64 = 3.0902;
+
+/// Asserts a chi-square GOF test passes at p ≈ 0.001.
+fn assert_gof(name: &str, observed: &[u64], expected_probs: &[f64]) {
+    let stat = chi_square_stat(observed, expected_probs);
+    let crit = chi_square_critical(observed.len() - 1, Z_999);
+    assert!(
+        stat < crit,
+        "{name}: chi-square {stat:.2} exceeds critical {crit:.2} (df {})",
+        observed.len() - 1
+    );
+}
 
 /// On a connected unweighted graph, the stationary distribution of a simple
 /// random walk is proportional to node degree. Long walks from every start
@@ -107,6 +150,153 @@ fn subsampling_flattens_frequency_distribution() {
     for v in 0..n as NodeId {
         assert!(subsampled.count(v) >= 1, "node {v} lost all contexts");
     }
+}
+
+/// The alias table must reproduce an arbitrary weighted distribution —
+/// chi-square GOF over 200k draws.
+#[test]
+fn alias_table_passes_chi_square_gof() {
+    let weights = [0.5f64, 1.0, 2.5, 3.0, 7.0, 0.2, 5.8];
+    let total: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let table = AliasTable::new(&weights);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut observed = vec![0u64; weights.len()];
+    for _ in 0..200_000 {
+        observed[table.sample(&mut rng) as usize] += 1;
+    }
+    assert_gof("alias table", &observed, &probs);
+}
+
+/// Walk transitions out of a weighted hub must follow the edge-weight
+/// distribution — the chi-square version of the proportionality test above.
+#[test]
+fn edge_weight_transitions_pass_chi_square() {
+    let weights = [1.0f32, 2.0, 3.0, 5.0, 8.0, 13.0];
+    let n = weights.len() + 1;
+    let mut b = GraphBuilder::new(n, n);
+    for (leaf, &w) in weights.iter().enumerate() {
+        b.add_edge(0, (leaf + 1) as NodeId, w);
+    }
+    let g = b.with_attrs(NodeAttributes::identity(n)).build();
+    let walker = Walker::new(
+        &g,
+        WalkConfig { walks_per_node: 1, walk_length: 120_000, p: 1.0, q: 1.0, seed: 23 },
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let walk = walker.walk_from(0, &mut rng);
+    let mut observed = vec![0u64; weights.len()];
+    for w in walk.windows(2) {
+        if w[0] == 0 {
+            observed[w[1] as usize - 1] += 1;
+        }
+    }
+    let total: f32 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|&w| (w / total) as f64).collect();
+    assert_gof("hub exits", &observed, &probs);
+}
+
+/// The contextual negative sampler's draws must follow
+/// `P_V(v) = |context(v)| / Σ_u |context(u)|` — chi-square GOF on the
+/// offline pool.
+#[test]
+fn contextual_sampler_draws_pass_chi_square() {
+    use coane_walks::{ContextSet, ContextsConfig, ContextualNegativeSampler};
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let g = planted_partition(40, 2, 0.3, 0.05, 8, &mut rng);
+    let walker = Walker::new(
+        &g,
+        WalkConfig { walks_per_node: 2, walk_length: 40, p: 1.0, q: 1.0, seed: 37 },
+    );
+    let walks = walker.generate_all(2);
+    let cs = ContextSet::build(
+        &walks,
+        g.num_nodes(),
+        &ContextsConfig { context_size: 5, subsample_t: f64::INFINITY, seed: 3 },
+    );
+    let sampler = ContextualNegativeSampler::new(&cs);
+    let counts = cs.counts();
+    let total: usize = counts.iter().sum();
+    let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+
+    let mut draw_rng = ChaCha8Rng::seed_from_u64(41);
+    let pool = sampler.draw_pool(200_000, &mut draw_rng);
+    let mut observed = vec![0u64; g.num_nodes()];
+    for &v in &pool {
+        observed[v as usize] += 1;
+    }
+    assert_gof("contextual sampler", &observed, &probs);
+}
+
+/// The word2vec-style smoothed noise distribution (unigram^0.75, used by the
+/// SGNS baselines) must survive the alias construction intact.
+#[test]
+fn unigram_power_075_passes_chi_square() {
+    let raw_counts = [40.0f64, 210.0, 3.0, 999.0, 77.0, 512.0, 128.0, 9.0];
+    let smoothed: Vec<f64> = raw_counts.iter().map(|c| c.powf(0.75)).collect();
+    let total: f64 = smoothed.iter().sum();
+    let probs: Vec<f64> = smoothed.iter().map(|w| w / total).collect();
+    let table = AliasTable::new(&smoothed);
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let mut observed = vec![0u64; smoothed.len()];
+    for _ in 0..200_000 {
+        observed[table.sample(&mut rng) as usize] += 1;
+    }
+    assert_gof("unigram^0.75", &observed, &probs);
+}
+
+/// Subsampling keeps a walk position of node `v` with probability
+/// `min(1, √(t / f(v)))` (position 0 is always kept). The empirical keep
+/// rate must match within binomial noise.
+#[test]
+fn subsampling_keep_rate_matches_theory() {
+    use coane_walks::{ContextSet, ContextsConfig};
+    // Hub graph: node 0 is visited roughly half the time, so its keep
+    // probability under t = 1e-2 is far from both 0 and 1.
+    let n = 30usize;
+    let mut b = GraphBuilder::new(n, n);
+    for v in 1..n as NodeId {
+        b.add_edge(0, v, 1.0);
+    }
+    let g = b.with_attrs(NodeAttributes::identity(n)).build();
+    let walker = Walker::new(
+        &g,
+        WalkConfig { walks_per_node: 40, walk_length: 60, p: 1.0, q: 1.0, seed: 47 },
+    );
+    let walks = walker.generate_all(2);
+    let freq = node_frequencies(&walks, n);
+    let total: u64 = freq.iter().sum();
+    let t = 1e-2f64;
+
+    let cs =
+        ContextSet::build(&walks, n, &ContextsConfig { context_size: 3, subsample_t: t, seed: 53 });
+
+    // Walk starts are exempt from subsampling; account for them exactly.
+    let mut starts = vec![0u64; n];
+    for walk in &walks {
+        starts[walk[0] as usize] += 1;
+    }
+    for v in 0..n {
+        let (f, s) = (freq[v], starts[v]);
+        assert!(cs.count(v as NodeId) as u64 >= s, "node {v} lost an always-kept walk start");
+        let eligible = f - s; // positions subject to the coin flip
+        if eligible < 500 {
+            continue; // too few trials for a tight empirical rate
+        }
+        let keep_p = (t / (f as f64 / total as f64)).sqrt().min(1.0);
+        let kept = cs.count(v as NodeId) as u64 - s;
+        let emp = kept as f64 / eligible as f64;
+        // 4.4σ binomial tolerance (p ≈ 1e-5 two-sided per node).
+        let tol = 4.4 * (keep_p * (1.0 - keep_p) / eligible as f64).sqrt();
+        assert!(
+            (emp - keep_p).abs() <= tol.max(1e-3),
+            "node {v}: empirical keep rate {emp:.4} vs theoretical {keep_p:.4} (±{tol:.4})"
+        );
+    }
+
+    // The hub must actually be down-sampled (keep probability < 1).
+    let hub_keep = (t / (freq[0] as f64 / total as f64)).sqrt();
+    assert!(hub_keep < 0.9, "test graph no longer exercises subsampling: {hub_keep}");
 }
 
 /// The contextual noise distribution must track context counts exactly.

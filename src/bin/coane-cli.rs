@@ -10,6 +10,13 @@
 //! coane-cli embed --graph graph.json --method coane --dim 128 --epochs 10 \
 //!                 --threads 4 --out embedding.csv
 //!
+//! # 2a. observability: per-epoch progress on stderr, structured JSONL
+//! #     telemetry (per-epoch loss terms, throughput, phase timings), or
+//! #     silence — none of it changes the embedding by a single bit
+//! coane-cli embed --graph graph.json --method coane --out embedding.csv \
+//!                 --log-every 1 --metrics-json metrics.jsonl
+//! coane-cli embed --graph graph.json --method coane --out embedding.csv --quiet
+//!
 //! # 2b. long runs: checkpoint every epoch; re-running the same command after
 //! #     an interruption resumes from the newest valid checkpoint and yields
 //! #     bit-identical output to an uninterrupted run
@@ -27,6 +34,11 @@
 //!                 --out new_embeddings.csv
 //! ```
 //!
+//! Output discipline: stdout carries only *results* (evaluation scores);
+//! progress, summaries, and telemetry go to stderr or the `--metrics-json`
+//! sink, so every command stays pipe-clean. `--quiet` silences the progress
+//! stream entirely (errors still reach stderr).
+//!
 //! Failures map to stable exit codes by error kind: 2 = invalid
 //! configuration/usage, 3 = I/O, 4 = parse, 5 = graph structure,
 //! 6 = numeric, 7 = checkpoint (see `CoaneError::exit_code`).
@@ -43,6 +55,9 @@ use coane::{baselines::skipgram::SkipGramConfig, eval, graph::io as gio};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Flags that never take a value.
+const BOOL_FLAGS: &[&str] = &["quiet"];
+
 struct Cli {
     values: HashMap<String, String>,
 }
@@ -53,6 +68,11 @@ impl Cli {
         let mut i = 0usize;
         while i < args.len() {
             if let Some(k) = args[i].strip_prefix("--") {
+                if BOOL_FLAGS.contains(&k) {
+                    values.insert(k.to_string(), "true".to_string());
+                    i += 1;
+                    continue;
+                }
                 if i + 1 < args.len() {
                     values.insert(k.to_string(), args[i + 1].clone());
                     i += 2;
@@ -75,6 +95,56 @@ impl Cli {
     fn num<T: std::str::FromStr>(&self, k: &str, default: T) -> T {
         self.get(k).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
+
+    fn flag(&self, k: &str) -> bool {
+        self.get(k).is_some()
+    }
+}
+
+/// Progress sink: everything goes to stderr (stdout is reserved for
+/// results), and `--quiet` drops it entirely.
+struct Log {
+    quiet: bool,
+}
+
+impl Log {
+    fn new(cli: &Cli) -> Self {
+        Self { quiet: cli.flag("quiet") }
+    }
+
+    fn info(&self, msg: impl std::fmt::Display) {
+        if !self.quiet {
+            eprintln!("{msg}");
+        }
+    }
+}
+
+/// Builds the observer for a command: enabled iff telemetry has somewhere
+/// to go (`--metrics-json`) or something to drive (`--log-every`).
+fn observer(cli: &Cli) -> Obs {
+    if cli.get("metrics-json").is_some() || cli.num("log-every", 0usize) > 0 {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Writes the JSONL telemetry stream to `--metrics-json` (if given) and
+/// prints the human-readable summary to stderr (unless `--quiet`).
+fn finish_metrics(cli: &Cli, log: &Log, obs: &Obs) -> Result<(), CoaneError> {
+    if !obs.is_enabled() {
+        return Ok(());
+    }
+    if let Some(path) = cli.get("metrics-json") {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| CoaneError::io(Path::new(path), e))?;
+        obs.write_jsonl(&mut file).map_err(|e| CoaneError::io(Path::new(path), e))?;
+        log.info(format!("wrote telemetry to {path} ({} event(s))", obs.num_events()));
+    }
+    if !log.quiet {
+        eprint!("{}", obs.summary());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -101,14 +171,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_graph_summary(out: &str, graph: &AttributedGraph) {
-    println!(
+fn print_graph_summary(log: &Log, out: &str, graph: &AttributedGraph) {
+    log.info(format!(
         "wrote {out}: {} nodes, {} edges, {} attrs, {} labels",
         graph.num_nodes(),
         graph.num_edges(),
         graph.attr_dim(),
         graph.num_labels()
-    );
+    ));
 }
 
 fn cmd_generate(cli: &Cli) -> Result<(), CoaneError> {
@@ -120,7 +190,7 @@ fn cmd_generate(cli: &Cli) -> Result<(), CoaneError> {
     let out = cli.req("out")?;
     let (graph, _) = preset.generate_scaled(scale, seed);
     gio::save_json(&graph, Path::new(out))?;
-    print_graph_summary(out, &graph);
+    print_graph_summary(&Log::new(cli), out, &graph);
     Ok(())
 }
 
@@ -139,99 +209,134 @@ fn cmd_convert(cli: &Cli) -> Result<(), CoaneError> {
         gio::load_linqs(Path::new(content), Path::new(cites))?
     };
     gio::save_json(&graph, Path::new(out))?;
-    print_graph_summary(out, &graph);
+    print_graph_summary(&Log::new(cli), out, &graph);
     Ok(())
 }
 
 fn cmd_embed(cli: &Cli) -> Result<(), CoaneError> {
+    let log = Log::new(cli);
+    let obs = observer(cli);
     let graph = gio::load_json(Path::new(cli.req("graph")?))?;
     let method = cli.get("method").unwrap_or("coane").to_lowercase();
     let dim: usize = cli.num("dim", 128);
     let epochs: usize = cli.num("epochs", 10);
     let seed: u64 = cli.num("seed", 42);
     let threads: usize = cli.num("threads", CoaneConfig::default().threads);
+    let log_every: usize = cli.num("log-every", 0);
     // Pure performance knob — embeddings are bit-identical for any value.
     coane::nn::pool::set_threads(threads);
     let out = cli.req("out")?;
+    obs.event("run", &run_record(&method, &graph));
     let started = std::time::Instant::now();
     let embedding = match method.as_str() {
         "coane" => {
             let cfg = CoaneConfig { embed_dim: dim, epochs, seed, threads, ..Default::default() };
-            let trainer = Coane::try_new(cfg.clone())?;
-            let (z, model) = if let Some(ck_dir) = cli.get("checkpoint-dir") {
-                let ck = CheckpointConfig {
-                    every_epochs: cli.num("checkpoint-every", 1),
-                    ..CheckpointConfig::new(ck_dir)
-                };
-                let (z, model, stats) = trainer.fit_resumable_with_model(&graph, &ck)?;
-                if let Some(e) = stats.resumed_from_epoch {
-                    println!("resumed from checkpoint at epoch {e}");
+            let trainer = Coane::try_new(cfg.clone())?.with_observer(obs.clone());
+            let ck = cli.get("checkpoint-dir").map(|dir| CheckpointConfig {
+                every_epochs: cli.num("checkpoint-every", 1),
+                ..CheckpointConfig::new(dir)
+            });
+            // `--log-every` reads its numbers straight out of the telemetry
+            // stream: the trainer has already emitted this epoch's record by
+            // the time the callback runs.
+            let on_epoch = |e: usize, _z: &Matrix| {
+                if log_every > 0 && (e + 1).is_multiple_of(log_every) {
+                    match epoch_loss_from(&obs) {
+                        Some((loss, secs)) => log
+                            .info(format!("epoch {}/{epochs}: loss {loss:.4} ({secs:.2}s)", e + 1)),
+                        None => log.info(format!("epoch {}/{epochs} done", e + 1)),
+                    }
                 }
-                if stats.recoveries > 0 {
-                    println!(
-                        "recovered from non-finite loss {} time(s); final lr {:e}",
-                        stats.recoveries, stats.final_lr
-                    );
-                }
-                println!("wrote {} checkpoint(s) to {ck_dir}", stats.checkpoints_written);
-                (z, model)
-            } else {
-                let (z, model, stats) = trainer.try_fit_with_model(&graph)?;
-                if stats.recoveries > 0 {
-                    println!(
-                        "recovered from non-finite loss {} time(s); final lr {:e}",
-                        stats.recoveries, stats.final_lr
-                    );
-                }
-                (z, model)
             };
+            let (z, model, stats) = trainer.try_fit_full(&graph, ck.as_ref(), on_epoch)?;
+            if let Some(e) = stats.resumed_from_epoch {
+                log.info(format!("resumed from checkpoint at epoch {e}"));
+            }
+            if stats.recoveries > 0 {
+                log.info(format!(
+                    "recovered from non-finite loss {} time(s); final lr {:e}",
+                    stats.recoveries, stats.final_lr
+                ));
+            }
+            if let Some(ck) = &ck {
+                log.info(format!(
+                    "wrote {} checkpoint(s) to {}",
+                    stats.checkpoints_written,
+                    ck.dir.display()
+                ));
+            }
             if let Some(model_path) = cli.get("save-model") {
                 coane::core::save_model(Path::new(model_path), &model, &cfg, graph.attr_dim())?;
-                println!("saved model to {model_path}");
+                log.info(format!("saved model to {model_path}"));
             }
             z
         }
-        "deepwalk" => {
-            DeepWalk { config: SkipGramConfig { dim, seed, ..Default::default() } }.embed(&graph)
-        }
+        "deepwalk" => DeepWalk { config: SkipGramConfig { dim, seed, ..Default::default() } }
+            .embed_observed(&graph, &obs),
         "node2vec" => Node2Vec {
             config: SkipGramConfig { dim, seed, ..Default::default() },
             p: cli.num("p", 1.0f32),
             q: cli.num("q", 1.0f32),
         }
-        .embed(&graph),
-        "line" => Line { dim, seed, ..Default::default() }.embed(&graph),
+        .embed_observed(&graph, &obs),
+        "line" => Line { dim, seed, ..Default::default() }.embed_observed(&graph, &obs),
         "gae" => Gae { kind: GaeKind::Plain, dim, epochs: epochs * 10, seed, ..Default::default() }
-            .embed(&graph),
+            .embed_observed(&graph, &obs),
         "vgae" => {
             Gae { kind: GaeKind::Variational, dim, epochs: epochs * 10, seed, ..Default::default() }
-                .embed(&graph)
+                .embed_observed(&graph, &obs)
         }
-        "graphsage" => {
-            GraphSage { dim, epochs: epochs * 6, seed, ..Default::default() }.embed(&graph)
-        }
-        "asne" => Asne { dim, epochs, seed, ..Default::default() }.embed(&graph),
-        "dane" => Dane { dim, epochs, seed, ..Default::default() }.embed(&graph),
-        "anrl" => Anrl { dim, epochs, seed, ..Default::default() }.embed(&graph),
-        "stne" => Stne { dim, epochs, seed, ..Default::default() }.embed(&graph),
-        "arga" => Arga { epochs: epochs * 10, dim, seed, ..Default::default() }.embed(&graph),
+        "graphsage" => GraphSage { dim, epochs: epochs * 6, seed, ..Default::default() }
+            .embed_observed(&graph, &obs),
+        "asne" => Asne { dim, epochs, seed, ..Default::default() }.embed_observed(&graph, &obs),
+        "dane" => Dane { dim, epochs, seed, ..Default::default() }.embed_observed(&graph, &obs),
+        "anrl" => Anrl { dim, epochs, seed, ..Default::default() }.embed_observed(&graph, &obs),
+        "stne" => Stne { dim, epochs, seed, ..Default::default() }.embed_observed(&graph, &obs),
+        "arga" => Arga { epochs: epochs * 10, dim, seed, ..Default::default() }
+            .embed_observed(&graph, &obs),
         "arvga" => Arga { variational: true, epochs: epochs * 10, dim, seed, ..Default::default() }
-            .embed(&graph),
+            .embed_observed(&graph, &obs),
         other => return Err(CoaneError::config(format!("unknown method: {other}"))),
     };
     eval::io::save_embedding_csv(Path::new(out), embedding.as_slice(), embedding.cols())
         .map_err(|e| CoaneError::io(Path::new(out), e))?;
-    println!(
+    log.info(format!(
         "wrote {out}: {}×{} embedding ({} via {method}, {:.1}s)",
         embedding.rows(),
         embedding.cols(),
         graph.num_nodes(),
         started.elapsed().as_secs_f64()
-    );
-    Ok(())
+    ));
+    finish_metrics(cli, &log, &obs)
+}
+
+/// Run-level telemetry record: method and graph shape.
+fn run_record(method: &str, graph: &AttributedGraph) -> coane::obs::Value {
+    use coane::obs::Value;
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("method".to_string(), Value::String(method.to_string()));
+    m.insert("nodes".to_string(), Value::Number(graph.num_nodes() as f64));
+    m.insert("edges".to_string(), Value::Number(graph.num_edges() as f64));
+    m.insert("attrs".to_string(), Value::Number(graph.attr_dim() as f64));
+    Value::Object(m)
+}
+
+/// Pulls `(loss, seconds)` out of the most recent per-epoch telemetry
+/// record, if one exists.
+fn epoch_loss_from(obs: &Obs) -> Option<(f64, f64)> {
+    use coane::obs::Value;
+    let events = obs.events_of("epoch");
+    let Value::Object(m) = events.last()? else { return None };
+    let num = |k: &str| match m.get(k) {
+        Some(Value::Number(x)) => Some(*x),
+        _ => None,
+    };
+    Some((num("loss")?, num("seconds")?))
 }
 
 fn cmd_infer(cli: &Cli) -> Result<(), CoaneError> {
+    let log = Log::new(cli);
+    let obs = observer(cli);
     let (model, cfg) = coane::core::load_model(Path::new(cli.req("model")?))?;
     let graph = gio::load_json(Path::new(cli.req("graph")?))?;
     let nodes: Vec<u32> = match cli.get("nodes") {
@@ -252,11 +357,11 @@ fn cmd_infer(cli: &Cli) -> Result<(), CoaneError> {
         )));
     }
     let out = cli.req("out")?;
-    let z = coane::core::embed_nodes(&model, &cfg, &graph, &nodes);
+    let z = coane::core::embed_nodes_obs(&model, &cfg, &graph, &nodes, &obs);
     eval::io::save_embedding_csv(Path::new(out), z.as_slice(), z.cols())
         .map_err(|e| CoaneError::io(Path::new(out), e))?;
-    println!("wrote {out}: {} inductively embedded nodes × {}", z.rows(), z.cols());
-    Ok(())
+    log.info(format!("wrote {out}: {} inductively embedded nodes × {}", z.rows(), z.cols()));
+    finish_metrics(cli, &log, &obs)
 }
 
 fn cmd_evaluate(cli: &Cli) -> Result<(), CoaneError> {

@@ -33,6 +33,7 @@
 //! | [`coane_core`] | the CoANE model, objective, and trainer |
 //! | [`coane_baselines`] | DeepWalk, node2vec, LINE, GAE, VGAE, GraphSAGE, ASNE, DANE, ANRL, ARGA, ARVGA, STNE |
 //! | [`coane_eval`] | classification / clustering / link prediction / t-SNE |
+//! | [`coane_obs`] | timing scopes, counters/gauges, JSONL telemetry sink |
 
 pub use coane_baselines as baselines;
 pub use coane_core as core;
@@ -40,6 +41,7 @@ pub use coane_datasets as datasets;
 pub use coane_eval as eval;
 pub use coane_graph as graph;
 pub use coane_nn as nn;
+pub use coane_obs as obs;
 pub use coane_walks as walks;
 
 /// Convenience re-exports for typical usage.
@@ -55,4 +57,5 @@ pub mod prelude {
     pub use coane_eval::{classify_nodes, link_prediction_auc, nmi_clustering, tsne, TsneConfig};
     pub use coane_graph::{AttributedGraph, EdgeSplit, GraphBuilder, NodeAttributes, SplitConfig};
     pub use coane_nn::Matrix;
+    pub use coane_obs::Obs;
 }

@@ -143,14 +143,16 @@ fn checkpoint_resume_smoke_through_the_binary() {
     let partial = dir.join("partial.csv");
     let out = embed("2", &partial, true);
     assert!(out.status.success(), "partial embed failed: {}", String::from_utf8_lossy(&out.stderr));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("checkpoint(s)"));
+    // Progress lives on stderr; stdout stays pipe-clean.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("checkpoint(s)"));
+    assert!(out.stdout.is_empty(), "embed wrote to stdout");
 
     // Re-run asking for 4 epochs: must resume from the checkpoint...
     let resumed = dir.join("resumed.csv");
     let out = embed("4", &resumed, true);
     assert!(out.status.success(), "resumed embed failed: {}", String::from_utf8_lossy(&out.stderr));
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("resumed from checkpoint at epoch 2"), "no resume notice: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resumed from checkpoint at epoch 2"), "no resume notice: {stderr}");
 
     // ...and produce byte-identical output to an uninterrupted 4-epoch run.
     let direct = dir.join("direct.csv");
@@ -160,6 +162,134 @@ fn checkpoint_resume_smoke_through_the_binary() {
     let direct_bytes = std::fs::read(&direct).unwrap();
     assert!(!resumed_bytes.is_empty());
     assert_eq!(resumed_bytes, direct_bytes, "resumed CSV differs from uninterrupted run");
+}
+
+/// stdout carries only results: `embed` with full progress/telemetry flags
+/// must keep it byte-empty, and `--quiet` must silence stderr too.
+#[test]
+fn stdout_stays_pipe_clean() {
+    let dir = tmpdir().join("pipe_clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.json");
+    assert!(cli()
+        .args(["generate", "--preset", "webkb-texas", "--scale", "1.0", "--seed", "5"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // Noisy flags on: everything lands on stderr, nothing on stdout.
+    let emb = dir.join("e.csv");
+    let metrics = dir.join("m.jsonl");
+    let out = cli()
+        .args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"])
+        .args(["--dim", "8", "--epochs", "2", "--out", emb.to_str().unwrap()])
+        .args(["--log-every", "1", "--metrics-json", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "embed failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stdout.is_empty(), "stdout not clean: {}", String::from_utf8_lossy(&out.stdout));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("epoch 1/2"), "missing progress line: {stderr}");
+    assert!(stderr.contains("observability summary"), "missing summary: {stderr}");
+
+    // --quiet: both streams silent, but the telemetry file is still written.
+    let emb_q = dir.join("eq.csv");
+    let metrics_q = dir.join("mq.jsonl");
+    let out = cli()
+        .args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"])
+        .args(["--dim", "8", "--epochs", "2", "--out", emb_q.to_str().unwrap()])
+        .args(["--metrics-json", metrics_q.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "quiet stdout not empty");
+    assert!(
+        out.stderr.is_empty(),
+        "quiet stderr not empty: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(metrics_q.exists(), "--quiet must not suppress --metrics-json");
+
+    // Telemetry observes but never perturbs: both runs are byte-identical.
+    assert_eq!(std::fs::read(&emb).unwrap(), std::fs::read(&emb_q).unwrap());
+
+    // `evaluate` results are the one thing that belongs on stdout.
+    let out = cli()
+        .args(["evaluate", "--graph", graph.to_str().unwrap()])
+        .args(["--embedding", emb.to_str().unwrap(), "--task", "cluster"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NMI"));
+}
+
+/// `--metrics-json` emits one JSON object per line; per-epoch records carry
+/// all three objective terms, wall time, throughput, and cache statistics.
+#[test]
+fn metrics_jsonl_schema() {
+    use serde::Value;
+
+    let dir = tmpdir().join("metrics_schema");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.json");
+    assert!(cli()
+        .args(["generate", "--preset", "webkb-cornell", "--scale", "1.0", "--seed", "7"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let metrics = dir.join("m.jsonl");
+    let out = cli()
+        .args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"])
+        .args(["--dim", "8", "--epochs", "3", "--out", dir.join("e.csv").to_str().unwrap()])
+        .args(["--metrics-json", metrics.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "embed failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let mut epochs = 0usize;
+    let mut kinds = Vec::new();
+    for line in text.lines() {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e:?}"));
+        let Value::Object(map) = v else { panic!("line is not an object: {line}") };
+        assert!(matches!(map.get("t"), Some(Value::Number(_))), "missing t: {line}");
+        let Some(Value::String(kind)) = map.get("event") else {
+            panic!("missing event kind: {line}");
+        };
+        kinds.push(kind.clone());
+        if kind == "epoch" {
+            epochs += 1;
+            for key in [
+                "epoch",
+                "loss",
+                "loss_pos",
+                "loss_neg",
+                "loss_att",
+                "grad_norm",
+                "lr",
+                "seconds",
+                "nodes",
+                "nodes_per_sec",
+                "batches",
+                "cache_rows",
+                "nnz",
+                "prefetch_depth",
+                "prefetch_occupancy",
+            ] {
+                assert!(
+                    matches!(map.get(key), Some(Value::Number(_))),
+                    "epoch record missing numeric {key}: {line}"
+                );
+            }
+        }
+    }
+    assert_eq!(epochs, 3, "expected one record per epoch: {kinds:?}");
+    assert!(kinds.iter().any(|k| k == "run"), "missing run record");
+    assert!(kinds.iter().any(|k| k == "scope"), "missing scope aggregates");
+    assert!(kinds.iter().any(|k| k == "summary"), "missing summary line");
 }
 
 #[test]

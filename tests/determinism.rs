@@ -120,6 +120,68 @@ fn resume_with_prefetch_is_bit_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Telemetry is observation-only: enabling the full observability stack —
+/// scopes, counters, per-epoch records — must not shift a single bit of the
+/// embedding at any thread count. This is the zero-interference contract
+/// that lets production runs keep `--metrics-json` on.
+#[test]
+fn fit_is_bit_identical_with_telemetry_on_or_off() {
+    let graph = test_graph(7);
+    let config = |threads: usize| CoaneConfig {
+        embed_dim: 16,
+        epochs: 3,
+        context_size: 3,
+        walk_length: 20,
+        batch_size: 40,
+        decoder_hidden: (32, 32),
+        threads,
+        ..Default::default()
+    };
+    let reference = Coane::new(config(1)).fit(&graph);
+    for threads in [1usize, 4] {
+        let obs = Obs::enabled();
+        let z = Coane::try_new(config(threads))
+            .unwrap()
+            .with_observer(obs.clone())
+            .try_fit(&graph)
+            .unwrap();
+        assert_eq!(
+            reference.as_slice(),
+            z.as_slice(),
+            "telemetry perturbed the embedding at threads={threads}"
+        );
+        // The observer must have actually observed: a silent no-op collector
+        // would make this test vacuous.
+        assert_eq!(obs.events_of("epoch").len(), 3, "missing per-epoch records");
+        assert!(obs.counter("train/batches") > 0, "no batch counter recorded");
+        assert!(obs.scope_stat("fit").is_some(), "no fit scope recorded");
+        assert!(obs.scope_stat("fit/prepare/walks").is_some(), "no nested walk scope");
+    }
+}
+
+/// Same contract for inductive inference: `embed_nodes_obs` with a live
+/// collector reproduces `embed_nodes` exactly.
+#[test]
+fn inference_is_bit_identical_with_telemetry_on_or_off() {
+    let graph = test_graph(9);
+    let config = CoaneConfig {
+        embed_dim: 16,
+        epochs: 2,
+        context_size: 3,
+        walk_length: 20,
+        batch_size: 40,
+        decoder_hidden: (32, 32),
+        ..Default::default()
+    };
+    let (_, model, _) = Coane::new(config.clone()).fit_with_model(&graph);
+    let nodes: Vec<u32> = (0..graph.num_nodes() as u32).step_by(5).collect();
+    let plain = coane::core::embed_nodes(&model, &config, &graph, &nodes);
+    let obs = Obs::enabled();
+    let observed = coane::core::embed_nodes_obs(&model, &config, &graph, &nodes, &obs);
+    assert_eq!(plain.as_slice(), observed.as_slice(), "telemetry perturbed inference");
+    assert_eq!(obs.counter("infer/nodes"), nodes.len() as u64);
+}
+
 #[test]
 fn walk_generation_is_bit_identical_across_thread_counts() {
     let graph = test_graph(11);
