@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validates the JSON responses captured from a running coane-cli server.
+
+Usage: validate_serve.py <dir>
+
+Expects the CI smoke step to have saved one response per route into <dir>:
+healthz.json, knn.json, links.json, encode.json, stats.json. Each file must
+parse as JSON and carry the documented response schema (README "Serving").
+"""
+
+import json
+import sys
+
+
+def load(dirpath: str, name: str):
+    with open(f"{dirpath}/{name}") as f:
+        return json.load(f)
+
+
+def check_neighbors(results, k: int, nodes: int, what: str) -> None:
+    assert isinstance(results, list) and results, f"{what}: empty results"
+    for res in results:
+        neigh = res["neighbors"]
+        assert len(neigh) == k, f"{what}: expected {k} neighbors, got {len(neigh)}"
+        scores = [n["score"] for n in neigh]
+        assert scores == sorted(scores, reverse=True), f"{what}: scores not descending"
+        for n in neigh:
+            assert isinstance(n["id"], int) and 0 <= n["id"] < nodes, f"{what}: bad id {n['id']}"
+            assert isinstance(n["score"], (int, float)), f"{what}: non-numeric score"
+
+
+def main() -> None:
+    d = sys.argv[1]
+
+    health = load(d, "healthz.json")
+    assert health["status"] == "ok", f"unhealthy: {health}"
+    nodes, dim = health["nodes"], health["dim"]
+    assert nodes > 0 and dim > 0, f"degenerate store: {health}"
+    assert health["encode"] is True, "encode should be enabled in the CI smoke"
+    assert isinstance(health["scorer"], str)
+
+    knn = load(d, "knn.json")
+    assert knn["scorer"] == health["scorer"]
+    check_neighbors(knn["results"], knn["k"], nodes, "knn")
+    # Id queries exclude themselves (the smoke queries ids 0 and 1).
+    for qid, res in zip((0, 1), knn["results"]):
+        assert all(n["id"] != qid for n in res["neighbors"]), f"knn: query {qid} in own results"
+
+    links = load(d, "links.json")
+    assert isinstance(links["scores"], list) and links["scores"], "links: no scores"
+    assert all(isinstance(s, (int, float)) for s in links["scores"]), "links: non-numeric score"
+
+    encode = load(d, "encode.json")
+    assert encode["dim"] == dim
+    assert len(encode["embeddings"]) == 1, "encode: expected one embedded node"
+    assert len(encode["embeddings"][0]) == dim, "encode: wrong embedding width"
+    assert all(isinstance(x, (int, float)) for x in encode["embeddings"][0])
+    check_neighbors(encode["neighbors"], 3, nodes, "encode.neighbors")
+
+    stats = load(d, "stats.json")
+    counters = stats["counters"]
+    assert counters.get("serve/knn/requests", 0) >= 2, f"knn uncounted: {counters}"
+    assert counters.get("serve/links/requests", 0) >= 1, f"links uncounted: {counters}"
+    assert counters.get("serve/encode/requests", 0) >= 1, f"encode uncounted: {counters}"
+    assert "serve/queue_depth" in stats["gauges"], "queue-depth gauge missing"
+    scopes = stats["scopes"]
+    for cls in ("serve/knn", "serve/links", "serve/encode"):
+        assert cls in scopes and scopes[cls]["calls"] > 0, f"scope {cls} missing from {scopes}"
+
+    print(f"{d} OK: {nodes} nodes x {dim}, all route schemas valid")
+
+
+if __name__ == "__main__":
+    main()

@@ -138,12 +138,7 @@ mod tests {
         assert_eq!(emb.shape(), (120, 16));
         emb.assert_finite("line");
         let labels = g.labels().unwrap();
-        let cos = |a: &[f32], b: &[f32]| -> f64 {
-            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-            (dot / (na * nb + 1e-12)) as f64
-        };
+        let cos = |a: &[f32], b: &[f32]| coane_nn::sim::cosine(a, b) as f64;
         let (mut same, mut ns, mut diff, mut nd) = (0.0, 0usize, 0.0, 0usize);
         for i in 0..120 {
             for j in (i + 1)..120 {

@@ -217,12 +217,7 @@ mod tests {
     }
 
     fn community_separation(emb: &Matrix, labels: &[u32]) -> (f64, f64) {
-        let cos = |a: &[f32], b: &[f32]| -> f64 {
-            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-            (dot / (na * nb + 1e-12)) as f64
-        };
+        let cos = |a: &[f32], b: &[f32]| coane_nn::sim::cosine(a, b) as f64;
         let (mut same, mut ns, mut diff, mut nd) = (0.0, 0usize, 0.0, 0usize);
         for i in 0..emb.rows() {
             for j in (i + 1)..emb.rows() {

@@ -1,0 +1,274 @@
+//! Serving-path benchmark: HNSW vs brute-force kNN throughput/latency on a
+//! deterministic synthetic store, plus end-to-end HTTP round-trips over
+//! loopback through the full server stack (parse → engine → HNSW →
+//! serialize).
+//!
+//! The store is seeded random data — no training run — so the bench
+//! isolates the serving layer and reproduces exactly on any machine.
+//! Quality is reported as recall@k of the HNSW answers against the exact
+//! scorer path, and the recall is also *gated* here (≥ 0.95 full, ≥ 0.90
+//! smoke) so a quietly-degraded index fails the bench rather than shipping
+//! fast wrong answers.
+//!
+//! Output discipline: progress goes to stderr; stdout carries exactly one
+//! JSON document (the report in full mode, the validation verdict in
+//! `--smoke` mode). The report is also written to `BENCH_serve.json` at the
+//! repository root; `--smoke` validates the committed file against the
+//! constants compiled in here, so CI fails if it goes stale.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use coane_nn::{pool, Scorer};
+use coane_serve::{
+    http_request, knn_exact, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, HttpServer,
+    QueryEngine, ServerConfig,
+};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+const NODES: usize = 2000;
+const DIM: usize = 64;
+const K: usize = 10;
+const QUERIES: usize = 256;
+const HTTP_QUERIES: usize = 128;
+const SEED: u64 = 42;
+const RECALL_FLOOR: f64 = 0.95;
+const SMOKE_RECALL_FLOOR: f64 = 0.90;
+
+#[derive(Serialize, Deserialize)]
+struct PathStats {
+    /// Queries per second over the whole batch.
+    qps: f64,
+    /// Median per-query latency, microseconds.
+    p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    p99_us: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    nodes: usize,
+    dim: usize,
+    k: usize,
+    queries: usize,
+    http_queries: usize,
+    seed: u64,
+    scorer: String,
+    /// HNSW build wall-clock, milliseconds.
+    build_ms: f64,
+    /// Fraction of exact top-k recovered by HNSW, averaged over queries.
+    recall_at_k: f64,
+    hnsw: PathStats,
+    exact: PathStats,
+    /// End-to-end HTTP round-trips (connect + parse + search + serialize).
+    http: PathStats,
+}
+
+fn json_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json")
+}
+
+/// Deterministic store: unit-scale uniform vectors from a seeded ChaCha8.
+fn synthetic_store(nodes: usize, dim: usize, seed: u64) -> EmbeddingStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut uniform = || ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0;
+    let data: Vec<f32> = (0..nodes * dim).map(|_| uniform()).collect();
+    EmbeddingStore::new(data, dim, None, "bench_serve synthetic").expect("valid synthetic store")
+}
+
+/// Deterministic query vectors, disjoint from the store's stream.
+fn synthetic_queries(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5_e27e);
+    let mut uniform = || ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0;
+    (0..n).map(|_| (0..dim).map(|_| uniform()).collect()).collect()
+}
+
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+/// Times `f` once per query, returning batch stats.
+fn time_queries<F: FnMut(usize)>(n: usize, mut f: F) -> PathStats {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(n);
+    let started = Instant::now();
+    for i in 0..n {
+        let t = Instant::now();
+        f(i);
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let total = started.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    PathStats {
+        qps: n as f64 / total,
+        p50_us: percentile_us(&lat_us, 0.50),
+        p99_us: percentile_us(&lat_us, 0.99),
+    }
+}
+
+/// Mean fraction of the exact top-k present in the HNSW top-k.
+fn recall(store: &EmbeddingStore, index: &HnswIndex, queries: &[Vec<f32>], k: usize) -> f64 {
+    let mut total = 0.0;
+    for q in queries {
+        let exact: Vec<u32> =
+            knn_exact(store, q, k, index.scorer()).iter().map(|h| h.index).collect();
+        let approx: Vec<u32> = index.knn(store, q, k).iter().map(|h| h.index).collect();
+        let hit = exact.iter().filter(|i| approx.contains(i)).count();
+        total += hit as f64 / k as f64;
+    }
+    total / queries.len() as f64
+}
+
+/// Runs the engine + HTTP measurements for one store size. Returns the
+/// report (without writing anything).
+fn measure(nodes: usize, queries: usize, http_queries: usize) -> Report {
+    let scorer = Scorer::Cosine;
+    eprintln!("bench_serve: building store ({nodes} x {DIM}) and HNSW index");
+    let store = synthetic_store(nodes, DIM, SEED);
+    let build_started = Instant::now();
+    let index = HnswIndex::build(&store, scorer, HnswConfig::default());
+    let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+    eprintln!("bench_serve: built in {build_ms:.1} ms ({} edges)", index.num_edges());
+
+    let qs = synthetic_queries(queries, DIM, SEED);
+    let recall_at_k = recall(&store, &index, &qs, K);
+    eprintln!("bench_serve: recall@{K} = {recall_at_k:.4}");
+
+    let hnsw_stats = time_queries(qs.len(), |i| {
+        let _ = index.knn(&store, &qs[i], K);
+    });
+    let exact_stats = time_queries(qs.len(), |i| {
+        let _ = knn_exact(&store, &qs[i], K, scorer);
+    });
+    eprintln!(
+        "bench_serve: hnsw {:.0} qps (p50 {:.0} us) | exact {:.0} qps (p50 {:.0} us)",
+        hnsw_stats.qps, hnsw_stats.p50_us, exact_stats.qps, exact_stats.p50_us
+    );
+
+    // End-to-end HTTP: loopback server on an OS-assigned port, one
+    // single-query POST /knn per round-trip.
+    let engine =
+        QueryEngine::new(store, index, None, EngineLimits::default(), coane_obs::Obs::enabled())
+            .expect("engine");
+    let server = HttpServer::bind(
+        Arc::new(engine),
+        ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, addr_file: None },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let http_qs = synthetic_queries(http_queries, DIM, SEED ^ 0x177);
+    let http_stats = time_queries(http_qs.len(), |i| {
+        let vec_json: Vec<String> = http_qs[i].iter().map(|x| format!("{x}")).collect();
+        let body = format!("{{\"vectors\":[[{}]],\"k\":{K}}}", vec_json.join(","));
+        let (status, _) = http_request(&addr, "POST", "/knn", &body).expect("http knn");
+        assert_eq!(status, 200, "http knn returned {status}");
+    });
+    let (status, _) = http_request(&addr, "POST", "/shutdown", "").expect("http shutdown");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("server run");
+    eprintln!("bench_serve: http {:.0} qps (p50 {:.0} us)", http_stats.qps, http_stats.p50_us);
+
+    Report {
+        nodes,
+        dim: DIM,
+        k: K,
+        queries,
+        http_queries,
+        seed: SEED,
+        scorer: scorer.name().to_string(),
+        build_ms,
+        recall_at_k,
+        hnsw: hnsw_stats,
+        exact: exact_stats,
+        http: http_stats,
+    }
+}
+
+fn run_full() {
+    pool::set_threads(4);
+    let report = measure(NODES, QUERIES, HTTP_QUERIES);
+    assert!(
+        report.recall_at_k >= RECALL_FLOOR,
+        "recall@{K} = {:.4} below the {RECALL_FLOOR} floor",
+        report.recall_at_k
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(json_path(), format!("{json}\n")).expect("write BENCH_serve.json");
+    eprintln!("bench_serve: wrote {}", json_path());
+    println!("{json}");
+}
+
+/// Smoke mode for CI: a small live run (store + index + recall + one HTTP
+/// round-trip) plus validation of the committed `BENCH_serve.json` against
+/// this binary's constants.
+fn run_smoke() {
+    pool::set_threads(2);
+    let report = measure(300, 32, 8);
+    if report.recall_at_k < SMOKE_RECALL_FLOOR {
+        fail(&format!(
+            "smoke recall@{K} = {:.4} below the {SMOKE_RECALL_FLOOR} floor",
+            report.recall_at_k
+        ));
+    }
+    eprintln!("smoke: live serving path ok (recall@{K} {:.4})", report.recall_at_k);
+
+    let text = match std::fs::read_to_string(json_path()) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {}: {e}", json_path())),
+    };
+    let committed: Report = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("malformed BENCH_serve.json: {e}")),
+    };
+    if committed.nodes != NODES
+        || committed.dim != DIM
+        || committed.k != K
+        || committed.queries != QUERIES
+        || committed.http_queries != HTTP_QUERIES
+        || committed.seed != SEED
+    {
+        fail("BENCH_serve.json header does not match the bench constants (stale file?)");
+    }
+    if committed.recall_at_k < RECALL_FLOOR {
+        fail(&format!(
+            "BENCH_serve.json recall@{K} = {:.4} below the {RECALL_FLOOR} floor",
+            committed.recall_at_k
+        ));
+    }
+    for (name, s) in
+        [("hnsw", &committed.hnsw), ("exact", &committed.exact), ("http", &committed.http)]
+    {
+        let finite = [s.qps, s.p50_us, s.p99_us].iter().all(|x| x.is_finite() && *x > 0.0);
+        if !finite {
+            fail(&format!("BENCH_serve.json {name} stats are non-positive"));
+        }
+        if s.p50_us > s.p99_us {
+            fail(&format!("BENCH_serve.json {name} p50 exceeds p99"));
+        }
+    }
+    if !(committed.build_ms.is_finite() && committed.build_ms > 0.0) {
+        fail("BENCH_serve.json build_ms is non-positive");
+    }
+    eprintln!("smoke: BENCH_serve.json valid (recall@{K} {:.4})", committed.recall_at_k);
+    println!(
+        "{{\"smoke\":\"ok\",\"recall_at_k\":{:.4},\"committed_recall_at_k\":{:.4}}}",
+        report.recall_at_k, committed.recall_at_k
+    );
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_serve --smoke: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        run_smoke();
+    } else {
+        run_full();
+    }
+}

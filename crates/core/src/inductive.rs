@@ -108,10 +108,7 @@ mod tests {
     use coane_graph::{GraphBuilder, NodeAttributes};
 
     fn cosine(a: &[f32], b: &[f32]) -> f64 {
-        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-        (dot / (na * nb + 1e-12)) as f64
+        coane_nn::sim::cosine(a, b) as f64
     }
 
     #[test]

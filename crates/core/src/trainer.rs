@@ -748,12 +748,7 @@ mod tests {
         let labels = g.labels().unwrap().to_vec();
         let cfg = CoaneConfig { epochs: 8, ..fast_config() };
         let z = Coane::new(cfg).fit(&g);
-        let cos = |a: &[f32], b: &[f32]| {
-            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
-            dot / (na * nb + 1e-12)
-        };
+        let cos = coane_nn::sim::cosine;
         let (mut same, mut ns) = (0.0f64, 0usize);
         let (mut diff, mut nd) = (0.0f64, 0usize);
         for i in 0..z.rows() {

@@ -19,6 +19,7 @@
 //! | [`CoaneError::Graph`]      | 5 | structurally invalid graph |
 //! | [`CoaneError::Numeric`]    | 6 | non-finite loss/parameters after bounded recovery |
 //! | [`CoaneError::Checkpoint`] | 7 | unusable training checkpoint |
+//! | [`CoaneError::Store`]      | 8 | unusable embedding-store file |
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -70,6 +71,15 @@ pub enum CoaneError {
         /// Why the checkpoint was rejected.
         message: String,
     },
+    /// An embedding-store file that cannot be used: bad magic, unsupported
+    /// format version, CRC32 mismatch, truncation, or a shape that
+    /// contradicts the header.
+    Store {
+        /// The store file, when known.
+        path: Option<PathBuf>,
+        /// Why the store was rejected.
+        message: String,
+    },
 }
 
 impl CoaneError {
@@ -112,6 +122,11 @@ impl CoaneError {
         Self::Checkpoint { path: Some(path.as_ref().to_path_buf()), message: message.into() }
     }
 
+    /// Unusable-embedding-store error.
+    pub fn store(path: impl AsRef<Path>, message: impl Into<String>) -> Self {
+        Self::Store { path: Some(path.as_ref().to_path_buf()), message: message.into() }
+    }
+
     /// Attaches (or replaces) file/line context on a [`CoaneError::Parse`];
     /// other variants pass through unchanged. Lets low-level row parsers
     /// report positions and file-level callers fill in the path.
@@ -143,6 +158,7 @@ impl CoaneError {
             Self::Graph { .. } => 5,
             Self::Numeric { .. } => 6,
             Self::Checkpoint { .. } => 7,
+            Self::Store { .. } => 8,
         }
     }
 
@@ -155,6 +171,7 @@ impl CoaneError {
             Self::Graph { .. } => "graph",
             Self::Numeric { .. } => "numeric",
             Self::Checkpoint { .. } => "checkpoint",
+            Self::Store { .. } => "store",
         }
     }
 }
@@ -183,6 +200,10 @@ impl fmt::Display for CoaneError {
                 write!(f, "checkpoint error ({}): {message}", p.display())
             }
             Self::Checkpoint { path: None, message } => write!(f, "checkpoint error: {message}"),
+            Self::Store { path: Some(p), message } => {
+                write!(f, "embedding-store error ({}): {message}", p.display())
+            }
+            Self::Store { path: None, message } => write!(f, "embedding-store error: {message}"),
         }
     }
 }
@@ -215,9 +236,10 @@ mod tests {
             CoaneError::graph("x"),
             CoaneError::numeric("x"),
             CoaneError::checkpoint("/c", "x"),
+            CoaneError::store("/s", "x"),
         ];
         let codes: Vec<u8> = errors.iter().map(CoaneError::exit_code).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -25,7 +25,7 @@ pub use classify::{classify_nodes, ClassificationScores};
 pub use cluster::{kmeans, nmi_clustering};
 pub use io::{load_embedding_csv, save_embedding_csv};
 pub use linkpred::precision_at_k;
-pub use linkpred::{hadamard_features, link_prediction_auc};
+pub use linkpred::{edge_scores, hadamard_features, link_prediction_auc, similarity_link_auc};
 pub use logreg::LogisticRegression;
 pub use metrics::{adjusted_rand_index, average_precision, macro_f1, micro_f1, nmi, roc_auc};
 pub use tsne::{tsne, TsneConfig};

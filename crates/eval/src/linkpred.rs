@@ -3,6 +3,7 @@
 //! the paper follows.
 
 use coane_graph::NodeId;
+use coane_nn::Scorer;
 
 use crate::logreg::LogisticRegression;
 use crate::metrics::roc_auc;
@@ -130,6 +131,95 @@ mod tests {
     #[should_panic(expected = "empty training pairs")]
     fn rejects_empty_training() {
         link_prediction_auc(&[0.0; 4], 2, &[], &[(0, 1)], &[(0, 1)], &[(0, 1)]);
+    }
+}
+
+/// Scores each `(u, v)` pair by the given embedding-similarity scorer —
+/// the training-free edge score used by the serving layer's `score_links`
+/// endpoint and the unsupervised link-prediction protocol. Shares the one
+/// canonical scorer implementation in [`coane_nn::sim`].
+pub fn edge_scores(
+    embedding: &[f32],
+    dim: usize,
+    pairs: &[(NodeId, NodeId)],
+    scorer: Scorer,
+) -> Vec<f64> {
+    pairs
+        .iter()
+        .map(|&(u, v)| {
+            let a = &embedding[u as usize * dim..(u as usize + 1) * dim];
+            let b = &embedding[v as usize * dim..(v as usize + 1) * dim];
+            scorer.score(a, b) as f64
+        })
+        .collect()
+}
+
+/// Training-free link prediction: ROC-AUC of raw embedding-similarity
+/// scores on positive vs. negative pairs. A logreg-free companion to
+/// [`link_prediction_auc`] for settings (like online serving) where no
+/// labeled training split exists.
+pub fn similarity_link_auc(
+    embedding: &[f32],
+    dim: usize,
+    pos: &[(NodeId, NodeId)],
+    neg: &[(NodeId, NodeId)],
+    scorer: Scorer,
+) -> f64 {
+    assert!(!pos.is_empty() && !neg.is_empty(), "empty test pairs");
+    let mut scores = edge_scores(embedding, dim, pos, scorer);
+    scores.extend(edge_scores(embedding, dim, neg, scorer));
+    let labels: Vec<bool> = pos.iter().map(|_| true).chain(neg.iter().map(|_| false)).collect();
+    roc_auc(&scores, &labels)
+}
+
+#[cfg(test)]
+mod scorer_tests {
+    use super::*;
+
+    #[test]
+    fn edge_scores_match_direct_scorer_calls() {
+        let emb = vec![1.0f32, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let pairs = [(0u32, 1u32), (0, 2), (1, 2)];
+        for scorer in Scorer::ALL {
+            let got = edge_scores(&emb, 2, &pairs, scorer);
+            for (k, &(u, v)) in pairs.iter().enumerate() {
+                let a = &emb[u as usize * 2..u as usize * 2 + 2];
+                let b = &emb[v as usize * 2..v as usize * 2 + 2];
+                assert_eq!(got[k], scorer.score(a, b) as f64, "{}", scorer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_auc_separates_aligned_pairs() {
+        // Two orthogonal clusters: intra-cluster pairs must outrank
+        // cross-cluster pairs under every scorer.
+        let n = 8usize;
+        let mut emb = vec![0.0f32; n * 2];
+        for v in 0..n {
+            emb[v * 2 + v % 2] = 1.0 + 0.01 * v as f32;
+        }
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if u % 2 == v % 2 {
+                    pos.push((u, v));
+                } else {
+                    neg.push((u, v));
+                }
+            }
+        }
+        for scorer in Scorer::ALL {
+            let auc = similarity_link_auc(&emb, 2, &pos, &neg, scorer);
+            assert!(auc > 0.9, "{}: auc {auc}", scorer.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty test pairs")]
+    fn similarity_auc_rejects_empty() {
+        similarity_link_auc(&[0.0; 2], 2, &[], &[(0, 0)], Scorer::Dot);
     }
 }
 

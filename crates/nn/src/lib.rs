@@ -20,11 +20,13 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod pool;
+pub mod sim;
 pub mod sparse;
 pub mod tape;
 
 pub use layers::{Linear, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, ParamId, Params, Sgd};
+pub use sim::Scorer;
 pub use sparse::SparseMatrix;
 pub use tape::{Tape, Var};

@@ -165,6 +165,41 @@ where
     });
 }
 
+/// Runs `f(i)` for every `i in 0..n` on the pool and returns the results in
+/// index order — the job-batch API used by the serving layer (per-query
+/// work) and the ANN index build (per-node candidate searches).
+///
+/// Jobs are grouped into fixed-size chunks of [`JOB_CHUNK`] and distributed
+/// exactly like [`parallel_chunks`], so as long as `f` is a pure function of
+/// its index the result vector is bit-identical for any thread count.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(n, threads(), f)
+}
+
+/// Jobs per chunk in [`parallel_map`]. Fixed (never derived from the thread
+/// count) for the same reason as [`ROW_CHUNK`].
+pub const JOB_CHUNK: usize = 8;
+
+/// [`parallel_map`] with an explicit thread count.
+pub fn parallel_map_with<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    parallel_chunks_with(&mut out, JOB_CHUNK, threads, |start, slab| {
+        for (off, slot) in slab.iter_mut().enumerate() {
+            *slot = Some(f(start + off));
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("every job slot filled")).collect()
+}
+
 /// Ordered producer/consumer pipeline: items `0..n` are built by `make` on
 /// one background thread — in index order, running at most `depth` items
 /// ahead of consumption — while `consume(i, item)` runs on the calling
@@ -282,6 +317,18 @@ mod tests {
         let base = run(1);
         for threads in [2, 3, 4, 8] {
             assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_ordered_and_thread_count_invariant() {
+        for n in [0usize, 1, 7, 8, 9, 100] {
+            let base = parallel_map_with(n, 1, |i| i * 3 + 1);
+            let expect: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+            assert_eq!(base, expect, "n={n}");
+            for threads in [2, 4] {
+                assert_eq!(parallel_map_with(n, threads, |i| i * 3 + 1), base, "n={n}");
+            }
         }
     }
 

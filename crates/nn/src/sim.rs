@@ -1,0 +1,178 @@
+//! Shared vector-similarity scorers.
+//!
+//! One canonical implementation of the dot / cosine / Euclidean family used
+//! across the workspace — embedding evaluation (`coane-eval::linkpred`),
+//! baseline community-separation checks, and the ANN index + query engine in
+//! `coane-serve` — instead of a per-crate reimplementation in each place.
+//!
+//! All functions reduce strictly left-to-right over the slices, so a scorer
+//! call is bit-identical wherever it runs (sequential code, pool workers,
+//! any thread count) — the same determinism contract as the kernels in
+//! [`crate::matrix`].
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Dot product `⟨a, b⟩`, reduced left-to-right in `f32`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm `‖a‖`, reduced left-to-right in `f32`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Cosine similarity `⟨a, b⟩ / (‖a‖‖b‖ + 1e-12)`.
+///
+/// The `1e-12` stabilizer means all-zero vectors score 0 instead of NaN —
+/// the convention every former inline copy in the workspace used.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    dot(a, b) / (norm(a) * norm(b) + 1e-12)
+}
+
+/// Squared Euclidean distance `‖a − b‖²`, reduced left-to-right in `f32`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// A named similarity scorer, convertible from/to its CLI and JSON spelling.
+///
+/// [`Scorer::score`] is oriented so that **greater is always more similar**
+/// (Euclidean scores are negated squared distances); consumers can rank by
+/// score descending regardless of the metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scorer {
+    /// Raw dot product — the bilinear score CoANE's objective optimizes.
+    Dot,
+    /// Cosine similarity — scale-invariant, the default for kNN retrieval.
+    #[default]
+    Cosine,
+    /// Negated squared Euclidean distance.
+    Euclidean,
+}
+
+impl Scorer {
+    /// Every scorer, in a fixed order (useful for sweeps and tests).
+    pub const ALL: [Scorer; 3] = [Scorer::Dot, Scorer::Cosine, Scorer::Euclidean];
+
+    /// Parses the lowercase name used by the CLI and the HTTP API.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "dot" => Some(Self::Dot),
+            "cosine" => Some(Self::Cosine),
+            "euclidean" | "l2" => Some(Self::Euclidean),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dot => "dot",
+            Self::Cosine => "cosine",
+            Self::Euclidean => "euclidean",
+        }
+    }
+
+    /// Similarity of `a` and `b`; greater is always more similar.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn score(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Self::Dot => dot(a, b),
+            Self::Cosine => cosine(a, b),
+            Self::Euclidean => -euclidean_sq(a, b),
+        }
+    }
+}
+
+impl Serialize for Scorer {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for Scorer {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::String(s) => Scorer::parse(s)
+                .ok_or_else(|| serde::Error::custom(format!("unknown scorer {s:?}"))),
+            other => {
+                Err(serde::Error::custom(format!("expected scorer name string, got {other:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm_match_hand_values() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_sq(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+    }
+
+    #[test]
+    fn cosine_range_and_zero_vectors() {
+        let a = [1.0f32, 0.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((cosine(&a, &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &a), 0.0, "zero vector scores 0, not NaN");
+    }
+
+    #[test]
+    fn scorer_orientation_greater_is_more_similar() {
+        let q = [1.0f32, 1.0];
+        let near = [1.1f32, 0.9];
+        let far = [-1.0f32, -1.0];
+        for s in Scorer::ALL {
+            assert!(s.score(&q, &near) > s.score(&q, &far), "{}: near must outscore far", s.name());
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for s in Scorer::ALL {
+            assert_eq!(Scorer::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scorer::parse("l2"), Some(Scorer::Euclidean));
+        assert_eq!(Scorer::parse("manhattan"), None);
+        assert_eq!(Scorer::default(), Scorer::Cosine);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for s in Scorer::ALL {
+            let v = s.to_value();
+            assert_eq!(Scorer::from_value(&v).unwrap(), s);
+        }
+        assert!(Scorer::from_value(&Value::String("nope".into())).is_err());
+        assert!(Scorer::from_value(&Value::Number(1.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

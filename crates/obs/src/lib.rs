@@ -147,6 +147,24 @@ impl Obs {
         self.inner.as_ref().map_or(0, |c| c.num_events())
     }
 
+    /// Snapshot of every counter in name order (empty when disabled).
+    /// Powers live introspection surfaces — e.g. the serving layer's
+    /// `/stats` endpoint — without going through the JSONL sink.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |c| c.counter_snapshot())
+    }
+
+    /// Snapshot of every gauge in name order (empty when disabled).
+    pub fn gauges(&self) -> Vec<(&'static str, GaugeStat)> {
+        self.inner.as_ref().map_or_else(Vec::new, |c| c.gauge_snapshot())
+    }
+
+    /// Snapshot of every scope path with aggregated stats, in path order
+    /// (empty when disabled).
+    pub fn scopes(&self) -> Vec<(String, ScopeStat)> {
+        self.inner.as_ref().map_or_else(Vec::new, |c| c.scope_snapshot())
+    }
+
     // ------------------------------------------------------------- output
 
     /// Serializes everything recorded so far as JSONL (one JSON object per
@@ -249,6 +267,26 @@ mod tests {
         assert_eq!(stat.calls, 2);
         assert_eq!(stat.threads, 2);
         assert_eq!(obs.scope_stat("fit").map(|s| s.threads), Some(1));
+    }
+
+    #[test]
+    fn snapshots_list_everything_in_name_order() {
+        let obs = Obs::enabled();
+        obs.add("b", 2);
+        obs.add("a", 1);
+        obs.gauge("depth", 3.0);
+        {
+            let _s = obs.scope("serve");
+        }
+        assert_eq!(obs.counters(), vec![("a", 1), ("b", 2)]);
+        let gauges = obs.gauges();
+        assert_eq!(gauges.len(), 1);
+        assert_eq!(gauges[0].0, "depth");
+        assert_eq!(obs.scopes().len(), 1);
+        assert_eq!(obs.scopes()[0].0, "serve");
+        // Disabled handles stay empty.
+        let off = Obs::disabled();
+        assert!(off.counters().is_empty() && off.gauges().is_empty() && off.scopes().is_empty());
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! The query engine: typed request execution over an [`EmbeddingStore`] +
+//! [`HnswIndex`], with bounded batching on the workspace pool and
+//! per-query-class telemetry.
+//!
+//! Three query classes (mirroring the HTTP routes):
+//!
+//! - **kNN** ([`QueryEngine::knn`]): approximate (HNSW) or exact
+//!   (brute-force) retrieval for a batch of queries, each given by a stored
+//!   node id or a raw vector.
+//! - **Link scoring** ([`QueryEngine::score_links`]): batch edge scoring of
+//!   `(u, v)` id pairs through the shared
+//!   [`coane_eval::linkpred::edge_scores`] path — the same scorers the
+//!   offline evaluation uses.
+//! - **Inductive encoding** ([`QueryEngine::encode_unseen`]): embeds
+//!   never-seen attributed nodes with the trained model
+//!   ([`coane_core::inductive::embed_nodes_obs`] →
+//!   `CoaneModel::encode_nograd`), given their attributes and their edges
+//!   into the serving graph.
+//!
+//! ## Batching and backpressure
+//!
+//! Queries arrive in batches (one HTTP body = one batch) and are bounded by
+//! [`EngineLimits::max_batch`]; oversized batches are rejected with a typed
+//! config error rather than queued, so a client can never wedge the pool
+//! with one request. Within a batch, per-query work fans out on
+//! [`coane_nn::pool::parallel_map`] — deterministic result order, answers
+//! bit-identical at any thread count. Admission control for concurrent
+//! batches is a counting [`Gate`]: at most `queue_cap` batches may be
+//! in flight, further submitters block (that blocked-accept backpressure is
+//! what the HTTP layer leans on), and the current depth is exported as the
+//! `serve/queue_depth` gauge.
+//!
+//! Every query class times itself under a `serve/<class>` scope and counts
+//! requests/batches, so `/stats` can report per-class QPS.
+
+use std::sync::{Condvar, Mutex};
+
+use coane_core::{embed_nodes_obs, CoaneConfig, CoaneModel};
+use coane_error::{CoaneError, CoaneResult};
+use coane_graph::{AttributedGraph, GraphBuilder, NodeAttributes};
+use coane_nn::{pool, Scorer};
+use coane_obs::Obs;
+
+use crate::hnsw::{knn_exact, Hit, HnswIndex};
+use crate::store::EmbeddingStore;
+
+/// Bounds on batch admission (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineLimits {
+    /// Max queries per batch; larger batches are rejected.
+    pub max_batch: usize,
+    /// Max concurrently admitted batches; further submitters block.
+    pub queue_cap: usize,
+}
+
+impl Default for EngineLimits {
+    fn default() -> Self {
+        Self { max_batch: 256, queue_cap: 64 }
+    }
+}
+
+/// One kNN query: exactly one of `id` (a stored node) or `vector` (a raw
+/// embedding-space point).
+#[derive(Clone, Debug)]
+pub enum KnnTarget {
+    /// Look up the stored vector of this external node id.
+    Id(u64),
+    /// Query with this raw vector.
+    Vector(Vec<f32>),
+}
+
+/// Parameters shared by every query in a kNN batch.
+#[derive(Clone, Copy, Debug)]
+pub struct KnnParams {
+    /// Number of neighbors to return.
+    pub k: usize,
+    /// Scorer to rank under. Approximate search requires the index's build
+    /// scorer; any scorer works with `exact`.
+    pub scorer: Scorer,
+    /// Brute-force scan instead of the HNSW graph.
+    pub exact: bool,
+}
+
+/// One kNN answer: neighbor external ids with similarity scores, most
+/// similar first. When the query was a stored id, that node itself is
+/// filtered out of its own neighbor list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnnAnswer {
+    /// Neighbors as `(external id, score)`, score descending.
+    pub neighbors: Vec<(u64, f32)>,
+}
+
+/// An unseen node to encode: attributes (sparse) plus edges into the
+/// serving graph, by external node id.
+#[derive(Clone, Debug)]
+pub struct UnseenNode {
+    /// Sparse attribute indices (must be < the graph's attribute dim).
+    pub attr_indices: Vec<u32>,
+    /// Attribute values, parallel to `attr_indices`.
+    pub attr_values: Vec<f32>,
+    /// Existing nodes this node links to (external ids; at least one).
+    pub edges: Vec<u64>,
+}
+
+/// Everything inductive encoding needs: the trained model, its
+/// architecture config, and the graph the server walks for contexts.
+pub struct InductiveContext {
+    /// Trained CoANE model (filter bank + decoder).
+    pub model: CoaneModel,
+    /// The architecture configuration the model was trained with.
+    pub config: CoaneConfig,
+    /// The serving graph; unseen nodes attach to it by edges.
+    pub graph: AttributedGraph,
+}
+
+/// Counting admission gate with a blocking `acquire` (see module docs).
+struct Gate {
+    state: Mutex<usize>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl Gate {
+    fn new(cap: usize) -> Self {
+        Self { state: Mutex::new(0), freed: Condvar::new(), cap: cap.max(1) }
+    }
+
+    /// Blocks until a slot frees, then returns the depth *after* admission.
+    fn acquire(&self) -> usize {
+        let mut depth = self.state.lock().unwrap();
+        while *depth >= self.cap {
+            depth = self.freed.wait(depth).unwrap();
+        }
+        *depth += 1;
+        *depth
+    }
+
+    fn release(&self) {
+        let mut depth = self.state.lock().unwrap();
+        *depth -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// RAII admission permit.
+struct Permit<'a>(&'a Gate);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// The serving query engine. Cheap to share behind an `Arc`; all methods
+/// take `&self` and are safe to call from many threads at once.
+pub struct QueryEngine {
+    store: EmbeddingStore,
+    index: HnswIndex,
+    inductive: Option<InductiveContext>,
+    limits: EngineLimits,
+    gate: Gate,
+    obs: Obs,
+}
+
+impl QueryEngine {
+    /// Assembles an engine. `inductive` enables [`QueryEngine::encode_unseen`];
+    /// without it the engine serves kNN and link scoring only.
+    pub fn new(
+        store: EmbeddingStore,
+        index: HnswIndex,
+        inductive: Option<InductiveContext>,
+        limits: EngineLimits,
+        obs: Obs,
+    ) -> CoaneResult<Self> {
+        if let Some(ctx) = &inductive {
+            if ctx.graph.num_nodes() != store.len() {
+                return Err(CoaneError::config(format!(
+                    "serving graph has {} nodes but the store holds {} vectors",
+                    ctx.graph.num_nodes(),
+                    store.len()
+                )));
+            }
+        }
+        Ok(Self { store, index, inductive, limits, gate: Gate::new(limits.queue_cap), obs })
+    }
+
+    /// The embedding store this engine serves.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The ANN index this engine serves.
+    pub fn index(&self) -> &HnswIndex {
+        &self.index
+    }
+
+    /// Whether inductive encoding is available.
+    pub fn can_encode(&self) -> bool {
+        self.inductive.is_some()
+    }
+
+    /// The batch/queue bounds this engine admits under.
+    pub fn limits(&self) -> EngineLimits {
+        self.limits
+    }
+
+    /// The telemetry handle (shared with the HTTP layer for /stats).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Admission control: blocks while `queue_cap` batches are in flight,
+    /// records the post-admission depth on the `serve/queue_depth` gauge.
+    fn admit(&self, n_queries: usize, class: &'static str) -> CoaneResult<Permit<'_>> {
+        if n_queries > self.limits.max_batch {
+            return Err(CoaneError::config(format!(
+                "batch of {n_queries} exceeds max_batch {} — split the request",
+                self.limits.max_batch
+            )));
+        }
+        let depth = self.gate.acquire();
+        self.obs.gauge("serve/queue_depth", depth as f64);
+        self.obs.add(class, 1);
+        Ok(Permit(&self.gate))
+    }
+
+    /// Batch kNN. Answers come back in query order; each is the `k` most
+    /// similar stored nodes as `(external id, score)`, score descending,
+    /// ties broken by row index. Id queries exclude themselves.
+    pub fn knn(&self, queries: &[KnnTarget], params: KnnParams) -> CoaneResult<Vec<KnnAnswer>> {
+        let _permit = self.admit(queries.len(), "serve/knn/batches")?;
+        let _scope = self.obs.scope("serve/knn");
+        self.obs.add("serve/knn/requests", queries.len() as u64);
+        if params.k == 0 {
+            return Err(CoaneError::config("k must be positive"));
+        }
+        if !params.exact && params.scorer != self.index.scorer() {
+            return Err(CoaneError::config(format!(
+                "index was built for scorer {:?}; request exact=true to rank by {:?}",
+                self.index.scorer().name(),
+                params.scorer.name()
+            )));
+        }
+        // Resolve every query to (vector, excluded row) up front so errors
+        // surface before any parallel work starts.
+        let mut resolved: Vec<(&[f32], Option<u32>)> = Vec::with_capacity(queries.len());
+        for q in queries {
+            match q {
+                KnnTarget::Id(id) => {
+                    let row = self.store.index_of(*id).ok_or_else(|| {
+                        CoaneError::config(format!("unknown node id {id} in knn query"))
+                    })?;
+                    resolved.push((self.store.row(row as usize), Some(row)));
+                }
+                KnnTarget::Vector(v) => {
+                    if v.len() != self.store.dim() {
+                        return Err(CoaneError::config(format!(
+                            "query vector has dim {} but the store holds dim {}",
+                            v.len(),
+                            self.store.dim()
+                        )));
+                    }
+                    resolved.push((v.as_slice(), None));
+                }
+            }
+        }
+        // Fan the batch out on the pool: one job per query, results in
+        // query order regardless of thread count.
+        let answers = pool::parallel_map(resolved.len(), |i| {
+            let (vec, exclude) = resolved[i];
+            // Self-hits are filtered after search, so ask for one extra.
+            let want = params.k + usize::from(exclude.is_some());
+            let hits: Vec<Hit> = if params.exact {
+                knn_exact(&self.store, vec, want, params.scorer)
+            } else {
+                self.index.knn(&self.store, vec, want)
+            };
+            let neighbors: Vec<(u64, f32)> = hits
+                .into_iter()
+                .filter(|h| Some(h.index) != exclude)
+                .take(params.k)
+                .map(|h| (self.store.id_of(h.index as usize), h.score))
+                .collect();
+            KnnAnswer { neighbors }
+        });
+        Ok(answers)
+    }
+
+    /// Batch link scoring: the similarity of each `(u, v)` id pair under
+    /// `scorer`, in pair order. Shares [`coane_eval::linkpred::edge_scores`]
+    /// with the offline evaluation, so online and offline scores for the
+    /// same embedding are bit-identical.
+    pub fn score_links(&self, pairs: &[(u64, u64)], scorer: Scorer) -> CoaneResult<Vec<f64>> {
+        let _permit = self.admit(pairs.len(), "serve/links/batches")?;
+        let _scope = self.obs.scope("serve/links");
+        self.obs.add("serve/links/requests", pairs.len() as u64);
+        let rows: Vec<(u32, u32)> = pairs
+            .iter()
+            .map(|&(u, v)| {
+                let ru = self
+                    .store
+                    .index_of(u)
+                    .ok_or_else(|| CoaneError::config(format!("unknown node id {u}")))?;
+                let rv = self
+                    .store
+                    .index_of(v)
+                    .ok_or_else(|| CoaneError::config(format!("unknown node id {v}")))?;
+                Ok((ru, rv))
+            })
+            .collect::<CoaneResult<_>>()?;
+        Ok(coane_eval::edge_scores(self.store.vectors(), self.store.dim(), &rows, scorer))
+    }
+
+    /// Encodes unseen attributed nodes: each request node is appended to
+    /// the serving graph with its edges, fresh walks are sampled, and the
+    /// trained encoder embeds it (no-grad forward, bit-identical at any
+    /// thread count). Answers in request order.
+    pub fn encode_unseen(&self, nodes: &[UnseenNode]) -> CoaneResult<Vec<Vec<f32>>> {
+        let _permit = self.admit(nodes.len(), "serve/encode/batches")?;
+        let _scope = self.obs.scope("serve/encode");
+        self.obs.add("serve/encode/requests", nodes.len() as u64);
+        let ctx = self.inductive.as_ref().ok_or_else(|| {
+            CoaneError::config(
+                "this server has no model loaded; restart with --model/--graph to enable encoding",
+            )
+        })?;
+        if nodes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = &ctx.graph;
+        let n = base.num_nodes();
+        let attr_dim = base.attr_dim();
+        for (k, node) in nodes.iter().enumerate() {
+            if node.edges.is_empty() {
+                return Err(CoaneError::config(format!(
+                    "unseen node {k} has no edges; contexts need at least one link"
+                )));
+            }
+            if node.attr_indices.len() != node.attr_values.len() {
+                return Err(CoaneError::config(format!(
+                    "unseen node {k}: {} attribute indices vs {} values",
+                    node.attr_indices.len(),
+                    node.attr_values.len()
+                )));
+            }
+            if let Some(&bad) = node.attr_indices.iter().find(|&&i| i as usize >= attr_dim) {
+                return Err(CoaneError::config(format!(
+                    "unseen node {k}: attribute index {bad} out of range (dim {attr_dim})"
+                )));
+            }
+        }
+        // Extend the serving graph with every request node at once: base
+        // edges + request edges, base attribute rows + request rows.
+        let mut b = GraphBuilder::new(n + nodes.len(), attr_dim);
+        for (u, v, w) in base.edges() {
+            b.add_edge(u, v, w);
+        }
+        let mut rows: Vec<Vec<(u32, f32)>> = (0..n as u32)
+            .map(|v| {
+                let (idx, val) = base.attrs().row(v);
+                idx.iter().copied().zip(val.iter().copied()).collect()
+            })
+            .collect();
+        for (k, node) in nodes.iter().enumerate() {
+            let new_id = (n + k) as u32;
+            for &e in &node.edges {
+                let row =
+                    self.store.index_of(e).filter(|&r| (r as usize) < n).ok_or_else(|| {
+                        CoaneError::config(format!("unknown edge endpoint id {e}"))
+                    })?;
+                b.add_edge(new_id, row, 1.0);
+            }
+            rows.push(
+                node.attr_indices.iter().copied().zip(node.attr_values.iter().copied()).collect(),
+            );
+        }
+        let extended = b.with_attrs(NodeAttributes::from_sparse_rows(attr_dim, &rows)).build();
+        let new_ids: Vec<u32> = (0..nodes.len()).map(|k| (n + k) as u32).collect();
+        let z = embed_nodes_obs(&ctx.model, &ctx.config, &extended, &new_ids, &self.obs);
+        Ok((0..z.rows()).map(|r| z.row(r).to_vec()).collect())
+    }
+}

@@ -1,0 +1,583 @@
+//! Minimal std-only HTTP/1.1 JSON front-end for the [`QueryEngine`].
+//!
+//! No async runtime and no networking dependencies: a `TcpListener` accept
+//! loop feeds a bounded channel drained by a fixed pool of handler threads.
+//! The channel bound is the engine's `queue_cap`; when every handler is busy
+//! and the channel is full, the accept loop blocks on `send` — connections
+//! queue in the kernel backlog and clients see latency, not dropped
+//! requests. That is the whole backpressure story, and it composes with the
+//! engine's own admission gate.
+//!
+//! ## Routes
+//!
+//! | Route          | Method | Body                                              |
+//! |----------------|--------|---------------------------------------------------|
+//! | `/knn`         | POST   | `{"ids":[..]?, "vectors":[[..]]?, "k"?, "scorer"?, "exact"?}` |
+//! | `/score_links` | POST   | `{"pairs":[[u,v],..], "scorer"?}`                 |
+//! | `/encode`      | POST   | `{"nodes":[{"attr_indices","attr_values","edges"}], "k"?}` |
+//! | `/healthz`     | GET    | —                                                 |
+//! | `/stats`       | GET    | —                                                 |
+//! | `/shutdown`    | POST   | —                                                 |
+//!
+//! Every response is JSON with `Connection: close` (one request per
+//! connection — boring, allocation-free to reason about, and plenty for the
+//! batch-oriented API). Errors map [`CoaneError`] kinds onto status codes:
+//! config/parse/graph are the client's fault (400), everything else is 500.
+//!
+//! The server never writes to stdout; connection-level problems go to
+//! stderr so piped output stays clean.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use coane_error::{CoaneError, CoaneResult};
+use coane_nn::Scorer;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::engine::{KnnParams, KnnTarget, QueryEngine, UnseenNode};
+
+/// Maximum accepted request body (16 MiB) — larger bodies get 413.
+const MAX_BODY: usize = 16 << 20;
+/// Per-connection socket timeout; a stalled peer cannot pin a handler.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`; port `0` picks a free port.
+    pub addr: String,
+    /// Handler threads (requests in flight); at least 1.
+    pub threads: usize,
+    /// When set, the bound address is written here after binding — the
+    /// rendezvous for scripts that start the server with port 0.
+    pub addr_file: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:7878".into(), threads: 4, addr_file: None }
+    }
+}
+
+/// A bound (but not yet running) server: binding is separated from serving
+/// so callers learn the port (and the addr-file is on disk) before the
+/// accept loop starts.
+pub struct HttpServer {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Binds the listener, writes the addr-file if requested.
+    pub fn bind(engine: Arc<QueryEngine>, config: ServerConfig) -> CoaneResult<Self> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| CoaneError::config(format!("cannot bind {}: {e}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| CoaneError::config(format!("cannot read bound address: {e}")))?;
+        if let Some(path) = &config.addr_file {
+            std::fs::write(path, format!("{local_addr}\n")).map_err(|e| CoaneError::io(path, e))?;
+        }
+        Ok(Self { listener, engine, config, local_addr })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop until a `/shutdown` request lands. Blocks the
+    /// calling thread; handler threads are joined before returning.
+    pub fn run(self) -> CoaneResult<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue_cap = self.engine.limits().queue_cap.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_cap);
+        let rx = Arc::new(std::sync::Mutex::new(rx));
+        let n_threads = self.config.threads.max(1);
+        let mut handlers = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&stop);
+            let addr = self.local_addr;
+            handlers.push(std::thread::spawn(move || loop {
+                // Hold the lock only for the recv, not while handling.
+                let next = rx.lock().unwrap().recv();
+                let Ok(stream) = next else { break };
+                let shutdown = handle_connection(stream, &engine);
+                if shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    // Wake the acceptor out of its blocking accept().
+                    let _ = TcpStream::connect(addr);
+                }
+            }));
+        }
+        for incoming in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match incoming {
+                Ok(stream) => {
+                    // Blocking send is the backpressure point (see module
+                    // docs). Send only fails if every handler panicked.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => eprintln!("serve: accept failed: {e}"),
+            }
+        }
+        drop(tx);
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Handles one connection (one request). Returns `true` when the request
+/// was a shutdown order.
+fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> bool {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(parts) => parts,
+        Err(resp) => {
+            write_response(reader.into_inner(), &resp);
+            return false;
+        }
+    };
+    let (resp, shutdown) = route(engine, &method, &path, &body);
+    write_response(reader.into_inner(), &resp);
+    shutdown
+}
+
+/// An HTTP response about to be serialized.
+struct Response {
+    status: u16,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Self {
+        Self { status: 200, body }
+    }
+
+    fn json<T: Serialize>(value: &T) -> Self {
+        match serde_json::to_string(value) {
+            Ok(body) => Self::ok(body),
+            Err(e) => Self::error(500, "internal", &format!("response serialization: {e}")),
+        }
+    }
+
+    fn error(status: u16, kind: &str, message: &str) -> Self {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("error".to_string(), Value::String(message.to_string()));
+        obj.insert("kind".to_string(), Value::String(kind.to_string()));
+        let body = serde_json::to_string(&Value::Object(obj)).unwrap_or_default();
+        Self { status, body }
+    }
+
+    fn from_err(e: &CoaneError) -> Self {
+        let status = match e.kind() {
+            "config" | "parse" | "graph" => 400,
+            _ => 500,
+        };
+        Self::error(status, e.kind(), &e.to_string())
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(mut stream: TcpStream, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.body.len()
+    );
+    if let Err(e) =
+        stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(resp.body.as_bytes()))
+    {
+        eprintln!("serve: write failed: {e}");
+    }
+    let _ = stream.flush();
+}
+
+/// Parses the request line, headers and (Content-Length-framed) body.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), Response> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| Response::error(400, "parse", &format!("request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| Response::error(400, "parse", "empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| Response::error(400, "parse", "request line has no path"))?
+        .to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| Response::error(400, "parse", &format!("headers: {e}")))?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::error(400, "parse", "bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(Response::error(413, "config", &format!("body exceeds {MAX_BODY} bytes")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| Response::error(400, "parse", &format!("body: {e}")))?;
+    let body = String::from_utf8(body)
+        .map_err(|_| Response::error(400, "parse", "body is not valid UTF-8"))?;
+    Ok((method, path, body))
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+#[derive(Deserialize)]
+struct KnnRequest {
+    ids: Option<Vec<u64>>,
+    vectors: Option<Vec<Vec<f32>>>,
+    k: Option<usize>,
+    scorer: Option<String>,
+    exact: Option<bool>,
+}
+
+/// One neighbor on the wire.
+#[derive(Serialize, Deserialize)]
+pub struct Neighbor {
+    /// External node id.
+    pub id: u64,
+    /// Similarity under the requested scorer (greater = more similar).
+    pub score: f32,
+}
+
+/// One query's neighbor list on the wire.
+#[derive(Serialize, Deserialize)]
+pub struct KnnResult {
+    /// Most similar first.
+    pub neighbors: Vec<Neighbor>,
+}
+
+/// Response of `/knn`.
+#[derive(Serialize, Deserialize)]
+pub struct KnnResponse {
+    /// Neighbors returned per query.
+    pub k: usize,
+    /// Scorer that ranked the neighbors.
+    pub scorer: String,
+    /// One entry per query, in request order (ids first, then vectors).
+    pub results: Vec<KnnResult>,
+}
+
+#[derive(Deserialize)]
+struct LinkRequest {
+    pairs: Vec<(u64, u64)>,
+    scorer: Option<String>,
+}
+
+/// Response of `/score_links`.
+#[derive(Serialize, Deserialize)]
+pub struct LinkResponse {
+    /// Scorer used.
+    pub scorer: String,
+    /// One score per pair, in request order.
+    pub scores: Vec<f64>,
+}
+
+#[derive(Deserialize)]
+struct EncodeNodeRequest {
+    attr_indices: Option<Vec<u32>>,
+    attr_values: Option<Vec<f32>>,
+    edges: Vec<u64>,
+}
+
+#[derive(Deserialize)]
+struct EncodeRequest {
+    nodes: Vec<EncodeNodeRequest>,
+    k: Option<usize>,
+}
+
+/// Response of `/encode`.
+#[derive(Serialize, Deserialize)]
+pub struct EncodeResponse {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// One embedding per request node, in request order.
+    pub embeddings: Vec<Vec<f32>>,
+    /// When the request set `k`: each encoded node's nearest stored
+    /// neighbors, in request order.
+    pub neighbors: Option<Vec<KnnResult>>,
+}
+
+/// Response of `/healthz`.
+#[derive(Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server answers at all.
+    pub status: String,
+    /// Stored vectors.
+    pub nodes: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Scorer the ANN index was built with.
+    pub scorer: String,
+    /// Whether `/encode` is available (model + graph loaded).
+    pub encode: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+fn parse_scorer(name: &Option<String>, default: Scorer) -> CoaneResult<Scorer> {
+    match name {
+        None => Ok(default),
+        Some(s) => {
+            Scorer::parse(s).ok_or_else(|| CoaneError::config(format!("unknown scorer {s:?}")))
+        }
+    }
+}
+
+fn parse_body<T: Deserialize>(body: &str) -> Result<T, Response> {
+    serde_json::from_str(body)
+        .map_err(|e| Response::error(400, "parse", &format!("request body: {e}")))
+}
+
+fn route(engine: &QueryEngine, method: &str, path: &str, body: &str) -> (Response, bool) {
+    let resp = match (method, path) {
+        ("POST", "/knn") => handle_knn(engine, body),
+        ("POST", "/score_links") => handle_links(engine, body),
+        ("POST", "/encode") => handle_encode(engine, body),
+        ("GET", "/healthz") => Response::json(&HealthResponse {
+            status: "ok".into(),
+            nodes: engine.store().len(),
+            dim: engine.store().dim(),
+            scorer: engine.index().scorer().name().into(),
+            encode: engine.can_encode(),
+        }),
+        ("GET", "/stats") => stats_response(engine),
+        ("POST", "/shutdown") => {
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert("status".to_string(), Value::String("shutting down".to_string()));
+            return (Response::json(&Value::Object(obj)), true);
+        }
+        (_, "/knn" | "/score_links" | "/encode" | "/shutdown") => {
+            Response::error(405, "config", "POST required")
+        }
+        (_, "/healthz" | "/stats") => Response::error(405, "config", "GET required"),
+        _ => Response::error(404, "config", &format!("no route {path}")),
+    };
+    (resp, false)
+}
+
+fn handle_knn(engine: &QueryEngine, body: &str) -> Response {
+    let req: KnnRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let mut queries: Vec<KnnTarget> = Vec::new();
+    queries.extend(req.ids.unwrap_or_default().into_iter().map(KnnTarget::Id));
+    queries.extend(req.vectors.unwrap_or_default().into_iter().map(KnnTarget::Vector));
+    if queries.is_empty() {
+        return Response::error(400, "config", "knn request needs ids or vectors");
+    }
+    let scorer = match parse_scorer(&req.scorer, engine.index().scorer()) {
+        Ok(s) => s,
+        Err(e) => return Response::from_err(&e),
+    };
+    let params = KnnParams { k: req.k.unwrap_or(10), scorer, exact: req.exact.unwrap_or(false) };
+    match engine.knn(&queries, params) {
+        Ok(answers) => Response::json(&KnnResponse {
+            k: params.k,
+            scorer: scorer.name().into(),
+            results: answers.into_iter().map(to_knn_result).collect(),
+        }),
+        Err(e) => Response::from_err(&e),
+    }
+}
+
+fn to_knn_result(answer: crate::engine::KnnAnswer) -> KnnResult {
+    KnnResult {
+        neighbors: answer.neighbors.into_iter().map(|(id, score)| Neighbor { id, score }).collect(),
+    }
+}
+
+fn handle_links(engine: &QueryEngine, body: &str) -> Response {
+    let req: LinkRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let scorer = match parse_scorer(&req.scorer, engine.index().scorer()) {
+        Ok(s) => s,
+        Err(e) => return Response::from_err(&e),
+    };
+    match engine.score_links(&req.pairs, scorer) {
+        Ok(scores) => Response::json(&LinkResponse { scorer: scorer.name().into(), scores }),
+        Err(e) => Response::from_err(&e),
+    }
+}
+
+fn handle_encode(engine: &QueryEngine, body: &str) -> Response {
+    let req: EncodeRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let mut nodes = Vec::with_capacity(req.nodes.len());
+    for n in req.nodes {
+        nodes.push(UnseenNode {
+            attr_indices: n.attr_indices.unwrap_or_default(),
+            attr_values: n.attr_values.unwrap_or_default(),
+            edges: n.edges,
+        });
+    }
+    let embeddings = match engine.encode_unseen(&nodes) {
+        Ok(z) => z,
+        Err(e) => return Response::from_err(&e),
+    };
+    let neighbors = match req.k {
+        None => None,
+        Some(k) => {
+            let queries: Vec<KnnTarget> =
+                embeddings.iter().cloned().map(KnnTarget::Vector).collect();
+            let params = KnnParams { k, scorer: engine.index().scorer(), exact: false };
+            match engine.knn(&queries, params) {
+                Ok(answers) => Some(answers.into_iter().map(to_knn_result).collect()),
+                Err(e) => return Response::from_err(&e),
+            }
+        }
+    };
+    Response::json(&EncodeResponse { dim: engine.store().dim(), embeddings, neighbors })
+}
+
+fn stats_response(engine: &QueryEngine) -> Response {
+    let obs = engine.obs();
+    let mut counters = std::collections::BTreeMap::new();
+    for (name, n) in obs.counters() {
+        counters.insert(name.to_string(), Value::Number(n as f64));
+    }
+    let mut gauges = std::collections::BTreeMap::new();
+    for (name, g) in obs.gauges() {
+        let mut stat = std::collections::BTreeMap::new();
+        stat.insert("count".to_string(), Value::Number(g.count as f64));
+        stat.insert("last".to_string(), Value::Number(g.last));
+        stat.insert("max".to_string(), Value::Number(g.max));
+        gauges.insert(name.to_string(), Value::Object(stat));
+    }
+    let mut scopes = std::collections::BTreeMap::new();
+    for (path, s) in obs.scopes() {
+        let mut stat = std::collections::BTreeMap::new();
+        stat.insert("calls".to_string(), Value::Number(s.calls as f64));
+        stat.insert("total_secs".to_string(), Value::Number(s.total.as_secs_f64()));
+        scopes.insert(path, Value::Object(stat));
+    }
+    let mut root = std::collections::BTreeMap::new();
+    root.insert("uptime_secs".to_string(), Value::Number(obs.elapsed_secs()));
+    root.insert("counters".to_string(), Value::Object(counters));
+    root.insert("gauges".to_string(), Value::Object(gauges));
+    root.insert("scopes".to_string(), Value::Object(scopes));
+    Response::json(&Value::Object(root))
+}
+
+// ---------------------------------------------------------------------------
+// A tiny blocking client (shared by `coane query` and the tests)
+// ---------------------------------------------------------------------------
+
+/// Sends one JSON request and returns `(status, body)`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> CoaneResult<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| CoaneError::config(format!("cannot connect to {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| CoaneError::config(format!("request to {addr} failed: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| CoaneError::config(format!("no response from {addr}: {e}")))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CoaneError::parse(format!("bad status line {status_line:?}")))?;
+    let mut content_length = None;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| CoaneError::parse(format!("response headers: {e}")))?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = String::new();
+    match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| CoaneError::parse(format!("response body: {e}")))?;
+            body = String::from_utf8(buf)
+                .map_err(|_| CoaneError::parse("response body is not UTF-8"))?;
+        }
+        None => {
+            reader
+                .read_to_string(&mut body)
+                .map_err(|e| CoaneError::parse(format!("response body: {e}")))?;
+        }
+    }
+    Ok((status, body))
+}

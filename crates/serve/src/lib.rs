@@ -1,0 +1,27 @@
+//! # coane-serve — the online serving layer
+//!
+//! Everything after training: a trained embedding matrix becomes a
+//! versioned, CRC-checked binary [`EmbeddingStore`]; a deterministic
+//! [`HnswIndex`] is built over it in parallel on the workspace thread pool;
+//! and a [`QueryEngine`] answers three query classes — approximate/exact
+//! kNN, batch link scoring (through the exact scorer path the offline
+//! evaluation uses), and inductive encoding of unseen attributed nodes via
+//! the trained model's no-grad forward. [`http`] wraps the engine in a
+//! std-only HTTP/1.1 JSON server.
+//!
+//! The workspace determinism contract extends to serving: store bytes,
+//! index structure, and every query answer are bit-identical for a given
+//! seed at any thread count. The recall/determinism integration tests in
+//! `tests/` lock this down.
+
+pub mod engine;
+pub mod hnsw;
+pub mod http;
+pub mod store;
+
+pub use engine::{
+    EngineLimits, InductiveContext, KnnAnswer, KnnParams, KnnTarget, QueryEngine, UnseenNode,
+};
+pub use hnsw::{knn_exact, Hit, HnswConfig, HnswIndex};
+pub use http::{http_request, HttpServer, ServerConfig};
+pub use store::{EmbeddingStore, STORE_FORMAT_VERSION, STORE_MAGIC};

@@ -1,0 +1,325 @@
+//! The on-disk embedding store: a versioned, CRC-checked binary table of
+//! node embeddings written once by the trainer/CLI and loaded read-only by
+//! the server.
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"COANESTR"
+//! 8       4     format version (u32 LE)
+//! 12      8     payload length (u64 LE)
+//! 20      4     CRC32 (IEEE) of the payload bytes (u32 LE)
+//! 24      ...   payload
+//! ```
+//!
+//! The payload is a flat little-endian encoding:
+//!
+//! ```text
+//! num_nodes u64 · dim u64 · meta_len u64 · meta (UTF-8 JSON, free-form)
+//! ids       num_nodes × u64          (external id of each row, unique)
+//! vectors   num_nodes × dim × f32    (row-major, fixed stride)
+//! ```
+//!
+//! The layout is mmap-style: rows live at a fixed stride so row `i` is the
+//! slice at `i*dim .. (i+1)*dim`, addressable without any per-row framing.
+//! [`EmbeddingStore::open`] reads the file once, verifies length + CRC32,
+//! and decodes the vector block into one contiguous `f32` buffer; all row
+//! access after that ([`EmbeddingStore::row`], [`EmbeddingStore::vectors`])
+//! is zero-copy borrowing into that buffer.
+//!
+//! Every malformed-file condition — wrong magic, unsupported version,
+//! truncation, length or CRC mismatch, shape contradictions, duplicate
+//! ids — surfaces a typed [`CoaneError::Store`] (exit code 8) instead of a
+//! panic, mirroring the checkpoint layer's treatment of untrusted input.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use coane_core::checkpoint::crc32;
+use coane_error::{CoaneError, CoaneResult};
+
+/// Magic bytes identifying a CoANE embedding-store file.
+pub const STORE_MAGIC: &[u8; 8] = b"COANESTR";
+/// On-disk store format version this build reads and writes.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+/// Header size in bytes (magic + version + payload length + CRC32).
+const HEADER_LEN: usize = 24;
+/// Sanity bound on counts decoded from untrusted files.
+const MAX_DECODE_ITEMS: u64 = 1 << 32;
+
+/// A read-only embedding table: `num_nodes × dim` f32 vectors plus an
+/// id ↔ row-index map and a free-form metadata string.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    dim: usize,
+    ids: Vec<u64>,
+    index_of: HashMap<u64, u32>,
+    vectors: Vec<f32>,
+    meta: String,
+}
+
+impl EmbeddingStore {
+    /// Builds an in-memory store from a flat row-major embedding. `ids[i]`
+    /// is the external id of row `i`; pass `None` to use the identity
+    /// mapping `id = row index`.
+    ///
+    /// Returns a [`CoaneError::Store`] if the shape is inconsistent, the
+    /// store is empty, or ids repeat.
+    pub fn new(
+        embedding: Vec<f32>,
+        dim: usize,
+        ids: Option<Vec<u64>>,
+        meta: impl Into<String>,
+    ) -> CoaneResult<Self> {
+        let store_err = |m: String| CoaneError::Store { path: None, message: m };
+        if dim == 0 {
+            return Err(store_err("embedding dimension must be positive".into()));
+        }
+        if !embedding.len().is_multiple_of(dim) {
+            return Err(store_err(format!(
+                "embedding length {} is not a multiple of dim {dim}",
+                embedding.len()
+            )));
+        }
+        let n = embedding.len() / dim;
+        if n == 0 {
+            return Err(store_err("store must hold at least one vector".into()));
+        }
+        let ids = ids.unwrap_or_else(|| (0..n as u64).collect());
+        if ids.len() != n {
+            return Err(store_err(format!("{} ids for {n} vectors", ids.len())));
+        }
+        let mut index_of = HashMap::with_capacity(n);
+        for (i, &id) in ids.iter().enumerate() {
+            if index_of.insert(id, i as u32).is_some() {
+                return Err(store_err(format!("duplicate node id {id}")));
+            }
+        }
+        Ok(Self { dim, ids, index_of, vectors: embedding, meta: meta.into() })
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the store is empty (never true for a constructed store).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The free-form metadata string recorded at export time.
+    pub fn meta(&self) -> &str {
+        &self.meta
+    }
+
+    /// Embedding of row `index` — a zero-copy slice into the table.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn row(&self, index: usize) -> &[f32] {
+        &self.vectors[index * self.dim..(index + 1) * self.dim]
+    }
+
+    /// The whole table as one row-major slice (zero-copy).
+    pub fn vectors(&self) -> &[f32] {
+        &self.vectors
+    }
+
+    /// External id of row `index`.
+    pub fn id_of(&self, index: usize) -> u64 {
+        self.ids[index]
+    }
+
+    /// All external ids in row order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Row index of external id, if present.
+    pub fn index_of(&self, id: u64) -> Option<u32> {
+        self.index_of.get(&id).copied()
+    }
+
+    // ------------------------------------------------------------- on disk
+
+    /// Serializes the store to `path` atomically: bytes go to a `.tmp`
+    /// sibling which is fsynced then renamed into place, so a crash
+    /// mid-write never leaves a half-written file under the final name.
+    pub fn save(&self, path: &Path) -> CoaneResult<()> {
+        let mut payload = Vec::with_capacity(
+            3 * 8 + self.meta.len() + self.ids.len() * 8 + self.vectors.len() * 4,
+        );
+        payload.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        payload.extend_from_slice(&(self.meta.len() as u64).to_le_bytes());
+        payload.extend_from_slice(self.meta.as_bytes());
+        for &id in &self.ids {
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+        for &v in &self.vectors {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(STORE_MAGIC);
+        bytes.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp).map_err(|e| CoaneError::io(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| CoaneError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| CoaneError::io(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| CoaneError::io(path, e))?;
+        Ok(())
+    }
+
+    /// Loads a store written by [`EmbeddingStore::save`], verifying magic,
+    /// version, payload length, CRC32 and structural shape. Any mismatch is
+    /// a typed [`CoaneError::Store`].
+    pub fn open(path: &Path) -> CoaneResult<Self> {
+        let bytes = std::fs::read(path).map_err(|e| CoaneError::io(path, e))?;
+        Self::decode(&bytes).map_err(|m| CoaneError::store(path, m))
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < HEADER_LEN {
+            return Err(format!("file too short for header: {} bytes", bytes.len()));
+        }
+        if &bytes[0..8] != STORE_MAGIC {
+            return Err("bad magic: not a CoANE embedding store".into());
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != STORE_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported store format version {version} (this build reads version \
+                 {STORE_FORMAT_VERSION})"
+            ));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let actual_len = (bytes.len() - HEADER_LEN) as u64;
+        if payload_len != actual_len {
+            return Err(format!(
+                "payload length mismatch: header says {payload_len}, file holds {actual_len} \
+                 (truncated or padded file)"
+            ));
+        }
+        let payload = &bytes[HEADER_LEN..];
+        let actual_crc = crc32(payload);
+        if actual_crc != stored_crc {
+            return Err(format!(
+                "CRC32 mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            ));
+        }
+
+        let mut cur = Cursor { bytes: payload, pos: 0 };
+        let n = cur.take_u64()?;
+        let dim = cur.take_u64()?;
+        if n == 0 || dim == 0 || n > MAX_DECODE_ITEMS || dim > MAX_DECODE_ITEMS {
+            return Err(format!("implausible shape: {n} × {dim}"));
+        }
+        let meta_len = cur.take_u64()?;
+        let meta_bytes = cur.take_bytes(meta_len, "metadata")?;
+        let meta = std::str::from_utf8(meta_bytes)
+            .map_err(|_| "metadata is not valid UTF-8".to_string())?
+            .to_string();
+        let n = n as usize;
+        let dim = dim as usize;
+        let id_bytes = cur.take_bytes(n as u64 * 8, "id table")?;
+        let ids: Vec<u64> =
+            id_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        let count = n
+            .checked_mul(dim)
+            .ok_or_else(|| format!("vector block size overflows: {n} × {dim}"))?;
+        let vec_bytes = cur.take_bytes(count as u64 * 4, "vector block")?;
+        let vectors: Vec<f32> =
+            vec_bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        if cur.pos != payload.len() {
+            return Err(format!("{} trailing bytes after vector block", payload.len() - cur.pos));
+        }
+        Self::new(vectors, dim, Some(ids), meta).map_err(|e| e.to_string())
+    }
+}
+
+/// Bounds-checked little-endian reader over untrusted payload bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take_bytes(&mut self, len: u64, what: &str) -> Result<&'a [u8], String> {
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if len > remaining {
+            return Err(format!("truncated payload: {what} wants {len} bytes, {remaining} left"));
+        }
+        let s = &self.bytes[self.pos..self.pos + len as usize];
+        self.pos += len as usize;
+        Ok(s)
+    }
+
+    fn take_u64(&mut self) -> Result<u64, String> {
+        let b = self.take_bytes(8, "u64 field")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("coane_store_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> EmbeddingStore {
+        let emb: Vec<f32> = (0..12).map(|i| i as f32 * 0.5 - 3.0).collect();
+        EmbeddingStore::new(emb, 4, Some(vec![7, 3, 11]), "{\"src\":\"unit\"}").unwrap()
+    }
+
+    #[test]
+    fn row_access_and_id_map() {
+        let s = sample();
+        assert_eq!((s.len(), s.dim()), (3, 4));
+        assert_eq!(s.row(1), &[-1.0, -0.5, 0.0, 0.5]);
+        assert_eq!(s.id_of(2), 11);
+        assert_eq!(s.index_of(3), Some(1));
+        assert_eq!(s.index_of(99), None);
+        assert_eq!(s.vectors().len(), 12);
+    }
+
+    #[test]
+    fn duplicate_or_misshapen_inputs_rejected() {
+        assert!(EmbeddingStore::new(vec![0.0; 8], 4, Some(vec![1, 1]), "").is_err());
+        assert!(EmbeddingStore::new(vec![0.0; 7], 4, None, "").is_err());
+        assert!(EmbeddingStore::new(vec![], 4, None, "").is_err());
+        assert!(EmbeddingStore::new(vec![0.0; 8], 0, None, "").is_err());
+        assert!(EmbeddingStore::new(vec![0.0; 8], 4, Some(vec![1]), "").is_err());
+    }
+
+    #[test]
+    fn save_open_roundtrip_is_exact() {
+        let s = sample();
+        let path = tmp("roundtrip.store");
+        s.save(&path).unwrap();
+        let loaded = EmbeddingStore::open(&path).unwrap();
+        assert_eq!(loaded.vectors(), s.vectors());
+        assert_eq!(loaded.ids(), s.ids());
+        assert_eq!(loaded.dim(), s.dim());
+        assert_eq!(loaded.meta(), s.meta());
+    }
+}

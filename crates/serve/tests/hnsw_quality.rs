@@ -1,0 +1,108 @@
+//! Quality and determinism lockdown for the ANN index, per the workspace
+//! contract: recall@10 against the exact scorer path on a seeded 2k-node
+//! fixture, and bit-identical construction + queries at 1 vs 4 threads.
+
+use coane_nn::{pool, Scorer};
+use coane_serve::{
+    knn_exact, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, KnnParams, KnnTarget,
+    QueryEngine,
+};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const NODES: usize = 2000;
+const DIM: usize = 24;
+const K: usize = 10;
+const N_QUERIES: usize = 100;
+
+fn fixture_store(seed: u64) -> EmbeddingStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut uniform = || ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0;
+    let data: Vec<f32> = (0..NODES * DIM).map(|_| uniform()).collect();
+    EmbeddingStore::new(data, DIM, None, "hnsw fixture").expect("valid store")
+}
+
+fn fixture_queries(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
+    let mut uniform = || ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0;
+    (0..N_QUERIES).map(|_| (0..DIM).map(|_| uniform()).collect()).collect()
+}
+
+#[test]
+fn recall_at_10_beats_095_on_2k_fixture() {
+    let store = fixture_store(42);
+    let index = HnswIndex::build(&store, Scorer::Cosine, HnswConfig::default());
+    let queries = fixture_queries(42);
+    let mut total = 0.0;
+    for q in &queries {
+        let exact: Vec<u32> =
+            knn_exact(&store, q, K, Scorer::Cosine).iter().map(|h| h.index).collect();
+        let approx: Vec<u32> = index.knn(&store, q, K).iter().map(|h| h.index).collect();
+        assert_eq!(approx.len(), K, "index returned fewer than k results");
+        let hit = exact.iter().filter(|i| approx.contains(i)).count();
+        total += hit as f64 / K as f64;
+    }
+    let recall = total / queries.len() as f64;
+    assert!(recall >= 0.95, "recall@{K} = {recall:.4} below the 0.95 floor");
+}
+
+#[test]
+fn exact_search_is_its_own_ground_truth() {
+    // knn_exact must return exactly the k best rows under a total order:
+    // verify against a sequential argsort on a small slice of the fixture.
+    let store = fixture_store(7);
+    let q = fixture_queries(7).remove(0);
+    let hits = knn_exact(&store, &q, 5, Scorer::Cosine);
+    let mut scored: Vec<(f32, u32)> =
+        (0..store.len()).map(|r| (Scorer::Cosine.score(store.row(r), &q), r as u32)).collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let expect: Vec<u32> = scored.iter().take(5).map(|&(_, r)| r).collect();
+    let got: Vec<u32> = hits.iter().map(|h| h.index).collect();
+    assert_eq!(got, expect);
+}
+
+/// The whole serving path — level assignment, generational build, search,
+/// and the engine's batched answers — must be bit-identical at any thread
+/// count. One test owns the global pool knob so parallel test execution
+/// can't interleave conflicting settings.
+#[test]
+fn build_and_queries_bit_identical_at_1_vs_4_threads() {
+    let store = fixture_store(99);
+    let queries = fixture_queries(99);
+
+    let run = |threads: usize| {
+        pool::set_threads(threads);
+        let index = HnswIndex::build(&store, Scorer::Cosine, HnswConfig::default());
+        let graph: Vec<Vec<Vec<u32>>> = (0..store.len())
+            .map(|r| index.neighbors(r as u32).into_iter().map(<[u32]>::to_vec).collect())
+            .collect();
+        let answers: Vec<Vec<(u32, f32)>> = queries
+            .iter()
+            .map(|q| index.knn(&store, q, K).into_iter().map(|h| (h.index, h.score)).collect())
+            .collect();
+        let engine = QueryEngine::new(
+            fixture_store(99),
+            index,
+            None,
+            EngineLimits::default(),
+            coane_obs::Obs::disabled(),
+        )
+        .expect("engine");
+        (graph, answers, engine)
+    };
+
+    let (graph1, answers1, engine1) = run(1);
+    let (graph4, answers4, engine4) = run(4);
+    assert_eq!(graph1, graph4, "HNSW adjacency differs across thread counts");
+    assert_eq!(answers1, answers4, "query answers differ across thread counts");
+
+    // Engine-level batch answers too (parallel_map over the batch).
+    let batch: Vec<KnnTarget> = queries.iter().take(16).cloned().map(KnnTarget::Vector).collect();
+    let params = KnnParams { k: K, scorer: Scorer::Cosine, exact: false };
+    pool::set_threads(1);
+    let a1 = engine1.knn(&batch, params).expect("batch at 1 thread");
+    pool::set_threads(4);
+    let a4 = engine4.knn(&batch, params).expect("batch at 4 threads");
+    assert_eq!(a1, a4, "engine batch answers differ across thread counts");
+    pool::set_threads(1);
+}

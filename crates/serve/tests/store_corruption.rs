@@ -1,0 +1,121 @@
+//! On-disk robustness of the embedding-store format: every way the file can
+//! be damaged (flipped bits, truncation, foreign magic, future version,
+//! length lies) must surface as a typed `CoaneError::Store` / `Io` — never a
+//! panic, never a silently-wrong store.
+
+use coane_error::CoaneError;
+use coane_serve::{EmbeddingStore, STORE_FORMAT_VERSION};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::path::{Path, PathBuf};
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("coane-store-corruption-{name}-{}", std::process::id()));
+    p
+}
+
+fn sample_store() -> EmbeddingStore {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let data: Vec<f32> =
+        (0..40 * 8).map(|_| (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32 - 0.5).collect();
+    let ids: Vec<u64> = (0..40).map(|i| 1000 + i * 3).collect();
+    EmbeddingStore::new(data, 8, Some(ids), "corruption fixture").expect("valid store")
+}
+
+fn saved_bytes(store: &EmbeddingStore, name: &str) -> Vec<u8> {
+    let path = tmp_path(name);
+    store.save(&path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// Writes raw bytes and expects `open` to fail with a Store error whose
+/// message contains `expect_msg`.
+fn assert_rejected(name: &str, bytes: &[u8], expect_msg: &str) {
+    let path = tmp_path(name);
+    std::fs::write(&path, bytes).expect("write corrupt file");
+    let err = EmbeddingStore::open(&path).expect_err("corrupt store must not load");
+    let _ = std::fs::remove_file(&path);
+    match &err {
+        CoaneError::Store { message, .. } => assert!(
+            message.contains(expect_msg),
+            "{name}: expected message containing {expect_msg:?}, got {message:?}"
+        ),
+        other => panic!("{name}: expected Store error, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 8, "{name}: store errors map to exit code 8");
+}
+
+#[test]
+fn roundtrip_preserves_everything() {
+    let store = sample_store();
+    let path = tmp_path("roundtrip");
+    store.save(&path).expect("save");
+    let loaded = EmbeddingStore::open(&path).expect("open");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded.len(), store.len());
+    assert_eq!(loaded.dim(), store.dim());
+    assert_eq!(loaded.meta(), store.meta());
+    assert_eq!(loaded.ids(), store.ids());
+    assert_eq!(loaded.vectors(), store.vectors());
+    assert_eq!(loaded.index_of(1003), Some(1));
+}
+
+#[test]
+fn every_single_bit_flip_in_payload_is_detected() {
+    let store = sample_store();
+    let bytes = saved_bytes(&store, "bitflip");
+    // Flip one bit in a spread of payload positions (every 97th byte keeps
+    // the test fast while covering meta, ids and vectors).
+    for pos in (24..bytes.len()).step_by(97) {
+        let mut dam = bytes.clone();
+        dam[pos] ^= 0x10;
+        assert_rejected(&format!("bitflip-{pos}"), &dam, "CRC32 mismatch");
+    }
+}
+
+#[test]
+fn truncation_is_detected_at_any_cut() {
+    let store = sample_store();
+    let bytes = saved_bytes(&store, "trunc");
+    // Shorter than the header: structural error.
+    assert_rejected("trunc-header", &bytes[..10], "too short");
+    // Cut inside the payload: the header's length no longer matches.
+    assert_rejected("trunc-payload", &bytes[..bytes.len() - 5], "length mismatch");
+    // Padded file: also a length mismatch.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[0u8; 3]);
+    assert_rejected("padded", &padded, "length mismatch");
+}
+
+#[test]
+fn foreign_magic_and_future_version_are_rejected() {
+    let store = sample_store();
+    let bytes = saved_bytes(&store, "magic");
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0..8].copy_from_slice(b"NOTASTOR");
+    assert_rejected("magic", &wrong_magic, "bad magic");
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&(STORE_FORMAT_VERSION + 1).to_le_bytes());
+    assert_rejected("version", &future, "unsupported store format version");
+}
+
+#[test]
+fn header_length_lie_is_detected() {
+    let store = sample_store();
+    let bytes = saved_bytes(&store, "lenlie");
+    let mut lied = bytes.clone();
+    let fake_len = (bytes.len() as u64 - 24) + 100;
+    lied[12..20].copy_from_slice(&fake_len.to_le_bytes());
+    assert_rejected("lenlie", &lied, "length mismatch");
+}
+
+#[test]
+fn missing_file_is_an_io_error_not_a_panic() {
+    let err = EmbeddingStore::open(Path::new("/nonexistent/coane.store"))
+        .expect_err("missing file must not load");
+    assert_eq!(err.kind(), "io");
+}

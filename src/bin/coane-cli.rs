@@ -32,6 +32,14 @@
 //!                 --save-model model.json
 //! coane-cli infer --model model.json --graph extended.json --nodes 300,301 \
 //!                 --out new_embeddings.csv
+//!
+//! # 5. serve it: pack the embedding into a binary store, start the HTTP
+//! #    server (kNN / link scoring / inductive encoding), query it
+//! coane-cli export-store --embedding embedding.csv --out embedding.store
+//! coane-cli serve --store embedding.store --model model.json --graph graph.json \
+//!                 --addr 127.0.0.1:0 --addr-file server.addr
+//! coane-cli query --addr-file server.addr --route knn --body '{"ids":[0],"k":5}'
+//! coane-cli query --addr-file server.addr --route shutdown
 //! ```
 //!
 //! Output discipline: stdout carries only *results* (evaluation scores);
@@ -41,7 +49,8 @@
 //!
 //! Failures map to stable exit codes by error kind: 2 = invalid
 //! configuration/usage, 3 = I/O, 4 = parse, 5 = graph structure,
-//! 6 = numeric, 7 = checkpoint (see `CoaneError::exit_code`).
+//! 6 = numeric, 7 = checkpoint, 8 = embedding store (see
+//! `CoaneError::exit_code`).
 //!
 //! (Link prediction needs the split to happen *before* embedding; use the
 //! `exp_linkpred` harness binary or the library API for that protocol.)
@@ -150,7 +159,9 @@ fn finish_metrics(cli: &Cli, log: &Log, obs: &Obs) -> Result<(), CoaneError> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        eprintln!("usage: coane-cli <generate|convert|embed|infer|evaluate> [flags]");
+        eprintln!(
+            "usage: coane-cli <generate|convert|embed|infer|evaluate|export-store|serve|query> [flags]"
+        );
         return ExitCode::from(2);
     };
     let cli = Cli::parse(&args[1..]);
@@ -160,6 +171,9 @@ fn main() -> ExitCode {
         "embed" => cmd_embed(&cli),
         "infer" => cmd_infer(&cli),
         "evaluate" => cmd_evaluate(&cli),
+        "export-store" => cmd_export_store(&cli),
+        "serve" => cmd_serve(&cli),
+        "query" => cmd_query(&cli),
         other => Err(CoaneError::config(format!("unknown command: {other}"))),
     };
     match result {
@@ -401,5 +415,137 @@ fn cmd_evaluate(cli: &Cli) -> Result<(), CoaneError> {
             return Err(CoaneError::config(format!("unknown task: {other} (use cluster|classify)")))
         }
     }
+    Ok(())
+}
+
+/// Packs an embedding CSV into the versioned, CRC-checked binary store
+/// format the server loads. `--ids` (optional) is a file with one external
+/// id per line; without it, ids are row indices.
+fn cmd_export_store(cli: &Cli) -> Result<(), CoaneError> {
+    let log = Log::new(cli);
+    let emb_path = cli.req("embedding")?;
+    let out = cli.req("out")?;
+    let (embedding, dim) = eval::io::load_embedding_csv(Path::new(emb_path))
+        .map_err(|e| CoaneError::io(Path::new(emb_path), e))?;
+    let ids = match cli.get("ids") {
+        None => None,
+        Some(ids_path) => {
+            let text = std::fs::read_to_string(ids_path)
+                .map_err(|e| CoaneError::io(Path::new(ids_path), e))?;
+            let ids: Vec<u64> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(|l| {
+                    l.parse::<u64>()
+                        .map_err(|e| CoaneError::parse(format!("bad node id {l:?}: {e}")))
+                })
+                .collect::<Result<_, _>>()?;
+            Some(ids)
+        }
+    };
+    let meta = cli.get("meta").unwrap_or("").to_string();
+    let store = coane::serve::EmbeddingStore::new(embedding, dim, ids, meta)?;
+    store.save(Path::new(out))?;
+    log.info(format!("wrote {out}: {} vectors × {dim}", store.len()));
+    Ok(())
+}
+
+/// Loads an embedding store, builds the deterministic HNSW index, and
+/// serves kNN / link-scoring / encoding over HTTP until `/shutdown`.
+fn cmd_serve(cli: &Cli) -> Result<(), CoaneError> {
+    let log = Log::new(cli);
+    let store = coane::serve::EmbeddingStore::open(Path::new(cli.req("store")?))?;
+    let threads: usize = cli.num("threads", CoaneConfig::default().threads);
+    coane::nn::pool::set_threads(threads);
+    let scorer_name = cli.get("scorer").unwrap_or("cosine");
+    let scorer = coane::nn::Scorer::parse(scorer_name)
+        .ok_or_else(|| CoaneError::config(format!("unknown scorer {scorer_name:?}")))?;
+    let hnsw = coane::serve::HnswConfig {
+        m: cli.num("m", coane::serve::HnswConfig::default().m),
+        ef_construction: cli
+            .num("ef-construction", coane::serve::HnswConfig::default().ef_construction),
+        ef_search: cli.num("ef-search", coane::serve::HnswConfig::default().ef_search),
+        seed: cli.num("hnsw-seed", coane::serve::HnswConfig::default().seed),
+        max_generation: cli
+            .num("max-generation", coane::serve::HnswConfig::default().max_generation),
+    };
+    let inductive = match (cli.get("model"), cli.get("graph")) {
+        (Some(model_path), Some(graph_path)) => {
+            let (model, config) = coane::core::load_model(Path::new(model_path))?;
+            let graph = gio::load_json(Path::new(graph_path))?;
+            Some(coane::serve::InductiveContext { model, config, graph })
+        }
+        (None, None) => None,
+        _ => {
+            return Err(CoaneError::config(
+                "--model and --graph enable /encode and must be given together",
+            ))
+        }
+    };
+    let started = std::time::Instant::now();
+    let index = coane::serve::HnswIndex::build(&store, scorer, hnsw);
+    log.info(format!(
+        "built HNSW index over {} vectors ({} edges, {:.2}s)",
+        store.len(),
+        index.num_edges(),
+        started.elapsed().as_secs_f64()
+    ));
+    let limits = coane::serve::EngineLimits {
+        max_batch: cli.num("max-batch", coane::serve::EngineLimits::default().max_batch),
+        queue_cap: cli.num("queue-cap", coane::serve::EngineLimits::default().queue_cap),
+    };
+    // /stats reads live telemetry, so the server always observes itself
+    // (observation-only: answers are bit-identical either way).
+    let obs = Obs::enabled();
+    let engine = std::sync::Arc::new(coane::serve::QueryEngine::new(
+        store,
+        index,
+        inductive,
+        limits,
+        obs.clone(),
+    )?);
+    let server_config = coane::serve::ServerConfig {
+        addr: cli.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        threads: cli.num("http-threads", 4),
+        addr_file: cli.get("addr-file").map(std::path::PathBuf::from),
+    };
+    let server = coane::serve::HttpServer::bind(engine, server_config)?;
+    log.info(format!("listening on {}", server.local_addr()));
+    server.run()?;
+    log.info("shutdown requested; server stopped");
+    if let Some(path) = cli.get("metrics-json") {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| CoaneError::io(Path::new(path), e))?;
+        obs.write_jsonl(&mut file).map_err(|e| CoaneError::io(Path::new(path), e))?;
+        log.info(format!("wrote telemetry to {path}"));
+    }
+    Ok(())
+}
+
+/// Sends one JSON request to a running server and prints the response body
+/// (the result) to stdout.
+fn cmd_query(cli: &Cli) -> Result<(), CoaneError> {
+    let addr = match (cli.get("addr"), cli.get("addr-file")) {
+        (Some(addr), _) => addr.to_string(),
+        (None, Some(path)) => std::fs::read_to_string(path)
+            .map_err(|e| CoaneError::io(Path::new(path), e))?
+            .trim()
+            .to_string(),
+        (None, None) => return Err(CoaneError::config("need --addr or --addr-file")),
+    };
+    let route = cli.req("route")?;
+    let path = if route.starts_with('/') { route.to_string() } else { format!("/{route}") };
+    let method = match path.as_str() {
+        "/healthz" | "/stats" => "GET",
+        _ => "POST",
+    };
+    let body = cli.get("body").unwrap_or("");
+    let (status, response) = coane::serve::http_request(&addr, method, &path, body)?;
+    if !(200..300).contains(&status) {
+        eprintln!("{response}");
+        return Err(CoaneError::config(format!("server returned HTTP {status} for {path}")));
+    }
+    println!("{response}");
     Ok(())
 }

@@ -34,6 +34,7 @@
 //! | [`coane_baselines`] | DeepWalk, node2vec, LINE, GAE, VGAE, GraphSAGE, ASNE, DANE, ANRL, ARGA, ARVGA, STNE |
 //! | [`coane_eval`] | classification / clustering / link prediction / t-SNE |
 //! | [`coane_obs`] | timing scopes, counters/gauges, JSONL telemetry sink |
+//! | [`coane_serve`] | embedding store, deterministic HNSW index, query engine, HTTP server |
 
 pub use coane_baselines as baselines;
 pub use coane_core as core;
@@ -42,6 +43,7 @@ pub use coane_eval as eval;
 pub use coane_graph as graph;
 pub use coane_nn as nn;
 pub use coane_obs as obs;
+pub use coane_serve as serve;
 pub use coane_walks as walks;
 
 /// Convenience re-exports for typical usage.

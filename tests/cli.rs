@@ -320,3 +320,148 @@ fn bad_node_id_rejected_by_infer() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
 }
+
+/// End-to-end serving workflow through the binary: embed → export-store →
+/// serve (addr-file rendezvous on port 0) → query every route → shutdown.
+/// Also the stdout-purity check for the new subcommands: `query` prints
+/// exactly one JSON document; `export-store` and `serve` print nothing.
+#[test]
+fn serve_workflow_through_the_binary() {
+    let dir = tmpdir().join("serve_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("g.json");
+    let emb = dir.join("e.csv");
+    let model = dir.join("m.json");
+    let store = dir.join("e.store");
+    let addr_file = dir.join("server.addr");
+
+    assert!(cli()
+        .args(["generate", "--preset", "webkb-texas", "--scale", "1.0", "--seed", "5"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args(["embed", "--graph", graph.to_str().unwrap(), "--method", "coane"])
+        .args(["--dim", "16", "--epochs", "1", "--out", emb.to_str().unwrap()])
+        .args(["--save-model", model.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // export-store: pipe-clean stdout, store file appears.
+    let out = cli()
+        .args(["export-store", "--embedding", emb.to_str().unwrap()])
+        .args(["--out", store.to_str().unwrap(), "--meta", "cli smoke"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "export-store failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(out.stdout.is_empty(), "export-store wrote to stdout");
+    assert!(store.exists());
+
+    // serve in the background; the addr file is the rendezvous.
+    let server = cli()
+        .args(["serve", "--store", store.to_str().unwrap()])
+        .args(["--model", model.to_str().unwrap(), "--graph", graph.to_str().unwrap()])
+        .args(["--addr", "127.0.0.1:0", "--addr-file", addr_file.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !addr_file.exists() {
+        assert!(std::time::Instant::now() < deadline, "server never wrote the addr file");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let addr = std::fs::read_to_string(&addr_file).unwrap().trim().to_string();
+
+    let query = |route: &str, body: Option<&str>| {
+        let mut c = cli();
+        c.args(["query", "--addr", &addr, "--route", route]);
+        if let Some(b) = body {
+            c.args(["--body", b]);
+        }
+        c.output().unwrap()
+    };
+
+    // healthz through the query subcommand: one JSON line on stdout.
+    let out = query("healthz", None);
+    assert!(out.status.success(), "healthz failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"status\""), "unexpected stdout: {stdout}");
+    assert_eq!(stdout.lines().count(), 1, "query stdout must be one JSON document");
+
+    // kNN, link scoring, and inductive encoding all answer 200.
+    let out = query("knn", Some(r#"{"ids":[0,1],"k":3}"#));
+    assert!(out.status.success(), "knn failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"neighbors\""));
+    let out = query("score_links", Some(r#"{"pairs":[[0,1]]}"#));
+    assert!(out.status.success(), "score_links failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"scores\""));
+    let out = query(
+        "encode",
+        Some(r#"{"nodes":[{"attr_indices":[0],"attr_values":[1.0],"edges":[0,1]}],"k":2}"#),
+    );
+    assert!(out.status.success(), "encode failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"embeddings\""));
+
+    // A server-side error surfaces as a nonzero exit with the body on stderr.
+    let out = query("knn", Some(r#"{"ids":[999999],"k":3}"#));
+    assert_eq!(out.status.code(), Some(2), "bad query should exit 2");
+    assert!(out.stdout.is_empty(), "failed query must not write stdout");
+
+    // shutdown; server exits cleanly with a pipe-clean stdout.
+    let out = query("shutdown", None);
+    assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
+    let server_out = server.wait_with_output().unwrap();
+    assert!(server_out.status.success(), "server exited nonzero");
+    assert!(server_out.stdout.is_empty(), "serve wrote to stdout");
+    assert!(
+        String::from_utf8_lossy(&server_out.stderr).contains("listening on"),
+        "serve progress belongs on stderr"
+    );
+}
+
+/// Store-format failures through the binary: exit code 8 and a typed
+/// message, per the error taxonomy.
+#[test]
+fn corrupt_store_exits_8_through_the_binary() {
+    let dir = tmpdir().join("store_errors");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Not a store at all.
+    let fake = dir.join("fake.store");
+    std::fs::write(&fake, b"definitely not a store").unwrap();
+    let out = cli().args(["serve", "--store", fake.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(8), "bad magic should exit 8");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("embedding-store error"));
+
+    // A real store with a flipped payload bit.
+    let emb = dir.join("e.csv");
+    std::fs::write(&emb, "0.5,0.25\n-1.0,2.0\n").unwrap();
+    let store = dir.join("ok.store");
+    assert!(cli()
+        .args(["export-store", "--embedding", emb.to_str().unwrap()])
+        .args(["--out", store.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let mut bytes = std::fs::read(&store).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&store, &bytes).unwrap();
+    let out = cli().args(["serve", "--store", store.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(8), "CRC mismatch should exit 8");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CRC32 mismatch"));
+
+    // Mismatched id file through export-store.
+    let ids = dir.join("ids.txt");
+    std::fs::write(&ids, "7\n").unwrap();
+    let out = cli()
+        .args(["export-store", "--embedding", emb.to_str().unwrap()])
+        .args(["--ids", ids.to_str().unwrap()])
+        .args(["--out", dir.join("bad.store").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(8), "id/vector count mismatch should exit 8");
+}
