@@ -1,19 +1,35 @@
 #!/usr/bin/env python3
-"""Validates the JSON responses captured from a running coane-cli server.
+"""Validates serving-path artifacts captured by CI.
 
-Usage: validate_serve.py <dir>
+Usage:
+  validate_serve.py <dir>            # route-response schemas (integration step)
+  validate_serve.py --load <dir>     # concurrent load summary + shed stats
+  validate_serve.py --bench <file>   # BENCH_serve.json concurrency sweep
 
-Expects the CI smoke step to have saved one response per route into <dir>:
-healthz.json, knn.json, links.json, encode.json, stats.json. Each file must
-parse as JSON and carry the documented response schema (README "Serving").
+Default mode expects one response per route saved into <dir>: healthz.json,
+knn.json, links.json, encode.json, stats.json. Each file must parse as JSON
+and carry the documented response schema (README "Serving"), including the
+per-route latency histograms under /stats.
+
+--load expects <dir>/load.json (the `coane-cli query --concurrency` summary
+against a deliberately tiny admission queue) and <dir>/stats_load.json: every
+request must have completed as 200 or a fast 429 — none hung, none errored —
+and the server must have recorded the shed decisions it made.
+
+--bench validates the committed BENCH_serve.json micro-batching section: a
+concurrency sweep with strictly increasing connection counts, finite positive
+throughput/latency, and a batched speedup >= 2x over the per-request baseline
+that is arithmetically consistent with the recorded points.
 """
 
 import json
 import sys
 
+SPEEDUP_FLOOR = 2.0
 
-def load(dirpath: str, name: str):
-    with open(f"{dirpath}/{name}") as f:
+
+def load(path: str):
+    with open(path) as f:
         return json.load(f)
 
 
@@ -29,35 +45,43 @@ def check_neighbors(results, k: int, nodes: int, what: str) -> None:
             assert isinstance(n["score"], (int, float)), f"{what}: non-numeric score"
 
 
-def main() -> None:
-    d = sys.argv[1]
+def check_histogram(histograms, name: str) -> None:
+    assert name in histograms, f"histogram {name} missing from {sorted(histograms)}"
+    h = histograms[name]
+    assert h["count"] > 0, f"histogram {name} recorded nothing"
+    for field in ("min_us", "max_us", "p50_us", "p90_us", "p99_us"):
+        v = h[field]
+        assert isinstance(v, (int, float)) and v >= 0, f"histogram {name}.{field} invalid: {v}"
+    assert h["p50_us"] <= h["p99_us"] <= h["max_us"], f"histogram {name} percentiles disordered"
 
-    health = load(d, "healthz.json")
+
+def validate_routes(d: str) -> None:
+    health = load(f"{d}/healthz.json")
     assert health["status"] == "ok", f"unhealthy: {health}"
     nodes, dim = health["nodes"], health["dim"]
     assert nodes > 0 and dim > 0, f"degenerate store: {health}"
     assert health["encode"] is True, "encode should be enabled in the CI smoke"
     assert isinstance(health["scorer"], str)
 
-    knn = load(d, "knn.json")
+    knn = load(f"{d}/knn.json")
     assert knn["scorer"] == health["scorer"]
     check_neighbors(knn["results"], knn["k"], nodes, "knn")
     # Id queries exclude themselves (the smoke queries ids 0 and 1).
     for qid, res in zip((0, 1), knn["results"]):
         assert all(n["id"] != qid for n in res["neighbors"]), f"knn: query {qid} in own results"
 
-    links = load(d, "links.json")
+    links = load(f"{d}/links.json")
     assert isinstance(links["scores"], list) and links["scores"], "links: no scores"
     assert all(isinstance(s, (int, float)) for s in links["scores"]), "links: non-numeric score"
 
-    encode = load(d, "encode.json")
+    encode = load(f"{d}/encode.json")
     assert encode["dim"] == dim
     assert len(encode["embeddings"]) == 1, "encode: expected one embedded node"
     assert len(encode["embeddings"][0]) == dim, "encode: wrong embedding width"
     assert all(isinstance(x, (int, float)) for x in encode["embeddings"][0])
     check_neighbors(encode["neighbors"], 3, nodes, "encode.neighbors")
 
-    stats = load(d, "stats.json")
+    stats = load(f"{d}/stats.json")
     counters = stats["counters"]
     assert counters.get("serve/knn/requests", 0) >= 2, f"knn uncounted: {counters}"
     assert counters.get("serve/links/requests", 0) >= 1, f"links uncounted: {counters}"
@@ -66,8 +90,64 @@ def main() -> None:
     scopes = stats["scopes"]
     for cls in ("serve/knn", "serve/links", "serve/encode"):
         assert cls in scopes and scopes[cls]["calls"] > 0, f"scope {cls} missing from {scopes}"
+    # Every route driven before /stats must have a latency histogram.
+    for route in ("healthz", "knn", "links", "encode"):
+        check_histogram(stats["histograms"], f"serve/http/{route}")
 
     print(f"{d} OK: {nodes} nodes x {dim}, all route schemas valid")
+
+
+def validate_load(d: str) -> None:
+    summary = load(f"{d}/load.json")
+    total = summary["total"]
+    assert total == summary["concurrency"] * summary["repeat"], f"load total mismatch: {summary}"
+    # The 429-not-hangs contract: every request reached a terminal status.
+    assert summary["failed"] == 0, f"load run had hard failures: {summary}"
+    assert summary["ok"] + summary["shed"] == total, f"load accounting broken: {summary}"
+    assert summary["ok"] >= 1, f"nothing got through the saturated queue: {summary}"
+    # queue_cap=1 under 8 concurrent clients: shedding must actually happen,
+    # otherwise the admission gate silently queued past its bound.
+    assert summary["shed"] >= 1, f"saturated queue never shed: {summary}"
+    assert summary["qps"] > 0 and summary["elapsed_secs"] > 0, f"degenerate timing: {summary}"
+
+    stats = load(f"{d}/stats_load.json")
+    shed = stats["counters"].get("serve/shed", 0)
+    assert shed >= summary["shed"], f"server recorded {shed} sheds, client saw {summary['shed']}"
+    check_histogram(stats["histograms"], "serve/http/knn")
+
+    print(f"{d} OK: {summary['ok']} served / {summary['shed']} shed of {total}, none hung")
+
+
+def validate_bench(path: str) -> None:
+    conc = load(path)["concurrency"]
+    assert conc["sweep_nodes"] > 0, f"degenerate sweep store: {conc['sweep_nodes']}"
+    assert conc["baseline_qps"] > 0, f"non-positive baseline qps: {conc['baseline_qps']}"
+    points = conc["points"]
+    assert points, "concurrency sweep has no points"
+    best = 0.0
+    for i, p in enumerate(points):
+        assert p["qps"] > 0 and p["p50_us"] > 0, f"sweep point {i} non-positive: {p}"
+        assert p["p50_us"] <= p["p99_us"], f"sweep point {i} percentiles disordered: {p}"
+        assert i == 0 or p["connections"] > points[i - 1]["connections"], (
+            "sweep connections not strictly increasing"
+        )
+        best = max(best, p["qps"])
+    speedup = conc["batched_speedup"]
+    assert speedup >= SPEEDUP_FLOOR, f"batched speedup {speedup:.2f} below {SPEEDUP_FLOOR}x"
+    recomputed = best / conc["baseline_qps"]
+    assert abs(recomputed - speedup) <= 0.1 * speedup, (
+        f"batched_speedup {speedup:.2f} inconsistent with points ({recomputed:.2f})"
+    )
+    print(f"{path} OK: {speedup:.2f}x batched speedup over {conc['baseline_qps']:.0f} qps baseline")
+
+
+def main() -> None:
+    if sys.argv[1] == "--load":
+        validate_load(sys.argv[2])
+    elif sys.argv[1] == "--bench":
+        validate_bench(sys.argv[2])
+    else:
+        validate_routes(sys.argv[1])
 
 
 if __name__ == "__main__":

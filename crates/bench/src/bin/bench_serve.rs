@@ -10,6 +10,23 @@
 //! smoke) so a quietly-degraded index fails the bench rather than shipping
 //! fast wrong answers.
 //!
+//! ## Concurrency sweep
+//!
+//! The `concurrency` section measures what cross-request micro-batching
+//! buys: N keep-alive clients hammer exact `/knn` concurrently, the server
+//! coalesces their queries into pre-transposed matmul passes, and
+//! throughput is compared against `baseline_qps` — the same exact route on
+//! the same store driven one request per connection (the pre-keep-alive,
+//! pre-coalescing serve path). The sweep runs on its own larger store
+//! (`SWEEP_NODES`): batching amortizes the kernel's streaming pass over the
+//! store, so the effect is measured where the kernel — not per-request HTTP
+//! overhead — dominates, which is exactly the regime where a second of
+//! serving capacity matters. Queries target store ids, keeping request
+//! parsing identical and trivial on both sides. `batched_speedup` (best
+//! sweep point over baseline) is gated ≥ 2.0 in full mode, and the
+//! committed numbers are re-validated by `--smoke`. Both sides run the
+//! exact scorer path, so the comparison holds recall constant at 1.0.
+//!
 //! Output discipline: progress goes to stderr; stdout carries exactly one
 //! JSON document (the report in full mode, the validation verdict in
 //! `--smoke` mode). The report is also written to `BENCH_serve.json` at the
@@ -21,8 +38,8 @@ use std::time::Instant;
 
 use coane_nn::{pool, Scorer};
 use coane_serve::{
-    http_request, knn_exact, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, HttpServer,
-    QueryEngine, ServerConfig,
+    http_request, knn_exact, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, HttpClient,
+    HttpServer, QueryEngine, ServerConfig,
 };
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -36,6 +53,17 @@ const HTTP_QUERIES: usize = 128;
 const SEED: u64 = 42;
 const RECALL_FLOOR: f64 = 0.95;
 const SMOKE_RECALL_FLOOR: f64 = 0.90;
+/// Store size for the concurrency sweep: large enough that the exact
+/// kernel, not per-request HTTP overhead, dominates a query.
+const SWEEP_NODES: usize = 20000;
+/// Concurrent keep-alive client counts in the sweep.
+const SWEEP_CONNECTIONS: &[usize] = &[1, 2, 4, 8];
+/// Exact `/knn` requests per sweep point, split across the connections.
+const SWEEP_REQUESTS: usize = 256;
+/// One-shot exact requests timed for `baseline_qps`.
+const BASELINE_REQUESTS: usize = 128;
+/// Best coalesced throughput must beat the per-request baseline by this.
+const SPEEDUP_FLOOR: f64 = 2.0;
 
 #[derive(Serialize, Deserialize)]
 struct PathStats {
@@ -45,6 +73,33 @@ struct PathStats {
     p50_us: f64,
     /// 99th-percentile per-query latency, microseconds.
     p99_us: f64,
+}
+
+/// One concurrency-sweep measurement: `connections` keep-alive clients
+/// driving exact `/knn` against the coalescing server.
+#[derive(Serialize, Deserialize)]
+struct SweepPoint {
+    connections: usize,
+    /// Completed queries per second across all connections.
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    /// Requests shed with 429 (zero at the bench's default queue_cap).
+    shed: u64,
+}
+
+/// The micro-batching story: per-request baseline vs coalesced sweep, both
+/// on the dedicated `sweep_nodes` store.
+#[derive(Serialize, Deserialize)]
+struct ConcurrencyReport {
+    /// Store size the baseline and sweep ran against.
+    sweep_nodes: usize,
+    /// Exact `/knn`, one request per connection — the pre-keep-alive,
+    /// pre-coalescing serve path.
+    baseline_qps: f64,
+    points: Vec<SweepPoint>,
+    /// Best sweep qps over `baseline_qps`; gated ≥ 2.0.
+    batched_speedup: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -64,6 +119,10 @@ struct Report {
     exact: PathStats,
     /// End-to-end HTTP round-trips (connect + parse + search + serialize).
     http: PathStats,
+    /// Same route over one persistent keep-alive connection (no per-request
+    /// TCP setup).
+    http_keepalive: PathStats,
+    concurrency: ConcurrencyReport,
 }
 
 fn json_path() -> &'static str {
@@ -121,9 +180,80 @@ fn recall(store: &EmbeddingStore, index: &HnswIndex, queries: &[Vec<f32>], k: us
     total / queries.len() as f64
 }
 
+fn knn_body(query: &[f32], exact: bool) -> String {
+    let vec_json: Vec<String> = query.iter().map(|x| format!("{x}")).collect();
+    format!("{{\"vectors\":[[{}]],\"k\":{K},\"exact\":{exact}}}", vec_json.join(","))
+}
+
+/// Exact `/knn` targeting a store row by id — the sweep/baseline request
+/// shape (identical, trivially-parsed bodies on both sides).
+fn knn_id_body(id: u64) -> String {
+    format!("{{\"ids\":[{id}],\"k\":{K},\"exact\":true}}")
+}
+
+/// Deterministic store ids, disjoint streams per seed.
+fn synthetic_ids(n: usize, nodes: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_u64() % nodes as u64).collect()
+}
+
+/// One sweep point: `connections` threads, each with a persistent
+/// [`HttpClient`], splitting `total` exact `/knn` requests between them.
+fn sweep_point(addr: &str, connections: usize, total: usize, nodes: usize) -> SweepPoint {
+    let per_conn = total.div_ceil(connections);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let ids = synthetic_ids(per_conn, nodes, SEED ^ (0xB00 + c as u64));
+                let mut client = HttpClient::new(addr);
+                let mut lat_us = Vec::with_capacity(per_conn);
+                let mut shed = 0u64;
+                for &id in &ids {
+                    let body = knn_id_body(id);
+                    let t = Instant::now();
+                    let (status, resp) =
+                        client.request("POST", "/knn", &body).expect("sweep request");
+                    match status {
+                        200 => lat_us.push(t.elapsed().as_secs_f64() * 1e6),
+                        429 => shed += 1,
+                        other => panic!("sweep request failed with {other}: {resp}"),
+                    }
+                }
+                (lat_us, shed)
+            })
+        })
+        .collect();
+    let mut lat_us = Vec::new();
+    let mut shed = 0u64;
+    for w in workers {
+        let (lat, s) = w.join().expect("sweep worker");
+        lat_us.extend(lat);
+        shed += s;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    lat_us.sort_by(f64::total_cmp);
+    SweepPoint {
+        connections,
+        qps: lat_us.len() as f64 / elapsed,
+        p50_us: percentile_us(&lat_us, 0.50),
+        p99_us: percentile_us(&lat_us, 0.99),
+        shed,
+    }
+}
+
 /// Runs the engine + HTTP measurements for one store size. Returns the
 /// report (without writing anything).
-fn measure(nodes: usize, queries: usize, http_queries: usize) -> Report {
+fn measure(
+    nodes: usize,
+    queries: usize,
+    http_queries: usize,
+    sweep_nodes: usize,
+    sweep_connections: &[usize],
+    sweep_total: usize,
+    baseline_requests: usize,
+) -> Report {
     let scorer = Scorer::Cosine;
     eprintln!("bench_serve: building store ({nodes} x {DIM}) and HNSW index");
     let store = synthetic_store(nodes, DIM, SEED);
@@ -147,29 +277,101 @@ fn measure(nodes: usize, queries: usize, http_queries: usize) -> Report {
         hnsw_stats.qps, hnsw_stats.p50_us, exact_stats.qps, exact_stats.p50_us
     );
 
-    // End-to-end HTTP: loopback server on an OS-assigned port, one
-    // single-query POST /knn per round-trip.
-    let engine =
+    // End-to-end HTTP on the main store: one-shot round-trips (`http`,
+    // connect + parse + search + serialize per request) and the same route
+    // over a single persistent connection (`http_keepalive`). The default
+    // config has a zero batch window, so serial traffic never lingers.
+    let engine = Arc::new(
         QueryEngine::new(store, index, None, EngineLimits::default(), coane_obs::Obs::enabled())
-            .expect("engine");
+            .expect("engine"),
+    );
     let server = HttpServer::bind(
-        Arc::new(engine),
-        ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, addr_file: None },
+        Arc::clone(&engine),
+        ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, ..Default::default() },
     )
     .expect("bind loopback");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run());
     let http_qs = synthetic_queries(http_queries, DIM, SEED ^ 0x177);
     let http_stats = time_queries(http_qs.len(), |i| {
-        let vec_json: Vec<String> = http_qs[i].iter().map(|x| format!("{x}")).collect();
-        let body = format!("{{\"vectors\":[[{}]],\"k\":{K}}}", vec_json.join(","));
+        let body = knn_body(&http_qs[i], false);
         let (status, _) = http_request(&addr, "POST", "/knn", &body).expect("http knn");
         assert_eq!(status, 200, "http knn returned {status}");
     });
+    let mut keepalive_client = HttpClient::new(addr.clone());
+    let http_keepalive = time_queries(http_qs.len(), |i| {
+        let body = knn_body(&http_qs[i], false);
+        let (status, _) = keepalive_client.request("POST", "/knn", &body).expect("keepalive knn");
+        assert_eq!(status, 200, "keepalive knn returned {status}");
+    });
+    drop(keepalive_client);
     let (status, _) = http_request(&addr, "POST", "/shutdown", "").expect("http shutdown");
     assert_eq!(status, 200);
     handle.join().expect("server thread").expect("server run");
-    eprintln!("bench_serve: http {:.0} qps (p50 {:.0} us)", http_stats.qps, http_stats.p50_us);
+    eprintln!(
+        "bench_serve: http {:.0} qps (p50 {:.0} us) | keep-alive {:.0} qps (p50 {:.0} us)",
+        http_stats.qps, http_stats.p50_us, http_keepalive.qps, http_keepalive.p50_us
+    );
+
+    // Concurrency sweep on its own larger store, where the exact kernel
+    // dominates per-request overhead (see module docs). Baseline first —
+    // one request per connection, the pre-keep-alive serve path — then N
+    // persistent clients whose concurrent queries coalesce into shared
+    // matmul passes.
+    eprintln!("bench_serve: building sweep store ({sweep_nodes} x {DIM}) and index");
+    let sweep_store = synthetic_store(sweep_nodes, DIM, SEED ^ 0x51EE);
+    let sweep_index = HnswIndex::build(&sweep_store, scorer, HnswConfig::default());
+    let sweep_engine = Arc::new(
+        QueryEngine::new(
+            sweep_store,
+            sweep_index,
+            None,
+            EngineLimits::default(),
+            coane_obs::Obs::enabled(),
+        )
+        .expect("sweep engine"),
+    );
+    let max_connections = sweep_connections.iter().copied().max().unwrap_or(1);
+    let server = HttpServer::bind(
+        Arc::clone(&sweep_engine),
+        ServerConfig { addr: "127.0.0.1:0".into(), threads: max_connections, ..Default::default() },
+    )
+    .expect("bind sweep server");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let baseline_ids = synthetic_ids(baseline_requests, sweep_nodes, SEED ^ 0x2EE);
+    let baseline_stats = time_queries(baseline_ids.len(), |i| {
+        let body = knn_id_body(baseline_ids[i]);
+        let (status, _) = http_request(&addr, "POST", "/knn", &body).expect("baseline knn");
+        assert_eq!(status, 200, "baseline knn returned {status}");
+    });
+    eprintln!(
+        "bench_serve: per-request exact baseline {:.0} qps (p50 {:.0} us)",
+        baseline_stats.qps, baseline_stats.p50_us
+    );
+    let mut points = Vec::with_capacity(sweep_connections.len());
+    for &connections in sweep_connections {
+        let point = sweep_point(&addr, connections, sweep_total, sweep_nodes);
+        eprintln!(
+            "bench_serve: sweep {connections} conn: {:.0} qps (p50 {:.0} us, p99 {:.0} us, shed {})",
+            point.qps, point.p50_us, point.p99_us, point.shed
+        );
+        points.push(point);
+    }
+    let (status, _) = http_request(&addr, "POST", "/shutdown", "").expect("sweep shutdown");
+    assert_eq!(status, 200);
+    handle.join().expect("sweep server thread").expect("sweep server run");
+    let best_qps = points.iter().map(|p| p.qps).fold(0.0, f64::max);
+    let concurrency = ConcurrencyReport {
+        sweep_nodes,
+        baseline_qps: baseline_stats.qps,
+        batched_speedup: best_qps / baseline_stats.qps,
+        points,
+    };
+    eprintln!(
+        "bench_serve: micro-batched speedup {:.2}x over per-request exact baseline",
+        concurrency.batched_speedup
+    );
 
     Report {
         nodes,
@@ -184,16 +386,31 @@ fn measure(nodes: usize, queries: usize, http_queries: usize) -> Report {
         hnsw: hnsw_stats,
         exact: exact_stats,
         http: http_stats,
+        http_keepalive,
+        concurrency,
     }
 }
 
 fn run_full() {
     pool::set_threads(4);
-    let report = measure(NODES, QUERIES, HTTP_QUERIES);
+    let report = measure(
+        NODES,
+        QUERIES,
+        HTTP_QUERIES,
+        SWEEP_NODES,
+        SWEEP_CONNECTIONS,
+        SWEEP_REQUESTS,
+        BASELINE_REQUESTS,
+    );
     assert!(
         report.recall_at_k >= RECALL_FLOOR,
         "recall@{K} = {:.4} below the {RECALL_FLOOR} floor",
         report.recall_at_k
+    );
+    assert!(
+        report.concurrency.batched_speedup >= SPEEDUP_FLOOR,
+        "micro-batched throughput is only {:.2}x the per-request baseline (need {SPEEDUP_FLOOR}x)",
+        report.concurrency.batched_speedup
     );
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(json_path(), format!("{json}\n")).expect("write BENCH_serve.json");
@@ -206,12 +423,19 @@ fn run_full() {
 /// this binary's constants.
 fn run_smoke() {
     pool::set_threads(2);
-    let report = measure(300, 32, 8);
+    let report = measure(300, 32, 8, 300, &[1, 2], 16, 8);
     if report.recall_at_k < SMOKE_RECALL_FLOOR {
         fail(&format!(
             "smoke recall@{K} = {:.4} below the {SMOKE_RECALL_FLOOR} floor",
             report.recall_at_k
         ));
+    }
+    // The tiny smoke sweep exercises the coalescing path; it is far too
+    // small to gate a speedup, but every request must complete.
+    for p in &report.concurrency.points {
+        if p.shed > 0 {
+            fail(&format!("smoke sweep shed {} requests at default queue_cap", p.shed));
+        }
     }
     eprintln!("smoke: live serving path ok (recall@{K} {:.4})", report.recall_at_k);
 
@@ -238,9 +462,12 @@ fn run_smoke() {
             committed.recall_at_k
         ));
     }
-    for (name, s) in
-        [("hnsw", &committed.hnsw), ("exact", &committed.exact), ("http", &committed.http)]
-    {
+    for (name, s) in [
+        ("hnsw", &committed.hnsw),
+        ("exact", &committed.exact),
+        ("http", &committed.http),
+        ("http_keepalive", &committed.http_keepalive),
+    ] {
         let finite = [s.qps, s.p50_us, s.p99_us].iter().all(|x| x.is_finite() && *x > 0.0);
         if !finite {
             fail(&format!("BENCH_serve.json {name} stats are non-positive"));
@@ -251,6 +478,43 @@ fn run_smoke() {
     }
     if !(committed.build_ms.is_finite() && committed.build_ms > 0.0) {
         fail("BENCH_serve.json build_ms is non-positive");
+    }
+    let conc = &committed.concurrency;
+    if conc.sweep_nodes != SWEEP_NODES {
+        fail("BENCH_serve.json concurrency.sweep_nodes does not match the bench constants");
+    }
+    if !(conc.baseline_qps.is_finite() && conc.baseline_qps > 0.0) {
+        fail("BENCH_serve.json concurrency.baseline_qps is non-positive");
+    }
+    if conc.points.is_empty() {
+        fail("BENCH_serve.json concurrency sweep has no points");
+    }
+    let mut best_qps: f64 = 0.0;
+    for (i, p) in conc.points.iter().enumerate() {
+        if !([p.qps, p.p50_us, p.p99_us].iter().all(|x| x.is_finite() && *x > 0.0)) {
+            fail(&format!("BENCH_serve.json sweep point {i} has non-positive stats"));
+        }
+        if p.p50_us > p.p99_us {
+            fail(&format!("BENCH_serve.json sweep point {i} p50 exceeds p99"));
+        }
+        if i > 0 && p.connections <= conc.points[i - 1].connections {
+            fail("BENCH_serve.json sweep connections are not strictly increasing");
+        }
+        best_qps = best_qps.max(p.qps);
+    }
+    if conc.batched_speedup < SPEEDUP_FLOOR {
+        fail(&format!(
+            "BENCH_serve.json batched_speedup {:.2} below the {SPEEDUP_FLOOR} floor",
+            conc.batched_speedup
+        ));
+    }
+    // The recorded speedup must actually follow from the recorded points.
+    let recomputed = best_qps / conc.baseline_qps;
+    if (recomputed - conc.batched_speedup).abs() > 0.1 * conc.batched_speedup {
+        fail(&format!(
+            "BENCH_serve.json batched_speedup {:.2} inconsistent with points ({recomputed:.2})",
+            conc.batched_speedup
+        ));
     }
     eprintln!("smoke: BENCH_serve.json valid (recall@{K} {:.4})", committed.recall_at_k);
     println!(

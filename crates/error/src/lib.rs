@@ -20,6 +20,7 @@
 //! | [`CoaneError::Numeric`]    | 6 | non-finite loss/parameters after bounded recovery |
 //! | [`CoaneError::Checkpoint`] | 7 | unusable training checkpoint |
 //! | [`CoaneError::Store`]      | 8 | unusable embedding-store file |
+//! | [`CoaneError::Busy`]       | 9 | server overloaded, retry later |
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -80,6 +81,15 @@ pub enum CoaneError {
         /// Why the store was rejected.
         message: String,
     },
+    /// The serving layer shed this request: the admission queue was
+    /// saturated for the request's priority class. Transient by definition —
+    /// the caller should retry after `retry_after_secs`.
+    Busy {
+        /// What was overloaded (e.g. the queue depth at rejection).
+        message: String,
+        /// Suggested client back-off, surfaced as HTTP `Retry-After`.
+        retry_after_secs: u32,
+    },
 }
 
 impl CoaneError {
@@ -127,6 +137,11 @@ impl CoaneError {
         Self::Store { path: Some(path.as_ref().to_path_buf()), message: message.into() }
     }
 
+    /// Server-overloaded error with a retry hint.
+    pub fn busy(message: impl Into<String>, retry_after_secs: u32) -> Self {
+        Self::Busy { message: message.into(), retry_after_secs }
+    }
+
     /// Attaches (or replaces) file/line context on a [`CoaneError::Parse`];
     /// other variants pass through unchanged. Lets low-level row parsers
     /// report positions and file-level callers fill in the path.
@@ -159,6 +174,7 @@ impl CoaneError {
             Self::Numeric { .. } => 6,
             Self::Checkpoint { .. } => 7,
             Self::Store { .. } => 8,
+            Self::Busy { .. } => 9,
         }
     }
 
@@ -172,6 +188,7 @@ impl CoaneError {
             Self::Numeric { .. } => "numeric",
             Self::Checkpoint { .. } => "checkpoint",
             Self::Store { .. } => "store",
+            Self::Busy { .. } => "busy",
         }
     }
 }
@@ -204,6 +221,9 @@ impl fmt::Display for CoaneError {
                 write!(f, "embedding-store error ({}): {message}", p.display())
             }
             Self::Store { path: None, message } => write!(f, "embedding-store error: {message}"),
+            Self::Busy { message, retry_after_secs } => {
+                write!(f, "server busy: {message} (retry after {retry_after_secs}s)")
+            }
         }
     }
 }
@@ -237,9 +257,10 @@ mod tests {
             CoaneError::numeric("x"),
             CoaneError::checkpoint("/c", "x"),
             CoaneError::store("/s", "x"),
+            CoaneError::busy("queue full", 1),
         ];
         let codes: Vec<u8> = errors.iter().map(CoaneError::exit_code).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();

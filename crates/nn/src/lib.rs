@@ -25,7 +25,7 @@ pub mod sparse;
 pub mod tape;
 
 pub use layers::{Linear, Mlp};
-pub use matrix::Matrix;
+pub use matrix::{matmul_nt_slices, Matrix};
 pub use optim::{Adam, ParamId, Params, Sgd};
 pub use sim::Scorer;
 pub use sparse::SparseMatrix;

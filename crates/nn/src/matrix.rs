@@ -484,6 +484,27 @@ fn nt_block / nt_block_inner(a: &[f32], b: &[f32], k: usize, n: usize, i0: usize
 }
 }
 
+/// Slice-based `a · bᵀ` for callers that hold raw row-major buffers (the
+/// serving layer's batched scoring path): `a` is `m×k`, `b` is `n×k`, the
+/// result is the `m×n` score block in row-major order. Runs the same
+/// [`nt_block`] kernel as [`Matrix::matmul_nt`] — every output element is a
+/// [`dot_lanes`] product of one `a` row and one `b` row, a pure function of
+/// those two rows — so results are bit-identical for any `m` (batch
+/// composition changes nothing) and any thread count.
+pub fn matmul_nt_slices(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "matmul_nt_slices lhs shape mismatch");
+    assert_eq!(b.len(), n * k, "matmul_nt_slices rhs shape mismatch");
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let threads = pool::threads_for(2 * m * k * n);
+    pool::parallel_chunks_with(&mut out, pool::ROW_CHUNK * n, threads, |start, chunk| {
+        nt_block(a, b, k, n, start / n, chunk);
+    });
+    out
+}
+
 /// Full-size register tile: fixed bounds so the inner loops unroll and
 /// vectorize, accumulators live in registers. No zero-skip branch: the
 /// naive kernels skip `av == 0.0` terms, but adding the skipped `±0.0·bv`
@@ -602,6 +623,25 @@ mod tests {
         let c1 = a.matmul_nt(&b);
         let c2 = a.matmul(&b.transpose());
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn matmul_nt_slices_matches_matmul_nt_bitwise() {
+        // Ragged shapes so chunking and banding edges are exercised; the
+        // slice entry point must be the *same* kernel, not merely close.
+        let (m, k, n) = (37, 19, 41);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 + 11) % 97) as f32 * 0.17 - 8.0).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| ((i * 53 + 5) % 89) as f32 * 0.13 - 5.0).collect();
+        let am =
+            Matrix::from_rows(&(0..m).map(|i| a[i * k..(i + 1) * k].to_vec()).collect::<Vec<_>>());
+        let bm =
+            Matrix::from_rows(&(0..n).map(|j| b[j * k..(j + 1) * k].to_vec()).collect::<Vec<_>>());
+        let via_matrix = am.matmul_nt(&bm);
+        let via_slices = matmul_nt_slices(&a, &b, m, k, n);
+        assert_eq!(via_matrix.as_slice(), via_slices.as_slice());
+        // Single-row call reproduces the batch row exactly.
+        let row2 = matmul_nt_slices(&a[2 * k..3 * k], &b, 1, k, n);
+        assert_eq!(row2.as_slice(), &via_slices[2 * n..3 * n]);
     }
 
     #[test]

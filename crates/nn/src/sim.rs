@@ -5,12 +5,22 @@
 //! baseline community-separation checks, and the ANN index + query engine in
 //! `coane-serve` — instead of a per-crate reimplementation in each place.
 //!
-//! All functions reduce strictly left-to-right over the slices, so a scorer
-//! call is bit-identical wherever it runs (sequential code, pool workers,
-//! any thread count) — the same determinism contract as the kernels in
-//! [`crate::matrix`].
+//! All pairwise functions reduce strictly left-to-right over the slices, so
+//! a scorer call is bit-identical wherever it runs (sequential code, pool
+//! workers, any thread count) — the same determinism contract as the kernels
+//! in [`crate::matrix`].
+//!
+//! [`score_block`] is the batched entry point: many queries against one
+//! store in a single blocked kernel call. Its dot products go through the
+//! multi-lane [`crate::matrix::matmul_nt_slices`] kernel — *reassociated*
+//! relative to the sequential [`dot`], so a block score is not bitwise equal
+//! to the pairwise [`Scorer::score`] — but every output element is a pure
+//! function of its (query row, store row) pair, so block results are
+//! bit-identical for any batch composition and any thread count.
 
 use serde::{Deserialize, Serialize, Value};
+
+use crate::matrix::matmul_nt_slices;
 
 /// Dot product `⟨a, b⟩`, reduced left-to-right in `f32`.
 ///
@@ -103,6 +113,58 @@ impl Scorer {
     }
 }
 
+/// Scores `m` queries against `n` store rows in one blocked kernel call,
+/// returning the `m×n` score block in row-major order (greater is always
+/// more similar, matching [`Scorer::score`] orientation).
+///
+/// `queries` is `m×dim` row-major, `store` is `n×dim` row-major. Dot and
+/// cosine route through [`matmul_nt_slices`] (one matmul instead of `m·n`
+/// sequential dot chains); Euclidean stays per-pair because the expansion
+/// `‖a‖² − 2⟨a,b⟩ + ‖b‖²` would reassociate differently per batch. Every
+/// element depends only on its own (query, store) row pair, so the block is
+/// bit-identical however requests are batched and at any thread count.
+///
+/// # Panics
+/// Panics if a slice length disagrees with its stated shape.
+pub fn score_block(
+    scorer: Scorer,
+    queries: &[f32],
+    m: usize,
+    store: &[f32],
+    n: usize,
+    dim: usize,
+) -> Vec<f32> {
+    assert_eq!(queries.len(), m * dim, "score_block queries shape mismatch");
+    assert_eq!(store.len(), n * dim, "score_block store shape mismatch");
+    match scorer {
+        Scorer::Dot => matmul_nt_slices(queries, store, m, dim, n),
+        Scorer::Cosine => {
+            let mut out = matmul_nt_slices(queries, store, m, dim, n);
+            // Per-row norms are strict left-to-right [`norm`] sums — pure
+            // per row, so the normalization is batch-invariant too.
+            let store_norms: Vec<f32> =
+                (0..n).map(|j| norm(&store[j * dim..(j + 1) * dim])).collect();
+            for i in 0..m {
+                let qn = norm(&queries[i * dim..(i + 1) * dim]);
+                for (o, &sn) in out[i * n..(i + 1) * n].iter_mut().zip(&store_norms) {
+                    *o /= qn * sn + 1e-12;
+                }
+            }
+            out
+        }
+        Scorer::Euclidean => {
+            let mut out = vec![0.0f32; m * n];
+            for i in 0..m {
+                let q = &queries[i * dim..(i + 1) * dim];
+                for (j, o) in out[i * n..(i + 1) * n].iter_mut().enumerate() {
+                    *o = -euclidean_sq(q, &store[j * dim..(j + 1) * dim]);
+                }
+            }
+            out
+        }
+    }
+}
+
 impl Serialize for Scorer {
     fn to_value(&self) -> Value {
         Value::String(self.name().to_string())
@@ -174,5 +236,67 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Deterministic pseudo-random fill (LCG) — no RNG dep in this crate.
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn score_block_matches_pairwise_scores_within_tolerance() {
+        let (m, n, dim) = (5, 17, 24);
+        let queries = fill(3, m * dim);
+        let store = fill(7, n * dim);
+        for scorer in Scorer::ALL {
+            let block = score_block(scorer, &queries, m, &store, n, dim);
+            assert_eq!(block.len(), m * n);
+            for i in 0..m {
+                for j in 0..n {
+                    let pairwise = scorer
+                        .score(&queries[i * dim..(i + 1) * dim], &store[j * dim..(j + 1) * dim]);
+                    let got = block[i * n + j];
+                    assert!(
+                        (got - pairwise).abs() <= 1e-5 * (1.0 + pairwise.abs()),
+                        "{} [{i},{j}]: block {got} vs pairwise {pairwise}",
+                        scorer.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_rows_are_batch_invariant_bits() {
+        let (n, dim) = (13, 16);
+        let store = fill(11, n * dim);
+        let queries = fill(5, 4 * dim);
+        for scorer in Scorer::ALL {
+            let all = score_block(scorer, &queries, 4, &store, n, dim);
+            for i in 0..4 {
+                let one = score_block(scorer, &queries[i * dim..(i + 1) * dim], 1, &store, n, dim);
+                assert_eq!(
+                    one,
+                    all[i * n..(i + 1) * n].to_vec(),
+                    "{}: query {i} scored alone must be bit-identical to the batch row",
+                    scorer.name()
+                );
+            }
+            // Any sub-batch, not just singletons.
+            let pair = score_block(scorer, &queries[dim..3 * dim], 2, &store, n, dim);
+            assert_eq!(pair, all[n..3 * n].to_vec(), "{}", scorer.name());
+        }
+    }
+
+    #[test]
+    fn score_block_empty_batch_is_empty() {
+        let store = fill(1, 8 * 4);
+        assert!(score_block(Scorer::Cosine, &[], 0, &store, 8, 4).is_empty());
     }
 }

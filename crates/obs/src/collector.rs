@@ -71,6 +71,121 @@ impl GaugeStat {
     }
 }
 
+/// Aggregated statistics for one histogram, with bucket-estimated quantiles.
+#[derive(Clone, Copy, Debug)]
+pub struct HistStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Smallest sample (exact).
+    pub min: f64,
+    /// Largest sample (exact).
+    pub max: f64,
+    /// Median, estimated from the log buckets.
+    pub p50: f64,
+    /// 90th percentile, estimated from the log buckets.
+    pub p90: f64,
+    /// 99th percentile, estimated from the log buckets.
+    pub p99: f64,
+}
+
+/// Number of histogram buckets: values 0..8 get exact buckets, then each
+/// octave splits into [`HIST_SUB`] sub-buckets (HDR-style), which bounds the
+/// relative quantile error at ~12.5% while keeping the array tiny.
+const HIST_BUCKETS: usize = 512;
+/// Sub-buckets per octave above the exact range.
+const HIST_SUB: u64 = 8;
+
+/// Fixed-size log-bucketed histogram over non-negative samples.
+///
+/// Deterministic and bounded: recording is an integer bucket-index
+/// computation plus a counter increment, so the collector's
+/// observation-only contract extends to histograms (no allocation after
+/// construction, no float accumulation that could vary by record order for
+/// the quantile *buckets*; `min`/`max` are exact).
+pub(crate) struct Hist {
+    counts: Box<[u64; HIST_BUCKETS]>,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+/// Bucket index for a sample (values are clamped at 0 below and the last
+/// bucket above). 0..8 map exactly; above that, octave `e` (msb position)
+/// splits into [`HIST_SUB`] sub-buckets of width `2^(e-3)`.
+fn hist_bucket(value: f64) -> usize {
+    let v = if value.is_finite() && value > 0.0 { value as u64 } else { 0 };
+    if v < HIST_SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (msb - 3)) & (HIST_SUB - 1);
+    let idx = (msb - 3) * HIST_SUB + sub + HIST_SUB;
+    (idx as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive lower bound and exclusive upper bound of a bucket (inverse of
+/// [`hist_bucket`]); the representative value reported for a quantile is
+/// the midpoint.
+fn hist_bounds(idx: usize) -> (u64, u64) {
+    let i = idx as u64;
+    if i < HIST_SUB {
+        return (i, i + 1);
+    }
+    let oct = (i - HIST_SUB) / HIST_SUB + 3;
+    let sub = (i - HIST_SUB) % HIST_SUB;
+    let step = 1u64 << (oct - 3);
+    let low = (1u64 << oct) + sub * step;
+    (low, low + step)
+}
+
+impl Hist {
+    fn new() -> Self {
+        Self {
+            counts: Box::new([0u64; HIST_BUCKETS]),
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        self.counts[hist_bucket(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Value at quantile `q` in [0, 1]: midpoint of the bucket holding the
+    /// rank-`ceil(q·total)` sample, clamped to the exact observed range.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (low, high) = hist_bounds(idx);
+                let mid = (low + high) as f64 / 2.0;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    fn stat(&self) -> HistStat {
+        HistStat {
+            count: self.total,
+            min: if self.total == 0 { 0.0 } else { self.min },
+            max: if self.total == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
 struct ScopeAccum {
     calls: u64,
     total: Duration,
@@ -93,6 +208,7 @@ pub(crate) struct Collector {
     scopes: Mutex<BTreeMap<String, ScopeAccum>>,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, GaugeStat>>,
+    hists: Mutex<BTreeMap<&'static str, Hist>>,
     events: Mutex<Vec<Event>>,
 }
 
@@ -109,6 +225,7 @@ impl Collector {
             scopes: Mutex::new(BTreeMap::new()),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
             events: Mutex::new(Vec::new()),
         }
     }
@@ -150,6 +267,10 @@ impl Collector {
         g.last = value;
     }
 
+    pub(crate) fn histogram(&self, name: &'static str, value: f64) {
+        self.hists.lock().unwrap().entry(name).or_insert_with(Hist::new).record(value);
+    }
+
     pub(crate) fn event(&self, kind: &'static str, payload: Value) {
         let t = self.elapsed_secs();
         self.events.lock().unwrap().push(Event { t, kind, payload });
@@ -169,6 +290,10 @@ impl Collector {
             total: a.total,
             threads: a.threads.len(),
         })
+    }
+
+    pub(crate) fn hist_stat(&self, name: &str) -> Option<HistStat> {
+        self.hists.lock().unwrap().get(name).map(Hist::stat)
     }
 
     pub(crate) fn events_of(&self, kind: &str) -> Vec<Value> {
@@ -208,6 +333,11 @@ impl Collector {
     /// Snapshot of all gauges, in name order.
     pub(crate) fn gauge_snapshot(&self) -> Vec<(&'static str, GaugeStat)> {
         self.gauges.lock().unwrap().iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Snapshot of all histograms, in name order.
+    pub(crate) fn hist_snapshot(&self) -> Vec<(&'static str, HistStat)> {
+        self.hists.lock().unwrap().iter().map(|(&k, h)| (k, h.stat())).collect()
     }
 
     /// Snapshot of all events in insertion order (t, kind, payload).

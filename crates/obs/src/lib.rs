@@ -47,7 +47,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use collector::Collector;
-pub use collector::{GaugeStat, ScopeStat};
+pub use collector::{GaugeStat, HistStat, ScopeStat};
 // Re-exported so downstream crates can build/match event payloads without a
 // direct serde dependency.
 pub use serde::Value;
@@ -111,6 +111,15 @@ impl Obs {
         }
     }
 
+    /// Records one sample into the named histogram (log-bucketed; quantiles
+    /// are bucket-midpoint estimates, `min`/`max` exact). Intended for
+    /// latency samples in microseconds, but any non-negative value works.
+    pub fn histogram(&self, name: &'static str, value: f64) {
+        if let Some(c) = &self.inner {
+            c.histogram(name, value);
+        }
+    }
+
     /// Records a timestamped structured event. Object-shaped payloads are
     /// merged into the record; any other shape lands under a `"value"` key.
     pub fn event<T: Serialize + ?Sized>(&self, kind: &'static str, payload: &T) {
@@ -129,6 +138,11 @@ impl Obs {
     /// Aggregated statistics for a gauge, if it has samples.
     pub fn gauge_stat(&self, name: &str) -> Option<GaugeStat> {
         self.inner.as_ref().and_then(|c| c.gauge_stat(name))
+    }
+
+    /// Aggregated statistics for a histogram, if it has samples.
+    pub fn hist_stat(&self, name: &str) -> Option<HistStat> {
+        self.inner.as_ref().and_then(|c| c.hist_stat(name))
     }
 
     /// Aggregated statistics for a scope path, if it was entered.
@@ -157,6 +171,11 @@ impl Obs {
     /// Snapshot of every gauge in name order (empty when disabled).
     pub fn gauges(&self) -> Vec<(&'static str, GaugeStat)> {
         self.inner.as_ref().map_or_else(Vec::new, |c| c.gauge_snapshot())
+    }
+
+    /// Snapshot of every histogram in name order (empty when disabled).
+    pub fn histograms(&self) -> Vec<(&'static str, HistStat)> {
+        self.inner.as_ref().map_or_else(Vec::new, |c| c.hist_snapshot())
     }
 
     /// Snapshot of every scope path with aggregated stats, in path order
@@ -304,6 +323,54 @@ mod tests {
         assert_eq!(g.max, 4.0);
         assert_eq!(g.last, 0.0);
         assert!((g.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms_report_exact_extremes_and_bounded_quantiles() {
+        let obs = Obs::enabled();
+        // 1..=1000 µs, recorded in an order-independent sweep.
+        for v in 1..=1000u32 {
+            obs.histogram("lat", f64::from(v));
+        }
+        let h = obs.hist_stat("lat").expect("recorded");
+        assert_eq!(h.count, 1000);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 1000.0);
+        // Log-bucket quantiles carry ≤ 12.5% relative error above the
+        // exact range (plus the half-bucket midpoint offset).
+        assert!((h.p50 - 500.0).abs() / 500.0 < 0.15, "p50 = {}", h.p50);
+        assert!((h.p90 - 900.0).abs() / 900.0 < 0.15, "p90 = {}", h.p90);
+        assert!((h.p99 - 990.0).abs() / 990.0 < 0.15, "p99 = {}", h.p99);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99, "quantiles must be monotone");
+        // Small exact-bucket values are exact up to the midpoint clamp.
+        for _ in 0..10 {
+            obs.histogram("tiny", 3.0);
+        }
+        let t = obs.hist_stat("tiny").unwrap();
+        assert_eq!((t.min, t.max), (3.0, 3.0));
+        assert_eq!((t.p50, t.p99), (3.0, 3.0));
+        // Snapshot lists both, name-ordered.
+        let names: Vec<&str> = obs.histograms().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["lat", "tiny"]);
+        // Disabled handles stay inert.
+        let off = Obs::disabled();
+        off.histogram("lat", 5.0);
+        assert!(off.hist_stat("lat").is_none() && off.histograms().is_empty());
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_samples() {
+        let obs = Obs::enabled();
+        for v in [0.0, -4.0, f64::NAN, f64::INFINITY, 0.4] {
+            obs.histogram("edge", v);
+        }
+        let h = obs.hist_stat("edge").expect("recorded");
+        assert_eq!(h.count, 5);
+        // Negative/NaN clamp into bucket 0 but min/max stay exact floats
+        // (NaN propagates through min/max per f64::min semantics — i.e. is
+        // ignored when the other side is a number).
+        assert!(h.p50.is_finite() && h.p99.is_finite());
+        assert!(h.p50 >= h.min && h.p99 <= h.max);
     }
 
     #[test]

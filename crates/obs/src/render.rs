@@ -78,6 +78,21 @@ pub(crate) fn jsonl(c: &Collector) -> String {
             ]),
         ));
     }
+    for (name, h) in c.hist_snapshot() {
+        push(&envelope(
+            now,
+            "histogram",
+            obj(vec![
+                ("name", Value::String(name.to_string())),
+                ("count", Value::Number(h.count as f64)),
+                ("min", Value::Number(h.min)),
+                ("max", Value::Number(h.max)),
+                ("p50", Value::Number(h.p50)),
+                ("p90", Value::Number(h.p90)),
+                ("p99", Value::Number(h.p99)),
+            ]),
+        ));
+    }
     push(&envelope(now, "summary", obj(vec![("wall_secs", Value::Number(now))])));
     out
 }
@@ -121,6 +136,16 @@ pub(crate) fn summary(c: &Collector) -> String {
                 g.min,
                 g.max,
                 g.count
+            ));
+        }
+    }
+    let hists = c.hist_snapshot();
+    if !hists.is_empty() {
+        out.push_str("histograms (p50/p90/p99 [min..max] × samples):\n");
+        for (name, h) in &hists {
+            out.push_str(&format!(
+                "  {name:<26} {:.0}/{:.0}/{:.0} [{:.0}..{:.0}] × {}\n",
+                h.p50, h.p90, h.p99, h.min, h.max, h.count
             ));
         }
     }

@@ -22,13 +22,36 @@
 //! Queries arrive in batches (one HTTP body = one batch) and are bounded by
 //! [`EngineLimits::max_batch`]; oversized batches are rejected with a typed
 //! config error rather than queued, so a client can never wedge the pool
-//! with one request. Within a batch, per-query work fans out on
-//! [`coane_nn::pool::parallel_map`] — deterministic result order, answers
-//! bit-identical at any thread count. Admission control for concurrent
-//! batches is a counting [`Gate`]: at most `queue_cap` batches may be
-//! in flight, further submitters block (that blocked-accept backpressure is
-//! what the HTTP layer leans on), and the current depth is exported as the
-//! `serve/queue_depth` gauge.
+//! with one request. Admission control for concurrent batches is a counting
+//! [`Gate`] with two entry styles:
+//!
+//! - The public [`QueryEngine::knn`] / [`QueryEngine::score_links`] /
+//!   [`QueryEngine::encode_unseen`] convenience methods *block* while
+//!   `queue_cap` batches are in flight (library callers lean on that
+//!   backpressure).
+//! - [`QueryEngine::try_admit`] is the load-shedding entry the HTTP layer
+//!   uses: it never blocks, and each [`QueryClass`] saturates at its own
+//!   fraction of `queue_cap` (kNN fills the whole queue, link scoring 3/4,
+//!   inductive encoding 1/2) so cheap retrieval stays live while expensive
+//!   work is shed first. A saturated class gets a typed
+//!   [`CoaneError::Busy`] (HTTP 429 + `Retry-After`) and bumps the
+//!   `serve/shed` counter. Current depth is exported as the
+//!   `serve/queue_depth` gauge either way.
+//!
+//! ## Cross-request coalescing
+//!
+//! [`QueryEngine::knn_multi`] and [`QueryEngine::score_links_multi`] execute
+//! *several* request bodies in one kernel pass: every valid job's queries
+//! are concatenated and scored together (exact kNN through the
+//! pre-transposed [`ExactIndex`] matmul — one `m×dim · dim×n` product per
+//! round — approximate through per-query HNSW searches on the pool), then
+//! demultiplexed back per job. Per-job error
+//! isolation holds — one job's unknown id fails *that* job only. The
+//! determinism contract is that coalescing is invisible in the bytes:
+//! every score is a pure function of its (query, store row) pair and result
+//! order is per-job, so a job's answers are bit-identical whether it runs
+//! alone or coalesced with any other jobs, at any thread count (locked by
+//! `tests/keepalive.rs`).
 //!
 //! Every query class times itself under a `serve/<class>` scope and counts
 //! requests/batches, so `/stats` can report per-class QPS.
@@ -41,7 +64,7 @@ use coane_graph::{AttributedGraph, GraphBuilder, NodeAttributes};
 use coane_nn::{pool, Scorer};
 use coane_obs::Obs;
 
-use crate::hnsw::{knn_exact, Hit, HnswIndex};
+use crate::hnsw::{ExactIndex, Hit, HnswIndex};
 use crate::store::EmbeddingStore;
 
 /// Bounds on batch admission (see module docs).
@@ -69,8 +92,10 @@ pub enum KnnTarget {
     Vector(Vec<f32>),
 }
 
-/// Parameters shared by every query in a kNN batch.
-#[derive(Clone, Copy, Debug)]
+/// Parameters shared by every query in a kNN batch. `PartialEq` lets the
+/// HTTP micro-batcher group only jobs with identical parameters into one
+/// kernel pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KnnParams {
     /// Number of neighbors to return.
     pub k: usize,
@@ -89,6 +114,10 @@ pub struct KnnAnswer {
     /// Neighbors as `(external id, score)`, score descending.
     pub neighbors: Vec<(u64, f32)>,
 }
+
+/// One job's queries resolved against the store: `(vector, row to exclude
+/// from its own neighbor list)` per query.
+type ResolvedJob<'a> = Vec<(&'a [f32], Option<u32>)>;
 
 /// An unseen node to encode: attributes (sparse) plus edges into the
 /// serving graph, by external node id.
@@ -113,7 +142,52 @@ pub struct InductiveContext {
     pub graph: AttributedGraph,
 }
 
-/// Counting admission gate with a blocking `acquire` (see module docs).
+/// Priority class of a request for admission control: each class saturates
+/// at its own fraction of `queue_cap` under [`QueryEngine::try_admit`], so
+/// cheap high-priority retrieval keeps slots that expensive low-priority
+/// work cannot occupy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryClass {
+    /// kNN retrieval — highest priority, may fill the whole queue.
+    Knn,
+    /// Link scoring — sheds once the queue is 3/4 full.
+    Links,
+    /// Inductive encoding (walk sampling + a model forward per request) —
+    /// lowest priority, sheds once the queue is half full.
+    Encode,
+}
+
+impl QueryClass {
+    /// Admission threshold for this class given the queue capacity.
+    fn threshold(self, cap: usize) -> usize {
+        match self {
+            Self::Knn => cap,
+            Self::Links => (cap * 3 / 4).max(1),
+            Self::Encode => (cap / 2).max(1),
+        }
+    }
+
+    /// The per-class batches counter bumped at admission.
+    fn batches_counter(self) -> &'static str {
+        match self {
+            Self::Knn => "serve/knn/batches",
+            Self::Links => "serve/links/batches",
+            Self::Encode => "serve/encode/batches",
+        }
+    }
+
+    /// Lowercase class name for error messages.
+    fn name(self) -> &'static str {
+        match self {
+            Self::Knn => "knn",
+            Self::Links => "links",
+            Self::Encode => "encode",
+        }
+    }
+}
+
+/// Counting admission gate with blocking and non-blocking entry (see
+/// module docs).
 struct Gate {
     state: Mutex<usize>,
     freed: Condvar,
@@ -135,6 +209,17 @@ impl Gate {
         *depth
     }
 
+    /// Admits iff the current depth is below `threshold` (clamped to the
+    /// gate capacity): `Ok(depth after admission)` or `Err(depth now)`.
+    fn try_acquire(&self, threshold: usize) -> Result<usize, usize> {
+        let mut depth = self.state.lock().unwrap();
+        if *depth >= threshold.min(self.cap) {
+            return Err(*depth);
+        }
+        *depth += 1;
+        Ok(*depth)
+    }
+
     fn release(&self) {
         let mut depth = self.state.lock().unwrap();
         *depth -= 1;
@@ -142,8 +227,16 @@ impl Gate {
     }
 }
 
-/// RAII admission permit.
-struct Permit<'a>(&'a Gate);
+/// RAII admission permit: holds one queue slot until dropped. The HTTP
+/// layer holds its permit across the micro-batcher round trip, so a
+/// request occupies its slot from admission until its response is built.
+pub struct Permit<'a>(&'a Gate);
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish()
+    }
+}
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
@@ -156,6 +249,7 @@ impl Drop for Permit<'_> {
 pub struct QueryEngine {
     store: EmbeddingStore,
     index: HnswIndex,
+    exact: ExactIndex,
     inductive: Option<InductiveContext>,
     limits: EngineLimits,
     gate: Gate,
@@ -181,7 +275,11 @@ impl QueryEngine {
                 )));
             }
         }
-        Ok(Self { store, index, inductive, limits, gate: Gate::new(limits.queue_cap), obs })
+        // Pre-transpose for the batched exact path — doubles the store's
+        // resident size in exchange for coalesced queries sharing one
+        // streaming pass over it (see `ExactIndex`).
+        let exact = ExactIndex::build(&store);
+        Ok(Self { store, index, exact, inductive, limits, gate: Gate::new(limits.queue_cap), obs })
     }
 
     /// The embedding store this engine serves.
@@ -209,41 +307,84 @@ impl QueryEngine {
         &self.obs
     }
 
-    /// Admission control: blocks while `queue_cap` batches are in flight,
-    /// records the post-admission depth on the `serve/queue_depth` gauge.
-    fn admit(&self, n_queries: usize, class: &'static str) -> CoaneResult<Permit<'_>> {
+    /// Batch-size precheck shared by both admission styles.
+    fn check_batch(&self, n_queries: usize) -> CoaneResult<()> {
         if n_queries > self.limits.max_batch {
             return Err(CoaneError::config(format!(
                 "batch of {n_queries} exceeds max_batch {} — split the request",
                 self.limits.max_batch
             )));
         }
+        Ok(())
+    }
+
+    /// Blocking admission: waits while `queue_cap` batches are in flight,
+    /// records the post-admission depth on the `serve/queue_depth` gauge.
+    fn admit(&self, n_queries: usize, class: QueryClass) -> CoaneResult<Permit<'_>> {
+        self.check_batch(n_queries)?;
         let depth = self.gate.acquire();
         self.obs.gauge("serve/queue_depth", depth as f64);
-        self.obs.add(class, 1);
+        self.obs.add(class.batches_counter(), 1);
         Ok(Permit(&self.gate))
+    }
+
+    /// Load-shedding admission: never blocks. Sheds with a typed
+    /// [`CoaneError::Busy`] when the queue depth has reached the class's
+    /// priority threshold (see [`QueryClass`]); a shed bumps the
+    /// `serve/shed` counter. On success the returned [`Permit`] holds one
+    /// queue slot until dropped — callers pairing this with
+    /// [`QueryEngine::knn_multi`] / [`QueryEngine::score_links_multi`] keep
+    /// the permit alive across the execution round trip.
+    pub fn try_admit(&self, n_queries: usize, class: QueryClass) -> CoaneResult<Permit<'_>> {
+        self.check_batch(n_queries)?;
+        match self.gate.try_acquire(class.threshold(self.limits.queue_cap)) {
+            Ok(depth) => {
+                self.obs.gauge("serve/queue_depth", depth as f64);
+                self.obs.add(class.batches_counter(), 1);
+                Ok(Permit(&self.gate))
+            }
+            Err(depth) => {
+                self.obs.add("serve/shed", 1);
+                Err(CoaneError::busy(
+                    format!(
+                        "admission queue saturated for class {} (depth {depth} of {})",
+                        class.name(),
+                        self.limits.queue_cap
+                    ),
+                    1,
+                ))
+            }
+        }
     }
 
     /// Batch kNN. Answers come back in query order; each is the `k` most
     /// similar stored nodes as `(external id, score)`, score descending,
     /// ties broken by row index. Id queries exclude themselves.
     pub fn knn(&self, queries: &[KnnTarget], params: KnnParams) -> CoaneResult<Vec<KnnAnswer>> {
-        let _permit = self.admit(queries.len(), "serve/knn/batches")?;
-        let _scope = self.obs.scope("serve/knn");
-        self.obs.add("serve/knn/requests", queries.len() as u64);
+        let _permit = self.admit(queries.len(), QueryClass::Knn)?;
+        self.knn_multi(&[queries], params).pop().expect("one job in, one answer out")
+    }
+
+    /// Validates batch-wide kNN parameters; the message applies to every
+    /// job in a coalesced group identically.
+    fn knn_params_error(&self, params: KnnParams) -> Option<String> {
         if params.k == 0 {
-            return Err(CoaneError::config("k must be positive"));
+            return Some("k must be positive".to_string());
         }
         if !params.exact && params.scorer != self.index.scorer() {
-            return Err(CoaneError::config(format!(
+            return Some(format!(
                 "index was built for scorer {:?}; request exact=true to rank by {:?}",
                 self.index.scorer().name(),
                 params.scorer.name()
-            )));
+            ));
         }
-        // Resolve every query to (vector, excluded row) up front so errors
-        // surface before any parallel work starts.
-        let mut resolved: Vec<(&[f32], Option<u32>)> = Vec::with_capacity(queries.len());
+        None
+    }
+
+    /// Resolves one job's queries to (vector, excluded row) pairs; the
+    /// first bad query fails the job.
+    fn resolve_knn_job<'a>(&'a self, queries: &'a [KnnTarget]) -> CoaneResult<ResolvedJob<'a>> {
+        let mut resolved = Vec::with_capacity(queries.len());
         for q in queries {
             match q {
                 KnnTarget::Id(id) => {
@@ -264,26 +405,74 @@ impl QueryEngine {
                 }
             }
         }
-        // Fan the batch out on the pool: one job per query, results in
-        // query order regardless of thread count.
-        let answers = pool::parallel_map(resolved.len(), |i| {
-            let (vec, exclude) = resolved[i];
-            // Self-hits are filtered after search, so ask for one extra.
-            let want = params.k + usize::from(exclude.is_some());
-            let hits: Vec<Hit> = if params.exact {
-                knn_exact(&self.store, vec, want, params.scorer)
-            } else {
+        Ok(resolved)
+    }
+
+    /// Coalesced kNN: executes several jobs (request bodies) sharing one
+    /// [`KnnParams`] in a single kernel pass and demultiplexes per-job
+    /// answers. Errors isolate per job — an unknown id or bad dimension
+    /// fails only the job that sent it, and the remaining jobs' answers are
+    /// bit-identical to running each alone (see module docs). Does **not**
+    /// admit: callers hold a permit per job ([`QueryEngine::try_admit`]) or
+    /// come through [`QueryEngine::knn`].
+    pub fn knn_multi(
+        &self,
+        jobs: &[&[KnnTarget]],
+        params: KnnParams,
+    ) -> Vec<CoaneResult<Vec<KnnAnswer>>> {
+        let _scope = self.obs.scope("serve/knn");
+        let total: u64 = jobs.iter().map(|j| j.len() as u64).sum();
+        self.obs.add("serve/knn/requests", total);
+        if jobs.len() > 1 {
+            self.obs.add("serve/knn/coalesced", jobs.len() as u64);
+        }
+        if let Some(msg) = self.knn_params_error(params) {
+            return jobs.iter().map(|_| Err(CoaneError::config(msg.clone()))).collect();
+        }
+        // Per-job resolution; invalid jobs drop out of the kernel pass.
+        let resolved: Vec<CoaneResult<ResolvedJob>> =
+            jobs.iter().map(|job| self.resolve_knn_job(job)).collect();
+        let flat: Vec<(&[f32], Option<u32>)> =
+            resolved.iter().flatten().flatten().copied().collect();
+        // One kernel pass over every valid job's queries. Exact goes
+        // through the pre-transposed matmul with a uniform `k + 1` ask (the
+        // extra covers self-exclusion; taking a prefix of the strict total
+        // order is exclusion-count invariant). Approximate keeps per-query
+        // HNSW searches — each is a pure function of (graph, query), so
+        // result bytes are batch-invariant either way.
+        let hits: Vec<Vec<Hit>> = if params.exact {
+            let refs: Vec<&[f32]> = flat.iter().map(|&(v, _)| v).collect();
+            self.exact.knn(&self.store, &refs, params.k + 1, params.scorer)
+        } else {
+            pool::parallel_map(flat.len(), |i| {
+                let (vec, exclude) = flat[i];
+                let want = params.k + usize::from(exclude.is_some());
                 self.index.knn(&self.store, vec, want)
-            };
-            let neighbors: Vec<(u64, f32)> = hits
-                .into_iter()
-                .filter(|h| Some(h.index) != exclude)
-                .take(params.k)
-                .map(|h| (self.store.id_of(h.index as usize), h.score))
-                .collect();
-            KnnAnswer { neighbors }
-        });
-        Ok(answers)
+            })
+        };
+        // Demultiplex in job order.
+        let mut cursor = hits.into_iter();
+        resolved
+            .into_iter()
+            .map(|job| {
+                job.map(|queries| {
+                    queries
+                        .into_iter()
+                        .map(|(_, exclude)| {
+                            let neighbors: Vec<(u64, f32)> = cursor
+                                .next()
+                                .expect("one hit list per resolved query")
+                                .into_iter()
+                                .filter(|h| Some(h.index) != exclude)
+                                .take(params.k)
+                                .map(|h| (self.store.id_of(h.index as usize), h.score))
+                                .collect();
+                            KnnAnswer { neighbors }
+                        })
+                        .collect()
+                })
+            })
+            .collect()
     }
 
     /// Batch link scoring: the similarity of each `(u, v)` id pair under
@@ -291,24 +480,51 @@ impl QueryEngine {
     /// with the offline evaluation, so online and offline scores for the
     /// same embedding are bit-identical.
     pub fn score_links(&self, pairs: &[(u64, u64)], scorer: Scorer) -> CoaneResult<Vec<f64>> {
-        let _permit = self.admit(pairs.len(), "serve/links/batches")?;
+        let _permit = self.admit(pairs.len(), QueryClass::Links)?;
+        self.score_links_multi(&[pairs], scorer).pop().expect("one job in, one answer out")
+    }
+
+    /// Coalesced link scoring: several jobs scored in one
+    /// [`coane_eval::linkpred::edge_scores`] pass (per-pair scores are pure
+    /// functions of the pair, so concatenation is score-invariant), with
+    /// per-job error isolation. Does **not** admit — see
+    /// [`QueryEngine::knn_multi`].
+    pub fn score_links_multi(
+        &self,
+        jobs: &[&[(u64, u64)]],
+        scorer: Scorer,
+    ) -> Vec<CoaneResult<Vec<f64>>> {
         let _scope = self.obs.scope("serve/links");
-        self.obs.add("serve/links/requests", pairs.len() as u64);
-        let rows: Vec<(u32, u32)> = pairs
-            .iter()
-            .map(|&(u, v)| {
-                let ru = self
-                    .store
-                    .index_of(u)
-                    .ok_or_else(|| CoaneError::config(format!("unknown node id {u}")))?;
-                let rv = self
-                    .store
-                    .index_of(v)
-                    .ok_or_else(|| CoaneError::config(format!("unknown node id {v}")))?;
-                Ok((ru, rv))
+        let total: u64 = jobs.iter().map(|j| j.len() as u64).sum();
+        self.obs.add("serve/links/requests", total);
+        if jobs.len() > 1 {
+            self.obs.add("serve/links/coalesced", jobs.len() as u64);
+        }
+        let resolved: Vec<CoaneResult<Vec<(u32, u32)>>> =
+            jobs.iter()
+                .map(|job| {
+                    job.iter()
+                        .map(|&(u, v)| {
+                            let ru = self.store.index_of(u).ok_or_else(|| {
+                                CoaneError::config(format!("unknown node id {u}"))
+                            })?;
+                            let rv = self.store.index_of(v).ok_or_else(|| {
+                                CoaneError::config(format!("unknown node id {v}"))
+                            })?;
+                            Ok((ru, rv))
+                        })
+                        .collect()
+                })
+                .collect();
+        let flat: Vec<(u32, u32)> = resolved.iter().flatten().flatten().copied().collect();
+        let scores = coane_eval::edge_scores(self.store.vectors(), self.store.dim(), &flat, scorer);
+        let mut cursor = scores.into_iter();
+        resolved
+            .into_iter()
+            .map(|job| {
+                job.map(|rows| (0..rows.len()).map(|_| cursor.next().expect("score")).collect())
             })
-            .collect::<CoaneResult<_>>()?;
-        Ok(coane_eval::edge_scores(self.store.vectors(), self.store.dim(), &rows, scorer))
+            .collect()
     }
 
     /// Encodes unseen attributed nodes: each request node is appended to
@@ -316,7 +532,13 @@ impl QueryEngine {
     /// trained encoder embeds it (no-grad forward, bit-identical at any
     /// thread count). Answers in request order.
     pub fn encode_unseen(&self, nodes: &[UnseenNode]) -> CoaneResult<Vec<Vec<f32>>> {
-        let _permit = self.admit(nodes.len(), "serve/encode/batches")?;
+        let _permit = self.admit(nodes.len(), QueryClass::Encode)?;
+        self.encode_unseen_admitted(nodes)
+    }
+
+    /// [`QueryEngine::encode_unseen`] minus admission, for callers already
+    /// holding a [`Permit`] (the HTTP layer's try-admit path).
+    pub fn encode_unseen_admitted(&self, nodes: &[UnseenNode]) -> CoaneResult<Vec<Vec<f32>>> {
         let _scope = self.obs.scope("serve/encode");
         self.obs.add("serve/encode/requests", nodes.len() as u64);
         let ctx = self.inductive.as_ref().ok_or_else(|| {

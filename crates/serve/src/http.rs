@@ -5,8 +5,37 @@
 //! The channel bound is the engine's `queue_cap`; when every handler is busy
 //! and the channel is full, the accept loop blocks on `send` — connections
 //! queue in the kernel backlog and clients see latency, not dropped
-//! requests. That is the whole backpressure story, and it composes with the
-//! engine's own admission gate.
+//! requests.
+//!
+//! ## Connection lifecycle
+//!
+//! Connections are **keep-alive** (HTTP/1.1 persistent): a handler thread
+//! owns a connection and serves requests off it in a loop until the client
+//! closes, sends `Connection: close`, or times out. Two timeouts guard the
+//! loop (see [`ServerConfig`]):
+//!
+//! - *Idle timeout* (`keep_alive_timeout`): waiting for the **first byte**
+//!   of the next request. Expiry is a normal end of conversation — the
+//!   connection closes silently.
+//! - *Read deadline* (`read_deadline`): once the first byte arrives the
+//!   whole request (line, headers, body) must complete within this budget.
+//!   Expiry gets `408 Request Timeout` and a close — a slow-loris peer
+//!   dribbling header bytes cannot pin a handler beyond the deadline.
+//!
+//! HTTP/1.0 clients without `Connection: keep-alive` get one request per
+//! connection, as they expect.
+//!
+//! ## Micro-batching and load shedding
+//!
+//! `/knn` and `/score_links` handlers do not execute queries directly:
+//! after a non-blocking [`QueryEngine::try_admit`], the request body is
+//! submitted to the [`MicroBatcher`], which coalesces concurrent bodies
+//! into one engine kernel pass (identical response bytes — see
+//! `batch.rs`). When the admission queue is saturated for the request's
+//! [`QueryClass`], the server sheds with `429 Too Many Requests` +
+//! `Retry-After` instead of queueing. Per-route latency histograms are
+//! recorded under `serve/http/<route>` and surfaced at `/stats` with
+//! p50/p90/p99 in microseconds.
 //!
 //! ## Routes
 //!
@@ -19,30 +48,30 @@
 //! | `/stats`       | GET    | —                                                 |
 //! | `/shutdown`    | POST   | —                                                 |
 //!
-//! Every response is JSON with `Connection: close` (one request per
-//! connection — boring, allocation-free to reason about, and plenty for the
-//! batch-oriented API). Errors map [`CoaneError`] kinds onto status codes:
-//! config/parse/graph are the client's fault (400), everything else is 500.
+//! Every response is JSON. Errors map [`CoaneError`] kinds onto status
+//! codes: config/parse/graph are the client's fault (400), busy is 429,
+//! everything else is 500.
 //!
 //! The server never writes to stdout; connection-level problems go to
 //! stderr so piped output stays clean.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use coane_error::{CoaneError, CoaneResult};
 use coane_nn::Scorer;
 use serde::{Deserialize, Serialize, Value};
 
-use crate::engine::{KnnParams, KnnTarget, QueryEngine, UnseenNode};
+use crate::batch::MicroBatcher;
+use crate::engine::{KnnParams, KnnTarget, QueryClass, QueryEngine, UnseenNode};
 
 /// Maximum accepted request body (16 MiB) — larger bodies get 413.
 const MAX_BODY: usize = 16 << 20;
-/// Per-connection socket timeout; a stalled peer cannot pin a handler.
+/// Socket write timeout; a peer that stops reading cannot pin a handler.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server configuration.
@@ -50,16 +79,38 @@ const IO_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878`; port `0` picks a free port.
     pub addr: String,
-    /// Handler threads (requests in flight); at least 1.
+    /// Handler threads (connections served concurrently); at least 1.
     pub threads: usize,
     /// When set, the bound address is written here after binding — the
     /// rendezvous for scripts that start the server with port 0.
     pub addr_file: Option<PathBuf>,
+    /// How long an idle keep-alive connection may wait for its next
+    /// request before the server closes it silently.
+    pub keep_alive_timeout: Duration,
+    /// Budget for reading one full request once its first byte arrived;
+    /// exceeding it gets `408` and a close (slow-loris guard).
+    pub read_deadline: Duration,
+    /// How long the micro-batcher lingers after a request arrives so
+    /// concurrent requests can join the same kernel pass. Zero — the
+    /// default — disables the linger: jobs still coalesce naturally when
+    /// they pile up while a pass executes, and every serial request skips
+    /// the wait entirely (a fixed linger taxes *each* lone request the full
+    /// window, which measured ~3× off keep-alive throughput on one core).
+    /// Set a small window only for bursty open-loop loads where arrivals
+    /// cluster tighter than a kernel pass.
+    pub batch_window: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:7878".into(), threads: 4, addr_file: None }
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            addr_file: None,
+            keep_alive_timeout: Duration::from_secs(5),
+            read_deadline: Duration::from_secs(10),
+            batch_window: Duration::ZERO,
+        }
     }
 }
 
@@ -97,6 +148,8 @@ impl HttpServer {
     pub fn run(self) -> CoaneResult<()> {
         let stop = Arc::new(AtomicBool::new(false));
         let queue_cap = self.engine.limits().queue_cap.max(1);
+        let batcher =
+            Arc::new(MicroBatcher::start(Arc::clone(&self.engine), self.config.batch_window));
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_cap);
         let rx = Arc::new(std::sync::Mutex::new(rx));
         let n_threads = self.config.threads.max(1);
@@ -104,13 +157,15 @@ impl HttpServer {
         for _ in 0..n_threads {
             let rx = Arc::clone(&rx);
             let engine = Arc::clone(&self.engine);
+            let batcher = Arc::clone(&batcher);
             let stop = Arc::clone(&stop);
             let addr = self.local_addr;
+            let config = self.config.clone();
             handlers.push(std::thread::spawn(move || loop {
                 // Hold the lock only for the recv, not while handling.
                 let next = rx.lock().unwrap().recv();
                 let Ok(stream) = next else { break };
-                let shutdown = handle_connection(stream, &engine);
+                let shutdown = handle_connection(stream, &engine, &batcher, &config);
                 if shutdown {
                     stop.store(true, Ordering::SeqCst);
                     // Wake the acceptor out of its blocking accept().
@@ -137,37 +192,207 @@ impl HttpServer {
         for h in handlers {
             let _ = h.join();
         }
+        // Handlers are gone; dropping the batcher joins its worker.
+        drop(batcher);
         Ok(())
     }
 }
 
-/// Handles one connection (one request). Returns `true` when the request
-/// was a shutdown order.
-fn handle_connection(stream: TcpStream, engine: &QueryEngine) -> bool {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+/// What reading the next request off a keep-alive connection produced.
+enum NextRequest {
+    /// A complete request: method, path, body, and whether the client
+    /// asked to close after the response.
+    Request { method: String, path: String, body: String, close: bool },
+    /// The peer closed, or the idle timeout expired — end silently.
+    Gone,
+    /// The request started but violated the read deadline → 408.
+    Deadline,
+    /// Malformed request → answer this and close.
+    Bad(Response),
+}
+
+/// Serves requests off one connection until it ends (see module docs for
+/// the lifecycle). Returns `true` when a shutdown order was served.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &QueryEngine,
+    batcher: &MicroBatcher,
+    config: &ServerConfig,
+) -> bool {
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // Keep-alive responses are small and latency-bound: Nagle + delayed
+    // ACK would park every response on a reused connection for ~40 ms.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
-    let (method, path, body) = match read_request(&mut reader) {
-        Ok(parts) => parts,
-        Err(resp) => {
-            write_response(reader.into_inner(), &resp);
-            return false;
+    loop {
+        match read_next_request(&mut reader, config) {
+            NextRequest::Gone => return false,
+            NextRequest::Deadline => {
+                let resp = Response::error(408, "config", "request read deadline exceeded");
+                write_response(reader.get_mut(), &resp, true);
+                return false;
+            }
+            NextRequest::Bad(resp) => {
+                write_response(reader.get_mut(), &resp, true);
+                return false;
+            }
+            NextRequest::Request { method, path, body, close } => {
+                let started = Instant::now();
+                let (resp, shutdown) = route(engine, batcher, &method, &path, &body);
+                let close = close || shutdown;
+                write_response(reader.get_mut(), &resp, close);
+                if let Some(name) = route_histogram(&path) {
+                    engine.obs().histogram(name, started.elapsed().as_micros() as f64);
+                }
+                if shutdown {
+                    return true;
+                }
+                if close {
+                    return false;
+                }
+            }
         }
+    }
+}
+
+/// The `serve/http/<route>` latency histogram for a path, if it has one.
+fn route_histogram(path: &str) -> Option<&'static str> {
+    match path {
+        "/knn" => Some("serve/http/knn"),
+        "/score_links" => Some("serve/http/links"),
+        "/encode" => Some("serve/http/encode"),
+        "/healthz" => Some("serve/http/healthz"),
+        "/stats" => Some("serve/http/stats"),
+        _ => None,
+    }
+}
+
+/// True for read errors that mean "the socket timed out" rather than "the
+/// peer broke": both flavors appear depending on platform.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Reads one request under the keep-alive discipline: idle-wait for the
+/// first byte under `keep_alive_timeout`, then the whole request under
+/// `read_deadline`.
+fn read_next_request(reader: &mut BufReader<TcpStream>, config: &ServerConfig) -> NextRequest {
+    // Idle phase: wait for the first byte of the next request.
+    let _ = reader.get_ref().set_read_timeout(Some(config.keep_alive_timeout));
+    match reader.fill_buf() {
+        Ok([]) => return NextRequest::Gone, // clean EOF between requests
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => return NextRequest::Gone, // idle timeout
+        Err(_) => return NextRequest::Gone,
+    }
+    // Request phase: everything else must land within the read deadline.
+    // Each raw read gets the *remaining* budget as its socket timeout, so
+    // a peer dribbling one byte per read cannot stretch the total.
+    let deadline = Instant::now() + config.read_deadline;
+    let read_line =
+        |reader: &mut BufReader<TcpStream>, line: &mut String| -> Result<usize, NextRequest> {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NextRequest::Deadline);
+            }
+            let _ = reader.get_ref().set_read_timeout(Some(deadline - now));
+            reader.read_line(line).map_err(|e| {
+                if is_timeout(&e) {
+                    NextRequest::Deadline
+                } else {
+                    NextRequest::Bad(Response::error(400, "parse", &format!("request: {e}")))
+                }
+            })
+        };
+
+    let mut line = String::new();
+    match read_line(reader, &mut line) {
+        Ok(0) => return NextRequest::Gone,
+        Ok(_) => {}
+        Err(out) => return out,
+    }
+    let mut parts = line.split_whitespace();
+    let Some(method) = parts.next().map(str::to_string) else {
+        return NextRequest::Bad(Response::error(400, "parse", "empty request line"));
     };
-    let (resp, shutdown) = route(engine, &method, &path, &body);
-    write_response(reader.into_inner(), &resp);
-    shutdown
+    let Some(path) = parts.next().map(str::to_string) else {
+        return NextRequest::Bad(Response::error(400, "parse", "request line has no path"));
+    };
+    // HTTP/1.0 defaults to close; 1.1 defaults to keep-alive.
+    let http10 = parts.next().is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.0"));
+    let mut close = http10;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = match read_line(reader, &mut header) {
+            Ok(n) => n,
+            Err(out) => return out,
+        };
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.parse() {
+                    Ok(len) => content_length = len,
+                    Err(_) => {
+                        return NextRequest::Bad(Response::error(
+                            400,
+                            "parse",
+                            "bad Content-Length",
+                        ))
+                    }
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return NextRequest::Bad(Response::error(
+            413,
+            "config",
+            &format!("body exceeds {MAX_BODY} bytes"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    {
+        let now = Instant::now();
+        if now >= deadline {
+            return NextRequest::Deadline;
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(deadline - now));
+        if let Err(e) = reader.read_exact(&mut body) {
+            return if is_timeout(&e) {
+                NextRequest::Deadline
+            } else {
+                NextRequest::Bad(Response::error(400, "parse", &format!("body: {e}")))
+            };
+        }
+    }
+    let Ok(body) = String::from_utf8(body) else {
+        return NextRequest::Bad(Response::error(400, "parse", "body is not valid UTF-8"));
+    };
+    NextRequest::Request { method, path, body, close }
 }
 
 /// An HTTP response about to be serialized.
 struct Response {
     status: u16,
     body: String,
+    /// `Retry-After` seconds, set on 429 shed responses.
+    retry_after: Option<u32>,
 }
 
 impl Response {
     fn ok(body: String) -> Self {
-        Self { status: 200, body }
+        Self { status: 200, body, retry_after: None }
     }
 
     fn json<T: Serialize>(value: &T) -> Self {
@@ -182,10 +407,15 @@ impl Response {
         obj.insert("error".to_string(), Value::String(message.to_string()));
         obj.insert("kind".to_string(), Value::String(kind.to_string()));
         let body = serde_json::to_string(&Value::Object(obj)).unwrap_or_default();
-        Self { status, body }
+        Self { status, body, retry_after: None }
     }
 
     fn from_err(e: &CoaneError) -> Self {
+        if let CoaneError::Busy { retry_after_secs, .. } = e {
+            let mut resp = Self::error(429, e.kind(), &e.to_string());
+            resp.retry_after = Some(*retry_after_secs);
+            return resp;
+        }
         let status = match e.kind() {
             "config" | "parse" | "graph" => 400,
             _ => 500,
@@ -200,70 +430,32 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         _ => "Internal Server Error",
     }
 }
 
-fn write_response(mut stream: TcpStream, resp: &Response) {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) {
+    let connection = if close { "close" } else { "keep-alive" };
+    let retry = match resp.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
+    // One write per response: head + body in a single segment, so the
+    // peer's delayed ACK never splits a response across round-trips.
+    let mut wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
         resp.status,
         status_text(resp.status),
         resp.body.len()
     );
-    if let Err(e) =
-        stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(resp.body.as_bytes()))
-    {
+    wire.push_str(&resp.body);
+    if let Err(e) = stream.write_all(wire.as_bytes()) {
         eprintln!("serve: write failed: {e}");
     }
     let _ = stream.flush();
-}
-
-/// Parses the request line, headers and (Content-Length-framed) body.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<(String, String, String), Response> {
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| Response::error(400, "parse", &format!("request line: {e}")))?;
-    let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| Response::error(400, "parse", "empty request line"))?
-        .to_string();
-    let path = parts
-        .next()
-        .ok_or_else(|| Response::error(400, "parse", "request line has no path"))?
-        .to_string();
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        let n = reader
-            .read_line(&mut header)
-            .map_err(|e| Response::error(400, "parse", &format!("headers: {e}")))?;
-        let header = header.trim_end();
-        if n == 0 || header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| Response::error(400, "parse", "bad Content-Length"))?;
-            }
-        }
-    }
-    if content_length > MAX_BODY {
-        return Err(Response::error(413, "config", &format!("body exceeds {MAX_BODY} bytes")));
-    }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| Response::error(400, "parse", &format!("body: {e}")))?;
-    let body = String::from_utf8(body)
-        .map_err(|_| Response::error(400, "parse", "body is not valid UTF-8"))?;
-    Ok((method, path, body))
 }
 
 // ---------------------------------------------------------------------------
@@ -379,11 +571,17 @@ fn parse_body<T: Deserialize>(body: &str) -> Result<T, Response> {
         .map_err(|e| Response::error(400, "parse", &format!("request body: {e}")))
 }
 
-fn route(engine: &QueryEngine, method: &str, path: &str, body: &str) -> (Response, bool) {
+fn route(
+    engine: &QueryEngine,
+    batcher: &MicroBatcher,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (Response, bool) {
     let resp = match (method, path) {
-        ("POST", "/knn") => handle_knn(engine, body),
-        ("POST", "/score_links") => handle_links(engine, body),
-        ("POST", "/encode") => handle_encode(engine, body),
+        ("POST", "/knn") => handle_knn(engine, batcher, body),
+        ("POST", "/score_links") => handle_links(engine, batcher, body),
+        ("POST", "/encode") => handle_encode(engine, batcher, body),
         ("GET", "/healthz") => Response::json(&HealthResponse {
             status: "ok".into(),
             nodes: engine.store().len(),
@@ -406,7 +604,7 @@ fn route(engine: &QueryEngine, method: &str, path: &str, body: &str) -> (Respons
     (resp, false)
 }
 
-fn handle_knn(engine: &QueryEngine, body: &str) -> Response {
+fn handle_knn(engine: &QueryEngine, batcher: &MicroBatcher, body: &str) -> Response {
     let req: KnnRequest = match parse_body(body) {
         Ok(r) => r,
         Err(resp) => return resp,
@@ -422,7 +620,13 @@ fn handle_knn(engine: &QueryEngine, body: &str) -> Response {
         Err(e) => return Response::from_err(&e),
     };
     let params = KnnParams { k: req.k.unwrap_or(10), scorer, exact: req.exact.unwrap_or(false) };
-    match engine.knn(&queries, params) {
+    // Shed-or-admit, then hold the permit across the batcher round trip so
+    // the request occupies its queue slot until its answer is built.
+    let _permit = match engine.try_admit(queries.len(), QueryClass::Knn) {
+        Ok(p) => p,
+        Err(e) => return Response::from_err(&e),
+    };
+    match batcher.submit_knn(queries, params) {
         Ok(answers) => Response::json(&KnnResponse {
             k: params.k,
             scorer: scorer.name().into(),
@@ -438,7 +642,7 @@ fn to_knn_result(answer: crate::engine::KnnAnswer) -> KnnResult {
     }
 }
 
-fn handle_links(engine: &QueryEngine, body: &str) -> Response {
+fn handle_links(engine: &QueryEngine, batcher: &MicroBatcher, body: &str) -> Response {
     let req: LinkRequest = match parse_body(body) {
         Ok(r) => r,
         Err(resp) => return resp,
@@ -447,13 +651,17 @@ fn handle_links(engine: &QueryEngine, body: &str) -> Response {
         Ok(s) => s,
         Err(e) => return Response::from_err(&e),
     };
-    match engine.score_links(&req.pairs, scorer) {
+    let _permit = match engine.try_admit(req.pairs.len(), QueryClass::Links) {
+        Ok(p) => p,
+        Err(e) => return Response::from_err(&e),
+    };
+    match batcher.submit_links(req.pairs, scorer) {
         Ok(scores) => Response::json(&LinkResponse { scorer: scorer.name().into(), scores }),
         Err(e) => Response::from_err(&e),
     }
 }
 
-fn handle_encode(engine: &QueryEngine, body: &str) -> Response {
+fn handle_encode(engine: &QueryEngine, batcher: &MicroBatcher, body: &str) -> Response {
     let req: EncodeRequest = match parse_body(body) {
         Ok(r) => r,
         Err(resp) => return resp,
@@ -466,7 +674,14 @@ fn handle_encode(engine: &QueryEngine, body: &str) -> Response {
             edges: n.edges,
         });
     }
-    let embeddings = match engine.encode_unseen(&nodes) {
+    // One admission covers the whole request, including the optional kNN
+    // composition below — a second blocking admission here could deadlock
+    // a `queue_cap = 1` server.
+    let _permit = match engine.try_admit(nodes.len(), QueryClass::Encode) {
+        Ok(p) => p,
+        Err(e) => return Response::from_err(&e),
+    };
+    let embeddings = match engine.encode_unseen_admitted(&nodes) {
         Ok(z) => z,
         Err(e) => return Response::from_err(&e),
     };
@@ -476,7 +691,7 @@ fn handle_encode(engine: &QueryEngine, body: &str) -> Response {
             let queries: Vec<KnnTarget> =
                 embeddings.iter().cloned().map(KnnTarget::Vector).collect();
             let params = KnnParams { k, scorer: engine.index().scorer(), exact: false };
-            match engine.knn(&queries, params) {
+            match batcher.submit_knn(queries, params) {
                 Ok(answers) => Some(answers.into_iter().map(to_knn_result).collect()),
                 Err(e) => return Response::from_err(&e),
             }
@@ -506,48 +721,46 @@ fn stats_response(engine: &QueryEngine) -> Response {
         stat.insert("total_secs".to_string(), Value::Number(s.total.as_secs_f64()));
         scopes.insert(path, Value::Object(stat));
     }
+    let mut histograms = std::collections::BTreeMap::new();
+    for (name, h) in obs.histograms() {
+        let mut stat = std::collections::BTreeMap::new();
+        stat.insert("count".to_string(), Value::Number(h.count as f64));
+        stat.insert("min_us".to_string(), Value::Number(h.min));
+        stat.insert("max_us".to_string(), Value::Number(h.max));
+        stat.insert("p50_us".to_string(), Value::Number(h.p50));
+        stat.insert("p90_us".to_string(), Value::Number(h.p90));
+        stat.insert("p99_us".to_string(), Value::Number(h.p99));
+        histograms.insert(name.to_string(), Value::Object(stat));
+    }
     let mut root = std::collections::BTreeMap::new();
     root.insert("uptime_secs".to_string(), Value::Number(obs.elapsed_secs()));
     root.insert("counters".to_string(), Value::Object(counters));
     root.insert("gauges".to_string(), Value::Object(gauges));
     root.insert("scopes".to_string(), Value::Object(scopes));
+    root.insert("histograms".to_string(), Value::Object(histograms));
     Response::json(&Value::Object(root))
 }
 
 // ---------------------------------------------------------------------------
-// A tiny blocking client (shared by `coane query` and the tests)
+// Blocking clients (shared by `coane query`, the bench, and the tests)
 // ---------------------------------------------------------------------------
 
-/// Sends one JSON request and returns `(status, body)`.
-pub fn http_request(
-    addr: &str,
-    method: &str,
-    path: &str,
-    body: &str,
-) -> CoaneResult<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)
-        .map_err(|e| CoaneError::config(format!("cannot connect to {addr}: {e}")))?;
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body.as_bytes()))
-        .map_err(|e| CoaneError::config(format!("request to {addr} failed: {e}")))?;
-    let mut reader = BufReader::new(stream);
+/// Reads one response off `reader`: `(status, body, server_closed)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> CoaneResult<(u16, String, bool)> {
     let mut status_line = String::new();
-    reader
+    let n = reader
         .read_line(&mut status_line)
-        .map_err(|e| CoaneError::config(format!("no response from {addr}: {e}")))?;
+        .map_err(|e| CoaneError::config(format!("no response: {e}")))?;
+    if n == 0 {
+        return Err(CoaneError::config("connection closed before a response arrived"));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| CoaneError::parse(format!("bad status line {status_line:?}")))?;
     let mut content_length = None;
+    let mut closed = false;
     loop {
         let mut header = String::new();
         let n = reader
@@ -558,8 +771,12 @@ pub fn http_request(
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse::<usize>().ok();
+                content_length = value.parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close")
+            {
+                closed = true;
             }
         }
     }
@@ -577,7 +794,117 @@ pub fn http_request(
             reader
                 .read_to_string(&mut body)
                 .map_err(|e| CoaneError::parse(format!("response body: {e}")))?;
+            closed = true;
         }
     }
+    Ok((status, body, closed))
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    connection: &str,
+) -> CoaneResult<()> {
+    let mut wire = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    wire.push_str(body);
+    stream
+        .write_all(wire.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| CoaneError::config(format!("request to {addr} failed: {e}")))
+}
+
+/// A blocking keep-alive HTTP client: one persistent connection, reused
+/// across [`HttpClient::request`] calls, transparently re-established when
+/// the server closed it (idle timeout, `Connection: close`, restart).
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr` (`host:port`). No connection is made until the
+    /// first request.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), conn: None }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn open(&self) -> CoaneResult<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| CoaneError::config(format!("cannot connect to {}: {e}", self.addr)))?;
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        // Request streams are ping-pong: never let Nagle hold a request
+        // back waiting for the previous response's ACK.
+        let _ = stream.set_nodelay(true);
+        Ok(BufReader::new(stream))
+    }
+
+    /// Sends one JSON request on the persistent connection and returns
+    /// `(status, body)`. A send or response failure on a *reused*
+    /// connection (the server may have idle-closed it meanwhile) retries
+    /// once on a fresh connection; errors on a fresh connection are real.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> CoaneResult<(u16, String)> {
+        let reused = self.conn.is_some();
+        match self.try_request(method, path, body) {
+            Ok(out) => Ok(out),
+            Err(e) if reused => {
+                self.conn = None;
+                self.try_request(method, path, body).map_err(|_| e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> CoaneResult<(u16, String)> {
+        if self.conn.is_none() {
+            self.conn = Some(self.open()?);
+        }
+        let reader = self.conn.as_mut().expect("connection just ensured");
+        let result = send_request(reader.get_mut(), &self.addr, method, path, body, "keep-alive")
+            .and_then(|()| read_response(reader));
+        match result {
+            Ok((status, resp_body, closed)) => {
+                if closed {
+                    self.conn = None;
+                }
+                Ok((status, resp_body))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Sends one JSON request on a fresh `Connection: close` connection and
+/// returns `(status, body)` — the one-shot client. For request streams use
+/// [`HttpClient`], which keeps its connection alive.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> CoaneResult<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| CoaneError::config(format!("cannot connect to {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    send_request(&mut stream, addr, method, path, body, "close")?;
+    let mut reader = BufReader::new(stream);
+    let (status, body, _) = read_response(&mut reader)?;
     Ok((status, body))
 }

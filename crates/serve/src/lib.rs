@@ -7,21 +7,26 @@
 //! kNN, batch link scoring (through the exact scorer path the offline
 //! evaluation uses), and inductive encoding of unseen attributed nodes via
 //! the trained model's no-grad forward. [`http`] wraps the engine in a
-//! std-only HTTP/1.1 JSON server.
+//! std-only HTTP/1.1 keep-alive JSON server whose [`batch`] micro-batcher
+//! coalesces concurrent requests into single kernel passes, with per-class
+//! load shedding (429 + `Retry-After`) once the admission queue saturates.
 //!
 //! The workspace determinism contract extends to serving: store bytes,
 //! index structure, and every query answer are bit-identical for a given
 //! seed at any thread count. The recall/determinism integration tests in
 //! `tests/` lock this down.
 
+pub mod batch;
 pub mod engine;
 pub mod hnsw;
 pub mod http;
 pub mod store;
 
+pub use batch::MicroBatcher;
 pub use engine::{
-    EngineLimits, InductiveContext, KnnAnswer, KnnParams, KnnTarget, QueryEngine, UnseenNode,
+    EngineLimits, InductiveContext, KnnAnswer, KnnParams, KnnTarget, Permit, QueryClass,
+    QueryEngine, UnseenNode,
 };
-pub use hnsw::{knn_exact, Hit, HnswConfig, HnswIndex};
-pub use http::{http_request, HttpServer, ServerConfig};
+pub use hnsw::{knn_exact, knn_exact_batch, ExactIndex, Hit, HnswConfig, HnswIndex};
+pub use http::{http_request, HttpClient, HttpServer, ServerConfig};
 pub use store::{EmbeddingStore, STORE_FORMAT_VERSION, STORE_MAGIC};

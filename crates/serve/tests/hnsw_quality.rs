@@ -4,8 +4,8 @@
 
 use coane_nn::{pool, Scorer};
 use coane_serve::{
-    knn_exact, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, KnnParams, KnnTarget,
-    QueryEngine,
+    knn_exact, EmbeddingStore, EngineLimits, ExactIndex, HnswConfig, HnswIndex, KnnParams,
+    KnnTarget, QueryEngine,
 };
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -59,6 +59,36 @@ fn exact_search_is_its_own_ground_truth() {
     let expect: Vec<u32> = scored.iter().take(5).map(|&(_, r)| r).collect();
     let got: Vec<u32> = hits.iter().map(|h| h.index).collect();
     assert_eq!(got, expect);
+}
+
+/// The pre-transposed matmul path must rank exactly like the sequential
+/// ground truth (scores are reassociated, so bytes may differ — rankings
+/// may not), and its bytes must be invariant to batch composition and
+/// thread count.
+#[test]
+fn exact_index_matches_ground_truth_and_is_batch_invariant() {
+    let store = fixture_store(21);
+    let queries = fixture_queries(21);
+    let refs: Vec<&[f32]> = queries.iter().map(Vec::as_slice).collect();
+    let exact = ExactIndex::build(&store);
+    for scorer in Scorer::ALL {
+        let batched = exact.knn(&store, &refs, K, scorer);
+        assert_eq!(batched.len(), refs.len());
+        // Ranking agreement with knn_exact, query by query.
+        for (q, hits) in queries.iter().zip(&batched) {
+            let truth: Vec<u32> = knn_exact(&store, q, K, scorer).iter().map(|h| h.index).collect();
+            let got: Vec<u32> = hits.iter().map(|h| h.index).collect();
+            assert_eq!(got, truth, "{} ranking diverged from knn_exact", scorer.name());
+        }
+        // Bitwise batch invariance: each query alone, and an offset pair,
+        // reproduce the full batch's bytes.
+        for (i, q) in refs.iter().enumerate().take(8) {
+            let solo = exact.knn(&store, &[q], K, scorer);
+            assert_eq!(solo[0], batched[i], "{} solo run diverged", scorer.name());
+        }
+        let pair = exact.knn(&store, &refs[3..5], K, scorer);
+        assert_eq!(pair, batched[3..5], "{} pair run diverged", scorer.name());
+    }
 }
 
 /// The whole serving path — level assignment, generational build, search,

@@ -60,7 +60,7 @@ fn start_server(with_model: bool) -> (String, std::thread::JoinHandle<()>) {
     .expect("engine");
     let server = HttpServer::bind(
         Arc::new(engine),
-        ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, addr_file: None },
+        ServerConfig { addr: "127.0.0.1:0".into(), threads: 2, ..Default::default() },
     )
     .expect("bind");
     let addr = server.local_addr().to_string();
@@ -291,7 +291,12 @@ fn addr_file_rendezvous_and_store_roundtrip_serving() {
     .expect("engine");
     let server = HttpServer::bind(
         Arc::new(engine),
-        ServerConfig { addr: "127.0.0.1:0".into(), threads: 1, addr_file: Some(addr_file.clone()) },
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            addr_file: Some(addr_file.clone()),
+            ..Default::default()
+        },
     )
     .expect("bind");
     let bound = server.local_addr().to_string();

@@ -1,0 +1,360 @@
+//! Connection-lifecycle and coalescing-determinism lockdown for the
+//! keep-alive HTTP server: pipelined requests on one socket, idle-timeout
+//! and slow-loris deadlines, load shedding with `429` + `Retry-After`,
+//! and the contract that micro-batching never changes response bytes —
+//! batched answers are bit-identical to serial answers at any thread
+//! count.
+//!
+//! The fixture uses a synthetic embedding store (deterministic LCG
+//! vectors), not a trained model: none of these paths touch the encoder,
+//! and the store shape is all the connection machinery sees.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use coane_nn::{pool, Scorer};
+use coane_serve::{
+    http_request, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, HttpClient, HttpServer,
+    KnnParams, KnnTarget, QueryClass, QueryEngine, ServerConfig,
+};
+
+const NODES: usize = 300;
+const DIM: usize = 16;
+
+/// Deterministic pseudo-random store — no training, instant to build.
+fn synthetic_engine(limits: EngineLimits) -> Arc<QueryEngine> {
+    let mut state = 0x2545F491_u64;
+    let mut data = Vec::with_capacity(NODES * DIM);
+    for _ in 0..NODES * DIM {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        data.push(((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5);
+    }
+    let store = EmbeddingStore::new(data, DIM, None, "keepalive fixture").expect("store");
+    let index = HnswIndex::build(&store, Scorer::Cosine, HnswConfig::default());
+    Arc::new(
+        QueryEngine::new(store, index, None, limits, coane_obs::Obs::enabled()).expect("engine"),
+    )
+}
+
+/// Binds a server over a shared engine `Arc`, so a test can also drive the
+/// engine directly (e.g. hold an admission permit while a request lands).
+fn start_server(
+    limits: EngineLimits,
+    config: ServerConfig,
+) -> (String, std::thread::JoinHandle<()>, Arc<QueryEngine>) {
+    let engine = synthetic_engine(limits);
+    let server = HttpServer::bind(Arc::clone(&engine), config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, engine)
+}
+
+fn config(threads: usize) -> ServerConfig {
+    ServerConfig { addr: "127.0.0.1:0".into(), threads, ..Default::default() }
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let (status, _) = http_request(addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread");
+}
+
+/// Reads one raw HTTP response (status line, headers, Content-Length body)
+/// off a buffered socket; returns (status, headers joined, body).
+fn read_raw_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut status_line = String::new();
+    let n = reader.read_line(&mut status_line).expect("status line");
+    assert!(n > 0, "connection closed before a response");
+    let status: u16 = status_line.split_whitespace().nth(1).expect("code").parse().expect("u16");
+    let mut headers = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("header line");
+        if n == 0 || line.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.trim_end().split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("length");
+            }
+        }
+        headers.push_str(line.trim_end());
+        headers.push('\n');
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, headers, String::from_utf8(body).expect("utf8 body"))
+}
+
+fn raw_post(path: &str, body: &str, connection: &str) -> String {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[test]
+fn keepalive_pipelining_and_reuse() {
+    let (addr, handle, _engine) = start_server(EngineLimits::default(), config(2));
+
+    // Serial baseline over one-shot connections.
+    let (s1, baseline1) =
+        http_request(&addr, "POST", "/knn", r#"{"ids":[0,1],"k":5}"#).expect("serial 1");
+    let (s2, baseline2) =
+        http_request(&addr, "POST", "/knn", r#"{"ids":[7],"k":3,"exact":true}"#).expect("serial 2");
+    assert_eq!((s1, s2), (200, 200));
+
+    // Two pipelined requests written in ONE write on ONE socket: the
+    // keep-alive loop must answer both, in order, on the same connection.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let wire = format!(
+        "{}{}",
+        raw_post("/knn", r#"{"ids":[0,1],"k":5}"#, "keep-alive"),
+        raw_post("/knn", r#"{"ids":[7],"k":3,"exact":true}"#, "keep-alive"),
+    );
+    stream.write_all(wire.as_bytes()).expect("pipelined write");
+    let mut reader = BufReader::new(stream);
+    let (st1, h1, b1) = read_raw_response(&mut reader);
+    let (st2, h2, b2) = read_raw_response(&mut reader);
+    assert_eq!((st1, st2), (200, 200));
+    assert!(h1.contains("Connection: keep-alive"), "headers: {h1}");
+    assert!(h2.contains("Connection: keep-alive"), "headers: {h2}");
+    // Byte-identical to the serial one-shot answers.
+    assert_eq!(b1, baseline1);
+    assert_eq!(b2, baseline2);
+
+    // The HttpClient reuses its connection across many requests and
+    // transparently survives a server-side idle close.
+    let mut client = HttpClient::new(&addr);
+    for _ in 0..5 {
+        let (status, body) = client.request("POST", "/knn", r#"{"ids":[0,1],"k":5}"#).expect("req");
+        assert_eq!(status, 200);
+        assert_eq!(body, baseline1);
+    }
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn http10_and_connection_close_are_honored() {
+    let (addr, handle, _engine) = start_server(EngineLimits::default(), config(1));
+
+    // Connection: close → the server answers, says close, and closes.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream.write_all(raw_post("/knn", r#"{"ids":[0],"k":2}"#, "close").as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, headers, _) = read_raw_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(headers.contains("Connection: close"), "headers: {headers}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof after close");
+    assert!(rest.is_empty(), "server kept the connection open after Connection: close");
+
+    // HTTP/1.0 without keep-alive defaults to close.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream.write_all(b"GET /healthz HTTP/1.0\r\nHost: test\r\n\r\n").expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, headers, _) = read_raw_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(headers.contains("Connection: close"), "headers: {headers}");
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn idle_keepalive_connection_is_closed_silently() {
+    let cfg = ServerConfig { keep_alive_timeout: Duration::from_millis(150), ..config(1) };
+    let (addr, handle, _engine) = start_server(EngineLimits::default(), cfg);
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream
+        .write_all(raw_post("/knn", r#"{"ids":[0],"k":2}"#, "keep-alive").as_bytes())
+        .expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, _, _) = read_raw_response(&mut reader);
+    assert_eq!(status, 200);
+
+    // Sit idle past the keep-alive timeout: the server hangs up without
+    // writing anything (no 408 — idle expiry is a normal end).
+    std::thread::sleep(Duration::from_millis(600));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to eof");
+    assert!(rest.is_empty(), "idle close must be silent, got {:?}", String::from_utf8_lossy(&rest));
+
+    // The server itself is still healthy for new connections.
+    let (status, _) = http_request(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn slow_loris_partial_request_gets_408() {
+    let cfg = ServerConfig { read_deadline: Duration::from_millis(300), ..config(1) };
+    let (addr, handle, _engine) = start_server(EngineLimits::default(), cfg);
+
+    // Dribble a partial request line and stall: once the first byte
+    // arrived, the whole request must complete within the read deadline.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream.write_all(b"POST /knn HT").expect("partial write");
+    let mut reader = BufReader::new(stream);
+    let (status, _, body) = read_raw_response(&mut reader);
+    assert_eq!(status, 408, "body: {body}");
+    assert!(body.contains("deadline"), "body: {body}");
+    // And the connection is closed afterwards.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty());
+
+    // A handler survived the loris; normal traffic still flows.
+    let (status, _) = http_request(&addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn saturated_queue_sheds_with_429_not_hangs() {
+    // queue_cap = 1 and a permit held by the test: the next request MUST
+    // be shed deterministically — there is no free slot to race for.
+    let (addr, handle, engine) =
+        start_server(EngineLimits { max_batch: 64, queue_cap: 1 }, config(2));
+
+    let permit = engine.try_admit(1, QueryClass::Knn).expect("slot free");
+    let (status, body) = http_request(&addr, "POST", "/knn", r#"{"ids":[0],"k":2}"#).expect("shed");
+    assert_eq!(status, 429, "body: {body}");
+    assert!(body.contains("saturated"), "body: {body}");
+    assert!(body.contains("\"kind\":\"busy\""), "body: {body}");
+
+    // The raw response carries Retry-After.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    stream.write_all(raw_post("/knn", r#"{"ids":[0],"k":2}"#, "close").as_bytes()).expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, headers, _) = read_raw_response(&mut reader);
+    assert_eq!(status, 429);
+    assert!(headers.contains("Retry-After: 1"), "headers: {headers}");
+
+    // Lower-priority classes shed at the same depth too (their thresholds
+    // are ≤ the kNN threshold).
+    let (status, _) =
+        http_request(&addr, "POST", "/score_links", r#"{"pairs":[[0,1]]}"#).expect("links shed");
+    assert_eq!(status, 429);
+
+    // Telemetry recorded every shed.
+    let shed = engine.obs().counter("serve/shed");
+    assert!(shed >= 3, "expected ≥3 sheds, saw {shed}");
+
+    // Freeing the slot un-sheds immediately — 429 is load, not lockup.
+    drop(permit);
+    let (status, body) =
+        http_request(&addr, "POST", "/knn", r#"{"ids":[0],"k":2}"#).expect("recovered");
+    assert_eq!(status, 200, "body: {body}");
+
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn coalesced_answers_are_bit_identical_to_serial_at_any_thread_count() {
+    let engine = synthetic_engine(EngineLimits::default());
+    let default_threads = pool::threads();
+
+    // Three jobs of different shapes, mixing id and vector targets.
+    let jobs: Vec<Vec<KnnTarget>> = vec![
+        vec![KnnTarget::Id(0), KnnTarget::Id(17), KnnTarget::Id(240)],
+        vec![KnnTarget::Vector(engine.store().row(5).to_vec()), KnnTarget::Id(3)],
+        (0..40).map(|i| KnnTarget::Id(i * 7)).collect(),
+    ];
+    let job_refs: Vec<&[KnnTarget]> = jobs.iter().map(Vec::as_slice).collect();
+    let link_jobs: Vec<Vec<(u64, u64)>> = vec![
+        vec![(0, 1), (2, 3), (17, 240)],
+        (0..50).map(|i| (i, (i * 3 + 1) % NODES as u64)).collect(),
+    ];
+    let link_refs: Vec<&[(u64, u64)]> = link_jobs.iter().map(Vec::as_slice).collect();
+
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 4] {
+        pool::set_threads(threads);
+        let mut transcript = String::new();
+        for exact in [false, true] {
+            let params = KnnParams { k: 6, scorer: Scorer::Cosine, exact };
+            // Coalesced: all jobs in one kernel pass.
+            let batched: Vec<_> = engine
+                .knn_multi(&job_refs, params)
+                .into_iter()
+                .map(|r| r.expect("valid job"))
+                .collect();
+            // Serial: each job alone.
+            for (job, batched_answers) in job_refs.iter().zip(&batched) {
+                let serial = engine.knn_multi(&[job], params).pop().unwrap().expect("valid job");
+                assert_eq!(
+                    &serial, batched_answers,
+                    "coalescing changed answers (exact={exact}, threads={threads})"
+                );
+            }
+            // Bit-exact transcript across thread counts.
+            for answers in &batched {
+                for a in answers {
+                    for &(id, score) in &a.neighbors {
+                        transcript.push_str(&format!("{id}:{:08x} ", score.to_bits()));
+                    }
+                    transcript.push('\n');
+                }
+            }
+        }
+        let batched_links: Vec<_> = engine
+            .score_links_multi(&link_refs, Scorer::Dot)
+            .into_iter()
+            .map(|r| r.expect("valid pairs"))
+            .collect();
+        for (job, batched_scores) in link_refs.iter().zip(&batched_links) {
+            let serial =
+                engine.score_links_multi(&[job], Scorer::Dot).pop().unwrap().expect("valid pairs");
+            assert_eq!(&serial, batched_scores, "link coalescing changed scores");
+            for s in batched_scores {
+                transcript.push_str(&format!("{:016x} ", s.to_bits()));
+            }
+        }
+        match &reference {
+            None => reference = Some(transcript),
+            Some(expected) => {
+                assert_eq!(expected, &transcript, "answers differ between 1 and {threads} threads")
+            }
+        }
+    }
+    pool::set_threads(default_threads);
+}
+
+#[test]
+fn knn_multi_isolates_per_job_errors() {
+    let engine = synthetic_engine(EngineLimits::default());
+    let params = KnnParams { k: 4, scorer: Scorer::Cosine, exact: true };
+
+    let good_a = vec![KnnTarget::Id(1), KnnTarget::Id(2)];
+    let bad = vec![KnnTarget::Id(1), KnnTarget::Id(999_999)];
+    let good_b = vec![KnnTarget::Id(250)];
+    let results = engine.knn_multi(&[&good_a, &bad, &good_b], params);
+    assert_eq!(results.len(), 3);
+    let err = results[1].as_ref().expect_err("unknown id must fail its job");
+    assert!(err.to_string().contains("unknown node id 999999"), "err: {err}");
+
+    // The healthy jobs' answers are bit-identical to running them alone.
+    let solo_a = engine.knn_multi(&[&good_a], params).pop().unwrap().expect("solo a");
+    let solo_b = engine.knn_multi(&[&good_b], params).pop().unwrap().expect("solo b");
+    assert_eq!(results[0].as_ref().expect("job a"), &solo_a);
+    assert_eq!(results[2].as_ref().expect("job b"), &solo_b);
+
+    // Same isolation for link scoring: a bad pair fails only its job.
+    let link_results =
+        engine.score_links_multi(&[&[(0, 1)][..], &[(0, 999_999)][..]], Scorer::Cosine);
+    assert!(link_results[0].is_ok());
+    assert!(link_results[1].is_err());
+}

@@ -40,6 +40,13 @@
 //!                 --addr 127.0.0.1:0 --addr-file server.addr
 //! coane-cli query --addr-file server.addr --route knn --body '{"ids":[0],"k":5}'
 //! coane-cli query --addr-file server.addr --route shutdown
+//!
+//! # 5a. load mode: N keep-alive clients hammer one route concurrently and a
+//! #     JSON summary (qps, ok/shed/failed counts) lands on stdout. Shed
+//! #     requests (HTTP 429) are counted, not fatal — the server is
+//! #     load-shedding, not broken.
+//! coane-cli query --addr-file server.addr --route knn \
+//!                 --body '{"ids":[0],"k":5}' --concurrency 8 --repeat 50
 //! ```
 //!
 //! Output discipline: stdout carries only *results* (evaluation scores);
@@ -49,8 +56,8 @@
 //!
 //! Failures map to stable exit codes by error kind: 2 = invalid
 //! configuration/usage, 3 = I/O, 4 = parse, 5 = graph structure,
-//! 6 = numeric, 7 = checkpoint, 8 = embedding store (see
-//! `CoaneError::exit_code`).
+//! 6 = numeric, 7 = checkpoint, 8 = embedding store, 9 = server busy
+//! (load shed — retry later) (see `CoaneError::exit_code`).
 //!
 //! (Link prediction needs the split to happen *before* embedding; use the
 //! `exp_linkpred` harness binary or the library API for that protocol.)
@@ -505,10 +512,23 @@ fn cmd_serve(cli: &Cli) -> Result<(), CoaneError> {
         limits,
         obs.clone(),
     )?);
+    let defaults = coane::serve::ServerConfig::default();
     let server_config = coane::serve::ServerConfig {
         addr: cli.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         threads: cli.num("http-threads", 4),
         addr_file: cli.get("addr-file").map(std::path::PathBuf::from),
+        // Keep-alive idle timeout and slow-request deadline in seconds,
+        // micro-batch coalescing window in milliseconds (0 disables the
+        // linger; answers are bit-identical for any window).
+        keep_alive_timeout: std::time::Duration::from_secs_f64(
+            cli.num("keep-alive-timeout", defaults.keep_alive_timeout.as_secs_f64()),
+        ),
+        read_deadline: std::time::Duration::from_secs_f64(
+            cli.num("read-deadline", defaults.read_deadline.as_secs_f64()),
+        ),
+        batch_window: std::time::Duration::from_secs_f64(
+            cli.num("batch-window", defaults.batch_window.as_secs_f64() * 1e3) / 1e3,
+        ),
     };
     let server = coane::serve::HttpServer::bind(engine, server_config)?;
     log.info(format!("listening on {}", server.local_addr()));
@@ -523,15 +543,40 @@ fn cmd_serve(cli: &Cli) -> Result<(), CoaneError> {
     Ok(())
 }
 
+/// Waits for the addr-file rendezvous: the server writes its bound address
+/// after binding, so a script can start both sides without racing. Polls
+/// until the file holds an address or the deadline passes (typed error —
+/// the caller's CI step fails fast instead of hanging).
+fn wait_for_addr_file(path: &str, timeout: std::time::Duration) -> Result<String, CoaneError> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return Ok(addr.to_string());
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(CoaneError::config(format!(
+                "server address file {path} did not appear within {:.1}s — is the server up?",
+                timeout.as_secs_f64()
+            )));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
 /// Sends one JSON request to a running server and prints the response body
-/// (the result) to stdout.
+/// (the result) to stdout. With `--concurrency`, switches to load mode:
+/// N keep-alive clients send the same request `--repeat` times each and a
+/// summary JSON (qps, ok/shed/failed) is printed instead.
 fn cmd_query(cli: &Cli) -> Result<(), CoaneError> {
     let addr = match (cli.get("addr"), cli.get("addr-file")) {
         (Some(addr), _) => addr.to_string(),
-        (None, Some(path)) => std::fs::read_to_string(path)
-            .map_err(|e| CoaneError::io(Path::new(path), e))?
-            .trim()
-            .to_string(),
+        (None, Some(path)) => {
+            let timeout = std::time::Duration::from_secs_f64(cli.num("addr-timeout", 10.0));
+            wait_for_addr_file(path, timeout)?
+        }
         (None, None) => return Err(CoaneError::config("need --addr or --addr-file")),
     };
     let route = cli.req("route")?;
@@ -541,11 +586,75 @@ fn cmd_query(cli: &Cli) -> Result<(), CoaneError> {
         _ => "POST",
     };
     let body = cli.get("body").unwrap_or("");
+    if let Some(concurrency) = cli.get("concurrency") {
+        let concurrency: usize = concurrency
+            .parse()
+            .map_err(|e| CoaneError::config(format!("bad --concurrency: {e}")))?;
+        let repeat: usize = cli.num("repeat", 1);
+        return query_load(&addr, method, &path, body, concurrency.max(1), repeat.max(1));
+    }
     let (status, response) = coane::serve::http_request(&addr, method, &path, body)?;
+    if status == 429 {
+        eprintln!("{response}");
+        return Err(CoaneError::busy(format!("server shed the request to {path}"), 1));
+    }
     if !(200..300).contains(&status) {
         eprintln!("{response}");
         return Err(CoaneError::config(format!("server returned HTTP {status} for {path}")));
     }
     println!("{response}");
+    Ok(())
+}
+
+/// Load mode: `concurrency` threads, each with one persistent keep-alive
+/// [`coane::serve::HttpClient`], each sending `repeat` identical requests.
+/// Shed responses (429) count separately from failures — under deliberate
+/// overload they are the server working as designed. The summary JSON goes
+/// to stdout; a transport-level failure makes the command fail.
+fn query_load(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    concurrency: usize,
+    repeat: usize,
+) -> Result<(), CoaneError> {
+    let started = std::time::Instant::now();
+    let workers: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let (addr, method, path, body) =
+                (addr.to_string(), method.to_string(), path.to_string(), body.to_string());
+            std::thread::spawn(move || {
+                let mut client = coane::serve::HttpClient::new(addr);
+                let (mut ok, mut shed, mut failed) = (0u64, 0u64, 0u64);
+                for _ in 0..repeat {
+                    match client.request(&method, &path, &body) {
+                        Ok((status, _)) if (200..300).contains(&status) => ok += 1,
+                        Ok((429, _)) => shed += 1,
+                        Ok(_) | Err(_) => failed += 1,
+                    }
+                }
+                (ok, shed, failed)
+            })
+        })
+        .collect();
+    let (mut ok, mut shed, mut failed) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (o, s, f) = w.join().map_err(|_| CoaneError::config("load worker panicked"))?;
+        ok += o;
+        shed += s;
+        failed += f;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = (concurrency * repeat) as u64;
+    println!(
+        "{{\"concurrency\":{concurrency},\"repeat\":{repeat},\"total\":{total},\"ok\":{ok},\"shed\":{shed},\"failed\":{failed},\"elapsed_secs\":{elapsed:.4},\"qps\":{:.1}}}",
+        total as f64 / elapsed.max(1e-9)
+    );
+    if failed > 0 {
+        return Err(CoaneError::config(format!(
+            "{failed} of {total} requests failed outright (ok {ok}, shed {shed})"
+        )));
+    }
     Ok(())
 }

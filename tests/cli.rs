@@ -359,25 +359,23 @@ fn serve_workflow_through_the_binary() {
     assert!(out.stdout.is_empty(), "export-store wrote to stdout");
     assert!(store.exists());
 
-    // serve in the background; the addr file is the rendezvous.
+    // serve in the background; the addr file is the rendezvous, and the
+    // query tool itself waits for it (no poll loop here). The connection
+    // knobs parse through the binary.
     let server = cli()
         .args(["serve", "--store", store.to_str().unwrap()])
         .args(["--model", model.to_str().unwrap(), "--graph", graph.to_str().unwrap()])
         .args(["--addr", "127.0.0.1:0", "--addr-file", addr_file.to_str().unwrap()])
+        .args(["--keep-alive-timeout", "5", "--read-deadline", "10", "--batch-window", "0"])
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::piped())
         .spawn()
         .unwrap();
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
-    while !addr_file.exists() {
-        assert!(std::time::Instant::now() < deadline, "server never wrote the addr file");
-        std::thread::sleep(std::time::Duration::from_millis(50));
-    }
-    let addr = std::fs::read_to_string(&addr_file).unwrap().trim().to_string();
 
     let query = |route: &str, body: Option<&str>| {
         let mut c = cli();
-        c.args(["query", "--addr", &addr, "--route", route]);
+        c.args(["query", "--addr-file", addr_file.to_str().unwrap(), "--addr-timeout", "60"]);
+        c.args(["--route", route]);
         if let Some(b) = body {
             c.args(["--body", b]);
         }
@@ -410,6 +408,19 @@ fn serve_workflow_through_the_binary() {
     assert_eq!(out.status.code(), Some(2), "bad query should exit 2");
     assert!(out.stdout.is_empty(), "failed query must not write stdout");
 
+    // Load mode: N concurrent keep-alive clients, one summary JSON line.
+    let out = cli()
+        .args(["query", "--addr-file", addr_file.to_str().unwrap(), "--addr-timeout", "60"])
+        .args(["--route", "knn", "--body", r#"{"ids":[0],"k":3}"#])
+        .args(["--concurrency", "2", "--repeat", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "load mode failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1, "load mode stdout must be one JSON document");
+    assert!(stdout.contains("\"total\":8"), "unexpected load summary: {stdout}");
+    assert!(stdout.contains("\"failed\":0"), "load run had failures: {stdout}");
+
     // shutdown; server exits cleanly with a pipe-clean stdout.
     let out = query("shutdown", None);
     assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
@@ -420,6 +431,26 @@ fn serve_workflow_through_the_binary() {
         String::from_utf8_lossy(&server_out.stderr).contains("listening on"),
         "serve progress belongs on stderr"
     );
+}
+
+/// A query against an addr-file that never appears must fail with a typed
+/// config error at the deadline — not poll forever.
+#[test]
+fn query_addr_file_rendezvous_times_out_with_typed_error() {
+    let dir = tmpdir().join("no_server");
+    std::fs::create_dir_all(&dir).unwrap();
+    let missing = dir.join("never.addr");
+    let started = std::time::Instant::now();
+    let out = cli()
+        .args(["query", "--addr-file", missing.to_str().unwrap(), "--addr-timeout", "0.3"])
+        .args(["--route", "healthz"])
+        .output()
+        .unwrap();
+    assert!(started.elapsed() < std::time::Duration::from_secs(10), "timeout did not bound wait");
+    assert_eq!(out.status.code(), Some(2), "missing addr file should be a config error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did not appear"), "unexpected stderr: {stderr}");
+    assert!(out.stdout.is_empty(), "failed query must not write stdout");
 }
 
 /// Store-format failures through the binary: exit code 8 and a typed
