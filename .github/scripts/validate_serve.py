@@ -2,9 +2,10 @@
 """Validates serving-path artifacts captured by CI.
 
 Usage:
-  validate_serve.py <dir>            # route-response schemas (integration step)
-  validate_serve.py --load <dir>     # concurrent load summary + shed stats
-  validate_serve.py --bench <file>   # BENCH_serve.json concurrency sweep
+  validate_serve.py <dir>              # route-response schemas (integration step)
+  validate_serve.py --load <dir>       # concurrent load summary + shed stats
+  validate_serve.py --bench <file>     # BENCH_serve.json concurrency sweep
+  validate_serve.py --mutations <dir>  # mutation soak: kill -9 recovery + replay equality
 
 Default mode expects one response per route saved into <dir>: healthz.json,
 knn.json, links.json, encode.json, stats.json. Each file must parse as JSON
@@ -20,6 +21,18 @@ and the server must have recorded the shed decisions it made.
 concurrency sweep with strictly increasing connection counts, finite positive
 throughput/latency, and a batched speedup >= 2x over the per-request baseline
 that is arithmetically consistent with the recorded points.
+
+--mutations expects the artifacts of the CI mutation soak: acks.jsonl (one
+upsert/delete response per acked mutation), health_before.json (just before
+the SIGKILL) and health_after.json (after restarting on the same data dir),
+knn_recovered.json / knn_replayed.json (the same exact-kNN query against the
+crash-recovered server and against a fresh server that replayed the identical
+mutation stream), stats_mut.json (recovered server, after compaction settled)
+and stats_replay.json (replay server). It enforces the determinism contract:
+ack seqs dense from 1, the recovered seq equals the acked prefix, the settled
+generation arithmetic holds (generation = seq div compact_every), and the
+recovered and replayed kNN answers match exactly — the generation stamp is the
+one field allowed to differ, since a crash may land before or after a fold.
 """
 
 import json
@@ -141,11 +154,82 @@ def validate_bench(path: str) -> None:
     print(f"{path} OK: {speedup:.2f}x batched speedup over {conc['baseline_qps']:.0f} qps baseline")
 
 
+def validate_mutations(d: str) -> None:
+    acks = []
+    with open(f"{d}/acks.jsonl") as f:
+        for line in f:
+            if line.strip():
+                acks.append(json.loads(line))
+    assert acks, "no mutation acks captured"
+    upserts = deletes = 0
+    for i, ack in enumerate(acks):
+        assert ack["seq"] == i + 1, f"ack {i}: seq {ack['seq']} breaks dense numbering from 1"
+        assert isinstance(ack["generation"], int) and ack["generation"] >= 0, f"ack {i}: {ack}"
+        if "applied" in ack:
+            assert ack["applied"] >= 1, f"ack {i} applied nothing: {ack}"
+            upserts += ack["applied"]
+        else:
+            assert ack["deleted"] >= 1, f"ack {i} deleted nothing: {ack}"
+            deletes += ack["deleted"]
+    n = len(acks)
+
+    before = load(f"{d}/health_before.json")
+    after = load(f"{d}/health_after.json")
+    for name, h in (("before kill", before), ("after restart", after)):
+        assert h["status"] == "ok" and h["mutable"] is True, f"health {name}: {h}"
+    assert before["seq"] == n, f"acked {n} mutations but pre-kill seq is {before['seq']}"
+    assert after["seq"] == n, (
+        f"kill -9 recovery broke the acked-prefix contract: acked {n}, recovered {after['seq']}"
+    )
+    assert after["nodes"] == before["nodes"], (
+        f"live row count changed across crash recovery: {before['nodes']} -> {after['nodes']}"
+    )
+
+    recovered = load(f"{d}/knn_recovered.json")
+    replayed = load(f"{d}/knn_replayed.json")
+    # A crash can land before or after a background fold, so the physical
+    # generation the recovered server boots on is the one thing allowed to
+    # differ from a fresh replay. Everything observable — the seq stamp and
+    # the exact scores — must match bit for bit across the two layouts.
+    for resp in (recovered, replayed):
+        assert isinstance(resp.pop("generation"), int), f"knn response lost its stamp: {resp}"
+    assert recovered["seq"] == n, f"recovered kNN stamped seq {recovered['seq']}, expected {n}"
+    assert recovered == replayed, (
+        f"replay inequality:\n recovered: {recovered}\n  replayed: {replayed}"
+    )
+
+    stats = load(f"{d}/stats_mut.json")
+    store = stats["store"]
+    assert store["mutable"] is True and store["seq"] == n, f"recovered store stats: {store}"
+    ce = store["compact_every"]
+    assert ce >= 1, f"bad compact_every: {store}"
+    assert store["generation"] == n // ce and store["pending"] == n % ce, (
+        f"settled state must be generation {n // ce} + {n % ce} pending: {store}"
+    )
+    assert store["generation"] >= 1, "soak never compacted — raise the mutation count"
+    assert store["live_rows"] == after["nodes"], f"stats/healthz row disagreement: {store}"
+
+    replay_stats = load(f"{d}/stats_replay.json")
+    counters = replay_stats["counters"]
+    assert counters.get("serve/mut/upserts", 0) == upserts, f"upserts uncounted: {counters}"
+    assert counters.get("serve/mut/deletes", 0) == deletes, f"deletes uncounted: {counters}"
+    assert counters.get("serve/mut/batches", 0) >= n, f"mutation admissions uncounted: {counters}"
+    for route in ("upsert", "delete"):
+        check_histogram(replay_stats["histograms"], f"serve/http/{route}")
+
+    print(
+        f"{d} OK: {n} mutations ({upserts} upserts / {deletes} deletes) acked, "
+        f"kill -9 recovered seq {n} on generation {store['generation']}, replay answers identical"
+    )
+
+
 def main() -> None:
     if sys.argv[1] == "--load":
         validate_load(sys.argv[2])
     elif sys.argv[1] == "--bench":
         validate_bench(sys.argv[2])
+    elif sys.argv[1] == "--mutations":
+        validate_mutations(sys.argv[2])
     else:
         validate_routes(sys.argv[1])
 

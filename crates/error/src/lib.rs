@@ -21,6 +21,7 @@
 //! | [`CoaneError::Checkpoint`] | 7 | unusable training checkpoint |
 //! | [`CoaneError::Store`]      | 8 | unusable embedding-store file |
 //! | [`CoaneError::Busy`]       | 9 | server overloaded, retry later |
+//! | [`CoaneError::MutLog`]     | 10 | unusable mutation log / generation state |
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -90,6 +91,18 @@ pub enum CoaneError {
         /// Suggested client back-off, surfaced as HTTP `Retry-After`.
         retry_after_secs: u32,
     },
+    /// Unusable live-mutation state: a write-ahead mutation log with a bad
+    /// magic/version/header, an unreadable `CURRENT` generation marker, or a
+    /// generation directory with no loadable generation left to fall back
+    /// to. Distinct from [`CoaneError::Store`] (one store *file* is bad) —
+    /// this means the mutation subsystem as a whole cannot recover a
+    /// consistent state.
+    MutLog {
+        /// The log / marker file involved, when known.
+        path: Option<PathBuf>,
+        /// Why the mutation state was rejected.
+        message: String,
+    },
 }
 
 impl CoaneError {
@@ -142,6 +155,11 @@ impl CoaneError {
         Self::Busy { message: message.into(), retry_after_secs }
     }
 
+    /// Unusable-mutation-state error.
+    pub fn mutlog(path: impl AsRef<Path>, message: impl Into<String>) -> Self {
+        Self::MutLog { path: Some(path.as_ref().to_path_buf()), message: message.into() }
+    }
+
     /// Attaches (or replaces) file/line context on a [`CoaneError::Parse`];
     /// other variants pass through unchanged. Lets low-level row parsers
     /// report positions and file-level callers fill in the path.
@@ -175,6 +193,7 @@ impl CoaneError {
             Self::Checkpoint { .. } => 7,
             Self::Store { .. } => 8,
             Self::Busy { .. } => 9,
+            Self::MutLog { .. } => 10,
         }
     }
 
@@ -189,6 +208,7 @@ impl CoaneError {
             Self::Checkpoint { .. } => "checkpoint",
             Self::Store { .. } => "store",
             Self::Busy { .. } => "busy",
+            Self::MutLog { .. } => "mutlog",
         }
     }
 }
@@ -224,6 +244,10 @@ impl fmt::Display for CoaneError {
             Self::Busy { message, retry_after_secs } => {
                 write!(f, "server busy: {message} (retry after {retry_after_secs}s)")
             }
+            Self::MutLog { path: Some(p), message } => {
+                write!(f, "mutation-log error ({}): {message}", p.display())
+            }
+            Self::MutLog { path: None, message } => write!(f, "mutation-log error: {message}"),
         }
     }
 }
@@ -258,9 +282,10 @@ mod tests {
             CoaneError::checkpoint("/c", "x"),
             CoaneError::store("/s", "x"),
             CoaneError::busy("queue full", 1),
+            CoaneError::mutlog("/w", "x"),
         ];
         let codes: Vec<u8> = errors.iter().map(CoaneError::exit_code).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 7, 8, 9, 10]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();

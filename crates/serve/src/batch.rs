@@ -35,9 +35,11 @@ use coane_error::{CoaneError, CoaneResult};
 use coane_nn::Scorer;
 
 use crate::engine::{KnnAnswer, KnnParams, KnnTarget, QueryEngine};
+use crate::generation::ViewStamp;
 
-/// Reply channel handing one kNN job its answers.
-type KnnReply = SyncSender<CoaneResult<Vec<KnnAnswer>>>;
+/// Reply channel handing one kNN job its answers plus the stamp of the
+/// generation view the round ran against.
+type KnnReply = SyncSender<CoaneResult<(Vec<KnnAnswer>, ViewStamp)>>;
 /// Reply channel handing one link-scoring job its scores.
 type LinksReply = SyncSender<CoaneResult<Vec<f64>>>;
 /// A drained link-scoring job: `(pairs, scorer, reply)`.
@@ -106,13 +108,14 @@ impl MicroBatcher {
         self.shared.arrived.notify_one();
     }
 
-    /// Submits one kNN request body and blocks until its answers are ready.
-    /// Callers hold their admission [`crate::Permit`] across this call.
+    /// Submits one kNN request body and blocks until its answers (and the
+    /// stamp of the view they were computed against) are ready. Callers
+    /// hold their admission [`crate::Permit`] across this call.
     pub fn submit_knn(
         &self,
         queries: Vec<KnnTarget>,
         params: KnnParams,
-    ) -> CoaneResult<Vec<KnnAnswer>> {
+    ) -> CoaneResult<(Vec<KnnAnswer>, ViewStamp)> {
         let (reply, rx) = mpsc::sync_channel(1);
         self.enqueue(Job::Knn { queries, params, reply })?;
         rx.recv().map_err(|_| CoaneError::config("server is shutting down"))?
@@ -194,9 +197,9 @@ fn execute_round(engine: &QueryEngine, round: VecDeque<Job>) {
             done[j] = true;
         }
         let jobs: Vec<&[KnnTarget]> = members.iter().map(|&j| knn[j].0.as_slice()).collect();
-        let results = engine.knn_multi(&jobs, params);
+        let (results, stamp) = engine.knn_multi(&jobs, params);
         for (&j, result) in members.iter().zip(results) {
-            let _ = knn[j].2.send(result);
+            let _ = knn[j].2.send(result.map(|answers| (answers, stamp)));
         }
     }
     let mut done = vec![false; links.len()];

@@ -1,8 +1,8 @@
-//! The query engine: typed request execution over an [`EmbeddingStore`] +
-//! [`HnswIndex`], with bounded batching on the workspace pool and
-//! per-query-class telemetry.
+//! The query engine: typed request execution over generation-managed
+//! [`EmbeddingStore`] + [`HnswIndex`] snapshots, with bounded batching on
+//! the workspace pool and per-query-class telemetry.
 //!
-//! Three query classes (mirroring the HTTP routes):
+//! Four query classes (mirroring the HTTP routes):
 //!
 //! - **kNN** ([`QueryEngine::knn`]): approximate (HNSW) or exact
 //!   (brute-force) retrieval for a batch of queries, each given by a stored
@@ -16,6 +16,20 @@
 //!   ([`coane_core::inductive::embed_nodes_obs`] →
 //!   `CoaneModel::encode_nograd`), given their attributes and their edges
 //!   into the serving graph.
+//! - **Mutation** ([`QueryEngine::upsert`] / [`QueryEngine::delete`]): live
+//!   writes through the crash-safe generation layer
+//!   ([`crate::generation`]). Upserts take a raw vector or an attributed
+//!   node (encoded through the same inductive path, then logged as the
+//!   resulting vector so replay needs no model); deletes tombstone ids
+//!   until compaction reclaims them.
+//!
+//! ## Generations
+//!
+//! Every read path pins one [`GenerationView`] for its whole pass: the
+//! store, index, exact index, and tombstone mask it works against cannot
+//! change underneath it, and `/knn` never blocks on a mutation or a
+//! compaction swap. kNN answers carry the pinned view's [`ViewStamp`] so a
+//! client can tell which state produced them.
 //!
 //! ## Batching and backpressure
 //!
@@ -26,17 +40,17 @@
 //! [`Gate`] with two entry styles:
 //!
 //! - The public [`QueryEngine::knn`] / [`QueryEngine::score_links`] /
-//!   [`QueryEngine::encode_unseen`] convenience methods *block* while
-//!   `queue_cap` batches are in flight (library callers lean on that
-//!   backpressure).
+//!   [`QueryEngine::encode_unseen`] / [`QueryEngine::upsert`] /
+//!   [`QueryEngine::delete`] convenience methods *block* while `queue_cap`
+//!   batches are in flight (library callers lean on that backpressure).
 //! - [`QueryEngine::try_admit`] is the load-shedding entry the HTTP layer
 //!   uses: it never blocks, and each [`QueryClass`] saturates at its own
 //!   fraction of `queue_cap` (kNN fills the whole queue, link scoring 3/4,
-//!   inductive encoding 1/2) so cheap retrieval stays live while expensive
-//!   work is shed first. A saturated class gets a typed
-//!   [`CoaneError::Busy`] (HTTP 429 + `Retry-After`) and bumps the
-//!   `serve/shed` counter. Current depth is exported as the
-//!   `serve/queue_depth` gauge either way.
+//!   inductive encoding and mutations 1/2) so cheap retrieval stays live
+//!   while expensive work — and any write flood — is shed first. A
+//!   saturated class gets a typed [`CoaneError::Busy`] (HTTP 429 +
+//!   `Retry-After`) and bumps the `serve/shed` counter. Current depth is
+//!   exported as the `serve/queue_depth` gauge either way.
 //!
 //! ## Cross-request coalescing
 //!
@@ -51,12 +65,14 @@
 //! every score is a pure function of its (query, store row) pair and result
 //! order is per-job, so a job's answers are bit-identical whether it runs
 //! alone or coalesced with any other jobs, at any thread count (locked by
-//! `tests/keepalive.rs`).
+//! `tests/keepalive.rs`). The whole round runs against one pinned view and
+//! reports that view's stamp.
 //!
 //! Every query class times itself under a `serve/<class>` scope and counts
 //! requests/batches, so `/stats` can report per-class QPS.
 
-use std::sync::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
 
 use coane_core::{embed_nodes_obs, CoaneConfig, CoaneModel};
 use coane_error::{CoaneError, CoaneResult};
@@ -64,7 +80,11 @@ use coane_graph::{AttributedGraph, GraphBuilder, NodeAttributes};
 use coane_nn::{pool, Scorer};
 use coane_obs::Obs;
 
-use crate::hnsw::{ExactIndex, Hit, HnswIndex};
+use crate::generation::{
+    GenerationManager, GenerationView, MutationConfig, MutationStats, RecoveryReport, ViewStamp,
+};
+use crate::hnsw::{Hit, HnswIndex};
+use crate::mutlog::MutOp;
 use crate::store::EmbeddingStore;
 
 /// Bounds on batch admission (see module docs).
@@ -108,15 +128,15 @@ pub struct KnnParams {
 
 /// One kNN answer: neighbor external ids with similarity scores, most
 /// similar first. When the query was a stored id, that node itself is
-/// filtered out of its own neighbor list.
+/// filtered out of its own neighbor list; tombstoned nodes never appear.
 #[derive(Clone, Debug, PartialEq)]
 pub struct KnnAnswer {
     /// Neighbors as `(external id, score)`, score descending.
     pub neighbors: Vec<(u64, f32)>,
 }
 
-/// One job's queries resolved against the store: `(vector, row to exclude
-/// from its own neighbor list)` per query.
+/// One job's queries resolved against the pinned view: `(vector, row to
+/// exclude from its own neighbor list)` per query.
 type ResolvedJob<'a> = Vec<(&'a [f32], Option<u32>)>;
 
 /// An unseen node to encode: attributes (sparse) plus edges into the
@@ -142,6 +162,34 @@ pub struct InductiveContext {
     pub graph: AttributedGraph,
 }
 
+/// How one upserted node's vector is produced.
+#[derive(Clone, Debug)]
+pub enum UpsertSource {
+    /// A caller-supplied embedding-space vector (store dimension).
+    Vector(Vec<f32>),
+    /// An attributed node encoded through the inductive path; the
+    /// *resulting* vector is what gets logged and stored.
+    Node(UnseenNode),
+}
+
+/// One node of an upsert batch.
+#[derive(Clone, Debug)]
+pub struct UpsertItem {
+    /// External node id to insert, overwrite, or revive.
+    pub id: u64,
+    /// Where its vector comes from.
+    pub source: UpsertSource,
+}
+
+/// Acknowledgement of an applied (and durably logged) mutation batch.
+#[derive(Clone, Copy, Debug)]
+pub struct MutationAck {
+    /// Operations applied (the whole batch, or none on error).
+    pub applied: usize,
+    /// Stamp of the resulting view.
+    pub stamp: ViewStamp,
+}
+
 /// Priority class of a request for admission control: each class saturates
 /// at its own fraction of `queue_cap` under [`QueryEngine::try_admit`], so
 /// cheap high-priority retrieval keeps slots that expensive low-priority
@@ -155,6 +203,9 @@ pub enum QueryClass {
     /// Inductive encoding (walk sampling + a model forward per request) —
     /// lowest priority, sheds once the queue is half full.
     Encode,
+    /// Upserts and deletes — shed once the queue is half full, like
+    /// encoding, so a write flood cannot starve kNN reads.
+    Mutate,
 }
 
 impl QueryClass {
@@ -163,7 +214,7 @@ impl QueryClass {
         match self {
             Self::Knn => cap,
             Self::Links => (cap * 3 / 4).max(1),
-            Self::Encode => (cap / 2).max(1),
+            Self::Encode | Self::Mutate => (cap / 2).max(1),
         }
     }
 
@@ -173,6 +224,7 @@ impl QueryClass {
             Self::Knn => "serve/knn/batches",
             Self::Links => "serve/links/batches",
             Self::Encode => "serve/encode/batches",
+            Self::Mutate => "serve/mut/batches",
         }
     }
 
@@ -182,6 +234,7 @@ impl QueryClass {
             Self::Knn => "knn",
             Self::Links => "links",
             Self::Encode => "encode",
+            Self::Mutate => "mutate",
         }
     }
 }
@@ -247,18 +300,22 @@ impl Drop for Permit<'_> {
 /// The serving query engine. Cheap to share behind an `Arc`; all methods
 /// take `&self` and are safe to call from many threads at once.
 pub struct QueryEngine {
-    store: EmbeddingStore,
-    index: HnswIndex,
-    exact: ExactIndex,
+    views: GenerationManager,
     inductive: Option<InductiveContext>,
+    /// Boot-time map from external id to serving-graph row. The graph
+    /// never mutates (upserted nodes join the *store*, not the walk
+    /// graph), so inductive edge endpoints resolve against the seed ids
+    /// regardless of how the store has changed since.
+    graph_rows: HashMap<u64, u32>,
     limits: EngineLimits,
     gate: Gate,
     obs: Obs,
 }
 
 impl QueryEngine {
-    /// Assembles an engine. `inductive` enables [`QueryEngine::encode_unseen`];
-    /// without it the engine serves kNN and link scoring only.
+    /// Assembles a read-only engine (single frozen generation). `inductive`
+    /// enables [`QueryEngine::encode_unseen`]; without it the engine serves
+    /// kNN and link scoring only.
     pub fn new(
         store: EmbeddingStore,
         index: HnswIndex,
@@ -266,35 +323,83 @@ impl QueryEngine {
         limits: EngineLimits,
         obs: Obs,
     ) -> CoaneResult<Self> {
-        if let Some(ctx) = &inductive {
-            if ctx.graph.num_nodes() != store.len() {
-                return Err(CoaneError::config(format!(
-                    "serving graph has {} nodes but the store holds {} vectors",
-                    ctx.graph.num_nodes(),
-                    store.len()
-                )));
-            }
+        let graph_rows = Self::check_inductive(&inductive, &store)?;
+        let views = GenerationManager::new_static(store, index, obs.clone());
+        Ok(Self { views, inductive, graph_rows, limits, gate: Gate::new(limits.queue_cap), obs })
+    }
+
+    /// Assembles a mutable engine over a generation directory: on first
+    /// boot the seed store/index become generation 0; otherwise the
+    /// directory's current generation is recovered (replaying its mutation
+    /// log, falling back one generation when the current is damaged) and
+    /// the seed state is ignored. The returned report says what happened.
+    pub fn new_mutable(
+        store: EmbeddingStore,
+        index: HnswIndex,
+        inductive: Option<InductiveContext>,
+        limits: EngineLimits,
+        obs: Obs,
+        mutation: MutationConfig,
+    ) -> CoaneResult<(Self, RecoveryReport)> {
+        let graph_rows = Self::check_inductive(&inductive, &store)?;
+        let (views, report) = GenerationManager::open(store, index, mutation, obs.clone())?;
+        let engine =
+            Self { views, inductive, graph_rows, limits, gate: Gate::new(limits.queue_cap), obs };
+        Ok((engine, report))
+    }
+
+    /// Validates the inductive context against the *seed* store and builds
+    /// the boot-time id → graph-row map.
+    fn check_inductive(
+        inductive: &Option<InductiveContext>,
+        store: &EmbeddingStore,
+    ) -> CoaneResult<HashMap<u64, u32>> {
+        let Some(ctx) = inductive else { return Ok(HashMap::new()) };
+        if ctx.graph.num_nodes() != store.len() {
+            return Err(CoaneError::config(format!(
+                "serving graph has {} nodes but the store holds {} vectors",
+                ctx.graph.num_nodes(),
+                store.len()
+            )));
         }
-        // Pre-transpose for the batched exact path — doubles the store's
-        // resident size in exchange for coalesced queries sharing one
-        // streaming pass over it (see `ExactIndex`).
-        let exact = ExactIndex::build(&store);
-        Ok(Self { store, index, exact, inductive, limits, gate: Gate::new(limits.queue_cap), obs })
+        Ok(store.ids().iter().enumerate().map(|(row, &id)| (id, row as u32)).collect())
     }
 
-    /// The embedding store this engine serves.
-    pub fn store(&self) -> &EmbeddingStore {
-        &self.store
+    /// The current generation view (pinned: later mutations don't affect
+    /// it). Every multi-query entry point pins exactly one.
+    pub fn view(&self) -> Arc<GenerationView> {
+        self.views.current()
     }
 
-    /// The ANN index this engine serves.
-    pub fn index(&self) -> &HnswIndex {
-        &self.index
+    /// The embedding store of the current view.
+    pub fn store(&self) -> Arc<EmbeddingStore> {
+        Arc::clone(self.views.current().store())
+    }
+
+    /// The ANN index of the current view.
+    pub fn index(&self) -> Arc<HnswIndex> {
+        Arc::clone(self.views.current().index())
     }
 
     /// Whether inductive encoding is available.
     pub fn can_encode(&self) -> bool {
         self.inductive.is_some()
+    }
+
+    /// Whether this engine accepts upserts and deletes.
+    pub fn is_mutable(&self) -> bool {
+        self.views.is_mutable()
+    }
+
+    /// Generation / tombstone / log summary for `/stats` and `/healthz`.
+    pub fn mutation_stats(&self) -> MutationStats {
+        self.views.stats()
+    }
+
+    /// Blocks until the background compactor has nothing runnable — test
+    /// and shutdown helper.
+    pub fn wait_compactions(&self) {
+        self.views.wait_idle();
     }
 
     /// The batch/queue bounds this engine admits under.
@@ -359,10 +464,11 @@ impl QueryEngine {
 
     /// Batch kNN. Answers come back in query order; each is the `k` most
     /// similar stored nodes as `(external id, score)`, score descending,
-    /// ties broken by row index. Id queries exclude themselves.
+    /// ties broken by row index. Id queries exclude themselves; tombstoned
+    /// rows are filtered.
     pub fn knn(&self, queries: &[KnnTarget], params: KnnParams) -> CoaneResult<Vec<KnnAnswer>> {
         let _permit = self.admit(queries.len(), QueryClass::Knn)?;
-        self.knn_multi(&[queries], params).pop().expect("one job in, one answer out")
+        self.knn_multi(&[queries], params).0.pop().expect("one job in, one answer out")
     }
 
     /// Validates batch-wide kNN parameters; the message applies to every
@@ -371,34 +477,39 @@ impl QueryEngine {
         if params.k == 0 {
             return Some("k must be positive".to_string());
         }
-        if !params.exact && params.scorer != self.index.scorer() {
+        if !params.exact && params.scorer != self.views.scorer() {
             return Some(format!(
                 "index was built for scorer {:?}; request exact=true to rank by {:?}",
-                self.index.scorer().name(),
+                self.views.scorer().name(),
                 params.scorer.name()
             ));
         }
         None
     }
 
-    /// Resolves one job's queries to (vector, excluded row) pairs; the
-    /// first bad query fails the job.
-    fn resolve_knn_job<'a>(&'a self, queries: &'a [KnnTarget]) -> CoaneResult<ResolvedJob<'a>> {
+    /// Resolves one job's queries to (vector, excluded row) pairs against
+    /// the pinned view; the first bad query fails the job. Tombstoned ids
+    /// read as unknown.
+    fn resolve_knn_job<'a>(
+        view: &'a GenerationView,
+        queries: &'a [KnnTarget],
+    ) -> CoaneResult<ResolvedJob<'a>> {
+        let store = view.store();
         let mut resolved = Vec::with_capacity(queries.len());
         for q in queries {
             match q {
                 KnnTarget::Id(id) => {
-                    let row = self.store.index_of(*id).ok_or_else(|| {
+                    let row = view.resolve_live(*id).ok_or_else(|| {
                         CoaneError::config(format!("unknown node id {id} in knn query"))
                     })?;
-                    resolved.push((self.store.row(row as usize), Some(row)));
+                    resolved.push((store.row(row as usize), Some(row)));
                 }
                 KnnTarget::Vector(v) => {
-                    if v.len() != self.store.dim() {
+                    if v.len() != store.dim() {
                         return Err(CoaneError::config(format!(
                             "query vector has dim {} but the store holds dim {}",
                             v.len(),
-                            self.store.dim()
+                            store.dim()
                         )));
                     }
                     resolved.push((v.as_slice(), None));
@@ -409,14 +520,26 @@ impl QueryEngine {
     }
 
     /// Coalesced kNN: executes several jobs (request bodies) sharing one
-    /// [`KnnParams`] in a single kernel pass and demultiplexes per-job
-    /// answers. Errors isolate per job — an unknown id or bad dimension
-    /// fails only the job that sent it, and the remaining jobs' answers are
+    /// [`KnnParams`] in a single kernel pass against one pinned view and
+    /// demultiplexes per-job answers, returning that view's stamp alongside.
+    /// Errors isolate per job — an unknown id or bad dimension fails only
+    /// the job that sent it, and the remaining jobs' answers are
     /// bit-identical to running each alone (see module docs). Does **not**
     /// admit: callers hold a permit per job ([`QueryEngine::try_admit`]) or
     /// come through [`QueryEngine::knn`].
     pub fn knn_multi(
         &self,
+        jobs: &[&[KnnTarget]],
+        params: KnnParams,
+    ) -> (Vec<CoaneResult<Vec<KnnAnswer>>>, ViewStamp) {
+        let view = self.views.current();
+        let stamp = view.stamp();
+        (self.knn_multi_on(&view, jobs, params), stamp)
+    }
+
+    fn knn_multi_on(
+        &self,
+        view: &GenerationView,
         jobs: &[&[KnnTarget]],
         params: KnnParams,
     ) -> Vec<CoaneResult<Vec<KnnAnswer>>> {
@@ -429,28 +552,30 @@ impl QueryEngine {
         if let Some(msg) = self.knn_params_error(params) {
             return jobs.iter().map(|_| Err(CoaneError::config(msg.clone()))).collect();
         }
+        let store = view.store();
         // Per-job resolution; invalid jobs drop out of the kernel pass.
         let resolved: Vec<CoaneResult<ResolvedJob>> =
-            jobs.iter().map(|job| self.resolve_knn_job(job)).collect();
+            jobs.iter().map(|job| Self::resolve_knn_job(view, job)).collect();
         let flat: Vec<(&[f32], Option<u32>)> =
             resolved.iter().flatten().flatten().copied().collect();
-        // One kernel pass over every valid job's queries. Exact goes
-        // through the pre-transposed matmul with a uniform `k + 1` ask (the
-        // extra covers self-exclusion; taking a prefix of the strict total
-        // order is exclusion-count invariant). Approximate keeps per-query
+        // One kernel pass over every valid job's queries, with a uniform
+        // over-ask of `k + 1 + tombstones` (the extras cover self-exclusion
+        // plus worst-case tombstone filtering; taking a prefix of the
+        // strict total order is exclusion-count invariant). Exact goes
+        // through the pre-transposed matmul; approximate keeps per-query
         // HNSW searches — each is a pure function of (graph, query), so
         // result bytes are batch-invariant either way.
+        let want = params.k + 1 + view.tombstones();
         let hits: Vec<Vec<Hit>> = if params.exact {
             let refs: Vec<&[f32]> = flat.iter().map(|&(v, _)| v).collect();
-            self.exact.knn(&self.store, &refs, params.k + 1, params.scorer)
+            view.exact().knn(store, &refs, want, params.scorer)
         } else {
             pool::parallel_map(flat.len(), |i| {
-                let (vec, exclude) = flat[i];
-                let want = params.k + usize::from(exclude.is_some());
-                self.index.knn(&self.store, vec, want)
+                let (vec, _) = flat[i];
+                view.index().knn(store, vec, want)
             })
         };
-        // Demultiplex in job order.
+        // Demultiplex in job order, filtering tombstones and self-hits.
         let mut cursor = hits.into_iter();
         resolved
             .into_iter()
@@ -463,9 +588,11 @@ impl QueryEngine {
                                 .next()
                                 .expect("one hit list per resolved query")
                                 .into_iter()
-                                .filter(|h| Some(h.index) != exclude)
+                                .filter(|h| {
+                                    Some(h.index) != exclude && !view.is_dead(h.index as usize)
+                                })
                                 .take(params.k)
-                                .map(|h| (self.store.id_of(h.index as usize), h.score))
+                                .map(|h| (store.id_of(h.index as usize), h.score))
                                 .collect();
                             KnnAnswer { neighbors }
                         })
@@ -485,10 +612,10 @@ impl QueryEngine {
     }
 
     /// Coalesced link scoring: several jobs scored in one
-    /// [`coane_eval::linkpred::edge_scores`] pass (per-pair scores are pure
-    /// functions of the pair, so concatenation is score-invariant), with
-    /// per-job error isolation. Does **not** admit — see
-    /// [`QueryEngine::knn_multi`].
+    /// [`coane_eval::linkpred::edge_scores`] pass against one pinned view
+    /// (per-pair scores are pure functions of the pair, so concatenation is
+    /// score-invariant), with per-job error isolation. Does **not** admit —
+    /// see [`QueryEngine::knn_multi`].
     pub fn score_links_multi(
         &self,
         jobs: &[&[(u64, u64)]],
@@ -500,24 +627,26 @@ impl QueryEngine {
         if jobs.len() > 1 {
             self.obs.add("serve/links/coalesced", jobs.len() as u64);
         }
-        let resolved: Vec<CoaneResult<Vec<(u32, u32)>>> =
-            jobs.iter()
-                .map(|job| {
-                    job.iter()
-                        .map(|&(u, v)| {
-                            let ru = self.store.index_of(u).ok_or_else(|| {
-                                CoaneError::config(format!("unknown node id {u}"))
-                            })?;
-                            let rv = self.store.index_of(v).ok_or_else(|| {
-                                CoaneError::config(format!("unknown node id {v}"))
-                            })?;
-                            Ok((ru, rv))
-                        })
-                        .collect()
-                })
-                .collect();
+        let view = self.views.current();
+        let resolved: Vec<CoaneResult<Vec<(u32, u32)>>> = jobs
+            .iter()
+            .map(|job| {
+                job.iter()
+                    .map(|&(u, v)| {
+                        let ru = view
+                            .resolve_live(u)
+                            .ok_or_else(|| CoaneError::config(format!("unknown node id {u}")))?;
+                        let rv = view
+                            .resolve_live(v)
+                            .ok_or_else(|| CoaneError::config(format!("unknown node id {v}")))?;
+                        Ok((ru, rv))
+                    })
+                    .collect()
+            })
+            .collect();
         let flat: Vec<(u32, u32)> = resolved.iter().flatten().flatten().copied().collect();
-        let scores = coane_eval::edge_scores(self.store.vectors(), self.store.dim(), &flat, scorer);
+        let store = view.store();
+        let scores = coane_eval::edge_scores(store.vectors(), store.dim(), &flat, scorer);
         let mut cursor = scores.into_iter();
         resolved
             .into_iter()
@@ -541,6 +670,12 @@ impl QueryEngine {
     pub fn encode_unseen_admitted(&self, nodes: &[UnseenNode]) -> CoaneResult<Vec<Vec<f32>>> {
         let _scope = self.obs.scope("serve/encode");
         self.obs.add("serve/encode/requests", nodes.len() as u64);
+        self.encode_nodes(nodes)
+    }
+
+    /// The encode kernel, shared by the encode route and attributed
+    /// upserts: no admission, no encode-route telemetry.
+    fn encode_nodes(&self, nodes: &[UnseenNode]) -> CoaneResult<Vec<Vec<f32>>> {
         let ctx = self.inductive.as_ref().ok_or_else(|| {
             CoaneError::config(
                 "this server has no model loaded; restart with --model/--graph to enable encoding",
@@ -572,7 +707,9 @@ impl QueryEngine {
             }
         }
         // Extend the serving graph with every request node at once: base
-        // edges + request edges, base attribute rows + request rows.
+        // edges + request edges, base attribute rows + request rows. Edge
+        // endpoints resolve against the boot-time graph ids — the walk
+        // graph is fixed; upserted store rows are not walkable.
         let mut b = GraphBuilder::new(n + nodes.len(), attr_dim);
         for (u, v, w) in base.edges() {
             b.add_edge(u, v, w);
@@ -587,7 +724,7 @@ impl QueryEngine {
             let new_id = (n + k) as u32;
             for &e in &node.edges {
                 let row =
-                    self.store.index_of(e).filter(|&r| (r as usize) < n).ok_or_else(|| {
+                    self.graph_rows.get(&e).copied().ok_or_else(|| {
                         CoaneError::config(format!("unknown edge endpoint id {e}"))
                     })?;
                 b.add_edge(new_id, row, 1.0);
@@ -600,5 +737,67 @@ impl QueryEngine {
         let new_ids: Vec<u32> = (0..nodes.len()).map(|k| (n + k) as u32).collect();
         let z = embed_nodes_obs(&ctx.model, &ctx.config, &extended, &new_ids, &self.obs);
         Ok((0..z.rows()).map(|r| z.row(r).to_vec()).collect())
+    }
+
+    /// Upserts a batch of nodes: raw vectors go straight to the log,
+    /// attributed nodes are encoded through the inductive path first (the
+    /// resulting vector is logged, so replay never needs the model). The
+    /// batch is atomic and durable once this returns. New ids append store
+    /// rows, known ids overwrite in place, tombstoned ids are revived.
+    pub fn upsert(&self, items: &[UpsertItem]) -> CoaneResult<MutationAck> {
+        let _permit = self.admit(items.len(), QueryClass::Mutate)?;
+        self.upsert_admitted(items)
+    }
+
+    /// [`QueryEngine::upsert`] minus admission, for callers already holding
+    /// a [`Permit`].
+    pub fn upsert_admitted(&self, items: &[UpsertItem]) -> CoaneResult<MutationAck> {
+        // Encode attributed items first, outside the writer lock — encoding
+        // is the expensive part and must not serialize behind it.
+        let attributed: Vec<UnseenNode> = items
+            .iter()
+            .filter_map(|it| match &it.source {
+                UpsertSource::Node(node) => Some(node.clone()),
+                UpsertSource::Vector(_) => None,
+            })
+            .collect();
+        let encoded = if attributed.is_empty() {
+            Vec::new() // vector-only batches work without a loaded model
+        } else {
+            self.encode_nodes(&attributed)?
+        };
+        let mut encoded = encoded.into_iter();
+        let ops: Vec<MutOp> = items
+            .iter()
+            .map(|it| {
+                let vector = match &it.source {
+                    UpsertSource::Vector(v) => v.clone(),
+                    UpsertSource::Node(_) => encoded.next().expect("one vector per encoded node"),
+                };
+                MutOp::Upsert { id: it.id, vector }
+            })
+            .collect();
+        let stamp = self.views.mutate(ops)?;
+        self.obs.add("serve/mut/upserts", items.len() as u64);
+        Ok(MutationAck { applied: items.len(), stamp })
+    }
+
+    /// Tombstones a batch of live ids: they vanish from kNN and link
+    /// scoring immediately and their rows are reclaimed at the next
+    /// compaction. Atomic and durable once this returns. Deleting an
+    /// unknown (or already-deleted) id fails the batch, as does emptying
+    /// the store.
+    pub fn delete(&self, ids: &[u64]) -> CoaneResult<MutationAck> {
+        let _permit = self.admit(ids.len(), QueryClass::Mutate)?;
+        self.delete_admitted(ids)
+    }
+
+    /// [`QueryEngine::delete`] minus admission, for callers already holding
+    /// a [`Permit`].
+    pub fn delete_admitted(&self, ids: &[u64]) -> CoaneResult<MutationAck> {
+        let ops: Vec<MutOp> = ids.iter().map(|&id| MutOp::Delete { id }).collect();
+        let stamp = self.views.mutate(ops)?;
+        self.obs.add("serve/mut/deletes", ids.len() as u64);
+        Ok(MutationAck { applied: ids.len(), stamp })
     }
 }

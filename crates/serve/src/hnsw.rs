@@ -153,6 +153,48 @@ impl HnswIndex {
         index
     }
 
+    /// Incremental insertion for the live-mutation path: appends rows
+    /// `self.len()..store.len()` to the graph, **one row per generation**
+    /// (each row's candidate search sees every previously inserted row).
+    ///
+    /// One-at-a-time insertion is what makes the mutation subsystem's
+    /// replay-equality contract hold: the graph after inserting rows
+    /// `a..c` is identical whether the range arrived as one `extend` call,
+    /// row by row, or split anywhere in between (including across a crash
+    /// and restart), because no generation boundary ever depends on how
+    /// the stream was batched. Levels stay the same pure
+    /// `(seed, row)` ChaCha8 function the batch build uses, so an index
+    /// grown by `extend` and one built over the same rows assign identical
+    /// layers — only the edge sets differ (extend's searches see a fresher
+    /// graph than the doubling schedule's frozen generations).
+    pub fn extend(&mut self, store: &EmbeddingStore) {
+        let n = store.len();
+        while self.levels.len() < n {
+            let v = self.levels.len();
+            let level = level_for(self.config.seed, v as u64, self.config.m) as usize;
+            self.levels.push(level as u8);
+            for layer in &mut self.layers {
+                layer.push(Vec::new());
+            }
+            while self.layers.len() <= level {
+                self.layers.push(vec![Vec::new(); v + 1]);
+            }
+            let candidates = self.insert_candidates(store, v as u32, v);
+            self.link(store, v as u32, candidates);
+        }
+    }
+
+    /// Number of rows the graph covers (rows `>= len()` of a grown store
+    /// are unknown to it until [`HnswIndex::extend`] runs).
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the index covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
     /// The configuration the index was built with.
     pub fn config(&self) -> &HnswConfig {
         &self.config

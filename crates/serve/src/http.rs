@@ -44,9 +44,19 @@
 //! | `/knn`         | POST   | `{"ids":[..]?, "vectors":[[..]]?, "k"?, "scorer"?, "exact"?}` |
 //! | `/score_links` | POST   | `{"pairs":[[u,v],..], "scorer"?}`                 |
 //! | `/encode`      | POST   | `{"nodes":[{"attr_indices","attr_values","edges"}], "k"?}` |
+//! | `/upsert`      | POST   | `{"nodes":[{"id", "vector"? | "attr_indices"/"attr_values"/"edges"}]}` |
+//! | `/delete`      | POST   | `{"ids":[..]}`                                    |
 //! | `/healthz`     | GET    | —                                                 |
 //! | `/stats`       | GET    | —                                                 |
 //! | `/shutdown`    | POST   | —                                                 |
+//!
+//! `/upsert` and `/delete` are only live on servers started with
+//! `--mutable`; read-only servers answer them with 400. Mutations have
+//! their own admission class shed at **half** the query queue depth, so a
+//! write burst backs off before it can starve reads. Successful mutation
+//! responses carry the `(generation, seq)` stamp of the view the mutation
+//! produced; `/knn` responses carry the stamp of the view they were
+//! answered against.
 //!
 //! Every response is JSON. Errors map [`CoaneError`] kinds onto status
 //! codes: config/parse/graph are the client's fault (400), busy is 429,
@@ -67,7 +77,10 @@ use coane_nn::Scorer;
 use serde::{Deserialize, Serialize, Value};
 
 use crate::batch::MicroBatcher;
-use crate::engine::{KnnParams, KnnTarget, QueryClass, QueryEngine, UnseenNode};
+use crate::engine::{
+    KnnParams, KnnTarget, QueryClass, QueryEngine, UnseenNode, UpsertItem, UpsertSource,
+};
+use crate::generation::ViewStamp;
 
 /// Maximum accepted request body (16 MiB) — larger bodies get 413.
 const MAX_BODY: usize = 16 << 20;
@@ -261,6 +274,8 @@ fn route_histogram(path: &str) -> Option<&'static str> {
         "/knn" => Some("serve/http/knn"),
         "/score_links" => Some("serve/http/links"),
         "/encode" => Some("serve/http/encode"),
+        "/upsert" => Some("serve/http/upsert"),
+        "/delete" => Some("serve/http/delete"),
         "/healthz" => Some("serve/http/healthz"),
         "/stats" => Some("serve/http/stats"),
         _ => None,
@@ -494,6 +509,10 @@ pub struct KnnResponse {
     pub k: usize,
     /// Scorer that ranked the neighbors.
     pub scorer: String,
+    /// Generation of the view the answers were computed against.
+    pub generation: u64,
+    /// Last applied mutation sequence in that view (0 = pristine store).
+    pub seq: u64,
     /// One entry per query, in request order (ids first, then vectors).
     pub results: Vec<KnnResult>,
 }
@@ -543,7 +562,7 @@ pub struct EncodeResponse {
 pub struct HealthResponse {
     /// Always `"ok"` when the server answers at all.
     pub status: String,
-    /// Stored vectors.
+    /// Live (non-tombstoned) vectors in the current view.
     pub nodes: usize,
     /// Embedding dimensionality.
     pub dim: usize,
@@ -551,6 +570,53 @@ pub struct HealthResponse {
     pub scorer: String,
     /// Whether `/encode` is available (model + graph loaded).
     pub encode: bool,
+    /// Whether `/upsert` and `/delete` are live (`--mutable`).
+    pub mutable: bool,
+    /// Current generation number.
+    pub generation: u64,
+    /// Last applied mutation sequence (0 = pristine store).
+    pub seq: u64,
+}
+
+#[derive(Deserialize)]
+struct UpsertNodeRequest {
+    id: Option<u64>,
+    vector: Option<Vec<f32>>,
+    attr_indices: Option<Vec<u32>>,
+    attr_values: Option<Vec<f32>>,
+    edges: Option<Vec<u64>>,
+}
+
+#[derive(Deserialize)]
+struct UpsertRequest {
+    nodes: Vec<UpsertNodeRequest>,
+}
+
+/// Response of `/upsert`.
+#[derive(Serialize, Deserialize)]
+pub struct UpsertResponse {
+    /// Nodes applied (always the full batch — mutations are atomic).
+    pub applied: usize,
+    /// Generation of the view the batch produced.
+    pub generation: u64,
+    /// Sequence of the last mutation in the batch.
+    pub seq: u64,
+}
+
+#[derive(Deserialize)]
+struct DeleteRequest {
+    ids: Vec<u64>,
+}
+
+/// Response of `/delete`.
+#[derive(Serialize, Deserialize)]
+pub struct DeleteResponse {
+    /// Ids tombstoned (always the full batch — mutations are atomic).
+    pub deleted: usize,
+    /// Generation of the view the batch produced.
+    pub generation: u64,
+    /// Sequence of the last mutation in the batch.
+    pub seq: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -582,20 +648,29 @@ fn route(
         ("POST", "/knn") => handle_knn(engine, batcher, body),
         ("POST", "/score_links") => handle_links(engine, batcher, body),
         ("POST", "/encode") => handle_encode(engine, batcher, body),
-        ("GET", "/healthz") => Response::json(&HealthResponse {
-            status: "ok".into(),
-            nodes: engine.store().len(),
-            dim: engine.store().dim(),
-            scorer: engine.index().scorer().name().into(),
-            encode: engine.can_encode(),
-        }),
+        ("POST", "/upsert") => handle_upsert(engine, body),
+        ("POST", "/delete") => handle_delete(engine, body),
+        ("GET", "/healthz") => {
+            let view = engine.view();
+            let ViewStamp { generation, seq } = view.stamp();
+            Response::json(&HealthResponse {
+                status: "ok".into(),
+                nodes: view.live_rows(),
+                dim: view.store().dim(),
+                scorer: engine.index().scorer().name().into(),
+                encode: engine.can_encode(),
+                mutable: engine.is_mutable(),
+                generation,
+                seq,
+            })
+        }
         ("GET", "/stats") => stats_response(engine),
         ("POST", "/shutdown") => {
             let mut obj = std::collections::BTreeMap::new();
             obj.insert("status".to_string(), Value::String("shutting down".to_string()));
             return (Response::json(&Value::Object(obj)), true);
         }
-        (_, "/knn" | "/score_links" | "/encode" | "/shutdown") => {
+        (_, "/knn" | "/score_links" | "/encode" | "/upsert" | "/delete" | "/shutdown") => {
             Response::error(405, "config", "POST required")
         }
         (_, "/healthz" | "/stats") => Response::error(405, "config", "GET required"),
@@ -627,10 +702,89 @@ fn handle_knn(engine: &QueryEngine, batcher: &MicroBatcher, body: &str) -> Respo
         Err(e) => return Response::from_err(&e),
     };
     match batcher.submit_knn(queries, params) {
-        Ok(answers) => Response::json(&KnnResponse {
+        Ok((answers, stamp)) => Response::json(&KnnResponse {
             k: params.k,
             scorer: scorer.name().into(),
+            generation: stamp.generation,
+            seq: stamp.seq,
             results: answers.into_iter().map(to_knn_result).collect(),
+        }),
+        Err(e) => Response::from_err(&e),
+    }
+}
+
+fn handle_upsert(engine: &QueryEngine, body: &str) -> Response {
+    let req: UpsertRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    if req.nodes.is_empty() {
+        return Response::error(400, "config", "upsert request needs nodes");
+    }
+    let mut items = Vec::with_capacity(req.nodes.len());
+    for (i, n) in req.nodes.into_iter().enumerate() {
+        let Some(id) = n.id else {
+            return Response::error(400, "config", &format!("upsert node {i} has no id"));
+        };
+        let attributed = n.attr_indices.is_some() || n.attr_values.is_some() || n.edges.is_some();
+        let source = match (n.vector, attributed) {
+            (Some(_), true) => {
+                return Response::error(
+                    400,
+                    "config",
+                    &format!("upsert node {i} (id {id}): give a vector or attributes, not both"),
+                )
+            }
+            (Some(v), false) => UpsertSource::Vector(v),
+            (None, true) => UpsertSource::Node(UnseenNode {
+                attr_indices: n.attr_indices.unwrap_or_default(),
+                attr_values: n.attr_values.unwrap_or_default(),
+                edges: n.edges.unwrap_or_default(),
+            }),
+            (None, false) => {
+                return Response::error(
+                    400,
+                    "config",
+                    &format!("upsert node {i} (id {id}) needs a vector or attributes"),
+                )
+            }
+        };
+        items.push(UpsertItem { id, source });
+    }
+    // Mutations bypass the micro-batcher (a mutation is already a batch and
+    // must not coalesce with a neighbor's), but still go through admission
+    // under their own class so a write burst sheds before starving reads.
+    let _permit = match engine.try_admit(items.len(), QueryClass::Mutate) {
+        Ok(p) => p,
+        Err(e) => return Response::from_err(&e),
+    };
+    match engine.upsert_admitted(&items) {
+        Ok(ack) => Response::json(&UpsertResponse {
+            applied: ack.applied,
+            generation: ack.stamp.generation,
+            seq: ack.stamp.seq,
+        }),
+        Err(e) => Response::from_err(&e),
+    }
+}
+
+fn handle_delete(engine: &QueryEngine, body: &str) -> Response {
+    let req: DeleteRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    if req.ids.is_empty() {
+        return Response::error(400, "config", "delete request needs ids");
+    }
+    let _permit = match engine.try_admit(req.ids.len(), QueryClass::Mutate) {
+        Ok(p) => p,
+        Err(e) => return Response::from_err(&e),
+    };
+    match engine.delete_admitted(&req.ids) {
+        Ok(ack) => Response::json(&DeleteResponse {
+            deleted: ack.applied,
+            generation: ack.stamp.generation,
+            seq: ack.stamp.seq,
         }),
         Err(e) => Response::from_err(&e),
     }
@@ -692,7 +846,7 @@ fn handle_encode(engine: &QueryEngine, batcher: &MicroBatcher, body: &str) -> Re
                 embeddings.iter().cloned().map(KnnTarget::Vector).collect();
             let params = KnnParams { k, scorer: engine.index().scorer(), exact: false };
             match batcher.submit_knn(queries, params) {
-                Ok(answers) => Some(answers.into_iter().map(to_knn_result).collect()),
+                Ok((answers, _stamp)) => Some(answers.into_iter().map(to_knn_result).collect()),
                 Err(e) => return Response::from_err(&e),
             }
         }
@@ -732,8 +886,23 @@ fn stats_response(engine: &QueryEngine) -> Response {
         stat.insert("p99_us".to_string(), Value::Number(h.p99));
         histograms.insert(name.to_string(), Value::Object(stat));
     }
+    // Mutation-state snapshot: generation, tombstones, WAL size. Present on
+    // read-only servers too (with `mutable: false` and zeroed log fields) so
+    // dashboards can key off one shape.
+    let ms = engine.mutation_stats();
+    let mut store = std::collections::BTreeMap::new();
+    store.insert("mutable".to_string(), Value::Bool(ms.mutable));
+    store.insert("generation".to_string(), Value::Number(ms.generation as f64));
+    store.insert("seq".to_string(), Value::Number(ms.seq as f64));
+    store.insert("base_rows".to_string(), Value::Number(ms.base_rows as f64));
+    store.insert("live_rows".to_string(), Value::Number(ms.live_rows as f64));
+    store.insert("tombstones".to_string(), Value::Number(ms.tombstones as f64));
+    store.insert("pending".to_string(), Value::Number(ms.pending as f64));
+    store.insert("wal_bytes".to_string(), Value::Number(ms.wal_bytes as f64));
+    store.insert("compact_every".to_string(), Value::Number(ms.compact_every as f64));
     let mut root = std::collections::BTreeMap::new();
     root.insert("uptime_secs".to_string(), Value::Number(obs.elapsed_secs()));
+    root.insert("store".to_string(), Value::Object(store));
     root.insert("counters".to_string(), Value::Object(counters));
     root.insert("gauges".to_string(), Value::Object(gauges));
     root.insert("scopes".to_string(), Value::Object(scopes));

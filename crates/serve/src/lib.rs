@@ -3,30 +3,45 @@
 //! Everything after training: a trained embedding matrix becomes a
 //! versioned, CRC-checked binary [`EmbeddingStore`]; a deterministic
 //! [`HnswIndex`] is built over it in parallel on the workspace thread pool;
-//! and a [`QueryEngine`] answers three query classes — approximate/exact
+//! and a [`QueryEngine`] answers four query classes — approximate/exact
 //! kNN, batch link scoring (through the exact scorer path the offline
-//! evaluation uses), and inductive encoding of unseen attributed nodes via
-//! the trained model's no-grad forward. [`http`] wraps the engine in a
-//! std-only HTTP/1.1 keep-alive JSON server whose [`batch`] micro-batcher
-//! coalesces concurrent requests into single kernel passes, with per-class
-//! load shedding (429 + `Retry-After`) once the admission queue saturates.
+//! evaluation uses), inductive encoding of unseen attributed nodes via
+//! the trained model's no-grad forward, and live mutations (upserts and
+//! tombstone deletes). [`http`] wraps the engine in a std-only HTTP/1.1
+//! keep-alive JSON server whose [`batch`] micro-batcher coalesces
+//! concurrent requests into single kernel passes, with per-class load
+//! shedding (429 + `Retry-After`) once the admission queue saturates.
+//!
+//! Mutable servers journal every acked mutation to a CRC-checked
+//! write-ahead log ([`mutlog`]) and fold the log into fresh on-disk
+//! *generations* in a background compaction thread ([`generation`]):
+//! readers pin an immutable [`GenerationView`] per query round and are
+//! never blocked by writers or compaction, and a `kill -9` at any instant
+//! recovers exactly the acked prefix — falling back to the previous
+//! generation when the current one is damaged.
 //!
 //! The workspace determinism contract extends to serving: store bytes,
-//! index structure, and every query answer are bit-identical for a given
-//! seed at any thread count. The recall/determinism integration tests in
-//! `tests/` lock this down.
+//! index structure, WAL bytes, compacted generations, and every query
+//! answer are bit-identical for a given seed at any thread count. The
+//! recall/determinism/replay integration tests in `tests/` lock this down.
 
 pub mod batch;
 pub mod engine;
+pub mod generation;
 pub mod hnsw;
 pub mod http;
+pub mod mutlog;
 pub mod store;
 
 pub use batch::MicroBatcher;
 pub use engine::{
-    EngineLimits, InductiveContext, KnnAnswer, KnnParams, KnnTarget, Permit, QueryClass,
-    QueryEngine, UnseenNode,
+    EngineLimits, InductiveContext, KnnAnswer, KnnParams, KnnTarget, MutationAck, Permit,
+    QueryClass, QueryEngine, UnseenNode, UpsertItem, UpsertSource,
+};
+pub use generation::{
+    GenerationManager, GenerationView, MutationConfig, MutationStats, RecoveryReport, ViewStamp,
 };
 pub use hnsw::{knn_exact, knn_exact_batch, ExactIndex, Hit, HnswConfig, HnswIndex};
 pub use http::{http_request, HttpClient, HttpServer, ServerConfig};
+pub use mutlog::{MutLog, MutOp, MutRecord, WalReplay, WAL_FORMAT_VERSION, WAL_MAGIC};
 pub use store::{EmbeddingStore, STORE_FORMAT_VERSION, STORE_MAGIC};

@@ -1,0 +1,412 @@
+//! The CRC-checked write-ahead mutation log (WAL) behind live upserts and
+//! deletes.
+//!
+//! Every mutation is encoded, appended, and fsynced here **before** it is
+//! applied to the in-memory generation view or acknowledged to the client,
+//! so an acknowledged mutation is durable: replaying the log over the
+//! generation's base store reproduces the acknowledged state exactly (the
+//! log records resulting *vectors*, never attribute payloads, so replay
+//! needs no model).
+//!
+//! ## File format (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"COANEWAL"
+//! 8       4     format version (u32 LE)
+//! 12      8     generation this log extends (u64 LE)
+//! 20      8     base sequence number: records carry base_seq+1.. (u64 LE)
+//! 28      ...   records
+//! ```
+//!
+//! Each record is independently framed and checksummed:
+//!
+//! ```text
+//! payload_len u32 · crc32(payload) u32 · payload
+//! payload = seq u64 · op u8 · id u64 · [count u32 · count × f32]  (upsert)
+//!           seq u64 · op u8 · id u64                              (delete)
+//! ```
+//!
+//! Sequence numbers are dense and ascending (`base_seq+1, base_seq+2, …`),
+//! which lets replay detect a log that does not belong to its base store.
+//!
+//! ## Damage handling
+//!
+//! Per-record framing means a torn tail (crash mid-append) or a corrupted
+//! record invalidates only the *suffix* from that record on:
+//! [`MutLog::replay`] returns the longest valid prefix plus a damage
+//! description, and [`MutLog::recover`] truncates the file back to that
+//! prefix so appends resume cleanly. A damaged **header** (bad magic,
+//! unsupported version, truncation into the first 28 bytes) means nothing
+//! in the file can be trusted — that is a typed [`CoaneError::MutLog`]
+//! (exit code 10), and the generation layer falls back to the previous
+//! generation.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use coane_core::checkpoint::crc32;
+use coane_error::{CoaneError, CoaneResult};
+
+use crate::store::atomic_write_bytes;
+
+/// Magic bytes identifying a CoANE mutation log.
+pub const WAL_MAGIC: &[u8; 8] = b"COANEWAL";
+/// On-disk mutation-log format version this build reads and writes.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+/// Header size in bytes (magic + version + generation + base sequence).
+const WAL_HEADER_LEN: usize = 28;
+/// Sanity bound on a single record payload decoded from untrusted bytes.
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+const OP_UPSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// One mutation operation, as logged and replayed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MutOp {
+    /// Insert a new row (unknown id) or overwrite an existing row's vector
+    /// in place (known id; a tombstoned id is revived).
+    Upsert {
+        /// External node id.
+        id: u64,
+        /// The resulting embedding vector (store dimension).
+        vector: Vec<f32>,
+    },
+    /// Tombstone an id: filtered from results immediately, row reclaimed at
+    /// the next compaction.
+    Delete {
+        /// External node id (must be live).
+        id: u64,
+    },
+}
+
+/// One logged mutation: a dense ascending sequence number plus the op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutRecord {
+    /// Global mutation sequence number (1-based across generations).
+    pub seq: u64,
+    /// The operation.
+    pub op: MutOp,
+}
+
+/// What replaying a mutation log recovers.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Generation this log extends (from the header).
+    pub generation: u64,
+    /// Sequence number of the generation's base store; records carry
+    /// `base_seq+1..`.
+    pub base_seq: u64,
+    /// The valid record prefix, in sequence order.
+    pub records: Vec<MutRecord>,
+    /// `Some(description)` when a torn or corrupted suffix was discarded.
+    pub damage: Option<String>,
+    /// Byte length of the valid prefix (header + intact records).
+    pub valid_len: u64,
+}
+
+/// An open, appendable mutation log.
+pub struct MutLog {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl std::fmt::Debug for MutLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutLog").field("path", &self.path).field("bytes", &self.bytes).finish()
+    }
+}
+
+fn encode_record(r: &MutRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(21);
+    payload.extend_from_slice(&r.seq.to_le_bytes());
+    match &r.op {
+        MutOp::Upsert { id, vector } => {
+            payload.push(OP_UPSERT);
+            payload.extend_from_slice(&id.to_le_bytes());
+            payload.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+            for &v in vector {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        MutOp::Delete { id } => {
+            payload.push(OP_DELETE);
+            payload.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Result<MutRecord, String> {
+    if payload.len() < 17 {
+        return Err(format!("record payload too short: {} bytes", payload.len()));
+    }
+    let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let op = payload[8];
+    let id = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+    match op {
+        OP_UPSERT => {
+            if payload.len() < 21 {
+                return Err("upsert record truncated before vector length".into());
+            }
+            let count = u32::from_le_bytes(payload[17..21].try_into().unwrap()) as usize;
+            let rest = &payload[21..];
+            if rest.len() != count * 4 {
+                return Err(format!(
+                    "upsert record vector length mismatch: {count} floats vs {} bytes",
+                    rest.len()
+                ));
+            }
+            let vector =
+                rest.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+            Ok(MutRecord { seq, op: MutOp::Upsert { id, vector } })
+        }
+        OP_DELETE => {
+            if payload.len() != 17 {
+                return Err(format!("{} trailing bytes after delete record", payload.len() - 17));
+            }
+            Ok(MutRecord { seq, op: MutOp::Delete { id } })
+        }
+        other => Err(format!("unknown mutation opcode {other}")),
+    }
+}
+
+impl MutLog {
+    /// Creates (atomically replaces) the log at `path` with a fresh header
+    /// and an optional carried-over record tail, fsynced before the rename —
+    /// used at first boot (empty tail) and at generation rotation (the
+    /// records past the compaction cut carry into the next generation's
+    /// log). A crash mid-create leaves the previous file intact.
+    pub fn create(
+        path: &Path,
+        generation: u64,
+        base_seq: u64,
+        carry: &[MutRecord],
+    ) -> CoaneResult<Self> {
+        let mut bytes = Vec::with_capacity(WAL_HEADER_LEN);
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&WAL_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&generation.to_le_bytes());
+        bytes.extend_from_slice(&base_seq.to_le_bytes());
+        for r in carry {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        atomic_write_bytes(path, &bytes)?;
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| CoaneError::io(path, e))?;
+        Ok(Self { file, path: path.to_path_buf(), bytes: bytes.len() as u64 })
+    }
+
+    /// Appends `records` and fsyncs. Only after this returns may the
+    /// mutations be applied or acknowledged.
+    pub fn append(&mut self, records: &[MutRecord]) -> CoaneResult<()> {
+        let mut buf = Vec::new();
+        for r in records {
+            buf.extend_from_slice(&encode_record(r));
+        }
+        self.file.write_all(&buf).map_err(|e| CoaneError::io(&self.path, e))?;
+        self.file.sync_all().map_err(|e| CoaneError::io(&self.path, e))?;
+        self.bytes += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Current log size in bytes (header + records).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Reads and validates the log at `path`. Header damage (bad magic,
+    /// unsupported version, truncation) is a typed [`CoaneError::MutLog`];
+    /// record damage (torn tail, CRC mismatch, undecodable or out-of-order
+    /// record) stops replay at the valid prefix and is reported in
+    /// [`WalReplay::damage`] instead.
+    pub fn replay(path: &Path) -> CoaneResult<WalReplay> {
+        let bytes = std::fs::read(path).map_err(|e| CoaneError::io(path, e))?;
+        if bytes.len() < WAL_HEADER_LEN {
+            return Err(CoaneError::mutlog(
+                path,
+                format!("file too short for header: {} bytes", bytes.len()),
+            ));
+        }
+        if &bytes[0..8] != WAL_MAGIC {
+            return Err(CoaneError::mutlog(path, "bad magic: not a CoANE mutation log"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != WAL_FORMAT_VERSION {
+            return Err(CoaneError::mutlog(
+                path,
+                format!(
+                    "unsupported mutation-log format version {version} (this build reads version \
+                     {WAL_FORMAT_VERSION})"
+                ),
+            ));
+        }
+        let generation = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        let base_seq = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+
+        let mut records = Vec::new();
+        let mut damage = None;
+        let mut pos = WAL_HEADER_LEN;
+        let mut expect = base_seq + 1;
+        while pos < bytes.len() {
+            let remaining = bytes.len() - pos;
+            if remaining < 8 {
+                damage = Some(format!("torn record framing: {remaining} bytes at offset {pos}"));
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+            let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            if len > MAX_RECORD_LEN {
+                damage = Some(format!("implausible record length {len} at offset {pos}"));
+                break;
+            }
+            if remaining - 8 < len as usize {
+                damage = Some(format!(
+                    "torn record payload at offset {pos}: wants {len} bytes, {} left",
+                    remaining - 8
+                ));
+                break;
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len as usize];
+            let actual_crc = crc32(payload);
+            if actual_crc != stored_crc {
+                damage = Some(format!(
+                    "record CRC32 mismatch at offset {pos}: stored {stored_crc:#010x}, computed \
+                     {actual_crc:#010x}"
+                ));
+                break;
+            }
+            match decode_payload(payload) {
+                Ok(r) if r.seq == expect => {
+                    records.push(r);
+                    expect += 1;
+                }
+                Ok(r) => {
+                    damage = Some(format!(
+                        "out-of-order record at offset {pos}: seq {} where {expect} was expected",
+                        r.seq
+                    ));
+                    break;
+                }
+                Err(m) => {
+                    damage = Some(format!("undecodable record at offset {pos}: {m}"));
+                    break;
+                }
+            }
+            pos += 8 + len as usize;
+        }
+        Ok(WalReplay { generation, base_seq, records, damage, valid_len: pos as u64 })
+    }
+
+    /// Replays the log, truncates any damaged suffix back to the valid
+    /// prefix, and reopens it for appending. Header damage propagates as a
+    /// typed [`CoaneError::MutLog`], like [`MutLog::replay`].
+    pub fn recover(path: &Path) -> CoaneResult<(WalReplay, Self)> {
+        let replay = Self::replay(path)?;
+        let file =
+            OpenOptions::new().append(true).open(path).map_err(|e| CoaneError::io(path, e))?;
+        if replay.damage.is_some() {
+            file.set_len(replay.valid_len).map_err(|e| CoaneError::io(path, e))?;
+            file.sync_all().map_err(|e| CoaneError::io(path, e))?;
+        }
+        let bytes = replay.valid_len;
+        Ok((replay, Self { file, path: path.to_path_buf(), bytes }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("coane_mutlog_unit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_records(base_seq: u64, n: usize) -> Vec<MutRecord> {
+        (0..n as u64)
+            .map(|i| {
+                let seq = base_seq + 1 + i;
+                let op = if i % 3 == 2 {
+                    MutOp::Delete { id: i }
+                } else {
+                    MutOp::Upsert { id: 100 + i, vector: vec![i as f32, -1.5, 0.25] }
+                };
+                MutRecord { seq, op }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_create_append_replay() {
+        let path = tmp("roundtrip.wal");
+        let carry = sample_records(7, 2);
+        let mut log = MutLog::create(&path, 3, 7, &carry).unwrap();
+        let more = sample_records(9, 4);
+        log.append(&more).unwrap();
+        let replay = MutLog::replay(&path).unwrap();
+        assert_eq!(replay.generation, 3);
+        assert_eq!(replay.base_seq, 7);
+        assert!(replay.damage.is_none(), "{:?}", replay.damage);
+        let mut want = carry;
+        want.extend(more);
+        assert_eq!(replay.records, want);
+        assert_eq!(replay.valid_len, log.bytes());
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix_and_truncates() {
+        let path = tmp("torn.wal");
+        let mut log = MutLog::create(&path, 0, 0, &[]).unwrap();
+        log.append(&sample_records(0, 3)).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let (replay, mut reopened) = MutLog::recover(&path).unwrap();
+        assert_eq!(replay.records.len(), 2, "last record was torn");
+        assert!(replay.damage.is_some());
+        // Appending after recovery lands right after the valid prefix.
+        reopened.append(&sample_records(2, 1)).unwrap();
+        let replay2 = MutLog::replay(&path).unwrap();
+        assert!(replay2.damage.is_none(), "{:?}", replay2.damage);
+        assert_eq!(replay2.records.len(), 3);
+        assert_eq!(replay2.records[2].seq, 3);
+    }
+
+    #[test]
+    fn crc_flip_stops_at_prefix() {
+        let path = tmp("crcflip.wal");
+        let mut log = MutLog::create(&path, 0, 0, &[]).unwrap();
+        log.append(&sample_records(0, 3)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 3; // inside the last record's payload
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = MutLog::replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        let damage = replay.damage.expect("flip must be reported");
+        assert!(damage.contains("CRC32"), "{damage}");
+    }
+
+    #[test]
+    fn header_damage_is_typed_mutlog_error() {
+        let path = tmp("badmagic.wal");
+        std::fs::write(&path, b"NOTAWAL!\x01\x00\x00\x00junkjunkjunkjunk").unwrap();
+        let err = MutLog::replay(&path).unwrap_err();
+        assert_eq!(err.kind(), "mutlog");
+        assert_eq!(err.exit_code(), 10);
+
+        let short = tmp("short.wal");
+        std::fs::write(&short, b"COANEWAL").unwrap();
+        let err = MutLog::replay(&short).unwrap_err();
+        assert_eq!(err.kind(), "mutlog");
+    }
+}

@@ -149,6 +149,34 @@ impl EmbeddingStore {
         self.index_of.get(&id).copied()
     }
 
+    // ------------------------------------------------------------ mutation
+    //
+    // The store stays read-only from the outside; the generation layer
+    // (`crate::generation`) is the only writer, and it maintains the
+    // invariants these helpers assume (matching dimension, absent id).
+
+    /// Overwrites the vector of `row` in place.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or `v` has the wrong dimension.
+    pub(crate) fn set_row(&mut self, row: usize, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "set_row dimension mismatch");
+        self.vectors[row * self.dim..(row + 1) * self.dim].copy_from_slice(v);
+    }
+
+    /// Appends a new `(id, vector)` row at index `len()`.
+    ///
+    /// # Panics
+    /// Panics if `id` is already present or `v` has the wrong dimension.
+    pub(crate) fn push_row(&mut self, id: u64, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "push_row dimension mismatch");
+        let row = self.ids.len() as u32;
+        let prev = self.index_of.insert(id, row);
+        assert!(prev.is_none(), "push_row duplicate id {id}");
+        self.ids.push(id);
+        self.vectors.extend_from_slice(v);
+    }
+
     // ------------------------------------------------------------- on disk
 
     /// Serializes the store to `path` atomically: bytes go to a `.tmp`
@@ -176,13 +204,7 @@ impl EmbeddingStore {
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
 
-        let tmp = path.with_extension("tmp");
-        let mut f = std::fs::File::create(&tmp).map_err(|e| CoaneError::io(&tmp, e))?;
-        f.write_all(&bytes).map_err(|e| CoaneError::io(&tmp, e))?;
-        f.sync_all().map_err(|e| CoaneError::io(&tmp, e))?;
-        drop(f);
-        std::fs::rename(&tmp, path).map_err(|e| CoaneError::io(path, e))?;
-        Ok(())
+        atomic_write_bytes(path, &bytes)
     }
 
     /// Loads a store written by [`EmbeddingStore::save`], verifying magic,
@@ -251,6 +273,20 @@ impl EmbeddingStore {
         }
         Self::new(vectors, dim, Some(ids), meta).map_err(|e| e.to_string())
     }
+}
+
+/// Atomically replaces `path` with `bytes`: writes a `.tmp` sibling, fsyncs
+/// it, then renames it into place, so a crash mid-write never leaves a
+/// half-written file under the final name. Shared by the store writer and
+/// the generation layer (`CURRENT` marker, mutation-log rotation).
+pub(crate) fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> CoaneResult<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp).map_err(|e| CoaneError::io(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| CoaneError::io(&tmp, e))?;
+    f.sync_all().map_err(|e| CoaneError::io(&tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| CoaneError::io(path, e))?;
+    Ok(())
 }
 
 /// Bounds-checked little-endian reader over untrusted payload bytes.

@@ -289,12 +289,13 @@ fn coalesced_answers_are_bit_identical_to_serial_at_any_thread_count() {
             // Coalesced: all jobs in one kernel pass.
             let batched: Vec<_> = engine
                 .knn_multi(&job_refs, params)
+                .0
                 .into_iter()
                 .map(|r| r.expect("valid job"))
                 .collect();
             // Serial: each job alone.
             for (job, batched_answers) in job_refs.iter().zip(&batched) {
-                let serial = engine.knn_multi(&[job], params).pop().unwrap().expect("valid job");
+                let serial = engine.knn_multi(&[job], params).0.pop().unwrap().expect("valid job");
                 assert_eq!(
                     &serial, batched_answers,
                     "coalescing changed answers (exact={exact}, threads={threads})"
@@ -341,14 +342,14 @@ fn knn_multi_isolates_per_job_errors() {
     let good_a = vec![KnnTarget::Id(1), KnnTarget::Id(2)];
     let bad = vec![KnnTarget::Id(1), KnnTarget::Id(999_999)];
     let good_b = vec![KnnTarget::Id(250)];
-    let results = engine.knn_multi(&[&good_a, &bad, &good_b], params);
+    let results = engine.knn_multi(&[&good_a, &bad, &good_b], params).0;
     assert_eq!(results.len(), 3);
     let err = results[1].as_ref().expect_err("unknown id must fail its job");
     assert!(err.to_string().contains("unknown node id 999999"), "err: {err}");
 
     // The healthy jobs' answers are bit-identical to running them alone.
-    let solo_a = engine.knn_multi(&[&good_a], params).pop().unwrap().expect("solo a");
-    let solo_b = engine.knn_multi(&[&good_b], params).pop().unwrap().expect("solo b");
+    let solo_a = engine.knn_multi(&[&good_a], params).0.pop().unwrap().expect("solo a");
+    let solo_b = engine.knn_multi(&[&good_b], params).0.pop().unwrap().expect("solo b");
     assert_eq!(results[0].as_ref().expect("job a"), &solo_a);
     assert_eq!(results[2].as_ref().expect("job b"), &solo_b);
 

@@ -41,6 +41,17 @@
 //! coane-cli query --addr-file server.addr --route knn --body '{"ids":[0],"k":5}'
 //! coane-cli query --addr-file server.addr --route shutdown
 //!
+//! # 5b. mutable serving: accept live upserts and tombstone deletes,
+//! #     journaled to a CRC-checked write-ahead log under --data-dir and
+//! #     folded into fresh on-disk generations every --compact-every
+//! #     mutations. kill -9 at any instant and restart with the same
+//! #     --data-dir: the server comes back with exactly the acked prefix.
+//! coane-cli serve --store embedding.store --mutable --data-dir server-data \
+//!                 --compact-every 64 --addr 127.0.0.1:0 --addr-file server.addr
+//! coane-cli query --addr-file server.addr --route upsert \
+//!                 --body '{"nodes":[{"id":9001,"vector":[0.1,0.2,0.3]}]}'
+//! coane-cli query --addr-file server.addr --route delete --body '{"ids":[9001]}'
+//!
 //! # 5a. load mode: N keep-alive clients hammer one route concurrently and a
 //! #     JSON summary (qps, ok/shed/failed counts) lands on stdout. Shed
 //! #     requests (HTTP 429) are counted, not fatal — the server is
@@ -57,7 +68,8 @@
 //! Failures map to stable exit codes by error kind: 2 = invalid
 //! configuration/usage, 3 = I/O, 4 = parse, 5 = graph structure,
 //! 6 = numeric, 7 = checkpoint, 8 = embedding store, 9 = server busy
-//! (load shed — retry later) (see `CoaneError::exit_code`).
+//! (load shed — retry later), 10 = unusable mutation log / generation
+//! state (see `CoaneError::exit_code`).
 //!
 //! (Link prediction needs the split to happen *before* embedding; use the
 //! `exp_linkpred` harness binary or the library API for that protocol.)
@@ -72,7 +84,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Flags that never take a value.
-const BOOL_FLAGS: &[&str] = &["quiet"];
+const BOOL_FLAGS: &[&str] = &["quiet", "mutable"];
 
 struct Cli {
     values: HashMap<String, String>,
@@ -505,13 +517,42 @@ fn cmd_serve(cli: &Cli) -> Result<(), CoaneError> {
     // /stats reads live telemetry, so the server always observes itself
     // (observation-only: answers are bit-identical either way).
     let obs = Obs::enabled();
-    let engine = std::sync::Arc::new(coane::serve::QueryEngine::new(
-        store,
-        index,
-        inductive,
-        limits,
-        obs.clone(),
-    )?);
+    let engine = if cli.flag("mutable") {
+        let data_dir = cli.req("data-dir").map_err(|_| {
+            CoaneError::config("--mutable needs --data-dir for the generation files")
+        })?;
+        let mutation = coane::serve::MutationConfig {
+            dir: std::path::PathBuf::from(data_dir),
+            compact_every: cli.num("compact-every", 64usize),
+        };
+        let (engine, report) = coane::serve::QueryEngine::new_mutable(
+            store,
+            index,
+            inductive,
+            limits,
+            obs.clone(),
+            mutation,
+        )?;
+        log.info(format!(
+            "mutable store at {data_dir}: generation {} seq {} ({} mutation(s) replayed{})",
+            report.generation,
+            report.seq,
+            report.replayed,
+            if report.fell_back { ", fell back to previous generation" } else { "" }
+        ));
+        for note in &report.notes {
+            log.info(format!("recovery: {note}"));
+        }
+        std::sync::Arc::new(engine)
+    } else {
+        std::sync::Arc::new(coane::serve::QueryEngine::new(
+            store,
+            index,
+            inductive,
+            limits,
+            obs.clone(),
+        )?)
+    };
     let defaults = coane::serve::ServerConfig::default();
     let server_config = coane::serve::ServerConfig {
         addr: cli.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
