@@ -17,10 +17,14 @@ against a deliberately tiny admission queue) and <dir>/stats_load.json: every
 request must have completed as 200 or a fast 429 — none hung, none errored —
 and the server must have recorded the shed decisions it made.
 
---bench validates the committed BENCH_serve.json micro-batching section: a
+--bench validates the committed BENCH_serve.json micro-batching section (a
 concurrency sweep with strictly increasing connection counts, finite positive
 throughput/latency, and a batched speedup >= 2x over the per-request baseline
-that is arithmetically consistent with the recorded points.
+that is arithmetically consistent with the recorded points) and the
+per-precision quantization sweep: exactly f32/f16/int8 points at >= 100k
+nodes, every recall@k >= 0.95, scan footprints shrinking f32 > f16 > int8,
+and an int8-over-f32 brute-force speedup >= 1.3x that follows from the
+recorded throughputs.
 
 --mutations expects the artifacts of the CI mutation soak: acks.jsonl (one
 upsert/delete response per acked mutation), health_before.json (just before
@@ -39,6 +43,9 @@ import json
 import sys
 
 SPEEDUP_FLOOR = 2.0
+PRECISION_MIN_NODES = 100_000
+PRECISION_RECALL_FLOOR = 0.95
+INT8_SPEEDUP_FLOOR = 1.3
 
 
 def load(path: str):
@@ -131,8 +138,48 @@ def validate_load(d: str) -> None:
     print(f"{d} OK: {summary['ok']} served / {summary['shed']} shed of {total}, none hung")
 
 
+def validate_precisions(prec) -> None:
+    assert prec["nodes"] >= PRECISION_MIN_NODES, (
+        f"precision sweep ran at {prec['nodes']} nodes, need >= {PRECISION_MIN_NODES}"
+    )
+    assert prec["rerank_factor"] >= 1, f"degenerate rerank factor: {prec}"
+    points = prec["points"]
+    names = [p["precision"] for p in points]
+    assert names == ["f32", "f16", "int8"], f"precision points are {names}"
+    for p in points:
+        for field in ("hnsw_qps", "exact_qps", "build_ms"):
+            assert p[field] > 0, f"{p['precision']}: non-positive {field}: {p[field]}"
+        assert p["recall_at_k"] >= PRECISION_RECALL_FLOOR, (
+            f"{p['precision']}: recall {p['recall_at_k']:.4f} below {PRECISION_RECALL_FLOOR}"
+        )
+        assert p["store_bytes"] > 0 and p["file_bytes"] > 0, f"{p['precision']}: zero byte counts"
+    f32, f16, int8 = points
+    assert f32["store_bytes"] > f16["store_bytes"] > int8["store_bytes"], (
+        "scan footprints must shrink f32 > f16 > int8: "
+        + str([p["store_bytes"] for p in points])
+    )
+    speedup = prec["int8_speedup"]
+    assert speedup >= INT8_SPEEDUP_FLOOR, (
+        f"int8 speedup {speedup:.2f} below {INT8_SPEEDUP_FLOOR}x"
+    )
+    recomputed = int8["exact_qps"] / f32["exact_qps"]
+    assert abs(recomputed - speedup) <= 0.1 * speedup, (
+        f"int8_speedup {speedup:.2f} inconsistent with points ({recomputed:.2f})"
+    )
+    assert prec["rerank_sidecar_us"] > 0 and prec["rerank_dequant_us"] > 0, (
+        "rerank cost comparison is non-positive"
+    )
+    print(
+        f"  precisions OK: int8 {speedup:.2f}x f32 at {prec['nodes']} nodes, "
+        f"recalls {[round(p['recall_at_k'], 4) for p in points]}, "
+        f"scan bytes {[p['store_bytes'] for p in points]}"
+    )
+
+
 def validate_bench(path: str) -> None:
-    conc = load(path)["concurrency"]
+    report = load(path)
+    validate_precisions(report["precisions"])
+    conc = report["concurrency"]
     assert conc["sweep_nodes"] > 0, f"degenerate sweep store: {conc['sweep_nodes']}"
     assert conc["baseline_qps"] > 0, f"non-positive baseline qps: {conc['baseline_qps']}"
     points = conc["points"]

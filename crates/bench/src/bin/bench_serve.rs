@@ -27,6 +27,22 @@
 //! committed numbers are re-validated by `--smoke`. Both sides run the
 //! exact scorer path, so the comparison holds recall constant at 1.0.
 //!
+//! ## Precision sweep
+//!
+//! The `precisions` section quantifies the quantized serving path on a
+//! dedicated 100k-node store: for each payload precision (f32, f16, int8)
+//! it builds the HNSW index over the quantized scores and measures engine
+//! throughput on the graph path and the fused brute-force path, recall@k
+//! of the reranked answers against the exact-f32 ground truth, and the
+//! bytes each precision's scan actually touches. int8's brute-force
+//! throughput over f32 is gated ≥ 1.3× (the scan is bandwidth-bound, so
+//! quartering the bytes must show up as throughput), and every precision's
+//! recall is held to the same ≥ 0.95 floor as the f32 index — quantization
+//! is not allowed to buy speed with quality. A closing micro-comparison
+//! times the rerank stage's candidate scoring from the exact-f32 sidecar
+//! vs dequantizing int8 codes on the fly, backing the sidecar design
+//! choice recorded in DESIGN.md.
+//!
 //! Output discipline: progress goes to stderr; stdout carries exactly one
 //! JSON document (the report in full mode, the validation verdict in
 //! `--smoke` mode). The report is also written to `BENCH_serve.json` at the
@@ -36,10 +52,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use coane_nn::{pool, Scorer};
+use coane_nn::{pool, qkernels, Scorer};
 use coane_serve::{
     http_request, knn_exact, EmbeddingStore, EngineLimits, HnswConfig, HnswIndex, HttpClient,
-    HttpServer, QueryEngine, ServerConfig,
+    HttpServer, KnnParams, KnnTarget, Precision, QueryEngine, ServerConfig,
 };
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -64,6 +80,25 @@ const SWEEP_REQUESTS: usize = 256;
 const BASELINE_REQUESTS: usize = 128;
 /// Best coalesced throughput must beat the per-request baseline by this.
 const SPEEDUP_FLOOR: f64 = 2.0;
+/// Store size for the per-precision sweep: large enough that the fused
+/// quantized scan's bandwidth advantage — not fixed per-query overhead —
+/// decides the throughput numbers.
+const PRECISION_NODES: usize = 100_000;
+/// Engine HNSW-path queries per precision point.
+const PRECISION_HNSW_QUERIES: usize = 256;
+/// Engine brute-force queries per precision point (each streams the whole
+/// store, so fewer suffice).
+const PRECISION_EXACT_QUERIES: usize = 64;
+/// int8 brute-force throughput must beat f32 by this at `PRECISION_NODES`.
+const INT8_SPEEDUP_FLOOR: f64 = 1.3;
+/// Intrinsic dimensionality of the precision sweep's store (see
+/// [`manifold_vectors`]).
+const PRECISION_LATENT_DIM: usize = 8;
+/// Search width for the precision sweep's indexes. Embedding-scale recall
+/// needs a wider candidate list than the 2k-node default: at 100k rows an
+/// `ef` of 64 visits too small a fraction of the graph to hold the 0.95
+/// floor, quantized or not.
+const PRECISION_EF_SEARCH: usize = 256;
 
 #[derive(Serialize, Deserialize)]
 struct PathStats {
@@ -102,6 +137,50 @@ struct ConcurrencyReport {
     batched_speedup: f64,
 }
 
+/// One precision's serving measurements on the dedicated sweep store.
+#[derive(Serialize, Deserialize)]
+struct PrecisionPoint {
+    /// `"f32"`, `"f16"` or `"int8"`.
+    precision: String,
+    /// HNSW build wall-clock over the quantized store, milliseconds.
+    build_ms: f64,
+    /// Engine kNN through the graph + exact-f32 rerank.
+    hnsw_qps: f64,
+    /// Engine brute-force kNN: the fused quantized scan + rerank.
+    exact_qps: f64,
+    /// Recall@k of the engine's (reranked) HNSW answers against the exact
+    /// f32 ground truth.
+    recall_at_k: f64,
+    /// Bytes the scan path touches per full pass (codes + qparams; the
+    /// rerank-only f32 sidecar is excluded).
+    store_bytes: usize,
+    /// On-disk size of the saved store (includes the sidecar).
+    file_bytes: usize,
+}
+
+/// The quantization story: per-precision throughput/recall/footprint, the
+/// int8-over-f32 brute-force speedup, and the sidecar-vs-dequant rerank
+/// cost comparison backing the sidecar design choice.
+#[derive(Serialize, Deserialize)]
+struct PrecisionReport {
+    /// Store size all precision points ran against.
+    nodes: usize,
+    hnsw_queries: usize,
+    exact_queries: usize,
+    /// Rerank candidate pool per query = `k · rerank_factor`.
+    rerank_factor: usize,
+    points: Vec<PrecisionPoint>,
+    /// int8 `exact_qps` over f32 `exact_qps`; gated ≥ 1.3 in full mode.
+    int8_speedup: f64,
+    /// Microseconds to score one rerank candidate pool from the exact-f32
+    /// sidecar (the shipped design) …
+    rerank_sidecar_us: f64,
+    /// … vs dequantizing the pool's int8 codes on the fly first. The
+    /// sidecar is both faster *and* exact; dequant would only save the
+    /// sidecar's resident memory at the cost of quantized-precision scores.
+    rerank_dequant_us: f64,
+}
+
 #[derive(Serialize, Deserialize)]
 struct Report {
     nodes: usize,
@@ -123,6 +202,7 @@ struct Report {
     /// TCP setup).
     http_keepalive: PathStats,
     concurrency: ConcurrencyReport,
+    precisions: PrecisionReport,
 }
 
 fn json_path() -> &'static str {
@@ -142,6 +222,42 @@ fn synthetic_queries(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5_e27e);
     let mut uniform = || ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0;
     (0..n).map(|_| (0..dim).map(|_| uniform()).collect()).collect()
+}
+
+fn uniform(rng: &mut ChaCha8Rng) -> f32 {
+    ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32 * 2.0 - 1.0
+}
+
+/// Low-intrinsic-dimension synthetic vectors for the precision sweep. A
+/// cloud that is uniform in 64 ambient dimensions has near-degenerate
+/// neighbor structure — every pair is almost equidistant — so no index
+/// (and no recall gate) is meaningful on it at 100k rows. Trained
+/// embedding tables are the opposite: they concentrate near a
+/// low-dimensional manifold, where nearest neighbors are well separated
+/// from the bulk. Rows here are an 8-d uniform latent pushed through a
+/// fixed seeded 8→64 linear map; `proj_seed` fixes the map (store and
+/// queries must share it), `sample_seed` the latents.
+fn manifold_vectors(n: usize, dim: usize, proj_seed: u64, sample_seed: u64) -> Vec<f32> {
+    let mut prng = ChaCha8Rng::seed_from_u64(proj_seed ^ 0xCE27);
+    let scale = 1.0 / (PRECISION_LATENT_DIM as f32).sqrt();
+    let proj: Vec<f32> =
+        (0..PRECISION_LATENT_DIM * dim).map(|_| uniform(&mut prng) * scale).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(sample_seed);
+    let mut out = Vec::with_capacity(n * dim);
+    let mut z = [0.0f32; PRECISION_LATENT_DIM];
+    for _ in 0..n {
+        for zi in z.iter_mut() {
+            *zi = uniform(&mut rng);
+        }
+        for j in 0..dim {
+            let mut x = 0.0f32;
+            for (i, &zi) in z.iter().enumerate() {
+                x += zi * proj[i * dim + j];
+            }
+            out.push(x);
+        }
+    }
+    out
 }
 
 fn percentile_us(sorted: &[f64], q: f64) -> f64 {
@@ -243,17 +359,176 @@ fn sweep_point(addr: &str, connections: usize, total: usize, nodes: usize) -> Sw
     }
 }
 
-/// Runs the engine + HTTP measurements for one store size. Returns the
-/// report (without writing anything).
-fn measure(
+/// Per-precision sweep: for each payload precision, build the HNSW index
+/// over the (re)quantized store, then measure engine throughput on both
+/// the graph path and the fused brute-force path, and recall@k of the
+/// reranked answers against the exact-f32 ground truth. Ends with the
+/// sidecar-vs-dequant rerank micro-comparison (int8 candidate pools).
+fn measure_precisions(nodes: usize, hnsw_queries: usize, exact_queries: usize) -> PrecisionReport {
+    let scorer = Scorer::Cosine;
+    let rerank_factor = EngineLimits::default().rerank_factor;
+    eprintln!(
+        "bench_serve: precision sweep store ({nodes} x {DIM}, {PRECISION_LATENT_DIM}-d latent)"
+    );
+    let sweep_data = manifold_vectors(nodes, DIM, SEED, SEED ^ 0x9C0);
+    let f32_store = EmbeddingStore::new(sweep_data.clone(), DIM, None, "bench_serve precision")
+        .expect("valid sweep store");
+    let qs: Vec<Vec<f32>> =
+        manifold_vectors(hnsw_queries.max(exact_queries), DIM, SEED, SEED ^ 0x9C1)
+            .chunks_exact(DIM)
+            .map(<[f32]>::to_vec)
+            .collect();
+    let truth: Vec<Vec<u64>> = qs
+        .iter()
+        .map(|q| knn_exact(&f32_store, q, K, scorer).iter().map(|h| h.index as u64).collect())
+        .collect();
+
+    let mut points = Vec::with_capacity(Precision::ALL.len());
+    for precision in Precision::ALL {
+        let store = EmbeddingStore::new(sweep_data.clone(), DIM, None, "bench_serve precision")
+            .expect("valid sweep store")
+            .with_precision(precision)
+            .expect("quantize sweep store");
+        let store_bytes = store.store_bytes();
+        let file = std::env::temp_dir().join(format!(
+            "coane-bench-precision-{}-{}",
+            precision.name(),
+            std::process::id()
+        ));
+        store.save(&file).expect("save sweep store");
+        let file_bytes = std::fs::metadata(&file).expect("stat sweep store").len() as usize;
+        let _ = std::fs::remove_file(&file);
+
+        let build_started = Instant::now();
+        let config = HnswConfig { ef_search: PRECISION_EF_SEARCH, ..HnswConfig::default() };
+        let index = HnswIndex::build(&store, scorer, config);
+        let build_ms = build_started.elapsed().as_secs_f64() * 1e3;
+        let engine = QueryEngine::new(
+            store,
+            index,
+            None,
+            EngineLimits::default(),
+            coane_obs::Obs::enabled(),
+        )
+        .expect("sweep engine");
+
+        let mut recall_total = 0.0;
+        let hnsw_stats = time_queries(hnsw_queries, |i| {
+            let params = KnnParams { k: K, scorer, exact: false };
+            let answers =
+                engine.knn(&[KnnTarget::Vector(qs[i].clone())], params).expect("hnsw query");
+            let hit = truth[i]
+                .iter()
+                .filter(|id| answers[0].neighbors.iter().any(|(g, _)| g == *id))
+                .count();
+            recall_total += hit as f64 / K as f64;
+        });
+        let recall_at_k = recall_total / hnsw_queries as f64;
+        let exact_stats = time_queries(exact_queries, |i| {
+            let params = KnnParams { k: K, scorer, exact: true };
+            let _ = engine.knn(&[KnnTarget::Vector(qs[i].clone())], params).expect("exact query");
+        });
+        eprintln!(
+            "bench_serve: {:>4}: build {build_ms:.0} ms | hnsw {:.0} qps | exact {:.0} qps | \
+             recall@{K} {recall_at_k:.4} | {store_bytes} scan bytes",
+            precision.name(),
+            hnsw_stats.qps,
+            exact_stats.qps,
+        );
+        points.push(PrecisionPoint {
+            precision: precision.name().to_string(),
+            build_ms,
+            hnsw_qps: hnsw_stats.qps,
+            exact_qps: exact_stats.qps,
+            recall_at_k,
+            store_bytes,
+            file_bytes,
+        });
+    }
+    let exact_qps_of = |name: &str| {
+        points.iter().find(|p| p.precision == name).map(|p| p.exact_qps).unwrap_or(f64::NAN)
+    };
+    let int8_speedup = exact_qps_of("int8") / exact_qps_of("f32");
+
+    // Sidecar vs dequant-on-the-fly rerank cost: score one candidate pool
+    // (`k · rerank_factor` rows) per iteration, either straight from the
+    // f32 sidecar rows or by reconstructing each row from its int8 codes
+    // first. Exactness already decides the design (sidecar scores are the
+    // true f32 scores; dequantized ones are not) — this records that the
+    // sidecar is not even paying a speed penalty for it.
+    let pool_size = K * rerank_factor;
+    let cand_rows: Vec<usize> = (0..pool_size).map(|i| (i * 977) % nodes).collect();
+    let codes: Vec<(Vec<i8>, f32)> =
+        cand_rows.iter().map(|&r| qkernels::quantize_i8_row(f32_store.row(r))).collect();
+    let q = &qs[0];
+    let iters = 2000usize;
+    let mut acc = 0.0f32;
+    let t = Instant::now();
+    for _ in 0..iters {
+        for &r in &cand_rows {
+            acc += scorer.score(q, f32_store.row(r));
+        }
+    }
+    let rerank_sidecar_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let mut buf = vec![0.0f32; DIM];
+    let t = Instant::now();
+    for _ in 0..iters {
+        for (row_codes, scale) in &codes {
+            for (b, &c) in buf.iter_mut().zip(row_codes) {
+                *b = c as f32 * *scale;
+            }
+            acc += scorer.score(q, &buf);
+        }
+    }
+    let rerank_dequant_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    std::hint::black_box(acc);
+    eprintln!(
+        "bench_serve: int8 exact speedup {int8_speedup:.2}x over f32 | rerank pool \
+         {rerank_sidecar_us:.1} us sidecar vs {rerank_dequant_us:.1} us dequant"
+    );
+
+    PrecisionReport {
+        nodes,
+        hnsw_queries,
+        exact_queries,
+        rerank_factor,
+        points,
+        int8_speedup,
+        rerank_sidecar_us,
+        rerank_dequant_us,
+    }
+}
+
+/// Scale knobs for one [`measure`] run: the full bench and the CI smoke
+/// run the same code at different sizes.
+struct MeasurePlan {
     nodes: usize,
     queries: usize,
     http_queries: usize,
     sweep_nodes: usize,
-    sweep_connections: &[usize],
+    sweep_connections: &'static [usize],
     sweep_total: usize,
     baseline_requests: usize,
-) -> Report {
+    precision_nodes: usize,
+    precision_hnsw_queries: usize,
+    precision_exact_queries: usize,
+}
+
+/// Runs the engine + HTTP measurements for one store size. Returns the
+/// report (without writing anything).
+fn measure(plan: &MeasurePlan) -> Report {
+    let &MeasurePlan {
+        nodes,
+        queries,
+        http_queries,
+        sweep_nodes,
+        sweep_connections,
+        sweep_total,
+        baseline_requests,
+        precision_nodes,
+        precision_hnsw_queries,
+        precision_exact_queries,
+    } = plan;
     let scorer = Scorer::Cosine;
     eprintln!("bench_serve: building store ({nodes} x {DIM}) and HNSW index");
     let store = synthetic_store(nodes, DIM, SEED);
@@ -373,6 +648,9 @@ fn measure(
         concurrency.batched_speedup
     );
 
+    let precisions =
+        measure_precisions(precision_nodes, precision_hnsw_queries, precision_exact_queries);
+
     Report {
         nodes,
         dim: DIM,
@@ -388,20 +666,24 @@ fn measure(
         http: http_stats,
         http_keepalive,
         concurrency,
+        precisions,
     }
 }
 
 fn run_full() {
     pool::set_threads(4);
-    let report = measure(
-        NODES,
-        QUERIES,
-        HTTP_QUERIES,
-        SWEEP_NODES,
-        SWEEP_CONNECTIONS,
-        SWEEP_REQUESTS,
-        BASELINE_REQUESTS,
-    );
+    let report = measure(&MeasurePlan {
+        nodes: NODES,
+        queries: QUERIES,
+        http_queries: HTTP_QUERIES,
+        sweep_nodes: SWEEP_NODES,
+        sweep_connections: SWEEP_CONNECTIONS,
+        sweep_total: SWEEP_REQUESTS,
+        baseline_requests: BASELINE_REQUESTS,
+        precision_nodes: PRECISION_NODES,
+        precision_hnsw_queries: PRECISION_HNSW_QUERIES,
+        precision_exact_queries: PRECISION_EXACT_QUERIES,
+    });
     assert!(
         report.recall_at_k >= RECALL_FLOOR,
         "recall@{K} = {:.4} below the {RECALL_FLOOR} floor",
@@ -411,6 +693,19 @@ fn run_full() {
         report.concurrency.batched_speedup >= SPEEDUP_FLOOR,
         "micro-batched throughput is only {:.2}x the per-request baseline (need {SPEEDUP_FLOOR}x)",
         report.concurrency.batched_speedup
+    );
+    for p in &report.precisions.points {
+        assert!(
+            p.recall_at_k >= RECALL_FLOOR,
+            "{} recall@{K} = {:.4} below the {RECALL_FLOOR} floor at {PRECISION_NODES} nodes",
+            p.precision,
+            p.recall_at_k
+        );
+    }
+    assert!(
+        report.precisions.int8_speedup >= INT8_SPEEDUP_FLOOR,
+        "int8 brute-force is only {:.2}x f32 (need {INT8_SPEEDUP_FLOOR}x)",
+        report.precisions.int8_speedup
     );
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(json_path(), format!("{json}\n")).expect("write BENCH_serve.json");
@@ -423,7 +718,22 @@ fn run_full() {
 /// this binary's constants.
 fn run_smoke() {
     pool::set_threads(2);
-    let report = measure(300, 32, 8, 300, &[1, 2], 16, 8);
+    // The precision sweep reuses the same tiny store size — a live spin of
+    // all three precisions through build/query/rerank without the 100k
+    // stores, keeping smoke well under the CI timeout; the full-size
+    // numbers are validated from the committed report below.
+    let report = measure(&MeasurePlan {
+        nodes: 300,
+        queries: 32,
+        http_queries: 8,
+        sweep_nodes: 300,
+        sweep_connections: &[1, 2],
+        sweep_total: 16,
+        baseline_requests: 8,
+        precision_nodes: 300,
+        precision_hnsw_queries: 16,
+        precision_exact_queries: 8,
+    });
     if report.recall_at_k < SMOKE_RECALL_FLOOR {
         fail(&format!(
             "smoke recall@{K} = {:.4} below the {SMOKE_RECALL_FLOOR} floor",
@@ -435,6 +745,16 @@ fn run_smoke() {
     for p in &report.concurrency.points {
         if p.shed > 0 {
             fail(&format!("smoke sweep shed {} requests at default queue_cap", p.shed));
+        }
+    }
+    // Quantized recall on the tiny store (brute-force fetch + rerank covers
+    // a large fraction of 300 rows, so only gross breakage can fail this).
+    for p in &report.precisions.points {
+        if p.recall_at_k < SMOKE_RECALL_FLOOR {
+            fail(&format!(
+                "smoke {} recall@{K} = {:.4} below the {SMOKE_RECALL_FLOOR} floor",
+                p.precision, p.recall_at_k
+            ));
         }
     }
     eprintln!("smoke: live serving path ok (recall@{K} {:.4})", report.recall_at_k);
@@ -515,6 +835,55 @@ fn run_smoke() {
             "BENCH_serve.json batched_speedup {:.2} inconsistent with points ({recomputed:.2})",
             conc.batched_speedup
         ));
+    }
+
+    // Per-precision section: all three precisions at the full sweep size,
+    // every recall at the full floor, shrinking scan footprints, and an
+    // int8 speedup that clears the floor *and* follows from its points.
+    let prec = &committed.precisions;
+    if prec.nodes != PRECISION_NODES {
+        fail("BENCH_serve.json precisions.nodes does not match the bench constants");
+    }
+    let names: Vec<&str> = prec.points.iter().map(|p| p.precision.as_str()).collect();
+    if names != ["f32", "f16", "int8"] {
+        fail(&format!("BENCH_serve.json precisions are {names:?}, want [f32, f16, int8]"));
+    }
+    for p in &prec.points {
+        let finite =
+            [p.hnsw_qps, p.exact_qps, p.build_ms].iter().all(|x| x.is_finite() && *x > 0.0);
+        if !finite {
+            fail(&format!("BENCH_serve.json {} precision stats are non-positive", p.precision));
+        }
+        if p.recall_at_k < RECALL_FLOOR {
+            fail(&format!(
+                "BENCH_serve.json {} recall@{K} = {:.4} below the {RECALL_FLOOR} floor",
+                p.precision, p.recall_at_k
+            ));
+        }
+        if p.store_bytes == 0 || p.file_bytes == 0 {
+            fail(&format!("BENCH_serve.json {} byte counts are zero", p.precision));
+        }
+    }
+    if !(prec.points[0].store_bytes > prec.points[1].store_bytes
+        && prec.points[1].store_bytes > prec.points[2].store_bytes)
+    {
+        fail("BENCH_serve.json precision scan footprints must shrink f32 > f16 > int8");
+    }
+    if prec.int8_speedup < INT8_SPEEDUP_FLOOR {
+        fail(&format!(
+            "BENCH_serve.json int8_speedup {:.2} below the {INT8_SPEEDUP_FLOOR} floor",
+            prec.int8_speedup
+        ));
+    }
+    let recomputed = prec.points[2].exact_qps / prec.points[0].exact_qps;
+    if (recomputed - prec.int8_speedup).abs() > 0.1 * prec.int8_speedup {
+        fail(&format!(
+            "BENCH_serve.json int8_speedup {:.2} inconsistent with points ({recomputed:.2})",
+            prec.int8_speedup
+        ));
+    }
+    if !(prec.rerank_sidecar_us > 0.0 && prec.rerank_dequant_us > 0.0) {
+        fail("BENCH_serve.json rerank cost comparison is non-positive");
     }
     eprintln!("smoke: BENCH_serve.json valid (recall@{K} {:.4})", committed.recall_at_k);
     println!(

@@ -20,6 +20,7 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod pool;
+pub mod qkernels;
 pub mod sim;
 pub mod sparse;
 pub mod tape;
@@ -27,6 +28,7 @@ pub mod tape;
 pub use layers::{Linear, Mlp};
 pub use matrix::{matmul_nt_slices, Matrix};
 pub use optim::{Adam, ParamId, Params, Sgd};
+pub use qkernels::Precision;
 pub use sim::Scorer;
 pub use sparse::SparseMatrix;
 pub use tape::{Tape, Var};

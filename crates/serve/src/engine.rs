@@ -77,7 +77,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use coane_core::{embed_nodes_obs, CoaneConfig, CoaneModel};
 use coane_error::{CoaneError, CoaneResult};
 use coane_graph::{AttributedGraph, GraphBuilder, NodeAttributes};
-use coane_nn::{pool, Scorer};
+use coane_nn::{pool, Precision, Scorer};
 use coane_obs::Obs;
 
 use crate::generation::{
@@ -94,11 +94,16 @@ pub struct EngineLimits {
     pub max_batch: usize,
     /// Max concurrently admitted batches; further submitters block.
     pub queue_cap: usize,
+    /// On a quantized store, each kNN query fetches `k · rerank_factor`
+    /// candidates under quantized scores and re-ranks them with exact f32
+    /// scores from the sidecar before taking the top `k`. Ignored (no
+    /// rerank pass at all) on f32 stores. Clamped to ≥ 1.
+    pub rerank_factor: usize,
 }
 
 impl Default for EngineLimits {
     fn default() -> Self {
-        Self { max_batch: 256, queue_cap: 64 }
+        Self { max_batch: 256, queue_cap: 64, rerank_factor: 4 }
     }
 }
 
@@ -565,8 +570,14 @@ impl QueryEngine {
         // through the pre-transposed matmul; approximate keeps per-query
         // HNSW searches — each is a pure function of (graph, query), so
         // result bytes are batch-invariant either way.
-        let want = params.k + 1 + view.tombstones();
-        let hits: Vec<Vec<Hit>> = if params.exact {
+        //
+        // On a quantized store the candidate pass runs under quantized
+        // scores, so it over-fetches by `rerank_factor` and the rerank
+        // below restores exact f32 ordering before the top-`k` cut.
+        let quantized = store.precision() != Precision::F32;
+        let fetch = if quantized { params.k * self.limits.rerank_factor.max(1) } else { params.k };
+        let want = fetch + 1 + view.tombstones();
+        let mut hits: Vec<Vec<Hit>> = if params.exact {
             let refs: Vec<&[f32]> = flat.iter().map(|&(v, _)| v).collect();
             view.exact().knn(store, &refs, want, params.scorer)
         } else {
@@ -575,6 +586,25 @@ impl QueryEngine {
                 view.index().knn(store, vec, want)
             })
         };
+        if quantized {
+            // Exact-f32 rerank: rescore every candidate against the f32
+            // sidecar with the sequential `Scorer::score` (the recall
+            // ground truth's arithmetic) and re-sort under the strict
+            // (−score, row) total order. Each rescore is a pure function
+            // of its (query, row) pair, so answers stay bit-identical at
+            // any thread count and ISA level — and quantization error can
+            // only cost candidate *membership*, never final score bytes.
+            self.obs.add("serve/knn/reranked", hits.iter().map(|h| h.len() as u64).sum());
+            for (i, list) in hits.iter_mut().enumerate() {
+                let (q, _) = flat[i];
+                for h in list.iter_mut() {
+                    h.score = params.scorer.score(q, store.row(h.index as usize));
+                }
+                list.sort_unstable_by(|a, b| {
+                    (-a.score).total_cmp(&(-b.score)).then(a.index.cmp(&b.index))
+                });
+            }
+        }
         // Demultiplex in job order, filtering tombstones and self-hits.
         let mut cursor = hits.into_iter();
         resolved

@@ -62,7 +62,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use coane_error::{CoaneError, CoaneResult};
-use coane_nn::Scorer;
+use coane_nn::{Precision, Scorer};
 use coane_obs::Obs;
 
 use crate::hnsw::{ExactIndex, HnswConfig, HnswIndex};
@@ -277,6 +277,11 @@ pub struct MutationStats {
     pub wal_bytes: u64,
     /// Compaction threshold (0 on a read-only server).
     pub compact_every: usize,
+    /// Precision of the scoring table the ANN path reads.
+    pub precision: Precision,
+    /// Bytes the ANN scoring path streams per full scan (codes +
+    /// quantization parameters; the f32 sidecar is not counted).
+    pub store_bytes: usize,
 }
 
 struct WriterState {
@@ -669,6 +674,8 @@ impl GenerationManager {
             pending: w.records.len(),
             wal_bytes: w.wal.as_ref().map_or(0, MutLog::bytes),
             compact_every: self.inner.config.as_ref().map_or(0, |c| c.compact_every),
+            precision: view.store.precision(),
+            store_bytes: view.store.store_bytes(),
         }
     }
 
@@ -824,6 +831,12 @@ fn compact_base(base: &EmbeddingStore, window: &[MutRecord]) -> Result<Embedding
             vectors.extend_from_slice(store.row(row));
         }
     }
+    // Folding re-quantizes the whole table from the exact f32 rows (WAL
+    // records are always f32), so the next base's code table is the same
+    // pure function of (base rows, window) that a crash-and-replay run
+    // would produce — byte-identical self-healing carries over to
+    // quantized stores unchanged.
     EmbeddingStore::new(vectors, dim, Some(ids), store.meta().to_string())
+        .and_then(|s| s.with_precision(base.precision()))
         .map_err(|e| e.to_string())
 }

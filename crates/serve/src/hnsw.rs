@@ -28,12 +28,12 @@
 //! recall@10 ≥ 0.95 against brute force on a seeded 2k-node fixture.
 
 use coane_nn::sim::{norm, score_block};
-use coane_nn::{pool, Matrix, Scorer};
+use coane_nn::{pool, Matrix, Precision, Scorer};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::store::EmbeddingStore;
+use crate::store::{EmbeddingStore, QuantProbe};
 
 /// HNSW build/search parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -102,9 +102,13 @@ fn level_for(seed: u64, row: u64, m: usize) -> u8 {
 }
 
 /// Distance = negated similarity, so smaller is closer under every scorer.
+/// All graph scoring goes through [`EmbeddingStore::quant_score`]: on an
+/// f32 store that is exactly `-scorer.score(probe, row)` (bit-identical to
+/// the pre-quantization behavior), and on an f16/int8 store it is the
+/// fused quantized kernel with the same determinism contract.
 #[inline]
-fn dist(scorer: Scorer, a: &[f32], b: &[f32]) -> f32 {
-    -scorer.score(a, b)
+fn dist(store: &EmbeddingStore, scorer: Scorer, probe: &QuantProbe<'_>, row: u32) -> f32 {
+    -store.quant_score(scorer, probe, row as usize)
 }
 
 /// Total order on (distance, row) pairs: by distance, then row index. Using
@@ -228,19 +232,22 @@ impl HnswIndex {
         if frozen == 0 {
             return vec![Vec::new(); node_level + 1];
         }
-        let q = store.row(v as usize);
+        // The inserted row probes with its *own* stored codes, so build and
+        // replay scoring is an exact function of the code table (for int8,
+        // pure integer arithmetic — ISA- and thread-invariant for free).
+        let q = store.probe_for_row(v as usize);
         let top = self.levels[self.entry as usize] as usize;
         let mut ep = self.entry;
-        let mut ep_d = dist(self.scorer, q, store.row(ep as usize));
+        let mut ep_d = dist(store, self.scorer, &q, ep);
         // Greedy descent through layers above the node's level.
         for l in (node_level + 1..=top).rev() {
-            (ep, ep_d) = self.greedy_step(store, q, ep, ep_d, l, frozen);
+            (ep, ep_d) = self.greedy_step(store, &q, ep, ep_d, l, frozen);
         }
         // Full beam search on each layer the node joins.
         let mut out = vec![Vec::new(); node_level + 1];
         for l in (0..=node_level.min(top)).rev() {
             let found =
-                self.search_layer(store, q, (ep, ep_d), l, self.config.ef_construction, frozen);
+                self.search_layer(store, &q, (ep, ep_d), l, self.config.ef_construction, frozen);
             if let Some(&(d, e)) = found.first() {
                 (ep, ep_d) = (e, d);
             }
@@ -253,7 +260,7 @@ impl HnswIndex {
     fn greedy_step(
         &self,
         store: &EmbeddingStore,
-        q: &[f32],
+        q: &QuantProbe<'_>,
         mut ep: u32,
         mut ep_d: f32,
         layer: usize,
@@ -265,7 +272,7 @@ impl HnswIndex {
                 if (u as usize) >= frozen {
                     continue;
                 }
-                let d = dist(self.scorer, q, store.row(u as usize));
+                let d = dist(store, self.scorer, q, u);
                 if by_dist(&(d, u), &(ep_d, ep)).is_lt() {
                     (ep, ep_d) = (u, d);
                     improved = true;
@@ -283,7 +290,7 @@ impl HnswIndex {
     fn search_layer(
         &self,
         store: &EmbeddingStore,
-        q: &[f32],
+        q: &QuantProbe<'_>,
         entry: (u32, f32),
         layer: usize,
         ef: usize,
@@ -326,7 +333,7 @@ impl HnswIndex {
                     continue;
                 }
                 visited[u as usize] = true;
-                let d = dist(self.scorer, q, store.row(u as usize));
+                let d = dist(store, self.scorer, q, u);
                 if best.len() < ef || d < best.peek().expect("non-empty").0 {
                     frontier.push(Reverse(Key(d, u)));
                     best.push(Key(d, u));
@@ -378,9 +385,9 @@ impl HnswIndex {
     fn shrink(&mut self, store: &EmbeddingStore, layer: usize, u: u32) {
         let cap = self.max_degree(layer);
         let list = std::mem::take(&mut self.layers[layer][u as usize]);
-        let base = store.row(u as usize);
+        let base = store.probe_for_row(u as usize);
         let mut scored: Vec<(f32, u32)> =
-            list.into_iter().map(|w| (dist(self.scorer, base, store.row(w as usize)), w)).collect();
+            list.into_iter().map(|w| (dist(store, self.scorer, &base, w), w)).collect();
         scored.sort_unstable_by(by_dist);
         scored.truncate(cap);
         self.layers[layer][u as usize] = scored.into_iter().map(|(_, w)| w).collect();
@@ -395,14 +402,15 @@ impl HnswIndex {
         if n == 0 || k == 0 {
             return Vec::new();
         }
+        let probe = store.probe_for_vector(query);
         let ef = self.config.ef_search.max(k);
         let top = self.levels[self.entry as usize] as usize;
         let mut ep = self.entry;
-        let mut ep_d = dist(self.scorer, query, store.row(ep as usize));
+        let mut ep_d = dist(store, self.scorer, &probe, ep);
         for l in (1..=top).rev() {
-            (ep, ep_d) = self.greedy_step(store, query, ep, ep_d, l, n);
+            (ep, ep_d) = self.greedy_step(store, &probe, ep, ep_d, l, n);
         }
-        let found = self.search_layer(store, query, (ep, ep_d), 0, ef, n);
+        let found = self.search_layer(store, &probe, (ep, ep_d), 0, ef, n);
         found.into_iter().take(k).map(|(d, u)| Hit { index: u, score: -d }).collect()
     }
 }
@@ -536,16 +544,34 @@ fn topk(scores: impl Iterator<Item = f32>, k: usize) -> Vec<Hit> {
 /// cosine's stabilizer is folded per factor rather than added to the norm
 /// product), so rankings agree but bytes differ across entry points —
 /// `knn_exact` stays the recall ground truth.
-pub struct ExactIndex {
-    /// `dim×n` transpose of the store, so `queries · store_t` is one matmul.
-    store_t: Matrix,
-    /// Per-row `1/(‖v‖ + 1e-12)` for the cosine route (zero rows score 0).
-    inv_norms: Vec<f32>,
+pub struct ExactIndex(ExactImpl);
+
+enum ExactImpl {
+    /// f32 store: pre-transposed matmul route (see above).
+    F32 {
+        /// `dim×n` transpose of the store, so `queries · store_t` is one
+        /// matmul.
+        store_t: Matrix,
+        /// Per-row `1/(‖v‖ + 1e-12)` for the cosine route (zero rows
+        /// score 0).
+        inv_norms: Vec<f32>,
+    },
+    /// Quantized store: no side table at all — the brute-force path is a
+    /// fused streaming scan of the code table
+    /// ([`EmbeddingStore::quant_scores_block`]), which reads 2–4× fewer
+    /// bytes per row than the f32 matmul and is exactly the
+    /// memory-bandwidth reduction quantization buys.
+    Quant,
 }
 
 impl ExactIndex {
-    /// Transposes the store and precomputes per-row inverse norms.
+    /// Builds the brute-force accelerator matching the store's precision:
+    /// the `dim×n` transpose + inverse norms for f32, nothing for a
+    /// quantized store (its scan reads the code table in place).
     pub fn build(store: &EmbeddingStore) -> Self {
+        if store.precision() != Precision::F32 {
+            return Self(ExactImpl::Quant);
+        }
         let (n, dim) = (store.len(), store.dim());
         let data = store.vectors();
         let mut t = vec![0.0f32; n * dim];
@@ -555,13 +581,17 @@ impl ExactIndex {
             }
         }
         let inv_norms = (0..n).map(|r| 1.0 / (norm(store.row(r)) + 1e-12)).collect();
-        Self { store_t: Matrix::from_vec(dim, n, t), inv_norms }
+        Self(ExactImpl::F32 { store_t: Matrix::from_vec(dim, n, t), inv_norms })
     }
 
-    /// Batched exact kNN through the pre-transposed matmul: per-query hits
-    /// sorted by score descending, ties by row index. Dot and cosine take
-    /// the fast path; Euclidean falls back to [`knn_exact_batch`] (the L2
-    /// expansion `‖a‖² − 2⟨a,b⟩ + ‖b‖²` would reassociate per batch).
+    /// Batched exact kNN (exact over the store's *scoring table*: full
+    /// f32 precision on an f32 store, quantized-score brute force on an
+    /// f16/int8 store, where the engine's rerank stage restores exact f32
+    /// ordering). Per-query hits sorted by score descending, ties by row
+    /// index. On the f32 matmul route, dot and cosine take the fast path
+    /// and Euclidean falls back to [`knn_exact_batch`] (the L2 expansion
+    /// `‖a‖² − 2⟨a,b⟩ + ‖b‖²` would reassociate per batch); the quantized
+    /// scan handles all three scorers in one fused kernel.
     ///
     /// # Panics
     /// Panics if a query's dimension disagrees with the store's.
@@ -572,6 +602,9 @@ impl ExactIndex {
         k: usize,
         scorer: Scorer,
     ) -> Vec<Vec<Hit>> {
+        let ExactImpl::F32 { store_t, inv_norms } = &self.0 else {
+            return Self::knn_quant(store, queries, k, scorer);
+        };
         if scorer == Scorer::Euclidean {
             return knn_exact_batch(store, queries, k, scorer);
         }
@@ -594,15 +627,42 @@ impl ExactIndex {
                 Scorer::Euclidean => unreachable!("handled above"),
             }
         }
-        let scores = Matrix::from_vec(m, dim, flat).matmul(&self.store_t);
+        let scores = Matrix::from_vec(m, dim, flat).matmul(store_t);
         pool::parallel_map(m, |i| {
             let row = scores.row(i);
             match scorer {
-                Scorer::Cosine => {
-                    topk(row.iter().zip(&self.inv_norms).map(|(&s, &inv)| s * inv), k)
-                }
+                Scorer::Cosine => topk(row.iter().zip(inv_norms).map(|(&s, &inv)| s * inv), k),
                 _ => topk(row.iter().copied(), k),
             }
         })
+    }
+
+    /// Brute force over a quantized store: one fused code-table scan per
+    /// query (the scan itself parallelizes over row chunks on the pool, so
+    /// queries run sequentially here — no nested parallelism). Every score
+    /// is a pure function of its (query, row) pair, so results are
+    /// bit-identical at any thread count and ISA level.
+    fn knn_quant(
+        store: &EmbeddingStore,
+        queries: &[&[f32]],
+        k: usize,
+        scorer: Scorer,
+    ) -> Vec<Vec<Hit>> {
+        let dim = store.dim();
+        for q in queries {
+            assert_eq!(q.len(), dim, "query dimension mismatch");
+        }
+        if queries.is_empty() || store.is_empty() || k == 0 {
+            return vec![Vec::new(); queries.len()];
+        }
+        let mut scores = vec![0.0f32; store.len()];
+        queries
+            .iter()
+            .map(|q| {
+                let probe = store.probe_for_vector(q);
+                store.quant_scores_block(scorer, &probe, &mut scores);
+                topk(scores.iter().copied(), k)
+            })
+            .collect()
     }
 }

@@ -576,6 +576,10 @@ pub struct HealthResponse {
     pub generation: u64,
     /// Last applied mutation sequence (0 = pristine store).
     pub seq: u64,
+    /// Precision of the scoring table (`f32`, `f16` or `int8`).
+    pub precision: String,
+    /// Bytes the ANN scoring path streams per full scan.
+    pub store_bytes: usize,
 }
 
 #[derive(Deserialize)]
@@ -662,6 +666,8 @@ fn route(
                 mutable: engine.is_mutable(),
                 generation,
                 seq,
+                precision: view.store().precision().name().into(),
+                store_bytes: view.store().store_bytes(),
             })
         }
         ("GET", "/stats") => stats_response(engine),
@@ -900,6 +906,8 @@ fn stats_response(engine: &QueryEngine) -> Response {
     store.insert("pending".to_string(), Value::Number(ms.pending as f64));
     store.insert("wal_bytes".to_string(), Value::Number(ms.wal_bytes as f64));
     store.insert("compact_every".to_string(), Value::Number(ms.compact_every as f64));
+    store.insert("precision".to_string(), Value::String(ms.precision.name().to_string()));
+    store.insert("store_bytes".to_string(), Value::Number(ms.store_bytes as f64));
     let mut root = std::collections::BTreeMap::new();
     root.insert("uptime_secs".to_string(), Value::Number(obs.elapsed_secs()));
     root.insert("store".to_string(), Value::Object(store));

@@ -34,6 +34,7 @@ pub mod mutlog;
 pub mod store;
 
 pub use batch::MicroBatcher;
+pub use coane_nn::Precision;
 pub use engine::{
     EngineLimits, InductiveContext, KnnAnswer, KnnParams, KnnTarget, MutationAck, Permit,
     QueryClass, QueryEngine, UnseenNode, UpsertItem, UpsertSource,
@@ -44,4 +45,4 @@ pub use generation::{
 pub use hnsw::{knn_exact, knn_exact_batch, ExactIndex, Hit, HnswConfig, HnswIndex};
 pub use http::{http_request, HttpClient, HttpServer, ServerConfig};
 pub use mutlog::{MutLog, MutOp, MutRecord, WalReplay, WAL_FORMAT_VERSION, WAL_MAGIC};
-pub use store::{EmbeddingStore, STORE_FORMAT_VERSION, STORE_MAGIC};
+pub use store::{EmbeddingStore, STORE_FORMAT_VERSION, STORE_FORMAT_VERSION_QUANT, STORE_MAGIC};

@@ -2,7 +2,7 @@
 //! node embeddings written once by the trainer/CLI and loaded read-only by
 //! the server.
 //!
-//! ## File format (version 1)
+//! ## File format
 //!
 //! ```text
 //! offset  size  field
@@ -13,13 +13,35 @@
 //! 24      ...   payload
 //! ```
 //!
-//! The payload is a flat little-endian encoding:
+//! The **version 1** payload (full-precision f32, the default) is a flat
+//! little-endian encoding:
 //!
 //! ```text
 //! num_nodes u64 · dim u64 · meta_len u64 · meta (UTF-8 JSON, free-form)
 //! ids       num_nodes × u64          (external id of each row, unique)
 //! vectors   num_nodes × dim × f32    (row-major, fixed stride)
 //! ```
+//!
+//! The **version 2** payload carries a quantized scoring table (f16 or
+//! int8) *plus* the exact f32 rows as a sidecar — the sidecar is what the
+//! re-rank stage, WAL fold and ground-truth scoring read, so quantization
+//! error can only affect ANN candidate selection, never final scores:
+//!
+//! ```text
+//! num_nodes u64 · dim u64 · precision u8 (1 = f16, 2 = int8)
+//! meta_len  u64 · meta (UTF-8 JSON, free-form)
+//! ids       num_nodes × u64
+//! qparams   num_nodes × (scale f32 · zero_point f32)   (int8 only; the
+//!           zero point is reserved and must be 0.0 — symmetric range)
+//! codes     num_nodes × dim × (u16 LE | i8)            (f16 | int8)
+//! vectors   num_nodes × dim × f32                      (exact sidecar)
+//! ```
+//!
+//! f32 stores always write version 1 — byte-identical to every earlier
+//! build — and this build reads both versions. Codes are a pure function
+//! of the f32 row ([`coane_nn::qkernels`]), every writer maintains that
+//! invariant, and the CRC covers codes and sidecar alike, so a decoded
+//! table is trusted as-is.
 //!
 //! The layout is mmap-style: rows live at a fixed stride so row `i` is the
 //! slice at `i*dim .. (i+1)*dim`, addressable without any per-row framing.
@@ -30,27 +52,54 @@
 //!
 //! Every malformed-file condition — wrong magic, unsupported version,
 //! truncation, length or CRC mismatch, shape contradictions, duplicate
-//! ids — surfaces a typed [`CoaneError::Store`] (exit code 8) instead of a
-//! panic, mirroring the checkpoint layer's treatment of untrusted input.
+//! ids, bad precision byte, non-zero int8 zero point — surfaces a typed
+//! [`CoaneError::Store`] (exit code 8) instead of a panic, mirroring the
+//! checkpoint layer's treatment of untrusted input.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 
 use coane_core::checkpoint::crc32;
 use coane_error::{CoaneError, CoaneResult};
+use coane_nn::qkernels::{self, Precision};
+use coane_nn::Scorer;
 
 /// Magic bytes identifying a CoANE embedding-store file.
 pub const STORE_MAGIC: &[u8; 8] = b"COANESTR";
-/// On-disk store format version this build reads and writes.
+/// On-disk store format version for full-precision f32 stores.
 pub const STORE_FORMAT_VERSION: u32 = 1;
+/// On-disk store format version for quantized (f16 / int8) stores.
+pub const STORE_FORMAT_VERSION_QUANT: u32 = 2;
 /// Header size in bytes (magic + version + payload length + CRC32).
 const HEADER_LEN: usize = 24;
 /// Sanity bound on counts decoded from untrusted files.
 const MAX_DECODE_ITEMS: u64 = 1 << 32;
 
+/// Precision byte in a version-2 payload for f16 codes.
+const PRECISION_BYTE_F16: u8 = 1;
+/// Precision byte in a version-2 payload for int8 codes.
+const PRECISION_BYTE_INT8: u8 = 2;
+
+/// The quantized scoring table riding alongside the exact f32 rows.
+///
+/// Per-row derived constants (f16 norms, int8 code sums-of-squares) are
+/// *not* serialized — they are recomputed from the codes on load and on
+/// every row mutation, so they can never drift from the codes.
+#[derive(Debug, Clone)]
+enum QuantTable {
+    /// f32 store: no codes, scoring reads the exact rows directly.
+    None,
+    /// f16 codes plus the per-row dequantized L2 norm (cosine route).
+    F16 { codes: Vec<u16>, norms: Vec<f32> },
+    /// Symmetric int8 codes plus per-row scale and exact code sum-of-squares.
+    Int8 { codes: Vec<i8>, scales: Vec<f32>, sumsqs: Vec<i32> },
+}
+
 /// A read-only embedding table: `num_nodes × dim` f32 vectors plus an
-/// id ↔ row-index map and a free-form metadata string.
+/// id ↔ row-index map, a free-form metadata string, and (for f16/int8
+/// stores) a quantized scoring table kept in lock-step with the rows.
 #[derive(Debug, Clone)]
 pub struct EmbeddingStore {
     dim: usize,
@@ -58,6 +107,7 @@ pub struct EmbeddingStore {
     index_of: HashMap<u64, u32>,
     vectors: Vec<f32>,
     meta: String,
+    quant: QuantTable,
 }
 
 impl EmbeddingStore {
@@ -97,7 +147,58 @@ impl EmbeddingStore {
                 return Err(store_err(format!("duplicate node id {id}")));
             }
         }
-        Ok(Self { dim, ids, index_of, vectors: embedding, meta: meta.into() })
+        Ok(Self {
+            dim,
+            ids,
+            index_of,
+            vectors: embedding,
+            meta: meta.into(),
+            quant: QuantTable::None,
+        })
+    }
+
+    /// Re-encodes the scoring table at `precision`, rebuilding every code
+    /// from the exact f32 rows (a pure function of the row bytes, so two
+    /// stores with equal rows always quantize identically). `F32` drops
+    /// any existing codes. The f32 sidecar is untouched either way.
+    pub fn with_precision(mut self, precision: Precision) -> CoaneResult<Self> {
+        if precision != Precision::F32 && self.dim > qkernels::MAX_QUANT_DIM {
+            return Err(CoaneError::Store {
+                path: None,
+                message: format!(
+                    "dimension {} exceeds the quantized-store cap {}",
+                    self.dim,
+                    qkernels::MAX_QUANT_DIM
+                ),
+            });
+        }
+        let n = self.len();
+        self.quant = match precision {
+            Precision::F32 => QuantTable::None,
+            Precision::F16 => {
+                let mut codes = Vec::with_capacity(n * self.dim);
+                let mut norms = Vec::with_capacity(n);
+                for r in 0..n {
+                    let row_codes = qkernels::quantize_f16_row(self.row(r));
+                    norms.push(qkernels::f16_row_norm(&row_codes));
+                    codes.extend(row_codes);
+                }
+                QuantTable::F16 { codes, norms }
+            }
+            Precision::Int8 => {
+                let mut codes = Vec::with_capacity(n * self.dim);
+                let mut scales = Vec::with_capacity(n);
+                let mut sumsqs = Vec::with_capacity(n);
+                for r in 0..n {
+                    let (row_codes, scale) = qkernels::quantize_i8_row(self.row(r));
+                    scales.push(scale);
+                    sumsqs.push(qkernels::sumsq_i8(&row_codes));
+                    codes.extend(row_codes);
+                }
+                QuantTable::Int8 { codes, scales, sumsqs }
+            }
+        };
+        Ok(self)
     }
 
     /// Number of stored vectors.
@@ -149,6 +250,28 @@ impl EmbeddingStore {
         self.index_of.get(&id).copied()
     }
 
+    /// The precision of the scoring table the ANN hot path reads.
+    pub fn precision(&self) -> Precision {
+        match self.quant {
+            QuantTable::None => Precision::F32,
+            QuantTable::F16 { .. } => Precision::F16,
+            QuantTable::Int8 { .. } => Precision::Int8,
+        }
+    }
+
+    /// Bytes the ANN scoring path streams per full scan: the code table
+    /// plus, for int8, the per-row quantization parameters. The exact f32
+    /// sidecar is *not* counted — only the re-rank stage touches it, and
+    /// only for `k·rerank_factor` rows per query.
+    pub fn store_bytes(&self) -> usize {
+        let n = self.len();
+        match self.quant {
+            QuantTable::None => n * self.dim * 4,
+            QuantTable::F16 { .. } => n * self.dim * 2,
+            QuantTable::Int8 { .. } => n * self.dim + n * 8,
+        }
+    }
+
     // ------------------------------------------------------------ mutation
     //
     // The store stays read-only from the outside; the generation layer
@@ -162,6 +285,7 @@ impl EmbeddingStore {
     pub(crate) fn set_row(&mut self, row: usize, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "set_row dimension mismatch");
         self.vectors[row * self.dim..(row + 1) * self.dim].copy_from_slice(v);
+        self.requantize_row(row, false);
     }
 
     /// Appends a new `(id, vector)` row at index `len()`.
@@ -175,6 +299,163 @@ impl EmbeddingStore {
         assert!(prev.is_none(), "push_row duplicate id {id}");
         self.ids.push(id);
         self.vectors.extend_from_slice(v);
+        self.requantize_row(row as usize, true);
+    }
+
+    /// Re-derives the quantized codes (and derived per-row constants) of
+    /// one row from its freshly written f32 values, keeping the invariant
+    /// `codes == quantize(sidecar rows)` across every mutation path.
+    fn requantize_row(&mut self, row: usize, append: bool) {
+        let dim = self.dim;
+        match &mut self.quant {
+            QuantTable::None => {}
+            QuantTable::F16 { codes, norms } => {
+                let row_codes =
+                    qkernels::quantize_f16_row(&self.vectors[row * dim..(row + 1) * dim]);
+                let norm = qkernels::f16_row_norm(&row_codes);
+                if append {
+                    codes.extend(row_codes);
+                    norms.push(norm);
+                } else {
+                    codes[row * dim..(row + 1) * dim].copy_from_slice(&row_codes);
+                    norms[row] = norm;
+                }
+            }
+            QuantTable::Int8 { codes, scales, sumsqs } => {
+                let (row_codes, scale) =
+                    qkernels::quantize_i8_row(&self.vectors[row * dim..(row + 1) * dim]);
+                let sumsq = qkernels::sumsq_i8(&row_codes);
+                if append {
+                    codes.extend(row_codes);
+                    scales.push(scale);
+                    sumsqs.push(sumsq);
+                } else {
+                    codes[row * dim..(row + 1) * dim].copy_from_slice(&row_codes);
+                    scales[row] = scale;
+                    sumsqs[row] = sumsq;
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- scoring
+    //
+    // The ANN layers (`crate::hnsw`) score through probes so one code path
+    // serves all precisions: an f32 probe reproduces `Scorer::score`
+    // exactly (bit-identical to the pre-quantization behavior), and the
+    // quantized probes go through the fused kernels in
+    // `coane_nn::qkernels` with their ISA/thread determinism contract.
+
+    /// Prepares a query vector for repeated scoring against this store's
+    /// precision: quantizes it once (f16 round-trip or int8 codes) so the
+    /// per-candidate cost in a graph traversal is a single fused kernel.
+    ///
+    /// # Panics
+    /// Panics if `q` has the wrong dimension.
+    pub(crate) fn probe_for_vector<'a>(&self, q: &'a [f32]) -> QuantProbe<'a> {
+        assert_eq!(q.len(), self.dim, "probe dimension mismatch");
+        match &self.quant {
+            QuantTable::None => QuantProbe::F32(Cow::Borrowed(q)),
+            QuantTable::F16 { .. } => {
+                let codes = qkernels::quantize_f16_row(q);
+                let norm = qkernels::f16_row_norm(&codes);
+                let vals = codes.iter().map(|&h| qkernels::dequantize_f16(h)).collect();
+                QuantProbe::F16 { vals: Cow::Owned(vals), norm }
+            }
+            QuantTable::Int8 { .. } => {
+                let (codes, scale) = qkernels::quantize_i8_row(q);
+                let sumsq = qkernels::sumsq_i8(&codes);
+                QuantProbe::Int8 { codes: Cow::Owned(codes), scale, sumsq }
+            }
+        }
+    }
+
+    /// A probe carrying row `index`'s *own* stored representation — codes
+    /// are borrowed, nothing is re-rounded — so row-vs-row scoring during
+    /// index build, extension and WAL replay is an exact function of the
+    /// stored codes (for int8, pure integer arithmetic end to end).
+    pub(crate) fn probe_for_row(&self, index: usize) -> QuantProbe<'_> {
+        match &self.quant {
+            QuantTable::None => QuantProbe::F32(Cow::Borrowed(self.row(index))),
+            QuantTable::F16 { codes, norms } => {
+                let row = &codes[index * self.dim..(index + 1) * self.dim];
+                let vals = row.iter().map(|&h| qkernels::dequantize_f16(h)).collect();
+                QuantProbe::F16 { vals: Cow::Owned(vals), norm: norms[index] }
+            }
+            QuantTable::Int8 { codes, scales, sumsqs } => QuantProbe::Int8 {
+                codes: Cow::Borrowed(&codes[index * self.dim..(index + 1) * self.dim]),
+                scale: scales[index],
+                sumsq: sumsqs[index],
+            },
+        }
+    }
+
+    /// Scores a probe against one stored row (greater = more similar,
+    /// matching [`Scorer::score`] orientation). For an f32 probe this *is*
+    /// `scorer.score(q, row)`; quantized probes go through the fused
+    /// kernels plus a fixed-order scalar combine.
+    pub(crate) fn quant_score(&self, scorer: Scorer, probe: &QuantProbe<'_>, index: usize) -> f32 {
+        let dim = self.dim;
+        match (probe, &self.quant) {
+            (QuantProbe::F32(q), _) => scorer.score(q, self.row(index)),
+            (QuantProbe::F16 { vals, norm }, QuantTable::F16 { codes, norms }) => {
+                let row = &codes[index * dim..(index + 1) * dim];
+                let mut raw = [0.0f32];
+                match scorer {
+                    Scorer::Euclidean => qkernels::f16_l2_rows(row, vals, dim, &mut raw),
+                    _ => qkernels::f16_dot_rows(row, vals, dim, &mut raw),
+                }
+                qkernels::combine_f16(scorer, raw[0], *norm, norms[index])
+            }
+            (
+                QuantProbe::Int8 { codes: q, scale, sumsq },
+                QuantTable::Int8 { codes, scales, sumsqs },
+            ) => {
+                let row = &codes[index * dim..(index + 1) * dim];
+                let mut idot = [0i32];
+                qkernels::i8_dot_rows(row, q, dim, &mut idot);
+                qkernels::combine_i8(scorer, idot[0], *scale, *sumsq, scales[index], sumsqs[index])
+            }
+            _ => unreachable!("probe precision does not match store precision"),
+        }
+    }
+
+    /// Scores a probe against *every* row in one fused scan — the
+    /// brute-force path for quantized stores. Parallel over row chunks on
+    /// the workspace pool; each output element is a pure function of its
+    /// (probe, row) pair, so the result is bit-identical at any thread
+    /// count and ISA level.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`, or on an f32 probe (the f32
+    /// brute-force path keeps its blocked matmul route in `crate::hnsw`).
+    pub(crate) fn quant_scores_block(
+        &self,
+        scorer: Scorer,
+        probe: &QuantProbe<'_>,
+        out: &mut [f32],
+    ) {
+        assert_eq!(out.len(), self.len(), "quant_scores_block output length mismatch");
+        let dim = self.dim;
+        match (probe, &self.quant) {
+            (QuantProbe::F16 { vals, norm }, QuantTable::F16 { codes, norms }) => {
+                qkernels::f16_scan(codes, vals, dim, scorer == Scorer::Euclidean, out);
+                for (o, &rn) in out.iter_mut().zip(norms) {
+                    *o = qkernels::combine_f16(scorer, *o, *norm, rn);
+                }
+            }
+            (
+                QuantProbe::Int8 { codes: q, scale, sumsq },
+                QuantTable::Int8 { codes, scales, sumsqs },
+            ) => {
+                let mut idots = vec![0i32; out.len()];
+                qkernels::i8_dot_scan(codes, q, dim, &mut idots);
+                for (((o, &d), &rs), &rss) in out.iter_mut().zip(&idots).zip(scales).zip(sumsqs) {
+                    *o = qkernels::combine_i8(scorer, d, *scale, *sumsq, rs, rss);
+                }
+            }
+            _ => unreachable!("quant_scores_block requires a quantized store and matching probe"),
+        }
     }
 
     // ------------------------------------------------------------- on disk
@@ -182,16 +463,49 @@ impl EmbeddingStore {
     /// Serializes the store to `path` atomically: bytes go to a `.tmp`
     /// sibling which is fsynced then renamed into place, so a crash
     /// mid-write never leaves a half-written file under the final name.
+    ///
+    /// f32 stores write format version 1 — byte-identical to earlier
+    /// builds — and quantized stores write version 2 with the code table
+    /// ahead of the exact f32 sidecar.
     pub fn save(&self, path: &Path) -> CoaneResult<()> {
+        let version = match self.quant {
+            QuantTable::None => STORE_FORMAT_VERSION,
+            _ => STORE_FORMAT_VERSION_QUANT,
+        };
         let mut payload = Vec::with_capacity(
-            3 * 8 + self.meta.len() + self.ids.len() * 8 + self.vectors.len() * 4,
+            4 * 8
+                + 1
+                + self.meta.len()
+                + self.ids.len() * 8
+                + self.vectors.len() * 4
+                + self.store_bytes(),
         );
         payload.extend_from_slice(&(self.len() as u64).to_le_bytes());
         payload.extend_from_slice(&(self.dim as u64).to_le_bytes());
+        match &self.quant {
+            QuantTable::None => {}
+            QuantTable::F16 { .. } => payload.push(PRECISION_BYTE_F16),
+            QuantTable::Int8 { .. } => payload.push(PRECISION_BYTE_INT8),
+        }
         payload.extend_from_slice(&(self.meta.len() as u64).to_le_bytes());
         payload.extend_from_slice(self.meta.as_bytes());
         for &id in &self.ids {
             payload.extend_from_slice(&id.to_le_bytes());
+        }
+        match &self.quant {
+            QuantTable::None => {}
+            QuantTable::F16 { codes, .. } => {
+                for &c in codes {
+                    payload.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            QuantTable::Int8 { codes, scales, .. } => {
+                for &s in scales {
+                    payload.extend_from_slice(&s.to_le_bytes());
+                    payload.extend_from_slice(&0.0f32.to_le_bytes()); // reserved zero point
+                }
+                payload.extend(codes.iter().map(|&c| c as u8));
+            }
         }
         for &v in &self.vectors {
             payload.extend_from_slice(&v.to_le_bytes());
@@ -199,7 +513,7 @@ impl EmbeddingStore {
 
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(STORE_MAGIC);
-        bytes.extend_from_slice(&STORE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&version.to_le_bytes());
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
@@ -223,10 +537,10 @@ impl EmbeddingStore {
             return Err("bad magic: not a CoANE embedding store".into());
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != STORE_FORMAT_VERSION {
+        if version != STORE_FORMAT_VERSION && version != STORE_FORMAT_VERSION_QUANT {
             return Err(format!(
-                "unsupported store format version {version} (this build reads version \
-                 {STORE_FORMAT_VERSION})"
+                "unsupported store format version {version} (this build reads versions \
+                 {STORE_FORMAT_VERSION} and {STORE_FORMAT_VERSION_QUANT})"
             ));
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
@@ -252,6 +566,16 @@ impl EmbeddingStore {
         if n == 0 || dim == 0 || n > MAX_DECODE_ITEMS || dim > MAX_DECODE_ITEMS {
             return Err(format!("implausible shape: {n} × {dim}"));
         }
+        let precision = if version == STORE_FORMAT_VERSION_QUANT {
+            let b = cur.take_bytes(1, "precision byte")?[0];
+            match b {
+                PRECISION_BYTE_F16 => Precision::F16,
+                PRECISION_BYTE_INT8 => Precision::Int8,
+                other => return Err(format!("unknown precision byte {other}")),
+            }
+        } else {
+            Precision::F32
+        };
         let meta_len = cur.take_u64()?;
         let meta_bytes = cur.take_bytes(meta_len, "metadata")?;
         let meta = std::str::from_utf8(meta_bytes)
@@ -259,20 +583,88 @@ impl EmbeddingStore {
             .to_string();
         let n = n as usize;
         let dim = dim as usize;
+        if precision != Precision::F32 && dim > qkernels::MAX_QUANT_DIM {
+            return Err(format!(
+                "dimension {dim} exceeds the quantized-store cap {}",
+                qkernels::MAX_QUANT_DIM
+            ));
+        }
         let id_bytes = cur.take_bytes(n as u64 * 8, "id table")?;
         let ids: Vec<u64> =
             id_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
         let count = n
             .checked_mul(dim)
             .ok_or_else(|| format!("vector block size overflows: {n} × {dim}"))?;
+
+        // Quantized blocks precede the f32 sidecar. The CRC already vouches
+        // for the bytes; codes are decoded as-is (every writer produces
+        // them as a pure function of the f32 rows), and the per-row derived
+        // constants are recomputed from the codes so they cannot drift.
+        let quant = match precision {
+            Precision::F32 => QuantTable::None,
+            Precision::F16 => {
+                let code_bytes = cur.take_bytes(count as u64 * 2, "f16 code block")?;
+                let codes: Vec<u16> = code_bytes
+                    .chunks_exact(2)
+                    .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                let norms = (0..n)
+                    .map(|r| qkernels::f16_row_norm(&codes[r * dim..(r + 1) * dim]))
+                    .collect();
+                QuantTable::F16 { codes, norms }
+            }
+            Precision::Int8 => {
+                let qparam_bytes = cur.take_bytes(n as u64 * 8, "int8 qparam block")?;
+                let mut scales = Vec::with_capacity(n);
+                for (r, pair) in qparam_bytes.chunks_exact(8).enumerate() {
+                    let scale = f32::from_le_bytes(pair[0..4].try_into().unwrap());
+                    let zero = f32::from_le_bytes(pair[4..8].try_into().unwrap());
+                    if !(scale.is_finite() && scale > 0.0) {
+                        return Err(format!("row {r}: invalid int8 scale {scale}"));
+                    }
+                    if zero.to_bits() != 0 {
+                        return Err(format!(
+                            "row {r}: non-zero int8 zero point {zero} (reserved, must be 0.0)"
+                        ));
+                    }
+                    scales.push(scale);
+                }
+                let code_bytes = cur.take_bytes(count as u64, "int8 code block")?;
+                let codes: Vec<i8> = code_bytes.iter().map(|&b| b as i8).collect();
+                let sumsqs =
+                    (0..n).map(|r| qkernels::sumsq_i8(&codes[r * dim..(r + 1) * dim])).collect();
+                QuantTable::Int8 { codes, scales, sumsqs }
+            }
+        };
+
         let vec_bytes = cur.take_bytes(count as u64 * 4, "vector block")?;
         let vectors: Vec<f32> =
             vec_bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
         if cur.pos != payload.len() {
             return Err(format!("{} trailing bytes after vector block", payload.len() - cur.pos));
         }
-        Self::new(vectors, dim, Some(ids), meta).map_err(|e| e.to_string())
+        let mut store = Self::new(vectors, dim, Some(ids), meta).map_err(|e| e.to_string())?;
+        store.quant = quant;
+        Ok(store)
     }
+}
+
+/// A query prepared for repeated scoring against one store's precision:
+/// the quantize-once half of every fused distance evaluation.
+///
+/// [`EmbeddingStore::probe_for_vector`] quantizes an external query;
+/// [`EmbeddingStore::probe_for_row`] borrows a row's own stored codes so
+/// row-vs-row scoring (index build, extension, WAL replay) never
+/// re-rounds anything. `Cow` keeps the row path allocation-free for int8.
+#[derive(Debug, Clone)]
+pub(crate) enum QuantProbe<'a> {
+    /// Full-precision query: scoring is exactly [`Scorer::score`].
+    F32(Cow<'a, [f32]>),
+    /// f16 route: the query's f16-rounded values (so a query compares to
+    /// the rows on equal footing) plus their dequantized L2 norm.
+    F16 { vals: Cow<'a, [f32]>, norm: f32 },
+    /// int8 route: query codes, scale, and exact code sum-of-squares.
+    Int8 { codes: Cow<'a, [i8]>, scale: f32, sumsq: i32 },
 }
 
 /// Atomically replaces `path` with `bytes`: writes a `.tmp` sibling, fsyncs

@@ -54,7 +54,7 @@ fn start_server(with_model: bool) -> (String, std::thread::JoinHandle<()>) {
         store,
         index,
         inductive,
-        EngineLimits { max_batch: 64, queue_cap: 8 },
+        EngineLimits { max_batch: 64, queue_cap: 8, ..Default::default() },
         coane_obs::Obs::enabled(),
     )
     .expect("engine");

@@ -226,7 +226,7 @@ fn saturated_queue_sheds_with_429_not_hangs() {
     // queue_cap = 1 and a permit held by the test: the next request MUST
     // be shed deterministically — there is no free slot to race for.
     let (addr, handle, engine) =
-        start_server(EngineLimits { max_batch: 64, queue_cap: 1 }, config(2));
+        start_server(EngineLimits { max_batch: 64, queue_cap: 1, ..Default::default() }, config(2));
 
     let permit = engine.try_admit(1, QueryClass::Knn).expect("slot free");
     let (status, body) = http_request(&addr, "POST", "/knn", r#"{"ids":[0],"k":2}"#).expect("shed");

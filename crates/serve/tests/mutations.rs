@@ -173,6 +173,72 @@ fn replay_is_bit_identical_across_threads_and_restart() {
     pool::set_threads(default_threads);
 }
 
+/// The replay contract extends to quantized bases: with an int8 seed
+/// store, the WAL stays f32 but every compacted generation re-quantizes to
+/// the base precision, and the same stream converges on bit-identical v2
+/// store bytes, adjacency, and kNN answers at 1 or 4 threads and across a
+/// kill+restart (which recovers the int8 generation from disk, ignoring
+/// the seed).
+#[test]
+fn int8_replay_is_bit_identical_across_threads_and_restart() {
+    let default_threads = pool::threads();
+    let open_int8 = |dir: &Path| {
+        let store =
+            fixture_store().with_precision(coane_serve::Precision::Int8).expect("quantize seed");
+        let index = fixture_index(&store);
+        let config = MutationConfig { dir: dir.to_path_buf(), compact_every: 8 };
+        let (manager, report) =
+            GenerationManager::open(store, index, config, coane_obs::Obs::disabled())
+                .expect("open int8");
+        (manager, report.fell_back)
+    };
+    let stream = mutation_stream();
+    let mut reference: Option<(Vec<u8>, String, String, u64, u64)> = None;
+    for (variant, threads, split) in
+        [("i8-t1", 1usize, None), ("i8-t4", 4, None), ("i8-restart", 4, Some(7usize))]
+    {
+        pool::set_threads(threads);
+        let dir = tmp_dir(&format!("replay-{variant}"));
+        let (manager, fell_back) = open_int8(&dir);
+        assert!(!fell_back);
+        let cut = split.unwrap_or(stream.len());
+        for batch in &stream[..cut] {
+            manager.mutate(batch.clone()).expect("mutate");
+        }
+        let manager = if split.is_some() {
+            drop(manager);
+            let (manager, fell_back) = open_int8(&dir);
+            assert!(!fell_back, "clean restart must not fall back");
+            for batch in &stream[cut..] {
+                manager.mutate(batch.clone()).expect("mutate after restart");
+            }
+            manager
+        } else {
+            manager
+        };
+        manager.wait_idle();
+        let view = manager.current();
+        assert_eq!(
+            view.store().precision(),
+            coane_serve::Precision::Int8,
+            "{variant}: compaction must preserve the base precision"
+        );
+        let snap = snapshot(&manager, variant);
+        assert_eq!(snap.4, 60, "{variant}: last applied seq");
+        match &reference {
+            None => reference = Some(snap),
+            Some(expected) => {
+                assert_eq!(expected.0, snap.0, "{variant}: int8 store bytes diverged");
+                assert_eq!(expected.1, snap.1, "{variant}: HNSW adjacency diverged");
+                assert_eq!(expected.2, snap.2, "{variant}: kNN answers diverged");
+            }
+        }
+        drop(manager);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    pool::set_threads(default_threads);
+}
+
 /// Applying the stream one record per batch equals applying it as whole
 /// batches: sequence numbers are dense and the index grows one row at a
 /// time, so the batch split cannot leak into the result.

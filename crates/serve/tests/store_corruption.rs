@@ -1,10 +1,13 @@
 //! On-disk robustness of the embedding-store format: every way the file can
 //! be damaged (flipped bits, truncation, foreign magic, future version,
-//! length lies) must surface as a typed `CoaneError::Store` / `Io` — never a
-//! panic, never a silently-wrong store.
+//! length lies, bad precision bytes, corrupted quantization parameters)
+//! must surface as a typed `CoaneError::Store` / `Io` — never a panic,
+//! never a silently-wrong store. Covers both the version-1 f32 format and
+//! the version-2 quantized (f16 / int8) format.
 
+use coane_core::checkpoint::crc32;
 use coane_error::CoaneError;
-use coane_serve::{EmbeddingStore, STORE_FORMAT_VERSION};
+use coane_serve::{EmbeddingStore, Precision, STORE_FORMAT_VERSION_QUANT};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::path::{Path, PathBuf};
@@ -99,7 +102,7 @@ fn foreign_magic_and_future_version_are_rejected() {
     assert_rejected("magic", &wrong_magic, "bad magic");
 
     let mut future = bytes.clone();
-    future[8..12].copy_from_slice(&(STORE_FORMAT_VERSION + 1).to_le_bytes());
+    future[8..12].copy_from_slice(&(STORE_FORMAT_VERSION_QUANT + 1).to_le_bytes());
     assert_rejected("version", &future, "unsupported store format version");
 }
 
@@ -118,4 +121,149 @@ fn missing_file_is_an_io_error_not_a_panic() {
     let err = EmbeddingStore::open(Path::new("/nonexistent/coane.store"))
         .expect_err("missing file must not load");
     assert_eq!(err.kind(), "io");
+}
+
+// ------------------------------------------------------------------------
+// version-2 quantized payloads
+// ------------------------------------------------------------------------
+
+fn quantized_store(precision: Precision) -> EmbeddingStore {
+    sample_store().with_precision(precision).expect("quantize fixture")
+}
+
+/// Patches payload bytes at `edit` offsets and recomputes the header's CRC
+/// and length, producing a file that passes the checksum gate — for
+/// reaching the structural validations *behind* the CRC.
+fn patch_payload(bytes: &[u8], edit: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut payload = bytes[24..].to_vec();
+    edit(&mut payload);
+    let mut out = bytes[..12].to_vec();
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+#[test]
+fn quantized_roundtrip_preserves_everything() {
+    for precision in [Precision::F16, Precision::Int8] {
+        let store = quantized_store(precision);
+        let path = tmp_path(&format!("quant-roundtrip-{}", precision.name()));
+        store.save(&path).expect("save");
+        let loaded = EmbeddingStore::open(&path).expect("open");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.precision(), precision);
+        assert_eq!(loaded.len(), store.len());
+        assert_eq!(loaded.dim(), store.dim());
+        assert_eq!(loaded.meta(), store.meta());
+        assert_eq!(loaded.ids(), store.ids());
+        // The exact f32 sidecar survives quantization bit-for-bit.
+        assert_eq!(loaded.vectors(), store.vectors());
+        assert_eq!(loaded.store_bytes(), store.store_bytes());
+        assert!(loaded.store_bytes() < store.len() * store.dim() * 4);
+    }
+}
+
+#[test]
+fn old_version_f32_stores_still_load() {
+    // An f32 store writes format version 1 — the exact pre-quantization
+    // bytes — and loads with precision f32.
+    let store = sample_store();
+    let bytes = saved_bytes(&store, "v1-compat");
+    assert_eq!(&bytes[8..12], &1u32.to_le_bytes(), "f32 stores must stay on version 1");
+    let path = tmp_path("v1-compat-load");
+    std::fs::write(&path, &bytes).expect("write");
+    let loaded = EmbeddingStore::open(&path).expect("v1 store must load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded.precision(), Precision::F32);
+    assert_eq!(loaded.vectors(), store.vectors());
+}
+
+#[test]
+fn quantized_bit_flips_are_detected_everywhere() {
+    // One flipped bit anywhere in a quantized payload — precision byte,
+    // qparams, codes or sidecar — fails the CRC gate.
+    for precision in [Precision::F16, Precision::Int8] {
+        let store = quantized_store(precision);
+        let bytes = saved_bytes(&store, &format!("quant-bitflip-{}", precision.name()));
+        for pos in (24..bytes.len()).step_by(97) {
+            let mut dam = bytes.clone();
+            dam[pos] ^= 0x10;
+            assert_rejected(
+                &format!("quant-bitflip-{}-{pos}", precision.name()),
+                &dam,
+                "CRC32 mismatch",
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_truncation_is_detected_at_any_cut() {
+    for precision in [Precision::F16, Precision::Int8] {
+        let store = quantized_store(precision);
+        let bytes = saved_bytes(&store, &format!("quant-trunc-{}", precision.name()));
+        let name = precision.name();
+        assert_rejected(&format!("quant-trunc-header-{name}"), &bytes[..10], "too short");
+        // Cuts landing mid-row in the code block and mid-sidecar.
+        for cut in [bytes.len() - 3, bytes.len() - 8 * 4 - 1, 24 + 8 + 8 + 1 + 8 + 5] {
+            assert_rejected(&format!("quant-trunc-{name}-{cut}"), &bytes[..cut], "length mismatch");
+        }
+    }
+}
+
+#[test]
+fn unknown_precision_byte_is_rejected() {
+    // The precision byte sits right after the two u64 shape fields.
+    let store = quantized_store(Precision::Int8);
+    let bytes = saved_bytes(&store, "precision-byte");
+    let patched = patch_payload(&bytes, |p| p[16] = 9);
+    assert_rejected("precision-byte", &patched, "unknown precision byte 9");
+}
+
+#[test]
+fn nonzero_int8_zero_point_is_rejected() {
+    // qparams start after shape (16) + precision (1) + meta_len (8) + meta;
+    // each row is (scale f32, zero_point f32) and the zero point is
+    // reserved: any non-zero value is a format violation, CRC-valid or not.
+    let store = quantized_store(Precision::Int8);
+    let bytes = saved_bytes(&store, "zero-point");
+    let meta_len = store.meta().len();
+    let qparams_off = 16 + 1 + 8 + meta_len + store.len() * 8;
+    let patched = patch_payload(&bytes, |p| {
+        p[qparams_off + 4..qparams_off + 8].copy_from_slice(&0.25f32.to_le_bytes());
+    });
+    assert_rejected("zero-point", &patched, "non-zero int8 zero point");
+}
+
+#[test]
+fn invalid_int8_scale_is_rejected() {
+    let store = quantized_store(Precision::Int8);
+    let bytes = saved_bytes(&store, "bad-scale");
+    let meta_len = store.meta().len();
+    let qparams_off = 16 + 1 + 8 + meta_len + store.len() * 8;
+    for (tag, bad) in [("zero", 0.0f32), ("negative", -1.0), ("nan", f32::NAN)] {
+        let patched = patch_payload(&bytes, |p| {
+            p[qparams_off..qparams_off + 4].copy_from_slice(&bad.to_le_bytes());
+        });
+        assert_rejected(&format!("bad-scale-{tag}"), &patched, "invalid int8 scale");
+    }
+}
+
+#[test]
+fn f32_payload_under_quant_version_is_rejected() {
+    // A v1 (f32) payload relabeled as version 2: the byte where the
+    // precision tag should sit is the low byte of meta_len — decoding must
+    // fail structurally, never reinterpret silently.
+    let store = sample_store();
+    let bytes = saved_bytes(&store, "relabel");
+    let mut relabeled = bytes.clone();
+    relabeled[8..12].copy_from_slice(&STORE_FORMAT_VERSION_QUANT.to_le_bytes());
+    let relabeled = patch_payload(&relabeled, |_| {});
+    let path = tmp_path("relabel");
+    std::fs::write(&path, &relabeled).expect("write");
+    let err = EmbeddingStore::open(&path).expect_err("relabeled store must not load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(err.kind(), "store");
+    assert_eq!(err.exit_code(), 8);
 }

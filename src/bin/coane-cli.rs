@@ -41,6 +41,15 @@
 //! coane-cli query --addr-file server.addr --route knn --body '{"ids":[0],"k":5}'
 //! coane-cli query --addr-file server.addr --route shutdown
 //!
+//! # 5c. quantized serving: pack (or load) the store at f16/int8 precision —
+//! #     the ANN path scans 2–4× fewer bytes and every answer is re-ranked
+//! #     against the exact f32 sidecar (top k·rerank-factor candidates), so
+//! #     final scores are full-precision either way
+//! coane-cli export-store --embedding embedding.csv --out embedding.store \
+//!                 --precision int8
+//! coane-cli serve --store embedding.store --precision int8 --rerank-factor 4 \
+//!                 --addr 127.0.0.1:0 --addr-file server.addr
+//!
 //! # 5b. mutable serving: accept live upserts and tombstone deletes,
 //! #     journaled to a CRC-checked write-ahead log under --data-dir and
 //! #     folded into fresh on-disk generations every --compact-every
@@ -464,17 +473,41 @@ fn cmd_export_store(cli: &Cli) -> Result<(), CoaneError> {
         }
     };
     let meta = cli.get("meta").unwrap_or("").to_string();
-    let store = coane::serve::EmbeddingStore::new(embedding, dim, ids, meta)?;
+    let store = coane::serve::EmbeddingStore::new(embedding, dim, ids, meta)?
+        .with_precision(parse_precision(cli)?)?;
     store.save(Path::new(out))?;
-    log.info(format!("wrote {out}: {} vectors × {dim}", store.len()));
+    log.info(format!(
+        "wrote {out}: {} vectors × {dim} ({}, {} scan bytes)",
+        store.len(),
+        store.precision().name(),
+        store.store_bytes()
+    ));
     Ok(())
+}
+
+/// The `--precision {f32,f16,int8}` flag (default f32 — byte-identical to
+/// stores written before quantization existed).
+fn parse_precision(cli: &Cli) -> Result<coane::serve::Precision, CoaneError> {
+    let name = cli.get("precision").unwrap_or("f32");
+    coane::serve::Precision::parse(name)
+        .ok_or_else(|| CoaneError::config(format!("unknown precision {name:?} (f32, f16, int8)")))
 }
 
 /// Loads an embedding store, builds the deterministic HNSW index, and
 /// serves kNN / link-scoring / encoding over HTTP until `/shutdown`.
 fn cmd_serve(cli: &Cli) -> Result<(), CoaneError> {
     let log = Log::new(cli);
-    let store = coane::serve::EmbeddingStore::open(Path::new(cli.req("store")?))?;
+    // `--precision` re-encodes the scoring table at load; absent, the
+    // store serves at the precision it was exported with. Conversion is
+    // lossless in any direction: quantized stores carry the exact f32
+    // sidecar, so the result is byte-identical to an export at that
+    // precision. In mutable mode this store only seeds a fresh
+    // --data-dir — an existing data-dir keeps the precision its
+    // generations were created with.
+    let mut store = coane::serve::EmbeddingStore::open(Path::new(cli.req("store")?))?;
+    if cli.get("precision").is_some() {
+        store = store.with_precision(parse_precision(cli)?)?;
+    }
     let threads: usize = cli.num("threads", CoaneConfig::default().threads);
     coane::nn::pool::set_threads(threads);
     let scorer_name = cli.get("scorer").unwrap_or("cosine");
@@ -513,6 +546,8 @@ fn cmd_serve(cli: &Cli) -> Result<(), CoaneError> {
     let limits = coane::serve::EngineLimits {
         max_batch: cli.num("max-batch", coane::serve::EngineLimits::default().max_batch),
         queue_cap: cli.num("queue-cap", coane::serve::EngineLimits::default().queue_cap),
+        rerank_factor: cli
+            .num("rerank-factor", coane::serve::EngineLimits::default().rerank_factor),
     };
     // /stats reads live telemetry, so the server always observes itself
     // (observation-only: answers are bit-identical either way).
