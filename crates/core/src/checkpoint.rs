@@ -673,6 +673,11 @@ mod tests {
         assert_eq!(f, config_fingerprint(&CoaneConfig { max_lr_retries: 9, ..base.clone() }));
         assert_eq!(f, config_fingerprint(&CoaneConfig { infer_batch_size: 7, ..base.clone() }));
         assert_eq!(f, config_fingerprint(&CoaneConfig { prefetch_batches: 0, ..base.clone() }));
+        // Memory knobs: every setting yields bit-identical embeddings
+        // (tests/streaming.rs), so resuming across them must be legal.
+        assert_eq!(f, config_fingerprint(&CoaneConfig { max_cache_bytes: 1024, ..base.clone() }));
+        assert_eq!(f, config_fingerprint(&CoaneConfig { walk_block_size: 64, ..base.clone() }));
+        assert_eq!(f, config_fingerprint(&CoaneConfig { coocc_block_size: 128, ..base.clone() }));
         assert_ne!(f, config_fingerprint(&CoaneConfig { seed: 7, ..base.clone() }));
         assert_ne!(f, config_fingerprint(&CoaneConfig { embed_dim: 64, ..base.clone() }));
         assert_ne!(f, config_fingerprint(&CoaneConfig { gamma: 5.0, ..base }));

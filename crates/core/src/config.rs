@@ -183,6 +183,29 @@ pub struct CoaneConfig {
     /// RNG, so this is also a pure throughput knob excluded from the
     /// checkpoint config fingerprint.
     pub prefetch_batches: usize,
+    /// Memory budget in bytes for the context-row cache. `0` means
+    /// unbounded (always materialize). When set, the cache walks a fallback
+    /// ladder — materialized → delta+varint compressed → per-batch rebuild
+    /// (DESIGN.md §2.12) — picking the fastest representation that fits.
+    /// Every rung yields bit-identical embeddings, so like `threads` this is
+    /// excluded from the checkpoint config fingerprint.
+    pub max_cache_bytes: usize,
+    /// Walk-block size for streaming context generation: walks are produced
+    /// and consumed in blocks of this many walks through a bounded channel
+    /// instead of materializing all `n·r` walks at once. `0` means
+    /// materialize (the seed behavior). Streaming reproduces the
+    /// materialized contexts bit for bit at any block size or thread count,
+    /// so this is a pure memory/throughput knob excluded from the
+    /// checkpoint config fingerprint. Only the random-walk context source
+    /// streams; `FirstHop` ignores this.
+    pub walk_block_size: usize,
+    /// Node-range block size for the co-occurrence accumulation: `D` is
+    /// built per block of this many nodes and merged in deterministic block
+    /// order, bounding the transient pair buffer to one block's pairs. `0`
+    /// means monolithic (the seed behavior). Bit-identical to the
+    /// monolithic builder for any value, so it is excluded from the
+    /// checkpoint config fingerprint.
+    pub coocc_block_size: usize,
     /// RNG seed (walks, init, batching, sampling).
     pub seed: u64,
 }
@@ -210,6 +233,9 @@ impl Default for CoaneConfig {
             max_lr_retries: 3,
             infer_batch_size: 256,
             prefetch_batches: 2,
+            max_cache_bytes: 0,
+            walk_block_size: 0,
+            coocc_block_size: 0,
             seed: 42,
         }
     }

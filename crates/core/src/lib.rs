@@ -42,10 +42,11 @@ pub mod inductive;
 pub mod loss;
 pub mod model;
 pub mod persist;
+pub mod rowcodec;
 pub mod telemetry;
 pub mod trainer;
 
-pub use cache::ContextRowCache;
+pub use cache::{CacheMode, ContextRowCache};
 pub use checkpoint::CheckpointConfig;
 pub use coane_error::{CoaneError, CoaneResult};
 pub use coane_obs::Obs;

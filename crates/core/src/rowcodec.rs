@@ -1,0 +1,164 @@
+//! Delta+varint codec for compressed context rows.
+//!
+//! The memory-budgeted [`crate::cache::ContextRowCache`] stores sparse rows
+//! as a byte stream instead of a CSR triple. Each row encodes as:
+//!
+//! ```text
+//! varint(nnz)
+//! varint(col[0])  varint(col[1]−col[0]−1)  …   // strictly increasing deltas
+//! flag: 1 ⇒ every value is exactly 1.0f32 (binary attributes — free)
+//!       0 ⇒ nnz raw little-endian f32 words follow
+//! ```
+//!
+//! Values round-trip **bit-exactly** (raw `to_bits` when not all-ones, and
+//! `1.0f32` is exactly representable), which the budgeted cache's
+//! bit-identity contract depends on. Round-trip and budget-accounting
+//! invariants are locked by proptests in `tests/properties.rs`.
+
+/// Appends `x` as a LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        buf.push((x as u8 & 0x7F) | 0x80);
+        x >>= 7;
+    }
+    buf.push(x as u8);
+}
+
+/// Reads a LEB128 varint at `*pos`, advancing it.
+///
+/// # Panics
+/// Panics on a truncated buffer (the cache only decodes streams it wrote).
+#[inline]
+pub fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        x |= ((b & 0x7F) as u64) << shift;
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes one sparse row. `cols` must be strictly increasing (the cache's
+/// rows always are: duplicate columns are merged at build time).
+///
+/// # Panics
+/// Panics if `cols` and `vals` lengths differ or `cols` is not strictly
+/// increasing.
+pub fn encode_row(cols: &[u32], vals: &[f32], buf: &mut Vec<u8>) {
+    assert_eq!(cols.len(), vals.len(), "cols/vals length mismatch");
+    write_varint(buf, cols.len() as u64);
+    let mut prev: Option<u32> = None;
+    for &c in cols {
+        match prev {
+            None => write_varint(buf, c as u64),
+            Some(p) => {
+                assert!(c > p, "columns must be strictly increasing");
+                write_varint(buf, (c - p - 1) as u64);
+            }
+        }
+        prev = Some(c);
+    }
+    if cols.is_empty() {
+        return;
+    }
+    if vals.iter().all(|&v| v.to_bits() == 1.0f32.to_bits()) {
+        buf.push(1);
+    } else {
+        buf.push(0);
+        for &v in vals {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Decodes one row at `*pos`, appending its columns/values to `cols`/`vals`
+/// and advancing `*pos` past the row. Returns the row's nnz.
+pub fn decode_row(data: &[u8], pos: &mut usize, cols: &mut Vec<u32>, vals: &mut Vec<f32>) -> usize {
+    let nnz = read_varint(data, pos) as usize;
+    let mut col = 0u32;
+    for k in 0..nnz {
+        let delta = read_varint(data, pos) as u32;
+        col = if k == 0 { delta } else { col + delta + 1 };
+        cols.push(col);
+    }
+    if nnz == 0 {
+        return 0;
+    }
+    let flag = data[*pos];
+    *pos += 1;
+    if flag == 1 {
+        vals.extend(std::iter::repeat_n(1.0f32, nnz));
+    } else {
+        for _ in 0..nnz {
+            let raw: [u8; 4] = data[*pos..*pos + 4].try_into().unwrap();
+            vals.push(f32::from_bits(u32::from_le_bytes(raw)));
+            *pos += 4;
+        }
+    }
+    nnz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(cols: &[u32], vals: &[f32]) {
+        let mut buf = Vec::new();
+        encode_row(cols, vals, &mut buf);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        let mut pos = 0usize;
+        let nnz = decode_row(&buf, &mut pos, &mut c, &mut v);
+        assert_eq!(pos, buf.len(), "trailing bytes");
+        assert_eq!(nnz, cols.len());
+        assert_eq!(c, cols);
+        assert_eq!(
+            v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_row() {
+        round_trip(&[], &[]);
+    }
+
+    #[test]
+    fn all_ones_row_costs_one_value_byte() {
+        let cols: Vec<u32> = (0..100).map(|k| k * 3).collect();
+        let vals = vec![1.0f32; 100];
+        let mut buf = Vec::new();
+        encode_row(&cols, &vals, &mut buf);
+        round_trip(&cols, &vals);
+        let mut general = Vec::new();
+        encode_row(&cols, &[&vals[..99], &[2.0f32][..]].concat(), &mut general);
+        assert_eq!(buf.len() + 4 * 100, general.len(), "all-ones flag not exploited");
+    }
+
+    #[test]
+    fn exotic_float_bits_survive() {
+        round_trip(&[0, 7, u32::MAX - 1], &[-0.0, f32::MIN_POSITIVE / 2.0, 3.5e37]);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for x in [0u64, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), x);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_columns_rejected() {
+        encode_row(&[3, 3], &[1.0, 2.0], &mut Vec::new());
+    }
+}

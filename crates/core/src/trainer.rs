@@ -67,7 +67,7 @@ pub struct Coane {
 /// pairs, the contextual negative sampler, and the epoch-persistent
 /// context-row cache every batch is sliced from.
 struct Prepared {
-    contexts: ContextSet,
+    contexts: std::sync::Arc<ContextSet>,
     co: CoMatrices,
     pairs: PositivePairs,
     sampler: ContextualNegativeSampler,
@@ -618,7 +618,17 @@ impl Coane {
 
     fn prepare(&self, graph: &AttributedGraph) -> Prepared {
         let cfg = &self.config;
-        let walks = match cfg.context_source {
+        let ctx_cfg = ContextsConfig {
+            context_size: cfg.context_size,
+            subsample_t: match cfg.context_source {
+                ContextSource::RandomWalk => cfg.subsample_t,
+                // first-hop pseudo-walks already yield one context per
+                // directed edge; subsampling would just lose edges.
+                ContextSource::FirstHop => f64::INFINITY,
+            },
+            seed: cfg.seed ^ 0x51_7e,
+        };
+        let contexts = match cfg.context_source {
             ContextSource::RandomWalk => {
                 let walker = Walker::new(
                     graph,
@@ -630,29 +640,40 @@ impl Coane {
                         seed: cfg.seed,
                     },
                 );
-                walker.generate_all_obs(cfg.threads, &self.obs)
+                if cfg.walk_block_size > 0 {
+                    // Streaming path: walks flow through a bounded channel
+                    // in blocks and are dropped after context extraction —
+                    // the full `r·n` walk set is never resident. Contexts
+                    // are bit-identical to the materialized path
+                    // (tests/streaming.rs).
+                    ContextSet::build_streamed_obs(
+                        &walker,
+                        graph.num_nodes(),
+                        cfg.walk_block_size,
+                        &ctx_cfg,
+                        &self.obs,
+                    )
+                } else {
+                    let walks = walker.generate_all_obs(cfg.threads, &self.obs);
+                    ContextSet::build_obs(&walks, graph.num_nodes(), &ctx_cfg, &self.obs)
+                }
             }
             ContextSource::FirstHop => {
-                let _scope = self.obs.scope("walks");
-                first_hop_walks(graph)
+                let walks = {
+                    let _scope = self.obs.scope("walks");
+                    first_hop_walks(graph)
+                };
+                ContextSet::build_obs(&walks, graph.num_nodes(), &ctx_cfg, &self.obs)
             }
         };
-        let contexts = ContextSet::build_obs(
-            &walks,
-            graph.num_nodes(),
-            &ContextsConfig {
-                context_size: cfg.context_size,
-                subsample_t: match cfg.context_source {
-                    ContextSource::RandomWalk => cfg.subsample_t,
-                    // first-hop pseudo-walks already yield one context per
-                    // directed edge; subsampling would just lose edges.
-                    ContextSource::FirstHop => f64::INFINITY,
-                },
-                seed: cfg.seed ^ 0x51_7e,
-            },
-            &self.obs,
-        );
-        let co = CoMatrices::build_obs(&contexts, graph, &self.obs);
+        // Shared with the cache's rebuild rung (rung 3) without a second
+        // copy, and with the trainer's own uses via deref.
+        let contexts = std::sync::Arc::new(contexts);
+        let co = if cfg.coocc_block_size > 0 {
+            CoMatrices::build_blocked_obs(&contexts, graph, cfg.coocc_block_size, &self.obs)
+        } else {
+            CoMatrices::build_obs(&contexts, graph, &self.obs)
+        };
         let k_p = contexts.max_count().max(1);
         let pairs = {
             let _scope = self.obs.scope("positive_pairs");
@@ -666,11 +687,22 @@ impl Coane {
         // row once so per-epoch batch assembly is a row-range concatenation.
         let cache = {
             let _scope = self.obs.scope("cache");
-            ContextRowCache::build(graph, &contexts, cfg.encoder)
+            if cfg.max_cache_bytes > 0 {
+                ContextRowCache::build_budgeted(graph, &contexts, cfg.encoder, cfg.max_cache_bytes)
+            } else {
+                ContextRowCache::build(graph, &contexts, cfg.encoder)
+            }
         };
         if self.obs.is_enabled() {
             self.obs.add("cache/rows_built", cache.num_contexts() as u64);
             self.obs.add("cache/nnz_built", cache.nnz() as u64);
+            self.obs.add("cache/resident_bytes", cache.resident_bytes() as u64);
+            let mode = match cache.mode() {
+                crate::cache::CacheMode::Materialized => "cache/mode_materialized",
+                crate::cache::CacheMode::Compressed => "cache/mode_compressed",
+                crate::cache::CacheMode::Rebuild => "cache/mode_rebuild",
+            };
+            self.obs.add(mode, 1);
         }
         Prepared { contexts, co, pairs, sampler, cache }
     }

@@ -16,6 +16,8 @@
 
 pub mod generator;
 pub mod presets;
+pub mod scale;
 
 pub use generator::{social_circle_graph, SocialCircleConfig};
 pub use presets::Preset;
+pub use scale::{scale_graph, ScaleConfig, ScaleInfo};

@@ -1,0 +1,410 @@
+//! Large-scale synthetic attributed networks (100k–1M+ nodes).
+//!
+//! The social-circle generator in [`crate::generator`] is calibrated to the
+//! paper's Table 1 datasets but tops out around 10⁴ nodes: it keeps a
+//! `HashSet` of sampled edges and rejection-samples against it. This module
+//! generates graphs three orders of magnitude larger with bounded auxiliary
+//! memory, for the streaming/blocked training paths benchmarked by
+//! `bench_scale`:
+//!
+//! * **Power-law degrees** — a Chung–Lu model: node `v` carries an expected-
+//!   degree weight `w_v ∝ rank(v)^(−1/(γ−1))`, the classic recipe whose
+//!   realized degree sequence follows `P(deg = k) ∝ k^(−γ)`. Ranks are
+//!   assigned by a seeded shuffle so hubs land uniformly across communities.
+//! * **Planted communities** — nodes are split into `num_communities`
+//!   contiguous equal-width blocks (the block index is the ground-truth
+//!   label); each sampled edge keeps its second endpoint inside the first
+//!   endpoint's community with probability `1 − mixing`.
+//! * **Latent-factor attributes** — `num_factors` latent factors each own a
+//!   pool of `factor_attrs` characteristic attribute indices; every
+//!   community has a factor-mixture peaked on its own factor, and a node
+//!   draws its attributes factor-first, so attribute co-occurrence carries
+//!   the community structure the same way the paper's datasets do.
+//!
+//! Everything is driven by one `ChaCha8Rng` seeded from `ScaleConfig::seed`:
+//! the same config always produces the same graph, byte for byte. Duplicate
+//! edges are removed by sorting packed `u64` endpoint keys — no hash tables,
+//! so peak auxiliary memory is `O(m)` with small constants.
+
+use coane_graph::{AttributedGraph, GraphBuilder, NodeAttributes, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the large-scale generator. All sampling is fully
+/// determined by `seed`.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Number of nodes (`n`). Tested from 10³ up to 10⁶+.
+    pub num_nodes: usize,
+    /// Target mean degree; the realized mean lands slightly below after
+    /// duplicate and self-loop removal (within ~10%).
+    pub avg_degree: f64,
+    /// Power-law exponent `γ` of the degree distribution (`> 1`; social
+    /// networks are typically 2–3).
+    pub degree_exponent: f64,
+    /// Number of planted communities (contiguous node blocks; the block
+    /// index is the ground-truth label).
+    pub num_communities: usize,
+    /// Probability that an edge leaves its source community (0 = perfectly
+    /// separable, 1 = no community structure).
+    pub mixing: f64,
+    /// Attribute dimensionality.
+    pub attr_dim: usize,
+    /// Attributes drawn per node (before dedup; values are 1.0).
+    pub attrs_per_node: usize,
+    /// Number of latent attribute factors.
+    pub num_factors: usize,
+    /// Characteristic attribute indices per factor.
+    pub factor_attrs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            num_nodes: 100_000,
+            avg_degree: 8.0,
+            degree_exponent: 2.5,
+            num_communities: 16,
+            mixing: 0.1,
+            attr_dim: 256,
+            attrs_per_node: 8,
+            num_factors: 32,
+            factor_attrs: 24,
+            seed: 42,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// A size-parameterized config: `n` nodes, everything else default with
+    /// the community count grown as `√(n)/25` so communities stay a few
+    /// thousand nodes wide at every scale.
+    pub fn with_nodes(n: usize) -> Self {
+        let k = ((n as f64).sqrt() / 25.0).round().max(2.0) as usize;
+        Self { num_nodes: n, num_communities: k.min(n / 2).max(1), ..Self::default() }
+    }
+
+    fn validate(&self) {
+        assert!(self.num_nodes >= 2, "need at least two nodes");
+        assert!(
+            self.num_communities >= 1 && self.num_communities <= self.num_nodes,
+            "num_communities must be in 1..=num_nodes"
+        );
+        assert!(self.degree_exponent > 1.0, "degree_exponent must exceed 1");
+        assert!(self.avg_degree > 0.0, "avg_degree must be positive");
+        assert!((0.0..=1.0).contains(&self.mixing), "mixing must be in [0, 1]");
+        assert!(self.attr_dim >= 1 && self.attrs_per_node >= 1, "need attributes");
+        assert!(
+            self.num_factors >= 1 && self.factor_attrs >= 1 && self.factor_attrs <= self.attr_dim,
+            "factor pools must be non-empty and fit in attr_dim"
+        );
+    }
+}
+
+/// Ground truth and sampling telemetry returned beside the graph, consumed
+/// by the statistical tests (`crates/datasets/tests/statistics.rs`).
+#[derive(Clone, Debug)]
+pub struct ScaleInfo {
+    /// Community (= label) per node.
+    pub community: Vec<u32>,
+    /// Chung–Lu expected-degree weight per node (unnormalized).
+    pub weights: Vec<f64>,
+    /// How often each node was drawn as a candidate-edge endpoint, counted
+    /// over *all* candidate draws (self-loops included, duplicates
+    /// included). Marginally each endpoint is distributed exactly
+    /// `∝ weights`, which is what the chi-square GOF test checks.
+    pub endpoint_counts: Vec<u64>,
+    /// Candidate edges drawn (2× this many endpoints).
+    pub candidate_draws: usize,
+    /// Distinct non-loop edges that survived dedup.
+    pub sampled_edges: usize,
+    /// Isolated nodes rescued with one extra in-community edge.
+    pub rescued: usize,
+}
+
+/// Community of node `v` under `k` contiguous equal-width blocks. Inverse
+/// of [`block_range`]: `community_of(v) == c` iff `block_range(c)` contains
+/// `v`, for every `c`.
+#[inline]
+fn community_of(v: usize, n: usize, k: usize) -> usize {
+    v * k / n
+}
+
+/// Node range of community `c`.
+#[inline]
+fn block_range(c: usize, n: usize, k: usize) -> std::ops::Range<usize> {
+    (c * n).div_ceil(k)..((c + 1) * n).div_ceil(k)
+}
+
+/// Draws an index in `lo..hi` with probability proportional to the weight
+/// prefix sums `cum` (global prefix over all nodes).
+#[inline]
+fn draw_weighted(cum: &[f64], lo: usize, hi: usize, rng: &mut ChaCha8Rng) -> usize {
+    let base = if lo == 0 { 0.0 } else { cum[lo - 1] };
+    let x = base + rng.gen::<f64>() * (cum[hi - 1] - base);
+    lo + cum[lo..hi].partition_point(|&c| c <= x).min(hi - lo - 1)
+}
+
+/// Generates a seeded power-law / planted-community / latent-factor
+/// attributed graph. Deterministic: the same `cfg` yields the same graph.
+pub fn scale_graph(cfg: &ScaleConfig) -> (AttributedGraph, ScaleInfo) {
+    cfg.validate();
+    let n = cfg.num_nodes;
+    let k = cfg.num_communities;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Power-law expected-degree weights: rank r gets (r+1)^(−1/(γ−1)),
+    // ranks spread uniformly over nodes by a seeded shuffle so every
+    // community holds its share of hubs.
+    let alpha = 1.0 / (cfg.degree_exponent - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-alpha)).collect();
+    weights.shuffle(&mut rng);
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for &w in &weights {
+        acc += w;
+        cum.push(acc);
+    }
+
+    let community: Vec<u32> = (0..n).map(|v| community_of(v, n, k) as u32).collect();
+
+    // Candidate edges: endpoint u globally weight-proportional; endpoint v
+    // inside u's community with probability 1 − mixing, global otherwise.
+    // Oversample so the target edge count survives duplicate removal, then
+    // sort+dedup packed u64 keys (bounded memory, no hashing).
+    let target_m = ((n as f64 * cfg.avg_degree) / 2.0).round() as usize;
+    let draws = target_m + target_m / 6 + 16;
+    let mut endpoint_counts = vec![0u64; n];
+    let mut keys: Vec<u64> = Vec::with_capacity(draws);
+    for _ in 0..draws {
+        let u = draw_weighted(&cum, 0, n, &mut rng);
+        let v = if rng.gen::<f64>() < cfg.mixing {
+            draw_weighted(&cum, 0, n, &mut rng)
+        } else {
+            let r = block_range(community[u] as usize, n, k);
+            draw_weighted(&cum, r.start, r.end, &mut rng)
+        };
+        endpoint_counts[u] += 1;
+        endpoint_counts[v] += 1;
+        if u != v {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            keys.push(a << 32 | b);
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    let sampled_edges = keys.len();
+
+    let mut degree = vec![0u32; n];
+    for &key in &keys {
+        degree[(key >> 32) as usize] += 1;
+        degree[(key & 0xFFFF_FFFF) as usize] += 1;
+    }
+    // Rescue isolated nodes with one edge to the next node in their
+    // community (wrapping), so every walk has somewhere to go.
+    let mut rescued = 0usize;
+    let mut rescue_keys: Vec<u64> = Vec::new();
+    for v in 0..n {
+        if degree[v] == 0 {
+            let r = block_range(community[v] as usize, n, k);
+            if r.len() < 2 {
+                continue; // single-node community: genuinely isolated
+            }
+            let u = if v + 1 < r.end { v + 1 } else { r.start };
+            let (a, b) = (v.min(u) as u64, v.max(u) as u64);
+            rescue_keys.push(a << 32 | b);
+            rescued += 1;
+        }
+    }
+    // A rescue partner may itself have been isolated (mutual rescue pair):
+    // dedup the combined key set to keep every edge weight exactly 1.0.
+    keys.extend_from_slice(&rescue_keys);
+    keys.sort_unstable();
+    keys.dedup();
+
+    // Latent-factor attributes. Factor f owns `factor_attrs` characteristic
+    // indices; community c's mixture puts 60% mass on factor c mod F and
+    // spreads the rest uniformly. A node draws attrs factor-first.
+    let factor_pool: Vec<Vec<u32>> = (0..cfg.num_factors)
+        .map(|_| {
+            (0..cfg.factor_attrs).map(|_| rng.gen_range(0..cfg.attr_dim) as u32).collect::<Vec<_>>()
+        })
+        .collect();
+    let own_mass = 0.6f64;
+    let mut attr_rows: Vec<Vec<(u32, f32)>> = Vec::with_capacity(n);
+    for &comm in community.iter().take(n) {
+        let home = comm as usize % cfg.num_factors;
+        let mut row: Vec<u32> = Vec::with_capacity(cfg.attrs_per_node);
+        for _ in 0..cfg.attrs_per_node {
+            let f = if cfg.num_factors == 1 || rng.gen::<f64>() < own_mass {
+                home
+            } else {
+                rng.gen_range(0..cfg.num_factors)
+            };
+            row.push(factor_pool[f][rng.gen_range(0..cfg.factor_attrs)]);
+        }
+        row.sort_unstable();
+        row.dedup();
+        attr_rows.push(row.into_iter().map(|a| (a, 1.0f32)).collect());
+    }
+
+    let mut builder = GraphBuilder::new(n, cfg.attr_dim);
+    for &key in &keys {
+        builder.add_edge((key >> 32) as NodeId, (key & 0xFFFF_FFFF) as NodeId, 1.0);
+    }
+    let graph = builder
+        .with_attrs(NodeAttributes::from_sparse_rows(cfg.attr_dim, &attr_rows))
+        .with_labels(community.clone())
+        .build();
+    let info = ScaleInfo {
+        community,
+        weights,
+        endpoint_counts,
+        candidate_draws: draws,
+        sampled_edges,
+        rescued,
+    };
+    (graph, info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            num_nodes: 2_000,
+            avg_degree: 8.0,
+            num_communities: 4,
+            attr_dim: 64,
+            attrs_per_node: 5,
+            num_factors: 8,
+            factor_attrs: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g1, i1) = scale_graph(&tiny());
+        let (g2, i2) = scale_graph(&tiny());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(i1.endpoint_counts, i2.endpoint_counts);
+        assert_eq!(g1.labels(), g2.labels());
+        for v in 0..g1.num_nodes() as NodeId {
+            assert_eq!(g1.neighbors_of(v), g2.neighbors_of(v));
+            assert_eq!(g1.attrs().row(v), g2.attrs().row(v));
+        }
+    }
+
+    #[test]
+    fn seed_changes_graph() {
+        let (g1, _) = scale_graph(&tiny());
+        let (g2, _) = scale_graph(&ScaleConfig { seed: 43, ..tiny() });
+        assert_ne!(
+            (0..g1.num_nodes() as NodeId).map(|v| g1.neighbors_of(v).to_vec()).collect::<Vec<_>>(),
+            (0..g2.num_nodes() as NodeId).map(|v| g2.neighbors_of(v).to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mean_degree_near_target() {
+        let (g, _) = scale_graph(&tiny());
+        let mean = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!((mean - 8.0).abs() / 8.0 < 0.15, "mean degree {mean} vs target 8");
+    }
+
+    #[test]
+    fn no_isolated_nodes_and_unit_weights() {
+        let (g, _) = scale_graph(&tiny());
+        for v in 0..g.num_nodes() as NodeId {
+            assert!(!g.neighbors_of(v).is_empty(), "node {v} isolated");
+            assert!(g.weights_of(v).iter().all(|&w| w == 1.0), "node {v} non-unit weight");
+        }
+    }
+
+    #[test]
+    fn labels_are_contiguous_blocks() {
+        let cfg = tiny();
+        let (g, info) = scale_graph(&cfg);
+        let labels = g.labels().unwrap();
+        assert_eq!(labels, &info.community[..]);
+        let mut prev = 0u32;
+        for &l in labels {
+            assert!(l >= prev && (l as usize) < cfg.num_communities, "labels not block-sorted");
+            prev = l;
+        }
+        assert_eq!(prev as usize, cfg.num_communities - 1, "some community empty");
+    }
+
+    #[test]
+    fn hubs_exist_degrees_heavy_tailed() {
+        let (g, _) = scale_graph(&tiny());
+        let max_deg =
+            (0..g.num_nodes() as NodeId).map(|v| g.neighbors_of(v).len()).max().unwrap() as f64;
+        let mean = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(max_deg > 8.0 * mean, "no hubs: max {max_deg}, mean {mean}");
+    }
+
+    #[test]
+    fn mixing_controls_cross_community_edges() {
+        let frac = |mixing: f64| {
+            let (g, info) = scale_graph(&ScaleConfig { mixing, ..tiny() });
+            let mut cross = 0usize;
+            let mut total = 0usize;
+            for v in 0..g.num_nodes() as NodeId {
+                for &u in g.neighbors_of(v) {
+                    total += 1;
+                    if info.community[v as usize] != info.community[u as usize] {
+                        cross += 1;
+                    }
+                }
+            }
+            cross as f64 / total as f64
+        };
+        let (lo, hi) = (frac(0.05), frac(0.5));
+        assert!(lo < 0.15, "low mixing leaks {lo}");
+        assert!(hi > lo + 0.2, "mixing knob inert: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn attributes_concentrate_within_communities() {
+        // Nodes of the same community share factor pools, so mean attribute
+        // overlap must be higher intra-community than inter-community.
+        let (g, info) = scale_graph(&tiny());
+        let overlap = |a: NodeId, b: NodeId| {
+            let (ia, _) = g.attrs().row(a);
+            let (ib, _) = g.attrs().row(b);
+            ia.iter().filter(|x| ib.contains(x)).count() as f64
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = g.num_nodes();
+        let (mut same, mut ns) = (0.0, 0usize);
+        let (mut diff, mut nd) = (0.0, 0usize);
+        for _ in 0..4_000 {
+            let a = rng.gen_range(0..n) as NodeId;
+            let b = rng.gen_range(0..n) as NodeId;
+            if info.community[a as usize] == info.community[b as usize] {
+                same += overlap(a, b);
+                ns += 1;
+            } else {
+                diff += overlap(a, b);
+                nd += 1;
+            }
+        }
+        let (ms, md) = (same / ns as f64, diff / nd as f64);
+        assert!(ms > md, "attribute overlap carries no community signal: {ms} vs {md}");
+    }
+
+    #[test]
+    fn with_nodes_scales_communities() {
+        let small = ScaleConfig::with_nodes(10_000);
+        let big = ScaleConfig::with_nodes(1_000_000);
+        assert!(big.num_communities > small.num_communities);
+        scale_graph(&ScaleConfig { num_nodes: 500, ..ScaleConfig::with_nodes(500) });
+    }
+}

@@ -1,0 +1,122 @@
+//! Statistical correctness of the million-node scale generator: the
+//! Chung–Lu candidate draws must hit each node with probability exactly
+//! proportional to its power-law weight, and the realized graph must keep
+//! the heavy tail the weights promise.
+//!
+//! The chi-square machinery mirrors `coane-walks/tests/statistics.rs`: fixed
+//! seeds make the tests deterministic, and the p ≈ 0.001 significance level
+//! keeps the committed seeds far from the rejection boundary.
+//!
+//! The test targets `ScaleInfo::endpoint_counts` — every candidate endpoint
+//! drawn, *before* self-loop rejection, dedup, and isolated-node rescue —
+//! because that is the quantity with a closed-form law: each endpoint's
+//! marginal is exactly `w_v / W`. (The community-conditioned second draw
+//! telescopes: Σ_C P(u ∈ C)·w_v·[v ∈ C]/W_C = w_v/W.) Realized degrees are
+//! a deduplicated, rescued transform of these draws with no simple closed
+//! form, so they get shape assertions rather than a GOF test.
+
+use coane_datasets::{scale_graph, ScaleConfig};
+
+/// Pearson's chi-square statistic for observed counts vs expected
+/// probabilities (which must sum to ~1). Panics if any expected cell count
+/// is below 5 — the classical validity threshold for the asymptotic test.
+fn chi_square_stat(observed: &[u64], expected_probs: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected_probs.len());
+    let total: u64 = observed.iter().sum();
+    let mut stat = 0.0f64;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        let e = p * total as f64;
+        assert!(e >= 5.0, "expected cell count {e} < 5; coarsen the bins");
+        stat += (o as f64 - e) * (o as f64 - e) / e;
+    }
+    stat
+}
+
+/// Approximate upper critical value of the chi-square distribution via the
+/// Wilson–Hilferty cube-root normal approximation.
+fn chi_square_critical(df: usize, z: f64) -> f64 {
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// z-quantile for p ≈ 0.001 (one-sided), i.e. a 99.9% acceptance region.
+const Z_999: f64 = 3.0902;
+
+fn assert_gof(name: &str, observed: &[u64], expected_probs: &[f64]) {
+    let stat = chi_square_stat(observed, expected_probs);
+    let crit = chi_square_critical(observed.len() - 1, Z_999);
+    assert!(
+        stat < crit,
+        "{name}: chi-square {stat:.2} exceeds critical {crit:.2} (df {})",
+        observed.len() - 1
+    );
+}
+
+#[test]
+fn endpoint_draws_follow_power_law_weights() {
+    let cfg = ScaleConfig { avg_degree: 12.0, ..ScaleConfig::with_nodes(4_000) };
+    let (_, info) = scale_graph(&cfg);
+    assert_eq!(info.endpoint_counts.len(), 4_000);
+    let total_draws: u64 = info.endpoint_counts.iter().sum();
+    assert_eq!(total_draws as usize, 2 * info.candidate_draws);
+
+    // Bin weight-ordered nodes into equal-count groups: the head groups
+    // carry most of the mass (testing the hubs precisely), the tail groups
+    // aggregate enough nodes to clear the ≥5-expected-count threshold.
+    let mut order: Vec<usize> = (0..info.weights.len()).collect();
+    order.sort_by(|&a, &b| info.weights[b].partial_cmp(&info.weights[a]).unwrap());
+    let total_weight: f64 = info.weights.iter().sum();
+    const GROUP: usize = 100;
+    let mut observed = Vec::new();
+    let mut expected = Vec::new();
+    for group in order.chunks(GROUP) {
+        observed.push(group.iter().map(|&v| info.endpoint_counts[v]).sum::<u64>());
+        expected.push(group.iter().map(|&v| info.weights[v]).sum::<f64>() / total_weight);
+    }
+    assert_gof("scale endpoint draws", &observed, &expected);
+}
+
+#[test]
+fn endpoint_law_is_mixing_invariant() {
+    // The community-conditioned draw must not distort the marginal: strongly
+    // assortative and fully mixed graphs pass the same GOF test.
+    for mixing in [0.0, 0.5, 1.0] {
+        let cfg = ScaleConfig { mixing, ..ScaleConfig::with_nodes(3_000) };
+        let (_, info) = scale_graph(&cfg);
+        let mut order: Vec<usize> = (0..info.weights.len()).collect();
+        order.sort_by(|&a, &b| info.weights[b].partial_cmp(&info.weights[a]).unwrap());
+        let total_weight: f64 = info.weights.iter().sum();
+        let mut observed = Vec::new();
+        let mut expected = Vec::new();
+        for group in order.chunks(150) {
+            observed.push(group.iter().map(|&v| info.endpoint_counts[v]).sum::<u64>());
+            expected.push(group.iter().map(|&v| info.weights[v]).sum::<f64>() / total_weight);
+        }
+        assert_gof(&format!("mixing={mixing}"), &observed, &expected);
+    }
+}
+
+#[test]
+fn realized_degrees_keep_the_heavy_tail() {
+    let cfg = ScaleConfig { avg_degree: 10.0, ..ScaleConfig::with_nodes(20_000) };
+    let (g, info) = scale_graph(&cfg);
+    let n = g.num_nodes();
+    let mut degrees: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    assert!((mean - 10.0).abs() / 10.0 < 0.2, "mean degree {mean} far from target 10");
+
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    // Power-law shape, not Poisson: the top 1% of nodes carry a far larger
+    // degree share than the 1% a homogeneous graph would give them, and the
+    // max degree towers over the mean.
+    let top_share =
+        degrees[..n / 100].iter().sum::<usize>() as f64 / degrees.iter().sum::<usize>() as f64;
+    assert!(top_share > 0.05, "top-1% degree share {top_share:.4} looks homogeneous");
+    assert!(degrees[0] as f64 > 10.0 * mean, "max degree {} not hub-like", degrees[0]);
+
+    // Dedup + rescue stay a small correction: candidate draws overshoot the
+    // realized edge count only modestly, and rescues are rare.
+    assert!(info.sampled_edges as f64 >= 0.7 * info.candidate_draws as f64);
+    assert!(info.rescued < n / 100, "{} rescues in a {}-node graph", info.rescued, n);
+}

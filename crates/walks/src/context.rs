@@ -13,7 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::walker::{node_frequencies, Walk};
+use crate::walker::{node_frequencies, Walk, Walker};
 
 /// Sentinel for an empty (padded) context slot.
 pub const PAD: NodeId = NodeId::MAX;
@@ -127,6 +127,145 @@ impl ContextSet {
             let positions: u64 = walks.iter().map(|w| w.len() as u64).sum();
             obs.add("contexts/kept", total_ctx as u64);
             obs.add("contexts/subsample_dropped", positions - total_ctx as u64);
+        }
+        Self { c, n, offsets, slots }
+    }
+
+    /// Streaming [`ContextSet::build`]: extracts the same contexts without
+    /// ever materializing all `r·n` walks.
+    ///
+    /// See [`ContextSet::build_streamed_obs`] for the contract.
+    pub fn build_streamed(
+        walker: &Walker,
+        n: usize,
+        block_size: usize,
+        cfg: &ContextsConfig,
+    ) -> Self {
+        Self::build_streamed_obs(walker, n, block_size, cfg, &coane_obs::Obs::disabled())
+    }
+
+    /// Streaming context extraction. Bit-identical to running
+    /// [`ContextSet::build_obs`] on `walker.generate_all(_)` — same
+    /// `offsets`, same `slots` — but peak walk storage is a handful of
+    /// `block_size`-walk blocks instead of the whole corpus.
+    ///
+    /// The builder makes three passes over the walk stream (walks are
+    /// regenerated per pass; per-walk seeding makes regeneration exact):
+    ///
+    /// 1. **Frequencies** — accumulate `f(v)` over all walk positions, from
+    ///    which the per-node discard probabilities derive exactly as in the
+    ///    materialized builder.
+    /// 2. **Subsampling replay** — consume the sequential subsampling RNG in
+    ///    walk-major position order (skipping position 0, which is always
+    ///    kept — the identical consumption pattern), recording one keep-bit
+    ///    per position and per-center survivor counts.
+    /// 3. **Slot fill** — with per-node offsets now known, re-walk the
+    ///    stream and copy each surviving window into its final row.
+    ///
+    /// Because the subsampling RNG lives on the consuming thread and blocks
+    /// arrive in order through the bounded prefetch channel, the result is
+    /// independent of thread count. Also records the `walks/count` and
+    /// `walks/steps` counters that [`Walker::generate_all_obs`] would have
+    /// emitted, so telemetry stays comparable across the two paths.
+    ///
+    /// # Panics
+    /// Panics if `context_size` is even or zero, or `block_size` is zero.
+    pub fn build_streamed_obs(
+        walker: &Walker,
+        n: usize,
+        block_size: usize,
+        cfg: &ContextsConfig,
+        obs: &coane_obs::Obs,
+    ) -> Self {
+        let _scope = obs.scope("contexts");
+        assert!(cfg.context_size >= 1 && cfg.context_size % 2 == 1, "context size must be odd");
+        let c = cfg.context_size;
+        let half = c / 2;
+        // How far ahead the producer may run (in blocks). Purely a
+        // throughput knob: consumption order is block order regardless.
+        const DEPTH: usize = 2;
+
+        // Pass 1: global node frequencies.
+        let mut freq = vec![0u64; n];
+        let mut walk_count = 0u64;
+        walker.stream_blocks(block_size, DEPTH, |_, block| {
+            walk_count += block.len() as u64;
+            for walk in &block {
+                for &v in walk {
+                    freq[v as usize] += 1;
+                }
+            }
+        });
+        let total: u64 = freq.iter().sum();
+        let p_discard: Vec<f64> = freq
+            .iter()
+            .map(|&f| {
+                if f == 0 || total == 0 {
+                    return 0.0;
+                }
+                let rel = f as f64 / total as f64;
+                (1.0 - (cfg.subsample_t / rel).sqrt()).max(0.0)
+            })
+            .collect();
+
+        // Pass 2: replay the subsampling decisions (same RNG, same
+        // consumption order as the materialized builder), keeping one bit
+        // per walk position plus per-center survivor counts.
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut keep_bits: Vec<u64> = vec![0u64; (total as usize).div_ceil(64)];
+        let mut counts = vec![0usize; n];
+        let mut bit = 0usize;
+        walker.stream_blocks(block_size, DEPTH, |_, block| {
+            for walk in &block {
+                for (pos, &center) in walk.iter().enumerate() {
+                    let keep = pos == 0 || !rng.gen_bool(p_discard[center as usize]);
+                    if keep {
+                        keep_bits[bit / 64] |= 1u64 << (bit % 64);
+                        counts[center as usize] += 1;
+                    }
+                    bit += 1;
+                }
+            }
+        });
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for &cnt in &counts {
+            offsets.push(offsets.last().unwrap() + cnt);
+        }
+        let total_ctx = *offsets.last().unwrap();
+
+        // Pass 3: fill slots for surviving positions, in the same
+        // walk-major order the materialized builder replays `kept`.
+        let mut slots = vec![PAD; total_ctx * c];
+        let mut cursor = offsets[..n].to_vec();
+        let mut bit = 0usize;
+        walker.stream_blocks(block_size, DEPTH, |_, block| {
+            for walk in &block {
+                for (pos, &center) in walk.iter().enumerate() {
+                    let keep = keep_bits[bit / 64] >> (bit % 64) & 1 == 1;
+                    bit += 1;
+                    if !keep {
+                        continue;
+                    }
+                    let row = cursor[center as usize];
+                    cursor[center as usize] += 1;
+                    let dst = &mut slots[row * c..(row + 1) * c];
+                    for (k, slot) in dst.iter_mut().enumerate() {
+                        let rel = pos as isize + k as isize - half as isize;
+                        if rel >= 0 && (rel as usize) < walk.len() {
+                            *slot = walk[rel as usize];
+                        }
+                    }
+                }
+            }
+        });
+
+        if obs.is_enabled() {
+            obs.add("walks/count", walk_count);
+            obs.add("walks/steps", total);
+            obs.add("contexts/kept", total_ctx as u64);
+            obs.add("contexts/subsample_dropped", total - total_ctx as u64);
         }
         Self { c, n, offsets, slots }
     }
@@ -271,6 +410,33 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_context_rejected() {
         ContextSet::build(&[vec![0]], 1, &no_subsample(4));
+    }
+
+    #[test]
+    fn streamed_build_matches_materialized() {
+        use crate::walker::WalkConfig;
+        use coane_graph::{GraphBuilder, NodeAttributes};
+        // A ring so walks never dead-end and subsampling has signal.
+        let n = 30usize;
+        let mut b = GraphBuilder::new(n, n);
+        for v in 0..n {
+            b.add_edge(v as NodeId, ((v + 1) % n) as NodeId, 1.0);
+        }
+        let g = b.with_attrs(NodeAttributes::identity(n)).build();
+        let walker = Walker::new(
+            &g,
+            WalkConfig { walks_per_node: 2, walk_length: 15, p: 1.0, q: 1.0, seed: 5 },
+        );
+        let walks = walker.generate_all(1);
+        for subsample_t in [f64::INFINITY, 2e-2] {
+            let cfg = ContextsConfig { context_size: 5, subsample_t, seed: 11 };
+            let reference = ContextSet::build(&walks, n, &cfg);
+            for block_size in [1usize, 4, 60, 1000] {
+                let streamed = ContextSet::build_streamed(&walker, n, block_size, &cfg);
+                assert_eq!(streamed.offsets, reference.offsets, "t={subsample_t} b={block_size}");
+                assert_eq!(streamed.slots, reference.slots, "t={subsample_t} b={block_size}");
+            }
+        }
     }
 
     #[test]

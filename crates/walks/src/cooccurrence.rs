@@ -109,7 +109,84 @@ impl CoMatrices {
         }
         pairs.sort_unstable();
         let d = SparseCounts::from_sorted_pairs(n, &pairs);
+        Self::finish(d, graph, obs)
+    }
 
+    /// [`CoMatrices::build`] with blocked accumulation: `D` is assembled
+    /// over fixed node ranges `[0, B), [B, 2B), …` merged in ascending block
+    /// order. Each row of `D` depends only on its own center's contexts, and
+    /// pairs sort identically whether the sort covers one block or all of
+    /// them, so the result is **bit-identical** to the monolithic builder
+    /// for every `block_nodes ≥ 1` (locked by `tests/streaming.rs`). What
+    /// changes is peak memory: the transient pair buffer shrinks from one
+    /// entry per context slot *globally* to one per slot *per block*.
+    ///
+    /// # Panics
+    /// Panics if `block_nodes` is zero.
+    pub fn build_blocked(
+        contexts: &ContextSet,
+        graph: &AttributedGraph,
+        block_nodes: usize,
+    ) -> Self {
+        Self::build_blocked_obs(contexts, graph, block_nodes, &coane_obs::Obs::disabled())
+    }
+
+    /// [`CoMatrices::build_blocked`] with phase telemetry (same counters as
+    /// [`CoMatrices::build_obs`]).
+    pub fn build_blocked_obs(
+        contexts: &ContextSet,
+        graph: &AttributedGraph,
+        block_nodes: usize,
+        obs: &coane_obs::Obs,
+    ) -> Self {
+        let _scope = obs.scope("cooccurrence");
+        assert!(block_nodes >= 1, "block_nodes must be positive");
+        let n = contexts.num_nodes();
+        assert_eq!(n, graph.num_nodes(), "contexts/graph node count mismatch");
+        let mut indptr = vec![0usize; n + 1];
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + block_nodes).min(n);
+            pairs.clear();
+            for v in start as NodeId..end as NodeId {
+                for w in contexts.contexts_of(v) {
+                    for &u in w {
+                        if u != PAD && u != v {
+                            pairs.push((v, u));
+                        }
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            // Append this block's rows: identical run-length counting to
+            // `from_sorted_pairs`, offset into the global CSR.
+            let mut k = 0usize;
+            for i in start as u32..end as u32 {
+                while k < pairs.len() && pairs[k].0 == i {
+                    let j = pairs[k].1;
+                    let mut cnt = 0u32;
+                    while k < pairs.len() && pairs[k] == (i, j) {
+                        cnt += 1;
+                        k += 1;
+                    }
+                    indices.push(j);
+                    values.push(cnt as f32);
+                }
+                indptr[i as usize + 1] = indices.len();
+            }
+            start = end;
+        }
+        let d = SparseCounts { n, indptr, indices, values };
+        Self::finish(d, graph, obs)
+    }
+
+    /// Derives `D¹` and `D̃` from an assembled `D` — shared by the
+    /// monolithic and blocked builders so the two paths cannot drift.
+    fn finish(d: SparseCounts, graph: &AttributedGraph, obs: &coane_obs::Obs) -> Self {
+        let n = d.num_rows();
         // D¹: restrict to real edges.
         let mut d1_indptr = vec![0usize; n + 1];
         let mut d1_indices = Vec::new();
@@ -323,6 +400,20 @@ mod tests {
                 assert_eq!(src, i);
                 assert!(w > 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn blocked_build_is_bit_identical_to_monolithic() {
+        let g = graph_path3();
+        let walks = vec![vec![0, 1, 2, 1, 0], vec![2, 1, 0, 1, 2], vec![1, 1, 0]];
+        let contexts = cs(&walks, 3, 5);
+        let reference = CoMatrices::build(&contexts, &g);
+        for block_nodes in [1usize, 2, 3, 100] {
+            let blocked = CoMatrices::build_blocked(&contexts, &g, block_nodes);
+            assert_eq!(blocked.d, reference.d, "D differs at block={block_nodes}");
+            assert_eq!(blocked.d1, reference.d1, "D1 differs at block={block_nodes}");
+            assert_eq!(blocked.d_tilde, reference.d_tilde, "Dt differs at block={block_nodes}");
         }
     }
 

@@ -91,6 +91,47 @@ impl<'g> Walker<'g> {
         walks
     }
 
+    /// Total number of walks this walker generates (`r·n`).
+    pub fn num_walks(&self) -> usize {
+        self.graph.num_nodes() * self.config.walks_per_node
+    }
+
+    /// Number of fixed-size blocks the walk sequence splits into.
+    pub fn num_blocks(&self, block_size: usize) -> usize {
+        assert!(block_size >= 1, "block size must be positive");
+        self.num_walks().div_ceil(block_size)
+    }
+
+    /// Generates block `b` of the global walk sequence: walks
+    /// `b·block_size .. min((b+1)·block_size, r·n)` in [`Walker::generate_all`]
+    /// order. Because every walk derives its RNG purely from its global
+    /// index, a block can be (re)generated independently of all others;
+    /// concatenating all blocks reproduces `generate_all` byte for byte.
+    pub fn walks_block(&self, b: usize, block_size: usize) -> Vec<Walk> {
+        let n = self.graph.num_nodes();
+        let total = self.num_walks();
+        let start = (b * block_size).min(total);
+        let end = ((b + 1) * block_size).min(total);
+        (start..end).map(|k| self.walk_indexed(k, n)).collect()
+    }
+
+    /// Streams walk blocks through a bounded channel: blocks are produced
+    /// up to `depth` ahead on a pool worker while `consume(block_idx, walks)`
+    /// runs on the calling thread, strictly in block order. With `depth = 0`
+    /// (or a single thread) blocks are generated inline — either way the
+    /// consumer sees exactly the [`Walker::generate_all`] sequence, split at
+    /// `block_size` boundaries, so streaming is a pure memory/throughput
+    /// knob. Peak walk storage is `(depth + 2)` blocks instead of `r·n`.
+    pub fn stream_blocks(
+        &self,
+        block_size: usize,
+        depth: usize,
+        consume: impl FnMut(usize, Vec<Walk>),
+    ) {
+        let blocks = self.num_blocks(block_size);
+        coane_nn::pool::prefetch(blocks, depth, |b| self.walks_block(b, block_size), consume);
+    }
+
     fn walk_indexed(&self, k: usize, n: usize) -> Walk {
         let repeat = k / n;
         let start = (k % n) as NodeId;
@@ -368,6 +409,25 @@ mod tests {
     fn frequencies_count_appearances() {
         let walks = vec![vec![0, 1, 0], vec![2]];
         assert_eq!(node_frequencies(&walks, 3), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn streamed_blocks_concatenate_to_generate_all() {
+        let g = star(23);
+        let walker = Walker::new(&g, WalkConfig { walks_per_node: 3, ..Default::default() });
+        let all = walker.generate_all(1);
+        assert_eq!(walker.num_walks(), 69);
+        for block_size in [1usize, 7, 64, 1000] {
+            assert_eq!(walker.num_blocks(block_size), 69usize.div_ceil(block_size));
+            let mut got: Vec<Walk> = Vec::new();
+            let mut next = 0usize;
+            walker.stream_blocks(block_size, 2, |b, block| {
+                assert_eq!(b, next, "blocks out of order");
+                next += 1;
+                got.extend(block);
+            });
+            assert_eq!(got, all, "block_size={block_size}");
+        }
     }
 
     #[test]

@@ -3,12 +3,19 @@
 //! ```text
 //! # 1. get a graph (synthetic preset, or bring your own LINQS/edge-list files)
 //! coane-cli generate --preset cora --scale 0.2 --seed 42 --out graph.json
+//! coane-cli generate --preset scale --nodes 1000000 --seed 42 --out big.json
 //! coane-cli convert  --content cora.content --cites cora.cites --out graph.json
 //! coane-cli convert  --edges graph.edges --out graph.json
 //!
 //! # 2. embed it (--threads is a pure speed knob: output is bit-identical)
 //! coane-cli embed --graph graph.json --method coane --dim 128 --epochs 10 \
 //!                 --threads 4 --out embedding.csv
+//!
+//! # 2b. embed under a memory budget (streamed walks, blocked co-occurrence,
+//! #     budgeted context-row cache — output stays bit-identical)
+//! coane-cli embed --graph big.json --method coane --out embedding.csv \
+//!                 --walk-block 4096 --coocc-block 65536 \
+//!                 --max-cache-bytes 2000000000
 //!
 //! # 2a. observability: per-epoch progress on stderr, structured JSONL
 //! #     telemetry (per-epoch loss terms, throughput, phase timings), or
@@ -224,13 +231,27 @@ fn print_graph_summary(log: &Log, out: &str, graph: &AttributedGraph) {
 }
 
 fn cmd_generate(cli: &Cli) -> Result<(), CoaneError> {
-    let preset = Preset::parse(cli.req("preset")?).ok_or_else(|| {
-        CoaneError::config("unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr)")
-    })?;
-    let scale: f64 = cli.num("scale", 1.0);
     let seed: u64 = cli.num("seed", 42);
     let out = cli.req("out")?;
-    let (graph, _) = preset.generate_scaled(scale, seed);
+    let name = cli.req("preset")?;
+    // `--preset scale --nodes N` is the parameterized million-node
+    // generator (power-law degrees, planted communities, latent-factor
+    // attributes); everything else is a fixed citation-network preset.
+    let graph = if name.eq_ignore_ascii_case("scale") {
+        let cfg = coane::datasets::ScaleConfig {
+            seed,
+            ..coane::datasets::ScaleConfig::with_nodes(cli.num("nodes", 100_000usize))
+        };
+        coane::datasets::scale_graph(&cfg).0
+    } else {
+        let preset = Preset::parse(name).ok_or_else(|| {
+            CoaneError::config(
+                "unknown preset (try: cora, citeseer, pubmed, webkb-cornell, flickr, scale)",
+            )
+        })?;
+        let scale: f64 = cli.num("scale", 1.0);
+        preset.generate_scaled(scale, seed).0
+    };
     gio::save_json(&graph, Path::new(out))?;
     print_graph_summary(&Log::new(cli), out, &graph);
     Ok(())
@@ -272,7 +293,19 @@ fn cmd_embed(cli: &Cli) -> Result<(), CoaneError> {
     let started = std::time::Instant::now();
     let embedding = match method.as_str() {
         "coane" => {
-            let cfg = CoaneConfig { embed_dim: dim, epochs, seed, threads, ..Default::default() };
+            let cfg = CoaneConfig {
+                embed_dim: dim,
+                epochs,
+                seed,
+                threads,
+                // Memory-scaling knobs (DESIGN.md §2.12). All three are
+                // bit-transparent: any setting reproduces the default
+                // output exactly.
+                max_cache_bytes: cli.num("max-cache-bytes", 0usize),
+                walk_block_size: cli.num("walk-block", 0usize),
+                coocc_block_size: cli.num("coocc-block", 0usize),
+                ..Default::default()
+            };
             let trainer = Coane::try_new(cfg.clone())?.with_observer(obs.clone());
             let ck = cli.get("checkpoint-dir").map(|dir| CheckpointConfig {
                 every_epochs: cli.num("checkpoint-every", 1),

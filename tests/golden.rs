@@ -196,3 +196,132 @@ fn final_embedding_matches_committed_hash() {
     }
     blessed("GOLDEN_EMBEDDING_HASH", h.0, GOLDEN_EMBEDDING_HASH);
 }
+
+// ── scale-generator snapshots (10k nodes) ──────────────────────────────────
+//
+// The million-node scaling path (ISSUE 9) rests on the synthetic generator
+// being reproducible across releases: BENCH_scale numbers and the CI scale
+// smoke are only comparable if the same seed yields the same graph. This
+// section pins a 10k-node instance — generator output (via the walks it
+// induces), co-occurrence matrices, and the trained embedding — exactly as
+// the 40-node section does for the committed fixture file. The graph itself
+// is regenerated, not committed: at this size the seed *is* the fixture.
+
+const GOLDEN_SCALE_WALK_STEPS: usize = 100_000;
+const GOLDEN_SCALE_WALK_HASH: u64 = 0x176d2e71d19218ee;
+const GOLDEN_SCALE_NUM_CONTEXTS: usize = 100_000;
+const GOLDEN_SCALE_CONTEXT_HASH: u64 = 0x915717f82bc0ee1d;
+const GOLDEN_SCALE_D_NNZ: usize = 197_300;
+const GOLDEN_SCALE_D_HASH: u64 = 0xac87049adb70e845;
+const GOLDEN_SCALE_D1_NNZ: usize = 75_982;
+const GOLDEN_SCALE_D1_HASH: u64 = 0x38f7742024341744;
+const GOLDEN_SCALE_EMBEDDING_HASH: u64 = 0x87d8f187bbd72266;
+
+fn scale_fixture() -> AttributedGraph {
+    use coane::datasets::ScaleConfig;
+    coane::datasets::scale_graph(&ScaleConfig {
+        attr_dim: 64,
+        attrs_per_node: 4,
+        seed: 42,
+        ..ScaleConfig::with_nodes(10_000)
+    })
+    .0
+}
+
+fn scale_walk_cfg() -> WalkConfig {
+    WalkConfig { walks_per_node: 1, walk_length: 10, p: 1.0, q: 1.0, seed: 42 }
+}
+
+fn scale_ctx_cfg() -> ContextsConfig {
+    // c = 5 so windows reach past direct walk neighbours: D then contains
+    // non-edge pairs and the D¹ edge filter actually bites at scale.
+    ContextsConfig { context_size: 5, subsample_t: f64::INFINITY, seed: 7 }
+}
+
+#[test]
+fn scale_graph_walks_match_committed_snapshot() {
+    let graph = scale_fixture();
+    assert_eq!(graph.num_nodes(), 10_000);
+    let walks = Walker::new(&graph, scale_walk_cfg()).generate_all(1);
+    let steps: usize = walks.iter().map(Vec::len).sum();
+    assert_eq!(steps, GOLDEN_SCALE_WALK_STEPS);
+    let mut h = Fnv::new();
+    for walk in &walks {
+        h.u32(walk.len() as u32);
+        for &v in walk {
+            h.u32(v);
+        }
+    }
+    blessed("GOLDEN_SCALE_WALK_HASH", h.0, GOLDEN_SCALE_WALK_HASH);
+}
+
+#[test]
+fn scale_graph_cooccurrence_matches_committed_snapshot() {
+    let graph = scale_fixture();
+    let walks = Walker::new(&graph, scale_walk_cfg()).generate_all(1);
+    let contexts = ContextSet::build(&walks, graph.num_nodes(), &scale_ctx_cfg());
+    assert_eq!(contexts.num_contexts(), GOLDEN_SCALE_NUM_CONTEXTS);
+    let mut h = Fnv::new();
+    for v in 0..graph.num_nodes() as u32 {
+        h.u32(contexts.count(v) as u32);
+        for &slot in contexts.slots_of(v) {
+            h.u32(slot);
+        }
+    }
+    blessed("GOLDEN_SCALE_CONTEXT_HASH", h.0, GOLDEN_SCALE_CONTEXT_HASH);
+
+    let co = CoMatrices::build(&contexts, &graph);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN_SCALE_D_NNZ = {}", co.d.nnz());
+        println!("GOLDEN_SCALE_D1_NNZ = {}", co.d1.nnz());
+    } else {
+        assert_eq!(co.d.nnz(), GOLDEN_SCALE_D_NNZ, "scale D nnz drifted");
+        assert_eq!(co.d1.nnz(), GOLDEN_SCALE_D1_NNZ, "scale D¹ nnz drifted");
+    }
+    let hash_counts = |m: &coane::walks::cooccurrence::SparseCounts| {
+        let mut h = Fnv::new();
+        for i in 0..m.num_rows() as u32 {
+            let (cols, vals) = m.row(i);
+            h.u32(cols.len() as u32);
+            for (&c, &v) in cols.iter().zip(vals) {
+                h.u32(c);
+                h.f32(v);
+            }
+        }
+        h.0
+    };
+    blessed("GOLDEN_SCALE_D_HASH", hash_counts(&co.d), GOLDEN_SCALE_D_HASH);
+    blessed("GOLDEN_SCALE_D1_HASH", hash_counts(&co.d1), GOLDEN_SCALE_D1_HASH);
+}
+
+#[test]
+fn scale_graph_embedding_matches_committed_hash() {
+    let graph = scale_fixture();
+    // Trained through the full memory-budget path (streamed walks, blocked
+    // co-occurrence, budgeted cache): the streaming suite proves these equal
+    // the materialized pipeline, so this one hash pins both.
+    let cfg = CoaneConfig {
+        embed_dim: 8,
+        context_size: 3,
+        walks_per_node: 1,
+        walk_length: 10,
+        epochs: 2,
+        batch_size: 2048,
+        decoder_hidden: (16, 16),
+        num_negatives: 3,
+        subsample_t: 1e-3,
+        walk_block_size: 1024,
+        coocc_block_size: 4096,
+        max_cache_bytes: 1 << 30,
+        threads: 1,
+        seed: 42,
+        ..Default::default()
+    };
+    let z = Coane::try_new(cfg).unwrap().try_fit(&graph).unwrap();
+    assert_eq!(z.shape(), (10_000, 8));
+    let mut h = Fnv::new();
+    for &x in z.as_slice() {
+        h.f32(x);
+    }
+    blessed("GOLDEN_SCALE_EMBEDDING_HASH", h.0, GOLDEN_SCALE_EMBEDDING_HASH);
+}

@@ -311,3 +311,85 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a sparse row with strictly increasing columns and arbitrary
+/// f32 *bit patterns* (including NaN payloads, infinities, subnormals) —
+/// the codec must round-trip bits, not values.
+fn arb_sparse_row() -> impl Strategy<Value = (Vec<u32>, Vec<f32>)> {
+    proptest::collection::vec((any::<u32>(), any::<u32>()), 0..64).prop_map(|pairs| {
+        let mut cols: Vec<u32> = pairs.iter().map(|&(c, _)| c).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        let vals: Vec<f32> =
+            pairs.iter().take(cols.len()).map(|&(_, v)| f32::from_bits(v)).collect();
+        (cols, vals)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compressed_rows_round_trip_bit_exactly(rows in proptest::collection::vec(arb_sparse_row(), 0..12)) {
+        // Encode a whole stream of rows, then decode sequentially: columns
+        // and value bit patterns must survive, and the cursor must land
+        // exactly on the end of the stream (no silent over/under-read).
+        let mut buf = Vec::new();
+        for (cols, vals) in &rows {
+            coane::core::rowcodec::encode_row(cols, vals, &mut buf);
+        }
+        let mut pos = 0usize;
+        for (cols, vals) in &rows {
+            let (mut c, mut v) = (Vec::new(), Vec::new());
+            let nnz = coane::core::rowcodec::decode_row(&buf, &mut pos, &mut c, &mut v);
+            prop_assert_eq!(nnz, cols.len());
+            prop_assert_eq!(&c, cols);
+            let got: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = vals.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn budgeted_cache_accounting_and_equivalence(g in arb_graph(), seed in any::<u64>()) {
+        use coane::core::{CacheMode, ContextRowCache, EncoderKind};
+        use std::sync::Arc;
+
+        let walker = coane::walks::Walker::new(
+            &g,
+            coane::walks::WalkConfig { walk_length: 8, seed, ..Default::default() },
+        );
+        let walks = walker.generate_all(1);
+        let contexts = Arc::new(ContextSet::build(
+            &walks,
+            g.num_nodes(),
+            &ContextsConfig { context_size: 3, subsample_t: f64::INFINITY, seed },
+        ));
+        let unbounded = ContextRowCache::build(&g, &contexts, EncoderKind::Convolution);
+        let nodes: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let reference = unbounded.batch(&g, &nodes);
+
+        // Sweep budgets spanning all three rungs. Invariants: a non-rebuild
+        // cache's reported bytes never exceed the budget that admitted it
+        // (reported ≥ actual allocation by construction, so the budget
+        // genuinely bounds memory), and every rung's batches are
+        // bit-identical to the unbounded cache's.
+        let m = unbounded.resident_bytes();
+        for budget in [1usize, m / 4, m.saturating_sub(1), m, 2 * m] {
+            let budget = budget.max(1);
+            let cache = ContextRowCache::build_budgeted(&g, &contexts, EncoderKind::Convolution, budget);
+            if cache.mode() != CacheMode::Rebuild {
+                prop_assert!(
+                    cache.resident_bytes() <= budget,
+                    "{:?} reported {} > budget {}", cache.mode(), cache.resident_bytes(), budget
+                );
+            }
+            prop_assert_eq!(cache.nnz(), unbounded.nnz());
+            let batch = cache.batch(&g, &nodes);
+            prop_assert_eq!(&*batch.rb, &*reference.rb);
+            prop_assert_eq!(&batch.offsets, &reference.offsets);
+            prop_assert_eq!(&batch.x_target, &reference.x_target);
+        }
+    }
+}
